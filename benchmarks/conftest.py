@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's artifacts (figure, table
+or theorem) — asserting the paper's claim while timing the machinery —
+and prints the rows it produced, so a ``pytest benchmarks/
+--benchmark-only -s`` run doubles as the reproduction report recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str = "") -> None:
+    """Print a labeled reproduction block (visible with -s; harmless
+    when captured)."""
+    print(f"\n── {title} " + "─" * max(0, 60 - len(title)))
+    if body:
+        print(body)

@@ -1,0 +1,98 @@
+"""FIG1 — Figure 1: modularity is necessary for the decomposition.
+
+Paper claim (Lemma 6): on the pentagon N5 with cl(a) = b, the element
+``a`` admits *no* factorization into a cl-safety and a cl-liveness
+element — so Theorem 2's modularity hypothesis cannot be dropped.
+
+Regenerated here: (i) the exact N5 instance, by exhaustive search over
+all (safety, liveness) pairs and over *every* closure with cl(a) = b;
+(ii) a sweep over random non-modular lattices, counting how often
+non-modularity actually manifests as a decomposition failure.
+"""
+
+import random
+
+from repro.lattice import (
+    all_closures,
+    all_decompositions,
+    boolean_lattice,
+    figure1,
+    find_pentagon,
+    is_modular,
+    n5,
+)
+from repro.lattice.random_lattices import random_closure
+
+from .conftest import emit
+
+
+def _figure1_exhaustive() -> dict:
+    fig = figure1()
+    lat, cl = fig.lattice, fig.closure
+    base = all_decompositions(lat, cl, cl, "a")
+    failures = 0
+    total = 0
+    for other in all_closures(lat):
+        if other("a") != "b":
+            continue
+        total += 1
+        if not all_decompositions(lat, other, other, "a"):
+            failures += 1
+    return {"paper_instance": base, "closures_with_cl_a_b": total, "undecomposable": failures}
+
+
+def test_fig1_paper_instance(benchmark):
+    result = benchmark(_figure1_exhaustive)
+    assert result["paper_instance"] == []  # Lemma 6, verbatim
+    assert result["undecomposable"] >= 1
+    emit(
+        "FIG1 — N5 pentagon (Lemma 6)",
+        f"decompositions of 'a' under the caption's closure: "
+        f"{result['paper_instance']!r} (paper: none)\n"
+        f"closures with cl(a)=b: {result['closures_with_cl_a_b']}, "
+        f"of which leave 'a' undecomposable: {result['undecomposable']}",
+    )
+
+
+def _random_nonmodular_sweep(n_samples: int = 40) -> dict:
+    """Sample sublattices of Boolean algebras augmented with N5 flaws by
+    randomly deleting elements; count decomposition failures on
+    non-modular samples."""
+    rng = random.Random(2003)
+    nonmodular = 0
+    failures = 0
+    inspected = 0
+    while inspected < n_samples:
+        base = boolean_lattice(3)
+        keep = [x for x in base.elements if rng.random() < 0.7]
+        keep.extend([base.bottom, base.top])
+        try:
+            lat = base.poset.restrict(set(keep))
+            from repro.lattice import FiniteLattice
+
+            lat = FiniteLattice(lat)
+        except Exception:
+            continue
+        inspected += 1
+        if is_modular(lat):
+            continue
+        nonmodular += 1
+        assert find_pentagon(lat) is not None  # Dedekind, as a cross-check
+        cl = random_closure(rng, lat, density=0.4)
+        for a in lat.elements:
+            if not all_decompositions(lat, cl, cl, a):
+                failures += 1
+                break
+    return {"inspected": inspected, "nonmodular": nonmodular, "failures": failures}
+
+
+def test_fig1_random_nonmodular_lattices(benchmark):
+    result = benchmark.pedantic(_random_nonmodular_sweep, rounds=1, iterations=1)
+    emit(
+        "FIG1 — random non-modular sweep",
+        f"samples: {result['inspected']}, non-modular: {result['nonmodular']}, "
+        f"with an undecomposable element: {result['failures']}",
+    )
+    # non-modularity alone does not force failure for every closure;
+    # the paper's point is that it *can* — N5 above is the certificate.
+    assert result["nonmodular"] >= 1

@@ -1,0 +1,73 @@
+"""APP1 — decomposed verification of reactive systems (§1 motivation).
+
+For every model × spec: check the safety conjunct by reachability (bad
+prefix), the liveness conjunct by fair-cycle search, and confirm the
+conjunction of verdicts equals the monolithic model checker.  The table
+printed is the reproduction artifact; the timing compares the
+decomposed pipeline with the monolithic one.
+"""
+
+import time
+
+from repro.analysis import systems_table
+from repro.systems import (
+    alternating_bit,
+    alternating_bit_specs,
+    bakery,
+    bakery_specs,
+    check,
+    check_decomposed,
+    dining_philosophers,
+    msi_cache,
+    msi_specs,
+    peterson,
+    peterson_specs,
+    philosophers_specs,
+    token_ring,
+    token_ring_specs,
+    traffic_light,
+    traffic_specs,
+)
+
+from .conftest import emit
+
+MODELS = [
+    (peterson, peterson_specs),
+    (bakery, bakery_specs),
+    (alternating_bit, alternating_bit_specs),
+    (dining_philosophers, philosophers_specs),
+    (msi_cache, msi_specs),
+    (token_ring, token_ring_specs),
+    (traffic_light, traffic_specs),
+]
+
+
+def _verify_everything() -> dict:
+    stats = {"specs": 0, "agreements": 0, "mono_s": 0.0, "split_s": 0.0}
+    for build, specs_fn in MODELS:
+        kripke = build()
+        for spec in specs_fn(kripke):
+            stats["specs"] += 1
+            t0 = time.time()
+            mono = check(kripke, spec.formula)
+            stats["mono_s"] += time.time() - t0
+            t0 = time.time()
+            split = check_decomposed(kripke, spec.formula)
+            stats["split_s"] += time.time() - t0
+            assert mono.holds == spec.should_hold, spec.name
+            if split.holds == mono.holds:
+                stats["agreements"] += 1
+    return stats
+
+
+def test_decomposed_verification(benchmark):
+    stats = benchmark.pedantic(_verify_everything, rounds=1, iterations=1)
+    assert stats["agreements"] == stats["specs"]
+    emit("APP1 — systems × specs", systems_table())
+    emit(
+        "APP1 — timing",
+        f"{stats['specs']} specs; monolithic {stats['mono_s']:.2f}s, "
+        f"decomposed {stats['split_s']:.2f}s "
+        f"(decomposed does two products; the win is the *artifact* — "
+        f"finite bad prefixes for safety, fair cycles for liveness)",
+    )

@@ -1,0 +1,78 @@
+"""TAB2 — the §4.3 table: q0–q6 in the branching-time framework.
+
+Regenerates, over the sample-tree zoo: the membership matrix, the
+bounded-fcl facts (fcl q3a = q1; fcl q4* = fcl q5* = A_tot on samples;
+q0/q1/q2/q6 closed), and the paper's ncl refutation witness (the frozen
+all-a path).
+"""
+
+from repro.analysis import q_table
+from repro.ctl import (
+    bounded_fcl_member,
+    holds_on_tree,
+    q_examples,
+    sample_trees,
+    two_path_witness,
+)
+from repro.ltl import parse, satisfies
+from repro.trees import partial_prefix_of_regular
+
+from .conftest import emit
+
+TREES = sample_trees()
+Q = {e.identifier: e for e in q_examples()}
+
+
+def _fcl_facts() -> dict:
+    facts = {}
+    # safety rows: closure adds nothing
+    for qid in ("q1", "q2", "q6"):
+        facts[f"fcl_{qid}_fixed"] = all(
+            holds_on_tree(t, Q[qid].formula) == bounded_fcl_member(t, qid, 3)
+            for t in TREES.values()
+        )
+    # fcl q3a = q1
+    facts["fcl_q3a_eq_q1"] = all(
+        holds_on_tree(t, Q["q1"].formula) == bounded_fcl_member(t, "q3a", 3)
+        for t in TREES.values()
+    )
+    # liveness rows: closure is everything
+    for qid in ("q4a", "q4b", "q5a", "q5b"):
+        facts[f"fcl_{qid}_universal"] = all(
+            bounded_fcl_member(t, qid, 3) for t in TREES.values()
+        )
+    return facts
+
+
+def test_q_table_fcl_rows(benchmark):
+    facts = benchmark.pedantic(_fcl_facts, rounds=1, iterations=1)
+    assert all(facts.values()), facts
+    emit("TAB2 — §4.3 q table", q_table())
+    emit(
+        "TAB2 — fcl facts",
+        "\n".join(f"{k}: {v}" for k, v in facts.items()),
+    )
+
+
+def _ncl_witness_facts() -> dict:
+    witness, frozen = two_path_witness()
+    return {
+        "witness_prefixes_split": partial_prefix_of_regular(
+            witness, TREES["split"]
+        ),
+        "frozen_path_all_a": satisfies(frozen, parse("G a")),
+        "violates_AF_not_a": not satisfies(frozen, parse("F b")),
+        "violates_AFG_not_a": not satisfies(frozen, parse("FG b")),
+        "split_in_q1": holds_on_tree(TREES["split"], Q["q1"].formula),
+        "split_not_in_q3a": not holds_on_tree(TREES["split"], Q["q3a"].formula),
+    }
+
+
+def test_q_table_ncl_witness(benchmark):
+    facts = benchmark(_ncl_witness_facts)
+    assert all(facts.values()), facts
+    emit(
+        "TAB2 — ncl refutation (paper's two-path witness)",
+        "\n".join(f"{k}: {v}" for k, v in facts.items())
+        + "\n=> split ∈ q1 but split ∉ ncl.q3a: ncl.q3a ≠ q1 (paper §4.3)",
+    )

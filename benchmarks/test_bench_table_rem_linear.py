@@ -1,0 +1,46 @@
+"""TAB1 — the §2.3 table: Rem's p0–p6 classified in the linear-time
+framework.
+
+Every row's computed class must equal the paper's (with p6 refined to
+"both": Σ^ω is the unique property that is both safe and live), and the
+closure identities the paper states (lcl p3 = p1; lcl p4 = lcl p5 =
+Σ^ω) are proved by exact language equivalence.
+"""
+
+from repro.analysis import rem_table
+from repro.buchi import are_equivalent, universal_automaton
+from repro.ltl import classify_rem_examples, parse, translate
+
+from .conftest import emit
+
+
+def _classify_all():
+    return classify_rem_examples()
+
+
+def test_rem_rows(benchmark):
+    rows = benchmark(_classify_all)
+    for example, result in rows:
+        assert result.kind == example.expected, example.identifier
+    emit("TAB1 — §2.3 Rem table", rem_table())
+
+
+def _closure_identities() -> dict:
+    table = {ex.identifier: c for ex, c in classify_rem_examples()}
+    univ = universal_automaton("ab")
+    return {
+        "lcl_p3_eq_p1": are_equivalent(
+            table["p3"].closure_automaton, translate(parse("a"), "ab")
+        ),
+        "lcl_p4_universal": are_equivalent(table["p4"].closure_automaton, univ),
+        "lcl_p5_universal": are_equivalent(table["p5"].closure_automaton, univ),
+    }
+
+
+def test_rem_closure_identities(benchmark):
+    facts = benchmark(_closure_identities)
+    assert all(facts.values())
+    emit(
+        "TAB1 — closure identities",
+        "\n".join(f"{k}: {v}" for k, v in facts.items()),
+    )

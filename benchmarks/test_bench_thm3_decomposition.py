@@ -1,0 +1,99 @@
+"""THM2-3 — Theorems 2 and 3 at scale.
+
+Sweep families of modular complemented lattices (Boolean algebras,
+diamond products, the GF(2) subspace lattice) with random (comparable
+pairs of) closures and verify the decomposition identity on every
+element; report instances/second.
+"""
+
+import random
+
+from repro.lattice import (
+    LatticeClosure,
+    boolean_lattice,
+    decompose,
+    decompose_single,
+    subspace_lattice_gf2,
+)
+from repro.lattice.random_lattices import (
+    random_closure,
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+
+from .conftest import emit
+
+
+def _theorem2_boolean_sweep(n_atoms: int, n_closures: int) -> int:
+    rng = random.Random(42)
+    lat = boolean_lattice(n_atoms)
+    verified = 0
+    for _ in range(n_closures):
+        cl = random_closure(rng, lat)
+        for a in lat.elements:
+            d = decompose_single(lat, cl, a, check_hypotheses=False)
+            assert d.verify(lat, cl, cl)
+            verified += 1
+    return verified
+
+
+def test_theorem2_on_boolean_algebras(benchmark):
+    verified = benchmark.pedantic(
+        _theorem2_boolean_sweep, args=(5, 8), rounds=1, iterations=1
+    )
+    emit(
+        "THM2 — Boolean algebra sweep",
+        f"2^5 lattice × 8 random closures: {verified} decompositions verified",
+    )
+    assert verified == 8 * 32
+
+
+def _theorem3_modular_sweep(n_lattices: int) -> int:
+    rng = random.Random(1234)
+    verified = 0
+    for _ in range(n_lattices):
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=4)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        assert cl2.dominates(cl1)
+        for a in lat.elements:
+            d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
+            assert d.verify(lat, cl1, cl2)
+            verified += 1
+    return verified
+
+
+def test_theorem3_on_modular_nondistributive(benchmark):
+    verified = benchmark.pedantic(
+        _theorem3_modular_sweep, args=(15,), rounds=1, iterations=1
+    )
+    emit(
+        "THM3 — modular complemented sweep (beyond Boolean algebras)",
+        f"15 random diamond-product lattices, two-closure decompositions "
+        f"verified: {verified}",
+    )
+    assert verified > 100
+
+
+def _subspace_lattice_instance() -> int:
+    """The flagship non-Boolean case: subspaces of GF(2)^3 — modular,
+    complemented, non-distributive; prior frameworks do not apply."""
+    lat = subspace_lattice_gf2(3)
+    rng = random.Random(9)
+    verified = 0
+    for _ in range(3):
+        cl = random_closure(rng, lat, density=0.3)
+        for a in lat.elements:
+            d = decompose_single(lat, cl, a, check_hypotheses=False)
+            assert d.verify(lat, cl, cl)
+            verified += 1
+    return verified
+
+
+def test_theorem2_on_subspace_lattice(benchmark):
+    verified = benchmark.pedantic(_subspace_lattice_instance, rounds=1, iterations=1)
+    emit(
+        "THM2 — GF(2)^3 subspace lattice",
+        f"modular complemented non-distributive, {verified} decompositions "
+        f"verified (16 subspaces × 3 closures)",
+    )
+    assert verified == 48

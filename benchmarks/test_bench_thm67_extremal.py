@@ -1,0 +1,149 @@
+"""THM5-7 — the extremal and impossibility theorems.
+
+* Theorem 5: whenever cl2.a = 1 and cl1.a < 1, no (cl2-safety,
+  cl1-liveness) factorization exists — verified by exhaustive search on
+  random instances (including the paper's AF p-style branching-time
+  shape via the sampled tree lattice).
+* Theorem 6: cl1.a is the *strongest* safety conjunct.
+* Theorem 7: a ∨ b is the *weakest* second conjunct (distributive case).
+"""
+
+import random
+
+from repro.lattice import (
+    boolean_lattice,
+    check_strongest_safety,
+    check_weakest_liveness,
+    no_decomposition_witness,
+    theorem5_applies,
+)
+from repro.lattice.random_lattices import (
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+
+from .conftest import emit
+
+
+def _theorem5_sweep(n_lattices: int) -> dict:
+    rng = random.Random(55)
+    applicable = 0
+    refuted = 0
+    for _ in range(n_lattices):
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            if theorem5_applies(lat, cl1, cl2, a):
+                applicable += 1
+                if no_decomposition_witness(lat, cl1, cl2, a) is not None:
+                    refuted += 1
+    return {"applicable": applicable, "refuted": refuted}
+
+
+def test_theorem5_impossibility(benchmark):
+    result = benchmark.pedantic(_theorem5_sweep, args=(20,), rounds=1, iterations=1)
+    assert result["refuted"] == 0
+    assert result["applicable"] > 0
+    emit(
+        "THM5 — impossibility of the fourth decomposition",
+        f"applicable (cl2.a=1, cl1.a<1) instances: {result['applicable']}, "
+        f"counterexamples to the theorem: {result['refuted']}",
+    )
+
+
+def test_theorem5_branching_instance(benchmark):
+    """The paper's own instance: AF p (here AF b) is fcl-live but not
+    ncl-live, so no (universally-safe, existentially-live) decomposition
+    exists — Theorem 5, run on the sampled tree lattice.
+
+    Universe: the all-a tree plus the trees t_k = "a down to depth < k,
+    then b forever".  Every finite truncation of all_a is a prefix of a
+    deep-enough t_k (fcl-dense), but all_a's frozen all-a branch is a
+    non-total prefix no AF-b tree extends (ncl-deficient).
+    """
+    from repro.ctl import AF, CNot, csym, holds_on_tree
+    from repro.trees import (
+        PartialRegularPrefix,
+        RegularTree,
+        closure_on_samples,
+    )
+
+    def a_then_b_tree(k: int) -> RegularTree:
+        labels = {i: "a" for i in range(k)}
+        labels[k] = "b"
+        successors = {i: (i + 1, i + 1) for i in range(k)}
+        successors[k] = (k, k)
+        return RegularTree(labels, successors, 0)
+
+    def build_and_check():
+        all_a = RegularTree.constant("a", 2)
+        universe = [all_a] + [a_then_b_tree(k) for k in (1, 2, 3)]
+        depth = 2
+        lattice, fcl = closure_on_samples(universe, depth_bound=depth, name="fcl")
+        witnesses = {
+            0: [PartialRegularPrefix.cut_except_branch(all_a, (0,), 1)]
+        }
+        _, ncl = closure_on_samples(
+            universe, depth_bound=depth, partial_witnesses=witnesses, name="ncl"
+        )
+        afb = AF(csym("b"))
+        a = frozenset(
+            i for i, t in enumerate(universe) if holds_on_tree(t, afb)
+        )
+        applies = theorem5_applies(lattice, ncl, fcl, a)
+        witness_pair = no_decomposition_witness(lattice, ncl, fcl, a)
+        return a, applies, witness_pair
+
+    a, applies, witness_pair = benchmark.pedantic(
+        build_and_check, rounds=1, iterations=1
+    )
+    emit(
+        "THM5 — branching-time instance (AF b on samples)",
+        f"AF b on samples = {sorted(a)}; "
+        f"precondition fcl.a=1 ∧ ncl.a<1: {applies}; "
+        f"(fcl-safe, ncl-live) factorization found: {witness_pair}",
+    )
+    assert applies  # the paper's AF-p shape really triggers Theorem 5
+    assert witness_pair is None
+
+
+def _theorem6_sweep(n_lattices: int) -> int:
+    rng = random.Random(66)
+    checked = 0
+    for _ in range(n_lattices):
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            assert check_strongest_safety(lat, cl1, cl2, a)
+            checked += 1
+    return checked
+
+
+def test_theorem6_strongest_safety(benchmark):
+    checked = benchmark.pedantic(_theorem6_sweep, args=(12,), rounds=1, iterations=1)
+    emit(
+        "THM6 — extremal safety (machine closure)",
+        f"cl1.a is below every safety conjunct in {checked} factorizations",
+    )
+    assert checked > 50
+
+
+def _theorem7_sweep(n_lattices: int) -> int:
+    rng = random.Random(77)
+    checked = 0
+    for _ in range(n_lattices):
+        lat = boolean_lattice(rng.randint(2, 4))
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            assert check_weakest_liveness(lat, cl1, cl2, a)
+            checked += 1
+    return checked
+
+
+def test_theorem7_weakest_liveness(benchmark):
+    checked = benchmark.pedantic(_theorem7_sweep, args=(8,), rounds=1, iterations=1)
+    emit(
+        "THM7 — extremal liveness (distributive lattices)",
+        f"a ∨ b dominates the second conjunct in {checked} factorizations",
+    )
+    assert checked > 30

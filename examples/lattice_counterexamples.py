@@ -1,0 +1,51 @@
+"""Walk through the paper's two counterexample figures.
+
+Figure 1 (the pentagon N5): without *modularity*, Theorem 2 fails —
+the element `a` has no safety∧liveness factorization at all.
+
+Figure 2 (the diamond M3): without *distributivity*, Theorem 7 fails —
+the canonical liveness conjunct is no longer the weakest one.
+
+Run:  python examples/lattice_counterexamples.py
+"""
+
+from repro.lattice import (
+    all_decompositions,
+    check_weakest_liveness,
+    figure1,
+    figure2,
+    find_diamond,
+    find_pentagon,
+    is_distributive,
+    is_modular,
+)
+
+# ── Figure 1 ───────────────────────────────────────────────────────────
+fig1 = figure1()
+lat, cl = fig1.lattice, fig1.closure
+print("Figure 1 — the pentagon N5, cl(a) = b:")
+print(f"  Hasse edges : {sorted(lat.poset.hasse_edges())}")
+print(f"  modular?    : {is_modular(lat)}")
+print(f"  pentagon    : {find_pentagon(lat)}")
+print(f"  the caption's failing instance: b ∧ (c ∨ a) = "
+      f"{lat.meet('b', lat.join('c', 'a'))!r} but (b∧c) ∨ (b∧a) = "
+      f"{lat.join(lat.meet('b', 'c'), lat.meet('b', 'a'))!r}")
+print(f"  safety elements   : {cl.closed_elements()}")
+print(f"  liveness elements : {cl.dense_elements()}")
+decomps = all_decompositions(lat, cl, cl, "a")
+print(f"  decompositions of 'a' (Lemma 6 says none): {decomps}")
+
+# ── Figure 2 ───────────────────────────────────────────────────────────
+fig2 = figure2()
+lat, cl = fig2.lattice, fig2.closure
+print("\nFigure 2 — the diamond M3, cl(a) = s:")
+print(f"  modular?      : {is_modular(lat)}")
+print(f"  distributive? : {is_distributive(lat)}")
+print(f"  diamond       : {find_diamond(lat)}")
+print(f"  caption facts : s safety = {cl.is_safety('s')},  "
+      f"a = s∧z = {lat.meet('s', 'z') == 'a'},  "
+      f"b ∈ cmp(cl.a) = {'b' in lat.complements(cl('a'))}")
+print(f"  z ≤ a∨b ?     : {lat.leq('z', lat.join('a', 'b'))}   "
+      f"(Theorem 7's conclusion — fails here)")
+print(f"  full Theorem 7 check (forced through): "
+      f"{check_weakest_liveness(lat, cl, cl, 'a', require_distributive=False)}")

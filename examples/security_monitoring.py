@@ -1,0 +1,44 @@
+"""Security-policy enforcement (paper §1, citing Schneider):
+enforceable policies are exactly the safety properties.
+
+Run:  python examples/security_monitoring.py
+"""
+
+from repro.analysis import enforcement_table
+from repro.enforcement import (
+    SecurityMonitor,
+    all_policies,
+    enforcement_gap,
+    no_send_after_read,
+)
+
+print(enforcement_table())
+
+# ── live monitoring session ────────────────────────────────────────────
+policy = no_send_after_read()
+monitor = SecurityMonitor.for_property(policy.automaton())
+print(f"\nMonitoring {policy.name!r} on an event stream:")
+for event in ["other", "send", "read", "other", "send", "other"]:
+    verdict = monitor.observe(event)
+    flag = "ALLOW" if verdict.accepted else "TRUNCATE"
+    print(f"  step {verdict.position}: {event:6s} -> {flag}")
+    if not verdict.accepted:
+        break
+
+# ── the policy's minimal violation witnesses ───────────────────────────
+from repro.buchi import minimal_bad_prefixes
+
+print("\nMinimal bad prefixes of the policy (length ≤ 3):")
+for prefix in minimal_bad_prefixes(policy.automaton(), max_length=3):
+    print(f"  {' · '.join(prefix)}")
+
+# ── why liveness cannot be enforced ────────────────────────────────────
+print("\nFor each non-enforceable policy, an execution no truncation "
+      "monitor can reject:")
+for policy in all_policies():
+    if policy.enforceable:
+        continue
+    gap = enforcement_gap(policy.automaton())
+    monitor = SecurityMonitor.for_property(policy.automaton())
+    print(f"  {policy.name}: {gap!r}  "
+          f"(admitted by its own best monitor: {monitor.admits_lasso(gap)})")

@@ -1,0 +1,41 @@
+"""repro — executable reproduction of Manolios & Trefler (PODC 2003),
+"A Lattice-Theoretic Characterization of Safety and Liveness".
+
+Subpackages
+-----------
+lattice
+    Finite lattices, lattice closures, and the decomposition theorems —
+    the paper's primary contribution (Section 3).
+omega
+    Ultimately-periodic ω-words and concretely represented ω-languages
+    with the linear-time closure ``lcl`` (Section 2).
+buchi
+    Büchi automata: Boolean operations, complementation, emptiness, the
+    Alpern–Schneider closure, and the safety/liveness decomposition
+    (Section 2.4).
+ltl
+    Linear Temporal Logic: parsing, lasso semantics, translation to Büchi
+    automata, and the safety/liveness classifier (Rem's examples, §2.3).
+trees
+    Σ-labeled trees, the paper's concatenation and prefix order, and the
+    branching-time closures ``ncl``/``fcl`` (Section 4).
+ctl
+    CTL syntax and model checking over Kripke structures (Section 4.3).
+games
+    Parity games (Zielonka) and the Rabin→parity index-appearance-record
+    reduction — substrate for Rabin emptiness.
+rabin
+    Rabin tree automata: membership, emptiness, closure ``rfcl``, and the
+    Theorem 9 decomposition (Section 4.4).
+systems
+    Reactive-system models (mutual exclusion, protocols, cache coherence)
+    and automata-theoretic LTL model checking — the paper's motivating
+    applications (Section 1).
+enforcement
+    Schneider-style security automata: safety properties are exactly the
+    enforceable ones (Section 1).
+analysis
+    One classification/decomposition API across all frameworks.
+"""
+
+__version__ = "1.0.0"

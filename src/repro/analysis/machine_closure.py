@@ -1,0 +1,47 @@
+"""Machine closure across the frameworks (Abadi–Lamport, via the
+paper's Theorem 6 discussion).
+
+A pair ``(S, L)`` is *machine closed* when ``cl(S ∧ L) = S`` — the
+liveness half constrains no finite behaviour beyond what the safety
+half already allows.  The paper shows the canonical decomposition is
+always machine closed (``cl.a`` is the strongest safety conjunct);
+these helpers check the condition for lattice elements and for Büchi
+automata pairs.
+"""
+
+from __future__ import annotations
+
+from repro.buchi.automaton import BuchiAutomaton
+from repro.buchi.closure import closure
+from repro.buchi.inclusion import are_equivalent
+from repro.buchi.operations import intersection
+from repro.lattice.closure import LatticeClosure
+from repro.lattice.decomposition import is_machine_closed as lattice_machine_closed
+from repro.lattice.lattice import FiniteLattice
+
+
+def is_machine_closed_pair(
+    safety: BuchiAutomaton, other: BuchiAutomaton
+) -> bool:
+    """``lcl(L(safety) ∩ L(other)) = L(safety)`` — exact check.
+
+    ``safety`` should be a safety automaton (e.g. a closure); the
+    comparison complements only safety automata, so this stays cheap.
+    """
+    return are_equivalent(closure(intersection(safety, other)), safety)
+
+
+def is_machine_closed_element(
+    lattice: FiniteLattice, cl: LatticeClosure, safety, other
+) -> bool:
+    """The lattice-level condition (re-exported for the unified API)."""
+    return lattice_machine_closed(lattice, cl, safety, other)
+
+
+def canonical_pair(automaton: BuchiAutomaton):
+    """The (safety, liveness) pair of the canonical decomposition —
+    machine closed by Theorem 6's discussion, which the tests verify."""
+    from repro.buchi.decomposition import decompose
+
+    d = decompose(automaton)
+    return d.safety, d.liveness

@@ -1,0 +1,336 @@
+"""Büchi automata over infinite words.
+
+Matches the paper's Section 2.4 definition: ``B = (Σ, Q, q0, δ, F)`` with
+``δ : Q × Σ → P(Q)``; a run is accepting iff it visits ``F`` infinitely
+often; ``L(B)`` is the set of words with an accepting run.
+
+States may be any hashable objects (construction algorithms produce
+tuples/frozensets); :meth:`BuchiAutomaton.renumbered` maps them to small
+integers for readable output and faster hashing downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.omega.word import LassoWord, Symbol
+
+State = Hashable
+
+
+class AutomatonError(ValueError):
+    """Raised when automaton data is malformed."""
+
+
+@dataclass(frozen=True)
+class BuchiAutomaton:
+    """An immutable nondeterministic Büchi automaton."""
+
+    alphabet: frozenset
+    states: frozenset
+    initial: State
+    transitions: Mapping[tuple[State, Symbol], frozenset]
+    accepting: frozenset
+    name: str = field(default="B", compare=False)
+
+    def __post_init__(self):
+        if not self.alphabet:
+            raise AutomatonError("alphabet must be non-empty")
+        if self.initial not in self.states:
+            raise AutomatonError(f"initial state {self.initial!r} not in states")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be a subset of states")
+        for (q, a), targets in self.transitions.items():
+            if q not in self.states:
+                raise AutomatonError(f"transition from unknown state {q!r}")
+            if a not in self.alphabet:
+                raise AutomatonError(f"transition on unknown symbol {a!r}")
+            if not targets <= self.states:
+                raise AutomatonError(
+                    f"transition ({q!r}, {a!r}) targets unknown states"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        transitions: Mapping[tuple[State, Symbol], Iterable[State]],
+        accepting: Iterable[State],
+        name: str = "B",
+    ) -> "BuchiAutomaton":
+        """Convenience constructor that freezes all collections."""
+        return cls(
+            alphabet=frozenset(alphabet),
+            states=frozenset(states),
+            initial=initial,
+            transitions={
+                key: frozenset(targets) for key, targets in transitions.items()
+            },
+            accepting=frozenset(accepting),
+            name=name,
+        )
+
+    # -- basic queries ----------------------------------------------------------
+
+    def successors(self, q: State, a: Symbol) -> frozenset:
+        """``δ(q, a)`` (empty when no transition is defined)."""
+        return self.transitions.get((q, a), frozenset())
+
+    def post(self, subset: frozenset, a: Symbol) -> frozenset:
+        """The subset-construction step ``δ̂(S, a)``."""
+        out: set = set()
+        for q in subset:
+            out |= self.successors(q, a)
+        return frozenset(out)
+
+    def is_deterministic(self) -> bool:
+        """At most one successor per (state, symbol)."""
+        return all(len(t) <= 1 for t in self.transitions.values())
+
+    def is_complete(self) -> bool:
+        """At least one successor per (state, symbol)."""
+        return all(
+            self.successors(q, a) for q in self.states for a in self.alphabet
+        )
+
+    def transition_count(self) -> int:
+        return sum(len(t) for t in self.transitions.values())
+
+    # -- graph structure ----------------------------------------------------------
+
+    def edges(self) -> Iterable[tuple[State, Symbol, State]]:
+        for (q, a), targets in self.transitions.items():
+            for r in targets:
+                yield (q, a, r)
+
+    def reachable_states(self, start: State | None = None) -> frozenset:
+        """States reachable from ``start`` (default: the initial state)."""
+        start = self.initial if start is None else start
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            q = frontier.pop()
+            for a in self.alphabet:
+                for r in self.successors(q, a):
+                    if r not in seen:
+                        seen.add(r)
+                        frontier.append(r)
+        return frozenset(seen)
+
+    def strongly_connected_components(self) -> list[frozenset]:
+        """Tarjan's SCCs of the transition graph (symbols ignored)."""
+        adjacency: dict[State, set] = {q: set() for q in self.states}
+        for q, _a, r in self.edges():
+            adjacency[q].add(r)
+        return _tarjan(self.states, adjacency)
+
+    # -- acceptance on lasso words ----------------------------------------------
+
+    def accepts(self, word: LassoWord) -> bool:
+        """Whether ``word = u · v^ω ∈ L(B)``.
+
+        Standard lasso membership: track (state, cycle-position) pairs;
+        the word is accepted iff from some pair reachable after reading
+        ``u`` there is a reachable cycle through an accepting state in the
+        (state × position) graph.
+        """
+        if not word.symbols() <= self.alphabet:
+            raise AutomatonError(
+                f"word uses symbols outside the alphabet: "
+                f"{word.symbols() - self.alphabet!r}"
+            )
+        u, v = word.prefix, word.cycle
+        # states reachable after the transient part
+        current = frozenset({self.initial})
+        for a in u:
+            current = self.post(current, a)
+            if not current:
+                return False
+        # nodes of the cycle graph: (state, position in v)
+        nodes = set(product(self.states, range(len(v))))
+        adjacency: dict[tuple, set] = {n: set() for n in nodes}
+        for q, i in nodes:
+            for r in self.successors(q, v[i]):
+                adjacency[q, i].add((r, (i + 1) % len(v)))
+        start_nodes = {(q, 0) for q in current}
+        reachable = _graph_reachable(start_nodes, adjacency)
+        for component in _tarjan(reachable, adjacency):
+            if not any(q in self.accepting for q, _i in component):
+                continue
+            if _is_cyclic_component(component, adjacency):
+                return True
+        return False
+
+    def language(self):
+        """``L(B)`` as a semantic :class:`~repro.omega.language.OmegaLanguage`."""
+        from repro.omega.language import OmegaLanguage
+
+        return OmegaLanguage(self.alphabet, self.accepts, name=f"L({self.name})")
+
+    # -- transformations ---------------------------------------------------------
+
+    def with_accepting(self, accepting: Iterable[State]) -> "BuchiAutomaton":
+        return BuchiAutomaton(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial=self.initial,
+            transitions=dict(self.transitions),
+            accepting=frozenset(accepting),
+            name=self.name,
+        )
+
+    def restricted_to(self, keep: Iterable[State]) -> "BuchiAutomaton":
+        """The sub-automaton on ``keep`` (must contain the initial state)."""
+        keep = frozenset(keep)
+        if self.initial not in keep:
+            raise AutomatonError("cannot drop the initial state")
+        transitions = {
+            (q, a): targets & keep
+            for (q, a), targets in self.transitions.items()
+            if q in keep and targets & keep
+        }
+        return BuchiAutomaton(
+            alphabet=self.alphabet,
+            states=keep,
+            initial=self.initial,
+            transitions=transitions,
+            accepting=self.accepting & keep,
+            name=self.name,
+        )
+
+    def completed(self, sink: State = "⊥") -> "BuchiAutomaton":
+        """A complete automaton with the same language: missing transitions
+        go to a fresh non-accepting sink."""
+        if self.is_complete():
+            return self
+        while sink in self.states:
+            sink = (sink, "'")
+        states = self.states | {sink}
+        transitions: dict = {}
+        for q in states:
+            for a in self.alphabet:
+                targets = self.successors(q, a) if q in self.states else frozenset()
+                transitions[q, a] = targets if targets else frozenset({sink})
+        transitions.update(
+            {(sink, a): frozenset({sink}) for a in self.alphabet}
+        )
+        return BuchiAutomaton(
+            alphabet=self.alphabet,
+            states=states,
+            initial=self.initial,
+            transitions=transitions,
+            accepting=self.accepting,
+            name=self.name,
+        )
+
+    def renumbered(self, name: str | None = None) -> "BuchiAutomaton":
+        """An isomorphic copy with states ``0..n-1`` (BFS order from the
+        initial state, then the rest in repr order)."""
+        order: list[State] = [self.initial]
+        seen = {self.initial}
+        i = 0
+        while i < len(order):
+            q = order[i]
+            i += 1
+            for a in sorted(self.alphabet, key=repr):
+                for r in sorted(self.successors(q, a), key=repr):
+                    if r not in seen:
+                        seen.add(r)
+                        order.append(r)
+        order.extend(sorted(self.states - seen, key=repr))
+        index = {q: k for k, q in enumerate(order)}
+        return BuchiAutomaton(
+            alphabet=self.alphabet,
+            states=frozenset(range(len(order))),
+            initial=0,
+            transitions={
+                (index[q], a): frozenset(index[r] for r in targets)
+                for (q, a), targets in self.transitions.items()
+            },
+            accepting=frozenset(index[q] for q in self.accepting),
+            name=self.name if name is None else name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BuchiAutomaton({self.name!r}, |Q|={len(self.states)}, "
+            f"|δ|={self.transition_count()}, |F|={len(self.accepting)})"
+        )
+
+
+# -- shared graph helpers -------------------------------------------------------
+
+
+def _graph_reachable(start: Iterable, adjacency: Mapping) -> set:
+    seen = set(start)
+    frontier = list(seen)
+    while frontier:
+        n = frontier.pop()
+        for m in adjacency.get(n, ()):
+            if m not in seen:
+                seen.add(m)
+                frontier.append(m)
+    return seen
+
+
+def _tarjan(nodes: Iterable, adjacency: Mapping) -> list[frozenset]:
+    """Tarjan's strongly connected components, iterative."""
+    nodes = list(nodes)
+    index_of: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list[frozenset] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work = [(root, iter(adjacency.get(root, ())))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == node:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def _is_cyclic_component(component: frozenset, adjacency: Mapping) -> bool:
+    """Whether the SCC carries at least one edge (non-trivial, or a
+    self-loop)."""
+    if len(component) > 1:
+        return True
+    (node,) = component
+    return node in adjacency.get(node, ())

@@ -1,0 +1,101 @@
+"""The Alpern–Schneider closure operator on Büchi automata (§2.4).
+
+The paper: *"The operator first removes states that cannot reach an
+accepting state and then makes every remaining state an accepting state.
+In this way, the fairness condition is made trivial.  It can then be
+shown that applying this operator to B results in an automaton whose
+language is the lcl of the language of B."*
+
+This module implements that operator, the exact semantic ``lcl``
+membership test it is validated against, and the derived safety/liveness
+tests on automata.
+"""
+
+from __future__ import annotations
+
+from repro.omega.word import LassoWord
+
+from .automaton import BuchiAutomaton
+from .emptiness import empty_automaton, live_states
+
+
+def closure(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """``cl(B)``: trim states with empty language, make all states
+    accepting.  ``L(cl B) = lcl(L(B))``.
+
+    An automaton for ``∅`` is its own closure (``lcl.∅ = ∅`` — note this
+    means ``lcl`` happens to fix 0 here, though the lattice framework
+    never requires it).
+    """
+    keep = automaton.reachable_states() & live_states(automaton)
+    if automaton.initial not in keep:
+        return empty_automaton(automaton.alphabet, name=f"cl({automaton.name})")
+    trimmed = automaton.restricted_to(keep)
+    return trimmed.with_accepting(trimmed.states)
+
+
+def is_closure_automaton(automaton: BuchiAutomaton) -> bool:
+    """Structurally in the image of :func:`closure`: every state useful and
+    accepting.  Such automata are called *safety automata* — Schneider's
+    security automata are exactly these."""
+    return (
+        automaton.accepting == automaton.states
+        and automaton.reachable_states() == automaton.states
+        and live_states(automaton) == automaton.states
+    )
+
+
+def semantic_lcl_member(automaton: BuchiAutomaton, word: LassoWord) -> bool:
+    """Exact membership of ``word`` in ``lcl(L(B))`` straight from the
+    paper's definition: every finite prefix of ``word`` must extend to a
+    member of ``L(B)``.
+
+    A prefix ``x`` extends iff some state in ``δ̂(q0, x)`` has non-empty
+    language.  Along a lasso the subset sequence is eventually periodic,
+    so only finitely many prefixes need checking — we run the subset
+    construction until the (cycle-position, state-set) pair repeats.
+
+    This is the ground truth that :func:`closure` is tested against
+    (they must agree on every lasso).
+    """
+    live = live_states(automaton)
+    current = frozenset({automaton.initial})
+    if not current & live:
+        return False
+    for a in word.prefix:
+        current = automaton.post(current, a)
+        if not current & live:
+            return False
+    v = word.cycle
+    seen: set[tuple[int, frozenset]] = set()
+    position = 0
+    while (position, current) not in seen:
+        seen.add((position, current))
+        current = automaton.post(current, v[position])
+        position = (position + 1) % len(v)
+        if not current & live:
+            return False
+    return True
+
+
+def is_safety(automaton: BuchiAutomaton) -> bool:
+    """``L(B)`` is a safety property: ``L(B) = lcl(L(B))``.
+
+    ``L ⊆ lcl.L`` always holds, so this reduces to
+    ``L(cl B) ⊆ L(B)`` — an ordinary inclusion check.
+    """
+    from .inclusion import is_subset
+
+    return is_subset(closure(automaton), automaton)
+
+
+def is_liveness(automaton: BuchiAutomaton) -> bool:
+    """``L(B)`` is a liveness property: ``lcl(L(B)) = Σ^ω``.
+
+    Equivalently the complement of the (safety) closure automaton is
+    empty — cheap, because safety automata complement by subset
+    construction."""
+    from .complement import complement_safety
+    from .emptiness import is_empty
+
+    return is_empty(complement_safety(closure(automaton)))

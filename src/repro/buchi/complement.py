@@ -1,0 +1,228 @@
+"""Büchi complementation.
+
+Three constructions, from cheap to general:
+
+* :func:`complement_safety` — for safety automata (all states accepting):
+  determinize by subset construction; the complement accepts exactly the
+  words that eventually kill every run (reach the empty subset).  This is
+  the only complement the Theorem 2 decomposition itself needs (the
+  liveness automaton is ``B ∪ ¬cl(B)`` and ``cl(B)`` is always a safety
+  automaton).
+* :func:`complement_deterministic` — for deterministic (completed)
+  automata: the classical two-copy construction guessing the point after
+  which no accepting state occurs (the complement of a deterministic
+  Büchi language is Büchi-recognizable with 2n states).
+* :func:`complement` — general nondeterministic automata via Kupferman–
+  Vardi rank-based complementation (ranks bounded by ``2(n - |F|)``),
+  used by the exact language-inclusion checker on small automata.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from .automaton import BuchiAutomaton
+from .emptiness import trim, universal_automaton
+
+
+def complement_safety(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Complement of a *safety* automaton (every state accepting and
+    useful, e.g. anything produced by :func:`repro.buchi.closure.closure`).
+
+    For such automata, König's lemma gives ``w ∈ L`` iff every prefix of
+    ``w`` keeps the subset construction non-empty; so ``¬L`` = "the subset
+    run eventually dies", recognized by the subset automaton with an
+    accepting sink for the empty set.
+    """
+    if automaton.accepting != automaton.states:
+        from .emptiness import is_empty
+
+        if is_empty(automaton):
+            # e.g. the canonical ∅ automaton produced by closure/trim
+            return universal_automaton(automaton.alphabet, name=f"¬{automaton.name}")
+        raise ValueError(
+            "complement_safety requires a safety automaton "
+            "(all states accepting); use complement() instead"
+        )
+    dead = frozenset()
+    initial = frozenset({automaton.initial})
+    states: set[frozenset] = {initial, dead}
+    transitions: dict = {}
+    frontier = [initial]
+    while frontier:
+        subset = frontier.pop()
+        for a in automaton.alphabet:
+            target = automaton.post(subset, a)
+            transitions[subset, a] = frozenset({target})
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    for a in automaton.alphabet:
+        transitions[dead, a] = frozenset({dead})
+    return BuchiAutomaton(
+        alphabet=automaton.alphabet,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset({dead}),
+        name=f"¬{automaton.name}",
+    )
+
+
+def complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Complement of a deterministic automaton (completed first).
+
+    Copy 0 tracks the run; at any point the automaton may guess that no
+    further accepting state occurs and jump to copy 1, which excludes
+    accepting states.  Accepting = staying in copy 1 forever.
+    """
+    if not automaton.is_deterministic():
+        raise ValueError("complement_deterministic requires a deterministic automaton")
+    m = automaton.completed()
+    transitions: dict = {}
+    states: set = set()
+    for q in m.states:
+        states.add((0, q))
+        if q not in m.accepting:
+            states.add((1, q))
+    for (q, a), targets in m.transitions.items():
+        (r,) = targets
+        copy0 = {(0, r)}
+        if r not in m.accepting:
+            copy0.add((1, r))
+        transitions[(0, q), a] = frozenset(copy0)
+        if q not in m.accepting and r not in m.accepting:
+            transitions[(1, q), a] = frozenset({(1, r)})
+    return BuchiAutomaton(
+        alphabet=m.alphabet,
+        states=frozenset(states),
+        initial=(0, m.initial),
+        transitions=transitions,
+        accepting=frozenset(s for s in states if s[0] == 1),
+        name=f"¬{automaton.name}",
+    )
+
+
+def complement(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """General complementation, dispatching to the cheapest sound
+    construction: safety → subset, deterministic → two-copy, otherwise
+    rank-based (exponential — trim the input first and keep it small).
+    """
+    from .emptiness import is_empty
+    from .simulation import quotient_by_simulation
+
+    trimmed = trim(automaton)
+    if is_empty(trimmed):
+        return universal_automaton(automaton.alphabet, name=f"¬{automaton.name}")
+    if trimmed.accepting == trimmed.states:
+        return complement_safety(trimmed)
+    if automaton.is_deterministic():
+        return complement_deterministic(automaton)
+    # shrink as much as possible before the exponential construction
+    small = quotient_by_simulation(trimmed)
+    if small.is_deterministic():
+        return complement_deterministic(small)
+    return complement_rank_based(small)
+
+
+def complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Kupferman–Vardi rank-based complementation.
+
+    States are pairs ``(f, O)`` where ``f`` is a *level ranking* — a map
+    from automaton states to ranks in ``[0, 2(n - |F|)]`` with accepting
+    states ranked even — and ``O`` is the set of states "owing" a visit to
+    an odd rank.  A word is in the complement iff it admits an infinite
+    ranked run whose O-set empties infinitely often.
+    """
+    m = automaton
+    n = len(m.states)
+    max_rank = 2 * max(1, n - len(m.accepting))
+
+    def rankings_within(bound: dict):
+        """All level rankings g with g(q) <= bound[q] (accepting states
+        even) — enumerated directly inside the bounds, which shrink as
+        ranks decrease along the run."""
+        support = sorted(bound, key=repr)
+        choices = []
+        for q in support:
+            top = bound[q]
+            if q in m.accepting:
+                choices.append([r for r in range(top + 1) if r % 2 == 0])
+            else:
+                choices.append(list(range(top + 1)))
+        for combo in product(*choices):
+            yield dict(zip(support, combo))
+
+    def successors_of(f: dict, owing: frozenset, a):
+        support = frozenset(f)
+        # a successor ranking g must satisfy g(q') <= f(q) whenever
+        # q' ∈ δ(q, a); runs with no successor simply die (harmless)
+        bound: dict = {}
+        for q in support:
+            for r in m.successors(q, a):
+                bound[r] = min(bound.get(r, max_rank), f[q])
+        for g_combo in rankings_within(bound):
+            if owing:
+                new_owing = frozenset(
+                    r
+                    for q in owing
+                    for r in m.successors(q, a)
+                    if g_combo[r] % 2 == 0
+                )
+            else:
+                new_owing = frozenset(r for r in g_combo if g_combo[r] % 2 == 0)
+            yield (_freeze(g_combo), new_owing)
+
+    # One maximal initial ranking suffices: ranks only decrease along a
+    # run, so any accepting ranked run from a lower initial rank is also
+    # one from the maximal rank.
+    top_rank = max_rank if m.initial not in m.accepting else max_rank - (max_rank % 2)
+    initial_states = [(_freeze({m.initial: top_rank}), frozenset())]
+    # single fresh initial state simulating all initial rankings
+    init = ("init",)
+    states: set = {init}
+    transitions: dict = {}
+    frontier: list = []
+
+    def add_state(s):
+        if s not in states:
+            states.add(s)
+            frontier.append(s)
+
+    for a in m.alphabet:
+        targets = set()
+        for f0, o0 in initial_states:
+            for nxt in successors_of(dict(f0), o0, a):
+                targets.add(nxt)
+                add_state(nxt)
+        if targets:
+            transitions[init, a] = frozenset(targets)
+
+    while frontier:
+        s = frontier.pop()
+        f, owing = s
+        for a in m.alphabet:
+            targets = set()
+            for nxt in successors_of(dict(f), owing, a):
+                targets.add(nxt)
+            for nxt in targets:
+                add_state(nxt)
+            if targets:
+                transitions[s, a] = frozenset(targets)
+
+    accepting = frozenset(
+        s for s in states if s != init and not s[1]
+    )
+    result = BuchiAutomaton(
+        alphabet=m.alphabet,
+        states=frozenset(states),
+        initial=init,
+        transitions=transitions,
+        accepting=accepting,
+        name=f"¬{automaton.name}",
+    )
+    return trim(result)
+
+
+def _freeze(ranking: dict) -> tuple:
+    return tuple(sorted(ranking.items(), key=lambda kv: repr(kv[0])))

@@ -1,0 +1,138 @@
+"""Emptiness and witness extraction for Büchi automata.
+
+``L(B) ≠ ∅`` iff some accepting state lies on a cycle reachable from the
+initial state — decided via SCC analysis.  Non-emptiness comes with a
+constructive witness: a :class:`~repro.omega.word.LassoWord` in the
+language, which is how every extensional claim in this reproduction is
+cross-checked against the semantic (lasso-membership) layer.
+"""
+
+from __future__ import annotations
+
+from repro.omega.word import LassoWord
+
+from .automaton import BuchiAutomaton, State, _is_cyclic_component, _tarjan
+
+
+def live_states(automaton: BuchiAutomaton) -> frozenset:
+    """States ``q`` with ``L(B(q)) ≠ ∅`` — those that can reach a cyclic
+    SCC containing an accepting state.
+
+    This is exactly the state set the paper's closure operator keeps
+    ("first removes states that cannot reach an accepting state" — more
+    precisely, states whose language is empty; see §4.4's
+    ``Q' = {q | L(B(q)) ≠ ∅}``).
+    """
+    adjacency: dict[State, set] = {q: set() for q in automaton.states}
+    for q, _a, r in automaton.edges():
+        adjacency[q].add(r)
+    good_cores: set[State] = set()
+    for component in _tarjan(automaton.states, adjacency):
+        if component & automaton.accepting and _is_cyclic_component(
+            component, adjacency
+        ):
+            good_cores |= component
+    # backward reachability to the good cores
+    reverse: dict[State, set] = {q: set() for q in automaton.states}
+    for q, targets in adjacency.items():
+        for r in targets:
+            reverse[r].add(q)
+    result = set(good_cores)
+    frontier = list(good_cores)
+    while frontier:
+        q = frontier.pop()
+        for p in reverse[q]:
+            if p not in result:
+                result.add(p)
+                frontier.append(p)
+    return frozenset(result)
+
+
+def is_empty(automaton: BuchiAutomaton) -> bool:
+    """``L(B) = ∅``?"""
+    return automaton.initial not in live_states(automaton)
+
+
+def find_accepted_word(automaton: BuchiAutomaton) -> LassoWord | None:
+    """A lasso word in ``L(B)``, or ``None`` when the language is empty.
+
+    The witness is built from a shortest symbol-labeled path to an
+    accepting state on a reachable cycle, plus a shortest cycle back.
+    """
+    reachable = automaton.reachable_states()
+    live = live_states(automaton)
+    candidates = reachable & live & automaton.accepting
+    for target in sorted(candidates, key=repr):
+        prefix = _shortest_word(automaton, automaton.initial, target, allow_empty=True)
+        if prefix is None:
+            continue
+        cycle = _shortest_word(automaton, target, target, allow_empty=False)
+        if cycle is None:
+            continue
+        return LassoWord(prefix, cycle)
+    return None
+
+
+def trim(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Restrict to useful states: reachable and with non-empty language.
+
+    When the initial state itself is useless the result is a canonical
+    one-state automaton for ``∅`` over the same alphabet.
+    """
+    keep = automaton.reachable_states() & live_states(automaton)
+    if automaton.initial not in keep:
+        return empty_automaton(automaton.alphabet, name=automaton.name)
+    return automaton.restricted_to(keep)
+
+
+def empty_automaton(alphabet, name: str = "∅") -> BuchiAutomaton:
+    """A canonical automaton with ``L = ∅``."""
+    return BuchiAutomaton.build(
+        alphabet=alphabet,
+        states=["dead"],
+        initial="dead",
+        transitions={},
+        accepting=[],
+        name=name,
+    )
+
+
+def universal_automaton(alphabet, name: str = "Σ^ω") -> BuchiAutomaton:
+    """A canonical automaton with ``L = Σ^ω``."""
+    return BuchiAutomaton.build(
+        alphabet=alphabet,
+        states=["⊤"],
+        initial="⊤",
+        transitions={("⊤", a): ["⊤"] for a in alphabet},
+        accepting=["⊤"],
+        name=name,
+    )
+
+
+def _shortest_word(
+    automaton: BuchiAutomaton, source: State, target: State, allow_empty: bool
+) -> tuple | None:
+    """BFS for the shortest symbol sequence driving ``source`` to
+    ``target``; with ``allow_empty=False`` the sequence must be non-empty
+    (used for cycles)."""
+    if allow_empty and source == target:
+        return ()
+    seen = set()
+    queue: list[tuple[State, tuple]] = []
+    for a in sorted(automaton.alphabet, key=repr):
+        for r in sorted(automaton.successors(source, a), key=repr):
+            if r == target:
+                return (a,)
+            if r not in seen:
+                seen.add(r)
+                queue.append((r, (a,)))
+    while queue:
+        q, word = queue.pop(0)
+        for a in sorted(automaton.alphabet, key=repr):
+            for r in sorted(automaton.successors(q, a), key=repr):
+                if r == target:
+                    return word + (a,)
+                if r not in seen:
+                    seen.add(r)
+                    queue.append((r, word + (a,)))
+    return None

@@ -1,0 +1,182 @@
+"""Generalized Büchi automata (multiple acceptance sets).
+
+A GNBA accepts a word iff some run visits *every* acceptance set
+infinitely often — the natural output of tableau constructions and the
+natural home of conjunctions of fairness constraints.  This module
+provides the public datatype, lasso acceptance, and the counter
+degeneralization to plain Büchi (the same construction the LTL
+translator uses internally).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.omega.word import LassoWord, Symbol
+
+from .automaton import (
+    AutomatonError,
+    BuchiAutomaton,
+    State,
+    _is_cyclic_component,
+    _tarjan,
+)
+
+
+@dataclass(frozen=True)
+class GeneralizedBuchiAutomaton:
+    """An immutable GNBA; ``acceptance_sets`` may be empty (then every
+    infinite run is accepting)."""
+
+    alphabet: frozenset
+    states: frozenset
+    initial: State
+    transitions: Mapping[tuple[State, Symbol], frozenset]
+    acceptance_sets: tuple  # tuple[frozenset, ...]
+    name: str = field(default="G", compare=False)
+
+    def __post_init__(self):
+        if not self.alphabet:
+            raise AutomatonError("alphabet must be non-empty")
+        if self.initial not in self.states:
+            raise AutomatonError(f"initial state {self.initial!r} unknown")
+        for (q, a), targets in self.transitions.items():
+            if q not in self.states or not targets <= self.states:
+                raise AutomatonError(f"malformed transition ({q!r}, {a!r})")
+            if a not in self.alphabet:
+                raise AutomatonError(f"transition on unknown symbol {a!r}")
+        for fs in self.acceptance_sets:
+            if not fs <= self.states:
+                raise AutomatonError("acceptance sets must be state subsets")
+
+    @classmethod
+    def build(
+        cls,
+        alphabet: Iterable,
+        states: Iterable,
+        initial,
+        transitions: Mapping[tuple, Iterable],
+        acceptance_sets: Iterable[Iterable],
+        name: str = "G",
+    ) -> "GeneralizedBuchiAutomaton":
+        return cls(
+            alphabet=frozenset(alphabet),
+            states=frozenset(states),
+            initial=initial,
+            transitions={k: frozenset(v) for k, v in transitions.items()},
+            acceptance_sets=tuple(frozenset(f) for f in acceptance_sets),
+            name=name,
+        )
+
+    def successors(self, q: State, a: Symbol) -> frozenset:
+        return self.transitions.get((q, a), frozenset())
+
+    def accepts(self, word: LassoWord) -> bool:
+        """Lasso acceptance: a reachable cyclic SCC of the cycle graph
+        intersecting every acceptance set."""
+        if not word.symbols() <= self.alphabet:
+            raise AutomatonError("word uses symbols outside the alphabet")
+        current = frozenset({self.initial})
+        for a in word.prefix:
+            nxt: set = set()
+            for q in current:
+                nxt |= self.successors(q, a)
+            current = frozenset(nxt)
+            if not current:
+                return False
+        v = word.cycle
+        nodes = set(product(self.states, range(len(v))))
+        adjacency: dict = {n: set() for n in nodes}
+        for q, i in nodes:
+            for r in self.successors(q, v[i]):
+                adjacency[q, i].add((r, (i + 1) % len(v)))
+        reachable = set()
+        frontier = [(q, 0) for q in current]
+        reachable.update(frontier)
+        while frontier:
+            n = frontier.pop()
+            for m in adjacency[n]:
+                if m not in reachable:
+                    reachable.add(m)
+                    frontier.append(m)
+        for component in _tarjan(reachable, adjacency):
+            if not _is_cyclic_component(component, adjacency):
+                continue
+            component_states = {q for q, _i in component}
+            if all(component_states & fs for fs in self.acceptance_sets):
+                return True
+        return False
+
+    def degeneralized(self) -> BuchiAutomaton:
+        """The equivalent plain Büchi automaton (counter construction).
+
+        NBA states ``(q, i)`` await acceptance set ``i``; the counter
+        advances when the source state lies in set ``i``; accepting =
+        counter 0 and state in set 0.
+        """
+        sets = self.acceptance_sets or (frozenset(self.states),)
+        k = len(sets)
+
+        def step(source, i: int) -> int:
+            return (i + 1) % k if source in sets[i] else i
+
+        states = {(q, i) for q in self.states for i in range(k)}
+        transitions: dict = {}
+        for (q, a), targets in self.transitions.items():
+            for i in range(k):
+                nxt = step(q, i)
+                transitions[(q, i), a] = frozenset((t, nxt) for t in targets)
+        accepting = frozenset(
+            (q, 0) for q in self.states if q in sets[0]
+        )
+        return BuchiAutomaton(
+            alphabet=self.alphabet,
+            states=frozenset(states),
+            initial=(self.initial, 0),
+            transitions=transitions,
+            accepting=accepting,
+            name=f"deg({self.name})",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedBuchiAutomaton({self.name!r}, |Q|={len(self.states)}, "
+            f"k={len(self.acceptance_sets)})"
+        )
+
+
+def fairness_intersection(
+    automata: Iterable[BuchiAutomaton], name: str = "fair"
+) -> GeneralizedBuchiAutomaton:
+    """The synchronous product of several Büchi automata as a GNBA with
+    one acceptance set per factor — the textbook use of generalized
+    acceptance (conjunctions of fairness constraints without the
+    counter blow-up until the very end)."""
+    automata = list(automata)
+    if not automata:
+        raise AutomatonError("need at least one automaton")
+    alphabet = automata[0].alphabet
+    for m in automata[1:]:
+        if m.alphabet != alphabet:
+            raise AutomatonError("alphabet mismatch")
+    states = set(product(*[m.states for m in automata]))
+    transitions: dict = {}
+    for joint in states:
+        for a in alphabet:
+            target_sets = [m.successors(q, a) for m, q in zip(automata, joint)]
+            if all(target_sets):
+                transitions[joint, a] = frozenset(product(*target_sets))
+    acceptance_sets = [
+        frozenset(j for j in states if j[i] in automata[i].accepting)
+        for i in range(len(automata))
+    ]
+    return GeneralizedBuchiAutomaton(
+        alphabet=alphabet,
+        states=frozenset(states),
+        initial=tuple(m.initial for m in automata),
+        transitions=transitions,
+        acceptance_sets=tuple(acceptance_sets),
+        name=name,
+    )

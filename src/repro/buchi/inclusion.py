@@ -1,0 +1,66 @@
+"""Language inclusion and equivalence for Büchi automata.
+
+``L(A) ⊆ L(B)`` iff ``L(A) ∩ ¬L(B) = ∅``; the complement dispatches to
+the cheapest sound construction (:mod:`repro.buchi.complement`).
+Counterexamples come back as lasso words, so every "not included" verdict
+is independently checkable against the semantic layer.
+"""
+
+from __future__ import annotations
+
+from repro.omega.word import LassoWord
+
+from .automaton import BuchiAutomaton
+from .complement import complement
+from .emptiness import find_accepted_word, is_empty, trim
+from .operations import intersection
+from .simulation import quotient_by_simulation
+
+
+def _prepare(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Shrink before complementing: trim useless states, then quotient by
+    direct simulation (language-preserving)."""
+    return quotient_by_simulation(trim(automaton))
+
+
+def inclusion_counterexample(
+    a: BuchiAutomaton, b: BuchiAutomaton
+) -> LassoWord | None:
+    """A word in ``L(a) \\ L(b)``, or ``None`` when ``L(a) ⊆ L(b)``."""
+    small_a = _prepare(a)
+    small_b = _prepare(b)
+    gap = intersection(small_a, complement(small_b))
+    witness = find_accepted_word(gap)
+    if witness is None:
+        return None
+    # cross-check the witness on the original automata (defense in depth:
+    # a bug in complementation would surface here, not silently)
+    assert a.accepts(witness) and not b.accepts(witness), (
+        "inclusion counterexample failed semantic cross-check"
+    )
+    return witness
+
+
+def is_subset(a: BuchiAutomaton, b: BuchiAutomaton) -> bool:
+    """``L(a) ⊆ L(b)``, exactly."""
+    return inclusion_counterexample(a, b) is None
+
+
+def are_equivalent(a: BuchiAutomaton, b: BuchiAutomaton) -> bool:
+    """``L(a) = L(b)``, exactly."""
+    return is_subset(a, b) and is_subset(b, a)
+
+
+def equivalence_counterexample(
+    a: BuchiAutomaton, b: BuchiAutomaton
+) -> LassoWord | None:
+    """A word on which the two languages differ, or ``None``."""
+    witness = inclusion_counterexample(a, b)
+    if witness is not None:
+        return witness
+    return inclusion_counterexample(b, a)
+
+
+def is_universal(automaton: BuchiAutomaton) -> bool:
+    """``L(B) = Σ^ω``, exactly."""
+    return is_empty(complement(_prepare(automaton)))

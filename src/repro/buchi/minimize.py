@@ -1,0 +1,109 @@
+"""Minimization of good-prefix DFAs (Hopcroft-style partition refinement).
+
+The enforcement monitors and bad-prefix analyses run a deterministic
+subset automaton whose states are sets of Büchi states; minimizing it
+gives the canonical (smallest) monitor for the safety property — and,
+because minimal DFAs are unique up to isomorphism, a *canonical form*
+for safety languages that the tests use to compare closures
+structurally rather than just extensionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .safety import GoodPrefixDfa
+
+
+@dataclass(frozen=True)
+class MinimalMonitorDfa:
+    """A minimized good-prefix DFA; states are opaque ints, state 0 is
+    initial; ``dead`` is ``None`` when the language is live (no bad
+    prefix at all)."""
+
+    alphabet: frozenset
+    n_states: int
+    initial: int
+    transitions: dict  # (int, symbol) -> int
+    dead: int | None
+
+    def run(self, word) -> int:
+        current = self.initial
+        for symbol in word:
+            current = self.transitions[current, symbol]
+        return current
+
+    def accepts_good(self, word) -> bool:
+        return self.run(word) != self.dead
+
+
+def minimize_good_prefix_dfa(dfa: GoodPrefixDfa) -> MinimalMonitorDfa:
+    """Partition-refinement minimization.
+
+    Initial partition: {dead} vs the rest (acceptance = "still good");
+    refine until transitions respect blocks.  Unreachable subsets are
+    dropped first.
+    """
+    # reachable states only
+    reachable = {dfa.initial}
+    frontier = [dfa.initial]
+    while frontier:
+        s = frontier.pop()
+        for a in dfa.alphabet:
+            t = dfa.transitions[s, a]
+            if t not in reachable:
+                reachable.add(t)
+                frontier.append(t)
+
+    dead_states = {s for s in reachable if not s}
+    good_states = reachable - dead_states
+    blocks = [b for b in (good_states, dead_states) if b]
+
+    symbols = sorted(dfa.alphabet, key=repr)
+    changed = True
+    while changed:
+        changed = False
+        block_of = {}
+        for i, block in enumerate(blocks):
+            for s in block:
+                block_of[s] = i
+        new_blocks = []
+        for block in blocks:
+            buckets: dict = {}
+            for s in block:
+                signature = tuple(
+                    block_of[dfa.transitions[s, a]] for a in symbols
+                )
+                buckets.setdefault(signature, set()).add(s)
+            if len(buckets) > 1:
+                changed = True
+            new_blocks.extend(buckets.values())
+        blocks = new_blocks
+
+    block_of = {}
+    for i, block in enumerate(blocks):
+        for s in block:
+            block_of[s] = i
+    # renumber with the initial block first for a canonical presentation
+    order = [block_of[dfa.initial]]
+    for i in range(len(blocks)):
+        if i not in order:
+            order.append(i)
+    renumber = {old: new for new, old in enumerate(order)}
+
+    transitions = {}
+    for i, block in enumerate(blocks):
+        representative = next(iter(block))
+        for a in symbols:
+            target = block_of[dfa.transitions[representative, a]]
+            transitions[renumber[i], a] = renumber[target]
+    dead = None
+    if dead_states:
+        dead = renumber[block_of[next(iter(dead_states))]]
+    return MinimalMonitorDfa(
+        alphabet=dfa.alphabet,
+        n_states=len(blocks),
+        initial=0,
+        transitions=transitions,
+        dead=dead,
+    )

@@ -1,0 +1,186 @@
+"""Boolean operations (union, intersection) and small constructors.
+
+Closure of Büchi-definable languages under union, intersection (this
+module) and complementation (:mod:`repro.buchi.complement`) is what makes
+them a Boolean algebra — the lattice on which the paper's Theorem 2 is
+instantiated in Section 2.4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.omega.word import LassoWord, Symbol
+
+from .automaton import AutomatonError, BuchiAutomaton, State
+
+
+def _check_alphabets(a: BuchiAutomaton, b: BuchiAutomaton) -> None:
+    if a.alphabet != b.alphabet:
+        raise AutomatonError(
+            f"alphabet mismatch: {sorted(map(str, a.alphabet))} vs "
+            f"{sorted(map(str, b.alphabet))}"
+        )
+
+
+def union(a: BuchiAutomaton, b: BuchiAutomaton, name: str | None = None) -> BuchiAutomaton:
+    """``L(a) ∪ L(b)`` — disjoint copies plus a fresh initial state whose
+    transitions simulate both original initial states."""
+    _check_alphabets(a, b)
+    states: set = {("∪", None)}
+    transitions: dict = {}
+    accepting: set = set()
+
+    for tag, m in (("l", a), ("r", b)):
+        for q in m.states:
+            states.add((tag, q))
+        for (q, sym), targets in m.transitions.items():
+            transitions[(tag, q), sym] = frozenset((tag, r) for r in targets)
+        accepting |= {(tag, q) for q in m.accepting}
+
+    initial = ("∪", None)
+    for sym in a.alphabet:
+        both = frozenset(("l", r) for r in a.successors(a.initial, sym)) | frozenset(
+            ("r", r) for r in b.successors(b.initial, sym)
+        )
+        if both:
+            transitions[initial, sym] = both
+    # The fresh initial state must be accepting iff either original initial
+    # state could begin an accepting run that revisits it — but since the
+    # fresh state has no incoming edges, its acceptance flag never affects
+    # any infinite run; leave it non-accepting.
+    return BuchiAutomaton(
+        alphabet=a.alphabet,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset(accepting),
+        name=name or f"({a.name} ∪ {b.name})",
+    )
+
+
+def intersection(
+    a: BuchiAutomaton, b: BuchiAutomaton, name: str | None = None
+) -> BuchiAutomaton:
+    """``L(a) ∩ L(b)`` via the standard two-phase product.
+
+    Phase 0 waits for ``a`` to accept, phase 1 for ``b``; the product
+    accepts when phase flips through (accepting of ``a`` seen, then of
+    ``b``) infinitely often.
+    """
+    _check_alphabets(a, b)
+    states = {
+        (p, q, phase) for p in a.states for q in b.states for phase in (0, 1)
+    }
+    transitions: dict = {}
+    for p, q, phase in states:
+        for sym in a.alphabet:
+            targets = set()
+            for pn in a.successors(p, sym):
+                for qn in b.successors(q, sym):
+                    if phase == 0:
+                        next_phase = 1 if p in a.accepting else 0
+                    else:
+                        next_phase = 0 if q in b.accepting else 1
+                    targets.add((pn, qn, next_phase))
+            if targets:
+                transitions[(p, q, phase), sym] = frozenset(targets)
+    # acceptance: phase 1 with b accepting — the 1 -> 0 flip, which happens
+    # infinitely often exactly when both automata accept infinitely often
+    accepting = frozenset((p, q, 1) for p in a.states for q in b.accepting)
+    return BuchiAutomaton(
+        alphabet=a.alphabet,
+        states=frozenset(states),
+        initial=(a.initial, b.initial, 0),
+        transitions=transitions,
+        accepting=accepting,
+        name=name or f"({a.name} ∩ {b.name})",
+    )
+
+
+def intersect_many(automata: Sequence[BuchiAutomaton]) -> BuchiAutomaton:
+    """Left fold of :func:`intersection` over one or more automata."""
+    if not automata:
+        raise AutomatonError("need at least one automaton")
+    result = automata[0]
+    for m in automata[1:]:
+        result = intersection(result, m)
+    return result
+
+
+def single_word_automaton(
+    alphabet: Iterable[Symbol], word: LassoWord, name: str | None = None
+) -> BuchiAutomaton:
+    """The automaton accepting exactly ``{u · v^ω}``."""
+    alphabet = frozenset(alphabet)
+    u, v = word.prefix, word.cycle
+    states = [("u", i) for i in range(len(u))] + [("v", i) for i in range(len(v))]
+    transitions: dict = {}
+    for i, sym in enumerate(u):
+        nxt = ("u", i + 1) if i + 1 < len(u) else ("v", 0)
+        transitions[("u", i), sym] = frozenset({nxt})
+    for i, sym in enumerate(v):
+        nxt = ("v", (i + 1) % len(v))
+        transitions[("v", i), sym] = frozenset({nxt})
+    initial = ("u", 0) if u else ("v", 0)
+    return BuchiAutomaton(
+        alphabet=alphabet,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset({("v", 0)}),
+        name=name or f"word({word!r})",
+    )
+
+
+def suffix_language_automaton(automaton: BuchiAutomaton, state: State) -> BuchiAutomaton:
+    """``B(q)`` — the same automaton started at ``state`` (paper §4.4
+    notation, equally useful for word automata)."""
+    if state not in automaton.states:
+        raise AutomatonError(f"{state!r} is not a state")
+    return BuchiAutomaton(
+        alphabet=automaton.alphabet,
+        states=automaton.states,
+        initial=state,
+        transitions=dict(automaton.transitions),
+        accepting=automaton.accepting,
+        name=f"{automaton.name}({state!r})",
+    )
+
+
+def finite_prefix_automaton(
+    alphabet: Iterable[Symbol], prefixes: Iterable[Sequence[Symbol]], name: str = "pfx"
+) -> BuchiAutomaton:
+    """The safety automaton for "the word starts with one of ``prefixes``"
+    (then anything): a trie over the prefixes with a universal tail.
+
+    A convenient source of safety languages for tests and benchmarks.
+    """
+    alphabet = frozenset(alphabet)
+    prefix_list = [tuple(p) for p in prefixes]
+    trie_nodes = {()}
+    for p in prefix_list:
+        for i in range(len(p) + 1):
+            trie_nodes.add(p[: i])
+    transitions: dict = {}
+    done = "✓"
+    for node in trie_nodes:
+        if node in prefix_list:
+            continue
+        for a in alphabet:
+            nxt = node + (a,)
+            if nxt in trie_nodes:
+                target = done if nxt in prefix_list else nxt
+                transitions[node, a] = frozenset({target})
+    for a in alphabet:
+        transitions[done, a] = frozenset({done})
+    states = {n for n in trie_nodes if n not in prefix_list} | {done}
+    initial = done if () in prefix_list else ()
+    return BuchiAutomaton(
+        alphabet=alphabet,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset(states),
+        name=name,
+    )

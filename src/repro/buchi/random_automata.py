@@ -1,0 +1,55 @@
+"""Seeded random Büchi automata for tests and benchmark sweeps."""
+
+from __future__ import annotations
+
+import random as _random
+from collections.abc import Iterable
+
+from .automaton import BuchiAutomaton
+
+
+def random_automaton(
+    rng: _random.Random,
+    n_states: int,
+    alphabet: Iterable = ("a", "b"),
+    transition_density: float = 1.2,
+    acceptance_density: float = 0.3,
+    name: str = "R",
+) -> BuchiAutomaton:
+    """A random NBA in the Tabakov–Vardi style: ``transition_density * n``
+    transitions per symbol (rounded), each state accepting with
+    probability ``acceptance_density`` (at least one accepting state)."""
+    if n_states < 1:
+        raise ValueError("need at least one state")
+    alphabet = tuple(alphabet)
+    states = list(range(n_states))
+    transitions: dict = {}
+    per_symbol = max(1, round(transition_density * n_states))
+    for a in alphabet:
+        chosen = set()
+        for _ in range(per_symbol):
+            chosen.add((rng.choice(states), rng.choice(states)))
+        for q, r in chosen:
+            key = (q, a)
+            transitions[key] = transitions.get(key, frozenset()) | {r}
+    accepting = {q for q in states if rng.random() < acceptance_density}
+    if not accepting:
+        accepting = {rng.choice(states)}
+    return BuchiAutomaton(
+        alphabet=frozenset(alphabet),
+        states=frozenset(states),
+        initial=0,
+        transitions=transitions,
+        accepting=frozenset(accepting),
+        name=name,
+    )
+
+
+def random_lasso(rng: _random.Random, alphabet: Iterable, max_prefix: int = 3, max_cycle: int = 4):
+    """A random lasso word over ``alphabet``."""
+    from repro.omega.word import LassoWord
+
+    alphabet = tuple(alphabet)
+    prefix = [rng.choice(alphabet) for _ in range(rng.randint(0, max_prefix))]
+    cycle = [rng.choice(alphabet) for _ in range(rng.randint(1, max_cycle))]
+    return LassoWord(prefix, cycle)

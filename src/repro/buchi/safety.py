@@ -1,0 +1,136 @@
+"""Bad-prefix analysis for safety languages.
+
+Alpern–Schneider's safety = "every violation has a finite witness": a
+*bad prefix* is a finite word none of whose extensions lie in the
+language.  This module makes bad prefixes first-class:
+
+* :func:`good_prefix_dfa` — the deterministic finite-word automaton of
+  *good* (extendable) prefixes, i.e. the subset construction over the
+  closure's live states; its dead state marks exactly the bad prefixes;
+* :func:`is_bad_prefix` / :func:`shortest_bad_prefix`;
+* :func:`minimal_bad_prefixes` — enumerate the minimal violation
+  witnesses up to a length bound (every bad prefix extends a minimal
+  one), the artifacts safety model checking and enforcement both
+  report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from .automaton import BuchiAutomaton
+from .emptiness import live_states
+
+
+@dataclass(frozen=True)
+class GoodPrefixDfa:
+    """A DFA over finite words: state = live subset; the empty subset is
+    the (unique, absorbing) dead state recognizing bad prefixes."""
+
+    alphabet: frozenset
+    states: frozenset  # frozensets of automaton states
+    initial: frozenset
+    transitions: dict  # (subset, symbol) -> subset
+
+    @property
+    def dead(self) -> frozenset:
+        return frozenset()
+
+    def run(self, word: Sequence) -> frozenset:
+        current = self.initial
+        for symbol in word:
+            current = self.transitions[current, symbol]
+        return current
+
+    def accepts_good(self, word: Sequence) -> bool:
+        """True when ``word`` is a good (still extendable) prefix."""
+        return bool(self.run(word))
+
+
+def good_prefix_dfa(automaton: BuchiAutomaton) -> GoodPrefixDfa:
+    """The prefix DFA of ``lcl(L(B))`` — good prefixes of ``L(B)``."""
+    live = live_states(automaton)
+    initial = frozenset({automaton.initial}) & live
+    states = {initial, frozenset()}
+    transitions: dict = {}
+    frontier = [initial]
+    while frontier:
+        subset = frontier.pop()
+        for a in automaton.alphabet:
+            target = automaton.post(subset, a) & live
+            transitions[subset, a] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    for a in automaton.alphabet:
+        transitions[frozenset(), a] = frozenset()
+    return GoodPrefixDfa(
+        alphabet=automaton.alphabet,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+    )
+
+
+def is_bad_prefix(automaton: BuchiAutomaton, word: Sequence) -> bool:
+    """No extension of ``word`` lies in ``L(B)``."""
+    return not good_prefix_dfa(automaton).accepts_good(word)
+
+
+def shortest_bad_prefix(automaton: BuchiAutomaton) -> tuple | None:
+    """A shortest bad prefix, or ``None`` when the language is live
+    (liveness = no bad prefixes at all — the RV-side characterization)."""
+    dfa = good_prefix_dfa(automaton)
+    if not dfa.initial:
+        return ()
+    parent: dict = {dfa.initial: None}
+    queue = [dfa.initial]
+    symbols = sorted(dfa.alphabet, key=repr)
+    while queue:
+        subset = queue.pop(0)
+        for a in symbols:
+            target = dfa.transitions[subset, a]
+            if not target:
+                word = [a]
+                node = subset
+                while parent[node] is not None:
+                    node, symbol = parent[node]
+                    word.append(symbol)
+                word.reverse()
+                return tuple(word)
+            if target not in parent:
+                parent[target] = (subset, a)
+                queue.append(target)
+    return None
+
+
+def minimal_bad_prefixes(
+    automaton: BuchiAutomaton, max_length: int
+) -> Iterator[tuple]:
+    """All minimal bad prefixes up to ``max_length``: bad words whose
+    every proper prefix is good.  In the DFA these are exactly the words
+    whose run dies on the last symbol."""
+    dfa = good_prefix_dfa(automaton)
+    symbols = sorted(dfa.alphabet, key=repr)
+    if not dfa.initial:
+        yield ()
+        return
+
+    def explore(subset: frozenset, word: tuple):
+        if len(word) >= max_length:
+            return
+        for a in symbols:
+            target = dfa.transitions[subset, a]
+            if not target:
+                yield word + (a,)
+            else:
+                yield from explore(target, word + (a,))
+
+    yield from explore(dfa.initial, ())
+
+
+def safety_automaton_has_no_bad_prefix(automaton: BuchiAutomaton) -> bool:
+    """``lcl(L(B)) = Σ^ω`` iff the prefix DFA never dies — the liveness
+    test, restated over finite words."""
+    return shortest_bad_prefix(automaton) is None

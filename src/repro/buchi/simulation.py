@@ -1,0 +1,82 @@
+"""Direct (strong) simulation on Büchi automata, and quotienting.
+
+Direct simulation ``p ⊑ q`` requires: if ``p`` is accepting then so is
+``q``, and every move of ``p`` can be matched by ``q`` into the
+relation.  Quotienting by mutual direct simulation preserves the language
+and shrinks automata before the exponential complementation step —
+the standard engineering move that keeps exact inclusion checks feasible.
+"""
+
+from __future__ import annotations
+
+from .automaton import BuchiAutomaton, State
+
+
+def direct_simulation(automaton: BuchiAutomaton) -> set[tuple[State, State]]:
+    """The largest direct-simulation relation, as a set of pairs
+    ``(p, q)`` meaning ``q`` simulates ``p``.  Greatest-fixpoint refinement.
+    """
+    states = list(automaton.states)
+    relation = {
+        (p, q)
+        for p in states
+        for q in states
+        if (p not in automaton.accepting) or (q in automaton.accepting)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for p, q in list(relation):
+            if _violates(automaton, p, q, relation):
+                relation.discard((p, q))
+                changed = True
+    return relation
+
+
+def _violates(automaton: BuchiAutomaton, p: State, q: State, relation) -> bool:
+    for a in automaton.alphabet:
+        for pn in automaton.successors(p, a):
+            if not any(
+                (pn, qn) in relation for qn in automaton.successors(q, a)
+            ):
+                return True
+    return False
+
+
+def quotient_by_simulation(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Merge states that mutually direct-simulate each other.
+
+    Mutual direct simulation is a congruence for the Büchi language, so
+    the quotient recognizes exactly ``L(B)``.
+    """
+    relation = direct_simulation(automaton)
+    # union-find over mutually similar states
+    representative: dict[State, State] = {}
+    ordered = sorted(automaton.states, key=repr)
+    for q in ordered:
+        for p in ordered:
+            if (p, q) in relation and (q, p) in relation:
+                representative[q] = representative.get(p, p)
+                break
+        representative.setdefault(q, q)
+
+    def rep(q: State) -> State:
+        return representative[q]
+
+    states = frozenset(rep(q) for q in automaton.states)
+    transitions: dict = {}
+    for (q, a), targets in automaton.transitions.items():
+        key = (rep(q), a)
+        merged = transitions.get(key, frozenset()) | frozenset(
+            rep(r) for r in targets
+        )
+        transitions[key] = merged
+    accepting = frozenset(rep(q) for q in automaton.accepting)
+    return BuchiAutomaton(
+        alphabet=automaton.alphabet,
+        states=states,
+        initial=rep(automaton.initial),
+        transitions=transitions,
+        accepting=accepting,
+        name=automaton.name,
+    )

@@ -1,0 +1,211 @@
+"""The paper's §4.3 branching-time examples q0–q6 and the machinery to
+machine-check every closure fact stated there.
+
+The properties, over Σ = {a, b} (with "¬a" realized as "b"):
+
+=====  ==========================================  ========================
+id     informal                                    CTL / CTL*
+=====  ==========================================  ========================
+q0     false                                       ``false``
+q1     root is a                                   ``a``
+q2     root is not a                               ``¬a``
+q3a    root a, on every path some node differs      ``a ∧ AF ¬a``
+q3b    root a, on some path some node differs       ``a ∧ EF ¬a``
+q4a    on every path finitely many a's              ``A(FG ¬a)``
+q4b    on some path finitely many a's               ``E(FG ¬a)``
+q5a    on every path infinitely many a's            ``A(GF a)``
+q5b    on some path infinitely many a's             ``E(GF a)``
+q6     true                                        ``true``
+=====  ==========================================  ========================
+
+The paper's §4.3 facts are verified here with *certificates*:
+
+* equalities like ``fcl.q3a = q1`` via per-formula prefix-extension
+  oracles (a finite prefix extends into q3a iff its root is ``a`` —
+  justified by an explicit completion construction that the tests
+  model-check), and
+* inequalities like ``ncl.q3a ≠ q1`` via the paper's own witness — a
+  non-total prefix that freezes an all-``a`` path into every extension
+  (checked with the LTL evaluator on the frozen path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trees.closures import (
+    PartialRegularPrefix,
+    fcl_member_bounded,
+    frozen_path_word,
+)
+from repro.trees.regular import RegularTree
+from repro.trees.tree import FiniteTree
+
+from .modelcheck import holds_on_tree
+from .syntax import (
+    AF,
+    AFG,
+    AGF,
+    CAnd,
+    CFALSE,
+    CNot,
+    CTRUE,
+    EF,
+    EFG,
+    EGF,
+    StateFormula,
+    csym,
+)
+
+
+@dataclass(frozen=True)
+class QExample:
+    identifier: str
+    informal: str
+    formula: StateFormula
+
+
+def q_examples(a: str = "a") -> list[QExample]:
+    atom_a = csym(a)
+    not_a = CNot(atom_a)
+    return [
+        QExample("q0", "false", CFALSE),
+        QExample("q1", "root is a", atom_a),
+        QExample("q2", "root is not a", not_a),
+        QExample("q3a", "root a; on every path some node differs", CAnd(atom_a, AF(not_a))),
+        QExample("q3b", "root a; on some path some node differs", CAnd(atom_a, EF(not_a))),
+        QExample("q4a", "on every path finitely many a's", AFG(not_a)),
+        QExample("q4b", "on some path finitely many a's", EFG(not_a)),
+        QExample("q5a", "on every path infinitely many a's", AGF(atom_a)),
+        QExample("q5b", "on some path infinitely many a's", EGF(atom_a)),
+        QExample("q6", "true", CTRUE),
+    ]
+
+
+# -- sample universe of regular binary trees --------------------------------------
+
+
+def sample_trees() -> dict[str, RegularTree]:
+    """A small zoo of binary regular trees over {a, b} exercising every
+    distinction the §4.3 table draws."""
+    all_a = RegularTree.constant("a", 2)
+    all_b = RegularTree.constant("b", 2)
+    # root a, left subtree all a, right subtree all b (the paper's
+    # recurring two-path witness shape)
+    split = RegularTree(
+        {"r": "a", "A": "a", "B": "b"},
+        {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+        "r",
+    )
+    # alternating a/b on every path
+    alternating = RegularTree(
+        {"x": "a", "y": "b"}, {"x": ("y", "y"), "y": ("x", "x")}, "x"
+    )
+    # root b then all a
+    b_then_a = RegularTree(
+        {"r": "b", "A": "a"}, {"r": ("A", "A"), "A": ("A", "A")}, "r"
+    )
+    # root a then all b
+    a_then_b = RegularTree(
+        {"r": "a", "B": "b"}, {"r": ("B", "B"), "B": ("B", "B")}, "r"
+    )
+    return {
+        "all_a": all_a,
+        "all_b": all_b,
+        "split": split,
+        "alternating": alternating,
+        "b_then_a": b_then_a,
+        "a_then_b": a_then_b,
+    }
+
+
+def complete_with_constant(prefix: FiniteTree, symbol, k: int) -> RegularTree:
+    """A total regular tree extending ``prefix`` with ``symbol``
+    everywhere below its leaves — the completion used to certify
+    prefix-extendability claims."""
+    sink = ("sink",)
+    labels: dict = {sink: symbol}
+    successors: dict = {sink: (sink,) * k}
+    for node, label in prefix.items():
+        labels[node] = label
+        children = prefix.children(node)
+        if children:
+            if len(children) != k:
+                raise ValueError(
+                    f"prefix node {node!r} has {len(children)} children; "
+                    f"needs 0 or {k}"
+                )
+            successors[node] = tuple(sorted(children))
+        else:
+            successors[node] = (sink,) * k
+    return RegularTree(labels, successors, ())
+
+
+# -- per-formula prefix-extension oracles --------------------------------------
+
+
+def extension_oracle(identifier: str):
+    """"Does finite prefix ``x`` extend to a total tree in q<identifier>?"
+
+    Each oracle returns (answer, certificate) where the certificate is a
+    completing :class:`RegularTree` for positive answers (tests
+    model-check it) and ``None`` otherwise.  Only the oracles needed by
+    the §4.3 facts are provided.
+    """
+    examples = {e.identifier: e for e in q_examples()}
+
+    def check(tree: RegularTree, identifier: str) -> bool:
+        return holds_on_tree(tree, examples[identifier].formula)
+
+    def oracle(x: FiniteTree):
+        root = x.label(())
+        if identifier == "q0":
+            return (False, None)
+        if identifier == "q6":
+            z = complete_with_constant(x, "a", 2)
+            return (True, z)
+        if identifier in ("q1", "q2"):
+            wanted = root == "a" if identifier == "q1" else root != "a"
+            if not wanted:
+                return (False, None)
+            z = complete_with_constant(x, "b", 2)
+            return (True, z) if check(z, identifier) else (False, None)
+        if identifier in ("q3a", "q3b"):
+            if root != "a":
+                return (False, None)
+            z = complete_with_constant(x, "b", 2)
+            return (True, z) if check(z, identifier) else (False, None)
+        if identifier in ("q4a", "q4b"):
+            z = complete_with_constant(x, "b", 2)
+            return (True, z) if check(z, identifier) else (False, None)
+        if identifier in ("q5a", "q5b"):
+            z = complete_with_constant(x, "a", 2)
+            return (True, z) if check(z, identifier) else (False, None)
+        raise KeyError(identifier)
+
+    return oracle
+
+
+def bounded_fcl_member(tree: RegularTree, identifier: str, depth: int = 3) -> bool:
+    """Bounded ``fcl.q<identifier>`` membership for a regular tree, via
+    the certified extension oracle."""
+    oracle = extension_oracle(identifier)
+    return fcl_member_bounded(tree, lambda x: oracle(x)[0], depth)
+
+
+# -- the paper's ncl counterexample ------------------------------------------------
+
+
+def two_path_witness() -> tuple[PartialRegularPrefix, object]:
+    """The §4.3 witness: the non-total prefix of the `split` tree keeping
+    the all-``a`` path infinite (direction 0) and cutting the sibling.
+
+    Returns the prefix and the frozen path's label word (``a^ω``) —
+    every total extension contains that path, so it violates ``AF ¬a``,
+    ``A(FG ¬a)`` and ``A(GF ¬a)``-style universal path demands; hence
+    the `split` tree is *not* in ``ncl.q3a`` / ``ncl.q4a`` / ``ncl.q5a``
+    even though it *is* in their ``fcl``-closures.
+    """
+    split = sample_trees()["split"]
+    witness = PartialRegularPrefix.cut_except_branch(split, (0,), keep_depth=1)
+    return witness, frozen_path_word(witness, (0,))

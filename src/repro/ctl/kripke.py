@@ -1,0 +1,144 @@
+"""Kripke structures — finite generators of the (regular) computation
+trees that the branching-time framework quantifies over.
+
+A :class:`KripkeStructure` has a total transition relation (every state
+has a successor, so unfoldings are total trees — the paper's ``A_tot``)
+and labels each state with one alphabet symbol.  For reactive-system
+models whose states carry *sets of atomic propositions*, use a frozenset
+of proposition names as the symbol and :func:`prop` to build atoms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.trees.regular import RegularTree
+
+
+class KripkeError(ValueError):
+    """Raised when Kripke-structure data is malformed."""
+
+
+class KripkeStructure:
+    """A finite state-transition graph with symbol labels."""
+
+    __slots__ = ("states", "initial", "_successors", "_labels")
+
+    def __init__(
+        self,
+        states: Iterable,
+        initial,
+        transitions: Mapping[object, Iterable],
+        labels: Mapping[object, object],
+    ):
+        self.states = frozenset(states)
+        if initial not in self.states:
+            raise KripkeError(f"initial state {initial!r} unknown")
+        self.initial = initial
+        self._successors = {
+            s: tuple(dict.fromkeys(transitions.get(s, ()))) for s in self.states
+        }
+        for s, succ in self._successors.items():
+            if not succ:
+                raise KripkeError(
+                    f"state {s!r} has no successor (relation must be total)"
+                )
+            for t in succ:
+                if t not in self.states:
+                    raise KripkeError(f"transition {s!r} -> {t!r} leaves the states")
+        missing = [s for s in self.states if s not in labels]
+        if missing:
+            raise KripkeError(f"states without labels: {missing!r}")
+        self._labels = {s: labels[s] for s in self.states}
+
+    def successors(self, state) -> tuple:
+        return self._successors[state]
+
+    def label(self, state):
+        return self._labels[state]
+
+    def alphabet(self) -> frozenset:
+        return frozenset(self._labels.values())
+
+    def reachable(self, start=None) -> frozenset:
+        start = self.initial if start is None else start
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            s = frontier.pop()
+            for t in self._successors[s]:
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+        return frozenset(seen)
+
+    # -- tree views ---------------------------------------------------------------
+
+    def computation_tree(self, k: int | None = None, state=None) -> RegularTree:
+        """The unfolding from ``state`` as a :class:`RegularTree`.
+
+        Branching degrees are made uniform by padding with the last
+        successor (CTL cannot distinguish duplicated successors —
+        unfoldings before and after padding are bisimilar)."""
+        state = self.initial if state is None else state
+        degrees = {len(self._successors[s]) for s in self.reachable(state)}
+        width = max(degrees) if k is None else k
+        if any(d > width for d in degrees):
+            raise KripkeError(f"out-degree exceeds requested branching {width}")
+        labels: dict = {}
+        successors: dict = {}
+        for s in self.reachable(state):
+            labels[s] = self._labels[s]
+            succ = self._successors[s]
+            padded = succ + (succ[-1],) * (width - len(succ))
+            successors[s] = padded
+        return RegularTree(labels, successors, state)
+
+    def paths_automaton(self, name: str = "paths"):
+        """A Büchi automaton whose language is the set of label words of
+        the structure's infinite paths — the linear-time semantics used
+        by the automata-theoretic model checker."""
+        from repro.buchi.automaton import BuchiAutomaton
+
+        alphabet = self.alphabet()
+        init = "ε"
+        transitions: dict = {}
+        for a in alphabet:
+            if self._labels[self.initial] == a:
+                transitions[init, a] = frozenset({self.initial})
+        for s in self.states:
+            for t in self._successors[s]:
+                key = (s, self._labels[t])
+                transitions[key] = transitions.get(key, frozenset()) | {t}
+        return BuchiAutomaton(
+            alphabet=alphabet,
+            states=self.states | {init},
+            initial=init,
+            transitions=transitions,
+            accepting=self.states | {init},
+            name=name,
+        )
+
+    def __repr__(self) -> str:
+        return f"KripkeStructure(|S|={len(self.states)}, initial={self.initial!r})"
+
+
+def prop(name: str, alphabet: Iterable[frozenset]):
+    """The CTL/LTL atom "proposition ``name`` holds", for structures whose
+    symbols are frozensets of proposition names: the :class:`Letter`
+    collecting every symbol containing ``name``."""
+    from repro.ltl.syntax import Letter
+
+    return Letter([s for s in alphabet if name in s])
+
+
+def kripke_from_regular_tree(tree: RegularTree) -> KripkeStructure:
+    """View a regular tree's generating graph as a Kripke structure
+    (CTL truth at the root then coincides with truth on the tree)."""
+    vertices = tree.reachable_vertices()
+    return KripkeStructure(
+        states=vertices,
+        initial=tree.root,
+        transitions={v: tree.successors_of_vertex(v) for v in vertices},
+        labels={v: tree.label_of_vertex(v) for v in vertices},
+    )

@@ -1,0 +1,210 @@
+"""CTL model checking — the classical labeling (fixpoint) algorithm.
+
+``satisfaction_set(kripke, φ)`` returns the states satisfying ``φ``;
+truth on the computation tree rooted at a state coincides with truth at
+that state (CTL is invariant under unfolding), which is how the §4.3
+branching-time examples are evaluated over regular trees.
+
+The four CTL* fairness shapes the paper's examples need — ``E(GF p)``,
+``A(GF p)``, ``E(FG p)``, ``A(FG p)`` — are handled with dedicated
+SCC-based routines (they are not expressible in plain CTL).
+"""
+
+from __future__ import annotations
+
+from repro.ltl.syntax import FalseFormula, Letter, TrueFormula
+
+from .kripke import KripkeStructure
+from .syntax import (
+    AF,
+    AFG,
+    AG,
+    AGF,
+    AU,
+    AX,
+    CAnd,
+    CAtom,
+    CNot,
+    COr,
+    EF,
+    EFG,
+    EG,
+    EGF,
+    EU,
+    EX,
+    StateFormula,
+)
+
+
+def satisfaction_set(kripke: KripkeStructure, formula: StateFormula) -> frozenset:
+    """All states of ``kripke`` satisfying ``formula``."""
+    cache: dict[StateFormula, frozenset] = {}
+
+    def sat(f: StateFormula) -> frozenset:
+        if f in cache:
+            return cache[f]
+        result = _sat(kripke, f, sat)
+        cache[f] = result
+        return result
+
+    return sat(formula)
+
+
+def holds(kripke: KripkeStructure, formula: StateFormula, state=None) -> bool:
+    """Whether ``formula`` holds at ``state`` (default: the initial
+    state — equivalently, on the computation tree unrolled from it)."""
+    state = kripke.initial if state is None else state
+    return state in satisfaction_set(kripke, formula)
+
+
+def holds_on_tree(tree, formula: StateFormula) -> bool:
+    """Truth of a CTL formula on a regular tree (via its generating
+    graph viewed as a Kripke structure)."""
+    from .kripke import kripke_from_regular_tree
+
+    return holds(kripke_from_regular_tree(tree), formula)
+
+
+# -- internals ---------------------------------------------------------------------
+
+
+def _sat(kripke: KripkeStructure, f: StateFormula, sat) -> frozenset:
+    states = kripke.states
+
+    if isinstance(f, CAtom):
+        inner = f.letter
+        if isinstance(inner, TrueFormula):
+            return states
+        if isinstance(inner, FalseFormula):
+            return frozenset()
+        assert isinstance(inner, Letter)
+        return frozenset(s for s in states if kripke.label(s) in inner.letters)
+    if isinstance(f, CNot):
+        return states - sat(f.operand)
+    if isinstance(f, CAnd):
+        return sat(f.left) & sat(f.right)
+    if isinstance(f, COr):
+        return sat(f.left) | sat(f.right)
+    if isinstance(f, EX):
+        return _pre_exists(kripke, sat(f.operand))
+    if isinstance(f, AX):
+        return _pre_forall(kripke, sat(f.operand))
+    if isinstance(f, EF):
+        return _lfp(kripke, lambda z: sat(f.operand) | _pre_exists(kripke, z))
+    if isinstance(f, AF):
+        return _lfp(kripke, lambda z: sat(f.operand) | _pre_forall(kripke, z))
+    if isinstance(f, EG):
+        return _gfp(kripke, lambda z: sat(f.operand) & _pre_exists(kripke, z))
+    if isinstance(f, AG):
+        return _gfp(kripke, lambda z: sat(f.operand) & _pre_forall(kripke, z))
+    if isinstance(f, EU):
+        return _lfp(
+            kripke,
+            lambda z: sat(f.right) | (sat(f.left) & _pre_exists(kripke, z)),
+        )
+    if isinstance(f, AU):
+        return _lfp(
+            kripke,
+            lambda z: sat(f.right) | (sat(f.left) & _pre_forall(kripke, z)),
+        )
+    if isinstance(f, EGF):
+        return _exists_path_with_recurring(kripke, sat(f.operand))
+    if isinstance(f, EFG):
+        return _exists_path_eventually_within(kripke, sat(f.operand))
+    if isinstance(f, AGF):
+        # every path hits the set infinitely often = no path eventually
+        # stays in the complement
+        return kripke.states - _exists_path_eventually_within(
+            kripke, kripke.states - sat(f.operand)
+        )
+    if isinstance(f, AFG):
+        # every path eventually settles in the set = no path revisits the
+        # complement infinitely often
+        return kripke.states - _exists_path_with_recurring(
+            kripke, kripke.states - sat(f.operand)
+        )
+    raise TypeError(f"unknown CTL node {f!r}")
+
+
+def _pre_exists(kripke: KripkeStructure, target: frozenset) -> frozenset:
+    return frozenset(
+        s for s in kripke.states if any(t in target for t in kripke.successors(s))
+    )
+
+
+def _pre_forall(kripke: KripkeStructure, target: frozenset) -> frozenset:
+    return frozenset(
+        s for s in kripke.states if all(t in target for t in kripke.successors(s))
+    )
+
+
+def _lfp(kripke: KripkeStructure, step) -> frozenset:
+    current: frozenset = frozenset()
+    while True:
+        nxt = step(current)
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def _gfp(kripke: KripkeStructure, step) -> frozenset:
+    current = kripke.states
+    while True:
+        nxt = step(current)
+        if nxt == current:
+            return current
+        current = nxt
+
+
+def _sccs(kripke: KripkeStructure, restrict: frozenset | None = None):
+    """Tarjan over (optionally restricted) states."""
+    from repro.buchi.automaton import _tarjan
+
+    nodes = kripke.states if restrict is None else restrict
+    adjacency = {
+        s: [t for t in kripke.successors(s) if restrict is None or t in restrict]
+        for s in nodes
+    }
+    return _tarjan(nodes, adjacency), adjacency
+
+
+def _exists_path_with_recurring(kripke: KripkeStructure, target: frozenset) -> frozenset:
+    """States with a path visiting ``target`` infinitely often: can reach
+    a cyclic SCC containing a target state."""
+    components, adjacency = _sccs(kripke)
+    cores: set = set()
+    for comp in components:
+        if not comp & target:
+            continue
+        if len(comp) > 1 or any(s in adjacency[s] for s in comp):
+            cores |= comp
+    return _backward_closure(kripke, cores)
+
+
+def _exists_path_eventually_within(
+    kripke: KripkeStructure, target: frozenset
+) -> frozenset:
+    """States with a path that eventually stays inside ``target``: can
+    reach a cyclic SCC of the target-restricted subgraph."""
+    components, adjacency = _sccs(kripke, restrict=target)
+    cores: set = set()
+    for comp in components:
+        if len(comp) > 1 or any(s in adjacency[s] for s in comp):
+            cores |= comp
+    return _backward_closure(kripke, cores)
+
+
+def _backward_closure(kripke: KripkeStructure, seed: set) -> frozenset:
+    reverse: dict = {s: set() for s in kripke.states}
+    for s in kripke.states:
+        for t in kripke.successors(s):
+            reverse[t].add(s)
+    result = set(seed)
+    frontier = list(seed)
+    while frontier:
+        s = frontier.pop()
+        for p in reverse[s]:
+            if p not in result:
+                result.add(p)
+                frontier.append(p)
+    return frozenset(result)

@@ -1,0 +1,173 @@
+"""A recursive-descent parser for CTL (plus the E/A GF/FG shapes).
+
+Grammar (precedence loose → tight)::
+
+    formula ::= implies
+    implies ::= or ( "->" or )*            (right associative)
+    or      ::= and ( "|" and )*
+    and     ::= unary ( "&" unary )*
+    unary   ::= "!" unary
+              | ("AX"|"EX"|"AF"|"EF"|"AG"|"EG") unary
+              | ("AGF"|"EGF"|"AFG"|"EFG") unary
+              | "A" "[" formula "U" formula "]"
+              | "E" "[" formula "U" formula "]"
+              | atom
+    atom    ::= "true" | "false" | "(" formula ")" | symbol | "{" sym,.. "}"
+
+Examples: ``"AG (a -> AF b)"``, ``"E [ a U b ] & EGF a"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .syntax import (
+    AF,
+    AFG,
+    AG,
+    AGF,
+    AU,
+    AX,
+    CAnd,
+    CFALSE,
+    CNot,
+    COr,
+    CTRUE,
+    EF,
+    EFG,
+    EG,
+    EGF,
+    EU,
+    EX,
+    StateFormula,
+    catom,
+    csym,
+)
+
+
+class CtlParseError(ValueError):
+    """Raised on malformed CTL input."""
+
+
+_TOKEN = re.compile(r"\s*(?:(?P<arrow>->)|(?P<op>[!&|(){}\[\],])|(?P<word>\w+))")
+
+_UNARY = {
+    "AX": AX, "EX": EX, "AF": AF, "EF": EF, "AG": AG, "EG": EG,
+    "AGF": AGF, "EGF": EGF, "AFG": AFG, "EFG": EFG,
+}
+_RESERVED = set(_UNARY) | {"A", "E", "U", "true", "false"}
+
+
+def tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise CtlParseError(f"cannot tokenize at: {rest[:20]!r}")
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise CtlParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise CtlParseError(f"expected {token!r}, got {got!r}")
+
+    def formula(self) -> StateFormula:
+        return self.implies_level()
+
+    def implies_level(self) -> StateFormula:
+        left = self.or_level()
+        if self.peek() == "->":
+            self.take()
+            right = self.implies_level()
+            return COr(CNot(left), right)
+        return left
+
+    def or_level(self) -> StateFormula:
+        left = self.and_level()
+        while self.peek() == "|":
+            self.take()
+            left = COr(left, self.and_level())
+        return left
+
+    def and_level(self) -> StateFormula:
+        left = self.unary_level()
+        while self.peek() == "&":
+            self.take()
+            left = CAnd(left, self.unary_level())
+        return left
+
+    def unary_level(self) -> StateFormula:
+        tok = self.peek()
+        if tok == "!":
+            self.take()
+            return CNot(self.unary_level())
+        if tok in _UNARY:
+            self.take()
+            return _UNARY[tok](self.unary_level())
+        if tok in ("A", "E"):
+            self.take()
+            self.expect("[")
+            left = self.formula()
+            self.expect("U")
+            right = self.formula()
+            self.expect("]")
+            return AU(left, right) if tok == "A" else EU(left, right)
+        return self.atom()
+
+    def atom(self) -> StateFormula:
+        tok = self.take()
+        if tok == "true":
+            return CTRUE
+        if tok == "false":
+            return CFALSE
+        if tok == "(":
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if tok == "{":
+            symbols = [self._symbol()]
+            while self.peek() == ",":
+                self.take()
+                symbols.append(self._symbol())
+            self.expect("}")
+            return catom(symbols)
+        if tok in _RESERVED or not re.fullmatch(r"\w+", tok):
+            raise CtlParseError(f"unexpected token {tok!r}")
+        return csym(tok)
+
+    def _symbol(self) -> str:
+        tok = self.take()
+        if not re.fullmatch(r"\w+", tok) or tok in _RESERVED:
+            raise CtlParseError(f"expected a symbol, got {tok!r}")
+        return tok
+
+
+def parse_ctl(text: str) -> StateFormula:
+    """Parse a CTL state formula from text."""
+    parser = _Parser(tokenize(text))
+    result = parser.formula()
+    if parser.peek() is not None:
+        raise CtlParseError(f"trailing input from {parser.peek()!r}")
+    return result

@@ -1,0 +1,246 @@
+"""CTL syntax.
+
+State formulas over Σ-labeled trees/Kripke structures: the atomic
+formula is the same :class:`~repro.ltl.syntax.Letter` as in LTL ("the
+current node's symbol is in this set"); every temporal operator carries
+an explicit path quantifier (A/E), as in the paper's §4.3 examples
+(``a ∧ AF ¬a``, ``E(GF a)`` …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ltl.syntax import FALSE, TRUE, FalseFormula, Letter, TrueFormula
+
+
+class StateFormula:
+    """Base class for CTL state formulas (immutable)."""
+
+    def __and__(self, other):
+        return CAnd(self, other)
+
+    def __or__(self, other):
+        return COr(self, other)
+
+    def __invert__(self):
+        return CNot(self)
+
+    def children(self) -> tuple:
+        return ()
+
+    def subformulas(self) -> set:
+        out = {self}
+        for c in self.children():
+            out |= c.subformulas()
+        return out
+
+
+@dataclass(frozen=True)
+class CAtom(StateFormula):
+    """Wraps a :class:`Letter` (or true/false) as a CTL atom."""
+
+    letter: object  # Letter | TrueFormula | FalseFormula
+
+    def __post_init__(self):
+        if not isinstance(self.letter, (Letter, TrueFormula, FalseFormula)):
+            raise TypeError("CAtom wraps a Letter or a Boolean constant")
+
+    def __str__(self) -> str:
+        return str(self.letter)
+
+
+def catom(symbols) -> CAtom:
+    """Atom: current symbol is in ``symbols``."""
+    return CAtom(Letter(symbols))
+
+
+def csym(symbol) -> CAtom:
+    """Atom: current symbol equals ``symbol``."""
+    return CAtom(Letter([symbol]))
+
+
+CTRUE = CAtom(TRUE)
+CFALSE = CAtom(FALSE)
+
+
+@dataclass(frozen=True)
+class CNot(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class CAnd(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class COr(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class EX(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"EX ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AX(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"AX ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EF(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"EF ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AF(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"AF ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EG(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"EG ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AG(StateFormula):
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"AG ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EU(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"E[{self.left} U {self.right}]"
+
+
+@dataclass(frozen=True)
+class AU(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return f"A[{self.left} U {self.right}]"
+
+
+# The two CTL* formulas from the paper's §4.3 that are *not* plain CTL —
+# E(GF a) and E(FG a) (and their A-duals) — get dedicated nodes so the
+# model checker can handle exactly the fragment the examples need.
+
+
+@dataclass(frozen=True)
+class EGF(StateFormula):
+    """E(GF atom): some path visits the atom infinitely often."""
+
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"E(GF {self.operand})"
+
+
+@dataclass(frozen=True)
+class AGF(StateFormula):
+    """A(GF atom): every path visits the atom infinitely often."""
+
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"A(GF {self.operand})"
+
+
+@dataclass(frozen=True)
+class EFG(StateFormula):
+    """E(FG atom): some path eventually settles into the atom forever."""
+
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"E(FG {self.operand})"
+
+
+@dataclass(frozen=True)
+class AFG(StateFormula):
+    """A(FG atom): every path eventually settles into the atom forever."""
+
+    operand: StateFormula
+
+    def children(self):
+        return (self.operand,)
+
+    def __str__(self):
+        return f"A(FG {self.operand})"

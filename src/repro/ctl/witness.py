@@ -1,0 +1,176 @@
+"""Witness extraction for existential CTL formulas.
+
+A model checker's "yes" for ``E...`` formulas is certified by an actual
+path: a finite path for ``EX``/``EF``/``EU``, a lasso (stem + loop) for
+``EG``/``EGF``/``EFG``.  Witnesses are independently replayable — the
+tests walk them against the raw transition relation and the path
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kripke import KripkeStructure
+from .modelcheck import holds, satisfaction_set
+from .syntax import EF, EFG, EG, EGF, EU, EX, StateFormula
+
+
+@dataclass(frozen=True)
+class PathWitness:
+    """A finite path (for EX/EF/EU) or a lasso (loop non-empty)."""
+
+    stem: tuple
+    loop: tuple = ()
+
+    @property
+    def is_lasso(self) -> bool:
+        return bool(self.loop)
+
+    def states(self, horizon: int = 12) -> list:
+        out = list(self.stem)
+        while self.loop and len(out) < horizon:
+            out.extend(self.loop)
+        return out[: horizon if self.loop else None]
+
+
+class WitnessError(ValueError):
+    """Raised when no witness exists (the formula fails) or the formula
+    shape is not existential."""
+
+
+def witness(kripke: KripkeStructure, formula: StateFormula, state=None) -> PathWitness:
+    """A certifying path for an existential formula at ``state``."""
+    state = kripke.initial if state is None else state
+    if not holds(kripke, formula, state):
+        raise WitnessError(f"{formula} does not hold at {state!r}")
+    if isinstance(formula, EX):
+        target = satisfaction_set(kripke, formula.operand)
+        succ = next(t for t in kripke.successors(state) if t in target)
+        return PathWitness(stem=(state, succ))
+    if isinstance(formula, EF):
+        target = satisfaction_set(kripke, formula.operand)
+        return PathWitness(stem=tuple(_bfs(kripke, state, target, None)))
+    if isinstance(formula, EU):
+        allowed = satisfaction_set(kripke, formula.left)
+        target = satisfaction_set(kripke, formula.right)
+        return PathWitness(stem=tuple(_bfs(kripke, state, target, allowed)))
+    if isinstance(formula, EG):
+        region = satisfaction_set(kripke, formula)
+        inner = satisfaction_set(kripke, formula.operand)
+        return _lasso_within(kripke, state, stay=region & inner)
+    if isinstance(formula, EFG):
+        target = satisfaction_set(kripke, formula.operand)
+        return _lasso_reaching_cycle(kripke, state, cycle_within=target)
+    if isinstance(formula, EGF):
+        target = satisfaction_set(kripke, formula.operand)
+        return _lasso_reaching_cycle(
+            kripke, state, cycle_within=kripke.states, cycle_touching=target
+        )
+    raise WitnessError(f"no witness extraction for {type(formula).__name__}")
+
+
+def _bfs(kripke: KripkeStructure, start, target: frozenset, allowed) -> list:
+    """Shortest path from ``start`` to ``target`` through ``allowed``
+    (interior nodes only; ``None`` = anywhere)."""
+    if start in target:
+        return [start]
+    if allowed is not None and start not in allowed:
+        raise WitnessError("start violates the path constraint")
+    parent = {start: None}
+    queue = [start]
+    while queue:
+        s = queue.pop(0)
+        for t in kripke.successors(s):
+            if t in parent:
+                continue
+            parent[t] = s
+            if t in target:
+                path = [t]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if allowed is None or t in allowed:
+                queue.append(t)
+    raise WitnessError("target unreachable")
+
+
+def _lasso_within(kripke: KripkeStructure, start, stay: frozenset) -> PathWitness:
+    """A lasso that never leaves ``stay`` (EG witness)."""
+    if start not in stay:
+        raise WitnessError("start outside the invariant region")
+    # walk greedily within `stay` until a state repeats
+    path = [start]
+    seen = {start: 0}
+    current = start
+    while True:
+        current = next(t for t in kripke.successors(current) if t in stay)
+        if current in seen:
+            i = seen[current]
+            return PathWitness(stem=tuple(path[:i]), loop=tuple(path[i:]))
+        seen[current] = len(path)
+        path.append(current)
+
+
+def _lasso_reaching_cycle(
+    kripke: KripkeStructure,
+    start,
+    cycle_within: frozenset,
+    cycle_touching: frozenset | None = None,
+) -> PathWitness:
+    """A lasso whose loop stays in ``cycle_within`` and (optionally)
+    touches ``cycle_touching`` (EFG / EGF witnesses)."""
+    from repro.buchi.automaton import _is_cyclic_component, _tarjan
+
+    adjacency = {
+        s: [t for t in kripke.successors(s) if t in cycle_within]
+        for s in cycle_within
+    }
+    cores: set = set()
+    for component in _tarjan(cycle_within, adjacency):
+        if not _is_cyclic_component(component, adjacency):
+            continue
+        if cycle_touching is not None and not component & cycle_touching:
+            continue
+        cores |= component
+    if not cores:
+        raise WitnessError("no suitable cycle exists")
+    stem = _bfs(kripke, start, frozenset(cores), None)
+    anchor = stem[-1]
+    # find a cycle from anchor within its core component, touching the
+    # target if required
+    loop = _cycle_through(adjacency, anchor, cycle_touching)
+    return PathWitness(stem=tuple(stem[:-1]), loop=tuple(loop))
+
+
+def _cycle_through(adjacency, anchor, must_touch: frozenset | None) -> list:
+    """A cycle starting/ending at ``anchor`` inside ``adjacency``,
+    passing through ``must_touch`` when given."""
+    if must_touch is not None and anchor not in must_touch:
+        # route anchor -> touch -> anchor
+        first = _graph_path(adjacency, anchor, must_touch)
+        back = _graph_path(adjacency, first[-1], {anchor}, allow_trivial=False)
+        return first[:-1] + [first[-1]] + back[1:-1]
+    back = _graph_path(adjacency, anchor, {anchor}, allow_trivial=False)
+    return [anchor] + back[1:-1]
+
+
+def _graph_path(adjacency, start, target, allow_trivial: bool = True) -> list:
+    if allow_trivial and start in target:
+        return [start]
+    parent = {start: None}
+    queue = [start]
+    while queue:
+        s = queue.pop(0)
+        for t in adjacency.get(s, ()):
+            if t in target:
+                path = [t, s]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if t not in parent:
+                parent[t] = s
+                queue.append(t)
+    raise WitnessError("no path in restricted graph")

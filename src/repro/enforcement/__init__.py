@@ -1,0 +1,36 @@
+"""Security-policy enforcement: Schneider's safety ≡ enforceability,
+executably (paper Section 1)."""
+
+from .monitor import (
+    MonitorError,
+    SecurityMonitor,
+    Verdict,
+    enforcement_gap,
+    enforcement_gap_formula,
+    is_enforceable,
+    is_enforceable_formula,
+)
+from .policies import (
+    Policy,
+    all_policies,
+    eventual_audit,
+    fair_service,
+    no_send_after_read,
+    resource_bracketing,
+)
+
+__all__ = [
+    "SecurityMonitor",
+    "MonitorError",
+    "Verdict",
+    "is_enforceable",
+    "enforcement_gap",
+    "is_enforceable_formula",
+    "enforcement_gap_formula",
+    "Policy",
+    "all_policies",
+    "no_send_after_read",
+    "resource_bracketing",
+    "eventual_audit",
+    "fair_service",
+]

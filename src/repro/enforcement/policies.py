@@ -1,0 +1,107 @@
+"""Example security policies, as LTL formulas over event alphabets.
+
+Classics from the enforcement literature: no-send-after-read
+(information flow), resource bracketing (acquire/release), and an
+availability policy that — being liveness — is provably *not*
+enforceable (the demonstration the tests and the APP2 bench run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buchi.automaton import BuchiAutomaton
+from repro.ltl.syntax import F, Formula, G, Not, implies, sym
+from repro.ltl.translate import translate
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named policy over an event alphabet."""
+
+    name: str
+    alphabet: tuple
+    formula: Formula
+    enforceable: bool  # ground truth: is it a safety property?
+    comment: str = ""
+
+    def automaton(self) -> BuchiAutomaton:
+        return translate(self.formula, self.alphabet)
+
+
+def no_send_after_read() -> Policy:
+    """Once a secret is read, network sends are forbidden forever."""
+    alphabet = ("read", "send", "other")
+    formula = G(implies(sym("read"), G(Not(sym("send")))))
+    return Policy(
+        name="no-send-after-read",
+        alphabet=alphabet,
+        formula=formula,
+        enforceable=True,
+        comment="the canonical EM-enforceable policy",
+    )
+
+
+def resource_bracketing() -> Policy:
+    """``use`` only between ``acquire`` and ``release``.
+
+    Encoded directly: no use before an acquire, and no use immediately
+    after a release until the next acquire — expressed with W-style
+    weak untils so it is a pure safety property.
+    """
+    from repro.ltl.syntax import Release, Or
+
+    alphabet = ("acquire", "release", "use", "other")
+    not_use_until_acquire = Release(
+        sym("acquire"), Or(Not(sym("use")), sym("acquire"))
+    )
+    # after every release, the same shape must hold again
+    formula = not_use_until_acquire & G(
+        implies(sym("release"), _next_shape(not_use_until_acquire))
+    )
+    return Policy(
+        name="resource-bracketing",
+        alphabet=alphabet,
+        formula=formula,
+        enforceable=True,
+    )
+
+
+def _next_shape(inner: Formula) -> Formula:
+    from repro.ltl.syntax import Next
+
+    return Next(inner)
+
+
+def eventual_audit() -> Policy:
+    """Every transaction is eventually audited — availability, hence
+    liveness, hence *not* enforceable by truncation."""
+    alphabet = ("transaction", "audit", "other")
+    formula = G(implies(sym("transaction"), F(sym("audit"))))
+    return Policy(
+        name="eventual-audit",
+        alphabet=alphabet,
+        formula=formula,
+        enforceable=False,
+        comment="Schneider: availability is not EM-enforceable",
+    )
+
+
+def fair_service() -> Policy:
+    """Infinitely many service events — pure liveness."""
+    alphabet = ("request", "serve", "other")
+    return Policy(
+        name="fair-service",
+        alphabet=alphabet,
+        formula=G(F(sym("serve"))),
+        enforceable=False,
+    )
+
+
+def all_policies() -> list[Policy]:
+    return [
+        no_send_after_read(),
+        resource_bracketing(),
+        eventual_audit(),
+        fair_service(),
+    ]

@@ -1,0 +1,20 @@
+"""Two-player games: parity arenas, Zielonka's solver, and the LAR
+reduction from Muller/Rabin conditions — substrate for Rabin tree
+automata (§4.4)."""
+
+from .arena import GameError, ParityGame, attractor
+from .lar import MullerGame, lar_parity_game, rabin_signature, rabin_winning_family
+from .zielonka import Solution, solve, winner_from
+
+__all__ = [
+    "ParityGame",
+    "GameError",
+    "attractor",
+    "solve",
+    "winner_from",
+    "Solution",
+    "MullerGame",
+    "lar_parity_game",
+    "rabin_winning_family",
+    "rabin_signature",
+]

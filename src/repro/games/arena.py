@@ -1,0 +1,114 @@
+"""Two-player game arenas with parity winning conditions.
+
+Substrate for Rabin tree automata (§4.4): membership and emptiness of
+Rabin automata reduce to games between *Automaton* (player 0, picks
+transitions) and *Pathfinder* (player 1, picks tree directions); the
+Rabin condition is translated to a parity condition via the latest
+appearance record (:mod:`repro.games.lar`) and solved by Zielonka's
+algorithm (:mod:`repro.games.zielonka`).
+
+Conventions: priorities are non-negative ints; player 0 wins a play iff
+the *maximum* priority occurring infinitely often is *even*.  Every
+vertex must have at least one successor (total arenas; the reductions
+guarantee this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+class GameError(ValueError):
+    """Raised when arena data is malformed."""
+
+
+class ParityGame:
+    """A finite parity game."""
+
+    __slots__ = ("vertices", "_owner", "_priority", "_successors")
+
+    def __init__(
+        self,
+        owner: Mapping[object, int],
+        priority: Mapping[object, int],
+        edges: Mapping[object, Iterable],
+    ):
+        self.vertices = frozenset(owner)
+        self._owner = dict(owner)
+        for v, player in self._owner.items():
+            if player not in (0, 1):
+                raise GameError(f"owner of {v!r} must be 0 or 1")
+        missing = [v for v in self.vertices if v not in priority]
+        if missing:
+            raise GameError(f"vertices without priority: {missing!r}")
+        self._priority = {v: int(priority[v]) for v in self.vertices}
+        if any(p < 0 for p in self._priority.values()):
+            raise GameError("priorities must be non-negative")
+        self._successors = {v: tuple(edges.get(v, ())) for v in self.vertices}
+        for v, succ in self._successors.items():
+            if not succ:
+                raise GameError(f"vertex {v!r} has no successor")
+            for w in succ:
+                if w not in self.vertices:
+                    raise GameError(f"edge {v!r} -> {w!r} leaves the arena")
+
+    def owner(self, v) -> int:
+        return self._owner[v]
+
+    def priority(self, v) -> int:
+        return self._priority[v]
+
+    def successors(self, v) -> tuple:
+        return self._successors[v]
+
+    def max_priority(self) -> int:
+        return max(self._priority.values())
+
+    def subgame(self, keep: Iterable) -> "ParityGame":
+        """The induced subgame on ``keep``.  Callers must ensure every
+        kept vertex retains a successor (Zielonka's recursion does)."""
+        keep = frozenset(keep)
+        return ParityGame(
+            owner={v: self._owner[v] for v in keep},
+            priority={v: self._priority[v] for v in keep},
+            edges={
+                v: [w for w in self._successors[v] if w in keep] for v in keep
+            },
+        )
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParityGame(|V|={len(self.vertices)}, "
+            f"maxpri={self.max_priority()})"
+        )
+
+
+def attractor(game: ParityGame, player: int, target: Iterable) -> frozenset:
+    """The ``player``-attractor of ``target``: vertices from which
+    ``player`` can force the play into ``target``."""
+    target = set(target)
+    result = set(target)
+    # count remaining escape edges for the opponent's vertices
+    out_degree = {v: len(game.successors(v)) for v in game.vertices}
+    predecessors: dict = {v: [] for v in game.vertices}
+    for v in game.vertices:
+        for w in game.successors(v):
+            predecessors[w].append(v)
+    frontier = list(target)
+    while frontier:
+        w = frontier.pop()
+        for v in predecessors[w]:
+            if v in result:
+                continue
+            if game.owner(v) == player:
+                result.add(v)
+                frontier.append(v)
+            else:
+                out_degree[v] -= 1
+                if out_degree[v] == 0:
+                    result.add(v)
+                    frontier.append(v)
+    return frozenset(result)

@@ -1,0 +1,127 @@
+"""Muller → parity via the latest appearance record (LAR), and the Rabin
+condition as a Muller family.
+
+The classical Gurevich–Harrington construction: expand each game vertex
+with a record of colors ordered by recency (most recent first) plus the
+*hit* position of the color just visited.  Along any play the infinitely
+visited colors eventually occupy a prefix of the record; the maximal hit
+attained infinitely often equals the size ``k`` of that set, and at
+those moments the first ``k`` record entries are exactly the
+infinitely-visited colors.  Assigning priority ``2h`` when the first
+``h`` entries form a winning set (else ``2h + 1``, max-even-wins) turns
+any Muller game into a parity game with factorially many records — fine
+at the color counts our Rabin reductions produce (colors are the
+distinct Rabin-pair signatures, not raw vertices).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from .arena import ParityGame
+
+
+class MullerGame:
+    """A game whose winning condition is a Muller family over colors:
+    player 0 wins iff the set of infinitely visited colors is accepted
+    by ``winning_family`` (a predicate on frozensets of colors)."""
+
+    def __init__(
+        self,
+        owner: Mapping[object, int],
+        color: Mapping[object, object],
+        edges: Mapping[object, Iterable],
+        winning_family: Callable[[frozenset], bool],
+    ):
+        self.owner = dict(owner)
+        self.color = dict(color)
+        self.edges = {v: tuple(edges.get(v, ())) for v in self.owner}
+        self.winning_family = winning_family
+        for v in self.owner:
+            if v not in self.color:
+                raise ValueError(f"vertex {v!r} has no color")
+
+
+def lar_parity_game(game: MullerGame, start) -> tuple[ParityGame, object]:
+    """Expand a Muller game into an equivalent parity game.
+
+    Returns the parity game (built on the reachable LAR product only)
+    and its start vertex.  Player 0 wins the parity game from the start
+    vertex iff they win the Muller game from ``start``.
+    """
+    colors = sorted({game.color[v] for v in game.owner}, key=repr)
+
+    def initial_record() -> tuple:
+        c0 = game.color[start]
+        rest = [c for c in colors if c != c0]
+        return tuple([c0] + rest)
+
+    def step(record: tuple, color) -> tuple[tuple, int]:
+        position = record.index(color)  # 0-based hit
+        new_record = (color,) + record[:position] + record[position + 1 :]
+        return new_record, position
+
+    def priority_of(record: tuple, hit: int) -> int:
+        prefix = frozenset(record[: hit + 1])
+        if game.winning_family(prefix):
+            return 2 * (hit + 1)
+        return 2 * (hit + 1) + 1
+
+    start_vertex = (start, initial_record(), 0)
+    owner: dict = {}
+    priority: dict = {}
+    edges: dict = {}
+    frontier = [start_vertex]
+    seen = {start_vertex}
+    while frontier:
+        node = frontier.pop()
+        v, record, hit = node
+        owner[node] = game.owner[v]
+        priority[node] = priority_of(record, hit)
+        targets = []
+        for w in game.edges[v]:
+            new_record, new_hit = step(record, game.color[w])
+            succ = (w, new_record, new_hit)
+            targets.append(succ)
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+        edges[node] = targets
+    return ParityGame(owner=owner, priority=priority, edges=edges), start_vertex
+
+
+def rabin_winning_family(pairs: Iterable[tuple[frozenset, frozenset]], signature_of: Callable):
+    """The Muller family of a Rabin condition, over *signature* colors.
+
+    ``pairs`` are (green, red) state sets; ``signature_of`` maps a color
+    back to the set of automaton states it stands for (or the color can
+    *be* a frozenset of (pair-index, 'g'/'r') marks — whichever the
+    reduction chose).  Returns a predicate on frozensets of colors:
+    accepted iff for some pair i, no color in the set is red-i and some
+    color is green-i.
+    """
+    pairs = list(pairs)
+
+    def accepts(color_set: frozenset) -> bool:
+        marks = [signature_of(c) for c in color_set]
+        for i in range(len(pairs)):
+            if any((i, "r") in m for m in marks):
+                continue
+            if any((i, "g") in m for m in marks):
+                return True
+        return False
+
+    return accepts
+
+
+def rabin_signature(state, pairs: Iterable[tuple[frozenset, frozenset]]) -> frozenset:
+    """The color of a state under a Rabin condition: which pairs it is
+    green/red for.  States with equal signatures are interchangeable for
+    the winning condition, which keeps the LAR color count small."""
+    marks = set()
+    for i, (green, red) in enumerate(pairs):
+        if state in green:
+            marks.add((i, "g"))
+        if state in red:
+            marks.add((i, "r"))
+    return frozenset(marks)

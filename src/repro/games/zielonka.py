@@ -1,0 +1,117 @@
+"""Zielonka's recursive algorithm for parity games.
+
+Returns the full winning-region partition and positional winning
+strategies for both players.  Convention: player 0 wins iff the maximum
+priority seen infinitely often is even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .arena import ParityGame, attractor
+
+
+@dataclass
+class Solution:
+    """Winning regions and positional strategies."""
+
+    winning: dict  # vertex -> winning player (0 or 1)
+    strategy: dict = field(default_factory=dict)  # vertex -> chosen successor
+
+    def region(self, player: int) -> frozenset:
+        return frozenset(v for v, p in self.winning.items() if p == player)
+
+
+def solve(game: ParityGame) -> Solution:
+    """Solve a parity game (Zielonka's recursion)."""
+    winning, strategy = _solve(game)
+    return Solution(winning=winning, strategy=strategy)
+
+
+def winner_from(game: ParityGame, vertex) -> int:
+    """The winner when the play starts at ``vertex``."""
+    return solve(game).winning[vertex]
+
+
+def _solve(game: ParityGame) -> tuple[dict, dict]:
+    if not game.vertices:
+        return {}, {}
+    top = game.max_priority()
+    player = top % 2  # who likes the top priority
+    opponent = 1 - player
+
+    top_vertices = [v for v in game.vertices if game.priority(v) == top]
+    region_a = attractor(game, player, top_vertices)
+    rest = game.vertices - region_a
+    if not rest:
+        winning = {v: player for v in game.vertices}
+        strategy = _attractor_strategy(game, player, top_vertices, region_a)
+        # inside the top set, keep playing within the winning region
+        for v in top_vertices:
+            if game.owner(v) == player and v not in strategy:
+                strategy[v] = game.successors(v)[0]
+        return winning, strategy
+
+    sub_winning, sub_strategy = _solve(game.subgame(rest))
+    opp_sub = {v for v, p in sub_winning.items() if p == opponent}
+    if not opp_sub:
+        # player wins everywhere: combine attractor play with subgame play
+        winning = {v: player for v in game.vertices}
+        strategy = _attractor_strategy(game, player, top_vertices, region_a)
+        strategy.update(sub_strategy)
+        for v in top_vertices:
+            if game.owner(v) == player and v not in strategy:
+                strategy[v] = game.successors(v)[0]
+        return winning, strategy
+
+    region_b = attractor(game, opponent, opp_sub)
+    remainder = game.vertices - region_b
+    rem_winning, rem_strategy = _solve(game.subgame(remainder))
+
+    winning = dict(rem_winning)
+    for v in region_b:
+        winning[v] = opponent
+    strategy = dict(rem_strategy)
+    strategy.update(
+        _attractor_strategy(game, opponent, opp_sub, region_b)
+    )
+    strategy.update({v: s for v, s in sub_strategy.items() if v in opp_sub and sub_winning.get(v) == opponent})
+    return winning, strategy
+
+
+def _attractor_strategy(game: ParityGame, player: int, target, region) -> dict:
+    """A positional strategy for ``player`` inside ``region`` that makes
+    progress toward ``target`` (by decreasing attractor rank)."""
+    target = set(target)
+    region = set(region)
+    rank = {v: 0 for v in target}
+    frontier = list(target)
+    layers = [set(target)]
+    current = set(target)
+    while True:
+        nxt = set()
+        for v in region - current:
+            if game.owner(v) == player:
+                if any(w in current for w in game.successors(v)):
+                    nxt.add(v)
+            else:
+                if all(w in current for w in game.successors(v)):
+                    nxt.add(v)
+        if not nxt:
+            break
+        for v in nxt:
+            rank[v] = len(layers)
+        layers.append(nxt)
+        current |= nxt
+    strategy = {}
+    for v in region:
+        if game.owner(v) != player or v in target:
+            continue
+        best = None
+        for w in game.successors(v):
+            if w in rank and (best is None or rank[w] < rank[best]):
+                best = w
+        if best is not None:
+            strategy[v] = best
+    return strategy

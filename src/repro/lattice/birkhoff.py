@@ -1,0 +1,88 @@
+"""Birkhoff duality and the Dedekind–MacNeille completion.
+
+Two classical constructions that round out the lattice substrate:
+
+* :func:`birkhoff_representation` — every finite distributive lattice is
+  (isomorphic to) the lattice of downsets of its join-irreducibles;
+  :func:`downset_lattice` builds the latter from any poset.  Used by the
+  tests as an independent oracle for distributivity.
+* :func:`dedekind_macneille` — the smallest complete lattice containing
+  a poset, built from the Galois connection between upper and lower
+  bounds.  Its closed sets are exactly a closure operator's fixpoints,
+  tying the paper's closure machinery back to classical order theory.
+"""
+
+from __future__ import annotations
+
+from .lattice import FiniteLattice
+from .poset import FinitePoset
+
+
+def downset_lattice(poset: FinitePoset) -> FiniteLattice:
+    """The lattice of downward-closed subsets of ``poset``, ordered by
+    inclusion (always distributive)."""
+    downsets: set[frozenset] = set()
+    frontier = [frozenset()]
+    downsets.add(frozenset())
+    while frontier:
+        current = frontier.pop()
+        for x in poset.elements:
+            if x in current:
+                continue
+            if all(y in current for y in poset.downset(x) if y != x):
+                bigger = current | {x}
+                if bigger not in downsets:
+                    downsets.add(bigger)
+                    frontier.append(bigger)
+    return FiniteLattice.from_leq(sorted(downsets, key=sorted), frozenset.issubset)
+
+
+def birkhoff_representation(lattice: FiniteLattice):
+    """The Birkhoff dual of a finite *distributive* lattice: the map
+    ``x ↦ {join-irreducibles below x}`` onto the downset lattice of the
+    join-irreducible sub-poset.
+
+    Returns ``(irreducible_poset, iso)`` where ``iso`` is the dict
+    realizing the isomorphism.  Raises ``ValueError`` when the lattice
+    is not distributive (the representation would not be injective or
+    onto).
+    """
+    from .properties import is_distributive
+
+    if not is_distributive(lattice):
+        raise ValueError("Birkhoff representation requires distributivity")
+    irreducibles = lattice.join_irreducibles()
+    sub = lattice.poset.restrict(irreducibles)
+    iso = {
+        x: frozenset(j for j in irreducibles if lattice.leq(j, x))
+        for x in lattice.elements
+    }
+    return sub, iso
+
+
+def dedekind_macneille(poset: FinitePoset) -> FiniteLattice:
+    """The Dedekind–MacNeille completion: cuts ``A`` with
+    ``A = lower(upper(A))``, ordered by inclusion.
+
+    The map ``A ↦ lower(upper(A))`` is precisely the closure operator of
+    the bounds Galois connection; the completion's elements are its
+    closed sets.
+    """
+    # Every cut is an intersection of principal downsets (one per upper
+    # bound), and conversely such intersections are cuts; the top cut is
+    # the whole carrier (the empty intersection).
+    if len(poset) == 0:
+        return FiniteLattice.from_leq([frozenset()], frozenset.issubset)
+    cuts: set[frozenset] = {frozenset(poset.elements)}
+    cuts |= {poset.downset(x) for x in poset.elements}
+    changed = True
+    while changed:
+        changed = False
+        current = list(cuts)
+        for a in current:
+            for b in current:
+                meet_cut = a & b
+                if meet_cut not in cuts:
+                    cuts.add(meet_cut)
+                    changed = True
+    return FiniteLattice.from_leq(sorted(cuts, key=sorted), frozenset.issubset)

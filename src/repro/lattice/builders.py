@@ -1,0 +1,246 @@
+"""Standard lattice constructions, including the paper's Figures 1 and 2.
+
+Every family the reproduction benchmarks over is built here: Boolean
+algebras (powersets), chains, the two minimal "forbidden" lattices N5 and
+M3, divisor and partition lattices, and the exact labeled counterexample
+lattices of the paper's figures together with the closure operators the
+captions describe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from itertools import combinations
+from math import gcd
+
+from .closure import LatticeClosure
+from .lattice import FiniteLattice, LatticeError
+from .poset import FinitePoset
+
+
+def chain(n: int) -> FiniteLattice:
+    """The ``n``-element chain ``0 < 1 < ... < n-1`` (distributive; only
+    complemented when ``n <= 2``)."""
+    if n < 1:
+        raise LatticeError("a chain lattice needs at least one element")
+    return FiniteLattice(FinitePoset.chain(n))
+
+
+def boolean_lattice(n_atoms: int) -> FiniteLattice:
+    """The Boolean algebra ``2^n``: elements are frozensets of ``range(n)``.
+
+    This is the finite stand-in for the paper's ``P(Σ^ω)`` instance — a
+    Boolean algebra, hence modular and complemented, so Theorems 2/3 apply.
+    """
+    return powerset_lattice(range(n_atoms))
+
+
+def powerset_lattice(universe: Iterable[Hashable]) -> FiniteLattice:
+    """The powerset of ``universe`` ordered by inclusion."""
+    ground = list(dict.fromkeys(universe))
+    elements = []
+    for r in range(len(ground) + 1):
+        elements.extend(frozenset(c) for c in combinations(ground, r))
+    return FiniteLattice.from_leq(elements, frozenset.issubset)
+
+
+def n5() -> FiniteLattice:
+    """The pentagon N5 — the minimal non-modular lattice.
+
+    Elements are ``'0', 'a', 'b', 'c', '1'`` with ``a < b`` and ``c``
+    incomparable to both, matching the paper's Figure 1 labeling.
+    """
+    return FiniteLattice.from_covers(
+        {"0": ["a", "c"], "a": ["b"], "b": ["1"], "c": ["1"]}
+    )
+
+
+def m3() -> FiniteLattice:
+    """The diamond M3 — the minimal modular non-distributive lattice.
+
+    Elements are ``'a', 's', 'b', 'z', '1'`` with bottom ``a`` and three
+    pairwise-incomparable coatoms, matching the paper's Figure 2 labeling
+    (``s = cl.a``)."""
+    return FiniteLattice.from_covers(
+        {"a": ["s", "b", "z"], "s": ["1"], "b": ["1"], "z": ["1"]}
+    )
+
+
+def divisor_lattice(n: int) -> FiniteLattice:
+    """Divisors of ``n`` under divisibility (meet = gcd, join = lcm).
+
+    Distributive; complemented exactly when ``n`` is squarefree — a handy
+    source of distributive-but-not-complemented examples.
+    """
+    if n < 1:
+        raise LatticeError("n must be positive")
+    divisors = [d for d in range(1, n + 1) if n % d == 0]
+    return FiniteLattice.from_meet_join(
+        divisors,
+        meet=gcd,
+        join=lambda a, b: a * b // gcd(a, b),
+    )
+
+
+def partition_lattice(n: int) -> FiniteLattice:
+    """Partitions of ``{0..n-1}`` ordered by refinement.
+
+    For ``n >= 3`` this is complemented but *not* modular for ``n >= 4``
+    — used to probe where Theorem 2's hypotheses break.  Elements are
+    frozensets of frozenset blocks.  Exponential; keep ``n <= 5``.
+    """
+    if n < 1:
+        raise LatticeError("n must be positive")
+    partitions = [frozenset(frozenset(b) for b in p) for p in _set_partitions(list(range(n)))]
+
+    def refines(p, q) -> bool:
+        return all(any(block <= qblock for qblock in q) for block in p)
+
+    return FiniteLattice.from_leq(partitions, refines)
+
+
+def _set_partitions(items: list):
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _set_partitions(rest):
+        for i, block in enumerate(partial):
+            yield partial[:i] + [[first] + block] + partial[i + 1 :]
+        yield [[first]] + partial
+
+
+def diamond_mn(n_coatoms: int) -> FiniteLattice:
+    """``M_n``: bottom, ``n`` incomparable middle elements, top.
+
+    Modular and complemented for ``n >= 2`` (every middle element has
+    ``n - 1`` complements) but non-distributive for ``n >= 3`` —
+    the workhorse family for Theorem-3-beyond-Boolean benchmarks.
+    """
+    if n_coatoms < 0:
+        raise LatticeError("n_coatoms must be non-negative")
+    covers: dict = {"0": [f"m{i}" for i in range(n_coatoms)] or ["1"]}
+    for i in range(n_coatoms):
+        covers[f"m{i}"] = ["1"]
+    return FiniteLattice.from_covers(covers)
+
+
+def subspace_lattice_gf2(dim: int) -> FiniteLattice:
+    """The lattice of subspaces of the vector space GF(2)^dim.
+
+    The classical example of a *modular, complemented, non-distributive*
+    lattice — exactly the generality gap between Theorem 3 and the
+    Boolean-algebra frameworks (Gumm, Alpern–Schneider) the paper improves
+    on.  Subspaces are frozensets of vectors (tuples over {0,1}).
+    Superexponential; keep ``dim <= 3``.
+    """
+    if dim < 0:
+        raise LatticeError("dim must be non-negative")
+    vectors = [tuple(v) for v in _all_vectors(dim)]
+    subspaces = sorted(_all_subspaces(vectors, dim), key=lambda s: (len(s), sorted(s)))
+
+    def meet(a, b):
+        return frozenset(a & b)
+
+    def join(a, b):
+        return _span(a | b)
+
+    return FiniteLattice.from_meet_join(subspaces, meet, join)
+
+
+def _all_vectors(dim: int):
+    if dim == 0:
+        yield ()
+        return
+    for v in _all_vectors(dim - 1):
+        yield v + (0,)
+        yield v + (1,)
+
+
+def _vadd(u, v):
+    return tuple((a + b) % 2 for a, b in zip(u, v))
+
+
+def _span(vectors) -> frozenset:
+    zero = tuple([0] * (len(next(iter(vectors))) if vectors else 0))
+    span = {zero}
+    changed = True
+    while changed:
+        changed = False
+        for u in list(span):
+            for v in vectors:
+                w = _vadd(u, v)
+                if w not in span:
+                    span.add(w)
+                    changed = True
+    return frozenset(span)
+
+
+def _all_subspaces(vectors, dim) -> set:
+    zero = tuple([0] * dim)
+    subspaces = {frozenset({zero})}
+    frontier = {frozenset({zero})}
+    while frontier:
+        nxt = set()
+        for s in frontier:
+            for v in vectors:
+                if v in s:
+                    continue
+                bigger = _span(set(s) | {v})
+                if bigger not in subspaces:
+                    subspaces.add(bigger)
+                    nxt.add(bigger)
+        frontier = nxt
+    return subspaces
+
+
+# -- the paper's figures, with their closures ---------------------------------
+
+
+@dataclass(frozen=True)
+class FigureInstance:
+    """A counterexample lattice together with the closure from its caption
+    and the distinguished elements the caption talks about."""
+
+    lattice: FiniteLattice
+    closure: LatticeClosure
+    notes: dict
+
+
+def figure1() -> FigureInstance:
+    """Figure 1: the pentagon N5 with ``cl.a = b``, ``cl`` the identity
+    otherwise.
+
+    Per Lemma 6, the element ``a`` cannot be written as the meet of a
+    cl-safety element and a cl-liveness element — modularity is a real
+    hypothesis of Theorem 2.
+    """
+    lat = n5()
+    mapping = {x: x for x in lat.elements}
+    mapping["a"] = "b"
+    closure = LatticeClosure(lat, mapping, name="fig1")
+    return FigureInstance(
+        lattice=lat,
+        closure=closure,
+        notes={"element": "a", "closure_of_element": "b"},
+    )
+
+
+def figure2() -> FigureInstance:
+    """Figure 2: the diamond M3 with a closure mapping the bottom ``a``
+    to the coatom ``s``.
+
+    The caption's facts hold here: ``s`` is a safety element,
+    ``a = s ∧ z``, ``b ∈ cmp(cl.a)``, yet ``z <= a ∨ b`` fails — so
+    Theorem 7's distributivity hypothesis is necessary.  The closed set is
+    ``{s, 1}`` (mapping ``a`` to ``s`` forces ``cl.b = cl.z = 1`` by
+    monotonicity).
+    """
+    lat = m3()
+    closure = LatticeClosure.from_closed_elements(lat, {"s"}, name="fig2")
+    return FigureInstance(
+        lattice=lat,
+        closure=closure,
+        notes={"element": "a", "safety": "s", "complement": "b", "other": "z"},
+    )

@@ -1,0 +1,237 @@
+"""Lattice-closure operators (Section 3 of the paper).
+
+A *lattice closure* on ``L`` is a function ``cl : L -> L`` with
+
+1. ``a <= cl.a``                 (extensive)
+2. ``cl.a = cl(cl.a)``           (idempotent)
+3. ``a <= b  implies  cl.a <= cl.b``   (monotone)
+
+— strictly weaker than a topological closure, which in addition must
+preserve binary joins and fix 0.  The paper's central observation is that
+these three axioms alone suffice for the safety/liveness decomposition;
+:class:`LatticeClosure` validates exactly them and nothing more, and
+records whether the stronger topological axioms *happen* to hold so the
+ablation benchmarks can compare the two regimes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from .lattice import FiniteLattice, LatticeError
+from .poset import Element
+
+
+class ClosureError(ValueError):
+    """Raised when a map violates the lattice-closure axioms."""
+
+
+class LatticeClosure:
+    """A validated lattice-closure operator on a finite lattice.
+
+    Parameters
+    ----------
+    lattice:
+        The carrier lattice.
+    mapping:
+        Either a dict ``{x: cl(x)}`` or a callable.  Totality and the
+        three closure axioms are verified eagerly (the table is small).
+    name:
+        Optional label used in reports (e.g. ``"lcl"``, ``"ncl"``).
+    """
+
+    __slots__ = ("_lattice", "_table", "name")
+
+    def __init__(
+        self,
+        lattice: FiniteLattice,
+        mapping: Mapping[Element, Element] | Callable[[Element], Element],
+        name: str = "cl",
+    ):
+        self._lattice = lattice
+        if callable(mapping):
+            table = {x: mapping(x) for x in lattice.elements}
+        else:
+            table = dict(mapping)
+        missing = [x for x in lattice.elements if x not in table]
+        if missing:
+            raise ClosureError(f"mapping is not total; missing {missing!r}")
+        for x, y in table.items():
+            if x not in lattice or y not in lattice:
+                raise ClosureError(f"mapping mentions non-element {x!r} -> {y!r}")
+        self._table = table
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        lat = self._lattice
+        for x in lat.elements:
+            cx = self._table[x]
+            if not lat.leq(x, cx):
+                raise ClosureError(f"not extensive: {x!r} </= cl({x!r}) = {cx!r}")
+            if self._table[cx] != cx:
+                raise ClosureError(
+                    f"not idempotent: cl({x!r}) = {cx!r} but cl({cx!r}) = "
+                    f"{self._table[cx]!r}"
+                )
+        for x in lat.elements:
+            for y in lat.elements:
+                if lat.leq(x, y) and not lat.leq(self._table[x], self._table[y]):
+                    raise ClosureError(
+                        f"not monotone: {x!r} <= {y!r} but "
+                        f"cl({x!r}) = {self._table[x]!r} </= cl({y!r}) = {self._table[y]!r}"
+                    )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def identity(cls, lattice: FiniteLattice) -> "LatticeClosure":
+        """The trivial closure: every element is closed (safety)."""
+        return cls(lattice, {x: x for x in lattice.elements}, name="id")
+
+    @classmethod
+    def constant_top(cls, lattice: FiniteLattice) -> "LatticeClosure":
+        """The coarsest closure: everything is dense (liveness)."""
+        return cls(lattice, {x: lattice.top for x in lattice.elements}, name="top")
+
+    @classmethod
+    def from_closed_elements(
+        cls,
+        lattice: FiniteLattice,
+        closed: Iterable[Element],
+        name: str = "cl",
+    ) -> "LatticeClosure":
+        """The closure whose image is the meet-closure of ``closed`` ∪ {1}:
+        ``cl.x`` is the least closed element above ``x``.
+
+        This is the canonical way closures arise (closed sets of a topology,
+        safety properties of a framework) and always yields a valid lattice
+        closure.
+        """
+        closed_set = set(closed) | {lattice.top}
+        for c in closed_set:
+            if c not in lattice:
+                raise ClosureError(f"{c!r} not in lattice")
+        # Close under finite meets so least-closed-above is well defined.
+        changed = True
+        while changed:
+            changed = False
+            for a in list(closed_set):
+                for b in list(closed_set):
+                    m = lattice.meet(a, b)
+                    if m not in closed_set:
+                        closed_set.add(m)
+                        changed = True
+        table = {}
+        for x in lattice.elements:
+            above = [c for c in closed_set if lattice.leq(x, c)]
+            table[x] = lattice.meet_many(above)
+        return cls(lattice, table, name=name)
+
+    # -- application -----------------------------------------------------------
+
+    @property
+    def lattice(self) -> FiniteLattice:
+        return self._lattice
+
+    def __call__(self, x: Element) -> Element:
+        try:
+            return self._table[x]
+        except KeyError:
+            raise KeyError(f"{x!r} not in lattice") from None
+
+    def closed_elements(self) -> list[Element]:
+        """The image of ``cl`` = the fixpoints = the safety elements."""
+        return [x for x in self._lattice.elements if self._table[x] == x]
+
+    def is_safety(self, x: Element) -> bool:
+        """``x`` is a cl-safety element: ``x = cl.x``."""
+        return self._table[x] == x
+
+    def is_liveness(self, x: Element) -> bool:
+        """``x`` is a cl-liveness element: ``cl.x = 1``."""
+        return self._table[x] == self._lattice.top
+
+    def dense_elements(self) -> list[Element]:
+        """All cl-liveness elements."""
+        return [x for x in self._lattice.elements if self.is_liveness(x)]
+
+    # -- derived facts from the paper -------------------------------------------
+
+    def lemma3_holds_at(self, a: Element, b: Element) -> bool:
+        """Lemma 3: ``cl(a ∧ b) <= cl.a ∧ cl.b`` (always true; exposed so
+        property tests can machine-check the proof's conclusion)."""
+        lat = self._lattice
+        return lat.leq(self(lat.meet(a, b)), lat.meet(self(a), self(b)))
+
+    def preserves_joins(self) -> bool:
+        """Whether ``cl(a ∨ b) = cl.a ∨ cl.b`` — the *extra* axiom a
+        topological closure would demand.  The paper's point: we never need
+        this, and ``ncl`` genuinely violates it."""
+        lat = self._lattice
+        return all(
+            self(lat.join(a, b)) == lat.join(self(a), self(b))
+            for a in lat.elements
+            for b in lat.elements
+        )
+
+    def join_preservation_violation(self) -> tuple | None:
+        """A pair witnessing ``cl(a ∨ b) != cl.a ∨ cl.b``, or ``None``."""
+        lat = self._lattice
+        for a in lat.elements:
+            for b in lat.elements:
+                if self(lat.join(a, b)) != lat.join(self(a), self(b)):
+                    return (a, b)
+        return None
+
+    def fixes_bottom(self) -> bool:
+        """Whether ``cl.0 = 0`` (the other topological axiom we drop)."""
+        return self._table[self._lattice.bottom] == self._lattice.bottom
+
+    def is_topological(self) -> bool:
+        """All four Kuratowski-style axioms from Section 2.2."""
+        return self.fixes_bottom() and self.preserves_joins()
+
+    def dominates(self, other: "LatticeClosure") -> bool:
+        """``other.x <= self.x`` pointwise — the comparability hypothesis
+        ``cl1 <= cl2`` of Theorem 3 (self plays cl2)."""
+        lat = self._lattice
+        if other._lattice is not lat and other._lattice != lat:
+            raise LatticeError("closures live on different lattices")
+        return all(lat.leq(other(x), self(x)) for x in lat.elements)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatticeClosure({self.name!r}, {len(self.closed_elements())} closed "
+            f"of {len(self._lattice)})"
+        )
+
+
+def all_closures(lattice: FiniteLattice) -> list[LatticeClosure]:
+    """Enumerate *every* lattice closure on a (small) lattice.
+
+    Closures on a finite lattice are in bijection with meet-closed subsets
+    containing 1 (their sets of closed elements), which is what we
+    enumerate.  Exponential in ``len(lattice)`` — intended for the tiny
+    counterexample lattices of Figures 1 and 2 and for exhaustive testing.
+    """
+    from itertools import combinations
+
+    elems = [x for x in lattice.elements if x != lattice.top]
+    closures = []
+    seen_images: set[frozenset] = set()
+    for r in range(len(elems) + 1):
+        for subset in combinations(elems, r):
+            candidate = set(subset) | {lattice.top}
+            if not _meet_closed(lattice, candidate):
+                continue
+            key = frozenset(candidate)
+            if key in seen_images:
+                continue
+            seen_images.add(key)
+            closures.append(LatticeClosure.from_closed_elements(lattice, candidate))
+    return closures
+
+
+def _meet_closed(lattice: FiniteLattice, subset: set) -> bool:
+    return all(lattice.meet(a, b) in subset for a in subset for b in subset)

@@ -1,0 +1,283 @@
+"""Finite lattices with explicit meet/join tables.
+
+The paper's framework is stated over lattices ``(L, ∧, ∨, 0, 1)``; this
+module provides the concrete finite realization used throughout the
+reproduction: meets and joins are precomputed into tables so the theorem
+checkers in :mod:`repro.lattice.decomposition` run at dictionary-lookup
+speed, and every algebraic law the paper appeals to (associativity,
+commutativity, idempotency, absorption — Section 3) can be verified
+exhaustively by :mod:`repro.lattice.properties`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from .poset import Element, FinitePoset, PosetError
+
+
+class LatticeError(ValueError):
+    """Raised when a structure is not (or cannot be made into) a lattice."""
+
+
+class FiniteLattice:
+    """A finite lattice, constructed from a poset in which all meets/joins exist.
+
+    The lattice is bounded automatically (every finite lattice has a 0 and
+    a 1).  Elements are arbitrary hashables carried over from the poset.
+    """
+
+    __slots__ = ("_poset", "_meet", "_join", "_bottom", "_top")
+
+    def __init__(self, poset: FinitePoset):
+        self._poset = poset
+        if len(poset) == 0:
+            raise LatticeError("a lattice must be non-empty")
+        self._meet: dict[tuple[Element, Element], Element] = {}
+        self._join: dict[tuple[Element, Element], Element] = {}
+        elems = poset.elements
+        for x in elems:
+            for y in elems:
+                m = poset.greatest_lower_bound((x, y))
+                if m is None:
+                    raise LatticeError(f"{x!r} and {y!r} have no meet")
+                j = poset.least_upper_bound((x, y))
+                if j is None:
+                    raise LatticeError(f"{x!r} and {y!r} have no join")
+                self._meet[x, y] = m
+                self._join[x, y] = j
+        bottom = poset.bottom()
+        top = poset.top()
+        if bottom is None or top is None:
+            # Cannot happen when all pairwise meets/joins exist in a finite
+            # poset, but guard against pathological posets anyway.
+            raise LatticeError("finite lattice must be bounded")
+        self._bottom = bottom
+        self._top = top
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_covers(cls, covers) -> "FiniteLattice":
+        """Build a lattice from a Hasse diagram (see :meth:`FinitePoset.from_covers`)."""
+        return cls(FinitePoset.from_covers(covers))
+
+    @classmethod
+    def from_leq(cls, elements: Iterable[Element], leq) -> "FiniteLattice":
+        return cls(FinitePoset.from_leq(elements, leq))
+
+    @classmethod
+    def from_meet_join(
+        cls,
+        elements: Iterable[Element],
+        meet: Callable[[Element, Element], Element],
+        join: Callable[[Element, Element], Element],
+    ) -> "FiniteLattice":
+        """Build a lattice from algebraic meet/join operations.
+
+        The induced order is ``x <= y  iff  meet(x, y) == x`` (the paper's
+        algebraic viewpoint); consistency with ``join`` is verified.
+        """
+        elems = list(dict.fromkeys(elements))
+        for x in elems:
+            for y in elems:
+                meet_says = meet(x, y) == x
+                join_says = join(x, y) == y
+                if meet_says != join_says:
+                    raise LatticeError(
+                        f"meet and join disagree on the order of {x!r}, {y!r}"
+                    )
+        return cls.from_leq(elems, lambda x, y: meet(x, y) == x)
+
+    # -- core operations ------------------------------------------------------
+
+    @property
+    def poset(self) -> FinitePoset:
+        return self._poset
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        return self._poset.elements
+
+    @property
+    def bottom(self) -> Element:
+        """The zero element 0 (``a ∨ 0 = a``)."""
+        return self._bottom
+
+    @property
+    def top(self) -> Element:
+        """The unit element 1 (``a ∧ 1 = a``)."""
+        return self._top
+
+    def __len__(self) -> int:
+        return len(self._poset)
+
+    def __iter__(self):
+        return iter(self._poset)
+
+    def __contains__(self, x: Any) -> bool:
+        return x in self._poset
+
+    def meet(self, x: Element, y: Element) -> Element:
+        """Greatest lower bound ``x ∧ y``."""
+        try:
+            return self._meet[x, y]
+        except KeyError:
+            raise KeyError(f"({x!r}, {y!r}) not in lattice") from None
+
+    def join(self, x: Element, y: Element) -> Element:
+        """Least upper bound ``x ∨ y``."""
+        try:
+            return self._join[x, y]
+        except KeyError:
+            raise KeyError(f"({x!r}, {y!r}) not in lattice") from None
+
+    def meet_many(self, xs: Iterable[Element]) -> Element:
+        """``∧ xs``; the meet of the empty family is 1."""
+        result = self._top
+        for x in xs:
+            result = self.meet(result, x)
+        return result
+
+    def join_many(self, xs: Iterable[Element]) -> Element:
+        """``∨ xs``; the join of the empty family is 0."""
+        result = self._bottom
+        for x in xs:
+            result = self.join(result, x)
+        return result
+
+    def leq(self, x: Element, y: Element) -> bool:
+        """``x <= y``, equivalently ``x ∧ y = x`` (Section 3)."""
+        return self._poset.leq(x, y)
+
+    def lt(self, x: Element, y: Element) -> bool:
+        return self._poset.lt(x, y)
+
+    # -- complements (Section 3) ----------------------------------------------
+
+    def is_complement(self, x: Element, y: Element) -> bool:
+        """``y ∈ cmp(x)``: ``x ∧ y = 0`` and ``x ∨ y = 1``."""
+        return self.meet(x, y) == self._bottom and self.join(x, y) == self._top
+
+    def complements(self, x: Element) -> list[Element]:
+        """``cmp(x)`` — all complements of ``x`` (possibly several, possibly none).
+
+        The paper stresses that complements need not be unique outside
+        distributive lattices; callers that need *a* complement should use
+        :meth:`some_complement`.
+        """
+        return [y for y in self.elements if self.is_complement(x, y)]
+
+    def some_complement(self, x: Element) -> Element:
+        """An arbitrary (first in element order) complement of ``x``."""
+        for y in self.elements:
+            if self.is_complement(x, y):
+                return y
+        raise LatticeError(f"{x!r} has no complement")
+
+    # -- distinguished elements ---------------------------------------------
+
+    def atoms(self) -> list[Element]:
+        """Elements covering 0."""
+        return self._poset.upper_covers(self._bottom)
+
+    def coatoms(self) -> list[Element]:
+        """Elements covered by 1."""
+        return self._poset.lower_covers(self._top)
+
+    def join_irreducibles(self) -> list[Element]:
+        """Non-zero elements that are not proper joins."""
+        result = []
+        for x in self.elements:
+            if x == self._bottom:
+                continue
+            if len(self._poset.lower_covers(x)) == 1:
+                result.append(x)
+        return result
+
+    def meet_irreducibles(self) -> list[Element]:
+        """Non-unit elements that are not proper meets."""
+        result = []
+        for x in self.elements:
+            if x == self._top:
+                continue
+            if len(self._poset.upper_covers(x)) == 1:
+                result.append(x)
+        return result
+
+    # -- derived lattices -------------------------------------------------------
+
+    def dual(self) -> "FiniteLattice":
+        """The order-dual lattice (swaps ∧/∨ and 0/1)."""
+        return FiniteLattice(self._poset.dual())
+
+    def product(self, other: "FiniteLattice") -> "FiniteLattice":
+        """The direct product; preserves modularity, distributivity and
+        complementedness componentwise."""
+        elements = [(x, y) for x in self.elements for y in other.elements]
+        return FiniteLattice.from_leq(
+            elements,
+            lambda p, q: self.leq(p[0], q[0]) and other.leq(p[1], q[1]),
+        )
+
+    def interval(self, lo: Element, hi: Element) -> "FiniteLattice":
+        """The interval sublattice ``[lo, hi]``."""
+        if not self.leq(lo, hi):
+            raise LatticeError(f"[{lo!r}, {hi!r}] is empty")
+        subset = [x for x in self.elements if self.leq(lo, x) and self.leq(x, hi)]
+        return FiniteLattice(self._poset.restrict(subset))
+
+    def sublattice_generated_by(self, generators: Iterable[Element]) -> "FiniteLattice":
+        """The smallest sublattice (same meets/joins) containing ``generators``
+        plus the bounds 0 and 1."""
+        closed = set(generators) | {self._bottom, self._top}
+        for g in closed:
+            if g not in self._poset:
+                raise KeyError(f"{g!r} not in lattice")
+        changed = True
+        while changed:
+            changed = False
+            current = list(closed)
+            for x in current:
+                for y in current:
+                    for z in (self.meet(x, y), self.join(x, y)):
+                        if z not in closed:
+                            closed.add(z)
+                            changed = True
+        return FiniteLattice(self._poset.restrict(closed))
+
+    def relabel(self, mapping) -> "FiniteLattice":
+        """A copy with elements renamed via ``mapping`` (a dict or callable)."""
+        if not callable(mapping):
+            table = dict(mapping)
+            mapping = table.__getitem__
+        new_elems = [mapping(x) for x in self.elements]
+        if len(set(new_elems)) != len(new_elems):
+            raise LatticeError("relabeling is not injective")
+        back = dict(zip(new_elems, self.elements))
+        return FiniteLattice.from_leq(
+            new_elems, lambda a, b: self.leq(back[a], back[b])
+        )
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FiniteLattice):
+            return NotImplemented
+        return self._poset == other._poset
+
+    def __hash__(self):
+        return hash(self._poset)
+
+    def __repr__(self) -> str:
+        return f"FiniteLattice({len(self)} elements)"
+
+
+def is_lattice_poset(poset: FinitePoset) -> bool:
+    """True when every pair of elements has both a meet and a join."""
+    try:
+        FiniteLattice(poset)
+    except (LatticeError, PosetError):
+        return False
+    return True

@@ -1,0 +1,190 @@
+"""Lattice morphisms and Galois connections.
+
+Gumm derived the Alpern–Schneider theorem from a ⋁-preserving map between
+⋁-complete Boolean algebras; the paper replaces that machinery with bare
+lattice closures.  This module implements both sides of the comparison:
+
+* :class:`LatticeHomomorphism` — structure-preserving maps, with checks
+  for which operations they preserve;
+* :class:`GaloisConnection` — an adjoint pair ``f ⊣ g``; its round-trip
+  ``g ∘ f`` is always a lattice closure (:meth:`GaloisConnection.closure`),
+  which is how many closures — including ``lcl`` via the
+  prefix/extension adjunction — arise in practice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from .closure import LatticeClosure
+from .lattice import FiniteLattice, LatticeError
+from .poset import Element
+
+
+class MorphismError(LatticeError):
+    """Raised when a map fails the structure-preservation it claims."""
+
+
+class LatticeHomomorphism:
+    """A map between finite lattices, with preservation checks.
+
+    By default only monotonicity is required at construction; use
+    :meth:`preserves_meets` / :meth:`preserves_joins` /
+    :meth:`is_homomorphism` to interrogate stronger properties, or pass
+    ``require='homomorphism'`` to enforce them eagerly.
+    """
+
+    __slots__ = ("source", "target", "_table")
+
+    def __init__(
+        self,
+        source: FiniteLattice,
+        target: FiniteLattice,
+        mapping: Mapping[Element, Element] | Callable[[Element], Element],
+        require: str = "monotone",
+    ):
+        self.source = source
+        self.target = target
+        if callable(mapping):
+            table = {x: mapping(x) for x in source.elements}
+        else:
+            table = dict(mapping)
+        for x in source.elements:
+            if x not in table:
+                raise MorphismError(f"mapping not total; missing {x!r}")
+            if table[x] not in target:
+                raise MorphismError(f"image {table[x]!r} not in target lattice")
+        self._table = table
+        if not self.is_monotone():
+            raise MorphismError("map is not monotone")
+        if require == "homomorphism" and not self.is_homomorphism():
+            raise MorphismError("map is not a lattice homomorphism")
+        elif require not in ("monotone", "homomorphism"):
+            raise ValueError(f"unknown requirement {require!r}")
+
+    def __call__(self, x: Element) -> Element:
+        return self._table[x]
+
+    def is_monotone(self) -> bool:
+        src, tgt = self.source, self.target
+        return all(
+            tgt.leq(self._table[x], self._table[y])
+            for x in src.elements
+            for y in src.elements
+            if src.leq(x, y)
+        )
+
+    def preserves_meets(self) -> bool:
+        src, tgt = self.source, self.target
+        return all(
+            self._table[src.meet(x, y)] == tgt.meet(self._table[x], self._table[y])
+            for x in src.elements
+            for y in src.elements
+        )
+
+    def preserves_joins(self) -> bool:
+        src, tgt = self.source, self.target
+        return all(
+            self._table[src.join(x, y)] == tgt.join(self._table[x], self._table[y])
+            for x in src.elements
+            for y in src.elements
+        )
+
+    def preserves_bounds(self) -> bool:
+        return (
+            self._table[self.source.bottom] == self.target.bottom
+            and self._table[self.source.top] == self.target.top
+        )
+
+    def is_homomorphism(self) -> bool:
+        return self.preserves_meets() and self.preserves_joins()
+
+    def is_embedding(self) -> bool:
+        """Injective homomorphism — exhibits the source as a sublattice."""
+        return self.is_homomorphism() and len(set(self._table.values())) == len(
+            self._table
+        )
+
+    def image(self) -> list[Element]:
+        seen = dict.fromkeys(self._table[x] for x in self.source.elements)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return f"LatticeHomomorphism({len(self.source)} -> {len(self.target)})"
+
+
+class GaloisConnection:
+    """A (monotone) Galois connection ``f : L -> M``, ``g : M -> L`` with
+    ``f.x <= y  iff  x <= g.y``.
+
+    The composite ``g ∘ f`` is a lattice closure on ``L`` — this is the
+    structural reason closures are everywhere, and
+    :meth:`closure` returns it as a validated
+    :class:`~repro.lattice.closure.LatticeClosure`.
+    """
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: LatticeHomomorphism, upper: LatticeHomomorphism):
+        if lower.source is not upper.target or lower.target is not upper.source:
+            if lower.source != upper.target or lower.target != upper.source:
+                raise MorphismError("maps do not form a pair L -> M, M -> L")
+        self.lower = lower  # f : L -> M  (left adjoint)
+        self.upper = upper  # g : M -> L  (right adjoint)
+        if not self._adjoint():
+            raise MorphismError("adjunction law f.x <= y iff x <= g.y fails")
+
+    def _adjoint(self) -> bool:
+        source = self.lower.source
+        target = self.lower.target
+        return all(
+            target.leq(self.lower(x), y) == source.leq(x, self.upper(y))
+            for x in source.elements
+            for y in target.elements
+        )
+
+    def closure(self, name: str = "g∘f") -> LatticeClosure:
+        """The induced lattice closure ``g ∘ f`` on the source lattice."""
+        source = self.lower.source
+        return LatticeClosure(
+            source, {x: self.upper(self.lower(x)) for x in source.elements}, name=name
+        )
+
+    def kernel(self, name: str = "f∘g") -> dict:
+        """The interior (kernel) operator ``f ∘ g`` on the target lattice,
+        returned as a raw table (it is a *co*closure, not a closure)."""
+        target = self.lower.target
+        return {y: self.lower(self.upper(y)) for y in target.elements}
+
+    @classmethod
+    def from_lower(
+        cls, source: FiniteLattice, target: FiniteLattice, lower_map
+    ) -> "GaloisConnection":
+        """Complete a join-preserving ``f`` to a connection by computing its
+        (unique) right adjoint ``g.y = ∨ {x : f.x <= y}``.
+
+        ``f`` must preserve all finite joins including the empty one
+        (``f.0 = 0``); otherwise no right adjoint exists.
+        """
+        f = LatticeHomomorphism(source, target, lower_map)
+        if not f.preserves_joins() or f(source.bottom) != target.bottom:
+            raise MorphismError("a left adjoint must preserve joins (including 0)")
+
+        def g(y):
+            return source.join_many(x for x in source.elements if target.leq(f(x), y))
+
+        return cls(f, LatticeHomomorphism(target, source, g))
+
+
+def gumm_framework_applies(lat: FiniteLattice) -> bool:
+    """Whether Gumm's hypotheses hold for this carrier.
+
+    Gumm requires a ⋁-complete Boolean algebra.  Every *finite* lattice is
+    ⋁-complete, so on finite carriers the test reduces to Boolean-ness —
+    the interesting failures (the Büchi/Rabin language lattices, which are
+    Boolean but not ⋁-complete) are infinite and are exhibited in
+    :mod:`repro.buchi` instead (see ``benchmarks`` ABL2).
+    """
+    from .properties import is_boolean
+
+    return is_boolean(lat)

@@ -1,0 +1,281 @@
+"""Finite partially ordered sets.
+
+A :class:`FinitePoset` is the combinatorial substrate underneath the
+lattice engine (:mod:`repro.lattice.lattice`).  Elements may be any
+hashable Python objects; the order is stored explicitly as a reflexive,
+transitive, antisymmetric relation, so every query (``leq``, covers,
+bounds) is a dictionary lookup.
+
+The paper's Figures 1 and 2 are Hasse diagrams; :meth:`FinitePoset.from_covers`
+builds a poset directly from such a diagram and
+:meth:`FinitePoset.hasse_edges` recovers it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Any
+
+Element = Hashable
+
+
+class PosetError(ValueError):
+    """Raised when input data does not describe a valid partial order."""
+
+
+class FinitePoset:
+    """An explicit finite partial order.
+
+    Parameters
+    ----------
+    elements:
+        The carrier set.  Order of iteration is preserved and used as the
+        canonical element ordering (useful for deterministic output).
+    leq_pairs:
+        Pairs ``(x, y)`` meaning ``x <= y``.  The reflexive-transitive
+        closure is taken automatically; antisymmetry is verified.
+    """
+
+    __slots__ = ("_elements", "_index", "_down", "_up")
+
+    def __init__(self, elements: Iterable[Element], leq_pairs: Iterable[tuple[Element, Element]]):
+        raw = list(elements)
+        self._elements: tuple[Element, ...] = tuple(raw)
+        element_set = set(self._elements)
+        if len(element_set) != len(self._elements):
+            raise PosetError("duplicate elements")
+        self._index: dict[Element, int] = {x: i for i, x in enumerate(self._elements)}
+
+        # ``_down[x]`` is the principal downset of x (everything <= x).
+        down: dict[Element, set[Element]] = {x: {x} for x in self._elements}
+        for lo, hi in leq_pairs:
+            if lo not in element_set or hi not in element_set:
+                raise PosetError(f"pair ({lo!r}, {hi!r}) mentions unknown element")
+            down[hi].add(lo)
+        _transitively_close(down)
+
+        for x in self._elements:
+            for y in down[x]:
+                if x != y and x in down[y]:
+                    raise PosetError(f"antisymmetry violated between {x!r} and {y!r}")
+
+        self._down = {x: frozenset(s) for x, s in down.items()}
+        up: dict[Element, set[Element]] = {x: set() for x in self._elements}
+        for x in self._elements:
+            for y in self._down[x]:
+                up[y].add(x)
+        self._up = {x: frozenset(s) for x, s in up.items()}
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_covers(cls, covers: Mapping[Element, Iterable[Element]]) -> "FinitePoset":
+        """Build a poset from a Hasse diagram.
+
+        ``covers[x]`` lists the elements *covering* ``x`` (immediately
+        above it).  Elements appearing only as covers are added to the
+        carrier automatically.
+        """
+        elements: list[Element] = []
+        for lo, his in covers.items():
+            if lo not in elements:
+                elements.append(lo)
+            for hi in his:
+                if hi not in elements:
+                    elements.append(hi)
+        pairs = [(lo, hi) for lo, his in covers.items() for hi in his]
+        return cls(elements, pairs)
+
+    @classmethod
+    def from_leq(cls, elements: Iterable[Element], leq) -> "FinitePoset":
+        """Build a poset from a binary predicate ``leq(x, y)``."""
+        elems = list(dict.fromkeys(elements))
+        pairs = [(x, y) for x in elems for y in elems if leq(x, y)]
+        return cls(elems, pairs)
+
+    @classmethod
+    def chain(cls, n: int) -> "FinitePoset":
+        """The total order ``0 < 1 < ... < n-1``."""
+        if n < 0:
+            raise PosetError("chain length must be non-negative")
+        return cls(range(n), [(i, i + 1) for i in range(n - 1)])
+
+    @classmethod
+    def antichain(cls, n: int) -> "FinitePoset":
+        """``n`` pairwise-incomparable elements."""
+        return cls(range(n), [])
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def elements(self) -> tuple[Element, ...]:
+        return self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, x: Any) -> bool:
+        return x in self._index
+
+    def __iter__(self):
+        return iter(self._elements)
+
+    def leq(self, x: Element, y: Element) -> bool:
+        """``x <= y`` in this order."""
+        self._check(x)
+        self._check(y)
+        return x in self._down[y]
+
+    def lt(self, x: Element, y: Element) -> bool:
+        """``x < y`` (strict)."""
+        return x != y and self.leq(x, y)
+
+    def comparable(self, x: Element, y: Element) -> bool:
+        return self.leq(x, y) or self.leq(y, x)
+
+    def downset(self, x: Element) -> frozenset:
+        """All elements ``<= x``."""
+        self._check(x)
+        return self._down[x]
+
+    def upset(self, x: Element) -> frozenset:
+        """All elements ``>= x``."""
+        self._check(x)
+        return self._up[x]
+
+    # -- covers and extrema ----------------------------------------------
+
+    def covers(self, x: Element, y: Element) -> bool:
+        """True when ``y`` covers ``x``: ``x < y`` with nothing in between."""
+        if not self.lt(x, y):
+            return False
+        return not any(self.lt(x, z) and self.lt(z, y) for z in self._elements)
+
+    def upper_covers(self, x: Element) -> list[Element]:
+        return [y for y in self._elements if self.covers(x, y)]
+
+    def lower_covers(self, x: Element) -> list[Element]:
+        return [y for y in self._elements if self.covers(y, x)]
+
+    def hasse_edges(self) -> list[tuple[Element, Element]]:
+        """All cover pairs ``(lower, upper)`` — the Hasse diagram."""
+        return [
+            (x, y)
+            for x in self._elements
+            for y in self._elements
+            if self.covers(x, y)
+        ]
+
+    def minimal_elements(self) -> list[Element]:
+        return [x for x in self._elements if len(self._down[x]) == 1]
+
+    def maximal_elements(self) -> list[Element]:
+        return [x for x in self._elements if len(self._up[x]) == 1]
+
+    def bottom(self) -> Element | None:
+        """The least element, or ``None`` when there is none."""
+        mins = self.minimal_elements()
+        if len(mins) == 1 and len(self._up[mins[0]]) == len(self):
+            return mins[0]
+        return None
+
+    def top(self) -> Element | None:
+        """The greatest element, or ``None`` when there is none."""
+        maxs = self.maximal_elements()
+        if len(maxs) == 1 and len(self._down[maxs[0]]) == len(self):
+            return maxs[0]
+        return None
+
+    # -- bounds ------------------------------------------------------------
+
+    def upper_bounds(self, xs: Iterable[Element]) -> set[Element]:
+        xs = list(xs)
+        if not xs:
+            return set(self._elements)
+        bounds = set(self._up[xs[0]])
+        for x in xs[1:]:
+            bounds &= self._up[x]
+        return bounds
+
+    def lower_bounds(self, xs: Iterable[Element]) -> set[Element]:
+        xs = list(xs)
+        if not xs:
+            return set(self._elements)
+        bounds = set(self._down[xs[0]])
+        for x in xs[1:]:
+            bounds &= self._down[x]
+        return bounds
+
+    def least_upper_bound(self, xs: Iterable[Element]) -> Element | None:
+        """The join of ``xs`` when it exists, else ``None``."""
+        bounds = self.upper_bounds(xs)
+        least = [b for b in bounds if all(b in self._down[c] for c in bounds)]
+        return least[0] if least else None
+
+    def greatest_lower_bound(self, xs: Iterable[Element]) -> Element | None:
+        """The meet of ``xs`` when it exists, else ``None``."""
+        bounds = self.lower_bounds(xs)
+        greatest = [b for b in bounds if all(c in self._down[b] for c in bounds)]
+        return greatest[0] if greatest else None
+
+    # -- structural operations ---------------------------------------------
+
+    def dual(self) -> "FinitePoset":
+        """The order-reversed poset: ``x <= y`` in the dual iff ``y <= x`` here."""
+        pairs = [(x, y) for x in self._elements for y in self._down[x]]
+        return FinitePoset(self._elements, pairs)
+
+    def restrict(self, subset: Iterable[Element]) -> "FinitePoset":
+        """The induced sub-poset on ``subset``."""
+        subset = [x for x in self._elements if x in set(subset)]
+        pairs = [(x, y) for x in subset for y in subset if self.leq(x, y)]
+        return FinitePoset(subset, pairs)
+
+    def linear_extension(self) -> list[Element]:
+        """A topological ordering: ``x <= y`` implies x appears first."""
+        return sorted(self._elements, key=lambda x: len(self._down[x]))
+
+    def is_chain(self) -> bool:
+        return all(
+            self.comparable(x, y) for x in self._elements for y in self._elements
+        )
+
+    def is_antichain(self) -> bool:
+        return all(
+            x == y or not self.comparable(x, y)
+            for x in self._elements
+            for y in self._elements
+        )
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FinitePoset):
+            return NotImplemented
+        return set(self._elements) == set(other._elements) and all(
+            self._down[x] == other._down[x] for x in self._elements
+        )
+
+    def __hash__(self):
+        return hash((frozenset(self._elements), frozenset(self._down.items())))
+
+    def __repr__(self) -> str:
+        return f"FinitePoset({len(self)} elements, {len(self.hasse_edges())} cover edges)"
+
+    def _check(self, x: Element) -> None:
+        if x not in self._index:
+            raise KeyError(f"{x!r} is not an element of this poset")
+
+
+def _transitively_close(down: dict[Element, set[Element]]) -> None:
+    """In-place reflexive-transitive closure of principal downsets."""
+    changed = True
+    while changed:
+        changed = False
+        for x, below in down.items():
+            extra = set()
+            for y in below:
+                extra |= down[y] - below
+            if extra:
+                below |= extra
+                changed = True

@@ -1,0 +1,72 @@
+"""Theorem 8 (branching time, stated lattice-theoretically).
+
+Paper: *If (q ES ∨ q US) and p = q ∧ r, then ncl.p ≤ q and
+r ≥ p ∨ b for b ∈ cmp(ncl.p)* — i.e. the branching-time corollary of
+Theorems 6 and 7 with cl1 = ncl, cl2 = fcl.
+
+The statement is purely lattice-theoretic, so it is implemented (and
+benchmarked) at that level: given two comparable closures, whenever an
+element factors through a cl1- or cl2-safety conjunct, the safety
+conjunct dominates ``cl1.p`` and — in distributive lattices — the other
+conjunct is below ``p ∨ b``.
+"""
+
+from __future__ import annotations
+
+from .closure import LatticeClosure
+from .decomposition import DecompositionError
+from .lattice import FiniteLattice
+from .properties import is_distributive
+
+
+def theorem8_holds(
+    lattice: FiniteLattice,
+    ncl: LatticeClosure,
+    fcl: LatticeClosure,
+    p,
+    check_weakest: bool | None = None,
+) -> bool:
+    """Exhaustively verify Theorem 8's two conclusions at ``p``.
+
+    For every factorization ``p = q ∧ r`` with ``q`` an ncl- or
+    fcl-safety element:
+
+    1. ``ncl.p ≤ q``  (from Theorem 6), and
+    2. when the lattice is distributive (or ``check_weakest=True``):
+       ``r ≤ p ∨ b`` for every ``b ∈ cmp(ncl.p)``  (from Theorem 7).
+    """
+    if not fcl.dominates(ncl):
+        raise DecompositionError("hypothesis ncl <= fcl (pointwise) fails")
+    if check_weakest is None:
+        check_weakest = is_distributive(lattice)
+    target = ncl(p)
+    complements = lattice.complements(target)
+    for q in lattice.elements:
+        if not (ncl.is_safety(q) or fcl.is_safety(q)):
+            continue
+        for r in lattice.elements:
+            if lattice.meet(q, r) != p:
+                continue
+            if not lattice.leq(target, q):
+                return False
+            if check_weakest:
+                for b in complements:
+                    if not lattice.leq(r, lattice.join(p, b)):
+                        return False
+    return True
+
+
+def theorem8_safety_bound_witnesses(
+    lattice: FiniteLattice, ncl: LatticeClosure, fcl: LatticeClosure, p
+) -> list:
+    """All factorizations ``(q, r)`` of ``p`` through safety conjuncts —
+    for inspection/reporting; Theorem 8 says every listed ``q`` lies
+    above ``ncl.p``."""
+    out = []
+    for q in lattice.elements:
+        if not (ncl.is_safety(q) or fcl.is_safety(q)):
+            continue
+        for r in lattice.elements:
+            if lattice.meet(q, r) == p:
+                out.append((q, r))
+    return out

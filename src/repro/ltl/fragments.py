@@ -1,0 +1,77 @@
+"""Syntactic safety/co-safety fragments of LTL (Sistla's line of work,
+cited by the paper as [21]).
+
+Sistla characterized safety for temporal logic syntactically: formulas
+whose negation normal form uses only ``X``, ``R`` (hence ``G``, ``W``)
+as temporal operators denote safety properties; dually, NNF formulas
+using only ``X``, ``U`` (hence ``F``) denote *co-safety* (their
+complements are safety — these are "guarantee" properties, a subclass
+of liveness unless degenerate).
+
+The implications are one-directional: a semantically safe property may
+be written with ``U`` (e.g. ``a U false`` ≡ ``false``).  The tests
+machine-check the sound direction against the exact semantic classifier
+and exhibit the converse failures.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    FalseFormula,
+    Formula,
+    Letter,
+    Next,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+    nnf_over_alphabet,
+)
+
+
+def is_syntactically_safe(formula: Formula, alphabet) -> bool:
+    """NNF contains no ``Until`` — a sufficient condition for the
+    property to be safety (Sistla)."""
+    return _temporal_profile(formula, alphabet)["until"] == 0
+
+
+def is_syntactically_cosafe(formula: Formula, alphabet) -> bool:
+    """NNF contains no ``Release`` — sufficient for co-safety: the
+    complement is a safety property."""
+    return _temporal_profile(formula, alphabet)["release"] == 0
+
+
+def _temporal_profile(formula: Formula, alphabet) -> dict:
+    positive = nnf_over_alphabet(formula, alphabet)
+    counts = {"until": 0, "release": 0, "next": 0}
+
+    def walk(f: Formula):
+        if isinstance(f, Until):
+            counts["until"] += 1
+        elif isinstance(f, Release):
+            counts["release"] += 1
+        elif isinstance(f, Next):
+            counts["next"] += 1
+        elif not isinstance(f, (And, Or, Letter, TrueFormula, FalseFormula)):
+            raise TypeError(f"unknown formula node {f!r}")
+        for child in f.children():
+            walk(child)
+
+    walk(positive)
+    return counts
+
+
+def syntactic_class(formula: Formula, alphabet) -> str:
+    """``"safety"``, ``"cosafety"``, ``"both"`` (pure past/present —
+    no U and no R) or ``"none"`` (mixes U and R: no syntactic verdict)."""
+    profile = _temporal_profile(formula, alphabet)
+    safe = profile["until"] == 0
+    cosafe = profile["release"] == 0
+    if safe and cosafe:
+        return "both"
+    if safe:
+        return "safety"
+    if cosafe:
+        return "cosafety"
+    return "none"

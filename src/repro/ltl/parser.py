@@ -1,0 +1,190 @@
+"""A small recursive-descent parser for LTL.
+
+Grammar (precedence from loose to tight)::
+
+    formula  ::=  iff
+    iff      ::=  implies ( "<->" implies )*
+    implies  ::=  or ( "->" or )*          (right associative)
+    or       ::=  and ( ("|" | "∨") and )*
+    and      ::=  binary ( ("&" | "∧") binary )*
+    binary   ::=  unary ( ("U" | "R" | "W") unary )*   (right associative)
+    unary    ::=  ("!" | "¬" | "X" | "F" | "G")* atom
+    atom     ::=  "true" | "false" | "(" formula ")" | symbol | "{" sym ("," sym)* "}"
+
+Symbols are single identifiers (letters/digits/underscore); the atomic
+formula ``a`` means "the current symbol is ``a``", and ``{a,b}`` means
+"the current symbol is one of a, b" — matching Rem's examples:
+``"a & F !a"`` is the paper's p3.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    F,
+    Formula,
+    G,
+    Letter,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    W,
+    iff,
+    implies,
+)
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<arrow2><->)|(?P<arrow>->)|(?P<op>[!¬&∧|∨(){},])|(?P<word>\w+))"
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed LTL input."""
+
+
+def tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize at: {remainder[:20]!r}")
+        token = m.group(m.lastgroup)
+        if re.fullmatch(r"[XFG]{2,}", token):
+            # allow stacked temporal prefixes written without spaces: GF a
+            tokens.extend(token)
+        else:
+            tokens.append(token)
+        pos = m.end()
+    return tokens
+
+
+_RESERVED = {"U", "R", "W", "X", "F", "G", "true", "false"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    # precedence climbing -----------------------------------------------------
+
+    def formula(self) -> Formula:
+        return self.iff_level()
+
+    def iff_level(self) -> Formula:
+        left = self.implies_level()
+        while self.peek() == "<->":
+            self.take()
+            left = iff(left, self.implies_level())
+        return left
+
+    def implies_level(self) -> Formula:
+        left = self.or_level()
+        if self.peek() == "->":
+            self.take()
+            return implies(left, self.implies_level())
+        return left
+
+    def or_level(self) -> Formula:
+        left = self.and_level()
+        while self.peek() in ("|", "∨"):
+            self.take()
+            left = Or(left, self.and_level())
+        return left
+
+    def and_level(self) -> Formula:
+        left = self.binary_level()
+        while self.peek() in ("&", "∧"):
+            self.take()
+            left = And(left, self.binary_level())
+        return left
+
+    def binary_level(self) -> Formula:
+        left = self.unary_level()
+        tok = self.peek()
+        if tok in ("U", "R", "W"):
+            self.take()
+            right = self.binary_level()  # right associative
+            if tok == "U":
+                return Until(left, right)
+            if tok == "R":
+                return Release(left, right)
+            return W(left, right)
+        return left
+
+    def unary_level(self) -> Formula:
+        tok = self.peek()
+        if tok in ("!", "¬"):
+            self.take()
+            return Not(self.unary_level())
+        if tok == "X":
+            self.take()
+            return Next(self.unary_level())
+        if tok == "F":
+            self.take()
+            return F(self.unary_level())
+        if tok == "G":
+            self.take()
+            return G(self.unary_level())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        tok = self.take()
+        if tok == "true":
+            return TRUE
+        if tok == "false":
+            return FALSE
+        if tok == "(":
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if tok == "{":
+            letters = [self._symbol()]
+            while self.peek() == ",":
+                self.take()
+                letters.append(self._symbol())
+            self.expect("}")
+            return Letter(letters)
+        if tok in _RESERVED or not re.fullmatch(r"\w+", tok):
+            raise ParseError(f"unexpected token {tok!r}")
+        return Letter([tok])
+
+    def _symbol(self) -> str:
+        tok = self.take()
+        if not re.fullmatch(r"\w+", tok) or tok in _RESERVED:
+            raise ParseError(f"expected a symbol, got {tok!r}")
+        return tok
+
+
+def parse(text: str) -> Formula:
+    """Parse an LTL formula from text."""
+    parser = _Parser(tokenize(text))
+    result = parser.formula()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input from {parser.peek()!r}")
+    return result

@@ -1,0 +1,71 @@
+"""Martin Rem's example properties (paper §2.3).
+
+Over an alphabet containing the symbol ``a`` (default ``{a, b}``):
+
+========  ===============================================  =============
+id        informal                                          LTL
+========  ===============================================  =============
+p0        false                                             ``false``
+p1        first symbol is a                                 ``a``
+p2        first symbol differs from a                       ``¬a``
+p3        first is a and some symbol differs from a         ``a ∧ F ¬a``
+p4        finitely many a's                                  ``FG ¬a``
+p5        infinitely many a's                                ``GF a``
+p6        true                                              ``true``
+========  ===============================================  =============
+
+The paper's classification: p0, p1, p2, p6 are safety; p3 is neither
+(its closure is p1); p4 and p5 are liveness (closure Σ^ω).  p6 is also a
+liveness property (the only property that is both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .classify import Classification, PropertyClass, classify
+from .syntax import FALSE, TRUE, F, Formula, G, Not, sym
+
+
+@dataclass(frozen=True)
+class RemExample:
+    """One row of the paper's §2.3 example table."""
+
+    identifier: str
+    informal: str
+    formula: Formula
+    expected: PropertyClass
+
+
+def rem_examples(a_symbol: str = "a") -> list[RemExample]:
+    """The seven properties, with the paper's expected classification."""
+    a = sym(a_symbol)
+    return [
+        RemExample("p0", "false", FALSE, PropertyClass.SAFETY),
+        RemExample("p1", f"first symbol is {a_symbol}", a, PropertyClass.SAFETY),
+        RemExample(
+            "p2", f"first symbol differs from {a_symbol}", Not(a), PropertyClass.SAFETY
+        ),
+        RemExample(
+            "p3",
+            f"first is {a_symbol} and some symbol differs",
+            a & F(Not(a)),
+            PropertyClass.NEITHER,
+        ),
+        RemExample(
+            "p4", f"finitely many {a_symbol}'s", F(G(Not(a))), PropertyClass.LIVENESS
+        ),
+        RemExample(
+            "p5", f"infinitely many {a_symbol}'s", G(F(a)), PropertyClass.LIVENESS
+        ),
+        RemExample("p6", "true", TRUE, PropertyClass.BOTH),
+    ]
+
+
+def classify_rem_examples(alphabet=("a", "b")) -> list[tuple[RemExample, Classification]]:
+    """Classify all seven examples — the reproduction of the §2.3 table.
+
+    Note on p6: the paper's table lists it under safety; it is of course
+    also live (``lcl.Σ^ω = Σ^ω``), which our classifier reports as BOTH.
+    """
+    return [(ex, classify(ex.formula, alphabet)) for ex in rem_examples()]

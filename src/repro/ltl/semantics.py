@@ -1,0 +1,124 @@
+"""LTL semantics over ultimately periodic words.
+
+``satisfies(word, formula)`` evaluates a formula on a lasso word exactly:
+a lasso has ``spine = |u| + |v|`` distinguishable positions (position
+``i >= |u|`` recurs with period ``|v|``), and each temporal operator is a
+fixpoint over that finite position graph — least for U (initialize
+false, iterate), greatest for R (initialize true, iterate).
+
+This evaluator is the *semantic ground truth* the tableau translation in
+:mod:`repro.ltl.translate` is validated against.
+"""
+
+from __future__ import annotations
+
+from repro.omega.word import LassoWord
+
+from .syntax import (
+    And,
+    FalseFormula,
+    Formula,
+    Letter,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+)
+
+
+def satisfies(word: LassoWord, formula: Formula) -> bool:
+    """Whether ``word ⊨ formula``."""
+    return evaluate_positions(word, formula)[0]
+
+
+def evaluate_positions(word: LassoWord, formula: Formula) -> list[bool]:
+    """The truth value of ``formula`` at every canonical position of the
+    lasso (index ``i`` = the suffix ``word[i:]``)."""
+    spine = word.spine_length
+    loop_back = len(word.prefix)
+
+    def nxt(i: int) -> int:
+        return i + 1 if i + 1 < spine else loop_back
+
+    cache: dict[Formula, list[bool]] = {}
+
+    def eval_formula(f: Formula) -> list[bool]:
+        if f in cache:
+            return cache[f]
+        if isinstance(f, TrueFormula):
+            result = [True] * spine
+        elif isinstance(f, FalseFormula):
+            result = [False] * spine
+        elif isinstance(f, Letter):
+            result = [word[i] in f.letters for i in range(spine)]
+        elif isinstance(f, Not):
+            result = [not v for v in eval_formula(f.operand)]
+        elif isinstance(f, And):
+            left, right = eval_formula(f.left), eval_formula(f.right)
+            result = [a and b for a, b in zip(left, right)]
+        elif isinstance(f, Or):
+            left, right = eval_formula(f.left), eval_formula(f.right)
+            result = [a or b for a, b in zip(left, right)]
+        elif isinstance(f, Next):
+            inner = eval_formula(f.operand)
+            result = [inner[nxt(i)] for i in range(spine)]
+        elif isinstance(f, Until):
+            left, right = eval_formula(f.left), eval_formula(f.right)
+            result = _fixpoint(
+                spine,
+                nxt,
+                start=False,
+                step=lambda i, val: right[i] or (left[i] and val[nxt(i)]),
+            )
+        elif isinstance(f, Release):
+            left, right = eval_formula(f.left), eval_formula(f.right)
+            result = _fixpoint(
+                spine,
+                nxt,
+                start=True,
+                step=lambda i, val: right[i] and (left[i] or val[nxt(i)]),
+            )
+        else:
+            raise TypeError(f"unknown formula node {f!r}")
+        cache[f] = result
+        return result
+
+    return eval_formula(formula)
+
+
+def _fixpoint(spine: int, nxt, start: bool, step) -> list[bool]:
+    """Iterate ``val[i] = step(i, val)`` to the fixpoint.
+
+    With monotone ``step``, starting from all-``start`` converges within
+    ``spine`` rounds (least fixpoint from False, greatest from True).
+    """
+    val = [start] * spine
+    for _ in range(spine + 1):
+        new = [step(i, val) for i in range(spine)]
+        if new == val:
+            break
+        val = new
+    return val
+
+
+def language_of(formula: Formula, alphabet):
+    """The models of ``formula`` as a semantic
+    :class:`~repro.omega.language.OmegaLanguage`."""
+    from repro.omega.language import OmegaLanguage
+
+    return OmegaLanguage(
+        alphabet, lambda w: satisfies(w, formula), name=str(formula)
+    )
+
+
+def models_within(formula: Formula, alphabet, max_prefix: int = 2, max_cycle: int = 3):
+    """All bounded lasso models — handy in tests."""
+    from repro.omega.word import all_lassos
+
+    return [
+        w
+        for w in all_lassos(alphabet, max_prefix, max_cycle)
+        if satisfies(w, formula)
+    ]

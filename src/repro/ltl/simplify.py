@@ -1,0 +1,118 @@
+"""Semantics-preserving LTL simplification rewrites.
+
+Bottom-up application of the standard identities (Boolean absorption and
+units, temporal idempotence ``F F φ = F φ`` / ``G G φ = G φ``, the
+``X``-distribution-free basics, and letter-set fusion).  Used to keep
+tableau inputs small; every rewrite is validated in the tests by
+exhaustive lasso agreement.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    FalseFormula,
+    Formula,
+    Letter,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueFormula,
+    Until,
+)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Apply the rewrite rules to a fixpoint, bottom-up."""
+    current = formula
+    while True:
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return current
+        current = simplified
+
+
+def _simplify_once(f: Formula) -> Formula:
+    if isinstance(f, (TrueFormula, FalseFormula, Letter)):
+        return f
+    if isinstance(f, Not):
+        inner = _simplify_once(f.operand)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(f, And):
+        left, right = _simplify_once(f.left), _simplify_once(f.right)
+        if isinstance(left, FalseFormula) or isinstance(right, FalseFormula):
+            return FALSE
+        if isinstance(left, TrueFormula):
+            return right
+        if isinstance(right, TrueFormula):
+            return left
+        if left == right:
+            return left
+        if isinstance(left, Letter) and isinstance(right, Letter):
+            merged = left.letters & right.letters
+            return Letter(merged) if merged else FALSE
+        return And(left, right)
+    if isinstance(f, Or):
+        left, right = _simplify_once(f.left), _simplify_once(f.right)
+        if isinstance(left, TrueFormula) or isinstance(right, TrueFormula):
+            return TRUE
+        if isinstance(left, FalseFormula):
+            return right
+        if isinstance(right, FalseFormula):
+            return left
+        if left == right:
+            return left
+        if isinstance(left, Letter) and isinstance(right, Letter):
+            return Letter(left.letters | right.letters)
+        return Or(left, right)
+    if isinstance(f, Next):
+        inner = _simplify_once(f.operand)
+        if isinstance(inner, (TrueFormula, FalseFormula)):
+            return inner  # X true = true, X false = false
+        return Next(inner)
+    if isinstance(f, Until):
+        left, right = _simplify_once(f.left), _simplify_once(f.right)
+        if isinstance(right, TrueFormula):
+            return TRUE  # φ U true = true
+        if isinstance(right, FalseFormula):
+            return FALSE  # φ U false = false
+        if isinstance(left, FalseFormula):
+            return right  # false U ψ = ψ
+        if left == right:
+            return right
+        # F-idempotence: true U (true U ψ) = true U ψ
+        if (
+            isinstance(left, TrueFormula)
+            and isinstance(right, Until)
+            and isinstance(right.left, TrueFormula)
+        ):
+            return right
+        return Until(left, right)
+    if isinstance(f, Release):
+        left, right = _simplify_once(f.left), _simplify_once(f.right)
+        if isinstance(right, FalseFormula):
+            return FALSE  # φ R false = false
+        if isinstance(right, TrueFormula):
+            return TRUE  # φ R true = true
+        if isinstance(left, TrueFormula):
+            return right  # true R ψ = ψ
+        if left == right:
+            return right
+        # G-idempotence: false R (false R ψ) = false R ψ
+        if (
+            isinstance(left, FalseFormula)
+            and isinstance(right, Release)
+            and isinstance(right.left, FalseFormula)
+        ):
+            return right
+        return Release(left, right)
+    raise TypeError(f"unknown formula node {f!r}")

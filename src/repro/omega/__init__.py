@@ -1,0 +1,33 @@
+"""Ultimately-periodic ω-words and semantically represented ω-languages
+(the linear-time framework of Section 2)."""
+
+from .closure import (
+    bounded_lcl,
+    decompose_semantically,
+    is_liveness_bounded,
+    is_safety_bounded,
+    lcl_member_bounded,
+    oracle_from_members,
+)
+from .language import (
+    OmegaLanguage,
+    empty_language,
+    single_word_language,
+    universal_language,
+)
+from .word import LassoWord, all_lassos
+
+__all__ = [
+    "LassoWord",
+    "all_lassos",
+    "OmegaLanguage",
+    "empty_language",
+    "universal_language",
+    "single_word_language",
+    "lcl_member_bounded",
+    "bounded_lcl",
+    "oracle_from_members",
+    "is_safety_bounded",
+    "is_liveness_bounded",
+    "decompose_semantically",
+]

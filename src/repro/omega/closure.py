@@ -1,0 +1,110 @@
+"""The linear-time closure ``lcl`` on semantically represented languages.
+
+The paper defines (Section 2.2)::
+
+    lcl.T = { t ∈ Σ^ω | ∀x ⊑ t : ∃t' ∈ T : x ⊑ t' }
+
+i.e. ``t`` is in the closure iff every finite prefix of ``t`` extends to a
+member of ``T``.  For languages given only by a membership predicate this
+is undecidable, so this module offers the *bounded* semantic version: the
+caller supplies a prefix-extension oracle and a prefix-length bound, and
+membership in ``lcl`` is checked for all prefixes up to the bound.
+
+For ω-regular languages the bound can be made exact (the subset-automaton
+run over a lasso is eventually periodic); that exact computation lives in
+:func:`repro.buchi.closure.semantic_lcl_member`.  The bounded version here
+is the framework-independent ground truth the automaton construction is
+validated against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from .language import OmegaLanguage
+from .word import LassoWord, Symbol
+
+PrefixOracle = Callable[[Sequence[Symbol]], bool]
+"""``oracle(x)`` answers: does the finite word ``x`` extend to a member?"""
+
+
+def oracle_from_members(members: Iterable[LassoWord]) -> PrefixOracle:
+    """A prefix-extension oracle for an explicitly listed (finite) set of
+    lasso members: ``x`` extends iff it is a prefix of some member."""
+    members = list(members)
+
+    def extends(x: Sequence[Symbol]) -> bool:
+        x = tuple(x)
+        return any(m.finite_prefix(len(x)) == x for m in members)
+
+    return extends
+
+
+def lcl_member_bounded(
+    word: LassoWord, extends: PrefixOracle, prefix_bound: int
+) -> bool:
+    """Bounded ``lcl`` membership: every prefix of ``word`` of length
+    ``<= prefix_bound`` extends to a member.
+
+    Sound for "no" answers at any bound; "yes" answers are exact once the
+    bound covers the oracle's periodic behaviour on the word (for a Büchi
+    oracle, ``|u| + |v| * 2^|Q|`` always suffices; far less in practice).
+    """
+    return all(extends(p) for p in word.prefixes(prefix_bound))
+
+
+def bounded_lcl(
+    language: OmegaLanguage, extends: PrefixOracle, prefix_bound: int
+) -> OmegaLanguage:
+    """The language ``lcl.L`` as a membership object, using the bounded
+    semantic test."""
+    return OmegaLanguage(
+        language.alphabet,
+        lambda w: lcl_member_bounded(w, extends, prefix_bound),
+        name=f"lcl.{language.name}",
+    )
+
+
+def is_safety_bounded(
+    language: OmegaLanguage,
+    extends: PrefixOracle,
+    prefix_bound: int,
+    max_prefix: int = 2,
+    max_cycle: int = 3,
+) -> bool:
+    """Bounded check that ``L = lcl.L`` (safety) on all small lassos."""
+    closed = bounded_lcl(language, extends, prefix_bound)
+    return language.agrees_with(closed, max_prefix=max_prefix, max_cycle=max_cycle)
+
+
+def is_liveness_bounded(
+    language: OmegaLanguage,
+    extends: PrefixOracle,
+    prefix_bound: int,
+    max_prefix: int = 2,
+    max_cycle: int = 3,
+) -> bool:
+    """Bounded check that ``lcl.L = Σ^ω`` (liveness): every small lasso is
+    in the closure — equivalently here, every short finite word extends to
+    a member."""
+    closed = bounded_lcl(language, extends, prefix_bound)
+    from .word import all_lassos
+
+    return all(
+        w in closed for w in all_lassos(language.alphabet, max_prefix, max_cycle)
+    )
+
+
+def decompose_semantically(
+    language: OmegaLanguage, extends: PrefixOracle, prefix_bound: int
+) -> tuple[OmegaLanguage, OmegaLanguage]:
+    """Theorem 1's decomposition ``P = lcl.P ∩ (P ∪ ¬lcl.P)`` as language
+    objects — the Boolean-algebra instance of Theorem 2 with ``cl = lcl``.
+
+    Returns ``(safety_part, liveness_part)``.
+    """
+    closed = bounded_lcl(language, extends, prefix_bound)
+    safety = OmegaLanguage(language.alphabet, closed._contains, name=f"lcl.{language.name}")
+    liveness = language | ~closed
+    liveness.name = f"({language.name} ∪ ¬lcl.{language.name})"
+    return safety, liveness

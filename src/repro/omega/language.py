@@ -1,0 +1,116 @@
+"""ω-languages with decidable membership on lasso words.
+
+Section 2's lattice is ``P(Σ^ω)``.  The representable fragment this
+reproduction computes with is the Boolean algebra of languages with a
+*membership oracle on lasso words* — which includes every ω-regular
+language (via :mod:`repro.buchi`), every LTL-definable language (via
+:mod:`repro.ltl`), and hand-written predicates like Rem's examples.
+
+Language objects form a Boolean algebra under ``&``, ``|`` and ``~``
+(meet, join, complement in the paper's sense), so the linear-time
+instance of the lattice framework can be exercised semantically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from .word import LassoWord, Symbol, all_lassos
+
+
+class OmegaLanguage:
+    """A set of infinite words over a fixed finite alphabet, represented by
+    a membership test on ultimately periodic words."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        contains: Callable[[LassoWord], bool],
+        name: str = "L",
+    ):
+        self.alphabet = frozenset(alphabet)
+        if not self.alphabet:
+            raise ValueError("alphabet must be non-empty")
+        self._contains = contains
+        self.name = name
+
+    def __contains__(self, word: LassoWord) -> bool:
+        if not word.symbols() <= self.alphabet:
+            raise ValueError(
+                f"word uses symbols {word.symbols() - self.alphabet!r} "
+                f"outside the alphabet"
+            )
+        return bool(self._contains(word))
+
+    # -- Boolean algebra (the lattice operations of Section 3) ---------------
+
+    def __and__(self, other: "OmegaLanguage") -> "OmegaLanguage":
+        self._check_same_alphabet(other)
+        return OmegaLanguage(
+            self.alphabet,
+            lambda w: w in self and w in other,
+            name=f"({self.name} ∩ {other.name})",
+        )
+
+    def __or__(self, other: "OmegaLanguage") -> "OmegaLanguage":
+        self._check_same_alphabet(other)
+        return OmegaLanguage(
+            self.alphabet,
+            lambda w: w in self or w in other,
+            name=f"({self.name} ∪ {other.name})",
+        )
+
+    def __invert__(self) -> "OmegaLanguage":
+        return OmegaLanguage(
+            self.alphabet, lambda w: w not in self, name=f"¬{self.name}"
+        )
+
+    def __sub__(self, other: "OmegaLanguage") -> "OmegaLanguage":
+        return self & ~other
+
+    def _check_same_alphabet(self, other: "OmegaLanguage") -> None:
+        if self.alphabet != other.alphabet:
+            raise ValueError(
+                f"alphabet mismatch: {sorted(map(str, self.alphabet))} vs "
+                f"{sorted(map(str, other.alphabet))}"
+            )
+
+    # -- bounded extensional comparison -----------------------------------------
+
+    def sample(self, max_prefix: int = 2, max_cycle: int = 3) -> list[LassoWord]:
+        """The members among all lassos of bounded spelling size."""
+        return [w for w in all_lassos(self.alphabet, max_prefix, max_cycle) if w in self]
+
+    def agrees_with(
+        self, other: "OmegaLanguage", max_prefix: int = 2, max_cycle: int = 3
+    ) -> bool:
+        """Extensional equality on all bounded lassos.
+
+        For ω-regular languages, agreement on lassos with
+        ``|u| + |v| <= |Q_1| · |Q_2| + 1``-ish bounds implies genuine
+        equality; callers with automata in hand should prefer the exact
+        check in :mod:`repro.buchi.inclusion`.
+        """
+        self._check_same_alphabet(other)
+        return all(
+            (w in self) == (w in other)
+            for w in all_lassos(self.alphabet, max_prefix, max_cycle)
+        )
+
+    def __repr__(self) -> str:
+        return f"OmegaLanguage({self.name!r}, Σ={sorted(map(str, self.alphabet))})"
+
+
+def empty_language(alphabet: Iterable[Symbol]) -> OmegaLanguage:
+    """``∅`` — the lattice's 0."""
+    return OmegaLanguage(alphabet, lambda w: False, name="∅")
+
+
+def universal_language(alphabet: Iterable[Symbol]) -> OmegaLanguage:
+    """``Σ^ω`` — the lattice's 1."""
+    return OmegaLanguage(alphabet, lambda w: True, name="Σ^ω")
+
+
+def single_word_language(alphabet: Iterable[Symbol], word: LassoWord) -> OmegaLanguage:
+    """``{word}`` — an atom of the lattice (restricted to lassos)."""
+    return OmegaLanguage(alphabet, lambda w: w == word, name=f"{{{word!r}}}")

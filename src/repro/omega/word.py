@@ -1,0 +1,185 @@
+"""Ultimately-periodic infinite words (lassos).
+
+The linear-time framework of Section 2 quantifies over ``Σ^ω`` — all
+infinite words.  Arbitrary infinite words are not representable, but the
+*ultimately periodic* ones ``u · v^ω`` are, and they are complete for every
+question this reproduction asks: two ω-regular languages are equal iff
+they agree on ultimately periodic words, and every non-empty Büchi
+automaton accepts one (the emptiness witness is a lasso).
+
+:class:`LassoWord` stores a canonical form, so structurally different
+spellings of the same word (``a·(ba)^ω`` vs ``ab·(ab)^ω``) compare equal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+Symbol = Hashable
+
+
+class LassoWord:
+    """The infinite word ``prefix · cycle^ω`` in canonical form.
+
+    Canonicalization: the cycle is reduced to its primitive (shortest)
+    period, and trailing prefix symbols that merely unroll the cycle are
+    folded back into it, making equality and hashing semantic.
+    """
+
+    __slots__ = ("_prefix", "_cycle")
+
+    def __init__(self, prefix: Iterable[Symbol], cycle: Iterable[Symbol]):
+        prefix = tuple(prefix)
+        cycle = tuple(cycle)
+        if not cycle:
+            raise ValueError("the cycle of a lasso word must be non-empty")
+        cycle = _primitive_root(cycle)
+        # Fold the prefix: while its last symbol equals the cycle's last
+        # symbol, rotate the cycle right and shorten the prefix.  This makes
+        # e.g.  a·(ba)^ω  canonicalize to  (ab)^ω.
+        prefix_list = list(prefix)
+        cycle_list = list(cycle)
+        while prefix_list and prefix_list[-1] == cycle_list[-1]:
+            prefix_list.pop()
+            cycle_list.insert(0, cycle_list.pop())
+        self._prefix = tuple(prefix_list)
+        self._cycle = tuple(cycle_list)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def prefix(self) -> tuple[Symbol, ...]:
+        """The canonical transient part ``u``."""
+        return self._prefix
+
+    @property
+    def cycle(self) -> tuple[Symbol, ...]:
+        """The canonical periodic part ``v`` (primitive)."""
+        return self._cycle
+
+    @classmethod
+    def periodic(cls, cycle: Iterable[Symbol]) -> "LassoWord":
+        """The purely periodic word ``v^ω``."""
+        return cls((), cycle)
+
+    @classmethod
+    def constant(cls, symbol: Symbol) -> "LassoWord":
+        """The word ``s^ω``."""
+        return cls((), (symbol,))
+
+    # -- access ------------------------------------------------------------------
+
+    def __getitem__(self, i: int) -> Symbol:
+        """The symbol at position ``i`` (0-based)."""
+        if i < 0:
+            raise IndexError("infinite words have no negative positions")
+        if i < len(self._prefix):
+            return self._prefix[i]
+        return self._cycle[(i - len(self._prefix)) % len(self._cycle)]
+
+    def symbols(self) -> frozenset:
+        """The set of symbols occurring in the word."""
+        return frozenset(self._prefix) | frozenset(self._cycle)
+
+    def recurring_symbols(self) -> frozenset:
+        """The symbols occurring infinitely often (exactly the cycle's)."""
+        return frozenset(self._cycle)
+
+    def finite_prefix(self, n: int) -> tuple[Symbol, ...]:
+        """The first ``n`` symbols."""
+        return tuple(self[i] for i in range(n))
+
+    def prefixes(self, up_to: int) -> Iterator[tuple[Symbol, ...]]:
+        """All finite prefixes of length ``0..up_to`` (inclusive)."""
+        for n in range(up_to + 1):
+            yield self.finite_prefix(n)
+
+    def suffix(self, n: int) -> "LassoWord":
+        """The word with the first ``n`` symbols dropped — still a lasso."""
+        if n < 0:
+            raise ValueError("cannot drop a negative number of symbols")
+        if n <= len(self._prefix):
+            return LassoWord(self._prefix[n:], self._cycle)
+        k = (n - len(self._prefix)) % len(self._cycle)
+        return LassoWord((), self._cycle[k:] + self._cycle[:k])
+
+    def prepend(self, symbols: Sequence[Symbol]) -> "LassoWord":
+        """The word ``symbols · self``."""
+        return LassoWord(tuple(symbols) + self._prefix, self._cycle)
+
+    @property
+    def spine_length(self) -> int:
+        """``|prefix| + |cycle|`` — every position of the word is
+        equivalent, for any finite-state observer, to one of this many."""
+        return len(self._prefix) + len(self._cycle)
+
+    def positions(self) -> range:
+        """The canonical representatives ``0 .. spine_length - 1``; position
+        ``i >= len(prefix)`` represents all positions congruent to it."""
+        return range(self.spine_length)
+
+    def unrolled(self, copies: int) -> "LassoWord":
+        """The same word written with the cycle unrolled ``copies`` extra
+        times into the prefix.  Canonicalization maps it back — used by
+        tests to confirm semantic equality."""
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        return LassoWord(self._prefix + self._cycle * copies, self._cycle)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LassoWord):
+            return NotImplemented
+        return self._prefix == other._prefix and self._cycle == other._cycle
+
+    def __hash__(self):
+        return hash((self._prefix, self._cycle))
+
+    def __repr__(self) -> str:
+        u = "".join(map(str, self._prefix))
+        v = "".join(map(str, self._cycle))
+        return f"LassoWord({u!r}·({v!r})^ω)"
+
+
+def _primitive_root(cycle: tuple) -> tuple:
+    """The shortest ``w`` with ``cycle = w^k`` (failure-function method)."""
+    n = len(cycle)
+    fail = [0] * n
+    k = 0
+    for i in range(1, n):
+        while k > 0 and cycle[i] != cycle[k]:
+            k = fail[k - 1]
+        if cycle[i] == cycle[k]:
+            k += 1
+        fail[i] = k
+    period = n - fail[-1] if n else 0
+    if period and n % period == 0:
+        return cycle[:period]
+    return cycle
+
+
+def all_lassos(
+    alphabet: Iterable[Symbol], max_prefix: int, max_cycle: int
+) -> Iterator[LassoWord]:
+    """Every lasso word with bounded spelling sizes (deduplicated after
+    canonicalization).  Exhaustive ground truth for small-model tests."""
+    alphabet = tuple(alphabet)
+    seen: set[LassoWord] = set()
+    for plen in range(max_prefix + 1):
+        for clen in range(1, max_cycle + 1):
+            for prefix in _tuples(alphabet, plen):
+                for cycle in _tuples(alphabet, clen):
+                    w = LassoWord(prefix, cycle)
+                    if w not in seen:
+                        seen.add(w)
+                        yield w
+
+
+def _tuples(alphabet: tuple, length: int) -> Iterator[tuple]:
+    if length == 0:
+        yield ()
+        return
+    for shorter in _tuples(alphabet, length - 1):
+        for s in alphabet:
+            yield shorter + (s,)

@@ -1,0 +1,155 @@
+"""Rabin tree automata on k-ary infinite trees (paper §4.4).
+
+``B = (Σ, Q, q0, δ, Φ)`` with ``δ : Q × Σ → P(Q^k)`` and ``Φ`` given by
+pairs ``(green_i, red_i)``: a run is accepting iff along every infinite
+path, for some ``i``, a green-i state recurs and red-i states stop.
+
+Runs and acceptance are decided game-theoretically in
+:mod:`repro.rabin.games_bridge` (membership and emptiness both reduce to
+parity games via the LAR construction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+
+class RabinError(ValueError):
+    """Raised when automaton data is malformed."""
+
+
+@dataclass(frozen=True)
+class RabinPair:
+    """One acceptance pair: visit ``green`` infinitely often, ``red``
+    only finitely often."""
+
+    green: frozenset
+    red: frozenset
+
+
+@dataclass(frozen=True)
+class RabinTreeAutomaton:
+    """An immutable nondeterministic Rabin automaton on k-ary trees."""
+
+    alphabet: frozenset
+    states: frozenset
+    initial: object
+    transitions: Mapping[tuple, frozenset]  # (q, a) -> frozenset of k-tuples
+    pairs: tuple  # tuple[RabinPair, ...]
+    branching: int
+    name: str = field(default="B", compare=False)
+
+    def __post_init__(self):
+        if not self.alphabet:
+            raise RabinError("alphabet must be non-empty")
+        if self.branching < 1:
+            raise RabinError("branching degree must be >= 1")
+        if self.initial not in self.states:
+            raise RabinError(f"initial state {self.initial!r} unknown")
+        for (q, a), tuples in self.transitions.items():
+            if q not in self.states:
+                raise RabinError(f"transition from unknown state {q!r}")
+            if a not in self.alphabet:
+                raise RabinError(f"transition on unknown symbol {a!r}")
+            for t in tuples:
+                if len(t) != self.branching:
+                    raise RabinError(
+                        f"transition tuple {t!r} has arity {len(t)}, "
+                        f"expected {self.branching}"
+                    )
+                if any(s not in self.states for s in t):
+                    raise RabinError(f"tuple {t!r} mentions unknown states")
+        for pair in self.pairs:
+            if not isinstance(pair, RabinPair):
+                raise RabinError("pairs must be RabinPair instances")
+            if not pair.green <= self.states or not pair.red <= self.states:
+                raise RabinError("pair sets must be subsets of the states")
+
+    @classmethod
+    def build(
+        cls,
+        alphabet: Iterable,
+        states: Iterable,
+        initial,
+        transitions: Mapping[tuple, Iterable],
+        pairs: Iterable[tuple[Iterable, Iterable]],
+        branching: int,
+        name: str = "B",
+    ) -> "RabinTreeAutomaton":
+        """Convenience constructor freezing all collections; ``pairs`` are
+        (green, red) iterables."""
+        return cls(
+            alphabet=frozenset(alphabet),
+            states=frozenset(states),
+            initial=initial,
+            transitions={
+                key: frozenset(tuple(t) for t in tuples)
+                for key, tuples in transitions.items()
+            },
+            pairs=tuple(
+                RabinPair(green=frozenset(g), red=frozenset(r)) for g, r in pairs
+            ),
+            branching=branching,
+            name=name,
+        )
+
+    def moves(self, q, a) -> frozenset:
+        """``δ(q, a)`` — the available successor tuples."""
+        return self.transitions.get((q, a), frozenset())
+
+    def restarted_at(self, q) -> "RabinTreeAutomaton":
+        """``B(q)`` — same automaton, initial state ``q`` (§4.4)."""
+        if q not in self.states:
+            raise RabinError(f"{q!r} is not a state")
+        return RabinTreeAutomaton(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial=q,
+            transitions=dict(self.transitions),
+            pairs=self.pairs,
+            branching=self.branching,
+            name=f"{self.name}({q!r})",
+        )
+
+    def restricted_to(self, keep: Iterable) -> "RabinTreeAutomaton":
+        """Drop states outside ``keep`` and every tuple touching them."""
+        keep = frozenset(keep)
+        if self.initial not in keep:
+            raise RabinError("cannot drop the initial state")
+        transitions = {}
+        for (q, a), tuples in self.transitions.items():
+            if q not in keep:
+                continue
+            kept = frozenset(t for t in tuples if all(s in keep for s in t))
+            if kept:
+                transitions[q, a] = kept
+        return RabinTreeAutomaton(
+            alphabet=self.alphabet,
+            states=keep,
+            initial=self.initial,
+            transitions=transitions,
+            pairs=tuple(
+                RabinPair(green=p.green & keep, red=p.red & keep)
+                for p in self.pairs
+            ),
+            branching=self.branching,
+            name=self.name,
+        )
+
+    def with_pairs(self, pairs: Iterable[RabinPair]) -> "RabinTreeAutomaton":
+        return RabinTreeAutomaton(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial=self.initial,
+            transitions=dict(self.transitions),
+            pairs=tuple(pairs),
+            branching=self.branching,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RabinTreeAutomaton({self.name!r}, |Q|={len(self.states)}, "
+            f"k={self.branching}, pairs={len(self.pairs)})"
+        )

@@ -1,0 +1,51 @@
+"""The finite-depth closure ``rfcl`` on Rabin tree automata (§4.4).
+
+The paper: *if L(B) = ∅, rfcl.B = B; otherwise rfcl.B = (Σ, Q', q0, δ',
+Φ') where Q' = {q | L(B(q)) ≠ ∅}, δ' is δ restricted to Q', and Φ' is a
+condition that holds along all paths, generated from {(Q', ∅)}* — i.e.
+keep the states with non-empty language and trivialize acceptance, the
+exact tree analogue of the Büchi closure of §2.4.  ``L(rfcl.B) =
+fcl(L(B))``.
+"""
+
+from __future__ import annotations
+
+from .automaton import RabinPair, RabinTreeAutomaton
+from .games_bridge import is_empty, nonempty_states
+
+
+def rfcl(automaton: RabinTreeAutomaton) -> RabinTreeAutomaton:
+    """The closure automaton."""
+    if is_empty(automaton):
+        return RabinTreeAutomaton(
+            alphabet=automaton.alphabet,
+            states=automaton.states,
+            initial=automaton.initial,
+            transitions=dict(automaton.transitions),
+            pairs=automaton.pairs,
+            branching=automaton.branching,
+            name=f"rfcl({automaton.name})",
+        )
+    live = nonempty_states(automaton)
+    trimmed = automaton.restricted_to(live)
+    trivial = (RabinPair(green=frozenset(live), red=frozenset()),)
+    return RabinTreeAutomaton(
+        alphabet=trimmed.alphabet,
+        states=trimmed.states,
+        initial=trimmed.initial,
+        transitions=dict(trimmed.transitions),
+        pairs=trivial,
+        branching=trimmed.branching,
+        name=f"rfcl({automaton.name})",
+    )
+
+
+def is_closure_automaton(automaton: RabinTreeAutomaton) -> bool:
+    """Structurally in the image of :func:`rfcl` (non-empty case): a
+    single trivial pair covering all
+
+    states."""
+    if len(automaton.pairs) != 1:
+        return False
+    (pair,) = automaton.pairs
+    return pair.red == frozenset() and pair.green == automaton.states

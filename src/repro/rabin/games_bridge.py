@@ -1,0 +1,164 @@
+"""Membership and emptiness of Rabin tree automata via games.
+
+Both questions are games between **Automaton** (player 0: resolve the
+nondeterminism — pick a transition tuple, and for emptiness also pick
+the label) and **Pathfinder** (player 1: pick the branch to follow).
+The winning condition on the resulting play — the Rabin condition over
+the visited automaton states — becomes a Muller condition over
+*signature colors* (which pairs a state is green/red for), which the LAR
+construction turns into a parity game for Zielonka's solver.
+
+For non-empty automata, :func:`emptiness_witness` extracts a regular
+tree in the language from player 0's positional strategy in the parity
+game — the classical "Rabin's basis theorem" effect.
+"""
+
+from __future__ import annotations
+
+from repro.games.lar import MullerGame, lar_parity_game, rabin_signature
+from repro.games.zielonka import solve
+from repro.trees.regular import RegularTree
+
+from .automaton import RabinTreeAutomaton
+
+_DEAD = ("⊥-dead",)
+
+
+def _winning_family(automaton: RabinTreeAutomaton):
+    pairs = [(p.green, p.red) for p in automaton.pairs]
+
+    def accepts(color_set: frozenset) -> bool:
+        if any(c == "⊥" for c in color_set):
+            return False
+        for i in range(len(pairs)):
+            if any((i, "r") in marks for marks in color_set if marks != "⊥"):
+                continue
+            if any((i, "g") in marks for marks in color_set if marks != "⊥"):
+                return True
+        return False
+
+    return accepts
+
+
+def _signature(automaton: RabinTreeAutomaton, q) -> frozenset:
+    return rabin_signature(q, [(p.green, p.red) for p in automaton.pairs])
+
+
+def accepts_tree(automaton: RabinTreeAutomaton, tree: RegularTree) -> bool:
+    """``tree ∈ L(B)`` — the membership game on (tree vertex × state)."""
+    if tree.branching != automaton.branching:
+        raise ValueError(
+            f"tree branching {tree.branching} != automaton branching "
+            f"{automaton.branching}"
+        )
+    owner: dict = {_DEAD: 0}
+    color: dict = {_DEAD: "⊥"}
+    edges: dict = {_DEAD: [_DEAD]}
+    state_vertices = [
+        (v, q) for v in tree.reachable_vertices() for q in automaton.states
+    ]
+    for v, q in state_vertices:
+        node = ("s", v, q)
+        owner[node] = 0
+        color[node] = _signature(automaton, q)
+        label = tree.label_of_vertex(v)
+        moves = automaton.moves(q, label) if label in automaton.alphabet else frozenset()
+        if not moves:
+            edges[node] = [_DEAD]
+            continue
+        targets = []
+        for t in sorted(moves):
+            choice = ("c", v, q, t)
+            owner[choice] = 1
+            color[choice] = color[node]
+            succ_vertices = tree.successors_of_vertex(v)
+            edges[choice] = [
+                ("s", succ_vertices[i], t[i]) for i in range(automaton.branching)
+            ]
+            targets.append(choice)
+        edges[node] = targets
+    game = MullerGame(owner, color, edges, _winning_family(automaton))
+    parity, start = lar_parity_game(game, ("s", tree.root, automaton.initial))
+    return solve(parity).winning[start] == 0
+
+
+def _emptiness_game(automaton: RabinTreeAutomaton):
+    """The emptiness arena: player 0 also chooses the label."""
+    owner: dict = {_DEAD: 0}
+    color: dict = {_DEAD: "⊥"}
+    edges: dict = {_DEAD: [_DEAD]}
+    for q in automaton.states:
+        node = ("s", q)
+        owner[node] = 0
+        color[node] = _signature(automaton, q)
+        targets = []
+        for a in sorted(automaton.alphabet, key=repr):
+            for t in sorted(automaton.moves(q, a)):
+                choice = ("c", q, a, t)
+                owner[choice] = 1
+                color[choice] = color[node]
+                edges[choice] = [("s", s) for s in t]
+                targets.append(choice)
+        edges[node] = targets if targets else [_DEAD]
+    return MullerGame(owner, color, edges, _winning_family(automaton))
+
+
+def is_empty(automaton: RabinTreeAutomaton) -> bool:
+    """``L(B) = ∅``?"""
+    game = _emptiness_game(automaton)
+    parity, start = lar_parity_game(game, ("s", automaton.initial))
+    return solve(parity).winning[start] != 0
+
+
+def nonempty_states(automaton: RabinTreeAutomaton) -> frozenset:
+    """``{q | L(B(q)) ≠ ∅}`` — the state set the closure keeps (§4.4)."""
+    game = _emptiness_game(automaton)
+    result = set()
+    for q in automaton.states:
+        parity, start = lar_parity_game(game, ("s", q))
+        if solve(parity).winning[start] == 0:
+            result.add(q)
+    return frozenset(result)
+
+
+def emptiness_witness(automaton: RabinTreeAutomaton) -> RegularTree | None:
+    """A regular tree in ``L(B)``, or ``None`` when empty.
+
+    Built from player 0's positional strategy in the LAR parity game:
+    the strategy is positional on the expanded arena, i.e. finite-memory
+    on the original one, and the reachable strategy subgraph *is* the
+    witness tree's generating graph.
+    """
+    game = _emptiness_game(automaton)
+    parity, start = lar_parity_game(game, ("s", automaton.initial))
+    solution = solve(parity)
+    if solution.winning[start] != 0:
+        return None
+
+    labels: dict = {}
+    successors: dict = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        node = frontier.pop()
+        choice = solution.strategy.get(node)
+        if choice is None:
+            # vertex already in player 0's region must have a move kept
+            # by the solver; fall back to any winning successor
+            choice = next(
+                s for s in parity.successors(node) if solution.winning[s] == 0
+            )
+        (_c, _q, a, t) = choice[0]  # choice vertex payload
+        labels[node] = a
+        succ_nodes = []
+        for direction_target in parity.successors(choice):
+            succ_nodes.append(direction_target)
+        # parity successors of the choice vertex are in tree-direction
+        # order because the underlying Muller edges were built that way
+        successors[node] = tuple(succ_nodes)
+        for s in succ_nodes:
+            if s not in seen:
+                seen.add(s)
+                frontier.append(s)
+    witness = RegularTree(labels, successors, start)
+    return witness

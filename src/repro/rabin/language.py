@@ -1,0 +1,81 @@
+"""Tree languages with decidable membership on regular trees.
+
+Rabin complementation is effective (Thomas [22]) but non-elementary and
+far outside a reasonable reproduction, so the liveness component of the
+Theorem 9 decomposition is represented *semantically*: a
+:class:`TreeLanguage` wraps a membership test on regular trees and forms
+a Boolean algebra under ``&``, ``|``, ``~`` — exactly like
+:class:`~repro.omega.language.OmegaLanguage` on the word side.  (The
+substitution is recorded in DESIGN.md; the safety component is always a
+genuine Rabin automaton.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.trees.regular import RegularTree
+
+from .automaton import RabinTreeAutomaton
+from .games_bridge import accepts_tree
+
+
+class TreeLanguage:
+    """A set of k-ary total trees given by a membership oracle on
+    regular trees."""
+
+    def __init__(self, branching: int, contains: Callable[[RegularTree], bool], name: str = "T"):
+        if branching < 1:
+            raise ValueError("branching must be >= 1")
+        self.branching = branching
+        self._contains = contains
+        self.name = name
+
+    def __contains__(self, tree: RegularTree) -> bool:
+        if tree.branching != self.branching:
+            raise ValueError(
+                f"tree branching {tree.branching} != language branching "
+                f"{self.branching}"
+            )
+        return bool(self._contains(tree))
+
+    @classmethod
+    def of_automaton(cls, automaton: RabinTreeAutomaton) -> "TreeLanguage":
+        return cls(
+            automaton.branching,
+            lambda t: accepts_tree(automaton, t),
+            name=f"L({automaton.name})",
+        )
+
+    def _check(self, other: "TreeLanguage") -> None:
+        if self.branching != other.branching:
+            raise ValueError("branching degrees differ")
+
+    def __and__(self, other: "TreeLanguage") -> "TreeLanguage":
+        self._check(other)
+        return TreeLanguage(
+            self.branching,
+            lambda t: t in self and t in other,
+            name=f"({self.name} ∩ {other.name})",
+        )
+
+    def __or__(self, other: "TreeLanguage") -> "TreeLanguage":
+        self._check(other)
+        return TreeLanguage(
+            self.branching,
+            lambda t: t in self or t in other,
+            name=f"({self.name} ∪ {other.name})",
+        )
+
+    def __invert__(self) -> "TreeLanguage":
+        return TreeLanguage(
+            self.branching, lambda t: t not in self, name=f"¬{self.name}"
+        )
+
+    def agrees_with(self, other: "TreeLanguage", samples) -> bool:
+        """Extensional agreement on a finite family of regular trees."""
+        self._check(other)
+        return all((t in self) == (t in other) for t in samples)
+
+    def __repr__(self) -> str:
+        return f"TreeLanguage({self.name!r}, k={self.branching})"

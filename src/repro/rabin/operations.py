@@ -1,0 +1,74 @@
+"""Boolean operations on Rabin tree automata.
+
+Union is effective and cheap (transition-level nondeterminism plus the
+disjoint union of pair lists) — it is half of what Theorem 9's
+``B_live = B ∪ ¬rfcl(B)`` needs; the complement half is the documented
+semantic substitution (see :mod:`repro.rabin.language`).
+
+Intersection of *Rabin* conditions is not a Rabin condition pairwise
+(a conjunction of Rabin pairs is a Streett-like demand), so
+:func:`intersection_language` returns the semantic
+:class:`~repro.rabin.language.TreeLanguage` instead of pretending.
+"""
+
+from __future__ import annotations
+
+from .automaton import RabinPair, RabinTreeAutomaton
+from .language import TreeLanguage
+
+
+def union(a: RabinTreeAutomaton, b: RabinTreeAutomaton, name: str | None = None) -> RabinTreeAutomaton:
+    """``L(a) ∪ L(b)`` as a genuine Rabin automaton.
+
+    Disjoint copies plus a fresh initial state whose moves are the union
+    of both initials' moves; acceptance pairs are the tagged union (a run
+    commits to one copy after the first step, so the pairs never mix).
+    """
+    if a.alphabet != b.alphabet:
+        raise ValueError("alphabet mismatch")
+    if a.branching != b.branching:
+        raise ValueError("branching mismatch")
+    init = ("∪",)
+    states = {init}
+    transitions: dict = {}
+    pairs: list[RabinPair] = []
+
+    for tag, m in (("l", a), ("r", b)):
+        for q in m.states:
+            states.add((tag, q))
+        for (q, sym), tuples in m.transitions.items():
+            transitions[(tag, q), sym] = frozenset(
+                tuple((tag, s) for s in t) for t in tuples
+            )
+        for pair in m.pairs:
+            pairs.append(
+                RabinPair(
+                    green=frozenset((tag, q) for q in pair.green),
+                    red=frozenset((tag, q) for q in pair.red),
+                )
+            )
+
+    for sym in a.alphabet:
+        moves = frozenset(
+            tuple(("l", s) for s in t) for t in a.moves(a.initial, sym)
+        ) | frozenset(tuple(("r", s) for s in t) for t in b.moves(b.initial, sym))
+        if moves:
+            transitions[init, sym] = moves
+
+    return RabinTreeAutomaton(
+        alphabet=a.alphabet,
+        states=frozenset(states),
+        initial=init,
+        transitions=transitions,
+        pairs=tuple(pairs),
+        branching=a.branching,
+        name=name or f"({a.name} ∪ {b.name})",
+    )
+
+
+def intersection_language(
+    a: RabinTreeAutomaton, b: RabinTreeAutomaton
+) -> TreeLanguage:
+    """``L(a) ∩ L(b)`` as a semantic tree language (the conjunction of
+    two Rabin conditions is not a Rabin condition; see module doc)."""
+    return TreeLanguage.of_automaton(a) & TreeLanguage.of_automaton(b)

@@ -1,0 +1,58 @@
+"""Reactive-system models and automata-theoretic LTL model checking —
+the paper's Section 1 motivation made executable."""
+
+from .modelcheck import (
+    DecomposedResult,
+    VerificationResult,
+    check,
+    check_decomposed,
+    check_liveness_part,
+    check_safety_part,
+    replay,
+    safety_automaton_of,
+)
+from .models import (
+    alternating_bit,
+    bakery,
+    dining_philosophers,
+    msi_cache,
+    peterson,
+    token_ring,
+    traffic_light,
+)
+from .specs import (
+    Spec,
+    alternating_bit_specs,
+    bakery_specs,
+    msi_specs,
+    peterson_specs,
+    philosophers_specs,
+    token_ring_specs,
+    traffic_specs,
+)
+
+__all__ = [
+    "check",
+    "check_decomposed",
+    "check_safety_part",
+    "check_liveness_part",
+    "safety_automaton_of",
+    "VerificationResult",
+    "DecomposedResult",
+    "replay",
+    "peterson",
+    "alternating_bit",
+    "dining_philosophers",
+    "msi_cache",
+    "traffic_light",
+    "token_ring",
+    "token_ring_specs",
+    "bakery",
+    "bakery_specs",
+    "Spec",
+    "peterson_specs",
+    "alternating_bit_specs",
+    "philosophers_specs",
+    "msi_specs",
+    "traffic_specs",
+]

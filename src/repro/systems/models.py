@@ -1,0 +1,461 @@
+"""Reactive-system models — the paper's motivating application domain.
+
+Section 1 opens with reactive systems: "network protocols, operating
+systems, on-board controllers, cache coherence protocols, distributed
+databases".  This module builds Kripke models of that zoo:
+
+* :func:`peterson` — Peterson's two-process mutual exclusion;
+* :func:`alternating_bit` — the alternating-bit protocol over lossy
+  channels;
+* :func:`dining_philosophers` — n philosophers (with a reachable
+  deadlock, kept as a labeled stutter state);
+* :func:`msi_cache` — a two-cache MSI snooping-coherence model;
+* :func:`traffic_light` — a two-road junction controller.
+
+States are labeled with frozensets of atomic propositions; specs over
+them live in :mod:`repro.systems.specs`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.ctl.kripke import KripkeStructure
+
+
+def _label(*props: str) -> frozenset:
+    return frozenset(props)
+
+
+def peterson() -> KripkeStructure:
+    """Peterson's mutual-exclusion algorithm, fully interleaved.
+
+    Process state: ``idle → want (set flag, yield turn) → wait
+    (until other's flag is down or turn is ours) → crit → idle``.
+    The label records each process's section, plus ``sched<i>`` for the
+    process that moved last (so fairness is expressible in LTL).
+    """
+    pcs = ("idle", "want", "wait", "crit")
+    states = []
+    for pc0, pc1, flag0, flag1, turn, last in product(
+        pcs, pcs, (False, True), (False, True), (0, 1), (0, 1)
+    ):
+        states.append((pc0, pc1, flag0, flag1, turn, last))
+
+    def moves(state, i):
+        pc0, pc1, flag0, flag1, turn, _last = state
+        pc = (pc0, pc1)[i]
+        flags = [flag0, flag1]
+        out = []
+        if pc == "idle":
+            out.append(("idle", flags[i], turn))  # keep thinking
+            out.append(("want", flags[i], turn))
+        elif pc == "want":
+            out.append(("wait", True, 1 - i))
+        elif pc == "wait":
+            other_flag = flags[1 - i]
+            if not other_flag or turn == i:
+                out.append(("crit", flags[i], turn))
+            else:
+                out.append(("wait", flags[i], turn))
+        else:  # crit
+            out.append(("idle", False, turn))
+        results = []
+        for new_pc, new_flag, new_turn in out:
+            new = list(state)
+            new[i] = new_pc
+            new[2 + i] = new_flag
+            new[4] = new_turn
+            new[5] = i
+            results.append(tuple(new))
+        return results
+
+    transitions = {
+        s: moves(s, 0) + moves(s, 1) for s in states
+    }
+
+    def label(state):
+        pc0, pc1, _f0, _f1, _turn, last = state
+        props = set()
+        if pc0 in ("want", "wait"):
+            props.add("want0")
+        if pc1 in ("want", "wait"):
+            props.add("want1")
+        if pc0 == "crit":
+            props.add("crit0")
+        if pc1 == "crit":
+            props.add("crit1")
+        props.add(f"sched{last}")
+        return frozenset(props)
+
+    initial = ("idle", "idle", False, False, 0, 0)
+    reachable = _reach(initial, transitions)
+    return KripkeStructure(
+        states=reachable,
+        initial=initial,
+        transitions={s: [t for t in transitions[s] if t in reachable] for s in reachable},
+        labels={s: label(s) for s in reachable},
+    )
+
+
+def alternating_bit() -> KripkeStructure:
+    """The alternating-bit protocol with lossy message and ack channels.
+
+    State: (sender bit, receiver bit, message channel, ack channel);
+    channels hold ``None`` or a bit.  Props: ``send``, ``deliver``,
+    ``acked`` (sender advanced to the next payload).
+    """
+    states = []
+    for sbit, rbit, msg, ack in product(
+        (0, 1), (0, 1), (None, 0, 1), (None, 0, 1)
+    ):
+        states.append((sbit, rbit, msg, ack))
+
+    def successors(state):
+        sbit, rbit, msg, ack = state
+        out = []
+        # sender (re)transmits its current bit
+        out.append((sbit, rbit, sbit, ack, "send"))
+        # message channel loses the message
+        if msg is not None:
+            out.append((sbit, rbit, None, ack, "lose"))
+        # receiver consumes a message
+        if msg is not None:
+            if msg == rbit:
+                # new payload: deliver, flip expected bit, send ack
+                out.append((sbit, 1 - rbit, None, msg, "deliver"))
+            else:
+                # duplicate: re-ack
+                out.append((sbit, rbit, None, msg, "dup"))
+        # ack channel loses the ack
+        if ack is not None:
+            out.append((sbit, rbit, msg, None, "lose"))
+        # sender consumes an ack
+        if ack is not None:
+            if ack == sbit:
+                out.append((1 - sbit, rbit, msg, None, "acked"))
+            else:
+                out.append((sbit, rbit, msg, None, "stale"))
+        return out
+
+    # fold the action tag into the *target* state so labels can speak
+    # about events; the state space becomes (config, last_action)
+    tagged_states = set()
+    transitions: dict = {}
+    initial = ((0, 0, None, None), "start")
+    frontier = [initial]
+    tagged_states.add(initial)
+    while frontier:
+        node = frontier.pop()
+        config, _tag = node
+        succ = []
+        for *new_config, tag in successors(config):
+            nxt = (tuple(new_config), tag)
+            succ.append(nxt)
+            if nxt not in tagged_states:
+                tagged_states.add(nxt)
+                frontier.append(nxt)
+        transitions[node] = succ
+
+    def label(node):
+        (sbit, _rbit, _msg, _ack), tag = node
+        props = {f"bit{sbit}"}
+        if tag in ("send",):
+            props.add("send")
+        if tag == "deliver":
+            props.add("deliver")
+        if tag == "acked":
+            props.add("acked")
+        if tag == "lose":
+            props.add("loss")
+        return frozenset(props)
+
+    return KripkeStructure(
+        states=tagged_states,
+        initial=initial,
+        transitions=transitions,
+        labels={s: label(s) for s in tagged_states},
+    )
+
+
+def dining_philosophers(n: int = 3) -> KripkeStructure:
+    """``n`` philosophers, each grabbing the left fork then the right.
+
+    The classic deadlock (everyone holds their left fork) is reachable;
+    deadlocked states carry the ``deadlock`` prop and stutter (Kripke
+    structures are total).  Props: ``eat<i>``, ``hungry<i>``,
+    ``deadlock``.
+    """
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+    # philosopher phases: t(hink), l(eft fork held), e(ating)
+    initial = ("t",) * n
+
+    def fork_holders(state):
+        """fork i sits between philosopher i and i+1 (mod n): held by i
+        when i is in phase l/e (left fork of i is fork i), held by i-1's
+        right when i-1 eats (right fork of j is fork j-1... choose:
+        left(i) = fork i, right(i) = fork (i-1) mod n)."""
+        held = set()
+        for i, phase in enumerate(state):
+            if phase in ("l", "e"):
+                held.add(i)  # left fork
+            if phase == "e":
+                held.add((i - 1) % n)  # right fork
+        return held
+
+    def successors(state):
+        held = fork_holders(state)
+        out = []
+        for i, phase in enumerate(state):
+            left, right = i, (i - 1) % n
+            if phase == "t":
+                out.append(state[:i] + ("t",) + state[i + 1 :])  # keep thinking
+                if left not in held:
+                    out.append(state[:i] + ("l",) + state[i + 1 :])
+            elif phase == "l":
+                if right not in held:
+                    out.append(state[:i] + ("e",) + state[i + 1 :])
+            else:  # eating -> put both forks down
+                out.append(state[:i] + ("t",) + state[i + 1 :])
+        deduped = []
+        for s in out:
+            if s != state and s not in deduped:
+                deduped.append(s)
+        return deduped
+
+    transitions: dict = {}
+    states = set()
+    frontier = [initial]
+    states.add(initial)
+    while frontier:
+        s = frontier.pop()
+        succ = successors(s)
+        if not succ:
+            succ = [s]  # deadlock: stutter
+        transitions[s] = succ
+        for t in succ:
+            if t not in states:
+                states.add(t)
+                frontier.append(t)
+
+    def label(state):
+        props = set()
+        for i, phase in enumerate(state):
+            if phase == "e":
+                props.add(f"eat{i}")
+            if phase == "l":
+                props.add(f"hungry{i}")
+        if transitions[state] == [state] and all(p == "l" for p in state):
+            props.add("deadlock")
+        return frozenset(props)
+
+    return KripkeStructure(
+        states=states,
+        initial=initial,
+        transitions=transitions,
+        labels={s: label(s) for s in states},
+    )
+
+
+def msi_cache() -> KripkeStructure:
+    """Two caches with MSI snooping coherence over one memory line.
+
+    Per-cache state M(odified)/S(hared)/I(nvalid); events: a cache reads
+    (I→S, siblings M→S), writes (→M, siblings →I), or evicts (→I).
+    Props: ``m0``, ``m1``, ``s0``, ``s1``, plus the violation marker is
+    left to the spec (G ¬(m0 ∧ m1), and no M alongside S).
+    """
+    states = [(c0, c1) for c0 in "MSI" for c1 in "MSI"]
+
+    def successors(state):
+        out = []
+        for i in (0, 1):
+            mine, other = state[i], state[1 - i]
+
+            def build(new_mine, new_other):
+                pair = [None, None]
+                pair[i] = new_mine
+                pair[1 - i] = new_other
+                return (pair[0], pair[1])
+
+            # read
+            if mine == "I":
+                out.append(build("S", "S" if other == "M" else other))
+            # write (upgrade or claim)
+            out.append(build("M", "I"))
+            # evict
+            if mine != "I":
+                out.append(build("I", other))
+        deduped = []
+        for s in out:
+            if s not in deduped:
+                deduped.append(s)
+        return deduped
+
+    def label(state):
+        props = set()
+        for i in (0, 1):
+            if state[i] == "M":
+                props.add(f"m{i}")
+            if state[i] == "S":
+                props.add(f"s{i}")
+        return frozenset(props)
+
+    return KripkeStructure(
+        states=states,
+        initial=("I", "I"),
+        transitions={s: successors(s) for s in states},
+        labels={s: label(s) for s in states},
+    )
+
+
+def traffic_light() -> KripkeStructure:
+    """A two-road junction: the controller alternates green between
+    north-south and east-west with an all-red clearance phase."""
+    # phases: ns-green, ns-yellow, all-red-1, ew-green, ew-yellow, all-red-2
+    order = ["ns_g", "ns_y", "red1", "ew_g", "ew_y", "red2"]
+    transitions = {}
+    for i, phase in enumerate(order):
+        nxt = order[(i + 1) % len(order)]
+        targets = [nxt]
+        if phase in ("ns_g", "ew_g"):
+            targets.append(phase)  # green may persist
+        transitions[phase] = targets
+
+    labels = {
+        "ns_g": _label("green_ns"),
+        "ns_y": _label("yellow_ns"),
+        "red1": _label("all_red"),
+        "ew_g": _label("green_ew"),
+        "ew_y": _label("yellow_ew"),
+        "red2": _label("all_red"),
+    }
+    return KripkeStructure(
+        states=order, initial="ns_g", transitions=transitions, labels=labels
+    )
+
+
+def bakery(max_ticket: int = 2) -> KripkeStructure:
+    """Lamport's bakery algorithm for two processes, tickets bounded by
+    ``max_ticket`` (re-entry is blocked while the counter is saturated,
+    keeping the state space finite without changing the safety story).
+
+    Process phases: ``idle → take (draw ticket = max+1) → wait (until
+    the other's ticket is 0 or larger/tied-with-higher-id) → crit →
+    idle (ticket back to 0)``.  Props: ``want<i>``, ``crit<i>``,
+    ``sched<i>``.
+    """
+    if max_ticket < 1:
+        raise ValueError("max_ticket must be >= 1")
+    phases = ("idle", "wait", "crit")
+    states = [
+        (p0, t0, p1, t1, last)
+        for p0 in phases
+        for t0 in range(max_ticket + 1)
+        for p1 in phases
+        for t1 in range(max_ticket + 1)
+        for last in (0, 1)
+    ]
+
+    def moves(state, i):
+        p = state[0] if i == 0 else state[2]
+        my_ticket = state[1] if i == 0 else state[3]
+        other_ticket = state[3] if i == 0 else state[1]
+        out = []
+        if p == "idle":
+            out.append(("idle", 0))
+            if other_ticket < max_ticket:  # a fresh larger ticket exists
+                out.append(("wait", min(max_ticket, other_ticket + 1)))
+        elif p == "wait":
+            may_enter = other_ticket == 0 or (
+                (my_ticket, i) < (other_ticket, 1 - i)
+            )
+            out.append(("crit", my_ticket) if may_enter else ("wait", my_ticket))
+        else:  # crit
+            out.append(("idle", 0))
+        results = []
+        for new_phase, new_ticket in out:
+            new = list(state)
+            new[0 if i == 0 else 2] = new_phase
+            new[1 if i == 0 else 3] = new_ticket
+            new[4] = i
+            results.append(tuple(new))
+        return results
+
+    transitions = {s: moves(s, 0) + moves(s, 1) for s in states}
+
+    def label(state):
+        p0, _t0, p1, _t1, last = state
+        props = set()
+        if p0 == "wait":
+            props.add("want0")
+        if p1 == "wait":
+            props.add("want1")
+        if p0 == "crit":
+            props.add("crit0")
+        if p1 == "crit":
+            props.add("crit1")
+        props.add(f"sched{last}")
+        return frozenset(props)
+
+    initial = ("idle", 0, "idle", 0, 0)
+    reachable = _reach(initial, transitions)
+    return KripkeStructure(
+        states=reachable,
+        initial=initial,
+        transitions={
+            s: [t for t in transitions[s] if t in reachable] for s in reachable
+        },
+        labels={s: label(s) for s in reachable},
+    )
+
+
+def token_ring(n: int = 3) -> KripkeStructure:
+    """Token-ring leader election / mutual exclusion.
+
+    A single token circulates among ``n`` stations; the holder may work
+    in its critical section or pass the token on.  Props: ``token<i>``,
+    ``crit<i>``.  Structurally deadlock-free; progress for a fixed
+    station is (as always) a fairness question.
+    """
+    if n < 2:
+        raise ValueError("need at least two stations")
+    # state: (holder, in_crit)
+    states = [(h, c) for h in range(n) for c in (False, True)]
+
+    def successors(state):
+        holder, in_crit = state
+        out = []
+        if in_crit:
+            out.append((holder, False))  # leave the critical section
+        else:
+            out.append((holder, True))  # enter it
+            out.append(((holder + 1) % n, False))  # pass the token
+        return out
+
+    def label(state):
+        holder, in_crit = state
+        props = {f"token{holder}"}
+        if in_crit:
+            props.add(f"crit{holder}")
+        return frozenset(props)
+
+    return KripkeStructure(
+        states=states,
+        initial=(0, False),
+        transitions={s: successors(s) for s in states},
+        labels={s: label(s) for s in states},
+    )
+
+
+def _reach(initial, transitions) -> set:
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        s = frontier.pop()
+        for t in transitions[s]:
+            if t not in seen:
+                seen.add(t)
+                frontier.append(t)
+    return seen

@@ -1,0 +1,162 @@
+"""Specifications for the system models, with expected verdicts.
+
+Each spec records the property class the paper's framework assigns it
+(safety / liveness / neither) and whether the model satisfies it —
+ground truth for the tests and the APP1 benchmark rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ctl.kripke import KripkeStructure, prop
+from repro.ltl.syntax import And, F, Formula, G, Not, Or, implies
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One verification obligation."""
+
+    name: str
+    formula: Formula
+    kind: str  # "safety" | "liveness" | "neither" (informal expectation)
+    should_hold: bool
+    comment: str = ""
+
+
+def peterson_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    crit0, crit1 = prop("crit0", alphabet), prop("crit1", alphabet)
+    want0 = prop("want0", alphabet)
+    sched0, sched1 = prop("sched0", alphabet), prop("sched1", alphabet)
+    mutex = G(Not(And(crit0, crit1)))
+    starvation_free = G(implies(want0, F(crit0)))
+    fair = And(G(F(sched0)), G(F(sched1)))
+    return [
+        Spec("mutual-exclusion", mutex, "safety", True,
+             "never both in the critical section"),
+        Spec("no-starvation-unfair", starvation_free, "liveness", False,
+             "fails: the scheduler may ignore process 0 forever"),
+        Spec("no-starvation-fair", implies(fair, starvation_free), "liveness", True,
+             "holds under fair scheduling — Peterson's point"),
+        Spec("eventual-entry", F(Or(crit0, crit1)), "liveness", False,
+             "fails: both processes may think forever"),
+    ]
+
+
+def alternating_bit_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    deliver = prop("deliver", alphabet)
+    acked = prop("acked", alphabet)
+    send = prop("send", alphabet)
+    loss = prop("loss", alphabet)
+    return [
+        Spec("delivery-order", G(implies(acked, Not(deliver))), "safety", True,
+             "an ack-advance step is never itself a delivery"),
+        Spec("eventual-delivery-unfair", G(implies(send, F(deliver))),
+             "liveness", False,
+             "fails: the channel may drop every message"),
+        Spec(
+            "eventual-delivery-fair",
+            implies(G(F(Not(loss))), G(implies(send, F(Or(deliver, acked))))),
+            "liveness",
+            False,
+            "even excluding pure-loss suffixes the sender may retransmit "
+            "while the receiver never runs — scheduling fairness is also "
+            "needed",
+        ),
+    ]
+
+
+def philosophers_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    deadlock = prop("deadlock", alphabet)
+    eat0 = prop("eat0", alphabet)
+    hungry0 = prop("hungry0", alphabet)
+    return [
+        Spec("deadlock-freedom", G(Not(deadlock)), "safety", False,
+             "fails: all-grab-left is reachable — bad prefix exists"),
+        Spec("no-concurrent-neighbours", G(Not(And(eat0, prop("eat1", alphabet)))),
+             "safety", True, "neighbours share a fork"),
+        Spec("phil0-progress", G(implies(hungry0, F(eat0))), "liveness", False,
+             "fails without fairness"),
+    ]
+
+
+def msi_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    m0, m1 = prop("m0", alphabet), prop("m1", alphabet)
+    s0, s1 = prop("s0", alphabet), prop("s1", alphabet)
+    return [
+        Spec("single-writer", G(Not(And(m0, m1))), "safety", True,
+             "coherence: never two modified copies"),
+        Spec("no-stale-share", G(Not(Or(And(m0, s1), And(m1, s0)))),
+             "safety", True, "a modified line is never shared"),
+        Spec("write-availability", G(F(Or(m0, m1))), "liveness", False,
+             "fails: caches may trade S/I forever"),
+    ]
+
+
+def bakery_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    crit0, crit1 = prop("crit0", alphabet), prop("crit1", alphabet)
+    want0 = prop("want0", alphabet)
+    sched0, sched1 = prop("sched0", alphabet), prop("sched1", alphabet)
+    fair = And(G(F(sched0)), G(F(sched1)))
+    progress = G(implies(want0, F(crit0)))
+    return [
+        Spec("bakery-mutex", G(Not(And(crit0, crit1))), "safety", True,
+             "tickets impose a total order on entry"),
+        Spec("bakery-progress-unfair", progress, "liveness", False,
+             "fails without fair scheduling"),
+        Spec("bakery-progress-fair", implies(fair, progress), "liveness", True,
+             "bounded-ticket bakery is starvation-free under fairness"),
+    ]
+
+
+def token_ring_specs(kripke: KripkeStructure, n: int = 3) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    crit = [prop(f"crit{i}", alphabet) for i in range(n)]
+    token0 = prop("token0", alphabet)
+    mutex_pairs = [
+        G(Not(And(crit[i], crit[j])))
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    mutex = mutex_pairs[0]
+    for f in mutex_pairs[1:]:
+        mutex = And(mutex, f)
+    return [
+        Spec("token-mutex", mutex, "safety", True,
+             "only the token holder can be critical"),
+        Spec("single-token", G(_exactly_one_token(alphabet, n)), "safety", True,
+             "exactly one station holds the token"),
+        Spec("token-returns", G(implies(token0, F(prop("token1", alphabet)))),
+             "liveness", False,
+             "fails: the holder may hog the token forever"),
+    ]
+
+
+def _exactly_one_token(alphabet, n: int) -> Formula:
+    from repro.ltl.syntax import Letter
+
+    good_symbols = [
+        s
+        for s in alphabet
+        if sum(1 for i in range(n) if f"token{i}" in s) == 1
+    ]
+    return Letter(good_symbols)
+
+
+def traffic_specs(kripke: KripkeStructure) -> list[Spec]:
+    alphabet = kripke.alphabet()
+    green_ns = prop("green_ns", alphabet)
+    green_ew = prop("green_ew", alphabet)
+    return [
+        Spec("no-crash", G(Not(And(green_ns, green_ew))), "safety", True,
+             "perpendicular roads are never green together"),
+        Spec("ns-recurrence", G(F(green_ns)), "liveness", False,
+             "fails: a green phase may persist forever"),
+        Spec("ew-eventually", F(green_ew), "liveness", False,
+             "fails for the same reason"),
+    ]

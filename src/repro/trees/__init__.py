@@ -1,0 +1,42 @@
+"""Σ-labeled trees, the paper's tree concatenation/prefix order, and the
+branching-time closures (paper §4)."""
+
+from .closures import (
+    PartialRegularPrefix,
+    closure_on_samples,
+    fcl_member_bounded,
+    finite_prefix_of_regular,
+    frozen_path_word,
+    members_extension_oracle,
+    partial_prefix_of_regular,
+)
+from .concat import (
+    concat,
+    is_proper_tree_prefix,
+    is_tree_prefix,
+    prefix_witness,
+    preliminary_concat,
+    tree_prefixes,
+)
+from .regular import RegularTree, RegularTreeError
+from .tree import FiniteTree, TreeError
+
+__all__ = [
+    "FiniteTree",
+    "TreeError",
+    "RegularTree",
+    "RegularTreeError",
+    "concat",
+    "preliminary_concat",
+    "is_tree_prefix",
+    "is_proper_tree_prefix",
+    "prefix_witness",
+    "tree_prefixes",
+    "finite_prefix_of_regular",
+    "PartialRegularPrefix",
+    "partial_prefix_of_regular",
+    "frozen_path_word",
+    "fcl_member_bounded",
+    "members_extension_oracle",
+    "closure_on_samples",
+]

@@ -1,0 +1,309 @@
+"""The branching-time closures ``fcl`` and ``ncl`` on decidable fragments
+(paper §4.2–4.3).
+
+The paper defines two closures on ``P(A_tot)``::
+
+    fcl.P = { y total | every finite-depth prefix of y extends into P }
+    ncl.P = { y total | every non-total   prefix of y extends into P }
+
+Arbitrary sets of trees are not representable, so this module provides
+the machinery the reproduction actually computes with:
+
+* :func:`finite_prefix_of_regular` — decide ``x ⊑ y`` for a finite tree
+  ``x`` and a regular total tree ``y`` (structural characterization:
+  labels agree and every branching node of ``x`` carries all ``k``
+  children).
+* :class:`PartialRegularPrefix` — *non-total* regular prefixes (some
+  vertices are leaves, others keep their full successor tuple), with the
+  coinductive prefix test :func:`partial_prefix_of_regular`.  These are
+  exactly the witnesses the paper uses in §4.3 ("consider a tree with
+  two paths such that along one of them a always holds").
+* :func:`frozen_path_word` — certify that an infinite path of a prefix
+  survives into every extension (the refutation principle behind every
+  ``ncl`` inequality in the paper's §4.3 table).
+* :func:`closure_on_samples` — the bridge to Section 3: given a finite
+  universe of regular trees, build the powerset lattice and the induced
+  (idempotent-hull) lattice closures, on which Theorem 3/4 run verbatim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.lattice.closure import LatticeClosure
+from repro.lattice.lattice import FiniteLattice
+
+from .regular import RegularTree
+from .tree import FiniteTree
+
+
+def finite_prefix_of_regular(x: FiniteTree, y: RegularTree) -> bool:
+    """``x ⊑ y`` for finite ``x`` and regular total ``y``.
+
+    Characterization (derived from Definition 4): labels agree on ``x``'s
+    domain, every direction used lies below ``k``, and every *branching*
+    node of ``x`` (one with at least one child) carries all ``k``
+    children — otherwise a missing sibling of ``y`` could not be
+    accounted for by growth below leaves.
+    """
+    k = y.branching
+    for node, label in x.items():
+        if any(not 0 <= d < k for d in node):
+            return False
+        if y.label_at(node) != label:
+            return False
+        children = x.children(node)
+        if children and len(children) != k:
+            return False
+        if children and {c[-1] for c in children} != set(range(k)):
+            return False
+    return True
+
+
+class PartialRegularPrefix:
+    """A regular *non-total* tree: each vertex is either a leaf (empty
+    successor tuple) or carries a full ``k``-tuple of successors.
+
+    These are the non-total prefixes ``x ∈ A_nt`` with ``x ⊑ y`` that the
+    ``ncl`` closure quantifies over — crucially they may contain
+    *infinite* branches (kept forever in every extension).
+    """
+
+    __slots__ = ("_labels", "_successors", "root", "branching")
+
+    def __init__(
+        self,
+        labels: Mapping[object, object],
+        successors: Mapping[object, Sequence[object]],
+        root: object,
+        branching: int,
+    ):
+        self._labels = dict(labels)
+        self._successors = {v: tuple(s) for v, s in successors.items()}
+        self.root = root
+        self.branching = branching
+        if root not in self._labels:
+            raise ValueError(f"root {root!r} has no label")
+        for v, succ in self._successors.items():
+            if len(succ) not in (0, branching):
+                raise ValueError(
+                    f"vertex {v!r} must be a leaf or have all {branching} children"
+                )
+        has_leaf = any(not s for s in self._successors.values())
+        if not has_leaf:
+            raise ValueError("a non-total prefix must contain at least one leaf")
+
+    @classmethod
+    def cut_except_branch(
+        cls, tree: RegularTree, directions: Sequence[int], keep_depth: int = 1
+    ) -> "PartialRegularPrefix":
+        """The paper's witness shape: keep the branch that repeatedly
+        follows ``directions`` (cycled) infinite, cut every sibling into a
+        leaf after ``keep_depth`` more levels.
+
+        The result is a non-total prefix of ``tree`` whose one infinite
+        branch is frozen into every extension.
+        """
+        directions = tuple(directions)
+        if not directions:
+            raise ValueError("directions must be non-empty")
+        labels: dict = {}
+        successors: dict = {}
+        k = tree.branching
+
+        # vertices of the prefix: ("spine", i) along the kept branch, and
+        # ("cut", v, d) for the sibling subtrees truncated after keep_depth
+        spine_vertex = tree.root
+        spine: list = []
+        seen: dict[tuple, int] = {}
+        position = 0
+        while (spine_vertex, position) not in seen:
+            seen[spine_vertex, position] = len(spine)
+            spine.append(spine_vertex)
+            spine_vertex = tree.successors_of_vertex(spine_vertex)[
+                directions[position]
+            ]
+            position = (position + 1) % len(directions)
+        loop_target = seen[spine_vertex, position]
+
+        def cut_name(i: int, path: tuple) -> tuple:
+            return ("cut", i, path)
+
+        for i, v in enumerate(spine):
+            labels["spine", i] = tree.label_of_vertex(v)
+            succ = []
+            kept_direction = directions[i % len(directions)]
+            for d in range(k):
+                if d == kept_direction:
+                    nxt = i + 1 if i + 1 < len(spine) else loop_target
+                    succ.append(("spine", nxt))
+                else:
+                    succ.append(cut_name(i, (d,)))
+            successors["spine", i] = tuple(succ)
+            # build the truncated sibling subtrees
+            frontier = [(tree.successors_of_vertex(v)[d], (d,)) for d in range(k) if d != kept_direction]
+            while frontier:
+                u, path = frontier.pop()
+                name = cut_name(i, path)
+                labels[name] = tree.label_of_vertex(u)
+                if len(path) < keep_depth + 1:
+                    child_names = []
+                    for d in range(k):
+                        child = tree.successors_of_vertex(u)[d]
+                        child_names.append(cut_name(i, path + (d,)))
+                        frontier.append((child, path + (d,)))
+                    successors[name] = tuple(child_names)
+                else:
+                    successors[name] = ()
+        return cls(labels, successors, ("spine", 0), k)
+
+    def label_of_vertex(self, v):
+        return self._labels[v]
+
+    def successors_of_vertex(self, v) -> tuple:
+        return self._successors[v]
+
+    def is_leaf_vertex(self, v) -> bool:
+        return not self._successors[v]
+
+    def infinite_path_word(self, directions: Sequence[int]):
+        """The label word along the (eventually periodic) kept branch, as
+        a :class:`~repro.omega.word.LassoWord`."""
+        from repro.omega.word import LassoWord
+
+        directions = tuple(directions)
+        v = self.root
+        seen: dict[tuple, int] = {}
+        tail: list = []
+        position = 0
+        while (v, position) not in seen:
+            seen[v, position] = len(tail)
+            tail.append(self._labels[v])
+            succ = self._successors[v]
+            if not succ:
+                raise ValueError("the designated branch hits a leaf")
+            v = succ[directions[position]]
+            position = (position + 1) % len(directions)
+        start = seen[v, position]
+        return LassoWord(tuple(tail[:start]), tuple(tail[start:]))
+
+
+def partial_prefix_of_regular(x: PartialRegularPrefix, y: RegularTree) -> bool:
+    """``x ⊑ y`` for a non-total regular prefix ``x`` and regular total
+    ``y`` — coinductive product walk (success on revisit)."""
+    if x.branching != y.branching:
+        return False
+    seen: set[tuple] = set()
+    frontier = [(x.root, y.root)]
+    while frontier:
+        p, q = frontier.pop()
+        if (p, q) in seen:
+            continue
+        seen.add((p, q))
+        if x.label_of_vertex(p) != y.label_of_vertex(q):
+            return False
+        succ = x.successors_of_vertex(p)
+        if succ:
+            frontier.extend(zip(succ, y.successors_of_vertex(q)))
+    return True
+
+
+def frozen_path_word(x: PartialRegularPrefix, directions: Sequence[int]):
+    """The lasso word along an infinite branch of ``x``.
+
+    Refutation principle (machine-checked by the tests): since every
+    extension ``z ⊒ x`` contains ``x``'s domain with the same labels, the
+    branch survives into every ``z``; if the branch's label word violates
+    a universal path property, no extension can satisfy it — hence any
+    total ``y ⊒ x`` fails to be in the ``ncl`` of that property.
+    """
+    return x.infinite_path_word(directions)
+
+
+# -- bounded fcl membership ------------------------------------------------------
+
+
+def fcl_member_bounded(
+    tree: RegularTree,
+    extends: Callable[[FiniteTree], bool],
+    depth_bound: int,
+) -> bool:
+    """Bounded ``fcl`` membership: every finite-depth prefix of ``tree``
+    up to ``depth_bound`` extends into the property.
+
+    Only the *full truncations* need checking: any finite prefix ``x`` of
+    ``tree`` with depth ``<= d`` satisfies ``x ⊑ unfold(d)``, and ``⊑`` is
+    transitive, so extendability of the truncation covers it.
+    """
+    return all(extends(tree.unfold(d)) for d in range(depth_bound + 1))
+
+
+def members_extension_oracle(members: Sequence[RegularTree]):
+    """The oracle "``x`` extends to one of ``members``" (the case where
+    the property is given extensionally as a finite set of regular
+    trees — the sampled-lattice instance)."""
+
+    def extends(x: FiniteTree) -> bool:
+        return any(finite_prefix_of_regular(x, z) for z in members)
+
+    return extends
+
+
+# -- the bridge to Section 3: sampled lattices ------------------------------------
+
+
+def closure_on_samples(
+    universe: Sequence[RegularTree],
+    depth_bound: int = 3,
+    partial_witnesses: Mapping[int, Sequence[PartialRegularPrefix]] | None = None,
+    name: str = "fcl",
+) -> tuple[FiniteLattice, LatticeClosure]:
+    """The powerset lattice over a finite universe of regular trees, with
+    the induced closure.
+
+    ``cl(P)`` contains sample ``i`` iff every bounded finite-depth prefix
+    of ``universe[i]`` extends to some member of ``P`` — and, when
+    ``partial_witnesses[i]`` is supplied, every listed non-total prefix
+    extends as well (turning the operator from sampled-``fcl`` into
+    sampled-``ncl``).  The raw operator is extensive and monotone; its
+    idempotent hull is taken so the result is a genuine lattice closure,
+    ready for the Theorem 3/4 machinery.
+    """
+    universe = list(universe)
+    indices = range(len(universe))
+    lattice = _powerset_lattice_of_indices(len(universe))
+    witnesses = dict(partial_witnesses or {})
+
+    def raw(pset: frozenset) -> frozenset:
+        members = [universe[j] for j in sorted(pset)]
+        extends = members_extension_oracle(members)
+        out = set()
+        for i in indices:
+            if not fcl_member_bounded(universe[i], extends, depth_bound):
+                continue
+            ok = all(
+                any(partial_prefix_of_regular(w, universe[j]) for j in sorted(pset))
+                for w in witnesses.get(i, ())
+            )
+            if ok:
+                out.add(i)
+        return frozenset(out)
+
+    table: dict = {}
+    for element in lattice.elements:
+        current = frozenset(element)
+        # idempotent hull: iterate the (extensive, monotone) raw operator
+        while True:
+            nxt = raw(current)
+            if nxt == current:
+                break
+            current = nxt
+        table[element] = frozenset(current)
+    closure = LatticeClosure(lattice, table, name=name)
+    return lattice, closure
+
+
+def _powerset_lattice_of_indices(n: int) -> FiniteLattice:
+    from repro.lattice.builders import powerset_lattice
+
+    return powerset_lattice(range(n))

@@ -1,0 +1,125 @@
+"""Tree concatenation and the tree prefix order (paper §4.2).
+
+The paper defines (Definitions 1–4):
+
+* *preliminary concatenation* ``w ⊕ x = (W ∪ X, w ∪ (x ↾ X∖W))`` — glue
+  ``x`` over ``w``, keeping ``w``'s labels where both are defined;
+* *leaf* — a node with no proper extension in the domain;
+* *concatenation* ``w·x`` — like ``⊕`` but growth is only allowed below
+  the leaves of ``w``: the nodes of ``x`` kept are those inside ``W`` or
+  extending some leaf of ``w``;
+* *prefix order* ``x ⊑ y  iff  ∃z : x·z = y``.
+
+:func:`is_tree_prefix` decides ``⊑`` directly via the structural
+characterization (domain inclusion + label agreement + new growth only
+below leaves), and :func:`prefix_witness` produces the ``z`` that
+certifies it — so the definition and the characterization are
+cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from .tree import FiniteTree, Node
+
+
+def preliminary_concat(w: FiniteTree, x: FiniteTree) -> FiniteTree:
+    """Definition 1: ``w ⊕ x`` — union of domains, ``w``'s labels win."""
+    labels = {node: label for node, label in x.items()}
+    labels.update(dict(w.items()))
+    return FiniteTree(labels)
+
+
+def concat(w: FiniteTree, x: FiniteTree) -> FiniteTree:
+    """Definition 3: ``w·x`` — extend ``w`` only below its leaves.
+
+    A node of ``x`` survives iff it lies inside ``w``'s domain or extends
+    (as a string) some leaf of ``w``.
+    """
+    leaves = w.leaves()
+    kept = {}
+    for node, label in x.items():
+        if node in w:
+            continue  # w's label wins there anyway; skip early
+        if any(_extends(node, leaf) for leaf in leaves):
+            kept[node] = label
+    labels = dict(w.items())
+    labels.update(kept)
+    return FiniteTree(labels)
+
+
+def is_tree_prefix(x: FiniteTree, y: FiniteTree) -> bool:
+    """Definition 4: ``x ⊑ y`` — decided structurally.
+
+    ``x ⊑ y`` iff (i) every node of ``x`` is a node of ``y`` with the
+    same label, and (ii) every node of ``y`` outside ``x`` strictly
+    extends some leaf of ``x``.
+    """
+    for node, label in x.items():
+        if node not in y or y.label(node) != label:
+            return False
+    leaves = x.leaves()
+    for node, _label in y.items():
+        if node in x:
+            continue
+        if not any(_strictly_extends(node, leaf) for leaf in leaves):
+            return False
+    return True
+
+
+def is_proper_tree_prefix(x: FiniteTree, y: FiniteTree) -> bool:
+    return x != y and is_tree_prefix(x, y)
+
+
+def prefix_witness(x: FiniteTree, y: FiniteTree) -> FiniteTree | None:
+    """A tree ``z`` with ``x·z = y``, or ``None`` when ``x ⋢ y``.
+
+    ``z``'s domain is the set of ``y``-nodes at-or-beyond the leaves of
+    ``x``, together with all their ancestors (labeled from ``y``; the
+    ancestor labels inside ``x`` are irrelevant to the concatenation, and
+    taking them from ``y`` keeps the witness canonical).
+    """
+    if not is_tree_prefix(x, y):
+        return None
+    leaves = x.leaves()
+    domain: set[Node] = {()}
+    for node, _label in y.items():
+        if any(_extends(node, leaf) for leaf in leaves):
+            for i in range(len(node) + 1):
+                domain.add(node[:i])
+    return FiniteTree({node: y.label(node) for node in domain})
+
+
+def tree_prefixes(y: FiniteTree) -> list[FiniteTree]:
+    """All trees ``x ⊑ y`` (exponential; for small test trees).
+
+    Prefixes of ``y`` correspond to "antichain cuts": subsets of ``y``'s
+    domain that are prefix-closed, contain the root, and — because
+    growth happens only below leaves — are *downward complete*: a kept
+    node keeps all its ``y``-siblings' subtrees?  No: the
+    characterization only requires dropped nodes to extend kept leaves,
+    which is automatic for prefix-closed subsets.  So the prefixes are
+    exactly the prefix-closed subsets of the domain containing the root,
+    labeled as in ``y`` — except that dropping a node requires dropping
+    its subtree (prefix-closure) and that a node may only be dropped if
+    its parent becomes... a leaf is created wherever children are cut.
+    """
+    nodes = sorted(y.nodes, key=lambda n: (len(n), n))
+    prefixes: list[FiniteTree] = []
+    # enumerate prefix-closed subsets containing the root
+    rest = [n for n in nodes if n != ()]
+    for mask in range(2 ** len(rest)):
+        subset = {()} | {rest[i] for i in range(len(rest)) if mask >> i & 1}
+        if all(n[:-1] in subset for n in subset if n):
+            candidate = FiniteTree({n: y.label(n) for n in subset})
+            if is_tree_prefix(candidate, y):
+                prefixes.append(candidate)
+    return prefixes
+
+
+def _extends(node: Node, base: Node) -> bool:
+    """``base`` is a (string) prefix of ``node``."""
+    return len(node) >= len(base) and node[: len(base)] == base
+
+
+def _strictly_extends(node: Node, base: Node) -> bool:
+    return len(node) > len(base) and node[: len(base)] == base

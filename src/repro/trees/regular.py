@@ -1,0 +1,215 @@
+"""Regular infinite trees (the decidable fragment of ``A_tot``).
+
+The paper's branching-time framework quantifies over *total* trees —
+every node has a successor, so every branch is infinite.  Arbitrary total
+trees are not representable; the *regular* ones (finitely many subtrees
+up to isomorphism) are, as unfoldings of finite pointed labeled graphs,
+and they are complete for the paper's effective claims: a Rabin tree
+automaton language is non-empty iff it contains a regular tree.
+
+:class:`RegularTree` fixes a branching degree ``k`` (the paper's §4.4
+restriction to k-ary trees) and stores, per vertex, a label and a
+``k``-tuple of successor vertices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .tree import FiniteTree, Node
+
+
+class RegularTreeError(ValueError):
+    """Raised when regular-tree data is malformed."""
+
+
+class RegularTree:
+    """A k-branching total tree, represented as a pointed graph unfolding.
+
+    Parameters
+    ----------
+    labels:
+        ``vertex -> symbol``.
+    successors:
+        ``vertex -> k-tuple of vertices``; all tuples must have the same
+        arity ``k >= 1``.
+    root:
+        The vertex whose unfolding is the tree.
+    """
+
+    __slots__ = ("_labels", "_successors", "root", "branching")
+
+    def __init__(
+        self,
+        labels: Mapping[object, object],
+        successors: Mapping[object, Sequence[object]],
+        root: object,
+    ):
+        self._labels = dict(labels)
+        self._successors = {v: tuple(s) for v, s in successors.items()}
+        if root not in self._labels:
+            raise RegularTreeError(f"root {root!r} has no label")
+        arities = {len(s) for s in self._successors.values()}
+        if len(arities) != 1:
+            raise RegularTreeError("all vertices must have the same arity")
+        (self.branching,) = arities
+        if self.branching < 1:
+            raise RegularTreeError("branching degree must be >= 1 (total trees)")
+        for v in self._labels:
+            if v not in self._successors:
+                raise RegularTreeError(f"vertex {v!r} has no successor tuple")
+            for s in self._successors[v]:
+                if s not in self._labels:
+                    raise RegularTreeError(
+                        f"successor {s!r} of {v!r} has no label"
+                    )
+        self.root = root
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def constant(cls, symbol, k: int = 2) -> "RegularTree":
+        """The tree labeled ``symbol`` everywhere."""
+        return cls({0: symbol}, {0: (0,) * k}, 0)
+
+    @classmethod
+    def from_word(cls, word, k: int = 1) -> "RegularTree":
+        """The unary (or k-copied) tree spelling an ultimately periodic
+        word: each level carries the word's symbol at that depth."""
+        from repro.omega.word import LassoWord
+
+        if not isinstance(word, LassoWord):
+            raise RegularTreeError("from_word expects a LassoWord")
+        labels: dict = {}
+        successors: dict = {}
+        spine = word.spine_length
+        loop_back = len(word.prefix)
+        for i in range(spine):
+            labels[i] = word[i]
+            nxt = i + 1 if i + 1 < spine else loop_back
+            successors[i] = (nxt,) * k
+        return cls(labels, successors, 0)
+
+    # -- structure ----------------------------------------------------------------
+
+    def vertex_at(self, node: Node):
+        """The graph vertex reached by following ``node`` from the root."""
+        v = self.root
+        for direction in node:
+            if not 0 <= direction < self.branching:
+                raise RegularTreeError(
+                    f"direction {direction} out of range for k={self.branching}"
+                )
+            v = self._successors[v][direction]
+        return v
+
+    def label_at(self, node: Node):
+        """The tree's label at tree-node ``node``."""
+        return self._labels[self.vertex_at(node)]
+
+    def label_of_vertex(self, v):
+        return self._labels[v]
+
+    def successors_of_vertex(self, v) -> tuple:
+        return self._successors[v]
+
+    @property
+    def vertices(self) -> frozenset:
+        return frozenset(self._labels)
+
+    def reachable_vertices(self) -> frozenset:
+        seen = {self.root}
+        frontier = [self.root]
+        while frontier:
+            v = frontier.pop()
+            for s in self._successors[v]:
+                if s not in seen:
+                    seen.add(s)
+                    frontier.append(s)
+        return frozenset(seen)
+
+    def symbols(self) -> frozenset:
+        return frozenset(
+            self._labels[v] for v in self.reachable_vertices()
+        )
+
+    # -- finite approximations ----------------------------------------------------
+
+    def unfold(self, depth: int) -> FiniteTree:
+        """The finite-depth prefix of the tree down to ``depth`` — an
+        element of the paper's ``A_f`` (every branch cut at the same
+        depth, so non-leaf nodes keep all ``k`` children)."""
+        if depth < 0:
+            raise RegularTreeError("depth must be non-negative")
+        labels: dict[Node, object] = {}
+
+        def walk(v, node: Node):
+            labels[node] = self._labels[v]
+            if len(node) < depth:
+                for i, s in enumerate(self._successors[v]):
+                    walk(s, node + (i,))
+
+        walk(self.root, ())
+        return FiniteTree(labels)
+
+    def branch_word(self, directions) -> "LassoWordView":
+        """The labels along one infinite branch given by an eventually
+        periodic direction sequence ``(prefix, cycle)`` — returned as a
+        :class:`~repro.omega.word.LassoWord` (paths of regular trees along
+        regular branches are lasso words)."""
+        from repro.omega.word import LassoWord
+
+        dir_prefix, dir_cycle = directions
+        dir_prefix = tuple(dir_prefix)
+        dir_cycle = tuple(dir_cycle)
+        if not dir_cycle:
+            raise RegularTreeError("direction cycle must be non-empty")
+        # follow until (vertex, position-in-cycle) repeats
+        symbols = []
+        v = self.root
+        for d in dir_prefix:
+            symbols.append(self._labels[v])
+            v = self._successors[v][d]
+        seen: dict[tuple, int] = {}
+        position = 0
+        tail: list = []
+        while (v, position) not in seen:
+            seen[v, position] = len(tail)
+            tail.append(self._labels[v])
+            v = self._successors[v][dir_cycle[position]]
+            position = (position + 1) % len(dir_cycle)
+        start = seen[v, position]
+        return LassoWord(
+            tuple(symbols) + tuple(tail[:start]), tuple(tail[start:])
+        )
+
+    # -- comparison -----------------------------------------------------------------
+
+    def bisimilar(self, other: "RegularTree") -> bool:
+        """Whether the two unfoldings are the same labeled tree (decided
+        by a product reachability over vertex pairs)."""
+        if self.branching != other.branching:
+            return False
+        seen = set()
+        frontier = [(self.root, other.root)]
+        while frontier:
+            p, q = frontier.pop()
+            if (p, q) in seen:
+                continue
+            seen.add((p, q))
+            if self._labels[p] != other._labels[q]:
+                return False
+            frontier.extend(
+                zip(self._successors[p], other._successors[q])
+            )
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"RegularTree(k={self.branching}, "
+            f"|V|={len(self.reachable_vertices())}, root={self.root!r})"
+        )
+
+
+# readable alias used in docstrings
+LassoWordView = "repro.omega.word.LassoWord"

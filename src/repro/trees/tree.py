@@ -1,0 +1,177 @@
+"""Finite Σ-labeled trees (paper §4.1).
+
+A tree is a pair ``(W, w)`` where ``W ⊆ ℕ*`` is prefix-closed and
+``w : W → Σ`` labels the nodes.  Nodes are tuples of ints; the root is
+``()``.  :class:`FiniteTree` is immutable and hashable.
+
+The paper's notions implemented here: leaves, paths, total / non-total /
+finite-depth (for finite trees only non-total applies — every finite tree
+is finite-depth and non-total), and k-branching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+Node = tuple[int, ...]
+
+
+class TreeError(ValueError):
+    """Raised when tree data is malformed."""
+
+
+class FiniteTree:
+    """An immutable finite labeled tree."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Mapping[Node, object]):
+        table = {tuple(node): label for node, label in labels.items()}
+        if not table:
+            raise TreeError("a tree must contain at least the root")
+        for node in table:
+            if node and node[:-1] not in table:
+                raise TreeError(f"domain is not prefix-closed at {node!r}")
+            if any(not isinstance(i, int) or i < 0 for i in node):
+                raise TreeError(f"node {node!r} is not a word over ℕ")
+        self._labels = table
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def leaf_tree(cls, label) -> "FiniteTree":
+        """The single-node tree."""
+        return cls({(): label})
+
+    @classmethod
+    def from_nested(cls, nested) -> "FiniteTree":
+        """Build from ``(label, [child, child, ...])`` nesting, e.g.
+        ``("a", [("b", []), ("c", [("a", [])]])``."""
+        labels: dict[Node, object] = {}
+
+        def walk(spec, node: Node):
+            label, children = spec
+            labels[node] = label
+            for i, child in enumerate(children):
+                walk(child, node + (i,))
+
+        walk(nested, ())
+        return cls(labels)
+
+    @classmethod
+    def path_tree(cls, symbols) -> "FiniteTree":
+        """The unary tree spelling ``symbols`` (a finite word as a tree)."""
+        symbols = list(symbols)
+        if not symbols:
+            raise TreeError("a path tree needs at least one symbol")
+        return cls({tuple([0] * i): s for i, s in enumerate(symbols)})
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._labels)
+
+    def label(self, node: Node):
+        try:
+            return self._labels[tuple(node)]
+        except KeyError:
+            raise KeyError(f"{node!r} is not a node of this tree") from None
+
+    def __contains__(self, node) -> bool:
+        return tuple(node) in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def children(self, node: Node) -> list[Node]:
+        node = tuple(node)
+        out = []
+        i = 0
+        # children need not be consecutively numbered in general trees;
+        # scan all nodes one longer than `node`
+        for other in self._labels:
+            if len(other) == len(node) + 1 and other[: len(node)] == node:
+                out.append(other)
+        return sorted(out)
+
+    def is_leaf(self, node: Node) -> bool:
+        """The paper's Definition 2: no proper extension in the domain."""
+        node = tuple(node)
+        return not any(
+            other != node and other[: len(node)] == node for other in self._labels
+        )
+
+    def leaves(self) -> list[Node]:
+        return sorted(n for n in self._labels if self.is_leaf(n))
+
+    def depth(self) -> int:
+        """Length of the longest node."""
+        return max(len(n) for n in self._labels)
+
+    def symbols(self) -> frozenset:
+        return frozenset(self._labels.values())
+
+    def is_k_branching_interior(self, k: int) -> bool:
+        """Every non-leaf node has exactly ``k`` children (the shape
+        required of prefixes of k-branching total trees)."""
+        return all(
+            len(self.children(n)) == k
+            for n in self._labels
+            if not self.is_leaf(n)
+        )
+
+    # -- paths (paper: totally ordered prefix-closed subsets) -----------------
+
+    def root_paths(self) -> Iterator[tuple[Node, ...]]:
+        """All maximal root-to-leaf node sequences."""
+        for leaf in self.leaves():
+            yield tuple(leaf[:i] for i in range(len(leaf) + 1))
+
+    def path_word(self, path) -> tuple:
+        """The label word along a node sequence (the paper's ``w(p)``)."""
+        return tuple(self._labels[tuple(n)] for n in path)
+
+    # -- derived trees --------------------------------------------------------
+
+    def subtree(self, node: Node) -> "FiniteTree":
+        """The subtree rooted at ``node``, re-rooted to ``()``."""
+        node = tuple(node)
+        if node not in self._labels:
+            raise KeyError(f"{node!r} is not a node")
+        prefix_len = len(node)
+        return FiniteTree(
+            {
+                other[prefix_len:]: label
+                for other, label in self._labels.items()
+                if other[:prefix_len] == node
+            }
+        )
+
+    def truncated(self, depth: int) -> "FiniteTree":
+        """The restriction to nodes of length ``<= depth``."""
+        if depth < 0:
+            raise TreeError("depth must be non-negative")
+        return FiniteTree(
+            {n: s for n, s in self._labels.items() if len(n) <= depth}
+        )
+
+    def relabeled(self, mapping) -> "FiniteTree":
+        fn = mapping if callable(mapping) else mapping.__getitem__
+        return FiniteTree({n: fn(s) for n, s in self._labels.items()})
+
+    def items(self):
+        return self._labels.items()
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FiniteTree):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self):
+        return hash(frozenset(self._labels.items()))
+
+    def __repr__(self) -> str:
+        return f"FiniteTree({len(self)} nodes, depth {self.depth()})"

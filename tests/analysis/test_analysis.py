@@ -1,0 +1,140 @@
+"""Tests for the unified analysis layer."""
+
+import pytest
+
+from repro.analysis import (
+    PropertyClass,
+    canonical_pair,
+    classify_automaton,
+    classify_element,
+    classify_formula,
+    classify_rabin_on_samples,
+    decompose_automaton,
+    decompose_element,
+    enforcement_table,
+    is_machine_closed_pair,
+    q_table,
+    rem_table,
+)
+from repro.lattice import LatticeClosure, boolean_lattice
+from repro.ltl import parse
+
+
+class TestClassifyElement:
+    def test_all_four_classes_occur(self):
+        lat = boolean_lattice(2)
+        a = frozenset({0})
+        cl = LatticeClosure.from_closed_elements(lat, [a])
+        assert classify_element(lat, cl, a) == PropertyClass.SAFETY
+        assert classify_element(lat, cl, lat.top) == PropertyClass.BOTH
+        # {1}: closure is top (not itself) -> liveness
+        assert classify_element(lat, cl, frozenset({1})) == PropertyClass.LIVENESS
+        # bottom: closure is a (not itself, not top) -> neither
+        assert classify_element(lat, cl, lat.bottom) == PropertyClass.NEITHER
+
+
+class TestClassifyLinearTime:
+    def test_formula_and_automaton_agree(self):
+        from repro.ltl import translate
+
+        for text in ("G a", "GF a", "a & F !a", "true"):
+            f = parse(text)
+            assert classify_formula(f, "ab") == classify_automaton(
+                translate(f, "ab")
+            )
+
+
+class TestClassifyRabin:
+    def test_sampled_classification(self):
+        from repro.ctl import sample_trees
+        from repro.rabin import RabinTreeAutomaton
+
+        trees = sample_trees().values()
+        agfa = RabinTreeAutomaton.build(
+            alphabet="ab",
+            states=["q0", "qa", "qb"],
+            initial="q0",
+            transitions={
+                ("q0", "a"): [("qa", "qa")],
+                ("q0", "b"): [("qb", "qb")],
+                ("qa", "a"): [("qa", "qa")],
+                ("qa", "b"): [("qb", "qb")],
+                ("qb", "a"): [("qa", "qa")],
+                ("qb", "b"): [("qb", "qb")],
+            },
+            pairs=[(["qa"], [])],
+            branching=2,
+        )
+        assert classify_rabin_on_samples(agfa, trees) == PropertyClass.LIVENESS
+        roota = RabinTreeAutomaton.build(
+            alphabet="ab",
+            states=["start", "any"],
+            initial="start",
+            transitions={
+                ("start", "a"): [("any", "any")],
+                ("any", "a"): [("any", "any")],
+                ("any", "b"): [("any", "any")],
+            },
+            pairs=[(["start", "any"], [])],
+            branching=2,
+        )
+        assert classify_rabin_on_samples(roota, trees) == PropertyClass.SAFETY
+
+
+class TestMachineClosure:
+    def test_canonical_pair_machine_closed(self):
+        from repro.ltl import translate
+
+        for text in ("a & F !a", "GF a", "G a"):
+            automaton = translate(parse(text), "ab")
+            safety, liveness = canonical_pair(automaton)
+            assert is_machine_closed_pair(safety, liveness), text
+
+    def test_non_machine_closed_pair(self):
+        """(G a, F b) over {a,b}: the conjunction is empty, whose closure
+        is ∅ ≠ G a — a non-machine-closed spec pair."""
+        from repro.ltl import translate
+
+        ga = translate(parse("G a"), "ab")
+        fb = translate(parse("F b"), "ab")
+        assert not is_machine_closed_pair(ga, fb)
+
+
+class TestDecomposeHelpers:
+    def test_element_decomposition(self):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        d = decompose_element(lat, cl, frozenset())
+        assert d.verify(lat, cl, cl)
+
+    def test_automaton_decomposition(self):
+        from repro.ltl import translate
+
+        d = decompose_automaton(translate(parse("a & F !a"), "ab"))
+        assert d.verify_parts()
+
+
+class TestReports:
+    def test_rem_table_contents(self):
+        table = rem_table()
+        assert "p3" in table
+        assert "neither" in table
+        assert "liveness" in table
+        # computed column must equal the paper column on every row
+        for line in table.splitlines()[2:]:
+            cells = line.split()
+            if not cells or not cells[0].startswith("p"):
+                continue
+            assert cells[-3] == cells[-4] or "both" in line, line
+
+    def test_q_table_contents(self):
+        table = q_table(depth=2)
+        assert "split" in table
+        assert "q3a" in table
+        assert "in fcl:" in table
+
+    def test_enforcement_table_contents(self):
+        table = enforcement_table()
+        assert "no-send-after-read" in table
+        assert "eventual-audit" in table
+        assert "LassoWord" in table  # gap witness printed

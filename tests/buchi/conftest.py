@@ -1,0 +1,83 @@
+"""Shared Büchi automata used across the test modules.
+
+These encode Rem's example properties from the paper's §2.3 over the
+alphabet {a, b} (with "¬a" realized as "b"):
+
+* p1 — "first symbol is a"            (safety)
+* p3 — "first is a, and some later symbol differs" (neither)
+* p5 — "infinitely many a's" = GF a   (liveness)
+* p4 — "finitely many a's" = FG ¬a    (liveness)
+"""
+
+import pytest
+
+from repro.buchi import BuchiAutomaton
+
+
+@pytest.fixture
+def aut_p1():
+    return BuchiAutomaton.build(
+        alphabet="ab",
+        states=["init", "ok"],
+        initial="init",
+        transitions={
+            ("init", "a"): ["ok"],
+            ("ok", "a"): ["ok"],
+            ("ok", "b"): ["ok"],
+        },
+        accepting=["init", "ok"],
+        name="p1",
+    )
+
+
+@pytest.fixture
+def aut_p3():
+    return BuchiAutomaton.build(
+        alphabet="ab",
+        states=["init", "wait", "done"],
+        initial="init",
+        transitions={
+            ("init", "a"): ["wait"],
+            ("wait", "a"): ["wait"],
+            ("wait", "b"): ["done"],
+            ("done", "a"): ["done"],
+            ("done", "b"): ["done"],
+        },
+        accepting=["done"],
+        name="p3",
+    )
+
+
+@pytest.fixture
+def aut_p5():
+    """GF a — infinitely many a's."""
+    return BuchiAutomaton.build(
+        alphabet="ab",
+        states=[0, 1],
+        initial=0,
+        transitions={
+            (0, "a"): [1],
+            (0, "b"): [0],
+            (1, "a"): [1],
+            (1, "b"): [0],
+        },
+        accepting=[1],
+        name="p5",
+    )
+
+
+@pytest.fixture
+def aut_p4():
+    """FG ¬a — finitely many a's (guess the point after which only b)."""
+    return BuchiAutomaton.build(
+        alphabet="ab",
+        states=["any", "tail"],
+        initial="any",
+        transitions={
+            ("any", "a"): ["any"],
+            ("any", "b"): ["any", "tail"],
+            ("tail", "b"): ["tail"],
+        },
+        accepting=["tail"],
+        name="p4",
+    )

@@ -1,0 +1,121 @@
+"""Tests for the Alpern–Schneider closure operator (§2.4).
+
+The central cross-check: the automaton construction ``cl(B)`` must agree,
+on every lasso word, with the paper's *semantic* definition of ``lcl``
+(every prefix extends to a member).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    BuchiAutomaton,
+    closure,
+    empty_automaton,
+    is_closure_automaton,
+    is_liveness,
+    is_safety,
+    is_subset,
+    random_automaton,
+    semantic_lcl_member,
+    universal_automaton,
+)
+from repro.omega import LassoWord, all_lassos
+
+SMALL_LASSOS = list(all_lassos("ab", 2, 3))
+
+
+class TestClosureOperator:
+    def test_closure_structure(self, aut_p3):
+        cl = closure(aut_p3)
+        assert cl.accepting == cl.states
+        assert is_closure_automaton(cl)
+
+    def test_closure_is_extensive(self, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p3, aut_p4, aut_p5):
+            assert is_subset(m, closure(m))
+
+    def test_closure_is_idempotent(self, aut_p3, aut_p4, aut_p5):
+        from repro.buchi import are_equivalent
+
+        for m in (aut_p3, aut_p4, aut_p5):
+            once = closure(m)
+            twice = closure(once)
+            assert are_equivalent(once, twice)
+
+    def test_closure_of_empty(self):
+        cl = closure(empty_automaton("ab"))
+        assert not any(cl.accepts(w) for w in SMALL_LASSOS)
+
+    def test_closure_of_p3_is_p1(self, aut_p3, aut_p1):
+        """The paper's §2.3: 'The closure of p3 is p1.'"""
+        from repro.buchi import are_equivalent
+
+        assert are_equivalent(closure(aut_p3), aut_p1)
+
+    def test_closure_of_p4_and_p5_is_universal(self, aut_p4, aut_p5):
+        """The paper's §2.3: 'The closures of p4 and p5 are both Σ^ω.'"""
+        from repro.buchi import are_equivalent
+
+        univ = universal_automaton("ab")
+        assert are_equivalent(closure(aut_p4), univ)
+        assert are_equivalent(closure(aut_p5), univ)
+
+
+class TestSemanticAgreement:
+    def test_agreement_on_fixtures(self, aut_p1, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p1, aut_p3, aut_p4, aut_p5):
+            cl = closure(m)
+            for w in SMALL_LASSOS:
+                assert cl.accepts(w) == semantic_lcl_member(m, w), (m.name, w)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_on_random_automata(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 6))
+        cl = closure(m)
+        for w in all_lassos("ab", 2, 2):
+            assert cl.accepts(w) == semantic_lcl_member(m, w)
+
+    def test_semantic_lcl_on_empty_language(self):
+        m = empty_automaton("ab")
+        assert not semantic_lcl_member(m, LassoWord((), "a"))
+
+
+class TestSafetyLivenessTests:
+    def test_rem_classification(self, aut_p1, aut_p3, aut_p4, aut_p5):
+        """The paper's §2.3 table over the Büchi encodings."""
+        assert is_safety(aut_p1) and not is_liveness(aut_p1)
+        assert not is_safety(aut_p3) and not is_liveness(aut_p3)
+        assert is_liveness(aut_p4) and not is_safety(aut_p4)
+        assert is_liveness(aut_p5) and not is_safety(aut_p5)
+
+    def test_p0_false_is_safety(self):
+        """p0 = ∅ is a safety property (lcl.∅ = ∅)."""
+        assert is_safety(empty_automaton("ab"))
+        assert not is_liveness(empty_automaton("ab"))
+
+    def test_p6_true_is_both(self):
+        """p6 = Σ^ω is both safe and live — the only such property."""
+        univ = universal_automaton("ab")
+        assert is_safety(univ)
+        assert is_liveness(univ)
+
+    def test_closure_output_is_always_safety(self, aut_p3, aut_p4):
+        for m in (aut_p3, aut_p4):
+            assert is_safety(closure(m))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_only_universal_is_both_safe_and_live(self, seed):
+        """Safety ∩ liveness = {Σ^ω}: lcl.L = L and lcl.L = Σ^ω force
+        L = Σ^ω.  (Sizes kept small: is_safety complements the automaton.)"""
+        from repro.buchi import is_universal
+
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 3))
+        if is_safety(m) and is_liveness(m):
+            assert is_universal(m)

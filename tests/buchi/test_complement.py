@@ -1,0 +1,115 @@
+"""Tests for the three complementation constructions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    BuchiAutomaton,
+    closure,
+    complement,
+    complement_deterministic,
+    complement_rank_based,
+    complement_safety,
+    empty_automaton,
+    random_automaton,
+    universal_automaton,
+)
+from repro.omega import all_lassos
+
+SMALL_LASSOS = list(all_lassos("ab", 2, 3))
+
+
+def assert_complementary(a: BuchiAutomaton, b: BuchiAutomaton, lassos=SMALL_LASSOS):
+    for w in lassos:
+        assert a.accepts(w) != b.accepts(w), w
+
+
+class TestSafetyComplement:
+    def test_on_closure_automata(self, aut_p1, aut_p3):
+        for m in (aut_p1, closure(aut_p3)):
+            assert_complementary(m, complement_safety(m))
+
+    def test_on_empty(self):
+        c = complement_safety(empty_automaton("ab"))
+        assert all(c.accepts(w) for w in SMALL_LASSOS)
+
+    def test_on_universal(self):
+        c = complement_safety(universal_automaton("ab"))
+        assert not any(c.accepts(w) for w in SMALL_LASSOS)
+
+    def test_rejects_non_safety(self, aut_p5):
+        with pytest.raises(ValueError, match="safety"):
+            complement_safety(aut_p5)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_on_random_closures(self, seed):
+        rng = random.Random(seed)
+        m = closure(random_automaton(rng, rng.randint(1, 6)))
+        assert_complementary(m, complement_safety(m), all_lassos("ab", 2, 2))
+
+
+class TestDeterministicComplement:
+    def test_on_deterministic(self, aut_p5):
+        assert aut_p5.is_deterministic()
+        assert_complementary(aut_p5, complement_deterministic(aut_p5))
+
+    def test_incomplete_deterministic(self, aut_p1):
+        assert aut_p1.is_deterministic()
+        assert_complementary(aut_p1, complement_deterministic(aut_p1))
+
+    def test_rejects_nondeterministic(self, aut_p4):
+        with pytest.raises(ValueError, match="deterministic"):
+            complement_deterministic(aut_p4)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_on_random_deterministic(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 6), transition_density=0.9)
+        if not m.is_deterministic():
+            return
+        assert_complementary(
+            m, complement_deterministic(m), all_lassos("ab", 2, 2)
+        )
+
+
+class TestRankBasedComplement:
+    def test_on_p4(self, aut_p4):
+        """FG¬a is genuinely nondeterministic; its complement is GFa."""
+        c = complement_rank_based(aut_p4)
+        assert_complementary(aut_p4, c)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_on_random_automata(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 3))
+        c = complement_rank_based(m)
+        assert_complementary(m, c, all_lassos("ab", 2, 2))
+
+
+class TestDispatch:
+    def test_complement_of_empty_is_universal(self):
+        c = complement(empty_automaton("ab"))
+        assert all(c.accepts(w) for w in SMALL_LASSOS)
+
+    def test_complement_dispatches_cheaply_for_safety(self, aut_p1):
+        c = complement(aut_p1)
+        assert_complementary(aut_p1, c)
+
+    def test_double_complement_preserves_language(self, aut_p4):
+        from repro.buchi import are_equivalent
+
+        cc = complement(complement(aut_p4))
+        assert are_equivalent(cc, aut_p4)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_dispatch_on_random(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 3))
+        assert_complementary(m, complement(m), all_lassos("ab", 2, 2))

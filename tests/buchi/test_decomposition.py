@@ -1,0 +1,109 @@
+"""Tests for the Alpern–Schneider Büchi decomposition (§2.4) — the
+ω-regular instance of the paper's Theorem 2."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    decompose,
+    empty_automaton,
+    is_liveness,
+    is_safety,
+    random_automaton,
+    universal_automaton,
+)
+from repro.omega import all_lassos
+
+SMALL_LASSOS = list(all_lassos("ab", 2, 3))
+
+
+class TestDecompositionOnFixtures:
+    def test_parts_are_correctly_typed(self, aut_p1, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p1, aut_p3, aut_p4, aut_p5):
+            d = decompose(m)
+            assert is_safety(d.safety), m.name
+            assert is_liveness(d.liveness), m.name
+
+    def test_identity_exact(self, aut_p1, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p1, aut_p3, aut_p4, aut_p5):
+            assert decompose(m).verify_exact(), m.name
+
+    def test_identity_on_all_small_words(self, aut_p3):
+        d = decompose(aut_p3)
+        assert all(d.verify_on_word(w) for w in SMALL_LASSOS)
+
+    def test_safety_part_of_safety_is_itself(self, aut_p1):
+        from repro.buchi import are_equivalent
+
+        d = decompose(aut_p1)
+        assert are_equivalent(d.safety, aut_p1)
+
+    def test_liveness_part_of_liveness_is_itself(self, aut_p5):
+        from repro.buchi import are_equivalent
+
+        d = decompose(aut_p5)
+        assert are_equivalent(d.liveness, aut_p5)
+
+    def test_decomposition_of_empty(self):
+        d = decompose(empty_automaton("ab"))
+        assert is_safety(d.safety)
+        assert is_liveness(d.liveness)
+        assert not any(
+            d.safety.accepts(w) and d.liveness.accepts(w) for w in SMALL_LASSOS
+        )
+
+    def test_decomposition_of_universal(self):
+        d = decompose(universal_automaton("ab"))
+        assert all(
+            d.safety.accepts(w) and d.liveness.accepts(w) for w in SMALL_LASSOS
+        )
+
+
+class TestDecompositionRandom:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_on_lassos(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 7))
+        d = decompose(m)
+        for w in all_lassos("ab", 2, 2):
+            assert d.verify_on_word(w)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_parts_typed_on_random(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 5))
+        d = decompose(m)
+        assert d.verify_parts()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_exact_identity_on_small_random(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 3))
+        assert decompose(m).verify_exact()
+
+
+class TestMachineClosureConnection:
+    def test_safety_part_is_strongest(self, aut_p3):
+        """Theorem 6's content at the Büchi level: any safety property S
+        with L(B) ⊆ S satisfies lcl(L(B)) ⊆ S — here spot-checked with the
+        canonical decomposition: the safety part equals the closure."""
+        from repro.buchi import are_equivalent, closure
+
+        d = decompose(aut_p3)
+        assert are_equivalent(d.safety, closure(aut_p3))
+
+    def test_machine_closed(self, aut_p3, aut_p4):
+        """The canonical pair is machine closed:
+        lcl(L(B_S) ∩ L(B_L)) = L(B_S)."""
+        from repro.buchi import are_equivalent, closure
+
+        for m in (aut_p3, aut_p4):
+            d = decompose(m)
+            assert are_equivalent(
+                closure(d.intersection_automaton()), d.safety
+            )

@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.buchi.emptiness`."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    BuchiAutomaton,
+    empty_automaton,
+    find_accepted_word,
+    is_empty,
+    live_states,
+    random_automaton,
+    trim,
+    universal_automaton,
+)
+from repro.omega import LassoWord, all_lassos
+
+
+class TestEmptiness:
+    def test_canonical_empty(self):
+        assert is_empty(empty_automaton("ab"))
+
+    def test_canonical_universal(self):
+        m = universal_automaton("ab")
+        assert not is_empty(m)
+        for w in all_lassos("ab", 1, 2):
+            assert m.accepts(w)
+
+    def test_accepting_state_without_cycle_is_empty(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1],
+            0,
+            {(0, "a"): [1]},  # 1 is accepting but has no outgoing edge
+            [1],
+        )
+        assert is_empty(m)
+
+    def test_unreachable_accepting_cycle_is_empty(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1],
+            0,
+            {(1, "a"): [1]},  # accepting loop, but unreachable
+            [1],
+        )
+        assert is_empty(m)
+
+    def test_self_loop_acceptance(self):
+        m = BuchiAutomaton.build("ab", [0], 0, {(0, "a"): [0]}, [0])
+        assert not is_empty(m)
+
+    def test_nonempty(self, aut_p3):
+        assert not is_empty(aut_p3)
+
+
+class TestLiveStates:
+    def test_live_states_of_p3(self, aut_p3):
+        assert live_states(aut_p3) == frozenset({"init", "wait", "done"})
+
+    def test_dead_branch_detected(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1, 2],
+            0,
+            {(0, "a"): [1], (0, "b"): [2], (1, "a"): [1]},
+            [1],
+        )
+        assert live_states(m) == frozenset({0, 1})
+
+
+class TestWitness:
+    def test_witness_is_accepted(self, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p3, aut_p4, aut_p5):
+            w = find_accepted_word(m)
+            assert w is not None
+            assert m.accepts(w)
+
+    def test_no_witness_when_empty(self):
+        assert find_accepted_word(empty_automaton("ab")) is None
+
+    def test_witness_is_short(self, aut_p5):
+        w = find_accepted_word(aut_p5)
+        assert w.spine_length <= len(aut_p5.states) * 2 + 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_witness_on_random_automata(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 8))
+        w = find_accepted_word(m)
+        if w is None:
+            assert is_empty(m)
+            # no small lasso is accepted either
+            assert not any(m.accepts(x) for x in all_lassos("ab", 2, 2))
+        else:
+            assert m.accepts(w)
+
+
+class TestTrim:
+    def test_trim_preserves_language(self, aut_p4):
+        t = trim(aut_p4)
+        for w in all_lassos("ab", 2, 3):
+            assert t.accepts(w) == aut_p4.accepts(w)
+
+    def test_trim_of_empty_is_canonical(self):
+        m = BuchiAutomaton.build("ab", [0, 1], 0, {(0, "a"): [1]}, [1])
+        t = trim(m)
+        assert is_empty(t)
+        assert len(t.states) == 1
+
+    def test_trim_removes_dead_states(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1, 2],
+            0,
+            {(0, "a"): [0, 1], (1, "b"): [1], (2, "a"): [2]},
+            [0],
+        )
+        t = trim(m)
+        assert t.states == frozenset({0})
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_trim_language_invariant_random(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 7))
+        t = trim(m)
+        for w in all_lassos("ab", 2, 2):
+            assert t.accepts(w) == m.accepts(w)

@@ -1,0 +1,75 @@
+"""Tests for the Büchi-level extremal theorems (6 and 7)."""
+
+import pytest
+
+from repro.buchi import (
+    canonical_is_extremal,
+    closure,
+    decompose,
+    strongest_safety_violation,
+    universal_automaton,
+    weakest_liveness_violation,
+)
+from repro.ltl import parse, translate
+
+
+def aut(text: str, alphabet="ab"):
+    return translate(parse(text), alphabet)
+
+
+class TestStrongestSafety:
+    def test_closure_dominates_any_safety_superset(self):
+        """Candidates: Σ^ω and 'a W b' both contain a U b; the closure
+        must be included in each (Theorem 6)."""
+        b = aut("a U b", "abc")
+        for candidate_text in ("true", "a W b"):
+            candidate = aut(candidate_text, "abc")
+            assert strongest_safety_violation(b, candidate) is None
+
+    def test_rejects_non_safety_candidate(self):
+        b = aut("G a")
+        with pytest.raises(ValueError, match="safety"):
+            strongest_safety_violation(b, aut("GF a"))
+
+    def test_rejects_non_superset_candidate(self):
+        b = aut("true")
+        with pytest.raises(ValueError, match="contain"):
+            strongest_safety_violation(b, aut("G a"))
+
+    def test_canonical_safety_is_tight(self):
+        """The closure itself is a qualifying candidate and trivially
+        meets the bound."""
+        b = aut("a & F !a")
+        assert strongest_safety_violation(b, closure(b)) is None
+
+
+class TestWeakestLiveness:
+    def test_canonical_liveness_is_weakest(self):
+        for text in ("a & F !a", "GF a", "G a", "a U b"):
+            b = aut(text)
+            d = decompose(b)
+            assert weakest_liveness_violation(b, d.liveness) is None, text
+
+    def test_rejects_non_factoring_candidate(self):
+        b = aut("G a")
+        with pytest.raises(ValueError, match="factor"):
+            weakest_liveness_violation(b, aut("G b"))
+
+    def test_original_automaton_also_factors(self):
+        """a = cl(a) ∧ a always holds, and a ≤ a ∨ b — the original is a
+        (non-extremal but valid) second conjunct."""
+        b = aut("a & F !a")
+        assert weakest_liveness_violation(b, b) is None
+
+    def test_universal_second_conjunct_fails_unless_safe(self):
+        """Σ^ω factors B only when B is already safety; for p3 it does
+        not factor (cl(p3) ∩ Σ^ω = p1 ≠ p3)."""
+        b = aut("a & F !a")
+        with pytest.raises(ValueError, match="factor"):
+            weakest_liveness_violation(b, universal_automaton("ab"))
+
+
+class TestCanonicalExtremal:
+    @pytest.mark.parametrize("text", ["a & F !a", "GF a", "FG a", "G a", "F a"])
+    def test_canonical_decomposition_is_extremal(self, text):
+        assert canonical_is_extremal(aut(text)), text

@@ -1,0 +1,133 @@
+"""Tests for generalized Büchi automata and degeneralization."""
+
+import pytest
+
+from repro.buchi import (
+    AutomatonError,
+    BuchiAutomaton,
+    GeneralizedBuchiAutomaton,
+    fairness_intersection,
+)
+from repro.omega import LassoWord, all_lassos
+
+SMALL_LASSOS = list(all_lassos("ab", 2, 3))
+
+
+def gfa_and_gfb() -> GeneralizedBuchiAutomaton:
+    """One-state GNBA over {a,b}: see both letters infinitely often."""
+    return GeneralizedBuchiAutomaton.build(
+        alphabet="ab",
+        states=["sa", "sb"],
+        initial="sa",
+        transitions={
+            ("sa", "a"): ["sa"],
+            ("sa", "b"): ["sb"],
+            ("sb", "a"): ["sa"],
+            ("sb", "b"): ["sb"],
+        },
+        acceptance_sets=[["sa"], ["sb"]],
+        name="GFa∧GFb",
+    )
+
+
+class TestGnbaAcceptance:
+    def test_both_letters_required(self):
+        g = gfa_and_gfb()
+        assert g.accepts(LassoWord((), "ab"))
+        assert g.accepts(LassoWord("bb", "aab"))
+        assert not g.accepts(LassoWord((), "a"))
+        assert not g.accepts(LassoWord((), "b"))
+
+    def test_empty_acceptance_sets_accept_any_run(self):
+        g = GeneralizedBuchiAutomaton.build(
+            "ab", [0], 0, {(0, "a"): [0]}, [], name="runs"
+        )
+        assert g.accepts(LassoWord((), "a"))
+        assert not g.accepts(LassoWord((), "b"))  # run dies
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            GeneralizedBuchiAutomaton.build("ab", [0], 1, {}, [])
+        with pytest.raises(AutomatonError):
+            GeneralizedBuchiAutomaton.build("ab", [0], 0, {}, [[7]])
+
+    def test_foreign_word_rejected(self):
+        with pytest.raises(AutomatonError):
+            gfa_and_gfb().accepts(LassoWord((), "c"))
+
+
+class TestDegeneralization:
+    def test_language_preserved(self):
+        g = gfa_and_gfb()
+        nba = g.degeneralized()
+        for w in SMALL_LASSOS:
+            assert nba.accepts(w) == g.accepts(w), w
+
+    def test_single_set_degeneralization(self):
+        g = GeneralizedBuchiAutomaton.build(
+            "ab",
+            [0, 1],
+            0,
+            {(0, "a"): [1], (0, "b"): [0], (1, "a"): [1], (1, "b"): [0]},
+            [[1]],
+            name="GFa",
+        )
+        nba = g.degeneralized()
+        for w in SMALL_LASSOS:
+            assert nba.accepts(w) == g.accepts(w)
+
+    def test_no_sets_degeneralization(self):
+        g = GeneralizedBuchiAutomaton.build(
+            "ab", [0], 0, {(0, "a"): [0]}, [], name="runs"
+        )
+        nba = g.degeneralized()
+        assert nba.accepts(LassoWord((), "a"))
+        assert not nba.accepts(LassoWord("a", "b"))
+
+
+class TestFairnessIntersection:
+    def _gf(self, letter: str) -> BuchiAutomaton:
+        other = "b" if letter == "a" else "a"
+        return BuchiAutomaton.build(
+            "ab",
+            [0, 1],
+            0,
+            {
+                (0, letter): [1],
+                (0, other): [0],
+                (1, letter): [1],
+                (1, other): [0],
+            },
+            [1],
+            name=f"GF{letter}",
+        )
+
+    def test_product_semantics(self):
+        g = fairness_intersection([self._gf("a"), self._gf("b")])
+        assert len(g.acceptance_sets) == 2
+        for w in SMALL_LASSOS:
+            expected = self._gf("a").accepts(w) and self._gf("b").accepts(w)
+            assert g.accepts(w) == expected, w
+
+    def test_degeneralized_product(self):
+        g = fairness_intersection([self._gf("a"), self._gf("b")])
+        nba = g.degeneralized()
+        for w in SMALL_LASSOS:
+            assert nba.accepts(w) == g.accepts(w)
+
+    def test_single_factor(self):
+        g = fairness_intersection([self._gf("a")])
+        for w in SMALL_LASSOS:
+            assert g.accepts(w) == self._gf("a").accepts(w)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AutomatonError):
+            fairness_intersection([])
+
+    def test_alphabet_mismatch(self):
+        from repro.buchi import universal_automaton
+
+        with pytest.raises(AutomatonError, match="mismatch"):
+            fairness_intersection(
+                [universal_automaton("ab"), universal_automaton("abc")]
+            )

@@ -1,0 +1,96 @@
+"""Tests for exact language inclusion/equivalence."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    are_equivalent,
+    closure,
+    empty_automaton,
+    equivalence_counterexample,
+    inclusion_counterexample,
+    intersection,
+    is_subset,
+    is_universal,
+    random_automaton,
+    union,
+    universal_automaton,
+)
+from repro.omega import all_lassos
+
+
+class TestInclusion:
+    def test_reflexive(self, aut_p3):
+        assert is_subset(aut_p3, aut_p3)
+
+    def test_everything_in_universal(self, aut_p3, aut_p4, aut_p5):
+        univ = universal_automaton("ab")
+        for m in (aut_p3, aut_p4, aut_p5):
+            assert is_subset(m, univ)
+
+    def test_empty_in_everything(self, aut_p3):
+        assert is_subset(empty_automaton("ab"), aut_p3)
+
+    def test_proper_inclusion(self, aut_p1, aut_p3):
+        # p3 ⊆ p1 (first symbol a), not conversely
+        assert is_subset(aut_p3, aut_p1)
+        assert not is_subset(aut_p1, aut_p3)
+
+    def test_counterexample_is_genuine(self, aut_p1, aut_p3):
+        w = inclusion_counterexample(aut_p1, aut_p3)
+        assert w is not None
+        assert aut_p1.accepts(w)
+        assert not aut_p3.accepts(w)
+
+    def test_included_in_own_closure(self, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p3, aut_p4, aut_p5):
+            assert is_subset(m, closure(m))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_inclusion_matches_extensional_on_small(self, seed):
+        rng = random.Random(seed)
+        a = random_automaton(rng, rng.randint(1, 3))
+        b = random_automaton(rng, rng.randint(1, 3))
+        included = is_subset(a, b)
+        extensional = all(
+            (not a.accepts(w)) or b.accepts(w) for w in all_lassos("ab", 2, 3)
+        )
+        if included:
+            assert extensional
+        # (the converse can fail only with longer witnesses; the
+        # counterexample cross-check inside inclusion guards that side)
+
+
+class TestEquivalence:
+    def test_union_intersection_laws(self, aut_p4, aut_p5):
+        univ = universal_automaton("ab")
+        assert are_equivalent(union(aut_p4, aut_p5), univ)
+        # p4 ∩ p5 = ∅
+        assert not equivalence_counterexample(
+            intersection(aut_p4, aut_p5), empty_automaton("ab")
+        )
+
+    def test_absorption(self, aut_p5):
+        # L ∪ (L ∩ Σω) = L
+        m = union(aut_p5, intersection(aut_p5, universal_automaton("ab")))
+        assert are_equivalent(m, aut_p5)
+
+    def test_counterexample_found(self, aut_p4, aut_p5):
+        w = equivalence_counterexample(aut_p4, aut_p5)
+        assert w is not None
+        assert aut_p4.accepts(w) != aut_p5.accepts(w)
+
+
+class TestUniversality:
+    def test_universal(self):
+        assert is_universal(universal_automaton("ab"))
+
+    def test_not_universal(self, aut_p5):
+        assert not is_universal(aut_p5)
+
+    def test_closure_of_liveness_is_universal(self, aut_p4, aut_p5):
+        assert is_universal(closure(aut_p4))
+        assert is_universal(closure(aut_p5))

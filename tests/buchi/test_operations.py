@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.buchi.operations` — the Boolean algebra."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    AutomatonError,
+    finite_prefix_automaton,
+    intersect_many,
+    intersection,
+    random_automaton,
+    single_word_automaton,
+    suffix_language_automaton,
+    union,
+)
+from repro.omega import LassoWord, all_lassos
+
+SMALL_LASSOS = list(all_lassos("ab", 2, 3))
+
+
+class TestUnion:
+    def test_union_semantics(self, aut_p4, aut_p5):
+        u = union(aut_p4, aut_p5)
+        for w in SMALL_LASSOS:
+            assert u.accepts(w) == (aut_p4.accepts(w) or aut_p5.accepts(w))
+
+    def test_union_of_complements_is_universal(self, aut_p4, aut_p5):
+        u = union(aut_p4, aut_p5)
+        assert all(u.accepts(w) for w in SMALL_LASSOS)
+
+    def test_alphabet_mismatch(self, aut_p5):
+        other = single_word_automaton("abc", LassoWord((), "c"))
+        with pytest.raises(AutomatonError, match="alphabet"):
+            union(aut_p5, other)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_union_random(self, seed):
+        rng = random.Random(seed)
+        a = random_automaton(rng, rng.randint(1, 5))
+        b = random_automaton(rng, rng.randint(1, 5))
+        u = union(a, b)
+        for w in all_lassos("ab", 1, 2):
+            assert u.accepts(w) == (a.accepts(w) or b.accepts(w))
+
+
+class TestIntersection:
+    def test_intersection_semantics(self, aut_p1, aut_p5):
+        m = intersection(aut_p1, aut_p5)
+        for w in SMALL_LASSOS:
+            assert m.accepts(w) == (aut_p1.accepts(w) and aut_p5.accepts(w))
+
+    def test_intersection_of_complements_is_empty(self, aut_p4, aut_p5):
+        m = intersection(aut_p4, aut_p5)
+        assert not any(m.accepts(w) for w in SMALL_LASSOS)
+
+    def test_two_fairness_constraints(self, aut_p5):
+        """GFa ∩ GFb — the case the two-phase product exists for."""
+        gfb = aut_p5.renumbered()
+        gfb = type(gfb).build(
+            "ab",
+            [0, 1],
+            0,
+            {(0, "b"): [1], (0, "a"): [0], (1, "b"): [1], (1, "a"): [0]},
+            [1],
+            name="GFb",
+        )
+        both = intersection(aut_p5, gfb)
+        assert both.accepts(LassoWord((), "ab"))
+        assert not both.accepts(LassoWord((), "a"))
+        assert not both.accepts(LassoWord((), "b"))
+
+    def test_intersect_many(self, aut_p1, aut_p5):
+        m = intersect_many([aut_p1, aut_p5, aut_p1])
+        for w in SMALL_LASSOS:
+            assert m.accepts(w) == (aut_p1.accepts(w) and aut_p5.accepts(w))
+
+    def test_intersect_many_empty_rejected(self):
+        with pytest.raises(AutomatonError):
+            intersect_many([])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_intersection_random(self, seed):
+        rng = random.Random(seed)
+        a = random_automaton(rng, rng.randint(1, 5))
+        b = random_automaton(rng, rng.randint(1, 5))
+        m = intersection(a, b)
+        for w in all_lassos("ab", 1, 2):
+            assert m.accepts(w) == (a.accepts(w) and b.accepts(w))
+
+
+class TestSingleWordAutomaton:
+    @given(
+        st.lists(st.sampled_from("ab"), max_size=3),
+        st.lists(st.sampled_from("ab"), min_size=1, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accepts_exactly_the_word(self, prefix, cycle):
+        word = LassoWord(prefix, cycle)
+        m = single_word_automaton("ab", word)
+        for w in all_lassos("ab", 2, 3):
+            assert m.accepts(w) == (w == word)
+
+    def test_purely_periodic(self):
+        m = single_word_automaton("ab", LassoWord((), "ab"))
+        assert m.accepts(LassoWord((), "ab"))
+        assert not m.accepts(LassoWord((), "ba"))
+
+
+class TestSuffixLanguage:
+    def test_restart_at_state(self, aut_p3):
+        m = suffix_language_automaton(aut_p3, "done")
+        # from 'done' everything is accepted
+        assert all(m.accepts(w) for w in all_lassos("ab", 1, 2))
+
+    def test_unknown_state_rejected(self, aut_p3):
+        with pytest.raises(AutomatonError):
+            suffix_language_automaton(aut_p3, "nope")
+
+
+class TestFinitePrefixAutomaton:
+    def test_single_prefix(self):
+        m = finite_prefix_automaton("ab", [("a",)])
+        assert m.accepts(LassoWord((), "ab"))
+        assert m.accepts(LassoWord((), "a"))
+        assert not m.accepts(LassoWord((), "ba"))
+
+    def test_multiple_prefixes(self):
+        m = finite_prefix_automaton("ab", [("a", "a"), ("b",)])
+        assert m.accepts(LassoWord("aa", "b"))
+        assert m.accepts(LassoWord((), "b"))
+        assert not m.accepts(LassoWord("ab", "a"))
+
+    def test_empty_prefix_is_universal(self):
+        m = finite_prefix_automaton("ab", [()])
+        assert all(m.accepts(w) for w in all_lassos("ab", 1, 2))
+
+    def test_is_safety_automaton(self):
+        from repro.buchi import is_safety
+
+        m = finite_prefix_automaton("ab", [("a", "b")])
+        assert is_safety(m)

@@ -1,0 +1,78 @@
+"""Tests for direct simulation and quotienting."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import (
+    BuchiAutomaton,
+    direct_simulation,
+    quotient_by_simulation,
+    random_automaton,
+)
+from repro.omega import all_lassos
+
+
+class TestDirectSimulation:
+    def test_reflexive(self, aut_p3):
+        rel = direct_simulation(aut_p3)
+        for q in aut_p3.states:
+            assert (q, q) in rel
+
+    def test_transitive(self, aut_p3):
+        rel = direct_simulation(aut_p3)
+        for p, q in rel:
+            for q2, r in rel:
+                if q2 == q:
+                    assert (p, r) in rel
+
+    def test_accepting_constraint(self, aut_p5):
+        rel = direct_simulation(aut_p5)
+        for p, q in rel:
+            if p in aut_p5.accepting:
+                assert q in aut_p5.accepting
+
+    def test_duplicate_states_mutually_similar(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1, 2],
+            0,
+            {
+                (0, "a"): [1, 2],
+                (1, "a"): [1],
+                (2, "a"): [2],
+            },
+            [1, 2],
+        )
+        rel = direct_simulation(m)
+        assert (1, 2) in rel and (2, 1) in rel
+
+
+class TestQuotient:
+    def test_merges_duplicates(self):
+        m = BuchiAutomaton.build(
+            "ab",
+            [0, 1, 2],
+            0,
+            {(0, "a"): [1, 2], (1, "a"): [1], (2, "a"): [2]},
+            [1, 2],
+        )
+        q = quotient_by_simulation(m)
+        assert len(q.states) == 2
+
+    def test_language_preserved(self, aut_p3, aut_p4, aut_p5):
+        for m in (aut_p3, aut_p4, aut_p5):
+            q = quotient_by_simulation(m)
+            for w in all_lassos("ab", 2, 3):
+                assert q.accepts(w) == m.accepts(w)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_language_preserved_random(self, seed):
+        rng = random.Random(seed)
+        m = random_automaton(rng, rng.randint(1, 7))
+        q = quotient_by_simulation(m)
+        assert len(q.states) <= len(m.states)
+        for w in all_lassos("ab", 2, 2):
+            assert q.accepts(w) == m.accepts(w)

@@ -1,0 +1,148 @@
+"""The paper's §4.3 example table, machine-checked — the TAB2 ground
+truth.  Each paper claim gets a certificate: a model-checked completion
+(for extendability / fcl facts) or a frozen infinite path (for the ncl
+refutations)."""
+
+import pytest
+
+from repro.ctl import (
+    bounded_fcl_member,
+    complete_with_constant,
+    extension_oracle,
+    holds_on_tree,
+    q_examples,
+    sample_trees,
+    two_path_witness,
+)
+from repro.ltl import parse, satisfies
+from repro.trees import partial_prefix_of_regular
+
+TREES = sample_trees()
+Q = {e.identifier: e for e in q_examples()}
+
+
+class TestMembershipMatrix:
+    """Ground-truth satisfaction of each q-property on each sample tree."""
+
+    EXPECTED = {
+        "all_a": {"q1", "q5a", "q5b", "q6"},
+        "all_b": {"q2", "q4a", "q4b", "q6"},
+        "split": {"q1", "q3b", "q4b", "q5b", "q6"},
+        "alternating": {"q1", "q3a", "q3b", "q5a", "q5b", "q6"},
+        "b_then_a": {"q2", "q5a", "q5b", "q6"},
+        "a_then_b": {"q1", "q3a", "q3b", "q4a", "q4b", "q6"},
+    }
+
+    @pytest.mark.parametrize("tree_name", sorted(TREES))
+    def test_matrix_row(self, tree_name):
+        tree = TREES[tree_name]
+        satisfied = {
+            qid for qid, ex in Q.items() if holds_on_tree(tree, ex.formula)
+        }
+        assert satisfied == self.EXPECTED[tree_name], tree_name
+
+
+class TestUniversalSafetyRows:
+    """'q0, q1, q2, and q6 are universally safe (hence existentially
+    safe)': their bounded fcl adds no new sample trees."""
+
+    @pytest.mark.parametrize("qid", ["q1", "q2", "q6"])
+    def test_fcl_fixes_property_on_samples(self, qid):
+        for name, tree in TREES.items():
+            in_property = holds_on_tree(tree, Q[qid].formula)
+            in_closure = bounded_fcl_member(tree, qid, depth=3)
+            assert in_property == in_closure, (qid, name)
+
+    def test_q0_closure_empty(self):
+        for tree in TREES.values():
+            assert not bounded_fcl_member(tree, "q0", depth=2)
+
+
+class TestFclQ3a:
+    """'fcl.q3a = q1, as before' — on samples plus certificates."""
+
+    def test_fcl_q3a_equals_q1_on_samples(self):
+        for name, tree in TREES.items():
+            in_q1 = holds_on_tree(tree, Q["q1"].formula)
+            in_closure = bounded_fcl_member(tree, "q3a", depth=3)
+            assert in_q1 == in_closure, name
+
+    def test_extension_certificates_are_genuine(self):
+        """Every positive oracle answer ships a completion that really
+        satisfies q3a."""
+        oracle = extension_oracle("q3a")
+        for tree in TREES.values():
+            for depth in range(3):
+                x = tree.unfold(depth)
+                ok, certificate = oracle(x)
+                if ok:
+                    assert holds_on_tree(certificate, Q["q3a"].formula)
+                    from repro.trees import finite_prefix_of_regular
+
+                    assert finite_prefix_of_regular(x, certificate)
+
+    def test_split_in_fcl_but_not_in_q3a(self):
+        """The gap that makes q3a non-(universally-)safe."""
+        split = TREES["split"]
+        assert not holds_on_tree(split, Q["q3a"].formula)
+        assert bounded_fcl_member(split, "q3a", depth=3)
+
+
+class TestNclRefutations:
+    """'ncl.q3a ≠ q1 (consider a tree that has at least two paths such
+    that along one of the paths a always holds)' — the paper's witness,
+    machine-checked end to end."""
+
+    def test_witness_is_a_nontotal_prefix_of_split(self):
+        witness, _word = two_path_witness()
+        assert partial_prefix_of_regular(witness, TREES["split"])
+
+    def test_frozen_path_is_all_a(self):
+        _witness, word = two_path_witness()
+        assert satisfies(word, parse("G a"))
+
+    @pytest.mark.parametrize(
+        "qid,path_requirement",
+        [
+            ("q3a", "F b"),  # AF ¬a demands F¬a on every path
+            ("q4a", "FG b"),  # A(FG ¬a)
+            ("q4b", "FG b"),  # on the frozen path view of sequences
+        ],
+    )
+    def test_frozen_path_violates_universal_demand(self, qid, path_requirement):
+        """Any extension keeps the all-a path, which violates the path
+        formula — so `split` ∉ ncl.q<id> even though `split` ∈ fcl-side
+        closures."""
+        _witness, word = two_path_witness()
+        assert not satisfies(word, parse(path_requirement))
+
+    def test_split_is_in_q1(self):
+        """...yet split ∈ q1, so ncl.q3a ≠ q1."""
+        assert holds_on_tree(TREES["split"], Q["q1"].formula)
+
+
+class TestLivenessRows:
+    """'fcl.q4a = A_tot' / 'ncl.q4b = A_tot' / q5 analogues — on samples."""
+
+    @pytest.mark.parametrize("qid", ["q4a", "q4b", "q5a", "q5b"])
+    def test_fcl_is_universal_on_samples(self, qid):
+        for name, tree in TREES.items():
+            assert bounded_fcl_member(tree, qid, depth=3), (qid, name)
+
+    def test_sequences_witness_ncl_gap_for_q4a(self):
+        """'trees can be sequences, so {y : y ∈ Σ^ω} ⊆ ncl.q4a' — i.e.
+        path-shaped trees enter the ncl closure; here: every finite
+        truncation of the all-a *sequence* extends into q4a (append b^ω),
+        yet all_a itself is not in q4a."""
+        from repro.omega import LassoWord
+        from repro.trees import RegularTree
+
+        seq_a = RegularTree.from_word(LassoWord((), "a"), k=1)
+        assert not holds_on_tree(seq_a, Q["q4a"].formula)
+        for depth in range(3):
+            x = seq_a.unfold(depth)
+            certificate = complete_with_constant(x, "b", 1)
+            from repro.trees import finite_prefix_of_regular
+
+            assert finite_prefix_of_regular(x, certificate)
+            assert holds_on_tree(certificate, Q["q4a"].formula)

@@ -1,0 +1,187 @@
+"""Tests for Kripke structures and the CTL model checker."""
+
+import pytest
+
+from repro.ctl import (
+    AF,
+    AFG,
+    AG,
+    AGF,
+    AU,
+    AX,
+    CAnd,
+    CFALSE,
+    CNot,
+    COr,
+    CTRUE,
+    EF,
+    EFG,
+    EG,
+    EGF,
+    EU,
+    EX,
+    KripkeError,
+    KripkeStructure,
+    csym,
+    holds,
+    kripke_from_regular_tree,
+    prop,
+    satisfaction_set,
+)
+from repro.trees import RegularTree
+
+
+@pytest.fixture
+def ring():
+    """a -> b -> c -> a ring."""
+    return KripkeStructure(
+        states="abc",
+        initial="a",
+        transitions={"a": "b", "b": "c", "c": "a"},
+        labels={s: s for s in "abc"},
+    )
+
+
+@pytest.fixture
+def choice():
+    """init branches to a sink of a's or a sink of b's."""
+    return KripkeStructure(
+        states=["i", "pa", "pb"],
+        initial="i",
+        transitions={"i": ["pa", "pb"], "pa": ["pa"], "pb": ["pb"]},
+        labels={"i": "a", "pa": "a", "pb": "b"},
+    )
+
+
+class TestKripkeStructure:
+    def test_totality_enforced(self):
+        with pytest.raises(KripkeError, match="total"):
+            KripkeStructure("ab", "a", {"a": "b"}, {"a": "a", "b": "b"})
+
+    def test_unknown_initial(self):
+        with pytest.raises(KripkeError):
+            KripkeStructure("ab", "z", {"a": "b", "b": "a"}, {"a": "a", "b": "b"})
+
+    def test_unlabeled_state(self):
+        with pytest.raises(KripkeError, match="labels"):
+            KripkeStructure("ab", "a", {"a": "b", "b": "a"}, {"a": "a"})
+
+    def test_transition_leaving_states(self):
+        with pytest.raises(KripkeError):
+            KripkeStructure("a", "a", {"a": "z"}, {"a": "a"})
+
+    def test_reachable(self, choice):
+        assert choice.reachable() == frozenset({"i", "pa", "pb"})
+        assert choice.reachable("pa") == frozenset({"pa"})
+
+    def test_computation_tree_padding(self, choice):
+        tree = choice.computation_tree()
+        assert tree.branching == 2
+        # pa has one successor padded to two
+        assert tree.label_at((0, 0)) == tree.label_at((0, 1))
+
+    def test_paths_automaton(self, ring):
+        from repro.omega import LassoWord
+
+        paths = ring.paths_automaton()
+        assert paths.accepts(LassoWord((), "abc"))
+        assert not paths.accepts(LassoWord((), "a"))
+
+
+class TestBooleanAndNext:
+    def test_atoms(self, ring):
+        assert satisfaction_set(ring, csym("a")) == frozenset("a")
+        assert satisfaction_set(ring, CTRUE) == frozenset("abc")
+        assert satisfaction_set(ring, CFALSE) == frozenset()
+
+    def test_boolean(self, ring):
+        assert satisfaction_set(ring, CNot(csym("a"))) == frozenset("bc")
+        assert satisfaction_set(ring, COr(csym("a"), csym("b"))) == frozenset("ab")
+        assert satisfaction_set(ring, CAnd(csym("a"), csym("b"))) == frozenset()
+
+    def test_ex_ax(self, ring, choice):
+        assert satisfaction_set(ring, EX(csym("b"))) == frozenset("a")
+        # in `choice`, EX a at i (goes to pa) but not AX a
+        assert holds(choice, EX(csym("a")))
+        assert not holds(choice, AX(csym("a")))
+
+
+class TestFixpointOperators:
+    def test_ef_af(self, choice):
+        assert holds(choice, EF(csym("b")))
+        assert not holds(choice, AF(csym("b")))
+
+    def test_eg_ag(self, choice):
+        assert holds(choice, EG(csym("a")))  # stay on the a-branch
+        assert not holds(choice, AG(csym("a")))
+
+    def test_eu(self, ring):
+        assert holds(ring, EU(csym("a"), csym("b")))
+        assert not holds(ring, EU(csym("a"), csym("c")))  # b blocks
+
+    def test_au(self, choice):
+        # on every path from i: a holds until... pb-branch reaches b, but
+        # pa-branch never reaches b, so AU fails
+        assert not holds(choice, AU(csym("a"), csym("b")))
+        assert holds(choice, AU(csym("a"), COr(csym("a"), csym("b"))))
+
+    def test_ag_of_ring(self, ring):
+        assert holds(ring, AG(EF(csym("c"))))
+
+
+class TestFairnessShapes:
+    def test_egf_afg(self, choice):
+        # some path (the a-sink) has infinitely many a's
+        assert holds(choice, EGF(csym("a")))
+        # some path settles into b forever
+        assert holds(choice, EFG(csym("b")))
+        # not every path has infinitely many a's
+        assert not holds(choice, AGF(csym("a")))
+        # not every path settles into a
+        assert not holds(choice, AFG(csym("a")))
+
+    def test_ring_fairness(self, ring):
+        assert holds(ring, AGF(csym("a")))
+        assert holds(ring, AGF(csym("c")))
+        assert not holds(ring, EFG(csym("a")))
+
+    def test_duality(self, choice, ring):
+        for k in (choice, ring):
+            for sym in ("a", "b"):
+                f = csym(sym)
+                assert holds(k, AGF(f)) == (not holds(k, EFG(CNot(f))))
+                assert holds(k, AFG(f)) == (not holds(k, EGF(CNot(f))))
+
+
+class TestTreeSemantics:
+    def test_unfolding_invariance(self, choice):
+        """CTL truth at a state = truth on the regular computation tree."""
+        from repro.ctl import holds_on_tree
+
+        tree = choice.computation_tree()
+        for formula in (
+            EF(csym("b")),
+            AF(csym("b")),
+            EG(csym("a")),
+            EGF(csym("a")),
+            AFG(csym("a")),
+        ):
+            assert holds_on_tree(tree, formula) == holds(choice, formula)
+
+    def test_kripke_from_regular_tree_round_trip(self):
+        split = RegularTree(
+            {"r": "a", "A": "a", "B": "b"},
+            {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+            "r",
+        )
+        k = kripke_from_regular_tree(split)
+        assert k.computation_tree().bisimilar(split)
+
+
+class TestPropHelper:
+    def test_prop_over_powerset_alphabet(self):
+        alphabet = [frozenset(), frozenset({"p"}), frozenset({"p", "q"})]
+        atom = prop("p", alphabet)
+        assert atom.letters == frozenset(
+            {frozenset({"p"}), frozenset({"p", "q"})}
+        )

@@ -1,0 +1,109 @@
+"""Tests for the CTL parser."""
+
+import pytest
+
+from repro.ctl import (
+    AF,
+    AG,
+    AGF,
+    AU,
+    CAnd,
+    CFALSE,
+    CNot,
+    COr,
+    CTRUE,
+    EF,
+    EGF,
+    EU,
+    EX,
+    CtlParseError,
+    catom,
+    csym,
+    parse_ctl,
+)
+
+
+class TestAtoms:
+    def test_symbols_and_constants(self):
+        assert parse_ctl("a") == csym("a")
+        assert parse_ctl("true") == CTRUE
+        assert parse_ctl("false") == CFALSE
+        assert parse_ctl("{a,b}") == catom("ab")
+
+    def test_parentheses(self):
+        assert parse_ctl("((a))") == csym("a")
+
+
+class TestOperators:
+    def test_unary_quantified(self):
+        assert parse_ctl("AG a") == AG(csym("a"))
+        assert parse_ctl("EF a") == EF(csym("a"))
+        assert parse_ctl("EX a") == EX(csym("a"))
+        assert parse_ctl("AGF a") == AGF(csym("a"))
+        assert parse_ctl("EGF a") == EGF(csym("a"))
+
+    def test_nested_unary(self):
+        assert parse_ctl("AG EF a") == AG(EF(csym("a")))
+
+    def test_until(self):
+        assert parse_ctl("A [ a U b ]") == AU(csym("a"), csym("b"))
+        assert parse_ctl("E[a U b]") == EU(csym("a"), csym("b"))
+
+    def test_boolean(self):
+        assert parse_ctl("a & b") == CAnd(csym("a"), csym("b"))
+        assert parse_ctl("a | b") == COr(csym("a"), csym("b"))
+        assert parse_ctl("!a") == CNot(csym("a"))
+
+    def test_implication(self):
+        f = parse_ctl("a -> b")
+        assert f == COr(CNot(csym("a")), csym("b"))
+
+    def test_classic_response_spec(self):
+        f = parse_ctl("AG (req -> AF grant)")
+        assert f == AG(COr(CNot(csym("req")), AF(csym("grant"))))
+
+    def test_precedence(self):
+        f = parse_ctl("a | b & c")
+        assert isinstance(f, COr)
+        assert isinstance(f.right, CAnd)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad", ["", "(a", "A [ a U ]", "A a U b ]", "a &", "E [ a ]", "{}", "a b"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(CtlParseError):
+            parse_ctl(bad)
+
+
+class TestIntegrationWithModelChecker:
+    def test_parsed_formula_model_checks(self):
+        from repro.ctl import KripkeStructure, holds
+
+        ring = KripkeStructure(
+            states="abc",
+            initial="a",
+            transitions={"a": "b", "b": "c", "c": "a"},
+            labels={s: s for s in "abc"},
+        )
+        assert holds(ring, parse_ctl("AG AF c"))
+        assert holds(ring, parse_ctl("A [ true U b ]"))
+        assert not holds(ring, parse_ctl("EG !c"))
+
+    def test_parsed_q_examples_match_builtin(self):
+        from repro.ctl import holds_on_tree, q_examples, sample_trees
+
+        texts = {
+            "q1": "a",
+            "q3a": "a & AF !a",
+            "q3b": "a & EF !a",
+            "q4a": "AFG !a",
+            "q5b": "EGF a",
+        }
+        builtin = {e.identifier: e.formula for e in q_examples()}
+        for name, tree in sample_trees().items():
+            for qid, text in texts.items():
+                assert holds_on_tree(tree, parse_ctl(text)) == holds_on_tree(
+                    tree, builtin[qid]
+                ), (name, qid)

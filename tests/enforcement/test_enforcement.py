@@ -1,0 +1,126 @@
+"""Tests for Schneider-style enforcement: safety ≡ enforceable."""
+
+import pytest
+
+from repro.buchi import closure, universal_automaton
+from repro.enforcement import (
+    MonitorError,
+    SecurityMonitor,
+    all_policies,
+    enforcement_gap,
+    enforcement_gap_formula,
+    eventual_audit,
+    fair_service,
+    is_enforceable,
+    is_enforceable_formula,
+    no_send_after_read,
+    resource_bracketing,
+)
+from repro.ltl.semantics import satisfies
+from repro.omega import LassoWord
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", all_policies(), ids=lambda p: p.name)
+    def test_enforceability_matches_ground_truth(self, policy):
+        assert (
+            is_enforceable_formula(policy.formula, policy.alphabet)
+            == policy.enforceable
+        )
+
+    @pytest.mark.parametrize("policy", all_policies(), ids=lambda p: p.name)
+    def test_gap_exists_iff_not_enforceable(self, policy):
+        gap = enforcement_gap_formula(policy.formula, policy.alphabet)
+        assert (gap is None) == policy.enforceable
+
+    def test_automaton_level_api_agrees(self):
+        """The (exponential) automaton-level check agrees with the
+        formula-level one on a small safety and a small liveness policy."""
+        for policy in (no_send_after_read(), fair_service()):
+            automaton = policy.automaton()
+            assert is_enforceable(automaton) == policy.enforceable
+            gap = enforcement_gap(automaton)
+            assert (gap is None) == policy.enforceable
+
+    @pytest.mark.parametrize(
+        "policy", [eventual_audit(), fair_service()], ids=lambda p: p.name
+    )
+    def test_gap_is_a_genuine_violation_with_safe_prefixes(self, policy):
+        """The gap execution violates the policy, yet every prefix is
+        extendable — no truncation monitor can reject it."""
+        gap = enforcement_gap_formula(policy.formula, policy.alphabet)
+        assert not satisfies(gap, policy.formula)
+        monitor = SecurityMonitor.for_property(policy.automaton())
+        assert monitor.admits_lasso(gap)
+
+
+class TestMonitorMechanics:
+    @pytest.fixture
+    def monitor(self):
+        return SecurityMonitor.for_property(no_send_after_read().automaton())
+
+    def test_requires_safety_automaton(self):
+        from repro.ltl import parse, translate
+
+        live = translate(parse("GF serve"), ("serve", "other"))
+        with pytest.raises(MonitorError, match="safety"):
+            SecurityMonitor(live)
+
+    def test_truncates_exactly_at_violation(self, monitor):
+        assert monitor.observe("read").accepted
+        assert monitor.observe("other").accepted
+        verdict = monitor.observe("send")
+        assert not verdict.accepted
+        assert verdict.position == 3
+        assert monitor.truncated
+
+    def test_rejects_everything_after_truncation(self, monitor):
+        monitor.observe("read")
+        monitor.observe("send")
+        assert not monitor.observe("other").accepted
+
+    def test_reset(self, monitor):
+        monitor.observe("read")
+        monitor.observe("send")
+        monitor.reset()
+        assert not monitor.truncated
+        assert monitor.observe("send").accepted  # send before read is fine
+
+    def test_unknown_event_rejected(self, monitor):
+        with pytest.raises(MonitorError):
+            monitor.observe("format_disk")
+
+    def test_admits_prefix(self, monitor):
+        assert monitor.admits_prefix(["send", "send", "other"])
+        assert not monitor.admits_prefix(["read", "send"])
+        assert monitor.admits_prefix([])
+
+    def test_admits_lasso(self, monitor):
+        assert monitor.admits_lasso(LassoWord(("read",), ("other",)))
+        assert not monitor.admits_lasso(LassoWord(("read",), ("other", "send")))
+
+
+class TestMonitorSoundnessCompleteness:
+    def test_monitor_equals_closure_language(self):
+        """The monitor admits exactly lcl(policy) on lassos."""
+        policy = no_send_after_read()
+        automaton = policy.automaton()
+        monitor = SecurityMonitor.for_property(automaton)
+        cl = closure(automaton)
+        from repro.omega import all_lassos
+
+        for word in all_lassos(policy.alphabet, 2, 2):
+            assert monitor.admits_lasso(word) == cl.accepts(word)
+
+    def test_universal_monitor_admits_everything(self):
+        monitor = SecurityMonitor(universal_automaton("ab"))
+        from repro.omega import all_lassos
+
+        assert all(monitor.admits_lasso(w) for w in all_lassos("ab", 2, 2))
+
+    def test_bracketing_monitor(self):
+        monitor = SecurityMonitor.for_property(resource_bracketing().automaton())
+        assert monitor.admits_prefix(["acquire", "use", "release"])
+        assert not monitor.admits_prefix(["use"])
+        assert not monitor.admits_prefix(["acquire", "release", "use"])
+        assert monitor.admits_prefix(["acquire", "release", "acquire", "use"])

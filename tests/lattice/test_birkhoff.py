@@ -1,0 +1,100 @@
+"""Tests for Birkhoff duality and the Dedekind–MacNeille completion."""
+
+import pytest
+
+from repro.lattice import (
+    FinitePoset,
+    birkhoff_representation,
+    boolean_lattice,
+    chain,
+    dedekind_macneille,
+    divisor_lattice,
+    downset_lattice,
+    is_distributive,
+    m3,
+    n5,
+)
+
+
+class TestDownsetLattice:
+    def test_antichain_gives_powerset(self):
+        lat = downset_lattice(FinitePoset.antichain(3))
+        assert len(lat) == 8
+        assert is_distributive(lat)
+
+    def test_chain_gives_chain(self):
+        lat = downset_lattice(FinitePoset.chain(4))
+        assert len(lat) == 5  # downsets of a 4-chain: ∅ plus 4 prefixes
+
+    def test_v_poset(self):
+        p = FinitePoset.from_covers({"x": ["z"], "y": ["z"]})
+        lat = downset_lattice(p)
+        # ∅, {x}, {y}, {x,y}, {x,y,z}
+        assert len(lat) == 5
+
+    def test_always_distributive(self):
+        for p in (
+            FinitePoset.antichain(2),
+            FinitePoset.chain(3),
+            FinitePoset.from_covers({"a": ["c"], "b": ["c", "d"]}),
+        ):
+            assert is_distributive(downset_lattice(p))
+
+
+class TestBirkhoff:
+    @pytest.mark.parametrize(
+        "lat_factory", [lambda: chain(4), lambda: boolean_lattice(3), lambda: divisor_lattice(12)]
+    )
+    def test_representation_is_isomorphism(self, lat_factory):
+        lat = lat_factory()
+        sub, iso = birkhoff_representation(lat)
+        # injective
+        assert len(set(iso.values())) == len(lat)
+        # order-preserving both ways
+        for x in lat.elements:
+            for y in lat.elements:
+                assert lat.leq(x, y) == (iso[x] <= iso[y])
+        # onto the downsets of the irreducible poset
+        expected = downset_lattice(sub)
+        assert len(expected) == len(lat)
+
+    def test_rejects_nondistributive(self):
+        for lat in (m3(), n5()):
+            with pytest.raises(ValueError, match="distributiv"):
+                birkhoff_representation(lat)
+
+
+class TestDedekindMacNeille:
+    def test_lattice_is_fixed(self):
+        # a lattice's DM completion has the same size
+        lat = boolean_lattice(2)
+        dm = dedekind_macneille(lat.poset)
+        assert len(dm) == len(lat)
+
+    def test_antichain_completion(self):
+        # 2-antichain gains a bottom and a top
+        dm = dedekind_macneille(FinitePoset.antichain(2))
+        assert len(dm) == 4
+
+    def test_chain_completion(self):
+        dm = dedekind_macneille(FinitePoset.chain(3))
+        assert len(dm) == 3
+
+    def test_empty_poset(self):
+        dm = dedekind_macneille(FinitePoset([], []))
+        assert len(dm) == 1
+
+    def test_v_poset_completion(self):
+        # x, y < z: needs a bottom; top is z's principal cut
+        p = FinitePoset.from_covers({"x": ["z"], "y": ["z"]})
+        dm = dedekind_macneille(p)
+        assert len(dm) == 4  # ∅, {x}, {y}, {x,y,z}
+
+    def test_completion_embeds_the_poset(self):
+        p = FinitePoset.from_covers({"a": ["c"], "b": ["c"], "c": []})
+        dm = dedekind_macneille(p)
+        embed = {x: frozenset(p.downset(x)) for x in p.elements}
+        for x in p.elements:
+            assert embed[x] in dm
+            for y in p.elements:
+                assert p.leq(x, y) == dm.leq(embed[x], embed[y])

@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.lattice.builders` — including the exact shapes of
+the paper's Figure 1 and Figure 2 instances."""
+
+import pytest
+
+from repro.lattice import (
+    LatticeError,
+    boolean_lattice,
+    chain,
+    diamond_mn,
+    divisor_lattice,
+    figure1,
+    figure2,
+    is_boolean,
+    is_complemented,
+    is_distributive,
+    is_modular,
+    m3,
+    n5,
+    partition_lattice,
+    powerset_lattice,
+    subspace_lattice_gf2,
+)
+
+
+class TestChains:
+    def test_sizes(self):
+        assert len(chain(1)) == 1
+        assert len(chain(5)) == 5
+
+    def test_order(self):
+        lat = chain(3)
+        assert lat.leq(0, 2)
+        assert lat.meet(0, 2) == 0
+        assert lat.join(0, 2) == 2
+
+    def test_zero_rejected(self):
+        with pytest.raises(LatticeError):
+            chain(0)
+
+
+class TestBooleanLattices:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_size_is_power_of_two(self, n):
+        assert len(boolean_lattice(n)) == 2**n
+
+    def test_is_boolean(self):
+        assert is_boolean(boolean_lattice(3))
+
+    def test_powerset_over_arbitrary_universe(self):
+        lat = powerset_lattice("xy")
+        assert lat.top == frozenset("xy")
+        assert len(lat) == 4
+
+
+class TestN5:
+    def test_shape(self):
+        lat = n5()
+        assert len(lat) == 5
+        assert lat.lt("a", "b")
+        assert not lat.poset.comparable("a", "c")
+        assert not lat.poset.comparable("b", "c")
+
+    def test_properties(self):
+        lat = n5()
+        assert not is_modular(lat)
+        assert not is_distributive(lat)
+        assert is_complemented(lat)  # a, b, c all have complements
+
+
+class TestM3:
+    def test_shape(self):
+        lat = m3()
+        assert len(lat) == 5
+        assert lat.bottom == "a"
+        assert lat.top == "1"
+        for x in ("s", "b", "z"):
+            for y in ("s", "b", "z"):
+                if x != y:
+                    assert lat.meet(x, y) == "a"
+                    assert lat.join(x, y) == "1"
+
+    def test_properties(self):
+        lat = m3()
+        assert is_modular(lat)
+        assert not is_distributive(lat)
+        assert is_complemented(lat)
+
+
+class TestDiamondFamily:
+    def test_m2_is_boolean(self):
+        # M2 is the 2x2 Boolean algebra in disguise
+        assert is_boolean(diamond_mn(2))
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_mn_modular_complemented_nondistributive(self, n):
+        lat = diamond_mn(n)
+        assert is_modular(lat)
+        assert is_complemented(lat)
+        assert not is_distributive(lat)
+
+    def test_m0_is_a_chain(self):
+        assert len(diamond_mn(0)) == 2
+
+
+class TestDivisorLattices:
+    def test_divisors_of_12(self):
+        lat = divisor_lattice(12)
+        assert set(lat.elements) == {1, 2, 3, 4, 6, 12}
+        assert lat.meet(4, 6) == 2
+        assert lat.join(4, 6) == 12
+
+    def test_distributive(self):
+        assert is_distributive(divisor_lattice(60))
+
+    def test_bounds(self):
+        lat = divisor_lattice(30)
+        assert lat.bottom == 1
+        assert lat.top == 30
+
+    def test_invalid_n(self):
+        with pytest.raises(LatticeError):
+            divisor_lattice(0)
+
+
+class TestPartitionLattices:
+    def test_bell_number_sizes(self):
+        assert len(partition_lattice(1)) == 1
+        assert len(partition_lattice(2)) == 2
+        assert len(partition_lattice(3)) == 5
+        assert len(partition_lattice(4)) == 15
+
+    def test_bounds(self):
+        lat = partition_lattice(3)
+        # bottom = all singletons, top = one block
+        assert lat.bottom == frozenset(
+            {frozenset({0}), frozenset({1}), frozenset({2})}
+        )
+        assert lat.top == frozenset({frozenset({0, 1, 2})})
+
+    def test_complemented_but_not_modular_at_4(self):
+        lat = partition_lattice(4)
+        assert is_complemented(lat)
+        assert not is_modular(lat)
+
+
+class TestSubspaceLattices:
+    def test_gf2_dim2_is_m3(self):
+        # PG(1,2): 3 one-dim subspaces — the projective M3
+        lat = subspace_lattice_gf2(2)
+        assert len(lat) == 5
+        assert is_modular(lat)
+        assert not is_distributive(lat)
+        assert is_complemented(lat)
+
+    def test_gf2_dim1(self):
+        lat = subspace_lattice_gf2(1)
+        assert len(lat) == 2
+
+    def test_gf2_dim3_count(self):
+        # 1 + 7 + 7 + 1 subspaces of GF(2)^3
+        lat = subspace_lattice_gf2(3)
+        assert len(lat) == 16
+        assert is_modular(lat)
+        assert is_complemented(lat)
+        assert not is_distributive(lat)
+
+
+class TestFigureInstances:
+    def test_figure1_matches_caption(self):
+        fig = figure1()
+        cl = fig.closure
+        assert cl("a") == "b"
+        for x in ("0", "b", "c", "1"):
+            assert cl(x) == x
+
+    def test_figure2_matches_caption(self):
+        fig = figure2()
+        cl = fig.closure
+        assert cl("a") == "s"
+        assert set(cl.closed_elements()) == {"s", "1"}
+        # monotonicity forces b, z to close to 1
+        assert cl("b") == "1"
+        assert cl("z") == "1"

@@ -1,0 +1,298 @@
+"""Tests for the paper's Theorems 2, 3, 5, 6, 7 and Lemmas 4, 6.
+
+These are the machine-checked statements of the paper's Section 3; the
+benchmark suite re-runs the same checks at scale.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    DecompositionError,
+    LatticeClosure,
+    all_closures,
+    all_decompositions,
+    boolean_lattice,
+    canonical_decomposition_is_machine_closed,
+    chain,
+    check_strongest_safety,
+    check_weakest_liveness,
+    decompose,
+    decompose_single,
+    figure1,
+    figure2,
+    is_machine_closed,
+    liveness_part,
+    m3,
+    n5,
+    no_decomposition_witness,
+    subspace_lattice_gf2,
+    theorem5_applies,
+)
+from repro.lattice.random_lattices import (
+    random_closure,
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+
+
+class TestLemma4:
+    def test_liveness_part_is_live(self):
+        lat = boolean_lattice(3)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0, 1})])
+        a = frozenset({0})
+        b = lat.some_complement(cl(a))
+        live = liveness_part(lat, cl, a, b)
+        assert cl.is_liveness(live)
+
+    def test_wrong_complement_rejected(self):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.identity(lat)
+        with pytest.raises(DecompositionError, match="not a complement"):
+            liveness_part(lat, cl, frozenset({0}), frozenset({0}))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma4_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl = random_closure(rng, lat)
+        a = rng.choice(lat.elements)
+        for b in lat.complements(cl(a)):
+            assert cl.is_liveness(lat.join(a, b))
+
+
+class TestTheorem2:
+    def test_canonical_boolean_example(self):
+        lat = boolean_lattice(3)
+        cl = LatticeClosure.from_closed_elements(
+            lat, [frozenset({0, 1}), frozenset({2})]
+        )
+        for a in lat.elements:
+            d = decompose_single(lat, cl, a)
+            assert d.verify(lat, cl, cl)
+            assert d.safety == cl(a)
+
+    def test_works_on_modular_nondistributive(self):
+        # M3 and the GF(2) subspace lattice are beyond all prior frameworks
+        for lat in (m3(), subspace_lattice_gf2(2)):
+            for cl in all_closures(lat):
+                for a in lat.elements:
+                    d = decompose_single(lat, cl, a)
+                    assert d.verify(lat, cl, cl)
+
+    def test_nonmodular_rejected(self):
+        lat = n5()
+        cl = LatticeClosure.identity(lat)
+        with pytest.raises(DecompositionError, match="not modular"):
+            decompose_single(lat, cl, "a")
+
+    def test_uncomplemented_rejected(self):
+        lat = chain(3)
+        cl = LatticeClosure.identity(lat)
+        with pytest.raises(DecompositionError, match="not complemented"):
+            decompose_single(lat, cl, 1)
+
+    def test_specific_complement_choice(self):
+        lat = m3()
+        cl = LatticeClosure.identity(lat)
+        # cmp(s) = {b, z}: both choices must work and give different liveness
+        d_b = decompose_single(lat, cl, "s", complement="b")
+        d_z = decompose_single(lat, cl, "s", complement="z")
+        assert d_b.verify(lat, cl, cl)
+        assert d_z.verify(lat, cl, cl)
+        assert d_b.complement_used == "b"
+        assert d_z.complement_used == "z"
+        # both joins collapse to the top of M3 — complements are not unique
+        # but every choice yields a valid liveness conjunct
+        assert d_b.liveness == d_z.liveness == "1"
+
+    def test_bad_complement_choice_rejected(self):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.identity(lat)
+        with pytest.raises(DecompositionError, match="not a complement"):
+            decompose_single(lat, cl, frozenset({0}), complement=frozenset({0}))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem2_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=4)
+        cl = random_closure(rng, lat)
+        for a in lat.elements:
+            d = decompose_single(lat, cl, a, check_hypotheses=False)
+            assert d.verify(lat, cl, cl)
+
+
+class TestTheorem3:
+    def test_two_closure_decomposition(self):
+        lat = boolean_lattice(3)
+        cl2 = LatticeClosure.from_closed_elements(lat, [frozenset({0, 1})])
+        cl1 = LatticeClosure.from_closed_elements(
+            lat, set(cl2.closed_elements()) | {frozenset({0}), frozenset({2})}
+        )
+        assert cl2.dominates(cl1)
+        for a in lat.elements:
+            d = decompose(lat, cl1, cl2, a)
+            assert d.verify(lat, cl1, cl2)
+
+    def test_incomparable_closures_rejected(self):
+        lat = boolean_lattice(2)
+        cl1 = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        cl2 = LatticeClosure.from_closed_elements(lat, [frozenset({1})])
+        with pytest.raises(DecompositionError, match="cl1 <= cl2"):
+            decompose(lat, cl1, cl2, frozenset())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem3_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        assert cl2.dominates(cl1)
+        for a in lat.elements:
+            d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
+            assert d.verify(lat, cl1, cl2)
+
+
+class TestLemma6Figure1:
+    def test_no_decomposition_on_pentagon(self):
+        fig = figure1()
+        assert all_decompositions(fig.lattice, fig.closure, fig.closure, "a") == []
+
+    def test_every_other_element_decomposes_on_pentagon(self):
+        # only 'a' is problematic: the closure is the identity elsewhere,
+        # so every other element is itself a safety element
+        fig = figure1()
+        lat, cl = fig.lattice, fig.closure
+        for x in lat.elements:
+            if x == "a":
+                continue
+            assert all_decompositions(lat, cl, cl, x)
+
+    def test_paper_modularity_failure_witness(self):
+        # the caption's computation: b ∧ (c ∨ a) = b but (b ∧ c) ∨ (b ∧ a) = a
+        lat = figure1().lattice
+        assert lat.meet("b", lat.join("c", "a")) == "b"
+        assert lat.join(lat.meet("b", "c"), lat.meet("b", "a")) == "a"
+
+
+class TestTheorem5:
+    def _mixed_closures(self):
+        """A lattice plus cl1 <= cl2 where some element has cl2.a = 1 and
+        cl1.a < 1 (Theorem 5's precondition)."""
+        lat = boolean_lattice(2)
+        a = frozenset({0})
+        cl1 = LatticeClosure.from_closed_elements(lat, [a])  # cl1.a = a < 1
+        cl2 = LatticeClosure.from_closed_elements(lat, [])  # cl2.x = 1 always
+        return lat, cl1, cl2, a
+
+    def test_precondition_detection(self):
+        lat, cl1, cl2, a = self._mixed_closures()
+        assert theorem5_applies(lat, cl1, cl2, a)
+        assert not theorem5_applies(lat, cl1, cl2, lat.top)
+
+    def test_no_witness_exists(self):
+        lat, cl1, cl2, a = self._mixed_closures()
+        assert no_decomposition_witness(lat, cl1, cl2, a) is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem5_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            if theorem5_applies(lat, cl1, cl2, a):
+                assert no_decomposition_witness(lat, cl1, cl2, a) is None
+
+    def test_witness_found_when_preconditions_fail(self):
+        # sanity: when cl1 = cl2 = identity, (s, l) = (a, 1) always works
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.identity(lat)
+        a = frozenset({0})
+        assert not theorem5_applies(lat, cl, cl, a)
+        assert no_decomposition_witness(lat, cl, cl, a) is not None
+
+
+class TestTheorem6:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_strongest_safety_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            assert check_strongest_safety(lat, cl1, cl2, a)
+
+    def test_single_closure_version(self):
+        # "setting cl1 = cl2 gives us a version … e.g. the linear time case"
+        lat = boolean_lattice(3)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0, 1})])
+        for a in lat.elements:
+            assert check_strongest_safety(lat, cl, cl, a)
+
+
+class TestTheorem7:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_weakest_liveness_on_boolean_algebras(self, seed):
+        rng = random.Random(seed)
+        lat = boolean_lattice(rng.randint(1, 3))
+        cl1, cl2 = random_comparable_closure_pair(rng, lat)
+        for a in lat.elements:
+            assert check_weakest_liveness(lat, cl1, cl2, a)
+
+    def test_figure2_shows_distributivity_needed(self):
+        fig = figure2()
+        lat, cl = fig.lattice, fig.closure
+        # the caption's facts:
+        assert cl.is_safety("s")
+        assert lat.meet("s", "z") == "a"
+        assert "b" in lat.complements(cl("a"))
+        assert not lat.leq("z", lat.join("a", "b"))
+        # and the theorem's conclusion fails when forced through:
+        assert not check_weakest_liveness(lat, cl, cl, "a", require_distributive=False)
+
+    def test_nondistributive_rejected_by_default(self):
+        fig = figure2()
+        with pytest.raises(DecompositionError, match="not distributive"):
+            check_weakest_liveness(fig.lattice, fig.closure, fig.closure, "a")
+
+    def test_unique_complement_formulation(self):
+        # "in a distributive lattice complements are unique, thus one can
+        # replace b with ¬(cl1.a)"
+        lat = boolean_lattice(3)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        a = frozenset()
+        assert len(lat.complements(cl(a))) == 1
+
+
+class TestMachineClosure:
+    def test_canonical_pair_is_machine_closed(self):
+        lat = boolean_lattice(3)
+        cl = LatticeClosure.from_closed_elements(
+            lat, [frozenset({0, 1}), frozenset({1})]
+        )
+        for a in lat.elements:
+            assert canonical_decomposition_is_machine_closed(lat, cl, a)
+
+    def test_non_machine_closed_pair_detected(self):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        # pair (top, {1}): meet = {1}, cl({1}) = top… find a failing pair
+        s = lat.top
+        other = frozenset({1})
+        assert is_machine_closed(lat, cl, s, other) == (cl(other) == s)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_machine_closure_over_random_instances(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        cl = random_closure(rng, lat)
+        for a in lat.elements:
+            assert canonical_decomposition_is_machine_closed(lat, cl, a)

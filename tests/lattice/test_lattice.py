@@ -1,0 +1,178 @@
+"""Unit tests for :mod:`repro.lattice.lattice`."""
+
+import pytest
+
+from repro.lattice import (
+    FiniteLattice,
+    LatticeError,
+    boolean_lattice,
+    chain,
+    is_lattice_poset,
+    m3,
+    n5,
+)
+from repro.lattice.poset import FinitePoset
+
+
+class TestConstruction:
+    def test_not_a_lattice_raises(self):
+        # two maximal elements: join of a, b missing
+        poset = FinitePoset.from_covers({"0": ["a", "b"]})
+        with pytest.raises(LatticeError, match="no join"):
+            FiniteLattice(poset)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice(FinitePoset([], []))
+
+    def test_is_lattice_poset(self):
+        assert is_lattice_poset(FinitePoset.chain(3))
+        assert not is_lattice_poset(FinitePoset.antichain(2))
+
+    def test_from_meet_join_consistent(self):
+        lat = FiniteLattice.from_meet_join([1, 2, 3, 6], min, max)
+        assert lat.meet(2, 3) == 2
+        assert lat.join(2, 3) == 3
+
+    def test_from_meet_join_inconsistent_rejected(self):
+        # meet says 2 <= 3 (min) but join (gcd-like nonsense) disagrees
+        with pytest.raises(LatticeError, match="disagree"):
+            FiniteLattice.from_meet_join([1, 2, 3], min, lambda a, b: 1)
+
+
+class TestOperations:
+    @pytest.fixture
+    def b3(self):
+        return boolean_lattice(3)
+
+    def test_meet_is_intersection(self, b3):
+        assert b3.meet(frozenset({0, 1}), frozenset({1, 2})) == frozenset({1})
+
+    def test_join_is_union(self, b3):
+        assert b3.join(frozenset({0}), frozenset({2})) == frozenset({0, 2})
+
+    def test_bounds(self, b3):
+        assert b3.bottom == frozenset()
+        assert b3.top == frozenset({0, 1, 2})
+
+    def test_meet_many_empty_is_top(self, b3):
+        assert b3.meet_many([]) == b3.top
+
+    def test_join_many_empty_is_bottom(self, b3):
+        assert b3.join_many([]) == b3.bottom
+
+    def test_meet_many(self, b3):
+        sets = [frozenset({0, 1}), frozenset({1, 2}), frozenset({1})]
+        assert b3.meet_many(sets) == frozenset({1})
+
+    def test_leq_via_meet(self, b3):
+        # the algebraic definition: x <= y iff x ∧ y = x
+        for x in b3.elements:
+            for y in b3.elements:
+                assert b3.leq(x, y) == (b3.meet(x, y) == x)
+                assert b3.leq(x, y) == (b3.join(x, y) == y)
+
+    def test_unknown_element_raises(self, b3):
+        with pytest.raises(KeyError):
+            b3.meet(frozenset({0}), frozenset({99}))
+
+
+class TestComplements:
+    def test_boolean_complement_is_set_complement(self):
+        b3 = boolean_lattice(3)
+        x = frozenset({0, 2})
+        assert b3.complements(x) == [frozenset({1})]
+        assert b3.some_complement(x) == frozenset({1})
+
+    def test_m3_has_multiple_complements(self):
+        lat = m3()
+        assert sorted(lat.complements("s")) == ["b", "z"]
+
+    def test_chain_middle_has_no_complement(self):
+        lat = chain(3)
+        assert lat.complements(1) == []
+        with pytest.raises(LatticeError, match="no complement"):
+            lat.some_complement(1)
+
+    def test_bounds_complement_each_other(self):
+        lat = n5()
+        assert lat.is_complement(lat.bottom, lat.top)
+        assert lat.is_complement(lat.top, lat.bottom)
+
+
+class TestDistinguishedElements:
+    def test_atoms_of_boolean(self):
+        b3 = boolean_lattice(3)
+        assert sorted(b3.atoms(), key=sorted) == [
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        ]
+
+    def test_coatoms_of_boolean(self):
+        b2 = boolean_lattice(2)
+        assert sorted(b2.coatoms(), key=sorted) == [frozenset({0}), frozenset({1})]
+
+    def test_join_irreducibles_of_boolean_are_atoms(self):
+        b3 = boolean_lattice(3)
+        assert set(b3.join_irreducibles()) == set(b3.atoms())
+
+    def test_meet_irreducibles_of_boolean_are_coatoms(self):
+        b3 = boolean_lattice(3)
+        assert set(b3.meet_irreducibles()) == set(b3.coatoms())
+
+    def test_chain_irreducibles(self):
+        lat = chain(4)
+        assert lat.join_irreducibles() == [1, 2, 3]
+        assert lat.meet_irreducibles() == [0, 1, 2]
+
+
+class TestDerivedLattices:
+    def test_dual_swaps_operations(self):
+        lat = n5()
+        d = lat.dual()
+        assert d.meet("a", "c") == lat.join("a", "c")
+        assert d.bottom == lat.top
+
+    def test_product_size(self):
+        p = chain(2).product(chain(3))
+        assert len(p) == 6
+
+    def test_product_operations_are_componentwise(self):
+        p = chain(2).product(chain(2))
+        assert p.meet((0, 1), (1, 0)) == (0, 0)
+        assert p.join((0, 1), (1, 0)) == (1, 1)
+
+    def test_interval(self):
+        b3 = boolean_lattice(3)
+        inner = b3.interval(frozenset(), frozenset({0, 1}))
+        assert len(inner) == 4
+
+    def test_empty_interval_rejected(self):
+        lat = chain(3)
+        with pytest.raises(LatticeError, match="empty"):
+            lat.interval(2, 0)
+
+    def test_sublattice_generated(self):
+        b3 = boolean_lattice(3)
+        sub = b3.sublattice_generated_by([frozenset({0}), frozenset({1})])
+        # {}, {0}, {1}, {0,1}, top
+        assert len(sub) == 5
+
+    def test_sublattice_contains_bounds(self):
+        b2 = boolean_lattice(2)
+        sub = b2.sublattice_generated_by([])
+        assert set(sub.elements) == {b2.bottom, b2.top}
+
+    def test_relabel(self):
+        lat = chain(2).relabel({0: "lo", 1: "hi"})
+        assert lat.bottom == "lo"
+        assert lat.top == "hi"
+
+    def test_relabel_non_injective_rejected(self):
+        with pytest.raises(LatticeError, match="injective"):
+            chain(2).relabel({0: "x", 1: "x"})
+
+    def test_equality(self):
+        assert chain(3) == chain(3)
+        assert chain(3) != chain(4)

@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.lattice.morphisms`."""
+
+import pytest
+
+from repro.lattice import (
+    GaloisConnection,
+    LatticeClosure,
+    LatticeHomomorphism,
+    MorphismError,
+    boolean_lattice,
+    chain,
+    gumm_framework_applies,
+    m3,
+    n5,
+)
+
+
+class TestHomomorphisms:
+    def test_identity_is_homomorphism(self):
+        lat = boolean_lattice(2)
+        h = LatticeHomomorphism(lat, lat, lambda x: x)
+        assert h.is_homomorphism()
+        assert h.is_embedding()
+        assert h.preserves_bounds()
+
+    def test_projection_is_homomorphism(self):
+        prod = chain(2).product(chain(2))
+        h = LatticeHomomorphism(prod, chain(2), lambda p: p[0])
+        assert h.is_homomorphism()
+        assert not h.is_embedding()
+        assert set(h.image()) == {0, 1}
+
+    def test_non_monotone_rejected(self):
+        lat = chain(2)
+        with pytest.raises(MorphismError, match="monotone"):
+            LatticeHomomorphism(lat, lat, {0: 1, 1: 0})
+
+    def test_partial_rejected(self):
+        lat = chain(2)
+        with pytest.raises(MorphismError, match="total"):
+            LatticeHomomorphism(lat, lat, {0: 0})
+
+    def test_monotone_but_not_homomorphism(self):
+        # collapse M3's coatoms to top: monotone, but meets break
+        lat = m3()
+        two = chain(2)
+        table = {"a": 0, "s": 1, "b": 1, "z": 1, "1": 1}
+        h = LatticeHomomorphism(lat, two, table)
+        assert h.is_monotone()
+        assert not h.preserves_meets()  # s ∧ b = a maps to 0 but 1 ∧ 1 = 1
+        assert h.preserves_joins()
+        with pytest.raises(MorphismError):
+            LatticeHomomorphism(lat, two, table, require="homomorphism")
+
+    def test_unknown_requirement(self):
+        lat = chain(2)
+        with pytest.raises(ValueError, match="unknown requirement"):
+            LatticeHomomorphism(lat, lat, lambda x: x, require="bogus")
+
+
+class TestGaloisConnections:
+    def test_round_trip_is_closure(self):
+        # inclusion of a sublattice and its left-inverse "round down"
+        big = boolean_lattice(2)
+        small = chain(2)
+        # f : small -> big, 0 -> ∅, 1 -> top (join-preserving)
+        f = LatticeHomomorphism(small, big, {0: big.bottom, 1: big.top})
+        conn = GaloisConnection.from_lower(small, big, {0: big.bottom, 1: big.top})
+        cl = conn.closure()
+        assert isinstance(cl, LatticeClosure)
+        # g∘f is the identity here (f is an embedding of the bounds)
+        assert cl(0) == 0
+        assert cl(1) == 1
+        assert f.is_monotone()
+
+    def test_kernel_is_interior(self):
+        big = boolean_lattice(2)
+        small = chain(2)
+        conn = GaloisConnection.from_lower(small, big, {0: big.bottom, 1: big.top})
+        kernel = conn.kernel()
+        # interior is deflationary: f(g(y)) <= y
+        for y, fy in kernel.items():
+            assert big.leq(fy, y)
+
+    def test_non_join_preserving_lower_rejected(self):
+        big = boolean_lattice(2)
+        small = boolean_lattice(1)
+        # map both atoms… small has elements ∅, {0}; send ∅ to an atom:
+        bad = {frozenset(): frozenset({0}), frozenset({0}): frozenset({0})}
+        with pytest.raises(MorphismError, match="join"):
+            GaloisConnection.from_lower(small, big, bad)
+
+    def test_mismatched_pair_rejected(self):
+        a, b, c = chain(2), chain(3), chain(2)
+        f = LatticeHomomorphism(a, b, {0: 0, 1: 2})
+        g = LatticeHomomorphism(c, a, {0: 0, 1: 1})
+        with pytest.raises(MorphismError, match="pair"):
+            GaloisConnection(f, g)
+
+    def test_adjunction_law_enforced(self):
+        lat = chain(2)
+        f = LatticeHomomorphism(lat, lat, {0: 1, 1: 1})
+        g = LatticeHomomorphism(lat, lat, {0: 0, 1: 0})
+        with pytest.raises(MorphismError, match="adjunction"):
+            GaloisConnection(f, g)
+
+    def test_image_preimage_adjunction(self):
+        """Direct image ⊣ preimage between powersets; the round trip is
+        fiber saturation — the textbook source of closure operators."""
+        big = boolean_lattice(3)  # subsets of {0, 1, 2}
+        small = boolean_lattice(2)  # subsets of {0, 1}
+        h = {0: 0, 1: 0, 2: 1}  # 0, 1 collapse to the same fiber
+
+        def image(s):
+            return frozenset(h[x] for x in s)
+
+        conn = GaloisConnection.from_lower(
+            big, small, {s: image(s) for s in big.elements}
+        )
+        cl = conn.closure(name="fiber-saturation")
+        assert cl(frozenset({0})) == frozenset({0, 1})  # saturate the fiber
+        assert cl(frozenset({2})) == frozenset({2})
+        assert cl(frozenset()) == frozenset()
+
+
+class TestGummComparison:
+    def test_finite_boolean_algebras_qualify(self):
+        assert gumm_framework_applies(boolean_lattice(3))
+
+    def test_m3_and_n5_do_not(self):
+        assert not gumm_framework_applies(m3())
+        assert not gumm_framework_applies(n5())

@@ -1,0 +1,178 @@
+"""Unit tests for :mod:`repro.lattice.poset`."""
+
+import pytest
+
+from repro.lattice.poset import FinitePoset, PosetError
+
+
+class TestConstruction:
+    def test_empty_poset(self):
+        p = FinitePoset([], [])
+        assert len(p) == 0
+        assert list(p) == []
+
+    def test_singleton(self):
+        p = FinitePoset(["x"], [])
+        assert p.leq("x", "x")
+        assert p.bottom() == "x"
+        assert p.top() == "x"
+
+    def test_transitive_closure_is_taken(self):
+        p = FinitePoset("abc", [("a", "b"), ("b", "c")])
+        assert p.leq("a", "c")
+
+    def test_reflexivity_is_automatic(self):
+        p = FinitePoset("ab", [("a", "b")])
+        assert p.leq("a", "a")
+        assert p.leq("b", "b")
+
+    def test_antisymmetry_violation_rejected(self):
+        with pytest.raises(PosetError, match="antisymmetry"):
+            FinitePoset("ab", [("a", "b"), ("b", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PosetError):
+            FinitePoset("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_unknown_element_in_pair_rejected(self):
+        with pytest.raises(PosetError, match="unknown element"):
+            FinitePoset("ab", [("a", "z")])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(PosetError, match="duplicate"):
+            FinitePoset(["a", "a"], [])
+
+    def test_from_covers_adds_cover_only_elements(self):
+        p = FinitePoset.from_covers({"0": ["1"]})
+        assert "1" in p
+        assert p.leq("0", "1")
+
+    def test_from_leq(self):
+        p = FinitePoset.from_leq([1, 2, 3, 6], lambda a, b: b % a == 0)
+        assert p.leq(2, 6)
+        assert not p.leq(2, 3)
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        # 0 < {x, y} < 1
+        return FinitePoset.from_covers({"0": ["x", "y"], "x": ["1"], "y": ["1"]})
+
+    def test_leq_lt(self, diamond):
+        assert diamond.leq("0", "x")
+        assert diamond.lt("0", "x")
+        assert not diamond.lt("x", "x")
+        assert not diamond.leq("x", "y")
+
+    def test_comparable(self, diamond):
+        assert diamond.comparable("0", "1")
+        assert not diamond.comparable("x", "y")
+
+    def test_downset_upset(self, diamond):
+        assert diamond.downset("x") == {"0", "x"}
+        assert diamond.upset("x") == {"x", "1"}
+        assert diamond.downset("1") == {"0", "x", "y", "1"}
+
+    def test_covers(self, diamond):
+        assert diamond.covers("0", "x")
+        assert not diamond.covers("0", "1")  # x is strictly between
+        assert diamond.upper_covers("0") == ["x", "y"]
+        assert diamond.lower_covers("1") == ["x", "y"]
+
+    def test_hasse_edges(self, diamond):
+        assert set(diamond.hasse_edges()) == {
+            ("0", "x"),
+            ("0", "y"),
+            ("x", "1"),
+            ("y", "1"),
+        }
+
+    def test_extrema(self, diamond):
+        assert diamond.minimal_elements() == ["0"]
+        assert diamond.maximal_elements() == ["1"]
+        assert diamond.bottom() == "0"
+        assert diamond.top() == "1"
+
+    def test_no_bottom_in_antichain(self):
+        p = FinitePoset.antichain(3)
+        assert p.bottom() is None
+        assert p.top() is None
+
+    def test_unknown_element_raises_keyerror(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.leq("0", "nope")
+
+
+class TestBounds:
+    @pytest.fixture
+    def diamond(self):
+        return FinitePoset.from_covers({"0": ["x", "y"], "x": ["1"], "y": ["1"]})
+
+    def test_upper_bounds(self, diamond):
+        assert diamond.upper_bounds(["x", "y"]) == {"1"}
+        assert diamond.upper_bounds(["0"]) == {"0", "x", "y", "1"}
+
+    def test_lower_bounds(self, diamond):
+        assert diamond.lower_bounds(["x", "y"]) == {"0"}
+
+    def test_lub_glb(self, diamond):
+        assert diamond.least_upper_bound(["x", "y"]) == "1"
+        assert diamond.greatest_lower_bound(["x", "y"]) == "0"
+
+    def test_lub_of_empty_family_is_bottom(self, diamond):
+        assert diamond.least_upper_bound([]) == "0"
+
+    def test_glb_of_empty_family_is_top(self, diamond):
+        assert diamond.greatest_lower_bound([]) == "1"
+
+    def test_missing_lub_returns_none(self):
+        # two maximal elements: {a,b} has no join
+        p = FinitePoset.from_covers({"0": ["a", "b"]})
+        assert p.least_upper_bound(["a", "b"]) is None
+
+
+class TestStructural:
+    def test_dual_reverses_order(self):
+        p = FinitePoset.chain(3)
+        d = p.dual()
+        assert d.leq(2, 0)
+        assert not d.leq(0, 2)
+
+    def test_dual_is_involutive(self):
+        p = FinitePoset.from_covers({"0": ["x", "y"], "x": ["1"], "y": ["1"]})
+        assert p.dual().dual() == p
+
+    def test_restrict(self):
+        p = FinitePoset.chain(5)
+        r = p.restrict([0, 2, 4])
+        assert len(r) == 3
+        assert r.leq(0, 4)
+        assert r.covers(0, 2)
+
+    def test_linear_extension_respects_order(self):
+        p = FinitePoset.from_covers({"0": ["x", "y"], "x": ["1"], "y": ["1"]})
+        order = p.linear_extension()
+        for x in p:
+            for y in p:
+                if p.lt(x, y):
+                    assert order.index(x) < order.index(y)
+
+    def test_is_chain_antichain(self):
+        assert FinitePoset.chain(4).is_chain()
+        assert not FinitePoset.chain(4).is_antichain()
+        assert FinitePoset.antichain(4).is_antichain()
+        assert not FinitePoset.antichain(2).is_chain()
+        assert FinitePoset.chain(1).is_chain()
+        assert FinitePoset.chain(1).is_antichain()
+
+    def test_equality_ignores_element_listing_order(self):
+        p = FinitePoset(["a", "b"], [("a", "b")])
+        q = FinitePoset(["b", "a"], [("a", "b")])
+        assert p == q
+        assert hash(p) == hash(q)
+
+    def test_inequality(self):
+        p = FinitePoset("ab", [("a", "b")])
+        q = FinitePoset("ab", [])
+        assert p != q

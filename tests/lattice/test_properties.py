@@ -1,0 +1,198 @@
+"""Unit + property tests for :mod:`repro.lattice.properties`."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    boolean_lattice,
+    chain,
+    check_lattice_laws,
+    diamond_mn,
+    divisor_lattice,
+    dual_distributivity_holds,
+    find_diamond,
+    find_distributivity_violation,
+    find_modularity_violation,
+    find_pentagon,
+    has_unique_complements,
+    is_atomistic,
+    is_boolean,
+    is_complemented,
+    is_distributive,
+    is_modular,
+    is_modular_complemented,
+    m3,
+    n5,
+    partition_lattice,
+    profile,
+    subspace_lattice_gf2,
+    uncomplemented_elements,
+)
+from repro.lattice.random_lattices import (
+    random_boolean_sublattice,
+    random_modular_complemented,
+)
+
+
+class TestLatticeLaws:
+    @pytest.mark.parametrize(
+        "lat_factory",
+        [lambda: chain(4), lambda: boolean_lattice(3), n5, m3, lambda: divisor_lattice(12)],
+    )
+    def test_laws_hold_on_standard_lattices(self, lat_factory):
+        assert check_lattice_laws(lat_factory()) == []
+
+
+class TestModularity:
+    def test_n5_is_not_modular(self):
+        lat = n5()
+        violation = find_modularity_violation(lat)
+        assert violation is not None
+        a, b, c = violation
+        # confirm it really is a violation of the modular law
+        assert lat.leq(a, c)
+        assert lat.join(a, lat.meet(b, c)) != lat.meet(lat.join(a, b), c)
+
+    def test_m3_is_modular(self):
+        assert is_modular(m3())
+
+    def test_boolean_is_modular(self):
+        assert is_modular(boolean_lattice(3))
+
+    def test_pentagon_found_exactly_in_nonmodular(self):
+        assert find_pentagon(n5()) is not None
+        assert find_pentagon(m3()) is None
+        assert find_pentagon(boolean_lattice(3)) is None
+
+    def test_dedekind_on_partition_lattice(self):
+        # Π4 is non-modular and so must contain a pentagon
+        lat = partition_lattice(4)
+        assert not is_modular(lat)
+        pentagon = find_pentagon(lat)
+        assert pentagon is not None
+        bot, a, b, c, top = pentagon
+        assert lat.lt(a, b)
+        assert lat.meet(a, c) == bot and lat.meet(b, c) == bot
+        assert lat.join(a, c) == top and lat.join(b, c) == top
+
+    def test_partition_lattice_3_is_modular(self):
+        assert is_modular(partition_lattice(3))
+
+
+class TestDistributivity:
+    def test_m3_violation(self):
+        lat = m3()
+        v = find_distributivity_violation(lat)
+        assert v is not None
+
+    def test_n5_is_not_distributive(self):
+        assert not is_distributive(n5())
+
+    def test_chain_and_boolean_are_distributive(self):
+        assert is_distributive(chain(5))
+        assert is_distributive(boolean_lattice(3))
+
+    def test_divisor_lattice_is_distributive(self):
+        assert is_distributive(divisor_lattice(60))
+
+    def test_diamond_found_in_m3_not_in_boolean(self):
+        assert find_diamond(m3()) is not None
+        assert find_diamond(boolean_lattice(3)) is None
+
+    def test_paper_claim_distributivity_selfdual(self):
+        # "one can show that ∧ distributes over ∨ iff ∨ distributes over ∧"
+        for lat in (chain(4), boolean_lattice(3), m3(), n5(), divisor_lattice(12)):
+            assert is_distributive(lat) == dual_distributivity_holds(lat)
+
+    def test_distributive_implies_modular(self):
+        for lat in (chain(4), boolean_lattice(3), divisor_lattice(30)):
+            assert is_distributive(lat)
+            assert is_modular(lat)
+
+
+class TestComplementation:
+    def test_boolean_lattices_are_complemented(self):
+        assert is_complemented(boolean_lattice(3))
+
+    def test_chain_is_not_complemented(self):
+        lat = chain(4)
+        assert not is_complemented(lat)
+        assert uncomplemented_elements(lat) == [1, 2]
+
+    def test_m3_is_complemented_but_not_uniquely(self):
+        lat = m3()
+        assert is_complemented(lat)
+        assert not has_unique_complements(lat)
+
+    def test_unique_complements_in_boolean(self):
+        assert has_unique_complements(boolean_lattice(3))
+
+    def test_divisor_lattice_complemented_iff_squarefree(self):
+        assert is_complemented(divisor_lattice(30))  # 2*3*5 squarefree
+        assert not is_complemented(divisor_lattice(12))  # 2^2*3
+
+
+class TestBooleanAndProfiles:
+    def test_boolean_lattice_is_boolean(self):
+        assert is_boolean(boolean_lattice(3))
+
+    def test_m3_is_not_boolean(self):
+        assert not is_boolean(m3())
+
+    def test_boolean_implies_modular_complemented(self):
+        # the paper: "a Boolean algebra is a special case of a modular
+        # complemented lattice"
+        for lat in (boolean_lattice(2), boolean_lattice(3), divisor_lattice(30)):
+            if is_boolean(lat):
+                assert is_modular_complemented(lat)
+
+    def test_subspace_lattice_is_the_generality_gap(self):
+        # modular + complemented but NOT Boolean: exactly where Theorem 3
+        # applies and prior frameworks do not
+        lat = subspace_lattice_gf2(2)
+        p = profile(lat)
+        assert p.satisfies_theorem3_hypotheses
+        assert not p.boolean
+        assert not p.distributive
+
+    def test_atomistic(self):
+        assert is_atomistic(boolean_lattice(3))
+        assert is_atomistic(m3())
+        assert not is_atomistic(chain(3))
+
+    def test_profile_of_figure_lattices(self):
+        assert profile(n5()) == profile(n5())
+        p5 = profile(n5())
+        assert not p5.modular
+        assert p5.complemented
+        p3 = profile(m3())
+        assert p3.modular and p3.complemented and not p3.distributive
+
+
+class TestRandomFamilies:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_modular_complemented_satisfies_hypotheses(self, seed):
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        assert is_modular(lat)
+        assert is_complemented(lat)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_boolean_sublattice_is_distributive(self, seed):
+        rng = random.Random(seed)
+        lat = random_boolean_sublattice(rng, n_atoms=4, n_generators=3)
+        assert is_distributive(lat)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_diamond_products_nondistributive_with_m3_factor(self, seed):
+        rng = random.Random(seed)
+        lat = diamond_mn(3).product(diamond_mn(rng.randint(2, 3)))
+        assert is_modular(lat)
+        assert not is_distributive(lat)
+        assert find_diamond(lat) is not None

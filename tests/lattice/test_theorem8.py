@@ -1,0 +1,69 @@
+"""Tests for Theorem 8 (the branching-time extremal corollary)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    DecompositionError,
+    LatticeClosure,
+    boolean_lattice,
+    theorem8_holds,
+    theorem8_safety_bound_witnesses,
+)
+from repro.lattice.random_lattices import (
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+
+
+class TestTheorem8:
+    def test_simple_boolean_instance(self):
+        lat = boolean_lattice(2)
+        ncl = LatticeClosure.from_closed_elements(
+            lat, [frozenset({0})], name="ncl"
+        )
+        fcl = LatticeClosure.from_closed_elements(
+            lat, set(ncl.closed_elements()), name="fcl"
+        )
+        for p in lat.elements:
+            assert theorem8_holds(lat, ncl, fcl, p)
+
+    def test_incomparable_closures_rejected(self):
+        lat = boolean_lattice(2)
+        cl1 = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        cl2 = LatticeClosure.from_closed_elements(lat, [frozenset({1})])
+        with pytest.raises(DecompositionError):
+            theorem8_holds(lat, cl1, cl2, lat.bottom)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_over_random_boolean_instances(self, seed):
+        rng = random.Random(seed)
+        lat = boolean_lattice(rng.randint(1, 3))
+        ncl, fcl = random_comparable_closure_pair(rng, lat)
+        for p in lat.elements:
+            assert theorem8_holds(lat, ncl, fcl, p)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_safety_bound_on_modular_instances(self, seed):
+        """On non-distributive (merely modular) lattices only the
+        safety-bound half applies — run with check_weakest=False."""
+        rng = random.Random(seed)
+        lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+        ncl, fcl = random_comparable_closure_pair(rng, lat)
+        for p in lat.elements:
+            assert theorem8_holds(lat, ncl, fcl, p, check_weakest=False)
+
+    def test_witness_listing(self):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.identity(lat)
+        p = frozenset({0})
+        pairs = theorem8_safety_bound_witnesses(lat, cl, cl, p)
+        assert (p, lat.top) in pairs
+        # every listed safety conjunct dominates ncl.p = p
+        for q, _r in pairs:
+            assert lat.leq(p, q)

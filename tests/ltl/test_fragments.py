@@ -1,0 +1,74 @@
+"""Tests for the syntactic safety/co-safety fragments vs the exact
+semantic classifier (Sistla's sound implications, and their strictness)."""
+
+import pytest
+
+from repro.ltl import (
+    PropertyClass,
+    classify,
+    is_syntactically_cosafe,
+    is_syntactically_safe,
+    parse,
+    syntactic_class,
+)
+
+
+class TestSyntacticClasses:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a", "both"),
+            ("G a", "safety"),
+            ("a W b", "safety"),
+            ("X X a", "both"),
+            ("F a", "cosafety"),
+            ("a U b", "cosafety"),
+            ("GF a", "none"),
+            ("FG a", "none"),
+            ("G (a -> X b)", "safety"),
+            ("!(G a)", "cosafety"),  # NNF turns ¬G into F¬
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert syntactic_class(parse(text), "ab") == expected
+
+
+class TestSoundness:
+    """Syntactic safety ⟹ semantic safety; syntactic co-safety ⟹ the
+    complement is semantically safe."""
+
+    SAFE_TEXTS = ["G a", "a W b", "G (a -> X b)", "a & G (b -> X a)", "X a"]
+    COSAFE_TEXTS = ["F a", "a U b", "F (a & X b)", "a | F b"]
+
+    @pytest.mark.parametrize("text", SAFE_TEXTS)
+    def test_syntactic_safe_is_safe(self, text):
+        formula = parse(text)
+        assert is_syntactically_safe(formula, "ab")
+        assert classify(formula, "ab").kind in (
+            PropertyClass.SAFETY,
+            PropertyClass.BOTH,
+        )
+
+    @pytest.mark.parametrize("text", COSAFE_TEXTS)
+    def test_syntactic_cosafe_complement_is_safe(self, text):
+        from repro.ltl.syntax import Not
+
+        formula = parse(text)
+        assert is_syntactically_cosafe(formula, "ab")
+        negated = classify(Not(formula), "ab")
+        assert negated.kind in (PropertyClass.SAFETY, PropertyClass.BOTH)
+
+
+class TestStrictness:
+    def test_semantically_safe_but_not_syntactically(self):
+        """a U false ≡ false is safety but written with U."""
+        formula = parse("a U false")
+        assert not is_syntactically_safe(formula, "ab")
+        assert classify(formula, "ab").kind == PropertyClass.SAFETY
+
+    def test_syntactic_verdict_is_none_for_mixed(self):
+        assert syntactic_class(parse("(G a) | (F b)"), "ab") == "none"
+        # yet over {a,b} this disjunction is semantically... compute it
+        kind = classify(parse("(G a) | (F b)"), "ab").kind
+        # Ga ∨ Fb over Σ={a,b} is everything (a word without b is a^ω)
+        assert kind == PropertyClass.BOTH

@@ -1,0 +1,92 @@
+"""Tests for three-valued runtime verification — the RV face of the
+safety/liveness distinction."""
+
+import pytest
+
+from repro.ltl import RvMonitor, Verdict3, monitor_verdict, parse
+
+
+class TestVerdicts:
+    def test_safety_reaches_false(self):
+        m = RvMonitor(parse("G a"), "ab")
+        assert m.run("aaa") is Verdict3.UNKNOWN
+        assert m.run("aab") is Verdict3.FALSE
+
+    def test_cosafety_reaches_true(self):
+        m = RvMonitor(parse("F b"), "ab")
+        assert m.run("aaa") is Verdict3.UNKNOWN
+        assert m.run("ab") is Verdict3.TRUE
+
+    def test_liveness_never_concludes(self):
+        m = RvMonitor(parse("GF a"), "ab")
+        for trace in ("", "a", "abab", "bbbb", "aaaa"):
+            assert m.run(trace) is Verdict3.UNKNOWN
+
+    def test_constants(self):
+        assert monitor_verdict(parse("true"), "ab", "") is Verdict3.TRUE
+        assert monitor_verdict(parse("false"), "ab", "") is Verdict3.FALSE
+
+    def test_next_operator_window(self):
+        m = RvMonitor(parse("X a"), "ab")
+        assert m.run("b") is Verdict3.UNKNOWN  # first letter irrelevant
+        assert m.run("ba") is Verdict3.TRUE
+        assert m.run("bb") is Verdict3.FALSE
+
+
+class TestFinality:
+    def test_verdicts_are_final(self):
+        m = RvMonitor(parse("G a"), "ab")
+        m.run("ab")
+        assert m.verdict is Verdict3.FALSE
+        assert m.observe("a") is Verdict3.FALSE  # stays false forever
+
+    def test_reset(self):
+        m = RvMonitor(parse("G a"), "ab")
+        m.run("ab")
+        m.reset()
+        assert m.verdict is Verdict3.UNKNOWN
+        assert m.position == 0
+
+    def test_position_counts(self):
+        m = RvMonitor(parse("G a"), "ab")
+        m.observe("a")
+        m.observe("a")
+        assert m.position == 2
+
+    def test_unknown_event_rejected(self):
+        m = RvMonitor(parse("G a"), "ab")
+        with pytest.raises(ValueError):
+            m.observe("z")
+
+
+class TestConsistencyWithClassification:
+    """RV-theoretic characterizations of the paper's classes."""
+
+    @pytest.mark.parametrize("text", ["G a", "G (b -> X b)", "a"])
+    def test_safety_properties_can_fail_finitely(self, text):
+        """Safety: some finite trace yields FALSE (unless the property is
+        Σ^ω)."""
+        m = RvMonitor(parse(text), "ab")
+        traces = ["", "a", "b", "ab", "ba", "aab", "bbb"]
+        verdicts = {tuple(t): m.run(t) for t in traces}
+        assert Verdict3.FALSE in verdicts.values()
+        # (a TRUE verdict is also possible when the property is
+        # additionally co-safe, e.g. the present-only formula "a")
+
+    @pytest.mark.parametrize("text", ["GF a", "FG a", "G (a -> F b)"])
+    def test_liveness_properties_never_fail_finitely(self, text):
+        """Liveness: no finite trace can produce FALSE (every prefix is
+        extendable to a model — that is what lcl = Σ^ω means)."""
+        m = RvMonitor(parse(text), "ab")
+        for trace in ("", "a", "b", "ab", "ba", "abab", "bbbb", "aaaa"):
+            assert m.run(trace) is not Verdict3.FALSE, trace
+
+    def test_pure_fairness_is_unmonitorable(self):
+        m = RvMonitor(parse("GF a"), "ab")
+        m.reset()
+        assert not m.is_monitorable_now()
+
+    def test_safety_is_monitorable(self):
+        m = RvMonitor(parse("G a"), "ab")
+        m.reset()
+        assert m.is_monitorable_now()

@@ -1,0 +1,113 @@
+"""Tests for the LTL parser."""
+
+import pytest
+
+from repro.ltl import (
+    FALSE,
+    TRUE,
+    And,
+    F,
+    G,
+    Letter,
+    Next,
+    Not,
+    Or,
+    ParseError,
+    Release,
+    Until,
+    parse,
+    sym,
+)
+
+
+class TestAtoms:
+    def test_symbols(self):
+        assert parse("a") == sym("a")
+        assert parse("hello_1") == sym("hello_1")
+
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_letter_set(self):
+        assert parse("{a,b}") == Letter("ab")
+
+    def test_parentheses(self):
+        assert parse("(a)") == sym("a")
+
+
+class TestOperators:
+    def test_unary(self):
+        assert parse("!a") == Not(sym("a"))
+        assert parse("X a") == Next(sym("a"))
+        assert parse("F a") == F(sym("a"))
+        assert parse("G a") == G(sym("a"))
+
+    def test_stacked_unary(self):
+        assert parse("GF a") == G(F(sym("a")))
+        assert parse("FG a") == F(G(sym("a")))
+        assert parse("!!a") == Not(Not(sym("a")))
+        assert parse("XX a") == Next(Next(sym("a")))
+
+    def test_binary_temporal(self):
+        assert parse("a U b") == Until(sym("a"), sym("b"))
+        assert parse("a R b") == Release(sym("a"), sym("b"))
+
+    def test_until_right_associative(self):
+        f = parse("a U b U c")
+        assert f == Until(sym("a"), Until(sym("b"), sym("c")))
+
+    def test_boolean(self):
+        assert parse("a & b") == And(sym("a"), sym("b"))
+        assert parse("a | b") == Or(sym("a"), sym("b"))
+        assert parse("a ∧ b") == And(sym("a"), sym("b"))
+
+    def test_precedence_and_over_or(self):
+        f = parse("a | b & c")
+        assert isinstance(f, Or)
+        assert isinstance(f.right, And)
+
+    def test_temporal_binds_tighter_than_boolean(self):
+        f = parse("a U b & c U d")
+        assert isinstance(f, And)
+
+    def test_implication(self):
+        f = parse("a -> b")
+        assert f == Or(Not(sym("a")), sym("b"))
+
+    def test_implication_right_associative(self):
+        f = parse("a -> b -> c")
+        assert f == Or(Not(sym("a")), Or(Not(sym("b")), sym("c")))
+
+    def test_iff(self):
+        f = parse("a <-> b")
+        assert isinstance(f, And)
+
+    def test_rem_p3(self):
+        assert parse("a & F !a") == And(sym("a"), F(Not(sym("a"))))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(a", "a)", "a U", "U a", "a &", "{", "{a", "{a,}", "a b", "&"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_reserved_word_as_symbol_rejected(self):
+        with pytest.raises(ParseError):
+            parse("{U}")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        ["a", "GF a", "a U (b R c)", "a & F !a", "X (a | b)", "true U false"],
+    )
+    def test_str_reparses_to_same_formula(self, text):
+        f = parse(text)
+        # str uses unicode connectives the tokenizer also accepts
+        g = parse(str(f).replace("¬", "!"))
+        assert f == g

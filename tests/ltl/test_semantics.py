@@ -1,0 +1,131 @@
+"""Tests for the lasso-word LTL evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ltl import (
+    F,
+    G,
+    Next,
+    Not,
+    Release,
+    Until,
+    evaluate_positions,
+    models_within,
+    parse,
+    satisfies,
+    sym,
+)
+from repro.omega import LassoWord, all_lassos
+
+A, B = sym("a"), sym("b")
+W_AB = LassoWord((), "ab")
+W_A = LassoWord((), "a")
+W_B = LassoWord((), "b")
+W_AAB = LassoWord("aa", "b")
+
+
+class TestBasicOperators:
+    def test_letter(self):
+        assert satisfies(W_AB, A)
+        assert not satisfies(W_B, A)
+
+    def test_not_and_or(self):
+        assert satisfies(W_B, Not(A))
+        assert satisfies(W_AB, A | B)
+        assert not satisfies(W_AB, A & B)
+
+    def test_next(self):
+        assert satisfies(W_AB, Next(B))
+        assert not satisfies(W_AB, Next(A))
+
+    def test_eventually(self):
+        assert satisfies(W_AAB, F(B))
+        assert not satisfies(W_A, F(B))
+
+    def test_always(self):
+        assert satisfies(W_A, G(A))
+        assert not satisfies(W_AB, G(A))
+
+    def test_until(self):
+        assert satisfies(W_AAB, Until(A, B))
+        assert not satisfies(W_A, Until(A, B))
+        # until requires the right side eventually: a U a on b^ω fails
+        assert not satisfies(W_B, Until(A, A))
+
+    def test_release(self):
+        # b R a: a holds up to and including the first b (or forever)
+        assert satisfies(W_A, Release(B, A))
+        assert satisfies(LassoWord("a", "b"), Release(B, A | B))
+        assert not satisfies(W_B, Release(B, A))
+
+    def test_gf_vs_fg(self):
+        gfa = G(F(A))
+        fga = F(G(A))
+        assert satisfies(W_AB, gfa)
+        assert not satisfies(W_AB, fga)
+        assert satisfies(W_AAB, Not(gfa))
+        assert satisfies(LassoWord("ba", "a"), fga)
+
+
+class TestPositions:
+    def test_evaluate_positions_shape(self):
+        vals = evaluate_positions(W_AB, A)
+        assert vals == [True, False]
+
+    def test_position_semantics_match_suffix(self):
+        word = LassoWord("ab", "ba")
+        formula = parse("a U b")
+        vals = evaluate_positions(word, formula)
+        for i, v in enumerate(vals):
+            assert v == satisfies(word.suffix(i), formula)
+
+
+class TestFixpointCorrectness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_until_expansion_law(self, seed):
+        """φ U ψ  =  ψ ∨ (φ ∧ X(φ U ψ)) on random words."""
+        import random
+
+        rng = random.Random(seed)
+        prefix = [rng.choice("ab") for _ in range(rng.randint(0, 3))]
+        cycle = [rng.choice("ab") for _ in range(rng.randint(1, 3))]
+        w = LassoWord(prefix, cycle)
+        u = Until(A, B)
+        expanded = B | (A & Next(u))
+        assert satisfies(w, u) == satisfies(w, expanded)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_release_expansion_law(self, seed):
+        """φ R ψ  =  ψ ∧ (φ ∨ X(φ R ψ))."""
+        import random
+
+        rng = random.Random(seed)
+        prefix = [rng.choice("ab") for _ in range(rng.randint(0, 3))]
+        cycle = [rng.choice("ab") for _ in range(rng.randint(1, 3))]
+        w = LassoWord(prefix, cycle)
+        r = Release(A, B)
+        expanded = B & (A | Next(r))
+        assert satisfies(w, r) == satisfies(w, expanded)
+
+    def test_until_is_least_fixpoint(self):
+        """a U b fails on a^ω even though a holds forever (liveness side)."""
+        assert not satisfies(W_A, Until(A, B))
+
+    def test_release_is_greatest_fixpoint(self):
+        """b R a holds on a^ω (safety side, no obligation ever fires)."""
+        assert satisfies(W_A, Release(B, A))
+
+
+class TestModels:
+    def test_models_within(self):
+        models = models_within(G(A), "ab", max_prefix=1, max_cycle=2)
+        assert models == [LassoWord((), "a")]
+
+    def test_duality_of_models(self):
+        f = parse("GF a")
+        g = parse("FG !a")
+        for w in all_lassos("ab", 2, 3):
+            assert satisfies(w, f) != satisfies(w, g)

@@ -1,0 +1,117 @@
+"""Tests for the LTL simplifier — each rewrite preserved semantics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ltl import (
+    FALSE,
+    TRUE,
+    And,
+    F,
+    G,
+    Letter,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    parse,
+    satisfies,
+    simplify,
+    sym,
+)
+from repro.omega import all_lassos
+
+
+class TestRules:
+    def test_boolean_units(self):
+        a = sym("a")
+        assert simplify(And(a, TRUE)) == a
+        assert simplify(And(TRUE, a)) == a
+        assert simplify(And(a, FALSE)) == FALSE
+        assert simplify(Or(a, FALSE)) == a
+        assert simplify(Or(a, TRUE)) == TRUE
+
+    def test_idempotence(self):
+        a = sym("a")
+        assert simplify(And(a, a)) == a
+        assert simplify(Or(a, a)) == a
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(sym("a")))) == sym("a")
+        assert simplify(Not(TRUE)) == FALSE
+
+    def test_letter_fusion(self):
+        assert simplify(Or(sym("a"), sym("b"))) == Letter("ab")
+        assert simplify(And(sym("a"), sym("b"))) == FALSE
+        assert simplify(And(Letter("ab"), Letter("bc"))) == sym("b")
+
+    def test_next_constants(self):
+        assert simplify(Next(TRUE)) == TRUE
+        assert simplify(Next(FALSE)) == FALSE
+
+    def test_until_units(self):
+        a = sym("a")
+        assert simplify(Until(a, TRUE)) == TRUE
+        assert simplify(Until(a, FALSE)) == FALSE
+        assert simplify(Until(FALSE, a)) == a
+        assert simplify(Until(a, a)) == a
+
+    def test_release_units(self):
+        a = sym("a")
+        assert simplify(Release(a, FALSE)) == FALSE
+        assert simplify(Release(a, TRUE)) == TRUE
+        assert simplify(Release(TRUE, a)) == a
+
+    def test_ff_and_gg(self):
+        a = sym("a")
+        assert simplify(F(F(a))) == F(a)
+        assert simplify(G(G(a))) == G(a)
+
+    def test_nested_fixpoint(self):
+        # G G G a collapses fully
+        a = sym("a")
+        assert simplify(G(G(G(a)))) == G(a)
+
+    def test_parse_and_simplify(self):
+        assert simplify(parse("a U false")) == FALSE
+        assert simplify(parse("(a | a) & true")) == sym("a")
+
+
+class TestSemanticsPreserved:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_formulas(self, seed):
+        rng = random.Random(seed)
+        formula = _random_formula(rng, 4)
+        reduced = simplify(formula)
+        assert reduced.size() <= formula.size()
+        for w in all_lassos("ab", 1, 2):
+            assert satisfies(w, formula) == satisfies(w, reduced), (
+                str(formula),
+                str(reduced),
+                w,
+            )
+
+
+def _random_formula(rng, depth):
+    if depth == 0 or rng.random() < 0.25:
+        return rng.choice([sym("a"), sym("b"), TRUE, FALSE])
+    shape = rng.randrange(7)
+    if shape == 0:
+        return Not(_random_formula(rng, depth - 1))
+    if shape == 1:
+        return Next(_random_formula(rng, depth - 1))
+    left = _random_formula(rng, depth - 1)
+    right = _random_formula(rng, depth - 1)
+    if shape == 2:
+        return And(left, right)
+    if shape == 3:
+        return Or(left, right)
+    if shape == 4:
+        return Until(left, right)
+    if shape == 5:
+        return Release(left, right)
+    return F(right) if rng.random() < 0.5 else G(right)

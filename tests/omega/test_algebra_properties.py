@@ -1,0 +1,93 @@
+"""Property-based tests: the ω-language layer really is a Boolean
+algebra (the carrier of Section 2's lattice instance)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.omega import (
+    LassoWord,
+    OmegaLanguage,
+    all_lassos,
+    empty_language,
+    universal_language,
+)
+
+LASSOS = list(all_lassos("ab", 2, 2))
+
+
+def random_language(rng: random.Random) -> OmegaLanguage:
+    """A random language over {a,b} defined extensionally on the bounded
+    lasso universe (plus a rule for everything else)."""
+    members = frozenset(w for w in LASSOS if rng.random() < 0.5)
+    default = rng.random() < 0.5
+    return OmegaLanguage(
+        "ab",
+        lambda w: w in members if w in set(LASSOS) else default,
+        name="R",
+    )
+
+
+@st.composite
+def langs(draw):
+    return random_language(random.Random(draw(st.integers(0, 10**6))))
+
+
+def agree(x: OmegaLanguage, y: OmegaLanguage) -> bool:
+    return all((w in x) == (w in y) for w in LASSOS)
+
+
+class TestBooleanAlgebraLaws:
+    @given(langs(), langs(), langs())
+    @settings(max_examples=40, deadline=None)
+    def test_lattice_laws(self, p, q, r):
+        assert agree(p & q, q & p)
+        assert agree(p | q, q | p)
+        assert agree((p & q) & r, p & (q & r))
+        assert agree((p | q) | r, p | (q | r))
+        assert agree(p & (p | q), p)
+        assert agree(p | (p & q), p)
+
+    @given(langs(), langs(), langs())
+    @settings(max_examples=40, deadline=None)
+    def test_distributivity(self, p, q, r):
+        assert agree(p & (q | r), (p & q) | (p & r))
+        assert agree(p | (q & r), (p | q) & (p | r))
+
+    @given(langs())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_laws(self, p):
+        universe = universal_language("ab")
+        empty = empty_language("ab")
+        assert agree(p | ~p, universe)
+        assert agree(p & ~p, empty)
+        assert agree(~~p, p)
+
+    @given(langs())
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, p):
+        universe = universal_language("ab")
+        empty = empty_language("ab")
+        assert agree(p & universe, p)
+        assert agree(p | empty, p)
+        assert agree(p & empty, empty)
+        assert agree(p | universe, universe)
+
+
+class TestAutomatonLanguageBridge:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_language_objects_respect_operations(self, seed):
+        """union/intersection of automata = |, & of their language
+        objects."""
+        from repro.buchi import intersection, random_automaton, union
+
+        rng = random.Random(seed)
+        a = random_automaton(rng, rng.randint(1, 4))
+        b = random_automaton(rng, rng.randint(1, 4))
+        la, lb = a.language(), b.language()
+        lu = union(a, b).language()
+        li = intersection(a, b).language()
+        assert agree(lu, la | lb)
+        assert agree(li, la & lb)

@@ -1,0 +1,156 @@
+"""Tests for :mod:`repro.omega.language` and the bounded lcl of
+:mod:`repro.omega.closure`."""
+
+import pytest
+
+from repro.omega import (
+    LassoWord,
+    OmegaLanguage,
+    bounded_lcl,
+    decompose_semantically,
+    empty_language,
+    is_liveness_bounded,
+    is_safety_bounded,
+    lcl_member_bounded,
+    oracle_from_members,
+    single_word_language,
+    universal_language,
+)
+
+
+def first_is_a(w: LassoWord) -> bool:
+    return w[0] == "a"
+
+
+@pytest.fixture
+def p1():
+    """Rem's p1: the first symbol is a."""
+    return OmegaLanguage("ab", first_is_a, name="p1")
+
+
+class TestMembership:
+    def test_contains(self, p1):
+        assert LassoWord((), "a") in p1
+        assert LassoWord((), "b") not in p1
+
+    def test_foreign_symbols_rejected(self, p1):
+        with pytest.raises(ValueError, match="outside the alphabet"):
+            LassoWord((), "c") in p1
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            OmegaLanguage([], lambda w: True)
+
+
+class TestBooleanAlgebra:
+    def test_intersection(self, p1):
+        ends_b = OmegaLanguage("ab", lambda w: "b" in w.recurring_symbols(), "GFb")
+        both = p1 & ends_b
+        assert LassoWord("a", "b") in both
+        assert LassoWord((), "a") not in both
+
+    def test_union(self, p1):
+        p2 = ~p1
+        assert (p1 | p2).agrees_with(universal_language("ab"))
+
+    def test_complement_involutive(self, p1):
+        assert (~~p1).agrees_with(p1)
+
+    def test_difference(self, p1):
+        assert (p1 - p1).agrees_with(empty_language("ab"))
+
+    def test_alphabet_mismatch_rejected(self, p1):
+        other = universal_language("abc")
+        with pytest.raises(ValueError, match="alphabet mismatch"):
+            p1 & other
+
+    def test_de_morgan(self, p1):
+        q = OmegaLanguage("ab", lambda w: w[0] == "b", "q")
+        assert (~(p1 | q)).agrees_with(~p1 & ~q)
+        assert (~(p1 & q)).agrees_with(~p1 | ~q)
+
+
+class TestSamplingAndAgreement:
+    def test_sample(self, p1):
+        members = p1.sample(max_prefix=1, max_cycle=1)
+        assert LassoWord((), "a") in members
+        assert all(w[0] == "a" for w in members)
+
+    def test_single_word_language(self):
+        w = LassoWord((), "ab")
+        lang = single_word_language("ab", w)
+        assert w in lang
+        assert LassoWord((), "a") not in lang
+
+    def test_agreement_detects_difference(self, p1):
+        assert not p1.agrees_with(universal_language("ab"))
+
+
+class TestBoundedLcl:
+    def test_oracle_from_members(self):
+        members = [LassoWord((), "ab"), LassoWord("b", "a")]
+        extends = oracle_from_members(members)
+        assert extends(())
+        assert extends(("a",))
+        assert extends(("b", "a"))
+        assert not extends(("a", "a"))
+
+    def test_lcl_member_bounded(self):
+        # L = {a^ω}: lcl.L = {a^ω}; b-containing words have a dead prefix
+        members = [LassoWord((), "a")]
+        extends = oracle_from_members(members)
+        assert lcl_member_bounded(LassoWord((), "a"), extends, 6)
+        assert not lcl_member_bounded(LassoWord((), "ab"), extends, 6)
+
+    def test_safety_detection(self):
+        # p1 is safety: its closure is itself
+        p1 = OmegaLanguage("ab", first_is_a, name="p1")
+
+        def extends(x):
+            return len(x) == 0 or x[0] == "a"
+
+        assert is_safety_bounded(p1, extends, prefix_bound=6)
+
+    def test_liveness_detection(self):
+        # p4 = FG¬a: every finite word extends to a member (append b^ω)
+        p4 = OmegaLanguage(
+            "ab", lambda w: "a" not in w.recurring_symbols(), name="p4"
+        )
+        assert is_liveness_bounded(p4, lambda x: True, prefix_bound=6)
+
+    def test_p3_is_neither(self):
+        # p3 = a ∧ F¬a
+        p3 = OmegaLanguage(
+            "ab",
+            lambda w: w[0] == "a" and "b" in w.symbols(),
+            name="p3",
+        )
+
+        def extends(x):
+            return len(x) == 0 or x[0] == "a"
+
+        assert not is_safety_bounded(p3, extends, prefix_bound=6)
+        assert not is_liveness_bounded(p3, extends, prefix_bound=6)
+
+    def test_semantic_decomposition(self):
+        # Theorem 1 instance on p3
+        p3 = OmegaLanguage(
+            "ab", lambda w: w[0] == "a" and "b" in w.symbols(), name="p3"
+        )
+
+        def extends(x):
+            return len(x) == 0 or x[0] == "a"
+
+        safety, liveness = decompose_semantically(p3, extends, prefix_bound=8)
+        intersected = safety & liveness
+        assert intersected.agrees_with(p3)
+
+    def test_bounded_lcl_is_extensive(self):
+        p1 = OmegaLanguage("ab", first_is_a, name="p1")
+
+        def extends(x):
+            return len(x) == 0 or x[0] == "a"
+
+        closed = bounded_lcl(p1, extends, prefix_bound=6)
+        for w in p1.sample():
+            assert w in closed

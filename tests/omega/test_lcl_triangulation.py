@@ -1,0 +1,66 @@
+"""Triangulating the three implementations of lcl.
+
+The linear-time closure exists in three independent forms in this
+repository:
+
+1. the *bounded semantic* definition (`repro.omega.closure`) — prefixes
+   checked against an extension oracle;
+2. the *closure automaton* (`repro.buchi.closure.closure`) — trim + all
+   accepting;
+3. the *good-prefix DFA* (`repro.buchi.safety.good_prefix_dfa`) — the
+   subset construction over live states.
+
+All three must agree on every bounded lasso for every automaton; this
+is the strongest cross-validation the linear-time layer has.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buchi import closure, good_prefix_dfa, random_automaton
+from repro.omega import all_lassos, bounded_lcl, lcl_member_bounded
+
+LASSOS = list(all_lassos("ab", 2, 2))
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_three_way_agreement(seed):
+    rng = random.Random(seed)
+    automaton = random_automaton(rng, rng.randint(1, 6))
+    closure_automaton = closure(automaton)
+    dfa = good_prefix_dfa(automaton)
+
+    def oracle(prefix):
+        return dfa.accepts_good(prefix)
+
+    # sound bound: the subset run over a lasso of spine s repeats within
+    # s * 2^|Q| steps
+    bound = 4 + 4 * 2 ** len(automaton.states)
+    for word in LASSOS:
+        via_automaton = closure_automaton.accepts(word)
+        via_dfa = all(
+            dfa.accepts_good(word.finite_prefix(n)) for n in range(bound)
+        )
+        via_semantic = lcl_member_bounded(word, oracle, prefix_bound=bound)
+        assert via_automaton == via_dfa == via_semantic, (word, seed)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_bounded_lcl_language_object(seed):
+    """The OmegaLanguage wrapper built on the DFA oracle equals the
+    closure automaton's language."""
+    rng = random.Random(seed)
+    automaton = random_automaton(rng, rng.randint(1, 5))
+    dfa = good_prefix_dfa(automaton)
+    # the subset run over a lasso of spine s repeats within
+    # s * 2^|Q| steps, so that bound makes the bounded check exact
+    sound_bound = 4 + 4 * 2 ** len(automaton.states)
+    closed_language = bounded_lcl(
+        automaton.language(), dfa.accepts_good, prefix_bound=sound_bound
+    )
+    closure_language = closure(automaton).language()
+    assert closed_language.agrees_with(closure_language, 2, 2)

@@ -1,0 +1,138 @@
+"""Tests for :mod:`repro.omega.word` — lasso words and canonicalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.omega.word import LassoWord, all_lassos
+
+symbols = st.sampled_from("ab")
+short_lists = st.lists(symbols, max_size=4)
+nonempty_lists = st.lists(symbols, min_size=1, max_size=4)
+
+
+class TestConstruction:
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LassoWord("a", "")
+
+    def test_primitive_cycle_reduction(self):
+        assert LassoWord((), "abab").cycle == ("a", "b")
+        assert LassoWord((), "aaa").cycle == ("a",)
+
+    def test_prefix_folding(self):
+        # a·(ba)^ω = (ab)^ω
+        assert LassoWord("a", "ba") == LassoWord((), "ab")
+
+    def test_constant(self):
+        w = LassoWord.constant("a")
+        assert w.prefix == ()
+        assert w.cycle == ("a",)
+
+    def test_periodic(self):
+        assert LassoWord.periodic("ab") == LassoWord((), "ab")
+
+
+class TestSemantics:
+    def test_indexing(self):
+        w = LassoWord("ab", "cd")
+        assert [w[i] for i in range(6)] == list("abcdcd")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            LassoWord("a", "b")[-1]
+
+    def test_finite_prefix(self):
+        w = LassoWord("a", "bc")
+        assert w.finite_prefix(5) == tuple("abcbc")
+        assert w.finite_prefix(0) == ()
+
+    def test_prefixes(self):
+        w = LassoWord((), "a")
+        assert list(w.prefixes(2)) == [(), ("a",), ("a", "a")]
+
+    def test_symbols(self):
+        w = LassoWord("a", "bc")
+        assert w.symbols() == frozenset("abc")
+        assert w.recurring_symbols() == frozenset("bc")
+
+    def test_suffix_within_prefix(self):
+        w = LassoWord("abc", "d")
+        assert w.suffix(1) == LassoWord("bc", "d")
+
+    def test_suffix_into_cycle(self):
+        w = LassoWord("a", "bc")
+        s = w.suffix(2)
+        # dropping 'a', 'b' leaves (cb)^ω
+        assert [s[i] for i in range(4)] == list("cbcb")
+
+    def test_suffix_invariant(self):
+        w = LassoWord("ab", "cda")
+        for n in range(8):
+            s = w.suffix(n)
+            assert all(s[i] == w[i + n] for i in range(10))
+
+    def test_negative_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            LassoWord("a", "b").suffix(-1)
+
+    def test_prepend(self):
+        w = LassoWord((), "b").prepend("a")
+        assert w[0] == "a"
+        assert w[1] == "b"
+
+    def test_spine_and_positions(self):
+        w = LassoWord("ab", "cd")
+        assert w.spine_length == 4
+        assert list(w.positions()) == [0, 1, 2, 3]
+
+
+class TestCanonicalEquality:
+    @given(short_lists, nonempty_lists, st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_unrolling_is_identity(self, prefix, cycle, copies):
+        w = LassoWord(prefix, cycle)
+        assert w.unrolled(copies) == w
+        assert hash(w.unrolled(copies)) == hash(w)
+
+    @given(short_lists, nonempty_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_canonical_form_preserves_semantics(self, prefix, cycle):
+        w = LassoWord(prefix, cycle)
+        raw = list(prefix) + list(cycle) * 8
+        assert all(w[i] == raw[i] for i in range(len(prefix) + 4 * len(cycle)))
+
+    @given(short_lists, nonempty_lists, st.integers(1, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_cycle_powers_are_equal(self, prefix, cycle, k):
+        assert LassoWord(prefix, cycle) == LassoWord(prefix, tuple(cycle) * k)
+
+    def test_distinct_words_differ(self):
+        assert LassoWord((), "ab") != LassoWord((), "ba")
+        assert LassoWord("a", "b") != LassoWord((), "b")
+
+    def test_unrolled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LassoWord((), "a").unrolled(-1)
+
+
+class TestEnumeration:
+    def test_all_lassos_deduplicates(self):
+        words = list(all_lassos("ab", 1, 2))
+        assert len(words) == len(set(words))
+
+    def test_all_lassos_counts(self):
+        # canonical lassos over {a} with prefix <= 1, cycle <= 1: just a^ω
+        assert len(list(all_lassos("a", 1, 1))) == 1
+
+    def test_all_lassos_contains_expected(self):
+        words = set(all_lassos("ab", 1, 2))
+        assert LassoWord((), "a") in words
+        assert LassoWord((), "ab") in words
+        assert LassoWord("a", "b") in words
+
+    @given(st.integers(0, 2), st.integers(1, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_every_small_lasso_is_canonical(self, mp, mc):
+        for w in all_lassos("ab", mp, mc):
+            assert w == LassoWord(w.prefix, w.cycle)

@@ -1,0 +1,93 @@
+"""Shared Rabin tree automata and sample trees.
+
+The automata encode branching-time versions of the recurring properties
+(over Σ = {a, b}, binary trees):
+
+* ``agfa`` — A(GF a): every path sees a infinitely often;
+* ``afgb`` — A(FG b): every path eventually settles into b;
+* ``roota`` — the safety property "root is labeled a" (trivial pair).
+"""
+
+import pytest
+
+from repro.rabin import RabinTreeAutomaton
+from repro.trees import RegularTree
+
+
+def _tracking_transitions():
+    """A deterministic 'remember the node label' transition shape."""
+    return {
+        ("q0", "a"): [("qa", "qa")],
+        ("q0", "b"): [("qb", "qb")],
+        ("qa", "a"): [("qa", "qa")],
+        ("qa", "b"): [("qb", "qb")],
+        ("qb", "a"): [("qa", "qa")],
+        ("qb", "b"): [("qb", "qb")],
+    }
+
+
+@pytest.fixture
+def agfa():
+    return RabinTreeAutomaton.build(
+        alphabet="ab",
+        states=["q0", "qa", "qb"],
+        initial="q0",
+        transitions=_tracking_transitions(),
+        pairs=[(["qa"], [])],
+        branching=2,
+        name="AGFa",
+    )
+
+
+@pytest.fixture
+def afgb():
+    return RabinTreeAutomaton.build(
+        alphabet="ab",
+        states=["q0", "qa", "qb"],
+        initial="q0",
+        transitions=_tracking_transitions(),
+        pairs=[(["qb"], ["qa"])],  # b recurs, a stops
+        branching=2,
+        name="AFGb",
+    )
+
+
+@pytest.fixture
+def roota():
+    return RabinTreeAutomaton.build(
+        alphabet="ab",
+        states=["start", "any"],
+        initial="start",
+        transitions={
+            ("start", "a"): [("any", "any")],
+            ("any", "a"): [("any", "any")],
+            ("any", "b"): [("any", "any")],
+        },
+        pairs=[(["start", "any"], [])],
+        branching=2,
+        name="root-a",
+    )
+
+
+@pytest.fixture
+def sample_trees():
+    all_a = RegularTree.constant("a", 2)
+    all_b = RegularTree.constant("b", 2)
+    split = RegularTree(
+        {"r": "a", "A": "a", "B": "b"},
+        {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+        "r",
+    )
+    alternating = RegularTree(
+        {"x": "a", "y": "b"}, {"x": ("y", "y"), "y": ("x", "x")}, "x"
+    )
+    a_then_b = RegularTree(
+        {"r": "a", "B": "b"}, {"r": ("B", "B"), "B": ("B", "B")}, "r"
+    )
+    return {
+        "all_a": all_a,
+        "all_b": all_b,
+        "split": split,
+        "alternating": alternating,
+        "a_then_b": a_then_b,
+    }

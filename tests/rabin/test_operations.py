@@ -1,0 +1,93 @@
+"""Tests for Rabin automata union / semantic intersection."""
+
+import pytest
+
+from repro.rabin import (
+    RabinTreeAutomaton,
+    accepts_tree,
+    intersection_language,
+    union,
+)
+from repro.trees import RegularTree
+
+
+def tracking(name, pairs):
+    return RabinTreeAutomaton.build(
+        alphabet="ab",
+        states=["q0", "qa", "qb"],
+        initial="q0",
+        transitions={
+            ("q0", "a"): [("qa", "qa")],
+            ("q0", "b"): [("qb", "qb")],
+            ("qa", "a"): [("qa", "qa")],
+            ("qa", "b"): [("qb", "qb")],
+            ("qb", "a"): [("qa", "qa")],
+            ("qb", "b"): [("qb", "qb")],
+        },
+        pairs=pairs,
+        branching=2,
+        name=name,
+    )
+
+
+AGFA = tracking("AGFa", [(["qa"], [])])
+AFGB = tracking("AFGb", [(["qb"], ["qa"])])
+
+SAMPLES = {
+    "all_a": RegularTree.constant("a", 2),
+    "all_b": RegularTree.constant("b", 2),
+    "split": RegularTree(
+        {"r": "a", "A": "a", "B": "b"},
+        {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+        "r",
+    ),
+    "alternating": RegularTree(
+        {"x": "a", "y": "b"}, {"x": ("y", "y"), "y": ("x", "x")}, "x"
+    ),
+}
+
+
+class TestUnion:
+    def test_union_semantics_on_samples(self):
+        u = union(AGFA, AFGB)
+        for name, tree in SAMPLES.items():
+            expected = accepts_tree(AGFA, tree) or accepts_tree(AFGB, tree)
+            assert accepts_tree(u, tree) == expected, name
+
+    def test_union_is_rabin_automaton(self):
+        u = union(AGFA, AFGB)
+        assert isinstance(u, RabinTreeAutomaton)
+        assert len(u.pairs) == 2
+
+    def test_union_with_self(self):
+        u = union(AGFA, AGFA)
+        for tree in SAMPLES.values():
+            assert accepts_tree(u, tree) == accepts_tree(AGFA, tree)
+
+    def test_alphabet_mismatch(self):
+        other = RabinTreeAutomaton.build(
+            "xyz", ["q"], "q", {}, [(["q"], [])], 2
+        )
+        with pytest.raises(ValueError, match="alphabet"):
+            union(AGFA, other)
+
+    def test_branching_mismatch(self):
+        other = RabinTreeAutomaton.build(
+            "ab", ["q"], "q", {}, [(["q"], [])], 3
+        )
+        with pytest.raises(ValueError, match="branching"):
+            union(AGFA, other)
+
+
+class TestIntersectionLanguage:
+    def test_semantics_on_samples(self):
+        both = intersection_language(AGFA, AFGB)
+        for name, tree in SAMPLES.items():
+            expected = accepts_tree(AGFA, tree) and accepts_tree(AFGB, tree)
+            assert (tree in both) == expected, name
+
+    def test_conjunction_is_empty_here(self):
+        """A(GF a) ∧ A(FG b) is unsatisfiable: a path cannot see a
+        infinitely often and settle into b."""
+        both = intersection_language(AGFA, AFGB)
+        assert not any(tree in both for tree in SAMPLES.values())

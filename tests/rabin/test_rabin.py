@@ -1,0 +1,258 @@
+"""Tests for Rabin tree automata: validation, membership, emptiness,
+witnesses, closure and the Theorem 9 decomposition."""
+
+import pytest
+
+from repro.rabin import (
+    RabinError,
+    RabinPair,
+    RabinTreeAutomaton,
+    TreeLanguage,
+    accepts_tree,
+    decompose,
+    emptiness_witness,
+    is_closure_automaton,
+    is_empty,
+    nonempty_states,
+    rfcl,
+)
+from repro.trees import RegularTree
+
+
+class TestValidation:
+    def test_unknown_initial(self):
+        with pytest.raises(RabinError):
+            RabinTreeAutomaton.build("ab", ["q"], "z", {}, [], 2)
+
+    def test_wrong_arity_tuple(self):
+        with pytest.raises(RabinError, match="arity"):
+            RabinTreeAutomaton.build(
+                "ab", ["q"], "q", {("q", "a"): [("q",)]}, [], 2
+            )
+
+    def test_tuple_with_unknown_state(self):
+        with pytest.raises(RabinError):
+            RabinTreeAutomaton.build(
+                "ab", ["q"], "q", {("q", "a"): [("q", "z")]}, [], 2
+            )
+
+    def test_pair_outside_states(self):
+        with pytest.raises(RabinError):
+            RabinTreeAutomaton.build(
+                "ab", ["q"], "q", {}, [(["z"], [])], 2
+            )
+
+    def test_restarted_at(self, agfa):
+        restarted = agfa.restarted_at("qa")
+        assert restarted.initial == "qa"
+        with pytest.raises(RabinError):
+            agfa.restarted_at("nope")
+
+    def test_restricted_to(self, agfa):
+        small = agfa.restricted_to(["q0", "qa"])
+        assert small.states == frozenset({"q0", "qa"})
+        # tuples through qb are gone
+        assert not small.moves("qa", "b")
+
+
+class TestMembership:
+    def test_agfa_matrix(self, agfa, sample_trees):
+        expected = {
+            "all_a": True,
+            "all_b": False,
+            "split": False,
+            "alternating": True,
+            "a_then_b": False,
+        }
+        for name, tree in sample_trees.items():
+            assert accepts_tree(agfa, tree) == expected[name], name
+
+    def test_afgb_matrix(self, afgb, sample_trees):
+        expected = {
+            "all_a": False,
+            "all_b": True,
+            "split": False,
+            "alternating": False,
+            "a_then_b": True,
+        }
+        for name, tree in sample_trees.items():
+            assert accepts_tree(afgb, tree) == expected[name], name
+
+    def test_roota_matrix(self, roota, sample_trees):
+        expected = {
+            "all_a": True,
+            "all_b": False,
+            "split": True,
+            "alternating": True,
+            "a_then_b": True,
+        }
+        for name, tree in sample_trees.items():
+            assert accepts_tree(roota, tree) == expected[name], name
+
+    def test_branching_mismatch(self, agfa):
+        with pytest.raises(ValueError, match="branching"):
+            accepts_tree(agfa, RegularTree.constant("a", 3))
+
+    def test_agreement_with_ctl(self, agfa, afgb, sample_trees):
+        """The Rabin encodings agree with the CTL* model checker on
+        every sample — two independent implementations of §4.3."""
+        from repro.ctl import AFG, AGF, CNot, csym, holds_on_tree
+
+        for tree in sample_trees.values():
+            assert accepts_tree(agfa, tree) == holds_on_tree(
+                tree, AGF(csym("a"))
+            )
+            assert accepts_tree(afgb, tree) == holds_on_tree(
+                tree, AFG(csym("b"))
+            )
+
+
+class TestEmptiness:
+    def test_nonempty(self, agfa, afgb, roota):
+        for m in (agfa, afgb, roota):
+            assert not is_empty(m)
+
+    def test_empty_by_contradictory_pairs(self):
+        m = RabinTreeAutomaton.build(
+            "ab",
+            ["q"],
+            "q",
+            {("q", "a"): [("q", "q")]},
+            [([], [])],  # no green state can recur: empty
+            2,
+        )
+        assert is_empty(m)
+
+    def test_empty_by_missing_transitions(self):
+        m = RabinTreeAutomaton.build(
+            "ab", ["q"], "q", {}, [(["q"], [])], 2
+        )
+        assert is_empty(m)
+
+    def test_red_trap(self):
+        # the only run alternates through a red state infinitely often
+        m = RabinTreeAutomaton.build(
+            "ab",
+            ["g", "r"],
+            "g",
+            {
+                ("g", "a"): [("r", "r")],
+                ("r", "a"): [("g", "g")],
+            },
+            [(["g"], ["r"])],
+            2,
+        )
+        assert is_empty(m)
+
+    def test_nonempty_states(self, agfa):
+        assert nonempty_states(agfa) == frozenset({"q0", "qa", "qb"})
+
+    def test_nonempty_states_partial(self):
+        m = RabinTreeAutomaton.build(
+            "ab",
+            ["good", "dead"],
+            "good",
+            {("good", "a"): [("good", "good")]},
+            [(["good"], [])],
+            2,
+        )
+        assert nonempty_states(m) == frozenset({"good"})
+
+
+class TestWitness:
+    def test_witness_accepted(self, agfa, afgb, roota):
+        for m in (agfa, afgb, roota):
+            w = emptiness_witness(m)
+            assert w is not None
+            assert w.branching == 2
+            assert accepts_tree(m, w), m.name
+
+    def test_no_witness_for_empty(self):
+        m = RabinTreeAutomaton.build("ab", ["q"], "q", {}, [(["q"], [])], 2)
+        assert emptiness_witness(m) is None
+
+
+class TestClosure:
+    def test_rfcl_structure(self, agfa):
+        cl = rfcl(agfa)
+        assert is_closure_automaton(cl)
+        assert len(cl.pairs) == 1
+
+    def test_rfcl_of_empty_is_identity_language(self):
+        m = RabinTreeAutomaton.build("ab", ["q"], "q", {}, [(["q"], [])], 2)
+        cl = rfcl(m)
+        assert is_empty(cl)
+
+    def test_rfcl_is_extensive_on_samples(self, agfa, afgb, sample_trees):
+        for m in (agfa, afgb):
+            cl = rfcl(m)
+            for tree in sample_trees.values():
+                if accepts_tree(m, tree):
+                    assert accepts_tree(cl, tree)
+
+    def test_rfcl_of_liveness_is_universal_on_samples(self, agfa, afgb, sample_trees):
+        """A(GF a) and A(FG b) are fcl-live: their closures accept every
+        sample tree (fcl = A_tot on these encodings)."""
+        for m in (agfa, afgb):
+            cl = rfcl(m)
+            for name, tree in sample_trees.items():
+                assert accepts_tree(cl, tree), (m.name, name)
+
+    def test_rfcl_of_safety_fixes_language_on_samples(self, roota, sample_trees):
+        cl = rfcl(roota)
+        for name, tree in sample_trees.items():
+            assert accepts_tree(cl, tree) == accepts_tree(roota, tree), name
+
+    def test_rfcl_idempotent_on_samples(self, agfa, sample_trees):
+        once = rfcl(agfa)
+        twice = rfcl(once)
+        for tree in sample_trees.values():
+            assert accepts_tree(once, tree) == accepts_tree(twice, tree)
+
+
+class TestTreeLanguage:
+    def test_boolean_algebra(self, agfa, roota, sample_trees):
+        la = TreeLanguage.of_automaton(agfa)
+        lr = TreeLanguage.of_automaton(roota)
+        both = la & lr
+        either = la | lr
+        neither = ~either
+        for tree in sample_trees.values():
+            a, r = accepts_tree(agfa, tree), accepts_tree(roota, tree)
+            assert (tree in both) == (a and r)
+            assert (tree in either) == (a or r)
+            assert (tree in neither) == (not (a or r))
+
+    def test_branching_checks(self, agfa):
+        lang = TreeLanguage.of_automaton(agfa)
+        with pytest.raises(ValueError):
+            RegularTree.constant("a", 3) in lang
+        with pytest.raises(ValueError):
+            lang & TreeLanguage(3, lambda t: True)
+
+
+class TestTheorem9:
+    def test_identity_on_samples(self, agfa, afgb, roota, sample_trees):
+        for m in (agfa, afgb, roota):
+            d = decompose(m)
+            assert d.verify_on_samples(sample_trees.values()), m.name
+
+    def test_safety_part_is_rabin_automaton(self, agfa):
+        d = decompose(agfa)
+        assert isinstance(d.safety, RabinTreeAutomaton)
+        assert is_closure_automaton(d.safety)
+
+    def test_safety_part_closed_on_samples(self, agfa, afgb, roota, sample_trees):
+        for m in (agfa, afgb, roota):
+            d = decompose(m)
+            assert d.safety_part_is_closed_on(sample_trees.values()), m.name
+
+    def test_liveness_part_universal_closure_on_samples(
+        self, agfa, sample_trees
+    ):
+        """Every sample is in the liveness part or outside the closure's
+        reach: B ∪ ¬cl(B) accepts everything cl(B) rejects."""
+        d = decompose(agfa)
+        for tree in sample_trees.values():
+            if not accepts_tree(d.safety, tree):
+                assert tree in d.liveness

@@ -1,0 +1,66 @@
+"""Tests for the bounded-ticket bakery algorithm."""
+
+import pytest
+
+from repro.systems import bakery, bakery_specs, check, check_decomposed
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return bakery()
+
+    def test_total_and_reachable(self, model):
+        assert model.reachable() == model.states
+        for s in model.states:
+            assert model.successors(s)
+
+    def test_minimum_tickets(self):
+        with pytest.raises(ValueError):
+            bakery(0)
+
+    def test_mutex_structurally(self, model):
+        for s in model.states:
+            assert not ({"crit0", "crit1"} <= model.label(s))
+
+    def test_both_processes_can_enter(self, model):
+        labels = [model.label(s) for s in model.states]
+        assert any("crit0" in l for l in labels)
+        assert any("crit1" in l for l in labels)
+
+    def test_ticket_bound_respected(self, model):
+        for s in model.states:
+            _p0, t0, _p1, t1, _last = s
+            assert 0 <= t0 <= 2 and 0 <= t1 <= 2
+
+
+class TestSpecs:
+    def test_expected_verdicts(self):
+        k = bakery()
+        for spec in bakery_specs(k):
+            assert check(k, spec.formula).holds == spec.should_hold, spec.name
+
+    def test_decomposed_agrees(self):
+        k = bakery()
+        for spec in bakery_specs(k):
+            mono = check(k, spec.formula)
+            split = check_decomposed(k, spec.formula)
+            assert split.holds == mono.holds, spec.name
+
+    def test_two_mutex_algorithms_agree(self):
+        """Peterson and bakery satisfy the same spec shapes: mutex holds
+        unconditionally, progress only under fairness."""
+        from repro.systems import peterson, peterson_specs
+
+        verdicts = {}
+        for build, specs_fn in ((peterson, peterson_specs), (bakery, bakery_specs)):
+            k = build()
+            for spec in specs_fn(k):
+                key = (
+                    "mutex" if "mutex" in spec.name or "exclusion" in spec.name
+                    else spec.name.split("-")[-1]
+                )
+                verdicts.setdefault(key, set()).add(check(k, spec.formula).holds)
+        assert verdicts["mutex"] == {True}
+        assert verdicts["unfair"] == {False}
+        assert verdicts["fair"] == {True}

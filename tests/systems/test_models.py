@@ -1,0 +1,120 @@
+"""Structural tests for the reactive-system models."""
+
+import pytest
+
+from repro.systems import (
+    alternating_bit,
+    dining_philosophers,
+    msi_cache,
+    peterson,
+    traffic_light,
+)
+
+
+class TestPeterson:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return peterson()
+
+    def test_total_and_reachable(self, model):
+        assert model.reachable() == model.states
+        for s in model.states:
+            assert model.successors(s)
+
+    def test_mutual_exclusion_structurally(self, model):
+        # no reachable state has both processes in crit
+        for s in model.states:
+            label = model.label(s)
+            assert not ({"crit0", "crit1"} <= label)
+
+    def test_both_processes_can_enter(self, model):
+        labels = {frozenset(model.label(s)) for s in model.states}
+        assert any("crit0" in l for l in labels)
+        assert any("crit1" in l for l in labels)
+
+    def test_scheduling_props_present(self, model):
+        for s in model.states:
+            label = model.label(s)
+            assert ("sched0" in label) != ("sched1" in label)
+
+
+class TestAlternatingBit:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return alternating_bit()
+
+    def test_total(self, model):
+        for s in model.states:
+            assert model.successors(s)
+
+    def test_events_occur(self, model):
+        props = set()
+        for s in model.states:
+            props |= model.label(s)
+        assert {"send", "deliver", "acked", "loss"} <= props
+
+    def test_bits_alternate(self, model):
+        # an 'acked' state flips the sender bit relative to predecessors
+        for s in model.states:
+            (sbit, _r, _m, _a), tag = s
+            if tag == "acked":
+                assert f"bit{sbit}" in model.label(s)
+
+
+class TestDiningPhilosophers:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            dining_philosophers(1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_deadlock_reachable_and_stutters(self, n):
+        model = dining_philosophers(n)
+        deadlocked = [
+            s for s in model.states if "deadlock" in model.label(s)
+        ]
+        assert deadlocked
+        for s in deadlocked:
+            assert model.successors(s) == (s,)
+
+    def test_neighbours_never_eat_together(self):
+        model = dining_philosophers(3)
+        for s in model.states:
+            label = model.label(s)
+            for i in range(3):
+                j = (i + 1) % 3
+                assert not ({f"eat{i}", f"eat{j}"} <= label)
+
+    def test_everyone_can_eat(self):
+        model = dining_philosophers(3)
+        for i in range(3):
+            assert any(f"eat{i}" in model.label(s) for s in model.states)
+
+
+class TestMsiCache:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return msi_cache()
+
+    def test_coherence_invariants_structurally(self, model):
+        for s in model.reachable():
+            assert s != ("M", "M")
+            assert s not in (("M", "S"), ("S", "M"))
+
+    def test_all_protocol_states_used(self, model):
+        reachable = model.reachable()
+        assert ("M", "I") in reachable
+        assert ("S", "S") in reachable
+        assert ("I", "I") in reachable
+
+
+class TestTrafficLight:
+    def test_phases_cycle(self):
+        model = traffic_light()
+        assert model.reachable() == model.states
+        assert "ew_g" in model.reachable()
+
+    def test_no_double_green_structurally(self):
+        model = traffic_light()
+        for s in model.states:
+            label = model.label(s)
+            assert not ({"green_ns", "green_ew"} <= label)

@@ -1,0 +1,77 @@
+"""Tests for mapping counterexample label words back to state paths."""
+
+import pytest
+
+from repro.omega import LassoWord
+from repro.systems import (
+    check,
+    dining_philosophers,
+    peterson,
+    peterson_specs,
+    philosophers_specs,
+    replay,
+    token_ring,
+    token_ring_specs,
+)
+
+
+def assert_replay_spells(kripke, stem, loop, word: LassoWord, horizon: int = 24):
+    """stem·loop^ω must be a real path of the model spelling `word`."""
+    assert loop, "loop must be non-empty"
+    path = list(stem) + list(loop) * (
+        (horizon - len(stem)) // max(1, len(loop)) + 1
+    )
+    # transitions are real
+    full = path[: horizon + 1]
+    for a, b in zip(full, full[1:]):
+        assert b in kripke.successors(a), (a, b)
+    # loop actually closes
+    closer = (list(stem) + list(loop))[-1]
+    assert loop[0] in kripke.successors(closer)
+    # labels spell the word
+    for i, state in enumerate(full):
+        assert kripke.label(state) == word[i], i
+
+
+class TestReplay:
+    @pytest.mark.parametrize(
+        "build,specs_fn",
+        [
+            (peterson, peterson_specs),
+            (dining_philosophers, philosophers_specs),
+            (token_ring, token_ring_specs),
+        ],
+    )
+    def test_replay_every_counterexample(self, build, specs_fn):
+        kripke = build()
+        for spec in specs_fn(kripke):
+            result = check(kripke, spec.formula)
+            if result.holds:
+                continue
+            stem, loop = replay(kripke, result.counterexample)
+            assert_replay_spells(kripke, stem, loop, result.counterexample)
+
+    def test_rejects_impossible_word(self):
+        kripke = token_ring(2)
+        bogus = LassoWord((), [frozenset({"token0"}), frozenset({"nonsense"})])
+        with pytest.raises(ValueError):
+            replay(kripke, bogus)
+
+    def test_rejects_wrong_start(self):
+        kripke = token_ring(2)
+        # the model starts with token0, not token1
+        bogus = LassoWord((), [frozenset({"token1"})])
+        with pytest.raises(ValueError, match="initial"):
+            replay(kripke, bogus)
+
+    def test_replay_of_trivial_loop(self):
+        kripke = token_ring(2)
+        # token0 held forever, never critical: state (0, False) loops? it
+        # cannot loop on itself (must enter crit or pass) — use the
+        # crit-toggle loop instead
+        word = LassoWord(
+            (),
+            [frozenset({"token0"}), frozenset({"token0", "crit0"})],
+        )
+        stem, loop = replay(kripke, word)
+        assert_replay_spells(kripke, stem, loop, word)

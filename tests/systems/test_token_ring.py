@@ -1,0 +1,59 @@
+"""Tests for the token-ring model."""
+
+import pytest
+
+from repro.systems import check, check_decomposed, token_ring, token_ring_specs
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_total_and_reachable(self, n):
+        k = token_ring(n)
+        for s in k.states:
+            assert k.successors(s)
+        assert k.reachable() == k.states
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            token_ring(1)
+
+    def test_exactly_one_token_always(self):
+        k = token_ring(3)
+        for s in k.states:
+            label = k.label(s)
+            holders = [p for p in label if p.startswith("token")]
+            assert len(holders) == 1
+
+    def test_critical_implies_token(self):
+        k = token_ring(3)
+        for s in k.states:
+            label = k.label(s)
+            for i in range(3):
+                if f"crit{i}" in label:
+                    assert f"token{i}" in label
+
+
+class TestSpecs:
+    def test_expected_verdicts(self):
+        k = token_ring(3)
+        for spec in token_ring_specs(k, 3):
+            result = check(k, spec.formula)
+            assert result.holds == spec.should_hold, spec.name
+
+    def test_decomposed_agrees(self):
+        k = token_ring(3)
+        for spec in token_ring_specs(k, 3):
+            mono = check(k, spec.formula)
+            split = check_decomposed(k, spec.formula)
+            assert split.holds == mono.holds, spec.name
+
+    def test_progress_counterexample_hogs_token(self):
+        """The liveness failure: a lasso where station 0 holds the token
+        forever."""
+        k = token_ring(3)
+        spec = [s for s in token_ring_specs(k, 3) if s.name == "token-returns"][0]
+        result = check(k, spec.formula)
+        assert not result.holds
+        word = result.counterexample
+        recurring = word.recurring_symbols()
+        assert all("token0" in s for s in recurring)

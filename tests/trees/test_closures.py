@@ -1,0 +1,160 @@
+"""Tests for the branching-time closure machinery: finite/partial prefix
+tests, bounded fcl, and the sampled-lattice bridge to Section 3."""
+
+import pytest
+
+from repro.lattice import decompose, is_modular_complemented
+from repro.omega import LassoWord
+from repro.trees import (
+    FiniteTree,
+    PartialRegularPrefix,
+    RegularTree,
+    closure_on_samples,
+    fcl_member_bounded,
+    finite_prefix_of_regular,
+    frozen_path_word,
+    members_extension_oracle,
+    partial_prefix_of_regular,
+)
+
+SPLIT = RegularTree(
+    {"r": "a", "A": "a", "B": "b"},
+    {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+    "r",
+)
+ALL_A = RegularTree.constant("a", 2)
+ALL_B = RegularTree.constant("b", 2)
+
+
+class TestFinitePrefix:
+    def test_truncation_is_prefix(self):
+        for d in range(4):
+            assert finite_prefix_of_regular(SPLIT.unfold(d), SPLIT)
+
+    def test_label_mismatch(self):
+        assert not finite_prefix_of_regular(FiniteTree.leaf_tree("b"), SPLIT)
+
+    def test_partial_branching_rejected(self):
+        # a node with only one of two children cannot be a prefix of a
+        # 2-branching total tree
+        x = FiniteTree({(): "a", (0,): "a"})
+        assert not finite_prefix_of_regular(x, SPLIT)
+
+    def test_direction_out_of_range(self):
+        x = FiniteTree({(): "a", (0,): "a", (1,): "b", (2,): "a"})
+        assert not finite_prefix_of_regular(x, SPLIT)
+
+    def test_transitivity_through_truncations(self):
+        shallow = SPLIT.unfold(1)
+        deep = SPLIT.unfold(3)
+        # shallow ⊑ deep as finite trees, both prefixes of SPLIT
+        from repro.trees import is_tree_prefix
+
+        assert is_tree_prefix(shallow, deep)
+
+
+class TestPartialPrefix:
+    def test_cut_except_branch_is_prefix(self):
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        assert partial_prefix_of_regular(w, SPLIT)
+
+    def test_not_prefix_of_other_tree(self):
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        assert not partial_prefix_of_regular(w, ALL_B)
+
+    def test_prefix_of_extension_with_same_spine(self):
+        # the witness also prefixes ALL_A?  no: the cut sibling of SPLIT
+        # is labeled b, ALL_A is all a
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        assert not partial_prefix_of_regular(w, ALL_A)
+
+    def test_frozen_path_word(self):
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        assert frozen_path_word(w, (0,)) == LassoWord((), "a")
+
+    def test_branching_mismatch(self):
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        assert not partial_prefix_of_regular(w, RegularTree.constant("a", 3))
+
+    def test_must_have_a_leaf(self):
+        with pytest.raises(ValueError, match="leaf"):
+            PartialRegularPrefix(
+                {0: "a"}, {0: (0, 0)}, 0, branching=2
+            )
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            PartialRegularPrefix(
+                {0: "a", 1: "a"}, {0: (1,), 1: ()}, 0, branching=2
+            )
+
+    def test_frozen_path_hitting_leaf_rejected(self):
+        w = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), keep_depth=1)
+        with pytest.raises(ValueError, match="leaf"):
+            w.infinite_path_word((1,))
+
+
+class TestBoundedFcl:
+    def test_member_of_own_closure(self):
+        oracle = members_extension_oracle([SPLIT])
+        assert fcl_member_bounded(SPLIT, oracle, 3)
+
+    def test_non_member(self):
+        oracle = members_extension_oracle([ALL_A])
+        assert not fcl_member_bounded(ALL_B, oracle, 1)
+
+    def test_closure_can_be_strictly_larger(self):
+        # every truncation of SPLIT extends to SPLIT itself; every
+        # truncation of ALL_A extends to... ALL_A is not in {SPLIT}'s
+        # closure because its depth-1 truncation has two a-children
+        oracle = members_extension_oracle([SPLIT])
+        assert not fcl_member_bounded(ALL_A, oracle, 2)
+
+
+class TestSampledClosureBridge:
+    """The decidable instance of Theorem 3/4: powerset lattice over
+    sample trees + induced closure."""
+
+    UNIVERSE = [ALL_A, ALL_B, SPLIT]
+
+    def test_closure_axioms_hold(self):
+        lattice, cl = closure_on_samples(self.UNIVERSE, depth_bound=2)
+        # LatticeClosure construction validates extensive/idempotent/
+        # monotone; re-check extensivity explicitly
+        for p in lattice.elements:
+            assert lattice.leq(p, cl(p))
+
+    def test_powerset_is_boolean(self):
+        lattice, _cl = closure_on_samples(self.UNIVERSE, depth_bound=2)
+        assert is_modular_complemented(lattice)
+
+    def test_theorem2_decomposition_applies(self):
+        lattice, cl = closure_on_samples(self.UNIVERSE, depth_bound=2)
+        from repro.lattice import decompose_single
+
+        for p in lattice.elements:
+            d = decompose_single(lattice, cl, p, check_hypotheses=False)
+            assert d.verify(lattice, cl, cl)
+
+    def test_ncl_variant_is_finer(self):
+        """Adding non-total witnesses can only shrink the closure
+        (ncl.P ⊆ fcl.P — the hypothesis cl1 ⊑ cl2 of Theorem 3)."""
+        witness = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), 1)
+        lattice, fcl = closure_on_samples(self.UNIVERSE, depth_bound=2)
+        _, ncl = closure_on_samples(
+            self.UNIVERSE, depth_bound=2, partial_witnesses={2: [witness]}, name="ncl"
+        )
+        assert fcl.dominates(ncl)
+
+    def test_theorem3_mixed_decomposition(self):
+        """ES ∧ UL: cl1 = sampled ncl, cl2 = sampled fcl."""
+        from repro.lattice import decompose
+
+        witness = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), 1)
+        lattice, fcl = closure_on_samples(self.UNIVERSE, depth_bound=2)
+        _, ncl = closure_on_samples(
+            self.UNIVERSE, depth_bound=2, partial_witnesses={2: [witness]}, name="ncl"
+        )
+        for p in lattice.elements:
+            d = decompose(lattice, ncl, fcl, p, check_hypotheses=False)
+            assert d.verify(lattice, ncl, fcl)

@@ -1,0 +1,143 @@
+"""Tests for the paper's tree concatenation (Definitions 1–4) and the
+prefix order — including the order-theoretic facts cited from [14]."""
+
+import pytest
+
+from repro.trees import (
+    FiniteTree,
+    concat,
+    is_proper_tree_prefix,
+    is_tree_prefix,
+    prefix_witness,
+    preliminary_concat,
+    tree_prefixes,
+)
+
+
+def t(nested):
+    return FiniteTree.from_nested(nested)
+
+
+LEAF_A = FiniteTree.leaf_tree("a")
+TWO = t(("a", [("b", []), ("c", [])]))
+THREE = t(("a", [("b", [("d", [])]), ("c", [])]))
+
+
+class TestPreliminaryConcat:
+    def test_labels_of_w_win(self):
+        x = t(("z", [("y", [])]))
+        glued = preliminary_concat(TWO, x)
+        assert glued.label(()) == "a"  # w's label, not z
+        assert glued.label((0,)) == "b"
+
+    def test_extends_at_non_leaf(self):
+        """The defect Definition 3 fixes: ⊕ can grow below interior nodes."""
+        w = t(("a", [("b", [])]))
+        x = t(("a", [("b", []), ("c", [])]))  # adds a sibling under the root
+        glued = preliminary_concat(w, x)
+        assert (1,) in glued  # grew at the non-leaf root
+
+
+class TestConcat:
+    def test_grows_only_below_leaves(self):
+        w = t(("a", [("b", [])]))
+        x = t(("a", [("b", []), ("c", [])]))
+        result = concat(w, x)
+        # (1,) does not extend the only leaf (0,), so it is dropped
+        assert (1,) not in result
+        assert result == w
+
+    def test_attaches_below_leaf(self):
+        w = t(("a", [("b", [])]))
+        x = t(("?", [("?", [("d", [])])]))  # node (0,0) extends leaf (0,)
+        result = concat(w, x)
+        assert result.label((0, 0)) == "d"
+        assert result.label(()) == "a"
+
+    def test_concat_with_root_only_is_identity(self):
+        assert concat(THREE, LEAF_A) == THREE
+
+    def test_concat_at_root_leaf(self):
+        result = concat(FiniteTree.leaf_tree("z"), TWO)
+        # root of w is a leaf; everything of x except the root survives,
+        # and w's root label wins
+        assert result.label(()) == "z"
+        assert result.label((0,)) == "b"
+
+
+class TestPrefixOrder:
+    def test_reflexive(self):
+        assert is_tree_prefix(THREE, THREE)
+
+    def test_antisymmetric(self):
+        assert is_tree_prefix(TWO, THREE)
+        assert not is_tree_prefix(THREE, TWO)
+
+    def test_transitive_on_chain(self):
+        assert is_tree_prefix(LEAF_A, TWO)
+        assert is_tree_prefix(TWO, THREE)
+        assert is_tree_prefix(LEAF_A, THREE)
+
+    def test_label_mismatch_fails(self):
+        other = t(("b", [("b", []), ("c", [])]))
+        assert not is_tree_prefix(LEAF_A, other)
+
+    def test_growth_above_non_leaf_fails(self):
+        # x has root with one child; y adds a sibling: root is not a leaf
+        # of x, so y's extra node is unaccounted for
+        x = t(("a", [("b", [])]))
+        y = t(("a", [("b", []), ("c", [])]))
+        assert not is_tree_prefix(x, y)
+
+    def test_proper_prefix(self):
+        assert is_proper_tree_prefix(TWO, THREE)
+        assert not is_proper_tree_prefix(THREE, THREE)
+
+    def test_paper_lemma_prefix_iff_concat_witness(self):
+        """Definition 4 vs the structural check: x ⊑ y iff ∃z. xz = y."""
+        for x in (LEAF_A, TWO, THREE):
+            for y in (LEAF_A, TWO, THREE):
+                witness = prefix_witness(x, y)
+                if is_tree_prefix(x, y):
+                    assert witness is not None
+                    assert concat(x, witness) == y
+                else:
+                    assert witness is None
+
+    def test_paper_monotonicity(self):
+        """From [14]: x ⊑ y implies wx ⊑ wy."""
+        w = t(("w", [("u", [])]))
+        xs = [LEAF_A, TWO, THREE]
+        for x in xs:
+            for y in xs:
+                if is_tree_prefix(x, y):
+                    assert is_tree_prefix(concat(w, x), concat(w, y))
+
+
+class TestTreePrefixEnumeration:
+    def test_all_prefixes_of_three(self):
+        prefixes = tree_prefixes(THREE)
+        assert LEAF_A in prefixes
+        assert TWO in prefixes
+        assert THREE in prefixes
+        assert len(prefixes) == 3
+
+    def test_every_enumerated_prefix_verifies(self):
+        big = t(("a", [("b", [("c", [])]), ("d", [("e", [])])]))
+        for p in tree_prefixes(big):
+            assert is_tree_prefix(p, big)
+            witness = prefix_witness(p, big)
+            assert concat(p, witness) == big
+
+    def test_partial_order_on_enumerated_prefixes(self):
+        """⊑ restricted to the prefixes of a tree is a partial order."""
+        big = t(("a", [("b", []), ("c", [("d", [])])]))
+        ps = tree_prefixes(big)
+        for x in ps:
+            assert is_tree_prefix(x, x)
+            for y in ps:
+                if is_tree_prefix(x, y) and is_tree_prefix(y, x):
+                    assert x == y
+                for z in ps:
+                    if is_tree_prefix(x, y) and is_tree_prefix(y, z):
+                        assert is_tree_prefix(x, z)

@@ -1,0 +1,123 @@
+"""Property-based tests for tree concatenation and the prefix order
+(the order-theoretic facts the paper imports from [14])."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import (
+    FiniteTree,
+    concat,
+    is_tree_prefix,
+    prefix_witness,
+    tree_prefixes,
+)
+
+
+def random_tree(rng: random.Random, max_depth: int = 3, max_width: int = 2) -> FiniteTree:
+    labels = {(): rng.choice("ab")}
+    frontier = [()]
+    while frontier:
+        node = frontier.pop()
+        if len(node) >= max_depth:
+            continue
+        for i in range(rng.randint(0, max_width)):
+            child = node + (i,)
+            labels[child] = rng.choice("ab")
+            if rng.random() < 0.6:
+                frontier.append(child)
+    return FiniteTree(labels)
+
+
+@st.composite
+def trees(draw):
+    seed = draw(st.integers(0, 10_000_000))
+    return random_tree(random.Random(seed))
+
+
+class TestPrefixOrderLaws:
+    @given(trees())
+    @settings(max_examples=80, deadline=None)
+    def test_reflexive(self, t):
+        assert is_tree_prefix(t, t)
+
+    @given(trees(), trees())
+    @settings(max_examples=80, deadline=None)
+    def test_antisymmetric(self, x, y):
+        if is_tree_prefix(x, y) and is_tree_prefix(y, x):
+            assert x == y
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_transitive_over_enumerated_prefixes(self, t):
+        if len(t) > 6:
+            return  # keep the 2^n enumeration small
+        ps = tree_prefixes(t)
+        for x in ps:
+            for y in ps:
+                if not is_tree_prefix(x, y):
+                    continue
+                assert is_tree_prefix(x, t)
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_root_is_prefix(self, t):
+        root_only = FiniteTree({(): t.label(())})
+        assert is_tree_prefix(root_only, t)
+
+
+class TestConcatLaws:
+    @given(trees(), trees())
+    @settings(max_examples=80, deadline=None)
+    def test_concat_extends(self, w, x):
+        assert is_tree_prefix(w, concat(w, x))
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_right_identity(self, w):
+        unit = FiniteTree({(): "z"})
+        # concatenating a root-only tree changes nothing (its only node
+        # collides with w's root, where w's label wins)
+        assert concat(w, unit) == w
+
+    @given(trees(), trees())
+    @settings(max_examples=60, deadline=None)
+    def test_witness_round_trip(self, x, y):
+        witness = prefix_witness(x, y)
+        if witness is not None:
+            assert concat(x, witness) == y
+
+    @given(trees(), trees(), trees())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_second_argument(self, w, x, y):
+        """From [14]: x ⊑ y implies wx ⊑ wy."""
+        if is_tree_prefix(x, y):
+            assert is_tree_prefix(concat(w, x), concat(w, y))
+
+    def test_not_associative_in_general(self):
+        """Tree concatenation is *not* associative — a fact worth pinning
+        down: in ``(wx)y``, ``y`` may attach at a leaf of ``w`` that ``x``
+        never extended, while in ``w(xy)`` the same ``y``-nodes are
+        filtered out because they extend no leaf of ``x``.  (The paper
+        never needs associativity; only the prefix order ``∃z. xz = y``
+        matters.)"""
+        # w: root with two leaf children 0 and 1
+        w = FiniteTree({(): "a", (0,): "a", (1,): "a"})
+        # x extends only child 0
+        x = FiniteTree({(): "a", (0,): "a", (0, 0): "b"})
+        # y extends child 1 (and is unrelated to x's leaves)
+        y = FiniteTree({(): "a", (1,): "a", (1, 0): "b"})
+        left = concat(concat(w, x), y)
+        right = concat(w, concat(x, y))
+        assert (1, 0) in left  # y attached below w's leaf (1)
+        assert (1, 0) not in right  # filtered: (1,0) extends no x-leaf
+        assert left != right
+
+    @given(trees(), trees(), trees())
+    @settings(max_examples=60, deadline=None)
+    def test_left_concat_monotone_in_prefix_order(self, w, x, y):
+        """What *does* hold: wx ⊑ (wx)y — any further concatenation only
+        extends (the order-theoretic law the decomposition uses)."""
+        wx = concat(w, x)
+        assert is_tree_prefix(wx, concat(wx, y))

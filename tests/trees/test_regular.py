@@ -1,0 +1,145 @@
+"""Tests for regular infinite trees."""
+
+import pytest
+
+from repro.omega import LassoWord
+from repro.trees import FiniteTree, RegularTree, RegularTreeError
+
+
+class TestConstruction:
+    def test_constant(self):
+        t = RegularTree.constant("a", 3)
+        assert t.branching == 3
+        assert t.label_at((0, 1, 2)) == "a"
+
+    def test_unlabeled_root_rejected(self):
+        with pytest.raises(RegularTreeError):
+            RegularTree({0: "a"}, {0: (0,)}, 1)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(RegularTreeError, match="arity"):
+            RegularTree({0: "a", 1: "b"}, {0: (0, 1), 1: (1,)}, 0)
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(RegularTreeError):
+            RegularTree({0: "a"}, {0: ()}, 0)
+
+    def test_missing_successors_rejected(self):
+        with pytest.raises(RegularTreeError):
+            RegularTree({0: "a", 1: "b"}, {0: (1, 1)}, 0)
+
+    def test_from_word(self):
+        t = RegularTree.from_word(LassoWord("ab", "c"), k=2)
+        assert t.label_at(()) == "a"
+        assert t.label_at((0,)) == "b"
+        assert t.label_at((1, 0, 1)) == "c"
+
+
+class TestAccess:
+    @pytest.fixture
+    def split(self):
+        return RegularTree(
+            {"r": "a", "A": "a", "B": "b"},
+            {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+            "r",
+        )
+
+    def test_vertex_at(self, split):
+        assert split.vertex_at(()) == "r"
+        assert split.vertex_at((0, 0, 0)) == "A"
+        assert split.vertex_at((1, 0)) == "B"
+
+    def test_direction_out_of_range(self, split):
+        with pytest.raises(RegularTreeError):
+            split.vertex_at((2,))
+
+    def test_symbols_and_reachable(self, split):
+        assert split.symbols() == frozenset("ab")
+        assert split.reachable_vertices() == frozenset("rAB")
+
+    def test_unreachable_vertex_ignored_in_symbols(self):
+        t = RegularTree(
+            {0: "a", 9: "z"}, {0: (0,), 9: (9,)}, 0
+        )
+        assert t.symbols() == frozenset("a")
+
+
+class TestUnfold:
+    def test_unfold_depth0(self):
+        t = RegularTree.constant("a", 2)
+        assert t.unfold(0) == FiniteTree.leaf_tree("a")
+
+    def test_unfold_counts(self):
+        t = RegularTree.constant("a", 2)
+        assert len(t.unfold(2)) == 7  # 1 + 2 + 4
+
+    def test_unfold_is_k_branching_interior(self):
+        t = RegularTree.constant("a", 2)
+        assert t.unfold(3).is_k_branching_interior(2)
+
+    def test_unfold_negative(self):
+        with pytest.raises(RegularTreeError):
+            RegularTree.constant("a", 2).unfold(-1)
+
+    def test_unfold_labels(self):
+        t = RegularTree(
+            {"x": "a", "y": "b"}, {"x": ("y", "y"), "y": ("x", "x")}, "x"
+        )
+        u = t.unfold(2)
+        assert u.label(()) == "a"
+        assert u.label((0,)) == "b"
+        assert u.label((1, 1)) == "a"
+
+
+class TestBranchWords:
+    def test_constant_branch(self):
+        t = RegularTree.constant("a", 2)
+        assert t.branch_word(((), (0,))) == LassoWord((), "a")
+
+    def test_alternating_branch(self):
+        t = RegularTree(
+            {"x": "a", "y": "b"}, {"x": ("y", "y"), "y": ("x", "x")}, "x"
+        )
+        assert t.branch_word(((), (0,))) == LassoWord((), "ab")
+
+    def test_branch_with_prefix_directions(self):
+        split = RegularTree(
+            {"r": "a", "A": "a", "B": "b"},
+            {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+            "r",
+        )
+        assert split.branch_word(((1,), (0,))) == LassoWord("a", "b")
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(RegularTreeError):
+            RegularTree.constant("a", 2).branch_word(((), ()))
+
+
+class TestBisimilarity:
+    def test_same_unfolding_different_graphs(self):
+        a1 = RegularTree.constant("a", 2)
+        a2 = RegularTree({0: "a", 1: "a"}, {0: (1, 0), 1: (0, 1)}, 0)
+        assert a1.bisimilar(a2)
+
+    def test_different_labels(self):
+        assert not RegularTree.constant("a", 2).bisimilar(
+            RegularTree.constant("b", 2)
+        )
+
+    def test_different_branching(self):
+        assert not RegularTree.constant("a", 2).bisimilar(
+            RegularTree.constant("a", 3)
+        )
+
+    def test_subtle_difference(self):
+        split = RegularTree(
+            {"r": "a", "A": "a", "B": "b"},
+            {"r": ("A", "B"), "A": ("A", "A"), "B": ("B", "B")},
+            "r",
+        )
+        mirror = RegularTree(
+            {"r": "a", "A": "a", "B": "b"},
+            {"r": ("B", "A"), "A": ("A", "A"), "B": ("B", "B")},
+            "r",
+        )
+        assert not split.bisimilar(mirror)

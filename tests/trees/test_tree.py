@@ -1,0 +1,116 @@
+"""Tests for finite labeled trees."""
+
+import pytest
+
+from repro.trees import FiniteTree, TreeError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(TreeError, match="root"):
+            FiniteTree({})
+
+    def test_non_prefix_closed_rejected(self):
+        with pytest.raises(TreeError, match="prefix-closed"):
+            FiniteTree({(): "a", (0, 0): "b"})
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(TreeError):
+            FiniteTree({(): "a", (-1,): "b"})
+
+    def test_leaf_tree(self):
+        t = FiniteTree.leaf_tree("a")
+        assert len(t) == 1
+        assert t.label(()) == "a"
+
+    def test_from_nested(self):
+        t = FiniteTree.from_nested(("a", [("b", []), ("c", [("d", [])])]))
+        assert len(t) == 4
+        assert t.label((1, 0)) == "d"
+
+    def test_path_tree(self):
+        t = FiniteTree.path_tree("abc")
+        assert t.depth() == 2
+        assert t.label((0, 0)) == "c"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TreeError):
+            FiniteTree.path_tree("")
+
+
+class TestQueries:
+    @pytest.fixture
+    def t(self):
+        return FiniteTree.from_nested(("a", [("b", []), ("c", [("d", [])])]))
+
+    def test_membership(self, t):
+        assert () in t
+        assert (1, 0) in t
+        assert (0, 0) not in t
+
+    def test_unknown_label_raises(self, t):
+        with pytest.raises(KeyError):
+            t.label((5,))
+
+    def test_children(self, t):
+        assert t.children(()) == [(0,), (1,)]
+        assert t.children((0,)) == []
+
+    def test_leaves(self, t):
+        assert t.leaves() == [(0,), (1, 0)]
+
+    def test_is_leaf(self, t):
+        assert t.is_leaf((0,))
+        assert not t.is_leaf(())
+
+    def test_depth_and_symbols(self, t):
+        assert t.depth() == 2
+        assert t.symbols() == frozenset("abcd")
+
+    def test_k_branching_interior(self, t):
+        # root has 2 children, (1,) has 1 child — not 2-branching interior
+        assert not t.is_k_branching_interior(2)
+        full = FiniteTree.from_nested(("a", [("b", []), ("c", [])]))
+        assert full.is_k_branching_interior(2)
+
+    def test_root_paths(self, t):
+        paths = list(t.root_paths())
+        assert ((), (1,), (1, 0)) in paths
+        assert len(paths) == 2
+
+    def test_path_word(self, t):
+        assert t.path_word(((), (1,), (1, 0))) == ("a", "c", "d")
+
+
+class TestDerived:
+    @pytest.fixture
+    def t(self):
+        return FiniteTree.from_nested(("a", [("b", []), ("c", [("d", [])])]))
+
+    def test_subtree(self, t):
+        sub = t.subtree((1,))
+        assert sub.label(()) == "c"
+        assert sub.label((0,)) == "d"
+
+    def test_subtree_of_unknown_node(self, t):
+        with pytest.raises(KeyError):
+            t.subtree((9,))
+
+    def test_truncated(self, t):
+        cut = t.truncated(1)
+        assert cut.depth() == 1
+        assert len(cut) == 3
+
+    def test_truncated_negative(self, t):
+        with pytest.raises(TreeError):
+            t.truncated(-1)
+
+    def test_relabeled(self, t):
+        up = t.relabeled(str.upper)
+        assert up.label(()) == "A"
+
+    def test_equality_and_hash(self, t):
+        same = FiniteTree.from_nested(("a", [("b", []), ("c", [("d", [])])]))
+        assert t == same
+        assert hash(t) == hash(same)
+        assert t != t.truncated(1)
