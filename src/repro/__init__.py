@@ -34,6 +34,9 @@ systems
 enforcement
     Schneider-style security automata: safety properties are exactly the
     enforceable ones (Section 1).
+rv
+    Streaming runtime verification: compiled monitor tables, concurrent
+    trace sessions, batched dispatch, and engine statistics.
 analysis
     One classification/decomposition API across all frameworks.
 """

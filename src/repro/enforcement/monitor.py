@@ -23,9 +23,9 @@ from dataclasses import dataclass
 
 from repro.buchi.automaton import BuchiAutomaton
 from repro.buchi.closure import closure, is_safety
-from repro.buchi.emptiness import live_states
 from repro.buchi.inclusion import equivalence_counterexample
 from repro.omega.word import LassoWord
+from repro.rv.compile import SubsetTable
 
 
 class MonitorError(ValueError):
@@ -43,11 +43,13 @@ class Verdict:
 class SecurityMonitor:
     """A truncation monitor for a safety property.
 
-    Wraps the subset construction of a safety automaton: the monitor
-    admits an event iff some run of the automaton survives it; once no
-    run survives, the prefix is *bad* and the execution is truncated
-    (every continuation violates the policy — exactly why only safety
-    is enforceable this way).
+    Runs the subset construction of a safety automaton, pre-determinized
+    into a :class:`~repro.rv.compile.SubsetTable` (the code path shared
+    with the streaming engine in :mod:`repro.rv`): the monitor admits an
+    event iff some run of the automaton survives it; once no run
+    survives, the prefix is *bad* and the execution is truncated (every
+    continuation violates the policy — exactly why only safety is
+    enforceable this way).
     """
 
     def __init__(self, automaton: BuchiAutomaton):
@@ -56,8 +58,7 @@ class SecurityMonitor:
                 "security automata are safety automata (all states "
                 "accepting); pass the closure of your property"
             )
-        self._automaton = automaton
-        self._live = live_states(automaton)
+        self._table = SubsetTable.from_automaton(automaton)
         self.reset()
 
     @classmethod
@@ -73,10 +74,19 @@ class SecurityMonitor:
 
         return cls.for_property(translate(formula, alphabet))
 
+    @classmethod
+    def from_table(cls, table: SubsetTable) -> "SecurityMonitor":
+        """Wrap an already-compiled subset table (the streaming engine's
+        construction path — no re-determinization, shared table)."""
+        self = cls.__new__(cls)
+        self._table = table
+        self.reset()
+        return self
+
     def reset(self) -> None:
-        self._current = frozenset({self._automaton.initial}) & self._live
+        self._state = self._table.initial
         self._position = 0
-        self._dead = not self._current
+        self._dead = not self._table.alive[self._state]
 
     @property
     def truncated(self) -> bool:
@@ -88,13 +98,15 @@ class SecurityMonitor:
 
     def observe(self, event) -> Verdict:
         """Feed one event; once truncated, everything is rejected."""
-        if event not in self._automaton.alphabet:
+        table = self._table
+        index = table.symbol_index.get(event)
+        if index is None:
             raise MonitorError(f"event {event!r} outside the alphabet")
         if self._dead:
             return Verdict(accepted=False, position=self._position)
-        self._current = self._automaton.post(self._current, event) & self._live
+        self._state = table.next_state[self._state][index]
         self._position += 1
-        if not self._current:
+        if not table.alive[self._state]:
             self._dead = True
             return Verdict(accepted=False, position=self._position)
         return Verdict(accepted=True, position=self._position)
@@ -116,15 +128,15 @@ class SecurityMonitor:
         decided exactly: the subset run over a lasso is eventually
         periodic."""
         self.reset()
-        seen: set[tuple[int, frozenset]] = set()
+        seen: set[tuple[int, int]] = set()
         position = 0
         v = word.cycle
         for e in word.prefix:
             if not self.observe(e).accepted:
                 self.reset()
                 return False
-        while (position, self._current) not in seen:
-            seen.add((position, self._current))
+        while (position, self._state) not in seen:
+            seen.add((position, self._state))
             if not self.observe(v[position]).accepted:
                 self.reset()
                 return False

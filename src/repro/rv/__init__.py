@@ -1,0 +1,56 @@
+"""Streaming runtime verification at serving scale.
+
+The one-shot monitors in :mod:`repro.ltl.monitoring` and
+:mod:`repro.enforcement.monitor` carry the theory; this package carries
+the traffic.  Layering (each layer only knows the one below):
+
+* :mod:`repro.rv.compile` — formulas → dense transition tables
+  (:class:`MonitorTable`, :class:`SubsetTable`), memoized in an LRU
+  :class:`CompileCache`;
+* :mod:`repro.rv.session` — per-trace cursors over shared tables, with
+  bounded-queue backpressure (:class:`TraceSession`,
+  :class:`SessionManager`);
+* :mod:`repro.rv.engine` — batched ingest, monitor-grouped dispatch,
+  worker pool (:class:`RvEngine`);
+* :mod:`repro.rv.stats` — counters and latency histograms
+  (:class:`EngineStats`).
+
+Verdicts are the :class:`~repro.ltl.monitoring.Verdict3` of the
+reference monitor, and the engine is bit-identical to feeding each
+session's events to an :class:`~repro.ltl.monitoring.RvMonitor` one at
+a time — the test suite enforces this equivalence property.
+"""
+
+from repro.ltl.monitoring import Verdict3
+
+from .compile import (
+    CacheInfo,
+    CompileCache,
+    DEFAULT_CACHE,
+    MonitorTable,
+    SubsetTable,
+    canonical_key,
+    compile_formula,
+)
+from .engine import RvEngine
+from .session import BackpressureError, SessionError, SessionManager, TraceSession
+from .stats import Counter, EngineStats, Histogram
+
+__all__ = [
+    "Verdict3",
+    "SubsetTable",
+    "MonitorTable",
+    "CompileCache",
+    "CacheInfo",
+    "DEFAULT_CACHE",
+    "canonical_key",
+    "compile_formula",
+    "TraceSession",
+    "SessionManager",
+    "SessionError",
+    "BackpressureError",
+    "RvEngine",
+    "Counter",
+    "Histogram",
+    "EngineStats",
+]

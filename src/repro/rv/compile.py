@@ -1,0 +1,264 @@
+"""Monitor compilation: formulas → dense transition tables, memoized.
+
+The one-shot monitors (:class:`repro.ltl.monitoring.RvMonitor`,
+:class:`repro.enforcement.monitor.SecurityMonitor`) pay for the theory on
+every event: a frozenset union per automaton step, and the whole
+translate → closure → live-states pipeline per construction.  This
+module front-loads all of that:
+
+* :class:`SubsetTable` — the *live-restricted subset automaton* of a
+  Büchi automaton, determinized once into dense integer tables.  One
+  event step is two list indexings.  The empty subset is materialized as
+  an absorbing dead state, so stepping never branches.
+* :class:`MonitorTable` — the product of the subset tables of ``A_φ``
+  and ``A_¬φ`` with a three-valued verdict attached to every state.
+  Definite verdicts are absorbing (verdicts are final), which makes the
+  table bit-compatible with :class:`~repro.ltl.monitoring.RvMonitor`
+  while skipping all per-event set algebra.
+* :class:`CompileCache` — an LRU keyed by the *canonical* formula
+  (simplified, negation normal form) and alphabet, with hit/miss
+  counters, so a fleet of sessions over the same policy compiles it
+  exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.buchi.automaton import BuchiAutomaton
+from repro.buchi.emptiness import live_states
+from repro.ltl.monitoring import Verdict3
+from repro.ltl.simplify import simplify
+from repro.ltl.syntax import Formula, Not, nnf_over_alphabet
+from repro.ltl.translate import translate
+
+
+class SubsetTable:
+    """The determinized, live-restricted subset automaton as dense tables.
+
+    States are small integers; ``next_state[q][i]`` is the successor of
+    state ``q`` on the ``i``-th symbol (``symbol_index`` maps symbols to
+    ``i``).  State ``q`` with ``alive[q]`` false is the unique dead state
+    (the empty subset) and loops to itself — the table is complete.
+    """
+
+    __slots__ = ("symbols", "symbol_index", "initial", "next_state", "alive", "subsets")
+
+    def __init__(self, symbols, symbol_index, initial, next_state, alive, subsets):
+        self.symbols = symbols
+        self.symbol_index = symbol_index
+        self.initial = initial
+        self.next_state = next_state
+        self.alive = alive
+        self.subsets = subsets
+
+    @classmethod
+    def from_automaton(cls, automaton: BuchiAutomaton) -> "SubsetTable":
+        """Determinize ``post(S, a) ∩ live`` once, for O(1) event steps."""
+        live = live_states(automaton)
+        symbols = tuple(sorted(automaton.alphabet, key=repr))
+        symbol_index = {a: i for i, a in enumerate(symbols)}
+        start = frozenset({automaton.initial}) & live
+        index: dict[frozenset, int] = {start: 0}
+        subsets: list[frozenset] = [start]
+        next_state: list[list[int]] = []
+        i = 0
+        while i < len(subsets):
+            subset = subsets[i]
+            row = []
+            for a in symbols:
+                nxt = automaton.post(subset, a) & live if subset else subset
+                if nxt not in index:
+                    index[nxt] = len(subsets)
+                    subsets.append(nxt)
+                row.append(index[nxt])
+            next_state.append(row)
+            i += 1
+        alive = [bool(s) for s in subsets]
+        return cls(symbols, symbol_index, 0, next_state, alive, tuple(subsets))
+
+    def __len__(self) -> int:
+        return len(self.next_state)
+
+    def step(self, state: int, symbol) -> int:
+        """One event step (raises ``KeyError`` on foreign symbols)."""
+        return self.next_state[state][self.symbol_index[symbol]]
+
+    def run(self, events: Iterable) -> int:
+        state = self.initial
+        table, index = self.next_state, self.symbol_index
+        for e in events:
+            state = table[state][index[e]]
+        return state
+
+
+_VERDICT_OF = {
+    (True, True): Verdict3.UNKNOWN,
+    (True, False): Verdict3.TRUE,
+    (False, True): Verdict3.FALSE,
+    (False, False): Verdict3.FALSE,  # unreachable: both runs cannot die
+}
+
+
+class MonitorTable:
+    """A compiled three-valued monitor: the product of the subset tables
+    of ``A_φ`` and ``A_¬φ`` with a verdict per state.
+
+    ``verdicts[q]`` is the :class:`Verdict3` after reading any prefix
+    that reaches ``q``; states with a definite verdict are absorbing.
+    Stepping is two list indexings — no sets, no allocation.
+    """
+
+    __slots__ = ("formula", "alphabet", "symbols", "symbol_index", "initial",
+                 "next_state", "verdicts", "states")
+
+    def __init__(self, formula, alphabet, symbols, symbol_index, initial,
+                 next_state, verdicts, states):
+        self.formula = formula
+        self.alphabet = alphabet
+        self.symbols = symbols
+        self.symbol_index = symbol_index
+        self.initial = initial
+        self.next_state = next_state
+        self.verdicts = verdicts
+        self.states = states
+
+    @classmethod
+    def compile(cls, formula: Formula, alphabet: Iterable) -> "MonitorTable":
+        """The full pipeline: translate φ and ¬φ, close under liveness,
+        determinize both subset runs, and product them."""
+        alphabet = frozenset(alphabet)
+        pos = SubsetTable.from_automaton(translate(formula, alphabet))
+        neg = SubsetTable.from_automaton(translate(Not(formula), alphabet))
+        symbols = pos.symbols
+        symbol_index = pos.symbol_index
+        start = (pos.initial, neg.initial)
+        index: dict[tuple[int, int], int] = {start: 0}
+        states: list[tuple[int, int]] = [start]
+        next_state: list[list[int]] = []
+        verdicts: list[Verdict3] = []
+        i = 0
+        while i < len(states):
+            p, n = states[i]
+            verdict = _VERDICT_OF[pos.alive[p], neg.alive[n]]
+            verdicts.append(verdict)
+            if verdict is not Verdict3.UNKNOWN:
+                # definite verdicts are final — absorb.
+                next_state.append([i] * len(symbols))
+                i += 1
+                continue
+            row = []
+            for k in range(len(symbols)):
+                target = (pos.next_state[p][k], neg.next_state[n][k])
+                if target not in index:
+                    index[target] = len(states)
+                    states.append(target)
+                row.append(index[target])
+            next_state.append(row)
+            i += 1
+        return cls(formula, alphabet, symbols, symbol_index, 0,
+                   next_state, tuple(verdicts), tuple(states))
+
+    def __len__(self) -> int:
+        return len(self.next_state)
+
+    def step(self, state: int, symbol) -> int:
+        index = self.symbol_index.get(symbol)
+        if index is None:
+            raise ValueError(f"event {symbol!r} outside the alphabet")
+        return self.next_state[state][index]
+
+    def verdict_of(self, state: int) -> Verdict3:
+        return self.verdicts[state]
+
+    def run(self, events: Iterable) -> Verdict3:
+        """One-shot trace evaluation (the table-driven twin of
+        :func:`repro.ltl.monitoring.monitor_verdict`)."""
+        state = self.initial
+        for e in events:
+            state = self.step(state, e)
+        return self.verdicts[state]
+
+
+def canonical_key(formula: Formula, alphabet: Iterable):
+    """The cache key: simplified negation-normal form over the alphabet.
+
+    Syntactic variants (``F a`` written twice, double negations, absorbed
+    conjuncts) collapse to one compiled monitor; semantics are preserved
+    because :func:`~repro.ltl.simplify.simplify` and NNF are
+    language-preserving rewrites, and verdicts depend only on languages.
+    """
+    alphabet = frozenset(alphabet)
+    return nnf_over_alphabet(simplify(formula), alphabet), alphabet
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+
+class CompileCache:
+    """A thread-safe LRU of compiled monitors keyed by canonical formula.
+
+    ``get`` compiles at most once per distinct (canonical formula,
+    alphabet) pair while it stays resident; the counters let callers
+    *prove* reuse (the acceptance test and stats layer read them).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, formula: Formula, alphabet: Iterable) -> MonitorTable:
+        key = canonical_key(formula, alphabet)
+        with self._lock:
+            table = self._entries.get(key)
+            if table is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return table
+            self._misses += 1
+        # compile outside the lock: a slow formula must not serialize the
+        # whole fleet.  A racing duplicate compile is harmless (same table
+        # semantics) and the counters still record one miss per caller.
+        table = MonitorTable.compile(key[0], key[1])
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = table
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return table
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, len(self._entries), self.maxsize)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: Process-wide default cache (module-level monitors, examples, tests).
+DEFAULT_CACHE = CompileCache()
+
+
+def compile_formula(
+    formula: Formula, alphabet: Iterable, cache: CompileCache | None = None
+) -> MonitorTable:
+    """Compile through a cache (the module default when none is given)."""
+    return (cache or DEFAULT_CACHE).get(formula, alphabet)

@@ -1,0 +1,162 @@
+"""The streaming engine: batched ingest, grouped dispatch, shared tables.
+
+:class:`RvEngine` is the serving-shaped front of the paper's monitor
+theory.  A deployment registers LTL policies (compiled once through the
+LRU :class:`~repro.rv.compile.CompileCache`), opens a session per live
+trace, and pushes interleaved ``(session_id, event)`` batches.  Each
+batch is:
+
+1. *routed* — events are appended to their session's bounded pending
+   queue in arrival order (per-session order is the only order that
+   matters; sessions are independent);
+2. *grouped* — touched sessions are bucketed by compiled monitor, so a
+   worker's inner loop stays on one transition table (cache-friendly,
+   and the natural sharding unit);
+3. *dispatched* — groups run on a thread pool (``workers > 1``) or
+   inline (``workers ≤ 1``).  Workers never share a session, so the
+   result is deterministic: identical to draining sessions one by one,
+   which the test suite checks against the reference
+   :class:`~repro.ltl.monitoring.RvMonitor` verdict for verdict.
+
+Python threads don't parallelize the pure-Python table loop (the GIL),
+but the pool keeps the engine's shape honest — grouping, isolation and
+determinism are exactly what a process pool or a C kernel would need —
+and the sequential fallback is the fast path today.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ltl.monitoring import Verdict3
+from repro.ltl.syntax import Formula
+
+from .compile import CompileCache, MonitorTable
+from .session import SessionManager, TraceSession
+from .stats import EngineStats
+
+
+class RvEngine:
+    """A multi-session, multi-policy runtime-verification engine."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        max_pending: int = 1024,
+        cache: CompileCache | None = None,
+        stats: EngineStats | None = None,
+    ):
+        self.cache = cache if cache is not None else CompileCache()
+        self.sessions = SessionManager(max_pending=max_pending)
+        self.stats = stats if stats is not None else EngineStats()
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- registration -------------------------------------------------------
+
+    def compile(self, formula: Formula, alphabet: Iterable) -> MonitorTable:
+        """Compile (or fetch) the shared monitor for a policy."""
+        return self.cache.get(formula, alphabet)
+
+    def open_session(self, session_id, formula: Formula, alphabet: Iterable,
+                     max_pending: int | None = None) -> TraceSession:
+        """Open a trace session against the (cached) compiled policy."""
+        session = self.sessions.open(
+            session_id, self.compile(formula, alphabet), max_pending
+        )
+        self.stats.sessions_opened.add()
+        return session
+
+    def close_session(self, session_id) -> Verdict3:
+        """Close a session, returning its last verdict."""
+        return self.sessions.close(session_id).verdict
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(self, events: Iterable[tuple]) -> dict:
+        """Feed one batch of interleaved ``(session_id, event)`` pairs.
+
+        Returns ``{session_id: verdict}`` for every session touched by
+        the batch.  Raises :class:`~repro.rv.session.SessionError` for
+        unknown ids, ``ValueError`` for foreign symbols and
+        :class:`~repro.rv.session.BackpressureError` when a session's
+        queue would overflow — all *before* any event of the batch is
+        admitted to any queue, so a rejected batch leaves every session
+        exactly as it was.
+        """
+        routed: dict[int, tuple[TraceSession, list]] = {}
+        get = self.sessions.get
+        for session_id, event in events:
+            session = get(session_id)
+            entry = routed.get(id(session))
+            if entry is None:
+                entry = routed[id(session)] = (session, [])
+            entry[1].append(event)
+        if not routed:
+            return {}
+        # admission control: the whole batch is validated before any
+        # event is queued (atomic reject).
+        for session, batch in routed.values():
+            session.validate_batch(batch)
+        for session, batch in routed.values():
+            session.enqueue_many(batch)
+        touched = {key: session for key, (session, _) in routed.items()}
+        groups = list(self.sessions.by_monitor(touched.values()).values())
+        if self.workers > 1 and len(groups) > 1:
+            pool = self._ensure_pool()
+            for _ in pool.map(self._drain_group, groups):
+                pass
+        else:
+            for group in groups:
+                self._drain_group(group)
+        self.stats.batches.add()
+        return {s.session_id: s.verdict for s in touched.values()}
+
+    def _drain_group(self, group: list[TraceSession]) -> None:
+        stats = self.stats
+        for session in group:
+            pending = session.pending
+            was_final = session.finalized
+            start = time.perf_counter()
+            steps = session.drain()
+            elapsed = time.perf_counter() - start
+            stats.events.add(pending)
+            stats.steps.add(steps)
+            stats.drains.add()
+            if pending:
+                stats.step_latency.record(elapsed / pending)
+            if session.finalized and not was_final:
+                stats.record_verdict(session.verdict)
+
+    # -- queries ------------------------------------------------------------
+
+    def verdicts(self) -> dict:
+        """Current verdicts of all open sessions."""
+        return self.sessions.verdicts()
+
+    def snapshot(self) -> dict:
+        """Stats dashboard including compile-cache counters."""
+        return self.stats.snapshot(self.cache)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="rv-worker"
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RvEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,209 @@
+"""Trace sessions: thousands of live traces over shared compiled monitors.
+
+A :class:`TraceSession` is the per-trace slice of monitor state — one
+integer (the table state), a verdict, and a bounded pending queue.  The
+expensive objects (automata, closures, transition tables) live in the
+shared :class:`~repro.rv.compile.MonitorTable`; opening a session is
+O(1) and costs a few machine words, which is what makes 10⁴ concurrent
+traces against a handful of policies cheap.
+
+Backpressure is per session: events are *enqueued* (cheap, validated)
+and *drained* (the tight table loop) separately, and a session whose
+pending queue is full raises :class:`BackpressureError` instead of
+buffering unboundedly — the caller decides whether to drop, block, or
+drain.  Bad-prefix truncation is free: once the verdict is definite the
+drain loop stops touching the table entirely and only counts events,
+mirroring :meth:`RvMonitor.observe`'s early return.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.ltl.monitoring import Verdict3
+
+from .compile import MonitorTable
+
+
+class BackpressureError(RuntimeError):
+    """A session's bounded pending queue is full."""
+
+
+class SessionError(ValueError):
+    """Unknown or duplicate session id."""
+
+
+class TraceSession:
+    """One monitored trace: shared table, private cursor."""
+
+    __slots__ = ("session_id", "monitor", "max_pending", "_state", "_verdict",
+                 "_events", "_pending")
+
+    def __init__(self, session_id, monitor: MonitorTable, max_pending: int = 1024):
+        self.session_id = session_id
+        self.monitor = monitor
+        self.max_pending = max_pending
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = self.monitor.initial
+        self._verdict = self.monitor.verdicts[self._state]
+        self._events = 0
+        self._pending: deque = deque()
+
+    @property
+    def verdict(self) -> Verdict3:
+        return self._verdict
+
+    @property
+    def position(self) -> int:
+        """Events consumed (pending events are not yet counted)."""
+        return self._events
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the verdict is definite (truncation point reached)."""
+        return self._verdict is not Verdict3.UNKNOWN
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- synchronous path ---------------------------------------------------
+
+    def observe(self, event) -> Verdict3:
+        """Feed one event immediately (the RvMonitor-compatible path)."""
+        monitor = self.monitor
+        index = monitor.symbol_index.get(event)
+        if index is None:
+            raise ValueError(f"event {event!r} outside the alphabet")
+        self._events += 1
+        if self._verdict is not Verdict3.UNKNOWN:
+            return self._verdict
+        self._state = monitor.next_state[self._state][index]
+        self._verdict = monitor.verdicts[self._state]
+        return self._verdict
+
+    def run(self, events: Iterable) -> Verdict3:
+        """Observe a whole finite trace from a fresh start."""
+        self.reset()
+        for e in events:
+            self.observe(e)
+        return self._verdict
+
+    # -- queued path (engine batches) --------------------------------------
+
+    def enqueue(self, event) -> None:
+        """Admit one event to the pending queue, or push back."""
+        if event not in self.monitor.symbol_index:
+            raise ValueError(f"event {event!r} outside the alphabet")
+        if len(self._pending) >= self.max_pending:
+            raise BackpressureError(
+                f"session {self.session_id!r}: pending queue full "
+                f"({self.max_pending} events); drain before enqueueing more"
+            )
+        self._pending.append(event)
+
+    def validate_batch(self, events: Iterable) -> None:
+        """Check symbols and queue capacity without mutating anything —
+        the engine's pre-admission pass, so a rejected batch leaves every
+        session exactly as it was."""
+        events = list(events)
+        symbol_index = self.monitor.symbol_index
+        for e in events:
+            if e not in symbol_index:
+                raise ValueError(f"event {e!r} outside the alphabet")
+        if len(self._pending) + len(events) > self.max_pending:
+            raise BackpressureError(
+                f"session {self.session_id!r}: batch of {len(events)} would "
+                f"overflow the pending queue ({len(self._pending)} queued, "
+                f"capacity {self.max_pending})"
+            )
+
+    def enqueue_many(self, events: Iterable) -> None:
+        """Admit a whole sequence atomically: all events queue or none."""
+        events = list(events)
+        self.validate_batch(events)
+        self._pending.extend(events)
+
+    def drain(self) -> int:
+        """Process every pending event; returns table steps performed.
+
+        The loop body is two list indexings per event; after truncation
+        (definite verdict) the remaining events are counted and dropped
+        without touching the table.
+        """
+        queue = self._pending
+        if not queue:
+            return 0
+        monitor = self.monitor
+        table, symbol_index = monitor.next_state, monitor.symbol_index
+        state, verdict = self._state, self._verdict
+        steps = 0
+        if verdict is Verdict3.UNKNOWN:
+            verdicts = monitor.verdicts
+            while queue:
+                state = table[state][symbol_index[queue.popleft()]]
+                self._events += 1
+                steps += 1
+                verdict = verdicts[state]
+                if verdict is not Verdict3.UNKNOWN:
+                    break
+        # truncated: the verdict is final, skip the table entirely.
+        self._events += len(queue)
+        queue.clear()
+        self._state, self._verdict = state, verdict
+        return steps
+
+
+class SessionManager:
+    """The id → session directory, with monitor-grouping for dispatch."""
+
+    def __init__(self, max_pending: int = 1024):
+        self.max_pending = max_pending
+        self._sessions: dict = {}
+
+    def open(self, session_id, monitor: MonitorTable,
+             max_pending: int | None = None) -> TraceSession:
+        if session_id in self._sessions:
+            raise SessionError(f"session {session_id!r} already open")
+        session = TraceSession(
+            session_id, monitor,
+            self.max_pending if max_pending is None else max_pending,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id) -> TraceSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def close(self, session_id) -> TraceSession:
+        try:
+            return self._sessions.pop(session_id)
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[TraceSession]:
+        return iter(self._sessions.values())
+
+    def __contains__(self, session_id) -> bool:
+        return session_id in self._sessions
+
+    def verdicts(self) -> dict:
+        return {sid: s.verdict for sid, s in self._sessions.items()}
+
+    def by_monitor(self, sessions: Iterable[TraceSession] | None = None
+                   ) -> dict[int, list[TraceSession]]:
+        """Group sessions by their (shared) compiled monitor — the unit
+        of work the engine hands to one worker."""
+        groups: dict[int, list[TraceSession]] = {}
+        for session in self if sessions is None else sessions:
+            groups.setdefault(id(session.monitor), []).append(session)
+        return groups

@@ -1,0 +1,147 @@
+"""Engine observability: counters and latency histograms.
+
+Deliberately dependency-free and tiny: a thread-safe :class:`Counter`,
+a bounded-reservoir :class:`Histogram` with percentile queries, and the
+:class:`EngineStats` bundle the engine threads write into.  Future PRs
+benchmark hot paths against these numbers, so the overhead budget is a
+lock acquire and an integer add per recorded value.
+"""
+
+from __future__ import annotations
+
+import threading
+from repro.ltl.monitoring import Verdict3
+
+
+class Counter:
+    """A thread-safe monotonic counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self._value})"
+
+
+class Histogram:
+    """A bounded sliding-window reservoir with percentile queries.
+
+    Keeps the most recent ``capacity`` samples in a ring; percentiles are
+    computed on demand (nearest-rank) from a sorted copy.  Good enough
+    for p50/p99 step-latency dashboards without a dependency.
+    """
+
+    __slots__ = ("capacity", "_ring", "_cursor", "_count", "_total", "_lock")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: list[float] = [0.0] * capacity
+        self._cursor = 0
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._ring[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.capacity
+            self._count += 1
+            self._total += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained window (0 ≤ p ≤ 100)."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            n = min(self._count, self.capacity)
+            if n == 0:
+                return 0.0
+            window = sorted(self._ring[:n])
+        rank = max(0, min(n - 1, round(p / 100 * (n - 1))))
+        return window[rank]
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+class EngineStats:
+    """Everything the engine measures, in one bundle.
+
+    * ``events`` — events consumed by sessions (including post-truncation
+      events, which are counted but not stepped — matching
+      :class:`~repro.ltl.monitoring.RvMonitor` position semantics);
+    * ``steps`` — actual table transitions (``events - steps`` is the work
+      bad-prefix truncation saved);
+    * ``batches`` — ``ingest`` calls; ``drains`` — per-session drains;
+    * ``verdicts`` — sessions *reaching* each definite verdict kind;
+    * ``step_latency`` — per-event seconds, sampled once per drain
+      (drain wall-time / events drained).
+
+    Cache hit/miss counters live on the :class:`~repro.rv.compile
+    .CompileCache`; :meth:`snapshot` merges them when given the cache.
+    """
+
+    def __init__(self, latency_window: int = 4096):
+        self.events = Counter()
+        self.steps = Counter()
+        self.batches = Counter()
+        self.drains = Counter()
+        self.sessions_opened = Counter()
+        self.verdicts = {
+            Verdict3.TRUE: Counter(),
+            Verdict3.FALSE: Counter(),
+            Verdict3.UNKNOWN: Counter(),
+        }
+        self.step_latency = Histogram(latency_window)
+
+    def record_verdict(self, verdict: Verdict3) -> None:
+        self.verdicts[verdict].add()
+
+    def snapshot(self, cache=None) -> dict:
+        """A plain-dict dashboard (stable keys; used by the example and
+        the benchmark report)."""
+        out = {
+            "events": self.events.value,
+            "steps": self.steps.value,
+            "truncation_savings": self.events.value - self.steps.value,
+            "batches": self.batches.value,
+            "drains": self.drains.value,
+            "sessions_opened": self.sessions_opened.value,
+            "verdicts": {k.value: c.value for k, c in self.verdicts.items()},
+            "step_latency_p50_us": self.step_latency.p50() * 1e6,
+            "step_latency_p99_us": self.step_latency.p99() * 1e6,
+        }
+        if cache is not None:
+            info = cache.info()
+            out["cache"] = {
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+                "maxsize": info.maxsize,
+            }
+        return out
