@@ -7,6 +7,11 @@ bit-identical to feeding each trace to the one-shot
 ``repro.ltl.RvMonitor`` — the engine only changes the throughput, never
 the theory.
 
+The run is fully observed: a :class:`repro.obs.Tracer` records one
+``rv.ingest`` span per batch with ``rv.drain_group`` children (written
+to ``trace.json`` — load it in https://ui.perfetto.dev), and the shared
+metric registry's Prometheus exposition is printed at the end.
+
 Run:  python examples/streaming_monitoring.py
 """
 
@@ -14,6 +19,7 @@ import random
 import time
 
 from repro.ltl import parse
+from repro.obs import REGISTRY, Tracer, to_prometheus
 from repro.rv import RvEngine
 
 POLICIES = {
@@ -29,7 +35,8 @@ TRACE_LEN = 200
 BATCH = 8_192
 
 rng = random.Random(42)
-engine = RvEngine(workers=4)
+tracer = Tracer()
+engine = RvEngine(workers=4, tracer=tracer)
 
 specs = list(POLICIES.values())
 print(f"opening {N_SESSIONS} sessions over {len(specs)} policies ...")
@@ -59,3 +66,16 @@ print(f"step latency           p50 {snap['step_latency_p50_us']:.3f}µs   "
 assert snap["cache"]["misses"] == len(specs)
 assert snap["cache"]["hits"] == N_SESSIONS - len(specs)
 engine.shutdown()
+
+ingest_spans = [s for s in tracer.finished() if s.name == "rv.ingest"]
+tracer.export_chrome("trace.json")
+print(f"\nwrote trace.json — {len(tracer.finished())} spans "
+      f"({len(ingest_spans)} ingest batches); open in ui.perfetto.dev")
+
+exposition = to_prometheus(REGISTRY)
+print("\nPrometheus exposition (rv families):")
+for line in exposition.splitlines():
+    if line.startswith(("# HELP repro_rv", "# TYPE repro_rv")) or (
+        line.startswith("repro_rv") and "_bucket" not in line
+    ):
+        print(f"  {line}")

@@ -37,6 +37,10 @@ enforcement
 rv
     Streaming runtime verification: compiled monitor tables, concurrent
     trace sessions, batched dispatch, and engine statistics.
+obs
+    Observability: the shared metric registry (counters, gauges,
+    log-bucketed histograms), span tracing with Chrome trace export,
+    phase profiling, and Prometheus/JSON exposition.
 analysis
     One classification/decomposition API across all frameworks.
 """

@@ -21,8 +21,22 @@ from __future__ import annotations
 
 from itertools import product
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import PhaseTimer
+
 from .automaton import BuchiAutomaton
 from .emptiness import trim, universal_automaton
+
+#: Wall time per complementation phase — the dispatcher's trim/emptiness/
+#: quotient preprocessing plus one phase per construction actually run
+#: (``subset`` for safety, ``two_copy`` for deterministic, ``rank`` for
+#: the Kupferman–Vardi fallback).
+_PHASES = PhaseTimer("repro.buchi.complement")
+_CONSTRUCTIONS = REGISTRY.counter(
+    "repro_buchi_complements_total",
+    "complement constructions run, by kind",
+    ("kind",),
+)
 
 
 def complement_safety(automaton: BuchiAutomaton) -> BuchiAutomaton:
@@ -44,29 +58,31 @@ def complement_safety(automaton: BuchiAutomaton) -> BuchiAutomaton:
             "complement_safety requires a safety automaton "
             "(all states accepting); use complement() instead"
         )
-    dead = frozenset()
-    initial = frozenset({automaton.initial})
-    states: set[frozenset] = {initial, dead}
-    transitions: dict = {}
-    frontier = [initial]
-    while frontier:
-        subset = frontier.pop()
+    _CONSTRUCTIONS.labels(kind="subset").add()
+    with _PHASES.phase("subset"):
+        dead = frozenset()
+        initial = frozenset({automaton.initial})
+        states: set[frozenset] = {initial, dead}
+        transitions: dict = {}
+        frontier = [initial]
+        while frontier:
+            subset = frontier.pop()
+            for a in automaton.alphabet:
+                target = automaton.post(subset, a)
+                transitions[subset, a] = frozenset({target})
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
         for a in automaton.alphabet:
-            target = automaton.post(subset, a)
-            transitions[subset, a] = frozenset({target})
-            if target not in states:
-                states.add(target)
-                frontier.append(target)
-    for a in automaton.alphabet:
-        transitions[dead, a] = frozenset({dead})
-    return BuchiAutomaton(
-        alphabet=automaton.alphabet,
-        states=frozenset(states),
-        initial=initial,
-        transitions=transitions,
-        accepting=frozenset({dead}),
-        name=f"¬{automaton.name}",
-    )
+            transitions[dead, a] = frozenset({dead})
+        return BuchiAutomaton(
+            alphabet=automaton.alphabet,
+            states=frozenset(states),
+            initial=initial,
+            transitions=transitions,
+            accepting=frozenset({dead}),
+            name=f"¬{automaton.name}",
+        )
 
 
 def complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
@@ -78,6 +94,12 @@ def complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
     """
     if not automaton.is_deterministic():
         raise ValueError("complement_deterministic requires a deterministic automaton")
+    _CONSTRUCTIONS.labels(kind="two_copy").add()
+    with _PHASES.phase("two_copy"):
+        return _complement_deterministic(automaton)
+
+
+def _complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
     m = automaton.completed()
     transitions: dict = {}
     states: set = set()
@@ -111,15 +133,19 @@ def complement(automaton: BuchiAutomaton) -> BuchiAutomaton:
     from .emptiness import is_empty
     from .simulation import quotient_by_simulation
 
-    trimmed = trim(automaton)
-    if is_empty(trimmed):
+    with _PHASES.phase("trim"):
+        trimmed = trim(automaton)
+    with _PHASES.phase("emptiness"):
+        empty = is_empty(trimmed)
+    if empty:
         return universal_automaton(automaton.alphabet, name=f"¬{automaton.name}")
     if trimmed.accepting == trimmed.states:
         return complement_safety(trimmed)
     if automaton.is_deterministic():
         return complement_deterministic(automaton)
     # shrink as much as possible before the exponential construction
-    small = quotient_by_simulation(trimmed)
+    with _PHASES.phase("quotient"):
+        small = quotient_by_simulation(trimmed)
     if small.is_deterministic():
         return complement_deterministic(small)
     return complement_rank_based(small)
@@ -134,6 +160,12 @@ def complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
     an odd rank.  A word is in the complement iff it admits an infinite
     ranked run whose O-set empties infinitely often.
     """
+    _CONSTRUCTIONS.labels(kind="rank").add()
+    with _PHASES.phase("rank"):
+        return _complement_rank_based(automaton)
+
+
+def _complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
     m = automaton
     n = len(m.states)
     max_rank = 2 * max(1, n - len(m.accepting))

@@ -16,12 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import PhaseTimer, timed
 from repro.omega.word import LassoWord
 
 from .automaton import BuchiAutomaton
 from .closure import closure, is_liveness, is_safety
 from .complement import complement_safety
 from .operations import intersection, union
+
+#: Wall time attributed to the three proof-term phases of Theorem 2's
+#: Büchi instance (plus verification, which is optional and expensive).
+_PHASES = PhaseTimer("repro.buchi.decompose")
+_DECOMPOSITIONS = REGISTRY.counter(
+    "repro_buchi_decompositions_total", "Alpern–Schneider decompositions built"
+)
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,7 @@ class BuchiDecomposition:
             self.safety.accepts(word) and self.liveness.accepts(word)
         )
 
+    @timed("repro.buchi.decompose_verify")
     def verify_exact(self) -> bool:
         """Prove the identity ``L(B) = L(B_S) ∩ L(B_L)`` exactly.
 
@@ -98,8 +108,12 @@ class BuchiDecomposition:
 def decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
     """Decompose ``B`` into ``B_S`` (safety) and ``B_L`` (liveness) with
     ``L(B) = L(B_S) ∩ L(B_L)``."""
-    safety = closure(automaton)
-    liveness = union(automaton, complement_safety(safety))
+    with _PHASES.phase("closure"):
+        safety = closure(automaton)
+    with _PHASES.phase("complement"):
+        negated_closure = complement_safety(safety)
+    with _PHASES.phase("union"):
+        liveness = union(automaton, negated_closure)
     liveness = BuchiAutomaton(
         alphabet=liveness.alphabet,
         states=liveness.states,
@@ -116,4 +130,5 @@ def decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
         accepting=safety.accepting,
         name=f"{automaton.name}_S",
     )
+    _DECOMPOSITIONS.add()
     return BuchiDecomposition(original=automaton, safety=safety, liveness=liveness)

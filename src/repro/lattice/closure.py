@@ -16,10 +16,28 @@ ablation benchmarks can compare the two regimes.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable, Mapping
+
+from repro.obs.metrics import REGISTRY
 
 from .lattice import FiniteLattice, LatticeError
 from .poset import Element
+
+#: Observability for closure construction: how many meet-closure
+#: fixpoint rounds :meth:`LatticeClosure.from_closed_elements` runs
+#: (each round rescans the closed set), and how many closures are built.
+_FIXPOINT_ITERATIONS = REGISTRY.counter(
+    "repro_lattice_closure_fixpoint_iterations_total",
+    "meet-closure fixpoint rounds in from_closed_elements",
+)
+_CLOSURES_BUILT = REGISTRY.counter(
+    "repro_lattice_closures_built_total", "LatticeClosure instances validated"
+)
+_CLOSURE_BUILD_SECONDS = REGISTRY.histogram(
+    "repro_lattice_closure_build_seconds",
+    "construction + axiom-validation wall time per LatticeClosure",
+)
 
 
 class ClosureError(ValueError):
@@ -48,6 +66,7 @@ class LatticeClosure:
         mapping: Mapping[Element, Element] | Callable[[Element], Element],
         name: str = "cl",
     ):
+        started = time.perf_counter()
         self._lattice = lattice
         if callable(mapping):
             table = {x: mapping(x) for x in lattice.elements}
@@ -62,6 +81,8 @@ class LatticeClosure:
         self._table = table
         self.name = name
         self._validate()
+        _CLOSURES_BUILT.add()
+        _CLOSURE_BUILD_SECONDS.record(time.perf_counter() - started)
 
     def _validate(self) -> None:
         lat = self._lattice
@@ -114,14 +135,17 @@ class LatticeClosure:
                 raise ClosureError(f"{c!r} not in lattice")
         # Close under finite meets so least-closed-above is well defined.
         changed = True
+        iterations = 0
         while changed:
             changed = False
+            iterations += 1
             for a in list(closed_set):
                 for b in list(closed_set):
                     m = lattice.meet(a, b)
                     if m not in closed_set:
                         closed_set.add(m)
                         changed = True
+        _FIXPOINT_ITERATIONS.add(iterations)
         table = {}
         for x in lattice.elements:
             above = [c for c in closed_set if lattice.leq(x, c)]

@@ -19,10 +19,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import timed
+
 from .closure import LatticeClosure
 from .lattice import FiniteLattice, LatticeError
 from .poset import Element
 from .properties import is_complemented, is_distributive, is_modular
+
+#: Decomposition observability: how often the Theorem 2/3 construction
+#: runs, how often its hypotheses fail, and how large the exhaustive
+#: searches (`all_decompositions`, Theorem 5's witness hunt) get — the
+#: closure *construction* fixpoint counts live in :mod:`.closure`.
+_DECOMPOSITIONS = REGISTRY.counter(
+    "repro_lattice_decompositions_total", "Theorem 2/3 decompositions built"
+)
+_HYPOTHESIS_FAILURES = REGISTRY.counter(
+    "repro_lattice_decomposition_failures_total",
+    "DecompositionError raises, by cause",
+    ("cause",),
+)
+_SEARCH_CANDIDATES = REGISTRY.counter(
+    "repro_lattice_decomposition_search_candidates_total",
+    "(safety, liveness) candidate pairs scanned by the exhaustive searches",
+)
 
 
 class DecompositionError(LatticeError):
@@ -66,6 +86,7 @@ def liveness_part(
     return live
 
 
+@timed("repro.lattice.decompose")
 def decompose(
     lattice: FiniteLattice,
     cl1: LatticeClosure,
@@ -95,16 +116,20 @@ def decompose(
     """
     if check_hypotheses:
         if not cl2.dominates(cl1):
+            _HYPOTHESIS_FAILURES.labels(cause="comparability").add()
             raise DecompositionError("hypothesis cl1 <= cl2 (pointwise) fails")
         if not is_modular(lattice):
+            _HYPOTHESIS_FAILURES.labels(cause="modularity").add()
             raise DecompositionError("lattice is not modular")
         if not is_complemented(lattice):
+            _HYPOTHESIS_FAILURES.labels(cause="complementedness").add()
             raise DecompositionError("lattice is not complemented")
     closed2 = cl2(a)
     if complement is None:
         b = lattice.some_complement(closed2)
     else:
         if not lattice.is_complement(closed2, complement):
+            _HYPOTHESIS_FAILURES.labels(cause="bad_complement").add()
             raise DecompositionError(
                 f"{complement!r} is not a complement of cl2({a!r}) = {closed2!r}"
             )
@@ -114,10 +139,12 @@ def decompose(
     result = Decomposition(element=a, safety=safety, liveness=liveness, complement_used=b)
     if lattice.meet(safety, liveness) != a:
         # Only reachable when hypotheses were skipped but do not hold.
+        _HYPOTHESIS_FAILURES.labels(cause="identity").add()
         raise DecompositionError(
             f"decomposition identity fails at {a!r}: "
             f"{safety!r} ∧ {liveness!r} = {lattice.meet(safety, liveness)!r}"
         )
+    _DECOMPOSITIONS.add()
     return result
 
 
@@ -147,6 +174,7 @@ def all_decompositions(
     Used to *prove* negative results on small lattices: Lemma 6 says this
     list is empty for the Figure 1 instance.
     """
+    _SEARCH_CANDIDATES.add(len(lattice.elements) ** 2)
     return [
         (s, live)
         for s in lattice.elements
@@ -176,6 +204,7 @@ def no_decomposition_witness(
     a *cl2-safety* and *cl1-liveness* element (safety taken with the larger
     closure, liveness with the smaller: the "fourth" combination).
     """
+    _SEARCH_CANDIDATES.add(len(lattice.elements) ** 2)
     for s in lattice.elements:
         if cl2(s) != s:
             continue

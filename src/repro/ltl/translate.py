@@ -28,6 +28,8 @@ from collections.abc import Iterable
 from repro.buchi.automaton import BuchiAutomaton
 from repro.buchi.emptiness import trim
 from repro.buchi.simulation import quotient_by_simulation
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import PhaseTimer
 
 from .syntax import (
     And,
@@ -43,6 +45,18 @@ from .syntax import (
 )
 
 
+#: Per-phase wall time of the translate pipeline (tableau construction,
+#: degeneralization, trimming, simulation quotient).
+_PHASES = PhaseTimer("repro.ltl.translate")
+_TRANSLATIONS = REGISTRY.counter(
+    "repro_ltl_translations_total", "translate() calls"
+)
+_TABLEAU_STATES = REGISTRY.counter(
+    "repro_ltl_tableau_states_total",
+    "saturated tableau states constructed (pre-degeneralization)",
+)
+
+
 def translate(formula: Formula, alphabet: Iterable, simplify: bool = True) -> BuchiAutomaton:
     """A Büchi automaton with ``L(A) = models(formula)`` over ``alphabet``."""
     alphabet = frozenset(alphabet)
@@ -50,50 +64,56 @@ def translate(formula: Formula, alphabet: Iterable, simplify: bool = True) -> Bu
         raise ValueError("alphabet must be non-empty")
     positive = nnf_over_alphabet(formula, alphabet)
 
-    initial_candidates = _saturate(frozenset({positive}))
-    states: set[frozenset] = set(initial_candidates)
-    transitions: dict = {}
-    untils_seen: set = set()
-    frontier = list(initial_candidates)
-    successors_cache: dict[frozenset, tuple] = {}
+    with _PHASES.phase("tableau"):
+        initial_candidates = _saturate(frozenset({positive}))
+        states: set[frozenset] = set(initial_candidates)
+        transitions: dict = {}
+        untils_seen: set = set()
+        frontier = list(initial_candidates)
+        successors_cache: dict[frozenset, tuple] = {}
 
-    while frontier:
-        s = frontier.pop()
-        untils_seen |= {f for f in s if isinstance(f, Until)}
-        if s in successors_cache:
-            continue
-        need = _required_next(s)
-        succ = _saturate(need)
-        successors_cache[s] = tuple(succ)
-        for t in succ:
-            if t not in states:
-                states.add(t)
-                frontier.append(t)
+        while frontier:
+            s = frontier.pop()
+            untils_seen |= {f for f in s if isinstance(f, Until)}
+            if s in successors_cache:
+                continue
+            need = _required_next(s)
+            succ = _saturate(need)
+            successors_cache[s] = tuple(succ)
+            for t in succ:
+                if t not in states:
+                    states.add(t)
+                    frontier.append(t)
 
-    for s in states:
-        succ = frozenset(successors_cache[s])
-        if not succ:
-            continue
-        for a in alphabet:
-            if _letter_ok(s, a):
-                transitions[s, a] = succ
+        for s in states:
+            succ = frozenset(successors_cache[s])
+            if not succ:
+                continue
+            for a in alphabet:
+                if _letter_ok(s, a):
+                    transitions[s, a] = succ
 
-    untils = sorted(untils_seen, key=str)
-    acceptance_sets = [
-        frozenset(s for s in states if u not in s or u.right in s)
-        for u in untils
-    ]
-    nba = _degeneralize(
-        alphabet=alphabet,
-        states=sorted(states, key=sorted_key),
-        initial_candidates=sorted(initial_candidates, key=sorted_key),
-        transitions=transitions,
-        acceptance_sets=acceptance_sets,
-        name=str(formula),
-    )
-    result = trim(nba)
+        untils = sorted(untils_seen, key=str)
+        acceptance_sets = [
+            frozenset(s for s in states if u not in s or u.right in s)
+            for u in untils
+        ]
+    with _PHASES.phase("degeneralize"):
+        nba = _degeneralize(
+            alphabet=alphabet,
+            states=sorted(states, key=sorted_key),
+            initial_candidates=sorted(initial_candidates, key=sorted_key),
+            transitions=transitions,
+            acceptance_sets=acceptance_sets,
+            name=str(formula),
+        )
+    with _PHASES.phase("trim"):
+        result = trim(nba)
     if simplify:
-        result = quotient_by_simulation(result)
+        with _PHASES.phase("quotient"):
+            result = quotient_by_simulation(result)
+    _TRANSLATIONS.add()
+    _TABLEAU_STATES.add(len(states))
     return result.renumbered(name=str(formula))
 
 

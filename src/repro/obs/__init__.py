@@ -1,0 +1,67 @@
+"""repro.obs — unified observability: metrics, spans, phase profiling.
+
+Dependency-free and shared by every package in the repo.  Four modules:
+
+* :mod:`repro.obs.metrics` — the labeled-metric registry (monotonic
+  counters, gauges, log-bucketed histograms with p50/p95/p99), all
+  thread-safe, all reporting through one process-wide :data:`REGISTRY`;
+* :mod:`repro.obs.trace` — span tracing (``with tracer.span(...):``)
+  with thread-local parent propagation, explicit cross-thread parents
+  for the RV worker pool, and Chrome trace-event export;
+* :mod:`repro.obs.profile` — the :func:`timed` decorator and
+  :class:`PhaseTimer` for attributing wall time to algorithm phases;
+* :mod:`repro.obs.export` — Prometheus text / stable JSON / JSONL
+  exposition plus :func:`dump_bench_json`, the benchmark suite's
+  persistence hook.
+
+Conventions (DESIGN.md, "Observability"): metric names follow
+``repro_<pkg>_<name>_<unit>``; metrics may sit on per-batch hot paths
+(budget: one lock acquire + one add per event), spans never sit on
+per-event paths (the engine's tracer defaults to :data:`NULL_TRACER`).
+"""
+
+from .export import (
+    dump_bench_json,
+    parse_prometheus_text,
+    registry_to_dict,
+    stable_json,
+    to_prometheus,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_GROWTH,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricRegistry,
+    REGISTRY,
+)
+from .profile import PhaseTimer, metric_name, timed
+from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "REGISTRY",
+    "MetricRegistry",
+    "MetricFamily",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_GROWTH",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "PhaseTimer",
+    "timed",
+    "metric_name",
+    "to_prometheus",
+    "parse_prometheus_text",
+    "registry_to_dict",
+    "stable_json",
+    "write_jsonl",
+    "dump_bench_json",
+]

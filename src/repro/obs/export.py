@@ -1,0 +1,156 @@
+"""Exposition and persistence: Prometheus text, stable JSON, JSONL.
+
+* :func:`to_prometheus` — the registry in Prometheus text exposition
+  format (HELP/TYPE headers, labeled samples, cumulative ``le`` buckets
+  for histograms), round-trippable through :func:`parse_prometheus_text`
+  (CI uses the round trip as a validity gate).
+* :func:`registry_to_dict` / :func:`stable_json` — deterministic JSON
+  (sorted keys) so diffs of persisted snapshots are meaningful.
+* :func:`write_jsonl` — one JSON record per line.
+* :func:`dump_bench_json` — the benchmark suite's persistence hook:
+  writes the per-benchmark records for one area into ``BENCH_<area>.json``
+  (the repo's perf trajectory across PRs).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .metrics import MetricRegistry, REGISTRY
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(?:\{(.*)\})?"                     # optional label block
+    r" (-?(?:[0-9.eE+-]+|[Ii]nf|NaN))$"  # value
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in merged.items())
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricRegistry | None = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry or REGISTRY
+    lines: list[str] = []
+    for family in registry.collect():
+        name, kind = family["name"], family["kind"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_block(labels)} "
+                             f"{_format_value(sample['value'])}")
+            else:  # histogram
+                for upper, cumulative in sample["buckets"]:
+                    lines.append(
+                        f"{name}_bucket{_label_block(labels, {'le': _format_value(upper)})} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_label_block(labels, {'le': '+Inf'})} "
+                    f"{sample['count']}"
+                )
+                lines.append(f"{name}_sum{_label_block(labels)} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{_label_block(labels)} "
+                             f"{sample['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    ``labels`` is a frozenset of ``(label, value)`` pairs.  Raises
+    :class:`ValueError` on any malformed line — this is the CI gate that
+    the exposition endpoint emits valid Prometheus text.
+    """
+    samples: dict = {}
+    typed: set[str] = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            if parts[1] == "TYPE":
+                if parts[2] in typed:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: bad metric type in {raw!r}")
+                typed.add(parts[2])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name, label_block, value = match.groups()
+        labels = {}
+        if label_block:
+            consumed = _LABEL_PAIR_RE.findall(label_block)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != label_block:
+                raise ValueError(f"line {lineno}: malformed labels {label_block!r}")
+            labels = dict(consumed)
+        key = (name, frozenset(labels.items()))
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = float(value.replace("Inf", "inf"))
+    return samples
+
+
+def registry_to_dict(registry: MetricRegistry | None = None) -> dict:
+    """Deterministic plain-dict snapshot of the registry."""
+    return (registry or REGISTRY).to_dict()
+
+
+def stable_json(obj) -> str:
+    """JSON with sorted keys and fixed separators — diffable output."""
+    return json.dumps(obj, sort_keys=True, indent=2) + "\n"
+
+
+def write_jsonl(path, records) -> None:
+    """One JSON object per line."""
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def dump_bench_json(path, records, *, meta: dict | None = None):
+    """Persist one benchmark area's measurements as stable JSON.
+
+    ``records`` is a list of plain dicts (one per benchmark); ``meta``
+    (pytest version, commit, …) rides along under ``"meta"`` when given.
+    Returns the path written, for logging.
+    """
+    payload: dict = {"benchmarks": sorted(records, key=lambda r: r.get("fullname", ""))}
+    if meta:
+        payload["meta"] = meta
+    with open(path, "w") as handle:
+        handle.write(stable_json(payload))
+    return path

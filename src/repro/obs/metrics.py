@@ -1,0 +1,428 @@
+"""A labeled-metric registry: counters, gauges, log-bucketed histograms.
+
+One registry serves the whole codebase (the module-level :data:`REGISTRY`)
+so that the RV engine, the compile cache and the decomposition pipelines
+all report through the same exposition surface.  Three metric kinds:
+
+* :class:`Counter` — monotonic; ``add`` rejects negative increments.
+* :class:`Gauge` — a settable level (queue depths, resident table count).
+* :class:`Histogram` — HDR-style *log-bucketed*: a value lands in the
+  bucket ``[g**i, g**(i+1))`` for growth factor ``g`` (default 20 buckets
+  per decade, ~12% relative width), so percentile queries are exact up to
+  one bucket width with O(buckets) memory and O(1) recording — no
+  reservoir, no sampling loss, no unbounded retention.
+
+Metric families are *named* and optionally *labeled*: registering the
+same name twice returns the same family (get-or-create), and
+``family.labels(engine="3")`` returns the per-label-set child, so every
+``RvEngine`` instance gets its own series under one family name.
+
+Thread safety: every read and write acquires the metric's lock — the PR 1
+``rv.stats`` bundle read ``Counter.value`` unlocked and relied on CPython
+atomicity; the registry versions do not.
+
+Naming convention (see DESIGN.md): ``repro_<pkg>_<name>_<unit>``, e.g.
+``repro_rv_events_total``, ``repro_buchi_decompose_seconds``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Bound at module level: Histogram.record sits on the RV engine's
+# per-drain hot path, and global loads beat attribute loads there.
+_floor = math.floor
+_log = math.log
+_INF = math.inf
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label set, or recorded value."""
+
+
+class Counter:
+    """A thread-safe monotonic counter (reads are locked too)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise MetricError(f"counters are monotonic; cannot add {n!r}")
+        with self._lock:
+            self._value += n
+
+    def inc(self) -> None:
+        self.add(1)
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def collect(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A thread-safe level that can move both ways."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def sub(self, n: float = 1) -> None:
+        self.add(-n)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def collect(self) -> dict:
+        return {"value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+#: 20 buckets per decade — ~12.2% relative bucket width.
+DEFAULT_GROWTH = 10 ** 0.05
+
+
+class Histogram:
+    """A log-bucketed histogram with percentile queries.
+
+    A positive value ``v`` lands in bucket ``i = floor(log_g v)``, i.e.
+    ``g**i <= v < g**(i+1)``; zero has its own bucket.  ``percentile(p)``
+    walks the cumulative bucket counts to the nearest-rank position and
+    returns the geometric midpoint of that bucket clamped to the observed
+    ``[min, max]`` — guaranteed within one bucket width of the exact
+    nearest-rank percentile (the property test pins this).
+    """
+
+    __slots__ = ("growth", "_inv_log_growth", "_powers", "_bounds", "_buckets",
+                 "_zero", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, *, growth: float = DEFAULT_GROWTH):
+        if not growth > 1.0:
+            raise MetricError("growth factor must exceed 1")
+        self.growth = growth
+        self._inv_log_growth = 1.0 / math.log(growth)
+        self._powers: dict[int, float] = {}
+        # (lo, hi) per bucket, filled lazily — same benign race as _powers.
+        self._bounds: dict[int, tuple[float, float]] = {}
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        if not value >= 0:  # also rejects NaN
+            raise MetricError(f"histogram values must be finite and >= 0, got {value!r}")
+        if value:
+            # Fast path: trust floor(log v / log g) and verify against the
+            # memoized bucket bounds; fall back to _index (which corrects
+            # float rounding and fills the memo) only when the bounds are
+            # missing or the value sits on a boundary the log misrounded.
+            bounds = self._bounds
+            i = _floor(_log(value) * self._inv_log_growth)
+            pair = bounds.get(i)
+            if pair is None or pair[0] > value or pair[1] <= value:
+                i = self._index(value)
+                bounds[i] = (self._power(i), self._power(i + 1))
+            with self._lock:
+                self._count += 1
+                self._sum += value
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+                buckets = self._buckets
+                buckets[i] = buckets.get(i, 0) + 1
+        else:
+            with self._lock:
+                self._count += 1
+                self._zero += 1
+                if self._min > 0.0:
+                    self._min = 0.0
+                if self._max < 0.0:
+                    self._max = 0.0
+
+    def _power(self, i: int) -> float:
+        # Memoized g**i: bucket-boundary lookups dominate record() cost.
+        # Written outside the lock — a benign race: concurrent writers
+        # store the identical value, and CPython dict ops are GIL-atomic.
+        power = self._powers.get(i)
+        if power is None:
+            power = self._powers[i] = self.growth ** i
+        return power
+
+    def _index(self, value: float) -> int:
+        i = math.floor(math.log(value) * self._inv_log_growth)
+        # guard the float rounding at bucket boundaries
+        while self._power(i) > value:
+            i -= 1
+        while self._power(i + 1) <= value:
+            i += 1
+        return i
+
+    def bucket_bounds(self, value: float) -> tuple[float, float]:
+        """The ``[lo, hi)`` bucket a value falls in (``(0, 0)`` for zero)."""
+        if value == 0:
+            return (0.0, 0.0)
+        i = self._index(value)
+        return (self.growth ** i, self.growth ** (i + 1))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, exact to one bucket width."""
+        if not 0 <= p <= 100:
+            raise MetricError("percentile must be in [0, 100]")
+        with self._lock:
+            n = self._count
+            if n == 0:
+                return 0.0
+            zero = self._zero
+            items = sorted(self._buckets.items())
+            lo_seen, hi_seen = self._min, self._max
+        rank = max(1, math.ceil(p / 100 * n))
+        cumulative = zero
+        if cumulative >= rank:
+            return 0.0
+        g = self.growth
+        for i, bucket_count in items:
+            cumulative += bucket_count
+            if cumulative >= rank:
+                midpoint = math.sqrt((g ** i) * (g ** (i + 1)))
+                return min(max(midpoint, lo_seen), hi_seen)
+        return hi_seen
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for exposition
+        (Prometheus ``le`` semantics; the final implicit bound is +Inf)."""
+        with self._lock:
+            items = sorted(self._buckets.items())
+            zero = self._zero
+        out: list[tuple[float, int]] = []
+        cumulative = zero
+        if zero:
+            out.append((0.0, zero))
+        g = self.growth
+        for i, bucket_count in items:
+            cumulative += bucket_count
+            out.append((g ** (i + 1), cumulative))
+        return out
+
+    def collect(self) -> dict:
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum": total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50(),
+            "p95": self.p95(),
+            "p99": self.p99(),
+            "buckets": self.cumulative_buckets(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, p50={self.p50():.3g})"
+
+
+def share_lock(*metrics) -> threading.Lock:
+    """Guard several metrics with one shared lock and return it.
+
+    For hot paths that always update a fixed group of metrics together
+    (the RV drain loop bumps three counters per drain), taking one lock
+    per metric dominates the cost.  Coarsening to a single lock is
+    strictly safe — every operation still runs under *a* lock, the group
+    is merely serialized — and lets the owner batch the updates under a
+    single acquire by writing the ``_value`` fields directly inside
+    ``with lock:`` (the lock returned here *is* each metric's ``_lock``,
+    so ordinary ``add``/``value`` calls from other threads still
+    synchronize with the batch).  Do not nest such a batch inside
+    another metric call on the same group: the lock is not reentrant.
+    """
+    lock = threading.Lock()
+    for metric in metrics:
+        metric._lock = lock
+    return lock
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric with zero or more labeled children.
+
+    With an empty ``labelnames`` the family has exactly one child (label
+    set ``()``); :meth:`MetricRegistry.counter` and friends return that
+    child directly so unlabeled metrics read like plain objects.
+    """
+
+    __slots__ = ("name", "help", "labelnames", "kind", "_make", "_children", "_lock")
+
+    def __init__(self, name: str, help: str, labelnames: tuple, kind: str, make):
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.kind = kind
+        self._make = make
+        self._children: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels):
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make()
+        return child
+
+    def children(self) -> dict[tuple, object]:
+        with self._lock:
+            return dict(self._children)
+
+    def collect(self) -> dict:
+        """A plain-dict snapshot: one sample per labeled child."""
+        samples = []
+        for key in sorted(self.children()):
+            child = self._children[key]
+            sample = {"labels": dict(zip(self.labelnames, key))}
+            sample.update(child.collect())
+            samples.append(sample)
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": samples,
+        }
+
+
+class MetricRegistry:
+    """Named families, get-or-create, one process-wide default below."""
+
+    def __init__(self):
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, help: str, labelnames, kind: str, make) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}, not {kind}{labelnames}"
+                    )
+                return family
+            family = MetricFamily(name, help, labelnames, kind, make)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames=()):
+        family = self._register(name, help, labelnames, "counter", Counter)
+        return family if labelnames else family.labels()
+
+    def gauge(self, name: str, help: str = "", labelnames=()):
+        family = self._register(name, help, labelnames, "gauge", Gauge)
+        return family if labelnames else family.labels()
+
+    def histogram(self, name: str, help: str = "", labelnames=(),
+                  *, growth: float = DEFAULT_GROWTH):
+        family = self._register(
+            name, help, labelnames, "histogram", lambda: Histogram(growth=growth)
+        )
+        return family if labelnames else family.labels()
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def collect(self) -> list[dict]:
+        """Every family's snapshot, in registration order."""
+        return [family.collect() for family in self.families()]
+
+    def to_dict(self) -> dict:
+        """Stable-JSON-friendly view: ``{name: family snapshot}``."""
+        return {family["name"]: family for family in self.collect()}
+
+    def to_prometheus(self) -> str:
+        from .export import to_prometheus
+
+        return to_prometheus(self)
+
+
+#: The process-wide default registry every instrumented module reports to.
+REGISTRY = MetricRegistry()

@@ -1,0 +1,140 @@
+"""Phase profiling: attribute wall-time to named algorithm phases.
+
+Two entry points:
+
+* :func:`timed` — a decorator charging a whole function to one
+  histogram::
+
+      @timed("repro.buchi.decompose")
+      def decompose(automaton): ...
+
+  records each call's wall time into ``repro_buchi_decompose_seconds``
+  in the shared registry (dots become underscores, ``_seconds`` is
+  appended per the naming convention).
+
+* :class:`PhaseTimer` — for algorithms with internal structure::
+
+      _PHASES = PhaseTimer("repro.ltl.translate")
+
+      with _PHASES.phase("tableau"): ...
+      with _PHASES.phase("degeneralize"): ...
+
+  Each phase lands in the ``phase`` label of one histogram family
+  (``repro_ltl_translate_seconds{phase="tableau"}``), and
+  :meth:`PhaseTimer.report` gives cumulative per-phase totals.  A tracer
+  may be attached so phases double as spans.
+
+Overhead per phase/call: two ``perf_counter`` reads and one locked
+histogram record — fine for phases that do real work (milliseconds), by
+design never placed on per-event paths.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+
+from .metrics import REGISTRY, MetricRegistry
+from .trace import NULL_TRACER
+
+
+def metric_name(dotted: str, unit: str = "seconds") -> str:
+    """``repro.buchi.decompose`` → ``repro_buchi_decompose_seconds``."""
+    return dotted.replace(".", "_").replace("-", "_") + "_" + unit
+
+
+def timed(name: str, *, registry: MetricRegistry | None = None):
+    """Decorate a callable so every call records its wall time."""
+    histogram = (registry or REGISTRY).histogram(
+        metric_name(name), f"wall time of {name} calls"
+    )
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                histogram.record(time.perf_counter() - started)
+
+        wrapper.__timed_metric__ = histogram
+        return wrapper
+
+    return decorate
+
+
+class _Phase:
+    """The context manager one ``timer.phase(...)`` call returns."""
+
+    __slots__ = ("timer", "phase_name", "_span", "_started")
+
+    def __init__(self, timer: "PhaseTimer", phase_name: str):
+        self.timer = timer
+        self.phase_name = phase_name
+
+    def __enter__(self) -> "_Phase":
+        self._span = self.timer.tracer.span(
+            f"{self.timer.name}.{self.phase_name}"
+        ).__enter__()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._started
+        self._span.__exit__(*exc)
+        self.timer._record(self.phase_name, elapsed)
+        return False
+
+
+class PhaseTimer:
+    """Per-phase wall-time attribution for one named algorithm.
+
+    Histograms live in the shared registry under
+    ``<name>_seconds{phase=...}``; local totals survive for
+    :meth:`report` (handy in benchmarks, no registry scan needed).
+    """
+
+    def __init__(self, name: str, *, registry: MetricRegistry | None = None,
+                 tracer=None):
+        self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._family = (registry or REGISTRY).histogram(
+            metric_name(name), f"per-phase wall time of {name}", ("phase",)
+        )
+        self._children: dict[str, object] = {}
+        self._totals: dict[str, list] = {}
+        self._lock = threading.Lock()
+
+    def phase(self, phase_name: str) -> _Phase:
+        return _Phase(self, phase_name)
+
+    def _record(self, phase_name: str, elapsed: float) -> None:
+        child = self._children.get(phase_name)
+        if child is None:
+            child = self._children[phase_name] = self._family.labels(phase=phase_name)
+        child.record(elapsed)
+        with self._lock:
+            entry = self._totals.get(phase_name)
+            if entry is None:
+                self._totals[phase_name] = [elapsed, 1]
+            else:
+                entry[0] += elapsed
+                entry[1] += 1
+
+    def report(self) -> dict[str, dict]:
+        """``{phase: {"seconds": total, "calls": n}}`` since creation/reset."""
+        with self._lock:
+            return {
+                phase: {"seconds": total, "calls": calls}
+                for phase, (total, calls) in sorted(self._totals.items())
+            }
+
+    def reset(self) -> None:
+        """Zero the *local* totals (registry histograms are monotonic)."""
+        with self._lock:
+            self._totals.clear()
+
+    def __repr__(self) -> str:
+        return f"PhaseTimer({self.name!r}, phases={sorted(self._totals)})"

@@ -1,0 +1,274 @@
+"""Span tracing with Chrome trace-event export.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    tracer = Tracer()
+    with tracer.span("rv.ingest", events=128) as ingest:
+        with tracer.span("rv.drain_group"):       # child via thread-local
+            ...
+
+Parenthood propagates through a thread-local stack, so nested ``with``
+blocks on one thread form a tree without any plumbing.  Across threads —
+the :class:`~repro.rv.engine.RvEngine` worker pool dispatches group
+drains onto pool threads — the parent is passed explicitly::
+
+    with tracer.span("rv.drain_group", parent=ingest):
+        ...
+
+Finished spans land in a bounded ring (``max_spans``), so a long-running
+engine never accumulates unbounded trace state; export either as JSONL
+(one span per line) or as Chrome trace-event JSON that loads directly in
+``about://tracing`` / ``ui.perfetto.dev``.
+
+Tracing is **off the per-event hot path by design** (DESIGN.md records
+the budget): instrumented code spans batches and phases, never single
+events, and the engine defaults to :data:`NULL_TRACER` — a no-op whose
+``span()`` costs one attribute check — so un-traced deployments pay
+nothing.  Root spans can additionally be sampled (``sample_every=n``
+keeps every n-th root span and drops the children of dropped roots).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+
+
+class _NullSpan:
+    """The shared do-nothing span: usable as a context manager, never
+    recorded, and its children are dropped too (``recording`` is False)."""
+
+    __slots__ = ()
+    recording = False
+    span_id = 0
+    parent_id = None
+    name = ""
+    start = end = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    def duration(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _DroppedRoot(_NullSpan):
+    """What a sampled-out root leaves on the thread-local stack: a
+    non-recording placeholder, so every descendant opened while it is
+    live is dropped too (subtree-consistent sampling).  The shared
+    :data:`NULL_SPAN` cannot play this role — it never touches the
+    stack, and a child opened under it would look like a fresh root."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> "_DroppedRoot":
+        self._tracer._stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        return False
+
+
+class NullTracer:
+    """The disabled tracer: every span is :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, *, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def finished(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One timed region: name, attributes, parent link, perf-counter
+    bounds.  Created by :meth:`Tracer.span`; finished on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "start", "end", "thread_id")
+    recording = True
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict, parent_id):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(tracer._ids)
+        self.parent_id = parent_id
+        self.start = 0.0
+        self.end = 0.0
+        self.thread_id = 0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after entry (e.g. counts known only later)."""
+        self.attrs.update(attrs)
+        return self
+
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        if self.parent_id is None and stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self.thread_id = threading.get_ident()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end = time.perf_counter()
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.tracer._finished.append(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, dur={self.duration() * 1e6:.1f}us)")
+
+
+class Tracer:
+    """Hands out spans, keeps the last ``max_spans`` finished ones."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 65536, sample_every: int = 1):
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        if sample_every < 1:
+            raise ValueError("sample_every must be positive")
+        from collections import deque
+
+        self.max_spans = max_spans
+        self.sample_every = sample_every
+        self._finished: "deque[Span]" = deque(maxlen=max_spans)
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._roots = itertools.count()
+        self._epoch = time.perf_counter()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, *, parent=None, **attrs):
+        """Open a span.  ``parent`` may be a :class:`Span` from another
+        thread (worker-pool propagation); omitted, the innermost span on
+        *this* thread is the parent.  Children of a dropped (null) parent
+        are dropped, which keeps sampling decisions subtree-consistent.
+        """
+        if parent is None:
+            parent_id = None
+            stack = self._stack()
+            if stack:
+                if not stack[-1].recording:
+                    return NULL_SPAN  # descendant of a sampled-out root
+            elif self.sample_every > 1 and next(self._roots) % self.sample_every:
+                return _DroppedRoot(self)
+        elif not parent.recording:
+            return NULL_SPAN
+        else:
+            parent_id = parent.span_id
+        return Span(self, name, attrs, parent_id)
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> list[Span]:
+        """Finished spans, oldest first (bounded by ``max_spans``)."""
+        return list(self._finished)
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_events(self) -> list[dict]:
+        """Chrome trace-event "complete" (``ph: X``) events, one per span;
+        timestamps are µs since this tracer's epoch."""
+        pid = os.getpid()
+        epoch = self._epoch
+        events = []
+        for span in self.finished():
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": span.duration() * 1e6,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attrs,
+                },
+            })
+        return events
+
+    def chrome_trace(self) -> dict:
+        return {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path) -> None:
+        """Write Chrome trace JSON (open via ``about://tracing`` or
+        https://ui.perfetto.dev)."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def export_jsonl(self, path) -> None:
+        """One JSON span record per line (greppable, streamable)."""
+        with open(path, "w") as handle:
+            for span in self.finished():
+                handle.write(json.dumps({
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "start": span.start - self._epoch,
+                    "duration": span.duration(),
+                    "thread_id": span.thread_id,
+                    "attrs": span.attrs,
+                }, sort_keys=True) + "\n")
+
+    def span_tree(self) -> dict[int | None, list[Span]]:
+        """Finished spans grouped by ``parent_id`` (test/debug helper)."""
+        tree: dict[int | None, list[Span]] = {}
+        for span in self.finished():
+            tree.setdefault(span.parent_id, []).append(span)
+        return tree

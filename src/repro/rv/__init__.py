@@ -12,8 +12,11 @@ the traffic.  Layering (each layer only knows the one below):
   :class:`SessionManager`);
 * :mod:`repro.rv.engine` — batched ingest, monitor-grouped dispatch,
   worker pool (:class:`RvEngine`);
-* :mod:`repro.rv.stats` — counters and latency histograms
-  (:class:`EngineStats`).
+* :mod:`repro.rv.stats` — the engine's measurements
+  (:class:`EngineStats`), now a facade over the shared
+  :mod:`repro.obs` metric registry (``repro_rv_*`` families with an
+  ``engine`` label); pass ``RvEngine(tracer=...)`` for ingest/drain
+  spans.
 
 Verdicts are the :class:`~repro.ltl.monitoring.Verdict3` of the
 reference monitor, and the engine is bit-identical to feeding each
@@ -34,7 +37,7 @@ from .compile import (
 )
 from .engine import RvEngine
 from .session import BackpressureError, SessionError, SessionManager, TraceSession
-from .stats import Counter, EngineStats, Histogram
+from .stats import Counter, EngineStats, Gauge, Histogram
 
 __all__ = [
     "Verdict3",
@@ -51,6 +54,7 @@ __all__ = [
     "BackpressureError",
     "RvEngine",
     "Counter",
+    "Gauge",
     "Histogram",
     "EngineStats",
 ]

@@ -34,6 +34,26 @@ from repro.ltl.monitoring import Verdict3
 from repro.ltl.simplify import simplify
 from repro.ltl.syntax import Formula, Not, nnf_over_alphabet
 from repro.ltl.translate import translate
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import PhaseTimer
+
+#: Per-phase wall time of the compile pipeline (``live_states`` /
+#: ``determinize`` inside the subset construction, ``product`` on top).
+_PHASES = PhaseTimer("repro.rv.compile")
+#: Global (cross-cache) hit/miss tallies; per-cache counts stay on the
+#: :class:`CompileCache` instance for :meth:`CompileCache.info`.
+_CACHE_HITS = REGISTRY.counter(
+    "repro_rv_compile_cache_hits_total", "compile-cache hits across all caches"
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_rv_compile_cache_misses_total", "compile-cache misses across all caches"
+)
+_TABLES_COMPILED = REGISTRY.counter(
+    "repro_rv_tables_compiled_total", "MonitorTable.compile() runs"
+)
+_TABLE_STATES = REGISTRY.histogram(
+    "repro_rv_table_states", "product-table states per compiled monitor"
+)
 
 
 class SubsetTable:
@@ -58,7 +78,13 @@ class SubsetTable:
     @classmethod
     def from_automaton(cls, automaton: BuchiAutomaton) -> "SubsetTable":
         """Determinize ``post(S, a) ∩ live`` once, for O(1) event steps."""
-        live = live_states(automaton)
+        with _PHASES.phase("live_states"):
+            live = live_states(automaton)
+        with _PHASES.phase("determinize"):
+            return cls._determinize(automaton, live)
+
+    @classmethod
+    def _determinize(cls, automaton: BuchiAutomaton, live: frozenset) -> "SubsetTable":
         symbols = tuple(sorted(automaton.alphabet, key=repr))
         symbol_index = {a: i for i, a in enumerate(symbols)}
         start = frozenset({automaton.initial}) & live
@@ -133,6 +159,15 @@ class MonitorTable:
         alphabet = frozenset(alphabet)
         pos = SubsetTable.from_automaton(translate(formula, alphabet))
         neg = SubsetTable.from_automaton(translate(Not(formula), alphabet))
+        with _PHASES.phase("product"):
+            table = cls._product(formula, alphabet, pos, neg)
+        _TABLES_COMPILED.add()
+        _TABLE_STATES.record(len(table))
+        return table
+
+    @classmethod
+    def _product(cls, formula, alphabet, pos: SubsetTable, neg: SubsetTable
+                 ) -> "MonitorTable":
         symbols = pos.symbols
         symbol_index = pos.symbol_index
         start = (pos.initial, neg.initial)
@@ -227,8 +262,10 @@ class CompileCache:
             if table is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                _CACHE_HITS.add()
                 return table
             self._misses += 1
+        _CACHE_MISSES.add()
         # compile outside the lock: a slow formula must not serialize the
         # whole fleet.  A racing duplicate compile is harmless (same table
         # semantics) and the counters still record one miss per caller.

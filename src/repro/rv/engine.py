@@ -29,9 +29,11 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 
 from repro.ltl.monitoring import Verdict3
 from repro.ltl.syntax import Formula
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
 
 from .compile import CompileCache, MonitorTable
 from .session import SessionManager, TraceSession
@@ -39,7 +41,15 @@ from .stats import EngineStats
 
 
 class RvEngine:
-    """A multi-session, multi-policy runtime-verification engine."""
+    """A multi-session, multi-policy runtime-verification engine.
+
+    Tracing is opt-in: pass an :class:`~repro.obs.trace.Tracer` to get
+    an ``rv.ingest`` span per batch with ``rv.drain_group`` children —
+    parent links survive the worker pool because the ingest span is
+    handed to each group drain explicitly.  The default is the null
+    tracer (one attribute check per ingest), keeping spans off the
+    per-event hot path entirely; metrics are always on.
+    """
 
     def __init__(
         self,
@@ -48,10 +58,12 @@ class RvEngine:
         max_pending: int = 1024,
         cache: CompileCache | None = None,
         stats: EngineStats | None = None,
+        tracer=None,
     ):
         self.cache = cache if cache is not None else CompileCache()
         self.sessions = SessionManager(max_pending=max_pending)
         self.stats = stats if stats is not None else EngineStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.workers = workers
         self._pool: ThreadPoolExecutor | None = None
 
@@ -87,6 +99,13 @@ class RvEngine:
         admitted to any queue, so a rejected batch leaves every session
         exactly as it was.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("rv.ingest") as span:
+                return self._ingest(events, span)
+        return self._ingest(events, NULL_SPAN)
+
+    def _ingest(self, events: Iterable[tuple], span) -> dict:
         routed: dict[int, tuple[TraceSession, list]] = {}
         get = self.sessions.get
         for session_id, event in events:
@@ -105,31 +124,54 @@ class RvEngine:
             session.enqueue_many(batch)
         touched = {key: session for key, (session, _) in routed.items()}
         groups = list(self.sessions.by_monitor(touched.values()).values())
+        recording = span.recording
+        if recording:
+            span.set(
+                events=sum(len(batch) for _, batch in routed.values()),
+                sessions=len(touched),
+                groups=len(groups),
+            )
         if self.workers > 1 and len(groups) > 1:
             pool = self._ensure_pool()
-            for _ in pool.map(self._drain_group, groups):
+            drain = (
+                partial(self._drain_group_traced, parent=span)
+                if recording
+                else self._drain_group
+            )
+            for _ in pool.map(drain, groups):
                 pass
+        elif recording:
+            for group in groups:
+                self._drain_group_traced(group, span)
         else:
             for group in groups:
                 self._drain_group(group)
         self.stats.batches.add()
         return {s.session_id: s.verdict for s in touched.values()}
 
-    def _drain_group(self, group: list[TraceSession]) -> None:
+    def _drain_group_traced(self, group: list[TraceSession], parent) -> None:
+        # explicit parent: this may run on a pool thread, where the
+        # tracer's thread-local stack knows nothing of the ingest span.
+        with self.tracer.span("rv.drain_group", parent=parent) as span:
+            drained, stepped = self._drain_group(group)
+            span.set(sessions=len(group), events=drained, steps=stepped)
+
+    def _drain_group(self, group: list[TraceSession]) -> tuple[int, int]:
         stats = self.stats
+        record_drain = stats.record_drain
+        perf_counter = time.perf_counter
+        drained = stepped = 0
         for session in group:
             pending = session.pending
             was_final = session.finalized
-            start = time.perf_counter()
+            start = perf_counter()
             steps = session.drain()
-            elapsed = time.perf_counter() - start
-            stats.events.add(pending)
-            stats.steps.add(steps)
-            stats.drains.add()
-            if pending:
-                stats.step_latency.record(elapsed / pending)
+            record_drain(pending, steps, perf_counter() - start)
+            drained += pending
+            stepped += steps
             if session.finalized and not was_final:
                 stats.record_verdict(session.verdict)
+        return drained, stepped
 
     # -- queries ------------------------------------------------------------
 

@@ -1,92 +1,46 @@
-"""Engine observability: counters and latency histograms.
+"""Engine observability — now a facade over the shared metric registry.
 
-Deliberately dependency-free and tiny: a thread-safe :class:`Counter`,
-a bounded-reservoir :class:`Histogram` with percentile queries, and the
-:class:`EngineStats` bundle the engine threads write into.  Future PRs
-benchmark hot paths against these numbers, so the overhead budget is a
-lock acquire and an integer add per recorded value.
+PR 1 shipped a one-off ``Counter``/``Histogram`` bundle here; those
+classes now *are* the :mod:`repro.obs.metrics` implementations
+(re-exported below for compatibility), and :class:`EngineStats` is a
+thin facade that registers every engine measurement in the process-wide
+:data:`~repro.obs.metrics.REGISTRY` under ``repro_rv_*`` names with an
+``engine`` label, one label set per engine instance.  Consequences:
+
+* ``snapshot()`` keys are unchanged from PR 1 — dashboards and the
+  existing ``tests/rv`` suite work unmodified;
+* the same numbers are visible through the registry's Prometheus and
+  JSON exposition alongside every other subsystem's metrics;
+* reads are now locked (``Counter.value`` and ``Histogram.count`` in the
+  PR 1 version read shared state relying on CPython atomicity; the
+  registry metrics take the lock on both sides);
+* step latencies are log-bucketed (HDR-style) rather than a 4096-sample
+  sliding reservoir, so percentiles cover the whole run within ~12%
+  relative bucket width instead of exactly-but-only the recent window.
+  ``latency_window`` is accepted for API compatibility and ignored.
+
+The overhead budget is unchanged: one lock acquire and one add per
+recorded value, all charged per *drain*, never per event.
 """
 
 from __future__ import annotations
 
-import threading
+import itertools
+
 from repro.ltl.monitoring import Verdict3
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    REGISTRY,
+    share_lock,
+)
 
+__all__ = ["Counter", "Gauge", "Histogram", "EngineStats"]
 
-class Counter:
-    """A thread-safe monotonic counter."""
-
-    __slots__ = ("_value", "_lock")
-
-    def __init__(self):
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def add(self, n: int = 1) -> None:
-        with self._lock:
-            self._value += n
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-    def __repr__(self) -> str:
-        return f"Counter({self._value})"
-
-
-class Histogram:
-    """A bounded sliding-window reservoir with percentile queries.
-
-    Keeps the most recent ``capacity`` samples in a ring; percentiles are
-    computed on demand (nearest-rank) from a sorted copy.  Good enough
-    for p50/p99 step-latency dashboards without a dependency.
-    """
-
-    __slots__ = ("capacity", "_ring", "_cursor", "_count", "_total", "_lock")
-
-    def __init__(self, capacity: int = 4096):
-        if capacity < 1:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self._ring: list[float] = [0.0] * capacity
-        self._cursor = 0
-        self._count = 0
-        self._total = 0.0
-        self._lock = threading.Lock()
-
-    def record(self, value: float) -> None:
-        with self._lock:
-            self._ring[self._cursor] = value
-            self._cursor = (self._cursor + 1) % self.capacity
-            self._count += 1
-            self._total += value
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._total / self._count if self._count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the retained window (0 ≤ p ≤ 100)."""
-        if not 0 <= p <= 100:
-            raise ValueError("percentile must be in [0, 100]")
-        with self._lock:
-            n = min(self._count, self.capacity)
-            if n == 0:
-                return 0.0
-            window = sorted(self._ring[:n])
-        rank = max(0, min(n - 1, round(p / 100 * (n - 1))))
-        return window[rank]
-
-    def p50(self) -> float:
-        return self.percentile(50)
-
-    def p99(self) -> float:
-        return self.percentile(99)
+#: Distinguishes each engine's label set in the shared registry.
+_ENGINE_IDS = itertools.count()
 
 
 class EngineStats:
@@ -104,27 +58,82 @@ class EngineStats:
 
     Cache hit/miss counters live on the :class:`~repro.rv.compile
     .CompileCache`; :meth:`snapshot` merges them when given the cache.
+
+    Parameters
+    ----------
+    latency_window:
+        Ignored (PR 1 reservoir compatibility; histograms are now
+        log-bucketed and unbounded-window).
+    registry:
+        The :class:`~repro.obs.metrics.MetricRegistry` to report into;
+        defaults to the process-wide one.
+    engine:
+        The ``engine`` label value; defaults to a fresh sequential id,
+        which is what keeps per-instance counts independent.
     """
 
-    def __init__(self, latency_window: int = 4096):
-        self.events = Counter()
-        self.steps = Counter()
-        self.batches = Counter()
-        self.drains = Counter()
-        self.sessions_opened = Counter()
+    def __init__(self, latency_window: int = 4096,
+                 registry: MetricRegistry | None = None,
+                 engine: str | None = None):
+        registry = REGISTRY if registry is None else registry
+        self.registry = registry
+        self.engine = str(next(_ENGINE_IDS)) if engine is None else str(engine)
+        label = {"engine": self.engine}
+        self.events = registry.counter(
+            "repro_rv_events_total",
+            "events consumed by sessions (including post-truncation events)",
+            ("engine",),
+        ).labels(**label)
+        self.steps = registry.counter(
+            "repro_rv_steps_total",
+            "monitor-table transitions performed",
+            ("engine",),
+        ).labels(**label)
+        self.batches = registry.counter(
+            "repro_rv_batches_total", "ingest() calls", ("engine",)
+        ).labels(**label)
+        self.drains = registry.counter(
+            "repro_rv_drains_total", "per-session drains", ("engine",)
+        ).labels(**label)
+        self.sessions_opened = registry.counter(
+            "repro_rv_sessions_opened_total", "sessions opened", ("engine",)
+        ).labels(**label)
+        verdict_family = registry.counter(
+            "repro_rv_verdicts_total",
+            "sessions reaching each verdict kind",
+            ("engine", "verdict"),
+        )
         self.verdicts = {
-            Verdict3.TRUE: Counter(),
-            Verdict3.FALSE: Counter(),
-            Verdict3.UNKNOWN: Counter(),
+            kind: verdict_family.labels(engine=self.engine, verdict=kind.value)
+            for kind in (Verdict3.TRUE, Verdict3.FALSE, Verdict3.UNKNOWN)
         }
-        self.step_latency = Histogram(latency_window)
+        self.step_latency = registry.histogram(
+            "repro_rv_step_latency_seconds",
+            "per-event drain latency (drain wall-time / events drained)",
+            ("engine",),
+        ).labels(**label)
+        # The drain loop updates these three together on every drain;
+        # fuse them under one lock so the hot path pays one acquire.
+        self._drain_lock = share_lock(self.events, self.steps, self.drains)
+
+    def record_drain(self, pending: int, steps: int, elapsed: float) -> None:
+        """One session drain: ``pending`` events consumed, ``steps``
+        transitions taken, in ``elapsed`` seconds.  Single fused lock
+        acquire for the counters (see :func:`~repro.obs.metrics
+        .share_lock`) plus one histogram record."""
+        with self._drain_lock:
+            self.events._value += pending
+            self.steps._value += steps
+            self.drains._value += 1
+        if pending:
+            self.step_latency.record(elapsed / pending)
 
     def record_verdict(self, verdict: Verdict3) -> None:
         self.verdicts[verdict].add()
 
     def snapshot(self, cache=None) -> dict:
         """A plain-dict dashboard (stable keys; used by the example and
-        the benchmark report)."""
+        the benchmark report — byte-for-byte the PR 1 key set)."""
         out = {
             "events": self.events.value,
             "steps": self.steps.value,

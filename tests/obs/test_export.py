@@ -1,0 +1,148 @@
+"""Tests for exposition: Prometheus text round-trip (the CI validity
+gate), the strict parser's error cases, stable JSON and the benchmark
+persistence writer."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    dump_bench_json,
+    parse_prometheus_text,
+    registry_to_dict,
+    stable_json,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricRegistry
+
+
+def _populated_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("repro_x_events_total", "events", ("engine",)).labels(
+        engine="0"
+    ).add(42)
+    reg.gauge("repro_x_depth", "queue depth").set(3.5)
+    h = reg.histogram("repro_x_latency_seconds", "latencies")
+    for v in (0.0, 1e-6, 2e-6, 1e-3):
+        h.record(v)
+    return reg
+
+
+class TestRoundTrip:
+    def test_every_sample_survives(self):
+        reg = _populated_registry()
+        parsed = parse_prometheus_text(to_prometheus(reg))
+        assert parsed[("repro_x_events_total", frozenset({("engine", "0")}))] == 42
+        assert parsed[("repro_x_depth", frozenset())] == 3.5
+        assert parsed[("repro_x_latency_seconds_count", frozenset())] == 4
+        assert parsed[("repro_x_latency_seconds_sum", frozenset())] == pytest.approx(
+            1e-6 + 2e-6 + 1e-3
+        )
+        inf_bucket = ("repro_x_latency_seconds_bucket", frozenset({("le", "+Inf")}))
+        assert parsed[inf_bucket] == 4
+
+    def test_bucket_counts_are_cumulative(self):
+        reg = _populated_registry()
+        buckets = {
+            labels: value
+            for (name, labels), value in parse_prometheus_text(
+                to_prometheus(reg)
+            ).items()
+            if name == "repro_x_latency_seconds_bucket"
+        }
+        bounds = sorted(
+            (float(dict(labels)["le"].replace("+Inf", "inf")), value)
+            for labels, value in buckets.items()
+        )
+        values = [v for _, v in bounds]
+        assert values == sorted(values)
+        assert values[-1] == 4
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricRegistry()
+        reg.counter("repro_esc_total", "", ("path",)).labels(
+            path='a"b\\c'
+        ).add(1)
+        parsed = parse_prometheus_text(to_prometheus(reg))
+        # the parser keeps the escaped form; the sample must still parse
+        assert len(parsed) == 1
+        assert list(parsed.values()) == [1.0]
+
+    def test_help_and_type_lines_emitted(self):
+        text = to_prometheus(_populated_registry())
+        assert "# HELP repro_x_events_total events" in text
+        assert "# TYPE repro_x_events_total counter" in text
+        assert "# TYPE repro_x_latency_seconds histogram" in text
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricRegistry()) == ""
+        assert parse_prometheus_text("") == {}
+
+
+class TestParserStrictness:
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not a sample line\n")
+
+    def test_malformed_comment_rejected(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus_text("# NOPE x\n")
+
+    def test_duplicate_type_rejected(self):
+        text = "# TYPE a counter\n# TYPE a counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(text)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValueError, match="bad metric type"):
+            parse_prometheus_text("# TYPE a flavor\n")
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ValueError, match="duplicate sample"):
+            parse_prometheus_text("a 1\na 2\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text('a{k=unquoted} 1\n')
+
+
+class TestJsonExports:
+    def test_registry_to_dict_matches_registry(self):
+        reg = _populated_registry()
+        snapshot = registry_to_dict(reg)
+        assert snapshot["repro_x_events_total"]["samples"][0]["value"] == 42
+        assert snapshot["repro_x_latency_seconds"]["samples"][0]["count"] == 4
+
+    def test_stable_json_is_deterministic(self):
+        a = stable_json({"b": 1, "a": {"z": 2, "y": 3}})
+        b = stable_json({"a": {"y": 3, "z": 2}, "b": 1})
+        assert a == b
+        assert a.endswith("\n")
+        assert json.loads(a) == {"a": {"y": 3, "z": 2}, "b": 1}
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_jsonl(path, [{"b": 1, "a": 2}, {"x": 3}])
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"a": 2, "b": 1}
+        assert json.loads(lines[1]) == {"x": 3}
+
+    def test_dump_bench_json_sorts_and_carries_meta(self, tmp_path):
+        path = tmp_path / "BENCH_area.json"
+        records = [
+            {"fullname": "b::second", "mean_s": 2.0},
+            {"fullname": "a::first", "mean_s": 1.0},
+        ]
+        returned = dump_bench_json(path, records, meta={"area": "area"})
+        assert returned == path
+        payload = json.loads(path.read_text())
+        assert [r["fullname"] for r in payload["benchmarks"]] == [
+            "a::first", "b::second"
+        ]
+        assert payload["meta"] == {"area": "area"}
+
+    def test_dump_bench_json_without_meta(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        dump_bench_json(path, [])
+        assert json.loads(path.read_text()) == {"benchmarks": []}

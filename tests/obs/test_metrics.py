@@ -1,0 +1,268 @@
+"""Tests for the metric registry: counter/gauge/histogram semantics,
+registration rules, the percentile accuracy guarantee (property-based)
+and lost-update-free concurrency under 8 threads."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_GROWTH,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    share_lock,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        assert c.value == 1
+
+    def test_negative_add_rejected(self):
+        c = Counter()
+        with pytest.raises(MetricError, match="monotonic"):
+            c.add(-1)
+        assert c.value == 0
+
+    def test_collect(self):
+        c = Counter()
+        c.add(3)
+        assert c.collect() == {"value": 3}
+
+
+class TestGauge:
+    def test_set_add_sub(self):
+        g = Gauge()
+        g.set(10.0)
+        g.add(5)
+        g.sub(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_basic_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.min == 0.0 and h.max == 0.0 and h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_zero_values_have_their_own_bucket(self):
+        h = Histogram()
+        h.record(0.0)
+        h.record(0.0)
+        h.record(5.0)
+        assert h.count == 3
+        assert h.min == 0.0 and h.max == 5.0
+        assert h.percentile(50) == 0.0  # rank 2 of 3 is a zero
+        assert h.bucket_bounds(0.0) == (0.0, 0.0)
+
+    def test_rejects_negative_and_nan(self):
+        h = Histogram()
+        with pytest.raises(MetricError):
+            h.record(-1.0)
+        with pytest.raises(MetricError):
+            h.record(float("nan"))
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(MetricError):
+            Histogram(growth=1.0)
+
+    def test_percentile_range_checked(self):
+        h = Histogram()
+        with pytest.raises(MetricError):
+            h.percentile(101)
+
+    def test_bucket_bounds_contain_value(self):
+        h = Histogram()
+        for exponent in range(-9, 7):
+            for mantissa in (1.0, 1.2345, 5.5, 9.999):
+                v = mantissa * 10.0 ** exponent
+                lo, hi = h.bucket_bounds(v)
+                assert lo <= v < hi
+
+    def test_single_value_percentiles_are_exact(self):
+        h = Histogram()
+        h.record(3.7e-6)
+        # clamping to [min, max] collapses every percentile to the value
+        assert h.p50() == pytest.approx(3.7e-6)
+        assert h.p99() == pytest.approx(3.7e-6)
+
+    def test_cumulative_buckets_are_monotone_and_complete(self):
+        h = Histogram()
+        values = [0.0, 1e-6, 2e-6, 1e-3, 1.0, 1.0]
+        for v in values:
+            h.record(v)
+        buckets = h.cumulative_buckets()
+        uppers = [u for u, _ in buckets]
+        counts = [c for _, c in buckets]
+        assert uppers == sorted(uppers)
+        assert counts == sorted(counts)
+        assert counts[-1] == len(values)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=60,
+        ),
+        p=st.floats(min_value=0, max_value=100),
+    )
+    def test_percentile_within_one_bucket_width(self, values, p):
+        """The documented guarantee: ``percentile(p)`` lands within one
+        bucket width of the exact nearest-rank percentile."""
+        h = Histogram()
+        for v in values:
+            h.record(v)
+        ordered = sorted(values)
+        rank = max(1, math.ceil(p / 100 * len(values)))
+        exact = ordered[rank - 1]
+        approx = h.percentile(p)
+        lo, hi = h.bucket_bounds(exact)
+        assert abs(approx - exact) <= (hi - lo)
+        # and the approximation never leaves the observed range
+        assert ordered[0] <= approx <= ordered[-1]
+
+
+class TestFamiliesAndRegistry:
+    def test_get_or_create_same_child(self):
+        reg = MetricRegistry()
+        family = reg.counter("repro_test_total", "help", ("kind",))
+        a = family.labels(kind="x")
+        b = family.labels(kind="x")
+        assert a is b
+        assert family.labels(kind="y") is not a
+
+    def test_label_values_coerced_to_str(self):
+        reg = MetricRegistry()
+        family = reg.counter("repro_test_total", "", ("engine",))
+        assert family.labels(engine=3) is family.labels(engine="3")
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricRegistry()
+        family = reg.counter("repro_test_total", "", ("kind",))
+        with pytest.raises(MetricError, match="expected labels"):
+            family.labels(other="x")
+
+    def test_unlabeled_returns_bare_metric(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_plain_total")
+        c.add(2)
+        assert c.value == 2
+
+    def test_reregistration_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("repro_idem_total", "", ("k",))
+        b = reg.counter("repro_idem_total", "", ("k",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("repro_clash_total")
+        with pytest.raises(MetricError, match="already registered"):
+            reg.gauge("repro_clash_total")
+
+    def test_labelnames_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("repro_clash2_total", "", ("a",))
+        with pytest.raises(MetricError, match="already registered"):
+            reg.counter("repro_clash2_total", "", ("b",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(MetricError, match="invalid metric name"):
+            reg.counter("0bad")
+        with pytest.raises(MetricError, match="invalid label name"):
+            reg.counter("repro_ok_total", "", ("bad-label",))
+
+    def test_histogram_growth_passthrough(self):
+        reg = MetricRegistry()
+        h = reg.histogram("repro_h_seconds", growth=2.0)
+        assert h.growth == 2.0
+
+    def test_collect_and_to_dict(self):
+        reg = MetricRegistry()
+        reg.counter("repro_c_total", "things").add(7)
+        snapshot = reg.to_dict()
+        assert snapshot["repro_c_total"]["samples"][0]["value"] == 7
+        assert snapshot["repro_c_total"]["kind"] == "counter"
+
+
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 10_000
+
+    def _hammer(self, worker):
+        threads = [threading.Thread(target=worker) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_no_lost_updates(self):
+        c = Counter()
+        self._hammer(lambda: [c.add(1) for _ in range(self.PER_THREAD)])
+        assert c.value == self.THREADS * self.PER_THREAD
+
+    def test_histogram_no_lost_updates(self):
+        h = Histogram()
+        self._hammer(lambda: [h.record(1.0) for _ in range(self.PER_THREAD)])
+        assert h.count == self.THREADS * self.PER_THREAD
+        assert h.sum == float(self.THREADS * self.PER_THREAD)
+
+    def test_fused_lock_no_lost_updates(self):
+        a, b = Counter(), Counter()
+        lock = share_lock(a, b)
+        assert a._lock is lock and b._lock is lock
+
+        def worker():
+            for _ in range(self.PER_THREAD):
+                # half through the public API, half as a fused batch —
+                # both must serialize against each other
+                a.add(1)
+                with lock:
+                    a._value += 1
+                    b._value += 2
+
+        self._hammer(worker)
+        assert a.value == 2 * self.THREADS * self.PER_THREAD
+        assert b.value == 2 * self.THREADS * self.PER_THREAD
+
+    def test_labels_get_or_create_race(self):
+        reg = MetricRegistry()
+        family = reg.counter("repro_race_total", "", ("k",))
+        self._hammer(lambda: [family.labels(k="x").add(1)
+                              for _ in range(self.PER_THREAD)])
+        assert family.labels(k="x").value == self.THREADS * self.PER_THREAD
+
+
+def test_default_growth_is_20_buckets_per_decade():
+    assert DEFAULT_GROWTH == pytest.approx(10 ** 0.05)
+    # 20 consecutive buckets exactly span one decade
+    assert DEFAULT_GROWTH ** 20 == pytest.approx(10.0)

@@ -1,0 +1,208 @@
+"""Tests for span tracing: thread-local nesting, explicit cross-thread
+parents, sampling, the bounded ring, Chrome export — and the end-to-end
+guarantee that parent/child structure survives the RvEngine worker pool."""
+
+import json
+import threading
+
+import pytest
+
+from repro.ltl import parse
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
+from repro.rv import RvEngine
+
+
+class TestNesting:
+    def test_nested_with_blocks_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert [s.name for s in tracer.finished()] == [
+            "grandchild", "child", "root"
+        ]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("root") as root:
+            assert tracer.current() is root
+        assert tracer.current() is None
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(parent):
+            with tracer.span("worker", parent=parent) as span:
+                seen["parent_id"] = span.parent_id
+                seen["thread_id"] = span.thread_id
+
+        with tracer.span("root") as root:
+            t = threading.Thread(target=worker, args=(root,))
+            t.start()
+            t.join()
+        assert seen["parent_id"] == root.span_id
+        assert seen["thread_id"] != threading.get_ident()
+
+    def test_span_timing_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("op", batch=3) as span:
+            span.set(result="ok")
+        assert span.end >= span.start
+        assert span.duration() >= 0
+        assert span.attrs == {"batch": 3, "result": "ok"}
+
+
+class TestSamplingAndBounds:
+    def test_children_of_null_parent_are_dropped(self):
+        tracer = Tracer()
+        child = tracer.span("child", parent=NULL_SPAN)
+        assert child is NULL_SPAN
+
+    def test_sample_every_keeps_one_in_n_roots(self):
+        tracer = Tracer(sample_every=4)
+        kept = 0
+        for _ in range(12):
+            with tracer.span("root") as span:
+                with tracer.span("child"):
+                    pass
+            kept += span.recording
+        assert kept == 3
+        # dropped roots drop their whole subtree
+        assert len(tracer.finished()) == 2 * 3
+
+    def test_max_spans_bounds_retention(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", parent=None, k=1)
+        assert span is NULL_SPAN
+        with span as s:
+            assert s.set(a=1) is s
+        assert NULL_TRACER.finished() == []
+        assert span.recording is False
+        assert span.duration() == 0.0
+
+
+class TestExport:
+    def _tracer_with_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="test"):
+            with tracer.span("child"):
+                pass
+        return tracer
+
+    def test_chrome_events_structure(self):
+        tracer = self._tracer_with_tree()
+        events = tracer.chrome_events()
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert {"name", "pid", "tid", "args"} <= set(event)
+        by_name = {e["name"]: e for e in events}
+        assert (by_name["child"]["args"]["parent_id"]
+                == by_name["root"]["args"]["span_id"])
+
+    def test_export_chrome_is_loadable_json(self, tmp_path):
+        tracer = self._tracer_with_tree()
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        data = json.loads(path.read_text())
+        assert data["displayTimeUnit"] == "ms"
+        assert len(data["traceEvents"]) == 2
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = self._tracer_with_tree()
+        path = tmp_path / "spans.jsonl"
+        tracer.export_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["child", "root"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+
+    def test_span_tree_groups_by_parent(self):
+        tracer = self._tracer_with_tree()
+        tree = tracer.span_tree()
+        roots = tree[None]
+        assert [s.name for s in roots] == ["root"]
+        assert [s.name for s in tree[roots[0].span_id]] == ["child"]
+
+
+class TestEngineIntegration:
+    """The ISSUE's acceptance test: ingest→drain nesting survives the
+    worker pool."""
+
+    def _run_engine(self, workers):
+        tracer = Tracer()
+        with RvEngine(workers=workers, tracer=tracer) as engine:
+            specs = ["G a", "F b", "G (a -> X b)", "GF a"]
+            for i, spec in enumerate(specs):
+                engine.open_session(i, parse(spec), "ab")
+            engine.ingest([(i, "a") for i in range(len(specs))] * 8)
+        return tracer
+
+    @pytest.mark.parametrize("workers", [0, 4])
+    def test_drain_spans_are_children_of_ingest(self, workers):
+        tracer = self._run_engine(workers)
+        spans = tracer.finished()
+        ingests = [s for s in spans if s.name == "rv.ingest"]
+        drains = [s for s in spans if s.name == "rv.drain_group"]
+        assert len(ingests) == 1
+        ingest = ingests[0]
+        # four distinct formulas → four monitor groups
+        assert len(drains) == 4
+        for drain in drains:
+            assert drain.parent_id == ingest.span_id
+            assert ingest.start <= drain.start
+            assert drain.end <= ingest.end
+        assert ingest.attrs["events"] == 32
+        assert ingest.attrs["sessions"] == 4
+        assert ingest.attrs["groups"] == 4
+        assert sum(d.attrs["events"] for d in drains) == 32
+
+    def test_pool_drains_run_on_pool_threads(self):
+        tracer = self._run_engine(workers=4)
+        drains = [s for s in tracer.finished() if s.name == "rv.drain_group"]
+        assert all(s.thread_id != 0 for s in drains)
+
+    def test_untraced_engine_records_nothing(self):
+        with RvEngine() as engine:
+            engine.open_session(0, parse("G a"), "ab")
+            engine.ingest([(0, "a")] * 5)
+            assert engine.tracer is NULL_TRACER
