@@ -46,3 +46,22 @@ analysis
 """
 
 __version__ = "1.0.0"
+
+#: Submodule names: `from repro import *` pulls in every subpackage, and
+#: the RC004 check keeps this list in sync with the directories.
+__all__ = [
+    "analysis",
+    "buchi",
+    "checks",
+    "ctl",
+    "enforcement",
+    "games",
+    "lattice",
+    "ltl",
+    "obs",
+    "omega",
+    "rabin",
+    "rv",
+    "systems",
+    "trees",
+]

@@ -1,0 +1,45 @@
+"""repro.checks — the repo's self-hosted static analysis pass.
+
+A stdlib-only, AST-based rule engine that machine-checks the
+implementation invariants the paper's lemmas cannot: lock discipline
+(RC001), metric naming (RC002), import hygiene and layering (RC003),
+curated ``__all__`` surfaces (RC004), and frozen module-level tables
+(RC005).  Run it with::
+
+    python -m repro.checks src tests benchmarks examples
+
+Exit code = number of unsuppressed findings; ``# checks: ignore[RC###]``
+comments suppress individual lines with a justification, and a JSON
+baseline can grandfather pre-existing findings.  DESIGN.md ("Static
+checks") carries the rule catalog and the how-to-add-a-rule recipe.
+
+Like :mod:`repro.obs`, this package is a dependency leaf: it imports
+nothing from the rest of ``repro`` (RC003 enforces that about itself).
+"""
+
+from .baseline import load_baseline, write_baseline
+from .core import Finding, ModuleFile, Report, Rule, Suppressions, run_checks
+from .registry import RULE_CLASSES, all_rules
+from .rules_api import ApiSurfaceRule
+from .rules_imports import ImportHygieneRule
+from .rules_locks import LockDisciplineRule
+from .rules_metrics import MetricNamingRule
+from .rules_state import MutableModuleStateRule
+
+__all__ = [
+    "Finding",
+    "ModuleFile",
+    "Report",
+    "Rule",
+    "Suppressions",
+    "run_checks",
+    "all_rules",
+    "RULE_CLASSES",
+    "LockDisciplineRule",
+    "MetricNamingRule",
+    "ImportHygieneRule",
+    "ApiSurfaceRule",
+    "MutableModuleStateRule",
+    "load_baseline",
+    "write_baseline",
+]

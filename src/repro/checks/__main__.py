@@ -1,0 +1,5 @@
+"""``python -m repro.checks`` — run the static analysis pass."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""JSON baselines: grandfather existing findings, fail only on new ones.
+
+A baseline is the adoption path for a new rule on an old codebase: run
+once with ``--write-baseline checks-baseline.json``, commit the file,
+and from then on the checker fails only on findings *not* in it.  The
+stored identity is the line-number-free fingerprint
+(``rule::path::message``), so unrelated edits that shift line numbers do
+not invalidate the baseline, while moving or renaming the offending code
+does — which is the point: grandfathered debt must not travel.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(path, findings) -> None:
+    """Persist the given findings as a baseline file."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(
+            (
+                {"rule": f.rule, "path": f.path, "message": f.message}
+                for f in findings
+            ),
+            key=lambda entry: (entry["rule"], entry["path"], entry["message"]),
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path) -> set[str]:
+    """The set of grandfathered fingerprints stored in a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    out = set()
+    for entry in payload.get("findings", ()):
+        finding = Finding(
+            path=entry["path"], line=0, rule=entry["rule"],
+            message=entry["message"],
+        )
+        out.add(finding.fingerprint())
+    return out

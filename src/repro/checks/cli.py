@@ -1,0 +1,97 @@
+"""The ``python -m repro.checks`` command line.
+
+Usage::
+
+    python -m repro.checks src tests benchmarks examples
+    python -m repro.checks src --json > report.json
+    python -m repro.checks src --write-baseline checks-baseline.json
+    python -m repro.checks src --baseline checks-baseline.json
+
+Exit code is the number of unsuppressed, non-baselined findings
+(saturated at 255), so CI can gate on plain process failure and scripts
+can read severity off ``$?``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .baseline import load_baseline, write_baseline
+from .core import run_checks
+from .registry import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="repro's self-hosted static analysis pass "
+        "(concurrency, layering, naming invariants).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="grandfather findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write the current unsuppressed findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed and baselined findings (human output)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = "library code (src/repro)" if rule.scope == "src" else "all scanned files"
+            print(f"{rule.rule_id}  {rule.title}  [{scope}]")
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = run_checks(args.paths, rules, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    for finding in report.findings:
+        print(finding.render())
+    if args.show_suppressed:
+        for finding in report.suppressed:
+            print(f"{finding.render()}  [suppressed]")
+        for finding in report.baselined:
+            print(f"{finding.render()}  [baselined]")
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined) "
+        f"across {report.files_scanned} file(s)"
+    )
+    print(summary, file=sys.stderr)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,302 @@
+"""The rule engine: findings, suppressions, file loading, orchestration.
+
+Everything here is deliberately boring infrastructure so the rules stay
+small: a rule is a class with an id, a scope, and a ``check`` method
+that maps one parsed module to findings (plus an optional ``finalize``
+for whole-run analyses such as import-cycle detection).  The runner
+
+1. loads every ``*.py`` under the given paths into :class:`ModuleFile`
+   records (path classification + AST + source lines, parsed once),
+2. feeds each module to every rule whose scope matches,
+3. calls each rule's ``finalize`` once all files are seen,
+4. splits the findings into suppressed and unsuppressed using the
+   ``# checks: ignore[RC###]`` comments collected per file.
+
+Suppression syntax (see DESIGN.md, "Static checks"):
+
+* ``some_code()  # checks: ignore[RC001] why this is safe`` — suppresses
+  RC001 on that line;
+* a comment-only suppression line suppresses the *next* line too, for
+  statements that do not fit a trailing comment;
+* ``# checks: ignore-file[RC003]`` anywhere in the file suppresses the
+  rule for the whole file;
+* several ids may be given: ``ignore[RC001,RC005]``.
+
+Unknown rule ids inside suppression comments are themselves reported
+(:data:`META_RULE_ID`), so a typo cannot silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The id used for checker meta-findings: unparseable files and
+#: suppression comments naming unknown rules.
+META_RULE_ID = "RC000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*checks:\s*(?P<kind>ignore|ignore-file)\[(?P<ids>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\]"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity, stable across unrelated edits —
+        what the JSON baseline stores."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleFile:
+    """One parsed source file plus the path classification rules key on."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    is_src: bool
+    package: str | None
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+
+class Suppressions:
+    """The ``# checks: ignore[...]`` comments of one file.
+
+    Comments are found by tokenizing, not by regexing lines, so
+    suppression syntax *inside a string literal* (e.g. in this package's
+    own test fixtures) is not a suppression.
+    """
+
+    def __init__(self, lines: tuple[str, ...]):
+        self.file_ids: set[str] = set()
+        self.line_ids: dict[int, set[str]] = {}
+        self.all_ids: set[str] = set()
+        for lineno, column, text in _comments(lines):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")}
+            self.all_ids |= ids
+            if match.group("kind") == "ignore-file":
+                self.file_ids |= ids
+                continue
+            self.line_ids.setdefault(lineno, set()).update(ids)
+            if lines[lineno - 1][:column].strip() == "":
+                # comment-only line: the suppression covers the next line
+                self.line_ids.setdefault(lineno + 1, set()).update(ids)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule in self.file_ids:
+            return True
+        return finding.rule in self.line_ids.get(finding.line, ())
+
+
+def _comments(lines: tuple[str, ...]):
+    """``(lineno, column, text)`` for every comment token in the file."""
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        # unparseable files already carry an RC000 finding; any comments
+        # yielded before the error still count
+        return
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``title``/``scope`` and
+    implement :meth:`check` (and optionally :meth:`finalize`)."""
+
+    rule_id: str = "RC???"
+    title: str = ""
+    #: ``"all"`` — every scanned file; ``"src"`` — only files under a
+    #: ``src/repro`` tree (library code; tests/benchmarks are exempt).
+    scope: str = "all"
+
+    def applies_to(self, module: ModuleFile) -> bool:
+        return module.is_src if self.scope == "src" else True
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> list[Finding]:
+        """Called once after every file was checked (cross-file rules)."""
+        return []
+
+    def reset(self) -> None:
+        """Drop any cross-file state (runner calls this before a run)."""
+
+    def finding(self, module_or_path, line: int, message: str) -> Finding:
+        rel = (
+            module_or_path.rel
+            if isinstance(module_or_path, ModuleFile)
+            else str(module_or_path)
+        )
+        return Finding(path=rel, line=line, rule=self.rule_id, message=message)
+
+
+@dataclass
+class Report:
+    """The outcome of one run: split findings plus scan bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        # shells truncate exit statuses to one byte; saturate rather
+        # than wrap to 0 on exactly 256 findings.
+        return min(len(self.findings), 255)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "unsuppressed": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+
+def classify_path(path: Path) -> tuple[bool, str | None]:
+    """``(is_src, package)`` for a file path.
+
+    A file is *library code* when a ``src/repro`` component pair appears
+    in its path; its package is the first directory below ``repro``
+    (``""`` for modules sitting directly in ``repro/``).
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            below = parts[i + 2 :]
+            if len(below) > 1:
+                return True, below[0]
+            return True, ""
+    return False, None
+
+
+def load_module(path: Path, rel: str) -> ModuleFile | Finding:
+    """Parse one file; a syntax error becomes an RC000 finding."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as err:
+        return Finding(
+            path=rel,
+            line=err.lineno or 1,
+            rule=META_RULE_ID,
+            message=f"file does not parse: {err.msg}",
+        )
+    is_src, package = classify_path(path)
+    return ModuleFile(
+        path=path,
+        rel=rel,
+        tree=tree,
+        lines=tuple(text.splitlines()),
+        is_src=is_src,
+        package=package,
+    )
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of ``*.py`` files."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_checks(paths, rules, *, baseline: set[str] | None = None) -> Report:
+    """Run ``rules`` over every python file under ``paths``.
+
+    ``baseline`` is a set of finding fingerprints to grandfather: matches
+    land in ``report.baselined`` instead of ``report.findings``.
+    """
+    report = Report()
+    raw: list[tuple[Finding, Suppressions]] = []
+    known_ids = {rule.rule_id for rule in rules} | {META_RULE_ID}
+    suppressions_by_path: dict[str, Suppressions] = {}
+    for rule in rules:
+        rule.reset()
+    for path in iter_python_files(paths):
+        rel = _relative(path)
+        loaded = load_module(path, rel)
+        if isinstance(loaded, Finding):
+            raw.append((loaded, Suppressions(())))
+            continue
+        report.files_scanned += 1
+        suppressions = Suppressions(loaded.lines)
+        for unknown in sorted(suppressions.all_ids - known_ids):
+            raw.append((
+                Finding(
+                    path=rel,
+                    line=1,
+                    rule=META_RULE_ID,
+                    message=f"suppression names unknown rule {unknown}",
+                ),
+                suppressions,
+            ))
+        for rule in rules:
+            if not rule.applies_to(loaded):
+                continue
+            for finding in rule.check(loaded):
+                raw.append((finding, suppressions))
+        # finalize findings (cross-file) are attributed to their own
+        # file's suppressions, captured here by path
+        suppressions_by_path[rel] = suppressions
+    empty = Suppressions(())
+    for rule in rules:
+        for finding in rule.finalize():
+            raw.append((finding, suppressions_by_path.get(finding.path, empty)))
+    baseline = baseline or set()
+    for finding, suppressions in sorted(raw, key=lambda pair: pair[0]):
+        if suppressions.matches(finding):
+            report.suppressed.append(finding)
+        elif finding.fingerprint() in baseline:
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

@@ -1,0 +1,132 @@
+"""RC004 — API surface: every package ``__init__`` curates ``__all__``.
+
+A package's ``__init__.py`` is its public face; the repo's convention is
+that each one declares ``__all__`` explicitly so the API surface is a
+reviewable diff, not an accident of what happens to be imported.  Three
+checks per ``__init__.py`` under ``src/repro``:
+
+* ``__all__`` exists and is a literal list/tuple of string literals;
+* every exported name *resolves*: it is bound at module level (import,
+  assignment, ``def``/``class``) or names a sibling submodule/subpackage
+  (``from pkg import *`` imports those too);
+* no private name (leading underscore) is exported.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+
+
+def _bound_names(body) -> set[str] | None:
+    """Names bound at module level; None means a star-import makes the
+    namespace statically unknowable."""
+    names: set[str] = set()
+    for node in body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    return None
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.If, ast.Try)):
+            # common idioms: version gates, import fallbacks
+            sub_bodies = [node.body, node.orelse]
+            if isinstance(node, ast.Try):
+                sub_bodies.append(node.finalbody)
+                for handler in node.handlers:
+                    sub_bodies.append(handler.body)
+            for sub in sub_bodies:
+                inner = _bound_names(sub)
+                if inner is None:
+                    return None
+                names |= inner
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for el in target.elts:
+            out |= _target_names(el)
+        return out
+    return set()
+
+
+class ApiSurfaceRule(Rule):
+    rule_id = "RC004"
+    title = "API surface: __init__ declares a resolving, public __all__"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        if not module.is_package_init:
+            return []
+        dunder_all = None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets
+                )
+            ):
+                dunder_all = node
+        if dunder_all is None:
+            return [self.finding(
+                module, 1,
+                "package __init__ does not declare __all__ "
+                "(the API surface must be explicit)",
+            )]
+        value = dunder_all.value
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            return [self.finding(
+                module, dunder_all.lineno,
+                "__all__ must be a literal list/tuple of string literals",
+            )]
+        findings = []
+        bound = _bound_names(module.tree.body)
+        exported: set[str] = set()
+        for el in value.elts:
+            name = el.value
+            if name in exported:
+                findings.append(self.finding(
+                    module, el.lineno, f"__all__ lists {name!r} twice"
+                ))
+            exported.add(name)
+            if name.startswith("_"):
+                findings.append(self.finding(
+                    module, el.lineno,
+                    f"__all__ exports private name {name!r}",
+                ))
+                continue
+            if bound is not None and name not in bound and not self._is_submodule(
+                module, name
+            ):
+                findings.append(self.finding(
+                    module, el.lineno,
+                    f"__all__ name {name!r} does not resolve: not bound in "
+                    "the module and not a submodule",
+                ))
+        return findings
+
+    @staticmethod
+    def _is_submodule(module: ModuleFile, name: str) -> bool:
+        parent = module.path.parent
+        return (parent / f"{name}.py").is_file() or (
+            parent / name / "__init__.py"
+        ).is_file()

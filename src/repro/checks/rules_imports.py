@@ -1,0 +1,198 @@
+"""RC003 — import hygiene: stdlib-only, layered, acyclic.
+
+Three invariants, all scoped to library code (``src/repro``):
+
+1. **Offline constraint** — every import resolves to the standard
+   library or to ``repro`` itself.  The repo targets machines where pip
+   cannot fetch anything; a third-party import is a deployment break,
+   caught here rather than at first import on the offline host.
+2. **Layering** — :mod:`repro.obs` is the universal leaf (everything may
+   import it, it imports no other ``repro`` package), and the core
+   mathematical packages never import :mod:`repro.rv` (theory does not
+   depend on the serving layer; ``enforcement`` is runtime machinery and
+   is deliberately outside the core set — it reuses the compiled
+   tables).
+3. **Acyclicity** — the package-level import graph has no cycles; this
+   is the whole-run ``finalize`` part of the rule.
+
+Relative imports are resolved against the module's dotted path, so
+``from ..obs import metrics`` counts as a ``repro.obs`` edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+
+from .core import Finding, ModuleFile, Rule
+
+#: Packages carrying the paper's mathematics: these must never depend on
+#: the streaming runtime (`repro.rv`).
+CORE_MATH_PACKAGES = frozenset({
+    "analysis", "buchi", "ctl", "games", "lattice", "ltl", "omega",
+    "rabin", "systems", "trees",
+})
+
+#: The universal leaf package: imported by everything, imports nothing
+#: from `repro` itself.
+LEAF_PACKAGES = frozenset({"obs", "checks"})
+
+_STDLIB = frozenset(sys.stdlib_module_names) | {"__future__"}
+
+
+def _module_dotted_path(module: ModuleFile) -> list[str]:
+    """``src/repro/obs/metrics.py`` → ``["repro", "obs", "metrics"]``
+    (``__init__.py`` maps to its package path)."""
+    parts = list(module.path.parts)
+    try:
+        anchor = next(
+            i for i in range(len(parts) - 1)
+            if parts[i] == "src" and parts[i + 1] == "repro"
+        )
+    except StopIteration:
+        return []
+    dotted = parts[anchor + 1 :]
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return dotted
+
+
+def _resolve_relative(module: ModuleFile, node: ast.ImportFrom) -> str | None:
+    """The absolute dotted target of a relative import, or None."""
+    dotted = _module_dotted_path(module)
+    if not dotted:
+        return None
+    # level 1 strips the module name (or nothing for a package __init__,
+    # whose dotted path already names the package); deeper levels strip
+    # one package per level.
+    strip = node.level if not module.is_package_init else node.level - 1
+    base = dotted[: len(dotted) - strip] if strip else dotted
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+class ImportHygieneRule(Rule):
+    rule_id = "RC003"
+    title = "import hygiene: stdlib-only, obs is a leaf, no rv edges from core, acyclic"
+    scope = "src"
+
+    def __init__(self):
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def reset(self) -> None:
+        self._edges = {}
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        findings: list[Finding] = []
+        own = module.package
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    findings.extend(
+                        self._check_target(module, own, alias.name, node.lineno)
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    target = _resolve_relative(module, node)
+                else:
+                    target = node.module
+                if target is not None:
+                    findings.extend(
+                        self._check_target(module, own, target, node.lineno)
+                    )
+        return findings
+
+    def _check_target(self, module: ModuleFile, own: str | None, target: str,
+                      line: int) -> list[Finding]:
+        top = target.split(".")[0]
+        if top != "repro":
+            if top in _STDLIB:
+                return []
+            return [self.finding(
+                module,
+                line,
+                f"non-stdlib import {top!r}: src/repro must stay "
+                "dependency-free (offline constraint)",
+            )]
+        parts = target.split(".")
+        if len(parts) < 2 or own is None:
+            return []
+        pkg = parts[1]
+        if pkg == own:
+            return []
+        findings = []
+        if own in LEAF_PACKAGES:
+            findings.append(self.finding(
+                module,
+                line,
+                f"repro.{own} must not import other repro packages "
+                f"(imports repro.{pkg}); it is the dependency leaf",
+            ))
+        if pkg == "rv" and own in CORE_MATH_PACKAGES:
+            findings.append(self.finding(
+                module,
+                line,
+                f"core package repro.{own} must not import the runtime "
+                "layer repro.rv",
+            ))
+        self._edges.setdefault((own, pkg), (module.rel, line))
+        return findings
+
+    def finalize(self) -> list[Finding]:
+        graph: dict[str, set[str]] = {}
+        for src, dst in self._edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        findings = []
+        for cycle in _find_cycles(graph):
+            first_edge = (cycle[0], cycle[1 % len(cycle)])
+            path, line = self._edges.get(first_edge, ("<packages>", 1))
+            pretty = " -> ".join(cycle + (cycle[0],))
+            findings.append(Finding(
+                path=path,
+                line=line,
+                rule=self.rule_id,
+                message=f"import cycle across packages: {pretty}",
+            ))
+        return findings
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[tuple[str, ...]]:
+    """Cycles in the package graph, one canonical tuple per strongly
+    connected component of size > 1 (plus self-loops)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    cycles: list[tuple[str, ...]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1 or node in graph.get(node, ()):
+                ordered = tuple(sorted(component))
+                cycles.append(ordered)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return cycles

@@ -1,0 +1,170 @@
+"""RC001 — lock discipline: guarded attributes are touched under a lock.
+
+The invariant (DESIGN.md, "Observability", thread-safety notes): if a
+class protects an attribute with a lock *somewhere* — i.e. some method
+assigns ``self.x`` (or ``self.x[...]``) inside a ``with self._lock:``
+block — then **every** access to that attribute in the class must happen
+under a lock, because a single unlocked read or read-modify-write is
+enough to lose updates or observe torn state.
+
+The rule is a static approximation of that discipline:
+
+* *lock-like* context managers are ``with`` items whose expression is a
+  ``self`` attribute or bare name containing ``lock`` (this matches the
+  repo idiom: ``self._lock``, ``self._drain_lock``, plus locks returned
+  by :func:`repro.obs.metrics.share_lock`);
+* the *guarded set* of a class is every attribute name stored — directly
+  (``self.x = ...``, ``self.x += ...``) or through a subscript
+  (``self.x[k] = ...``) — inside a lock-like block;
+* any access (load or store) to a guarded attribute outside a lock-like
+  block is a finding, except inside ``__init__``/``__new__`` where the
+  instance is not yet published.
+
+Benign races (e.g. memo dicts written outside the lock on purpose) are
+exactly what the suppression comment is for: the justification lives
+next to the race, machine-checked to stay attached to it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+
+#: Methods where unlocked writes are expected: the instance escapes only
+#: after construction completes.
+_CONSTRUCTORS = frozenset({"__init__", "__new__"})
+
+
+def _is_lock_expr(node: ast.expr, self_name: str) -> bool:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id == self_name and "lock" in node.attr.lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    return False
+
+
+class _Access:
+    """One ``self.<attr>`` occurrence inside a method."""
+
+    __slots__ = ("attr", "line", "locked", "method", "is_store")
+
+    def __init__(self, attr: str, line: int, locked: bool, method: str, is_store: bool):
+        self.attr = attr
+        self.line = line
+        self.locked = locked
+        self.method = method
+        self.is_store = is_store
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collects self-attribute accesses with their lock context."""
+
+    def __init__(self, self_name: str, method: str):
+        self.self_name = self_name
+        self.method = method
+        self.depth = 0
+        self.accesses: list[_Access] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        locks = False
+        for item in node.items:
+            # the lock expression itself (`with self._lock:`) is scanned
+            # in the *enclosing* context
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            locks = locks or _is_lock_expr(item.context_expr, self.self_name)
+        self.depth += 1 if locks else 0
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= 1 if locks else 0
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # `self.x[k] = v` marks x as a *store* even though the inner
+        # Attribute node is formally a Load
+        target = node.value
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == self.self_name
+        ):
+            self.accesses.append(_Access(
+                target.attr, target.lineno, self.depth > 0, self.method, True
+            ))
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == self.self_name:
+            self.accesses.append(_Access(
+                node.attr,
+                node.lineno,
+                self.depth > 0,
+                self.method,
+                isinstance(node.ctx, (ast.Store, ast.Del)),
+            ))
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested classes have their own `self`; analyzed separately
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RC001"
+    title = "lock discipline: lock-guarded attributes accessed without the lock"
+    scope = "all"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: ModuleFile, cls: ast.ClassDef) -> list[Finding]:
+        accesses: list[_Access] = []
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = item.args.posonlyargs + item.args.args
+            if not args or any(
+                isinstance(dec, ast.Name) and dec.id == "staticmethod"
+                for dec in item.decorator_list
+            ):
+                continue
+            scanner = _MethodScanner(args[0].arg, item.name)
+            for stmt in item.body:
+                scanner.visit(stmt)
+            accesses.extend(scanner.accesses)
+
+        guarded: dict[str, str] = {}
+        for access in accesses:
+            if access.locked and access.is_store:
+                guarded.setdefault(access.attr, access.method)
+        if not guarded:
+            return []
+        findings = []
+        for access in accesses:
+            if (
+                access.attr in guarded
+                and not access.locked
+                and access.method not in _CONSTRUCTORS
+            ):
+                kind = "write to" if access.is_store else "read of"
+                findings.append(self.finding(
+                    module,
+                    access.line,
+                    f"unlocked {kind} '{access.attr}' in "
+                    f"{cls.name}.{access.method}: the attribute is "
+                    f"lock-guarded in {cls.name}.{guarded[access.attr]}",
+                ))
+        return findings

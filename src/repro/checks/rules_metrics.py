@@ -1,0 +1,153 @@
+"""RC002 — metric naming: registry names follow ``repro_<pkg>_<name>_<unit>``.
+
+The exposition surface (Prometheus text, stable JSON, the BENCH_*.json
+artifacts) is consumed by dashboards that key on metric names, so names
+are part of the public API and follow one convention (DESIGN.md,
+"Observability"): ``repro_<pkg>_<name>_<unit>`` where ``<pkg>`` is a
+real ``repro`` package and ``<unit>`` is one of the known unit suffixes.
+This rule checks, in library code only:
+
+* every **string-literal** name passed to ``.counter(...)``,
+  ``.gauge(...)`` or ``.histogram(...)`` (names built at runtime, e.g.
+  via :func:`repro.obs.profile.metric_name`, are out of static reach and
+  are covered by the dotted-name check below);
+* every string-literal dotted name passed to ``PhaseTimer(...)`` or
+  ``timed(...)`` — must be ``repro.<pkg>.<rest>`` with a known package
+  (these become ``..._seconds`` metrics);
+* ``labelnames`` arguments must be literal tuples/lists of string
+  literals — label keys are schema, not data.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .core import Finding, ModuleFile, Rule
+
+KNOWN_PACKAGES = frozenset({
+    "analysis", "buchi", "checks", "ctl", "enforcement", "games", "lattice",
+    "ltl", "obs", "omega", "rabin", "rv", "systems", "trees",
+})
+
+KNOWN_UNITS = frozenset({"total", "seconds", "bytes", "ratio", "count", "info"})
+
+_METRIC_NAME_RE = re.compile(
+    r"^repro_(?P<pkg>[a-z][a-z0-9]*)_(?P<body>[a-z][a-z0-9_]*)_(?P<unit>[a-z]+)$"
+)
+_DOTTED_NAME_RE = re.compile(
+    r"^repro\.(?P<pkg>[a-z][a-z0-9]*)(?:\.[a-z][a-z0-9_]*)+$"
+)
+
+_REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
+_DOTTED_FACTORIES = frozenset({"PhaseTimer", "timed"})
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _argument(call: ast.Call, index: int, keyword: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+class MetricNamingRule(Rule):
+    rule_id = "RC002"
+    title = "metric naming: repro_<pkg>_<name>_<unit> with literal label keys"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name in _REGISTRY_METHODS and isinstance(node.func, ast.Attribute):
+                findings.extend(self._check_registration(module, node))
+            elif name in _DOTTED_FACTORIES:
+                findings.extend(self._check_dotted(module, node, name))
+        return findings
+
+    def _check_registration(self, module: ModuleFile, call: ast.Call) -> list[Finding]:
+        findings = []
+        name_arg = _argument(call, 0, "name")
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            findings.extend(self._check_name(module, name_arg))
+        labelnames = _argument(call, 2, "labelnames")
+        if labelnames is not None and not _is_literal_str_sequence(labelnames):
+            findings.append(self.finding(
+                module,
+                labelnames.lineno,
+                "labelnames must be a literal tuple/list of string literals "
+                "(label keys are exposition schema)",
+            ))
+        return findings
+
+    def _check_name(self, module: ModuleFile, node: ast.Constant) -> list[Finding]:
+        name = node.value
+        match = _METRIC_NAME_RE.match(name)
+        if match is None:
+            return [self.finding(
+                module,
+                node.lineno,
+                f"metric name {name!r} does not follow "
+                "repro_<pkg>_<name>_<unit> (lowercase, underscore-separated)",
+            )]
+        findings = []
+        if match.group("pkg") not in KNOWN_PACKAGES:
+            findings.append(self.finding(
+                module,
+                node.lineno,
+                f"metric name {name!r}: {match.group('pkg')!r} is not a "
+                "repro package",
+            ))
+        if match.group("unit") not in KNOWN_UNITS:
+            findings.append(self.finding(
+                module,
+                node.lineno,
+                f"metric name {name!r}: unknown unit suffix "
+                f"{match.group('unit')!r} (known: "
+                f"{', '.join(sorted(KNOWN_UNITS))})",
+            ))
+        return findings
+
+    def _check_dotted(self, module: ModuleFile, call: ast.Call, factory: str
+                      ) -> list[Finding]:
+        name_arg = _argument(call, 0, "name")
+        if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+            return []
+        name = name_arg.value
+        match = _DOTTED_NAME_RE.match(name)
+        if match is None:
+            return [self.finding(
+                module,
+                name_arg.lineno,
+                f"{factory} name {name!r} must be dotted "
+                "repro.<pkg>.<name> (it becomes a *_seconds metric)",
+            )]
+        if match.group("pkg") not in KNOWN_PACKAGES:
+            return [self.finding(
+                module,
+                name_arg.lineno,
+                f"{factory} name {name!r}: {match.group('pkg')!r} is not a "
+                "repro package",
+            )]
+        return []
+
+
+def _is_literal_str_sequence(node: ast.expr) -> bool:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return False
+    return all(
+        isinstance(el, ast.Constant) and isinstance(el.value, str)
+        for el in node.elts
+    )

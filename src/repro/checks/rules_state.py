@@ -1,0 +1,101 @@
+"""RC005 — mutable module state: module-level tables must be frozen.
+
+A module-level ``dict``/``list``/``set`` is process-global shared state:
+any code path that mutates it is a cross-thread, cross-test side channel
+(the RV engine runs a worker pool; the test suite imports everything
+into one process).  Constant tables therefore must be *frozen* —
+``types.MappingProxyType`` for dicts, ``frozenset`` for sets, tuples for
+sequences — so accidental mutation raises instead of corrupting every
+other user of the module.
+
+Deliberately mutable module state (a memo cache, a registry) is allowed
+only with a lock and a suppression comment carrying the justification —
+the same contract as RC001.
+
+Dunder names (``__all__`` and friends) are exempt: they are write-once
+interpreter conventions with fixed types.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+
+_FROZEN_CALLS = frozenset({
+    "MappingProxyType", "frozenset", "tuple", "namedtuple", "count",
+})
+_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+    "bytearray", "Counter",
+})
+
+_MUTABLE_LITERALS = (
+    ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp,
+)
+
+
+def _mutability(node: ast.expr) -> str:
+    """``"mutable"`` / ``"frozen"`` / ``"unknown"`` for a value expression."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return "mutable"
+    if isinstance(node, (ast.Constant, ast.Tuple)):
+        return "frozen"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _FROZEN_CALLS:
+            return "frozen"
+        if name in _MUTABLE_CALLS:
+            return "mutable"
+        return "unknown"
+    if isinstance(node, ast.BinOp):
+        # the left operand's type wins for container operators
+        # (`frozenset(...) | {...}` is a frozenset)
+        left = _mutability(node.left)
+        return left if left != "unknown" else _mutability(node.right)
+    return "unknown"
+
+
+class MutableModuleStateRule(Rule):
+    rule_id = "RC005"
+    title = "mutable module state: freeze module-level dict/list/set constants"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if value is None or _mutability(value) != "mutable":
+                continue
+            for target in targets:
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                findings.append(self.finding(
+                    module,
+                    node.lineno,
+                    f"module-level mutable {_kind_of(value)} {name!r}: freeze "
+                    "it (MappingProxyType / frozenset / tuple) or guard it "
+                    "with a lock and suppress with a justification",
+                ))
+        return findings
+
+
+def _kind_of(node: ast.expr) -> str:
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    return "container"

@@ -20,6 +20,7 @@ Examples: ``"AG (a -> AF b)"``, ``"E [ a U b ] & EGF a"``.
 from __future__ import annotations
 
 import re
+from types import MappingProxyType
 
 from .syntax import (
     AF,
@@ -51,11 +52,11 @@ class CtlParseError(ValueError):
 
 _TOKEN = re.compile(r"\s*(?:(?P<arrow>->)|(?P<op>[!&|(){}\[\],])|(?P<word>\w+))")
 
-_UNARY = {
+_UNARY = MappingProxyType({
     "AX": AX, "EX": EX, "AF": AF, "EF": EF, "AG": AG, "EG": EG,
     "AGF": AGF, "EGF": EGF, "AFG": AFG, "EFG": EFG,
-}
-_RESERVED = set(_UNARY) | {"A", "E", "U", "true", "false"}
+})
+_RESERVED = frozenset(_UNARY) | {"A", "E", "U", "true", "false"}
 
 
 def tokenize(text: str) -> list[str]:

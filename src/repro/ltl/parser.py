@@ -68,7 +68,7 @@ def tokenize(text: str) -> list[str]:
     return tokens
 
 
-_RESERVED = {"U", "R", "W", "X", "F", "G", "true", "false"}
+_RESERVED = frozenset({"U", "R", "W", "X", "F", "G", "true", "false"})
 
 
 class _Parser:

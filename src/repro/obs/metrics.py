@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+from types import MappingProxyType
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -309,7 +310,9 @@ def share_lock(*metrics) -> threading.Lock:
     return lock
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+_KINDS = MappingProxyType(
+    {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+)
 
 
 class MetricFamily:
@@ -350,8 +353,7 @@ class MetricFamily:
     def collect(self) -> dict:
         """A plain-dict snapshot: one sample per labeled child."""
         samples = []
-        for key in sorted(self.children()):
-            child = self._children[key]
+        for key, child in sorted(self.children().items()):
             sample = {"labels": dict(zip(self.labelnames, key))}
             sample.update(child.collect())
             samples.append(sample)

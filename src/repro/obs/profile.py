@@ -137,4 +137,6 @@ class PhaseTimer:
             self._totals.clear()
 
     def __repr__(self) -> str:
-        return f"PhaseTimer({self.name!r}, phases={sorted(self._totals)})"
+        with self._lock:
+            phases = sorted(self._totals)
+        return f"PhaseTimer({self.name!r}, phases={phases})"

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from types import MappingProxyType
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -52,7 +53,7 @@ _TABLES_COMPILED = REGISTRY.counter(
     "repro_rv_tables_compiled_total", "MonitorTable.compile() runs"
 )
 _TABLE_STATES = REGISTRY.histogram(
-    "repro_rv_table_states", "product-table states per compiled monitor"
+    "repro_rv_table_states_count", "product-table states per compiled monitor"
 )
 
 
@@ -121,12 +122,12 @@ class SubsetTable:
         return state
 
 
-_VERDICT_OF = {
+_VERDICT_OF = MappingProxyType({
     (True, True): Verdict3.UNKNOWN,
     (True, False): Verdict3.TRUE,
     (False, True): Verdict3.FALSE,
     (False, False): Verdict3.FALSE,  # unreachable: both runs cannot die
-}
+})
 
 
 class MonitorTable:

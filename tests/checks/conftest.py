@@ -1,0 +1,46 @@
+"""Shared harness for the repro.checks tests: snippet files in a tmp
+tree shaped like the repo (``src/repro/<pkg>/...``), run through the
+real rule engine."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.checks import all_rules, run_checks
+
+
+class CheckerHarness:
+    """Write snippet files under a fake repo root and run the checker."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def write(self, rel: str, source: str):
+        target = self.root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        return target
+
+    def run(self, *paths, rules=None, baseline=None):
+        roots = [self.root / p for p in paths] if paths else [self.root]
+        return run_checks(
+            roots,
+            all_rules() if rules is None else rules,
+            baseline=baseline,
+        )
+
+    def check(self, source: str, rel: str = "src/repro/demo/mod.py", **kwargs):
+        """One-snippet convenience: write it, scan the whole tree."""
+        self.write(rel, source)
+        return self.run(**kwargs)
+
+
+@pytest.fixture
+def checker(tmp_path) -> CheckerHarness:
+    return CheckerHarness(tmp_path)
+
+
+def rules_of(report) -> list[str]:
+    return [finding.rule for finding in report.findings]

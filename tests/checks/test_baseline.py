@@ -1,0 +1,65 @@
+"""JSON baseline: grandfather old findings, fail on new ones."""
+
+import json
+
+import pytest
+
+from repro.checks import load_baseline, write_baseline
+
+from .conftest import rules_of
+
+BAD = 'KINDS = {"a": 1}\n'
+
+
+def test_baseline_round_trip_grandfathers_findings(checker, tmp_path):
+    report = checker.check(BAD)
+    assert rules_of(report) == ["RC005"]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, report.findings)
+
+    rerun = checker.run(baseline=load_baseline(baseline_path))
+    assert rerun.findings == []
+    assert [f.rule for f in rerun.baselined] == ["RC005"]
+    assert rerun.exit_code == 0
+
+
+def test_new_findings_are_not_grandfathered(checker, tmp_path):
+    report = checker.check(BAD)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, report.findings)
+
+    checker.write("src/repro/demo/other.py", 'MORE = [1]\n')
+    rerun = checker.run(baseline=load_baseline(baseline_path))
+    assert rules_of(rerun) == ["RC005"]
+    assert "MORE" in rerun.findings[0].message
+    assert [f.rule for f in rerun.baselined] == ["RC005"]
+
+
+def test_baseline_survives_line_shifts(checker, tmp_path):
+    report = checker.check(BAD)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, report.findings)
+
+    # push the offending line down: the fingerprint is line-free
+    checker.write("src/repro/demo/mod.py", '"""Docstring."""\n\n\n' + BAD)
+    rerun = checker.run(baseline=load_baseline(baseline_path))
+    assert rerun.findings == []
+    assert [f.rule for f in rerun.baselined] == ["RC005"]
+
+
+def test_baseline_file_shape(checker, tmp_path):
+    report = checker.check(BAD)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, report.findings)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    (entry,) = payload["findings"]
+    assert entry["rule"] == "RC005"
+    assert "line" not in entry
+
+
+def test_unsupported_baseline_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        load_baseline(path)

@@ -1,0 +1,71 @@
+"""The command line: exit codes, JSON output, baseline flags, rule list."""
+
+import json
+
+from repro.checks.cli import main
+
+BAD = 'KINDS = {"a": 1}\n'
+GOOD = 'KINDS = (1, 2)\n'
+
+
+def write(tmp_path, source):
+    target = tmp_path / "src" / "repro" / "demo" / "mod.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return tmp_path / "src"
+
+
+def test_exit_code_counts_unsuppressed_findings(tmp_path, capsys):
+    src = write(tmp_path, BAD + 'MORE = [1]\n')
+    assert main([str(src)]) == 2
+    out = capsys.readouterr()
+    assert "RC005" in out.out
+    assert "2 finding(s)" in out.err
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    src = write(tmp_path, GOOD)
+    assert main([str(src)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().err
+
+
+def test_json_output_is_machine_readable(tmp_path, capsys):
+    src = write(tmp_path, BAD)
+    assert main([str(src), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["files_scanned"] == 1
+    (finding,) = payload["unsuppressed"]
+    assert finding["rule"] == "RC005"
+    assert finding["line"] == 1
+    assert payload["suppressed"] == []
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    src = write(tmp_path, BAD)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(src), "--write-baseline", str(baseline)]) == 0
+    assert main([str(src), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr()
+    assert "1 baselined" in out.err
+
+
+def test_show_suppressed_renders_markers(tmp_path, capsys):
+    src = write(
+        tmp_path, 'KINDS = {"a": 1}  # checks: ignore[RC005] justified\n'
+    )
+    assert main([str(src), "--show-suppressed"]) == 0
+    assert "[suppressed]" in capsys.readouterr().out
+
+
+def test_list_rules_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RC001", "RC002", "RC003", "RC004", "RC005"):
+        assert rule_id in out
+
+
+def test_syntax_error_becomes_rc000(tmp_path, capsys):
+    src = write(tmp_path, "def broken(:\n")
+    assert main([str(src)]) == 1
+    assert "RC000" in capsys.readouterr().out

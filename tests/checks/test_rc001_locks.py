@@ -1,0 +1,157 @@
+"""RC001 lock discipline: good and bad snippets."""
+
+from .conftest import rules_of
+
+GOOD_FULLY_LOCKED = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0
+            self._lock = threading.Lock()
+
+        def add(self, n):
+            with self._lock:
+                self._value += n
+
+        def value(self):
+            with self._lock:
+                return self._value
+"""
+
+BAD_UNLOCKED_READ = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0
+            self._lock = threading.Lock()
+
+        def add(self, n):
+            with self._lock:
+                self._value += n
+
+        def value(self):
+            return self._value
+"""
+
+BAD_UNLOCKED_WRITE = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._value = 0
+            self._lock = threading.Lock()
+
+        def add(self, n):
+            with self._lock:
+                self._value += n
+
+        def reset(self):
+            self._value = 0
+"""
+
+
+def test_fully_locked_class_is_clean(checker):
+    assert rules_of(checker.check(GOOD_FULLY_LOCKED)) == []
+
+
+def test_unlocked_read_of_guarded_attribute(checker):
+    report = checker.check(BAD_UNLOCKED_READ)
+    assert rules_of(report) == ["RC001"]
+    finding = report.findings[0]
+    assert finding.line == 14
+    assert "unlocked read of '_value'" in finding.message
+    assert "Counter.value" in finding.message
+
+
+def test_unlocked_write_of_guarded_attribute(checker):
+    report = checker.check(BAD_UNLOCKED_WRITE)
+    assert rules_of(report) == ["RC001"]
+    assert "unlocked write to '_value'" in report.findings[0].message
+
+
+def test_init_is_exempt(checker):
+    # the `self._value = 0` in __init__ must not be flagged even though
+    # _value is guarded elsewhere — both snippets above rely on it, but
+    # make the property explicit
+    report = checker.check(GOOD_FULLY_LOCKED)
+    assert report.findings == []
+
+
+def test_subscript_store_marks_attribute_guarded(checker):
+    report = checker.check("""
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._entries = {}
+                self._lock = threading.Lock()
+
+            def put(self, key, value):
+                with self._lock:
+                    self._entries[key] = value
+
+            def get(self, key):
+                return self._entries.get(key)
+    """)
+    assert rules_of(report) == ["RC001"]
+    assert "unlocked read of '_entries'" in report.findings[0].message
+
+
+def test_unguarded_class_is_ignored(checker):
+    report = checker.check("""
+        class Plain:
+            def __init__(self):
+                self.items = []
+
+            def add(self, x):
+                self.items.append(x)
+    """)
+    assert report.findings == []
+
+
+def test_shared_lock_name_variants_count_as_locks(checker):
+    report = checker.check("""
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self.events = 0
+                self._drain_lock = threading.Lock()
+
+            def record(self, n):
+                with self._drain_lock:
+                    self.events += n
+
+            def snapshot(self):
+                with self._drain_lock:
+                    return self.events
+    """)
+    assert report.findings == []
+
+
+def test_lock_discipline_applies_outside_src_too(checker):
+    report = checker.check(BAD_UNLOCKED_READ, rel="tests/helpers/fake.py")
+    assert rules_of(report) == ["RC001"]
+
+
+def test_nested_attribute_stores_do_not_guard_the_base(checker):
+    # `self.events._value += n` under a lock guards nothing about
+    # `self.events` itself (the repo's EngineStats fused-lock pattern)
+    report = checker.check("""
+        import threading
+
+        class Facade:
+            def __init__(self, counter):
+                self.events = counter
+                self._lock = threading.Lock()
+
+            def bump(self, n):
+                with self._lock:
+                    self.events._value += n
+
+            def snapshot(self):
+                return self.events.value
+    """)
+    assert report.findings == []

@@ -1,0 +1,98 @@
+"""RC002 metric naming: registry names, dotted phase names, label keys."""
+
+from .conftest import rules_of
+
+GOOD = """
+    from repro.obs.metrics import REGISTRY
+
+    EVENTS = REGISTRY.counter("repro_rv_events_total", "events", ("engine",))
+    DEPTH = REGISTRY.gauge("repro_rv_queue_depth_count", "queue depth")
+    LATENCY = REGISTRY.histogram("repro_rv_step_latency_seconds", "latency")
+"""
+
+
+def test_convention_names_pass(checker):
+    assert rules_of(checker.check(GOOD)) == []
+
+
+def test_missing_unit_suffix(checker):
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        X = REGISTRY.histogram("repro_rv_table_states", "states")
+    """)
+    assert rules_of(report) == ["RC002"]
+    assert "unknown unit suffix 'states'" in report.findings[0].message
+
+
+def test_name_without_repro_prefix(checker):
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        X = REGISTRY.counter("rv_events", "events")
+    """)
+    assert rules_of(report) == ["RC002"]
+    assert report.findings[0].line == 3
+    assert "does not follow" in report.findings[0].message
+
+
+def test_unknown_package_segment(checker):
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        X = REGISTRY.counter("repro_nonexistent_events_total", "events")
+    """)
+    assert rules_of(report) == ["RC002"]
+    assert "'nonexistent' is not a repro package" in report.findings[0].message
+
+
+def test_non_literal_labelnames_flagged(checker):
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        NAMES = ("engine",)
+        X = REGISTRY.counter("repro_rv_events_total", "events", NAMES)
+    """)
+    assert rules_of(report) == ["RC002"]
+    assert "labelnames" in report.findings[0].message
+
+
+def test_dynamic_names_are_out_of_scope(checker):
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.profile import metric_name
+        X = REGISTRY.counter(metric_name("repro.rv.events"), "events")
+    """)
+    assert report.findings == []
+
+
+def test_phase_timer_dotted_names(checker):
+    good = checker.check("""
+        from repro.obs.profile import PhaseTimer, timed
+        _PHASES = PhaseTimer("repro.buchi.complement")
+
+        @timed("repro.lattice.decompose")
+        def decompose(x):
+            return x
+    """)
+    assert good.findings == []
+    bad = checker.check("""
+        from repro.obs.profile import PhaseTimer
+        _PHASES = PhaseTimer("buchi.complement")
+    """)
+    assert rules_of(bad) == ["RC002"]
+    assert "must be dotted repro.<pkg>.<name>" in bad.findings[0].message
+
+
+def test_phase_timer_unknown_package(checker):
+    report = checker.check("""
+        from repro.obs.profile import PhaseTimer
+        _PHASES = PhaseTimer("repro.nope.thing")
+    """)
+    assert rules_of(report) == ["RC002"]
+
+
+def test_rule_is_scoped_to_library_code(checker):
+    # tests register deliberately broken names to exercise MetricError —
+    # the naming convention binds src/repro only
+    report = checker.check("""
+        from repro.obs.metrics import REGISTRY
+        X = REGISTRY.counter("0bad", "nope")
+    """, rel="tests/obs/test_fake.py")
+    assert report.findings == []

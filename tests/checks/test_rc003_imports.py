@@ -1,0 +1,88 @@
+"""RC003 import hygiene: stdlib-only, layering, cycles."""
+
+from .conftest import rules_of
+
+
+def test_stdlib_and_internal_imports_pass(checker):
+    report = checker.check("""
+        from __future__ import annotations
+
+        import math
+        import threading
+        from collections import deque
+        from repro.ltl.syntax import Formula
+        from .other import helper
+    """, rel="src/repro/buchi/mod.py")
+    assert report.findings == []
+
+
+def test_third_party_import_flagged(checker):
+    report = checker.check("""
+        import math
+        import numpy
+    """, rel="src/repro/lattice/mod.py")
+    assert rules_of(report) == ["RC003"]
+    finding = report.findings[0]
+    assert finding.line == 3
+    assert "non-stdlib import 'numpy'" in finding.message
+
+
+def test_third_party_from_import_flagged(checker):
+    report = checker.check("from scipy.sparse import csr_matrix\n",
+                           rel="src/repro/games/mod.py")
+    assert rules_of(report) == ["RC003"]
+
+
+def test_tests_may_import_anything(checker):
+    report = checker.check("import pytest\nimport hypothesis\n",
+                           rel="tests/rv/test_fake.py")
+    assert report.findings == []
+
+
+def test_obs_is_a_dependency_leaf(checker):
+    report = checker.check("from repro.ltl.syntax import Formula\n",
+                           rel="src/repro/obs/mod.py")
+    assert rules_of(report) == ["RC003"]
+    assert "dependency leaf" in report.findings[0].message
+
+
+def test_relative_imports_resolve_across_packages(checker):
+    report = checker.check("from ..ltl import syntax\n",
+                           rel="src/repro/obs/mod.py")
+    assert rules_of(report) == ["RC003"]
+
+
+def test_core_math_must_not_import_rv(checker):
+    report = checker.check("from repro.rv.engine import RvEngine\n",
+                           rel="src/repro/buchi/mod.py")
+    assert rules_of(report) == ["RC003"]
+    assert "must not import the runtime layer repro.rv" in report.findings[0].message
+
+
+def test_enforcement_may_import_rv(checker):
+    # enforcement is runtime machinery, deliberately outside the core set
+    report = checker.check("from repro.rv.compile import SubsetTable\n",
+                           rel="src/repro/enforcement/mod.py")
+    assert report.findings == []
+
+
+def test_rv_may_import_core(checker):
+    report = checker.check("from repro.buchi.automaton import BuchiAutomaton\n",
+                           rel="src/repro/rv/mod.py")
+    assert report.findings == []
+
+
+def test_import_cycle_detected(checker):
+    checker.write("src/repro/alpha/mod.py", "from repro.beta import mod\n")
+    checker.write("src/repro/beta/mod.py", "from repro.alpha import mod\n")
+    report = checker.run()
+    cycles = [f for f in report.findings if "import cycle" in f.message]
+    assert len(cycles) == 1
+    assert "alpha -> beta -> alpha" in cycles[0].message
+
+
+def test_acyclic_graph_has_no_cycle_findings(checker):
+    checker.write("src/repro/alpha/mod.py", "from repro.beta import mod\n")
+    checker.write("src/repro/beta/mod.py", "import math\n")
+    report = checker.run()
+    assert report.findings == []

@@ -1,0 +1,81 @@
+"""RC004 API surface: __all__ presence, resolution, privacy."""
+
+from .conftest import rules_of
+
+
+def test_missing_dunder_all(checker):
+    report = checker.check("from .mod import thing\n",
+                           rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "does not declare __all__" in report.findings[0].message
+
+
+def test_resolving_public_all_passes(checker):
+    checker.write("src/repro/demo/mod.py", "def thing():\n    return 1\n")
+    report = checker.check("""
+        from .mod import thing
+
+        __all__ = ["thing", "mod"]
+    """, rel="src/repro/demo/__init__.py")
+    assert report.findings == []
+
+
+def test_unresolved_name_flagged(checker):
+    report = checker.check("""
+        __all__ = ["ghost"]
+    """, rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "'ghost' does not resolve" in report.findings[0].message
+
+
+def test_submodule_names_resolve_via_filesystem(checker):
+    checker.write("src/repro/demo/sub.py", "x = 1\n")
+    checker.write("src/repro/demo/pkg/__init__.py", "__all__ = []\n")
+    report = checker.check("""
+        __all__ = ["sub", "pkg"]
+    """, rel="src/repro/demo/__init__.py")
+    assert report.findings == []
+
+
+def test_private_export_flagged(checker):
+    report = checker.check("""
+        _secret = 1
+
+        __all__ = ["_secret"]
+    """, rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "private name '_secret'" in report.findings[0].message
+
+
+def test_duplicate_export_flagged(checker):
+    report = checker.check("""
+        x = 1
+
+        __all__ = ["x", "x"]
+    """, rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "twice" in report.findings[0].message
+
+
+def test_non_literal_all_flagged(checker):
+    report = checker.check("""
+        names = ("a",)
+        __all__ = names
+    """, rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "literal list/tuple" in report.findings[0].message
+
+
+def test_plain_modules_are_not_checked(checker):
+    report = checker.check("x = 1\n", rel="src/repro/demo/mod.py")
+    assert report.findings == []
+
+
+def test_star_import_disables_resolution_not_privacy(checker):
+    report = checker.check("""
+        from .mod import *
+
+        __all__ = ["anything", "_private"]
+    """, rel="src/repro/demo/__init__.py")
+    assert rules_of(report) == ["RC004"]
+    assert "_private" in report.findings[0].message

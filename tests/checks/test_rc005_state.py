@@ -1,0 +1,76 @@
+"""RC005 mutable module state: frozen vs mutable module-level tables."""
+
+from .conftest import rules_of
+
+
+def test_module_level_dict_flagged(checker):
+    report = checker.check('KINDS = {"a": 1}\n')
+    assert rules_of(report) == ["RC005"]
+    finding = report.findings[0]
+    assert finding.line == 1
+    assert "mutable dict 'KINDS'" in finding.message
+
+
+def test_module_level_list_and_set_flagged(checker):
+    report = checker.check("""
+        ITEMS = [1, 2]
+        NAMES = {"a", "b"}
+    """)
+    assert rules_of(report) == ["RC005", "RC005"]
+
+
+def test_frozen_tables_pass(checker):
+    report = checker.check("""
+        from types import MappingProxyType
+
+        KINDS = MappingProxyType({"a": 1})
+        NAMES = frozenset({"a", "b"})
+        ITEMS = (1, 2)
+        PAIRS = tuple([1, 2])
+    """)
+    assert report.findings == []
+
+
+def test_set_union_follows_left_operand(checker):
+    mutable = checker.check('RESERVED = set("ab") | {"c"}\n')
+    assert rules_of(mutable) == ["RC005"]
+    frozen = checker.check('RESERVED = frozenset("ab") | {"c"}\n')
+    assert frozen.findings == []
+
+
+def test_comprehensions_flagged(checker):
+    report = checker.check("TABLE = {i: i * i for i in range(4)}\n")
+    assert rules_of(report) == ["RC005"]
+
+
+def test_dunder_names_exempt(checker):
+    report = checker.check('__all__ = ["a"]\na = 1\n')
+    assert report.findings == []
+
+
+def test_class_and_function_scopes_not_flagged(checker):
+    report = checker.check("""
+        class Box:
+            registry = {}
+
+        def make():
+            local = []
+            return local
+    """)
+    assert report.findings == []
+
+
+def test_scoped_to_library_code(checker):
+    # parametrize tables in tests are idiomatic and exempt
+    report = checker.check("CASES = [(1, 2), (3, 4)]\n",
+                           rel="tests/demo/test_fake.py")
+    assert report.findings == []
+
+
+def test_unknown_calls_not_flagged(checker):
+    report = checker.check("""
+        import itertools
+        COUNTER = itertools.count()
+        THING = object()
+    """)
+    assert report.findings == []

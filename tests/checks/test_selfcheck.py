@@ -1,0 +1,84 @@
+"""The checker run against the repo itself — the self-hosting gate.
+
+The tentpole contract: ``python -m repro.checks src`` exits 0 on the
+merged tree, and deliberately breaking an invariant (an unlocked
+write to ``Counter._value``, a metric named ``rv_events``, ``import
+numpy`` under ``src/repro``) fails with the right rule id and line.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checks import all_rules, run_checks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_library_tree_is_clean_in_process():
+    report = run_checks([REPO_ROOT / "src"], all_rules())
+    assert report.findings == [], "\n".join(
+        finding.render() for finding in report.findings
+    )
+
+
+def test_full_tree_is_clean_in_process():
+    report = run_checks(
+        [REPO_ROOT / path for path in ("src", "tests", "benchmarks", "examples")],
+        all_rules(),
+    )
+    assert report.findings == [], "\n".join(
+        finding.render() for finding in report.findings
+    )
+
+
+def test_cli_self_check_exits_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.checks", "src"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_breaking_lock_discipline_fails_with_rc001(tmp_path):
+    metrics = REPO_ROOT / "src" / "repro" / "obs" / "metrics.py"
+    broken = metrics.read_text().replace(
+        "    def inc(self) -> None:\n        self.add(1)\n",
+        "    def inc(self) -> None:\n        self._value += 1\n",
+    )
+    target = tmp_path / "src" / "repro" / "obs" / "metrics.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(broken)
+    report = run_checks([tmp_path / "src"], all_rules())
+    rc001 = [f for f in report.findings if f.rule == "RC001"]
+    assert len(rc001) == 1
+    assert "_value" in rc001[0].message
+    assert rc001[0].line == broken[: broken.index("self._value += 1")].count("\n") + 1
+
+
+def test_breaking_metric_naming_fails_with_rc002(tmp_path):
+    target = tmp_path / "src" / "repro" / "rv" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "from repro.obs.metrics import REGISTRY\n"
+        'EVENTS = REGISTRY.counter("rv_events", "oops")\n'
+    )
+    report = run_checks([tmp_path / "src"], all_rules())
+    assert [(f.rule, f.line) for f in report.findings] == [("RC002", 2)]
+
+
+def test_breaking_offline_constraint_fails_with_rc003(tmp_path):
+    target = tmp_path / "src" / "repro" / "lattice" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import numpy\n")
+    report = run_checks([tmp_path / "src"], all_rules())
+    assert [(f.rule, f.line) for f in report.findings] == [("RC003", 1)]

@@ -1,0 +1,70 @@
+"""Suppression comments: trailing, preceding-line, file-level, unknown ids."""
+
+from .conftest import rules_of
+
+
+def test_trailing_suppression(checker):
+    report = checker.check(
+        'KINDS = {"a": 1}  # checks: ignore[RC005] registry is append-only under _LOCK\n'
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC005"]
+
+
+def test_preceding_comment_line_suppresses_next_line(checker):
+    report = checker.check("""
+        # checks: ignore[RC005] frozen at import time by convention
+        KINDS = {"a": 1}
+    """)
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC005"]
+
+
+def test_suppression_is_rule_specific(checker):
+    report = checker.check(
+        'KINDS = {"a": 1}  # checks: ignore[RC001] wrong rule\n'
+    )
+    assert rules_of(report) == ["RC005"]
+
+
+def test_multiple_ids_in_one_comment(checker):
+    report = checker.check("""
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._value = 0
+                self._lock = threading.Lock()
+
+            def add(self, n):
+                with self._lock:
+                    self._value += n
+
+            def peek(self):
+                return self._value  # checks: ignore[RC001,RC005] racy read is documented
+    """)
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC001"]
+
+
+def test_file_level_suppression(checker):
+    report = checker.check("""
+        # checks: ignore-file[RC005] generated lookup tables, frozen by construction
+        A = {"a": 1}
+        B = [1, 2]
+    """)
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC005", "RC005"]
+
+
+def test_unknown_rule_id_is_reported(checker):
+    report = checker.check('X = 1  # checks: ignore[RC999]\n')
+    assert rules_of(report) == ["RC000"]
+    assert "unknown rule RC999" in report.findings[0].message
+
+
+def test_suppressed_findings_do_not_count_toward_exit_code(checker):
+    report = checker.check(
+        'KINDS = {"a": 1}  # checks: ignore[RC005] justified\n'
+    )
+    assert report.exit_code == 0
