@@ -9,7 +9,7 @@ topological, and re-verifies Theorem 2 on the non-topological ones.
 
 import random
 
-from repro.lattice import decompose_single
+from repro.analysis import decompose
 from repro.lattice.random_lattices import random_closure, random_modular_complemented
 
 from .conftest import emit
@@ -28,8 +28,8 @@ def _ablation(n_samples: int) -> dict:
             continue
         non_topological += 1
         for a in lat.elements:
-            d = decompose_single(lat, cl, a, check_hypotheses=False)
-            assert d.verify(lat, cl, cl)
+            d = decompose(a, closure=cl, check_hypotheses=False)
+            assert d.verify()
             decomposed_on_non_topological += 1
     return {
         "topological": topological,

@@ -15,8 +15,8 @@ Gumm ⋁-completeness gap.
 
 import random
 
+from repro.analysis import decompose
 from repro.buchi import (
-    decompose,
     finite_prefix_automaton,
     inclusion_counterexample,
     random_automaton,

@@ -8,10 +8,10 @@ substitution).
 """
 
 from repro.ctl import sample_trees
+from repro.analysis import decompose
 from repro.rabin import (
     RabinTreeAutomaton,
     accepts_tree,
-    decompose,
     emptiness_witness,
     is_closure_automaton,
     nonempty_states,

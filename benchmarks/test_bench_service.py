@@ -1,0 +1,97 @@
+"""Analysis-service throughput — the cold vs warm payoff of canonical
+cache keys (DESIGN.md §8).
+
+A repeated 100-request workload (decompose/classify/check over a small
+formula family, *with every subject freshly re-parsed and automata
+freshly re-translated and renumbered* — so nothing is cached by object
+identity, only up to isomorphism) is served twice: cold on an empty
+cache, then warm.  The acceptance bar for the PR: warm beats cold by
+≥ 10×, asserted here and visible in ``BENCH_service.json``.
+"""
+
+import pytest
+
+from repro.ltl import parse, translate
+from repro.service import (
+    AnalysisService,
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    ResultCache,
+)
+
+from .conftest import emit
+
+FORMULAS = ["G a", "F b", "a U b", "GF a", "G (a -> X b)",
+            "FG a", "a W b", "F (a & b)", "a & F !a", "G (a | b)"]
+ALPHABET = frozenset({"a", "b"})
+
+
+def _workload():
+    """100 requests: 10 formulas × (decompose + classify + check) plus a
+    renumbered-automaton decompose per formula — every subject is a
+    fresh object, so hits prove canonical keys, not object identity."""
+    requests = []
+    for index, text in enumerate(FORMULAS):
+        formula = parse(text)
+        automaton = translate(formula, "ab").renumbered(f"w{index}")
+        requests.extend([
+            DecomposeRequest(formula, alphabet=ALPHABET),
+            ClassifyRequest(formula, alphabet=ALPHABET),
+            CheckRequest(formula, alphabet=ALPHABET),
+            DecomposeRequest(automaton),
+        ])
+        # a second, differently-renumbered copy: isomorphic, must hit
+        requests.append(
+            DecomposeRequest(translate(formula, "ab").renumbered(f"v{index}"))
+        )
+    requests.extend(requests[:100 - len(requests)] if len(requests) < 100 else [])
+    return requests[:100]
+
+
+def _serve(service, requests):
+    for request in requests:
+        service.request(request)
+
+
+def test_cold_service(benchmark):
+    def setup():
+        return (AnalysisService(workers=0, cache=ResultCache()), _workload()), {}
+
+    benchmark.pedantic(_serve, setup=setup, rounds=5, iterations=1)
+
+
+def test_warm_service(benchmark):
+    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    requests = _workload()
+    _serve(service, requests)  # populate
+    benchmark(_serve, service, _workload())  # fresh objects, warm cache
+    info = service.cache.info()
+    assert info.hits > info.misses
+
+
+def test_warm_beats_cold_by_10x():
+    """The PR's acceptance criterion, asserted directly (and robustly to
+    benchmark-fixture overhead): one workload served cold, then the same
+    shape of workload — all-new subject objects — served warm."""
+    import time
+
+    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    cold_requests = _workload()
+    t0 = time.perf_counter()
+    _serve(service, cold_requests)
+    cold = time.perf_counter() - t0
+
+    warm_requests = _workload()
+    t0 = time.perf_counter()
+    _serve(service, warm_requests)
+    warm = time.perf_counter() - t0
+
+    info = service.cache.info()
+    speedup = cold / warm if warm > 0 else float("inf")
+    emit(
+        "service — cold vs warm (100-request workload)",
+        f"cold={cold * 1e3:.1f}ms  warm={warm * 1e3:.1f}ms  "
+        f"speedup={speedup:.1f}x  hits={info.hits}  misses={info.misses}",
+    )
+    assert speedup >= 10.0, (cold, warm)

@@ -8,11 +8,10 @@ element; report instances/second.
 
 import random
 
+from repro.analysis import decompose
 from repro.lattice import (
     LatticeClosure,
     boolean_lattice,
-    decompose,
-    decompose_single,
     subspace_lattice_gf2,
 )
 from repro.lattice.random_lattices import (
@@ -31,8 +30,8 @@ def _theorem2_boolean_sweep(n_atoms: int, n_closures: int) -> int:
     for _ in range(n_closures):
         cl = random_closure(rng, lat)
         for a in lat.elements:
-            d = decompose_single(lat, cl, a, check_hypotheses=False)
-            assert d.verify(lat, cl, cl)
+            d = decompose(a, closure=cl, check_hypotheses=False)
+            assert d.verify()
             verified += 1
     return verified
 
@@ -56,8 +55,8 @@ def _theorem3_modular_sweep(n_lattices: int) -> int:
         cl1, cl2 = random_comparable_closure_pair(rng, lat)
         assert cl2.dominates(cl1)
         for a in lat.elements:
-            d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
-            assert d.verify(lat, cl1, cl2)
+            d = decompose(a, closure=(cl1, cl2), check_hypotheses=False)
+            assert d.verify()
             verified += 1
     return verified
 
@@ -83,8 +82,8 @@ def _subspace_lattice_instance() -> int:
     for _ in range(3):
         cl = random_closure(rng, lat, density=0.3)
         for a in lat.elements:
-            d = decompose_single(lat, cl, a, check_hypotheses=False)
-            assert d.verify(lat, cl, cl)
+            d = decompose(a, closure=cl, check_hypotheses=False)
+            assert d.verify()
             verified += 1
     return verified
 

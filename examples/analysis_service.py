@@ -1,0 +1,67 @@
+"""The analysis service: one unified decompose() API, served concurrent
+and cache-backed (DESIGN.md §8).
+
+Run:  python examples/analysis_service.py
+"""
+
+import json
+import tempfile
+
+from repro.ltl import parse, translate
+from repro.service import (
+    AnalysisService,
+    ClassifyRequest,
+    DecomposeRequest,
+    ServiceTimeout,
+    warm_start,
+)
+
+ALPHABET = frozenset({"a", "b"})
+
+# ── 1. One API, typed requests ─────────────────────────────────────────
+with AnalysisService(workers=4) as service:
+    result = service.request(DecomposeRequest(parse("a U b"), alphabet=ALPHABET))
+    d = result.value
+    print("decompose(a U b):")
+    print(f"  safety   : {d.safety}")
+    print(f"  liveness : {d.liveness}")
+    print(f"  verified : {d.verify()}")
+    print(f"  cached   : {result.cached}   key: {result.key[:40]}…")
+
+    # ── 2. The cache answers repeats — up to state renaming ────────────
+    automaton = translate(parse("G (a -> X b)"), "ab")
+    service.request(DecomposeRequest(automaton))
+    renamed = service.request(DecomposeRequest(automaton.renumbered("copy")))
+    print("\nisomorphic resubmission (all states renamed):")
+    print(f"  cached: {renamed.cached}  — canonical keys see through names")
+
+    verdict = service.request(ClassifyRequest(parse("G a"), alphabet=ALPHABET))
+    print(f"\nclassify(G a) = {verdict.value.value}")
+
+    # ── 3. Deadlines degrade gracefully ────────────────────────────────
+    try:
+        service.request(
+            DecomposeRequest(parse("GF a"), alphabet=ALPHABET), timeout=0.0
+        )
+    except ServiceTimeout as exc:
+        print(f"\nzero deadline: ServiceTimeout — {exc}")
+
+    print(f"\nsnapshot: {service.snapshot()}")
+
+# ── 4. Warm start from a recorded workload ─────────────────────────────
+workload = {
+    "version": 1,
+    "requests": [
+        {"kind": "decompose", "formula": "G a", "alphabet": ["a", "b"]},
+        {"kind": "classify", "formula": "F b", "alphabet": ["a", "b"]},
+    ],
+}
+with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as handle:
+    json.dump(workload, handle)
+    path = handle.name
+
+with AnalysisService(workers=2) as service:
+    count = warm_start(service, path)
+    reply = service.request(DecomposeRequest(parse("G a"), alphabet=ALPHABET))
+    print(f"\nwarm start replayed {count} requests; first live request "
+          f"cached: {reply.cached}")

@@ -6,7 +6,7 @@ Run:  python examples/branching_time.py
 
 from repro.analysis import q_table
 from repro.ctl import holds_on_tree, q_examples, sample_trees, two_path_witness
-from repro.lattice import decompose as lattice_decompose
+from repro.analysis import decompose
 from repro.ltl import parse, satisfies
 from repro.trees import PartialRegularPrefix, closure_on_samples
 
@@ -40,8 +40,8 @@ q3a = frozenset(
     i for i, t in enumerate(universe)
     if holds_on_tree(t, [e for e in q_examples() if e.identifier == 'q3a'][0].formula)
 )
-d = lattice_decompose(lattice, ncl, fcl, q3a, check_hypotheses=False)
+d = decompose(q3a, closure=(ncl, fcl), check_hypotheses=False)
 print(f"  q3a on samples      = {sorted(q3a)}")
 print(f"  ES safety conjunct  = {sorted(d.safety)}")
 print(f"  UL liveness conjunct= {sorted(d.liveness)}")
-print(f"  decomposition valid : {d.verify(lattice, ncl, fcl)}")
+print(f"  decomposition valid : {d.verify()}")

@@ -12,7 +12,8 @@ though φ itself mixes them.
 Run:  python examples/buchi_decomposition.py
 """
 
-from repro.buchi import decompose, inclusion_counterexample
+from repro.analysis import decompose
+from repro.buchi import inclusion_counterexample
 from repro.ltl import classify, parse, translate
 from repro.omega import LassoWord
 

@@ -16,11 +16,11 @@ def section(title: str):
 
 # ── Section 3: the lattice theorems ─────────────────────────────────────
 section("Section 3 — lattice theorems")
+from repro.analysis import decompose
 from repro.lattice import (
     all_decompositions,
     check_strongest_safety,
     check_weakest_liveness,
-    decompose,
     figure1,
     figure2,
     no_decomposition_witness,
@@ -38,8 +38,8 @@ for _ in range(10):
     lat = random_modular_complemented(rng, max_factors=2, max_diamond=3)
     cl1, cl2 = random_comparable_closure_pair(rng, lat)
     for a in lat.elements:
-        d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
-        assert d.verify(lat, cl1, cl2)
+        d = decompose(a, closure=(cl1, cl2), check_hypotheses=False)
+        assert d.verify()
         counts["thm3"] += 1
         if theorem5_applies(lat, cl1, cl2, a):
             assert no_decomposition_witness(lat, cl1, cl2, a) is None
@@ -65,7 +65,6 @@ print("Figure 2 (M3): Theorem 7 bound fails without distributivity")
 # ── Section 2: linear time ───────────────────────────────────────────────
 section("Section 2 — linear time (Rem's table + Büchi decomposition)")
 from repro.analysis import rem_table
-from repro.buchi import decompose as buchi_decompose
 from repro.buchi import random_automaton
 from repro.omega import all_lassos
 
@@ -75,7 +74,7 @@ lassos = list(all_lassos("ab", 2, 2))
 checked = 0
 for _ in range(10):
     m = random_automaton(rng, rng.randint(1, 10))
-    d = buchi_decompose(m)
+    d = decompose(m)
     assert all(d.verify_on_word(w) for w in lassos)
     checked += 1
 print(f"\nBüchi decomposition identity verified on {checked} random automata")
@@ -85,7 +84,6 @@ section("Section 4 — branching time (q table + Rabin pipeline)")
 from repro.analysis import q_table
 from repro.ctl import sample_trees
 from repro.rabin import RabinTreeAutomaton, accepts_tree
-from repro.rabin import decompose as rabin_decompose
 
 print(q_table())
 agfa = RabinTreeAutomaton.build(
@@ -101,7 +99,7 @@ agfa = RabinTreeAutomaton.build(
     branching=2,
     name="A(GF a)",
 )
-d9 = rabin_decompose(agfa)
+d9 = decompose(agfa)
 assert d9.verify_on_samples(sample_trees().values())
 print("\nTheorem 9 decomposition verified on the regular-tree zoo")
 

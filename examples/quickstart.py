@@ -4,8 +4,8 @@ three frameworks in under a minute.
 Run:  python examples/quickstart.py
 """
 
-from repro.analysis import classify_formula, decompose_automaton
-from repro.lattice import LatticeClosure, boolean_lattice, decompose_single
+from repro.analysis import classify_formula, decompose
+from repro.lattice import LatticeClosure, boolean_lattice
 from repro.ltl import parse, translate
 from repro.omega import LassoWord
 
@@ -18,7 +18,7 @@ cl = LatticeClosure.from_closed_elements(
     lattice, [frozenset({0, 1}), frozenset({2})], name="demo-cl"
 )
 element = frozenset({0})
-d = decompose_single(lattice, cl, element)
+d = decompose(element, closure=cl)
 print("Theorem 2 on 2^3:")
 print(f"  element   = {set(element)}")
 print(f"  safety    = {set(d.safety)}   (= cl(element))")
@@ -37,7 +37,7 @@ print(f"  class: {classify_formula(p3, 'ab').value}")
 # Decompose p3's automaton: B = B_S ∩ B_L, with B_S the closure (= p1,
 # "first symbol is a") and B_L live.
 automaton = translate(p3, "ab")
-decomposition = decompose_automaton(automaton)
+decomposition = decompose(automaton)
 print("\nAlpern–Schneider decomposition of p3's Büchi automaton:")
 print(f"  B   : {automaton}")
 print(f"  B_S : {decomposition.safety}")

@@ -7,11 +7,11 @@ witness tree, and run the Theorem 9 decomposition.
 Run:  python examples/rabin_trees.py
 """
 
+from repro.analysis import decompose
 from repro.ctl import sample_trees
 from repro.rabin import (
     RabinTreeAutomaton,
     accepts_tree,
-    decompose,
     emptiness_witness,
     nonempty_states,
     rfcl,

@@ -42,7 +42,15 @@ obs
     log-bucketed histograms), span tracing with Chrome trace export,
     phase profiling, and Prometheus/JSON exposition.
 analysis
-    One classification/decomposition API across all frameworks.
+    One classification/decomposition API across all frameworks
+    (``repro.analysis.decompose`` is the single decomposition entry
+    point).
+canonical
+    Renaming-invariant structural hashing — the cache keys behind the
+    analysis service.
+service
+    The concurrent, cache-backed analysis server: typed requests over a
+    bounded queue, worker-pool dispatch, canonical-key memoization.
 """
 
 __version__ = "1.0.0"
@@ -52,6 +60,7 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "buchi",
+    "canonical",
     "checks",
     "ctl",
     "enforcement",
@@ -62,6 +71,7 @@ __all__ = [
     "omega",
     "rabin",
     "rv",
+    "service",
     "systems",
     "trees",
 ]

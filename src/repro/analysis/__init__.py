@@ -1,5 +1,11 @@
 """Unified safety/liveness classification, decomposition, machine
-closure, and the paper's tables as reports."""
+closure, and the paper's tables as reports.
+
+:func:`decompose` is the one decomposition entry point (see
+:mod:`repro.analysis.decompose` for the dispatch table).  The deprecated
+per-kind spellings (``decompose_element`` and friends) are still
+importable from :mod:`repro.analysis.classify` but are deliberately kept
+out of ``__all__`` (checks rule RC006)."""
 
 from .classify import (
     PropertyClass,
@@ -7,10 +13,11 @@ from .classify import (
     classify_element,
     classify_formula,
     classify_rabin_on_samples,
-    decompose_automaton,
-    decompose_element,
-    decompose_formula,
+    decompose_automaton,  # noqa: F401 — deprecated shim, importable not exported
+    decompose_element,  # noqa: F401 — deprecated shim, importable not exported
+    decompose_formula,  # noqa: F401 — deprecated shim, importable not exported
 )
+from .decompose import BoundDecomposition, Decomposition, decompose
 from .machine_closure import (
     canonical_pair,
     is_machine_closed_element,
@@ -24,9 +31,9 @@ __all__ = [
     "classify_automaton",
     "classify_formula",
     "classify_rabin_on_samples",
-    "decompose_element",
-    "decompose_automaton",
-    "decompose_formula",
+    "decompose",
+    "Decomposition",
+    "BoundDecomposition",
     "is_machine_closed_pair",
     "is_machine_closed_element",
     "canonical_pair",

@@ -10,23 +10,25 @@ single vocabulary:
   time instances (Sections 2.2–2.4);
 * :func:`classify_rabin_on_samples` — the tree instance, sampled
   (Section 4.4, per the DESIGN.md substitution);
-* :func:`decompose_element` / :func:`decompose_automaton` /
-  :func:`decompose_formula` — the corresponding Theorem 2/3/9
-  constructions.
+* the corresponding Theorem 2/3/9 constructions, all behind the one
+  :func:`repro.analysis.decompose` facade (the old
+  ``decompose_element`` / ``decompose_automaton`` /
+  ``decompose_formula`` spellings survive as deprecated shims).
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.buchi.automaton import BuchiAutomaton
 from repro.buchi.closure import is_liveness as buchi_is_liveness
 from repro.buchi.closure import is_safety as buchi_is_safety
-from repro.buchi.decomposition import decompose as buchi_decompose
+from repro.buchi.decomposition import _decompose as _buchi_decompose
 from repro.lattice.closure import LatticeClosure
-from repro.lattice.decomposition import decompose_single
+from repro.lattice.decomposition import _decompose_single
 from repro.lattice.lattice import FiniteLattice
-from repro.ltl.classify import PropertyClass
+from repro.ltl.classify import PropertyClass, _decompose_formula
 from repro.ltl.classify import classify as ltl_classify
-from repro.ltl.classify import decompose_formula
 from repro.ltl.syntax import Formula
 
 
@@ -74,13 +76,39 @@ def classify_rabin_on_samples(automaton, sample_trees, depth: int = 3) -> Proper
 
 
 def decompose_element(lattice: FiniteLattice, cl: LatticeClosure, element):
-    """Theorem 2 on a lattice element."""
-    return decompose_single(lattice, cl, element)
+    """Deprecated spelling of Theorem 2 — use
+    :func:`repro.analysis.decompose` with ``closure=cl``."""
+    warnings.warn(
+        "repro.analysis.classify.decompose_element is deprecated; use "
+        "repro.analysis.decompose(element, closure=cl)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose_single(lattice, cl, element)
 
 
 def decompose_automaton(automaton: BuchiAutomaton):
-    """The §2.4 decomposition ``B = B_S ∩ B_L``."""
-    return buchi_decompose(automaton)
+    """Deprecated spelling of the §2.4 decomposition — use
+    :func:`repro.analysis.decompose`."""
+    warnings.warn(
+        "repro.analysis.classify.decompose_automaton is deprecated; use "
+        "repro.analysis.decompose(automaton)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _buchi_decompose(automaton)
+
+
+def decompose_formula(formula: Formula, alphabet):
+    """Deprecated spelling — use
+    :func:`repro.analysis.decompose` with ``alphabet=``."""
+    warnings.warn(
+        "repro.analysis.classify.decompose_formula is deprecated; use "
+        "repro.analysis.decompose(formula, alphabet=alphabet)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose_formula(formula, alphabet)
 
 
 __all__ = [
@@ -89,7 +117,4 @@ __all__ = [
     "classify_automaton",
     "classify_formula",
     "classify_rabin_on_samples",
-    "decompose_element",
-    "decompose_automaton",
-    "decompose_formula",
 ]

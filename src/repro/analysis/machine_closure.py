@@ -41,7 +41,7 @@ def is_machine_closed_element(
 def canonical_pair(automaton: BuchiAutomaton):
     """The (safety, liveness) pair of the canonical decomposition —
     machine closed by Theorem 6's discussion, which the tests verify."""
-    from repro.buchi.decomposition import decompose
+    from repro.buchi.decomposition import _decompose
 
-    d = decompose(automaton)
+    d = _decompose(automaton)
     return d.safety, d.liveness

@@ -75,7 +75,6 @@ __all__ = [
     "complement_safety",
     "complement_deterministic",
     "complement_rank_based",
-    "decompose",
     "BuchiDecomposition",
     "is_empty",
     "find_accepted_word",

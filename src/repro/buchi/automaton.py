@@ -227,6 +227,37 @@ class BuchiAutomaton:
             name=self.name,
         )
 
+    def canonical_key(self) -> str:
+        """A structural cache key, invariant under state renaming.
+
+        Two automata that are isomorphic up to a renaming of their
+        states (same alphabet, same transition structure, same
+        initial/accepting marking) get the same key; automata with
+        different structure get different keys.  Built on the canonical
+        labeling of :func:`repro.canonical.canonical_digraph_key` —
+        the key hashes the *full* renumbered transition relation, so
+        equal keys imply isomorphism, which is what makes it safe as a
+        memoization key in :mod:`repro.service` (DESIGN.md §8)."""
+        from repro.canonical import canonical_digraph_key, stable_token
+
+        colors = {
+            q: (q == self.initial, q in self.accepting) for q in self.states
+        }
+        edges = [
+            (a, q, r)
+            for (q, a), targets in self.transitions.items()
+            for r in targets
+        ]
+        return "buchi:" + canonical_digraph_key(
+            self.states,
+            colors,
+            edges,
+            graph_attrs=(
+                "buchi",
+                tuple(sorted(stable_token(a) for a in self.alphabet)),
+            ),
+        )
+
     def renumbered(self, name: str | None = None) -> "BuchiAutomaton":
         """An isomorphic copy with states ``0..n-1`` (BFS order from the
         initial state, then the rest in repr order)."""

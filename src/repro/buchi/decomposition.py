@@ -14,6 +14,7 @@ with ``¬cl(B)`` computed by the cheap safety-automaton complement.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.obs.metrics import REGISTRY
@@ -45,8 +46,20 @@ class BuchiDecomposition:
         """``B_S ∩ B_L`` — provably language-equal to ``B``."""
         return intersection(self.safety, self.liveness)
 
+    def verify(self, witness: LassoWord | None = None) -> bool:
+        """The shared verifier spelling of the unified decomposition
+        protocol (:func:`repro.analysis.decompose`): with a ``witness``
+        lasso word, check the identity ``L(B) = L(B_S) ∩ L(B_L)`` on
+        that word; with no witness, prove it exactly."""
+        if witness is None:
+            return self.verify_exact()
+        return self.verify_on_word(witness)
+
     def verify_on_word(self, word: LassoWord) -> bool:
-        """Check the identity ``L(B) = L(B_S) ∩ L(B_L)`` on one word."""
+        """Check the identity ``L(B) = L(B_S) ∩ L(B_L)`` on one word.
+
+        Alias kept for existing callers; :meth:`verify` is the unified
+        spelling."""
         return self.original.accepts(word) == (
             self.safety.accepts(word) and self.liveness.accepts(word)
         )
@@ -105,7 +118,7 @@ class BuchiDecomposition:
         return is_safety(self.safety) and is_liveness(self.liveness)
 
 
-def decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
+def _decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
     """Decompose ``B`` into ``B_S`` (safety) and ``B_L`` (liveness) with
     ``L(B) = L(B_S) ∩ L(B_L)``."""
     with _PHASES.phase("closure"):
@@ -132,3 +145,15 @@ def decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
     )
     _DECOMPOSITIONS.add()
     return BuchiDecomposition(original=automaton, safety=safety, liveness=liveness)
+
+
+def decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
+    """Deprecated spelling of the §2.4 decomposition — use
+    :func:`repro.analysis.decompose`."""
+    warnings.warn(
+        "repro.buchi.decomposition.decompose is deprecated; use "
+        "repro.analysis.decompose(automaton)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose(automaton)

@@ -81,9 +81,9 @@ def weakest_liveness_violation(
 def canonical_is_extremal(automaton: BuchiAutomaton) -> bool:
     """Self-check: the canonical decomposition's own parts satisfy both
     extremal bounds."""
-    from .decomposition import decompose
+    from .decomposition import _decompose
 
-    d = decompose(automaton)
+    d = _decompose(automaton)
     if strongest_safety_violation(automaton, d.safety) is not None:
         return False
     return weakest_liveness_violation(automaton, d.liveness) is None

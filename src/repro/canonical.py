@@ -1,0 +1,190 @@
+"""Renaming-invariant structural hashing for the repo's core objects.
+
+The analysis service (:mod:`repro.service`) memoizes decomposition and
+classification results in an LRU keyed by *canonical structural keys*:
+two automata (or lattices, or formulas) that differ only by a renaming
+of their states (or elements) must hit the same cache line, and two
+objects with different languages must not collide.  This module provides
+the one algorithm behind every ``canonical_key()`` method: canonical
+labeling of a node/edge-colored directed multigraph.
+
+The construction is the classic two-stage scheme (nauty in miniature):
+
+1. **Color refinement** (1-dimensional Weisfeiler–Leman): every node's
+   color is repeatedly re-hashed with the sorted multiset of
+   ``(edge label, neighbor color)`` pairs over its out- and in-edges,
+   until the partition into color classes stabilizes.  Refinement is
+   order-free, so the resulting partition is invariant under any
+   renaming of the nodes.
+2. **Individualization**: if refinement leaves a color class with more
+   than one node, each node of the first such class is tentatively
+   given a fresh color and refinement recurses; the lexicographically
+   smallest resulting encoding is taken.  Branching over *every* member
+   of the class keeps the result renaming-invariant, and taking the
+   minimum makes it canonical.  The search is exponential only on
+   graphs with large automorphism-like classes; a ``budget`` caps the
+   number of leaf encodings and raises :class:`CanonicalizationError`
+   beyond it (callers fall back to an uncacheable key — a cache miss,
+   never a wrong answer).
+
+The canonical *encoding* lists every node's original color and every
+edge under the canonical numbering, so equal keys imply isomorphic
+inputs (no WL false merges: WL only steers the ordering, the full
+structure is what gets hashed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "CanonicalizationError",
+    "canonical_digraph_key",
+    "digest",
+    "stable_token",
+]
+
+#: Leaf-encoding budget for the individualization search.  Every graph in
+#: the repo canonicalizes in a handful of leaves; the cap only guards
+#: against adversarially symmetric inputs.
+DEFAULT_BUDGET = 4096
+
+
+class CanonicalizationError(ValueError):
+    """The individualization search exceeded its budget."""
+
+
+def stable_token(value) -> str:
+    """A deterministic string for a hashable value, independent of hash
+    seeds and container ordering (frozensets are serialized sorted)."""
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, bool):
+        return "b:" + str(value)
+    if isinstance(value, (int, float)):
+        return "n:" + repr(value)
+    if value is None:
+        return "0:"
+    if isinstance(value, tuple):
+        return "t:(" + ",".join(stable_token(v) for v in value) + ")"
+    if isinstance(value, (frozenset, set)):
+        return "f:{" + ",".join(sorted(stable_token(v) for v in value)) + "}"
+    return "r:" + repr(value)
+
+
+def digest(text: str) -> str:
+    """A short, stable hex digest (cache-key sized)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+def _refine(colors: list[str], out_edges: list[list[tuple[str, int]]],
+            in_edges: list[list[tuple[str, int]]]) -> list[str]:
+    """Run WL color refinement to a fixpoint and return the final colors."""
+    n = len(colors)
+    classes = len(set(colors))
+    while True:
+        new_colors = []
+        for v in range(n):
+            signature = (
+                colors[v],
+                tuple(sorted((label, colors[u]) for label, u in out_edges[v])),
+                tuple(sorted((label, colors[u]) for label, u in in_edges[v])),
+            )
+            new_colors.append(digest(stable_token(signature)))
+        new_classes = len(set(new_colors))
+        if new_classes == classes:
+            return new_colors
+        colors, classes = new_colors, new_classes
+
+
+def _encode(order: list[int], base_colors: list[str],
+            edges: list[tuple[str, int, int]]) -> str:
+    """The canonical encoding under a total node order: original colors
+    in canonical position, then the sorted renumbered edge list."""
+    position = {node: i for i, node in enumerate(order)}
+    nodes_part = ",".join(base_colors[node] for node in order)
+    edges_part = ",".join(
+        f"{src}-{label}>{dst}"
+        for label, src, dst in sorted(
+            (label, position[src], position[dst]) for label, src, dst in edges
+        )
+    )
+    return nodes_part + "|" + edges_part
+
+
+def _canonical_encoding(colors: list[str], base_colors: list[str],
+                        edges: list[tuple[str, int, int]],
+                        out_edges, in_edges, budget: list[int]) -> str:
+    colors = _refine(colors, out_edges, in_edges)
+    by_color: dict[str, list[int]] = {}
+    for v, color in enumerate(colors):
+        by_color.setdefault(color, []).append(v)
+    tied = sorted(color for color, members in by_color.items() if len(members) > 1)
+    if not tied:
+        order = sorted(range(len(colors)), key=colors.__getitem__)
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise CanonicalizationError("individualization budget exceeded")
+        return _encode(order, base_colors, edges)
+    # Individualize each member of the first tied class; keep the minimum.
+    target = by_color[tied[0]]
+    best: str | None = None
+    for v in target:
+        branched = list(colors)
+        branched[v] = digest(branched[v] + "!")
+        encoding = _canonical_encoding(
+            branched, base_colors, edges, out_edges, in_edges, budget
+        )
+        if best is None or encoding < best:
+            best = encoding
+    return best
+
+
+def canonical_digraph_key(
+    nodes: Iterable,
+    colors: Mapping,
+    edges: Iterable[tuple],
+    *,
+    graph_attrs=(),
+    budget: int = DEFAULT_BUDGET,
+) -> str:
+    """The canonical key of a node/edge-colored directed multigraph.
+
+    Parameters
+    ----------
+    nodes:
+        The node identities (any hashables; only used to wire up edges).
+    colors:
+        ``{node: color}`` — the renaming-*invariant* data attached to a
+        node (e.g. ``(is_initial, is_accepting)``).  Colors are
+        serialized with :func:`stable_token`, so tuples/frozensets of
+        primitives are safe.
+    edges:
+        ``(label, src, dst)`` triples; labels are renaming-invariant
+        (e.g. alphabet symbols) and serialized with :func:`stable_token`.
+    graph_attrs:
+        Extra renaming-invariant data hashed into the key (alphabet,
+        arity, acceptance-pair count, ...).
+
+    Returns a hex digest.  Equal keys imply color/edge-isomorphic inputs
+    with equal ``graph_attrs``; renaming the nodes never changes the key.
+    """
+    node_list = list(nodes)
+    index = {node: i for i, node in enumerate(node_list)}
+    n = len(node_list)
+    base_colors = [digest(stable_token(colors.get(node))) for node in node_list]
+    out_edges: list[list[tuple[str, int]]] = [[] for _ in range(n)]
+    in_edges: list[list[tuple[str, int]]] = [[] for _ in range(n)]
+    edge_list: list[tuple[str, int, int]] = []
+    for label, src, dst in edges:
+        token = stable_token(label)
+        s, d = index[src], index[dst]
+        edge_list.append((token, s, d))
+        out_edges[s].append((token, d))
+        in_edges[d].append((token, s))
+    remaining = [budget]
+    encoding = _canonical_encoding(
+        list(base_colors), base_colors, edge_list, out_edges, in_edges, remaining
+    ) if n else "|"
+    return digest(stable_token(tuple(graph_attrs)) + "#" + encoding)

@@ -20,6 +20,7 @@ from .rules_api import ApiSurfaceRule
 from .rules_imports import ImportHygieneRule
 from .rules_locks import LockDisciplineRule
 from .rules_metrics import MetricNamingRule
+from .rules_shims import DeprecatedShimExportRule
 from .rules_state import MutableModuleStateRule
 
 RULE_CLASSES = (
@@ -28,6 +29,7 @@ RULE_CLASSES = (
     ImportHygieneRule,
     ApiSurfaceRule,
     MutableModuleStateRule,
+    DeprecatedShimExportRule,
 )
 
 

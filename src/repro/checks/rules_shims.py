@@ -1,0 +1,165 @@
+"""RC006 — deprecation hygiene: ``__all__`` never re-exports a shim.
+
+The facade migration (``repro.analysis.decompose``) keeps every old
+entry point alive as a *deprecated shim* — a function whose body calls
+``warnings.warn(..., DeprecationWarning)`` before forwarding.  Shims
+must stay **importable** (existing code keeps working) but not
+**advertised**: a name in ``__all__`` is documentation-grade API, and
+advertising a deprecated spelling recruits new callers to it.
+
+A function counts as a shim when its own body (nested defs excluded)
+contains a literal ``warnings.warn``/``warn`` call whose category is
+``DeprecationWarning``.  The rule is cross-file: package ``__init__``
+modules re-export via ``from .module import name``, so each module's
+``__all__`` entries are resolved against both locally defined shims and
+shims imported from sibling ``repro`` modules (one hop — the repo's
+inits import straight from the defining module).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+from .rules_imports import _module_dotted_path, _resolve_relative
+
+
+def _own_statements(body):
+    """Walk statements/expressions without descending into nested
+    function or class scopes."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_deprecation_category(node: ast.expr | None) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "DeprecationWarning"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "DeprecationWarning"
+    return False
+
+
+def _warns_deprecated(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in _own_statements(func.body):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = (
+            callee.attr if isinstance(callee, ast.Attribute)
+            else callee.id if isinstance(callee, ast.Name)
+            else None
+        )
+        if name != "warn":
+            continue
+        category = None
+        for kw in node.keywords:
+            if kw.arg == "category":
+                category = kw.value
+        if category is None and len(node.args) > 1:
+            category = node.args[1]
+        if _is_deprecation_category(category):
+            return True
+    return False
+
+
+def _literal_all(tree: ast.Module) -> list[ast.Constant] | None:
+    """The string-literal elements of a module-level ``__all__``, or
+    None when absent/non-literal (RC004 owns that complaint)."""
+    assignment = None
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            assignment = node
+    if assignment is None:
+        return None
+    value = assignment.value
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    elements = []
+    for el in value.elts:
+        if not (isinstance(el, ast.Constant) and isinstance(el.value, str)):
+            return None
+        elements.append(el)
+    return elements
+
+
+class DeprecatedShimExportRule(Rule):
+    rule_id = "RC006"
+    title = "deprecation hygiene: __all__ must not re-export deprecated shims"
+    scope = "src"
+
+    def __init__(self):
+        self._shims: dict[str, set[str]] = {}
+        self._exports: list[tuple[str, str, dict[str, tuple[str, str]],
+                                  list[tuple[str, int]]]] = []
+
+    def reset(self) -> None:
+        self._shims = {}
+        self._exports = []
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        dotted = ".".join(_module_dotted_path(module))
+        if not dotted:
+            return []
+        shims = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _warns_deprecated(node)
+        }
+        if shims:
+            self._shims[dotted] = shims
+        exported = _literal_all(module.tree)
+        if exported is None:
+            return []
+        imports: dict[str, tuple[str, str]] = {}
+        for node in module.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            target = (
+                _resolve_relative(module, node) if node.level else node.module
+            )
+            if target is None or target.split(".")[0] != "repro":
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    imports[alias.asname or alias.name] = (target, alias.name)
+        self._exports.append((
+            module.rel,
+            dotted,
+            imports,
+            [(el.value, el.lineno) for el in exported],
+        ))
+        return []
+
+    def finalize(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for rel, dotted, imports, exported in self._exports:
+            local = self._shims.get(dotted, set())
+            for name, line in exported:
+                if name in local:
+                    origin = "defined here"
+                elif name in imports and imports[name][1] in self._shims.get(
+                    imports[name][0], set()
+                ):
+                    origin = f"imported from {imports[name][0]}"
+                else:
+                    continue
+                findings.append(Finding(
+                    path=rel,
+                    line=line,
+                    rule=self.rule_id,
+                    message=(
+                        f"__all__ re-exports deprecated shim {name!r} "
+                        f"({origin}); shims stay importable but are not "
+                        "part of the advertised API"
+                    ),
+                ))
+        return findings

@@ -4,8 +4,11 @@ This module is the computational heart of the reproduction.  Each public
 function implements one numbered result:
 
 * :func:`liveness_part` — Lemma 4 (``a ∨ b`` is live for ``b ∈ cmp(cl.a)``)
-* :func:`decompose` — Theorem 3 (two comparable closures); Theorem 2 is
-  the ``cl1 = cl2`` special case :func:`decompose_single`
+* :func:`_decompose` — Theorem 3 (two comparable closures); Theorem 2 is
+  the ``cl1 = cl2`` special case :func:`_decompose_single`.  Call both
+  through the unified :func:`repro.analysis.decompose` facade; the old
+  public names :func:`decompose` / :func:`decompose_single` remain as
+  deprecated shims.
 * :func:`no_decomposition_witness` / :func:`theorem5_applies` — Theorem 5
 * :func:`check_strongest_safety` — Theorem 6 (machine closure / extremal
   safety)
@@ -17,6 +20,7 @@ function implements one numbered result:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.obs.metrics import REGISTRY
@@ -87,7 +91,7 @@ def liveness_part(
 
 
 @timed("repro.lattice.decompose")
-def decompose(
+def _decompose(
     lattice: FiniteLattice,
     cl1: LatticeClosure,
     cl2: LatticeClosure,
@@ -148,7 +152,7 @@ def decompose(
     return result
 
 
-def decompose_single(
+def _decompose_single(
     lattice: FiniteLattice,
     cl: LatticeClosure,
     a: Element,
@@ -157,8 +161,49 @@ def decompose_single(
 ) -> Decomposition:
     """Theorem 2: the one-closure decomposition (``cl1 = cl2 = cl``),
     e.g. the Alpern–Schneider ``P = lcl.P ∩ (P ∪ ¬lcl.P)``."""
-    return decompose(
+    return _decompose(
         lattice, cl, cl, a, complement=complement, check_hypotheses=check_hypotheses
+    )
+
+
+def decompose(
+    lattice: FiniteLattice,
+    cl1: LatticeClosure,
+    cl2: LatticeClosure,
+    a: Element,
+    complement: Element | None = None,
+    check_hypotheses: bool = True,
+) -> Decomposition:
+    """Deprecated spelling of Theorem 3 — use
+    :func:`repro.analysis.decompose` with ``closure=(cl1, cl2)``."""
+    warnings.warn(
+        "repro.lattice.decomposition.decompose is deprecated; use "
+        "repro.analysis.decompose(element, closure=(cl1, cl2))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose(
+        lattice, cl1, cl2, a, complement=complement, check_hypotheses=check_hypotheses
+    )
+
+
+def decompose_single(
+    lattice: FiniteLattice,
+    cl: LatticeClosure,
+    a: Element,
+    complement: Element | None = None,
+    check_hypotheses: bool = True,
+) -> Decomposition:
+    """Deprecated spelling of Theorem 2 — use
+    :func:`repro.analysis.decompose` with ``closure=cl``."""
+    warnings.warn(
+        "repro.lattice.decomposition.decompose_single is deprecated; use "
+        "repro.analysis.decompose(element, closure=cl)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose_single(
+        lattice, cl, a, complement=complement, check_hypotheses=check_hypotheses
     )
 
 
@@ -293,5 +338,5 @@ def canonical_decomposition_is_machine_closed(
 ) -> bool:
     """The paper's remark after Theorem 6: the canonical pair
     ``(cl.a, a ∨ b)`` is machine closed."""
-    d = decompose_single(lattice, cl, a, check_hypotheses=False)
+    d = _decompose_single(lattice, cl, a, check_hypotheses=False)
     return is_machine_closed(lattice, cl, d.safety, d.liveness)

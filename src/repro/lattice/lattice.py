@@ -206,6 +206,25 @@ class FiniteLattice:
                 result.append(x)
         return result
 
+    def canonical_key(self) -> str:
+        """A structural cache key, invariant under element renaming.
+
+        Two lattices related by :meth:`relabel` (or any other
+        order-isomorphism) get the same key.  The key canonically labels
+        the Hasse diagram via :func:`repro.canonical.canonical_digraph_key`
+        — the covering relation determines the order, hence the lattice
+        (see DESIGN.md §8)."""
+        from repro.canonical import canonical_digraph_key
+
+        elements = self.elements
+        colors = {
+            x: (x == self._bottom, x == self._top) for x in elements
+        }
+        edges = [("<", lo, hi) for lo, hi in self._poset.hasse_edges()]
+        return "lattice:" + canonical_digraph_key(
+            elements, colors, edges, graph_attrs=("lattice", len(elements))
+        )
+
     # -- derived lattices -------------------------------------------------------
 
     def dual(self) -> "FiniteLattice":

@@ -65,7 +65,6 @@ __all__ = [
     "models_within",
     "translate",
     "classify",
-    "decompose_formula",
     "Classification",
     "PropertyClass",
     "rem_examples",

@@ -9,10 +9,12 @@ the closure operator, and test ``L = cl.L`` (safety) / ``cl.L = Σ^ω``
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.buchi import BuchiAutomaton, closure, decompose
+from repro.buchi import BuchiAutomaton, closure
+from repro.buchi.decomposition import _decompose as _buchi_decompose
 
 from .syntax import Formula
 from .translate import translate
@@ -82,8 +84,20 @@ def classify(formula: Formula, alphabet) -> Classification:
     )
 
 
-def decompose_formula(formula: Formula, alphabet):
+def _decompose_formula(formula: Formula, alphabet):
     """The Alpern–Schneider decomposition of a formula's language:
     returns the :class:`~repro.buchi.decomposition.BuchiDecomposition`
     of its automaton (safety automaton ∩ liveness automaton = models)."""
-    return decompose(translate(formula, alphabet))
+    return _buchi_decompose(translate(formula, alphabet))
+
+
+def decompose_formula(formula: Formula, alphabet):
+    """Deprecated spelling — use
+    :func:`repro.analysis.decompose` with ``alphabet=``."""
+    warnings.warn(
+        "repro.ltl.classify.decompose_formula is deprecated; use "
+        "repro.analysis.decompose(formula, alphabet=alphabet)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose_formula(formula, alphabet)

@@ -64,6 +64,28 @@ class Formula:
         """Node count."""
         return 1 + sum(c.size() for c in self.children())
 
+    def canonical_key(self) -> str:
+        """A structural cache key for memoization (DESIGN.md §8).
+
+        Formulas have no states to rename, so the key is a digest of the
+        AST itself; :class:`Letter` sets are serialized sorted so symbol
+        insertion order never matters."""
+        from repro.canonical import digest, stable_token
+
+        def token(f: "Formula") -> str:
+            if isinstance(f, Letter):
+                letters = ",".join(
+                    sorted(stable_token(x) for x in f.letters)
+                )
+                return "L{" + letters + "}"
+            name = type(f).__name__
+            children = f.children()
+            if not children:
+                return name
+            return name + "(" + ",".join(token(c) for c in children) + ")"
+
+        return "ltl:" + digest(token(self))
+
 
 @dataclass(frozen=True)
 class TrueFormula(Formula):

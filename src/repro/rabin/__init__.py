@@ -24,7 +24,6 @@ __all__ = [
     "rfcl",
     "is_closure_automaton",
     "TreeLanguage",
-    "decompose",
     "RabinDecomposition",
     "union",
     "intersection_language",

@@ -148,6 +148,46 @@ class RabinTreeAutomaton:
             name=self.name,
         )
 
+    def canonical_key(self) -> str:
+        """A structural cache key, invariant under state renaming.
+
+        The transition hyperedges ``(q, a) -> (s_1, …, s_k)`` are encoded
+        through auxiliary tuple nodes (one per available move) so the
+        canonical labeling of :func:`repro.canonical.canonical_digraph_key`
+        applies; acceptance pairs become per-state membership colors.
+        Equal keys imply isomorphism (see DESIGN.md §8)."""
+        from repro.canonical import canonical_digraph_key, stable_token
+
+        nodes: list = [("q", q) for q in self.states]
+        colors: dict = {
+            ("q", q): (
+                "q",
+                q == self.initial,
+                tuple((q in p.green, q in p.red) for p in self.pairs),
+            )
+            for q in self.states
+        }
+        edges: list = []
+        for (q, a), tuples in self.transitions.items():
+            for t in tuples:
+                tnode = ("t", q, a, t)
+                nodes.append(tnode)
+                colors[tnode] = ("t",)
+                edges.append((("a", stable_token(a)), ("q", q), tnode))
+                for i, child in enumerate(t):
+                    edges.append((("i", i), tnode, ("q", child)))
+        return "rabin:" + canonical_digraph_key(
+            nodes,
+            colors,
+            edges,
+            graph_attrs=(
+                "rabin",
+                self.branching,
+                len(self.pairs),
+                tuple(sorted(stable_token(a) for a in self.alphabet)),
+            ),
+        )
+
     def __repr__(self) -> str:
         return (
             f"RabinTreeAutomaton({self.name!r}, |Q|={len(self.states)}, "

@@ -14,6 +14,7 @@ identity is machine-checked extensionally on tree samples).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.trees.regular import RegularTree
@@ -32,6 +33,23 @@ class RabinDecomposition:
     original: RabinTreeAutomaton
     safety: RabinTreeAutomaton
     liveness: TreeLanguage
+
+    def verify(self, witness) -> bool:
+        """The shared verifier spelling of the unified decomposition
+        protocol (:func:`repro.analysis.decompose`): ``witness`` is one
+        :class:`~repro.trees.regular.RegularTree` or an iterable of
+        them.  Rabin complementation is non-elementary, so — unlike the
+        Büchi instance — there is no witness-free exact mode; passing
+        ``None`` raises ``TypeError``."""
+        if witness is None:
+            raise TypeError(
+                "RabinDecomposition.verify needs a RegularTree witness "
+                "(or an iterable of them); exact verification is not "
+                "available for Rabin tree automata"
+            )
+        if isinstance(witness, RegularTree):
+            return self.verify_on_tree(witness)
+        return self.verify_on_samples(witness)
 
     def verify_on_tree(self, tree: RegularTree) -> bool:
         """The identity, on one regular tree."""
@@ -60,7 +78,7 @@ class RabinDecomposition:
         return True
 
 
-def decompose(automaton: RabinTreeAutomaton) -> RabinDecomposition:
+def _decompose(automaton: RabinTreeAutomaton) -> RabinDecomposition:
     """Theorem 9's decomposition."""
     safety = rfcl(automaton)
     live = TreeLanguage.of_automaton(automaton) | ~TreeLanguage.of_automaton(
@@ -68,3 +86,15 @@ def decompose(automaton: RabinTreeAutomaton) -> RabinDecomposition:
     )
     live.name = f"L({automaton.name}) ∪ ¬L({safety.name})"
     return RabinDecomposition(original=automaton, safety=safety, liveness=live)
+
+
+def decompose(automaton: RabinTreeAutomaton) -> RabinDecomposition:
+    """Deprecated spelling of Theorem 9 — use
+    :func:`repro.analysis.decompose`."""
+    warnings.warn(
+        "repro.rabin.decomposition.decompose is deprecated; use "
+        "repro.analysis.decompose(automaton)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _decompose(automaton)

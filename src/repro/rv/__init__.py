@@ -10,8 +10,10 @@ the traffic.  Layering (each layer only knows the one below):
 * :mod:`repro.rv.session` — per-trace cursors over shared tables, with
   bounded-queue backpressure (:class:`TraceSession`,
   :class:`SessionManager`);
-* :mod:`repro.rv.engine` — batched ingest, monitor-grouped dispatch,
-  worker pool (:class:`RvEngine`);
+* :mod:`repro.rv.pool` — the shared inline-or-parallel
+  :class:`WorkerPool` (also dispatches :mod:`repro.service` requests);
+* :mod:`repro.rv.engine` — batched ingest, monitor-grouped dispatch
+  over the pool (:class:`RvEngine`);
 * :mod:`repro.rv.stats` — the engine's measurements
   (:class:`EngineStats`), now a facade over the shared
   :mod:`repro.obs` metric registry (``repro_rv_*`` families with an
@@ -36,6 +38,7 @@ from .compile import (
     compile_formula,
 )
 from .engine import RvEngine
+from .pool import WorkerPool
 from .session import BackpressureError, SessionError, SessionManager, TraceSession
 from .stats import Counter, EngineStats, Gauge, Histogram
 
@@ -52,6 +55,7 @@ __all__ = [
     "SessionManager",
     "SessionError",
     "BackpressureError",
+    "WorkerPool",
     "RvEngine",
     "Counter",
     "Gauge",

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
-from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 
 from repro.ltl.monitoring import Verdict3
@@ -36,6 +35,7 @@ from repro.ltl.syntax import Formula
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
 
 from .compile import CompileCache, MonitorTable
+from .pool import WorkerPool
 from .session import SessionManager, TraceSession
 from .stats import EngineStats
 
@@ -64,8 +64,11 @@ class RvEngine:
         self.sessions = SessionManager(max_pending=max_pending)
         self.stats = stats if stats is not None else EngineStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.workers = workers
-        self._pool: ThreadPoolExecutor | None = None
+        self.pool = WorkerPool(workers, thread_name_prefix="rv-worker")
+
+    @property
+    def workers(self) -> int:
+        return self.pool.workers
 
     # -- registration -------------------------------------------------------
 
@@ -131,21 +134,12 @@ class RvEngine:
                 sessions=len(touched),
                 groups=len(groups),
             )
-        if self.workers > 1 and len(groups) > 1:
-            pool = self._ensure_pool()
-            drain = (
-                partial(self._drain_group_traced, parent=span)
-                if recording
-                else self._drain_group
-            )
-            for _ in pool.map(drain, groups):
-                pass
-        elif recording:
-            for group in groups:
-                self._drain_group_traced(group, span)
-        else:
-            for group in groups:
-                self._drain_group(group)
+        drain = (
+            partial(self._drain_group_traced, parent=span)
+            if recording
+            else self._drain_group
+        )
+        self.pool.map(drain, groups)
         self.stats.batches.add()
         return {s.session_id: s.verdict for s in touched.values()}
 
@@ -185,17 +179,8 @@ class RvEngine:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="rv-worker"
-            )
-        return self._pool
-
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self.pool.shutdown()
 
     def __enter__(self) -> "RvEngine":
         return self

@@ -1,0 +1,105 @@
+"""A small reusable worker pool shared by the rv engine and the
+analysis service.
+
+:class:`WorkerPool` wraps a lazily-created ``ThreadPoolExecutor`` with
+the dispatch policy proven in :class:`~repro.rv.engine.RvEngine`: work
+runs inline unless the pool is configured for parallelism *and* there is
+more than one unit of work, so single-group batches never pay executor
+overhead and ``workers=0`` degrades to a plain loop.  The service
+(:mod:`repro.service`) reuses the same pool for request dispatch via
+:meth:`submit`.
+
+Python threads don't parallelize pure-Python inner loops (the GIL), but
+the pool keeps both callers' shapes honest — grouping, isolation and
+determinism are exactly what a process pool or a C kernel would need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """A lazily-started thread pool with an inline fast path.
+
+    ``workers <= 1`` means strictly inline execution: :meth:`map` loops
+    in the calling thread and :meth:`submit` runs the callable before
+    returning an already-resolved future.  The underlying executor is
+    only created on first parallel use, so constructing a pool is free.
+    """
+
+    def __init__(self, workers: int = 0, *, thread_name_prefix: str = "worker"):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.thread_name_prefix = thread_name_prefix
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool can run work on pool threads at all."""
+        return self.workers > 1
+
+    @property
+    def started(self) -> bool:
+        """Whether the underlying executor has been created."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix=self.thread_name_prefix,
+            )
+        return self._executor
+
+    # -- dispatch -----------------------------------------------------------
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item, in parallel when it pays off.
+
+        Single-item sequences and ``workers <= 1`` run inline; otherwise
+        the items are fanned out to the executor and the results are
+        collected in input order (exceptions re-raise here, as with a
+        plain loop)."""
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        return list(executor.map(fn, items))
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)``, returning its future.
+
+        With ``workers <= 1`` the call runs inline and the returned
+        future is already resolved — callers get one execution model
+        regardless of configuration."""
+        if not self.parallel:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+            return future
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (if started); the pool may be reused after —
+        the next parallel call starts a fresh executor."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "idle"
+        return f"WorkerPool(workers={self.workers}, {state})"

@@ -1,0 +1,63 @@
+"""The concurrent, cache-backed analysis server.
+
+Layering (each layer only knows the one below):
+
+* :mod:`repro.service.requests` — the typed request/reply vocabulary
+  (:class:`DecomposeRequest`, :class:`ClassifyRequest`,
+  :class:`CheckRequest`, :class:`ServiceResult`) and the failure modes
+  (:class:`ServiceOverloaded`, :class:`ServiceTimeout`,
+  :class:`ServiceClosed`);
+* :mod:`repro.service.handlers` — requests → canonical cache keys
+  (via the ``canonical_key()`` methods and :mod:`repro.canonical`) and
+  compute closures over :func:`repro.analysis.decompose`;
+* :mod:`repro.service.cache` — the thread-safe memo LRU
+  (:class:`ResultCache`);
+* :mod:`repro.service.server` — admission control, worker-pool
+  dispatch, deadlines, metrics and spans (:class:`AnalysisService`,
+  :class:`PendingReply`);
+* :mod:`repro.service.warmup` — workload-file cache pre-population
+  (:func:`warm_start`).
+
+Quick start::
+
+    from repro.service import AnalysisService, DecomposeRequest
+
+    with AnalysisService(workers=4) as service:
+        reply = service.submit(DecomposeRequest(automaton))
+        result = reply.result(timeout=1.0)
+        result.value.safety, result.value.liveness, result.cached
+"""
+
+from .cache import ResultCache, ResultCacheInfo
+from .requests import (
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    Request,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceResult,
+    ServiceTimeout,
+)
+from .server import AnalysisService, PendingReply
+from .warmup import WarmupError, load_workload, warm_start
+
+__all__ = [
+    "Request",
+    "DecomposeRequest",
+    "ClassifyRequest",
+    "CheckRequest",
+    "ServiceResult",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceClosed",
+    "ResultCache",
+    "ResultCacheInfo",
+    "AnalysisService",
+    "PendingReply",
+    "warm_start",
+    "load_workload",
+    "WarmupError",
+]

@@ -1,0 +1,108 @@
+"""The service's memo store: a thread-safe, size-bounded LRU.
+
+Same locking discipline as :class:`repro.rv.compile.CompileCache`: hits
+touch the lock once, misses *compute outside the lock* (decompositions
+can take milliseconds — serializing them behind the cache lock would
+turn the cache into a throttle) and re-check before inserting, so a
+losing racer adopts the winner's value instead of double-inserting.
+Keys are the canonical structural hashes of :mod:`repro.canonical` —
+renaming-invariant, so isomorphic subjects share one cache line.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResultCacheInfo:
+    """A point-in-time snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU mapping canonical keys to analysis results."""
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(self, key: str | None, compute: Callable[[], object]) -> tuple[object, bool]:
+        """Return ``(value, was_hit)``; uncacheable keys (``None``)
+        compute unconditionally and store nothing."""
+        if key is None:
+            return compute(), False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key], True
+        value = compute()
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Raced with another miss on the same key: one compute
+                # wins, everyone returns its value.
+                self._entries.move_to_end(key)
+                self._misses += 1
+                return existing, False
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            self._misses += 1
+        return value, False
+
+    def put(self, key: str, value: object) -> None:
+        """Insert eagerly (warm start)."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> ResultCacheInfo:
+        with self._lock:
+            return ResultCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"ResultCache(size={info.size}/{info.maxsize}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

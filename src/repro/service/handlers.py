@@ -1,0 +1,159 @@
+"""Request interpretation: canonical cache keys and compute functions.
+
+Every request kind maps to (a) a *cache key* — a renaming-invariant
+structural hash of everything the answer depends on — and (b) a
+*compute* closure over the unified :func:`repro.analysis.decompose`
+facade and the :mod:`repro.analysis.classify` functions.
+
+Key-building rules (documented for users in DESIGN.md §8):
+
+* Büchi / Rabin subjects: the automaton's ``canonical_key()`` — the
+  alphabet, initial/accepting structure, and full transition relation
+  up to state renaming.
+* Formulas: the formula's structural ``canonical_key()`` plus the
+  sorted alphabet (the same formula over different alphabets denotes
+  different languages).
+* Lattice elements: one canonical graph covering the *whole context* —
+  Hasse diagram of the lattice, both closure tables as labeled edges
+  (``c1``/``c2``: x → cl(x)), and the subject element as a node color.
+  Renaming lattice elements consistently therefore hits the same line.
+* Anything the canonicalizer gives up on (budget exhaustion) — and any
+  request carrying sample trees or witnesses — is *uncacheable*: the
+  key is ``None`` and the service computes without memoizing.  A cache
+  miss, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.classify import (
+    classify_automaton,
+    classify_element,
+    classify_formula,
+    classify_rabin_on_samples,
+)
+from repro.analysis.decompose import _closure_pair, decompose
+from repro.buchi.automaton import BuchiAutomaton
+from repro.canonical import (
+    CanonicalizationError,
+    canonical_digraph_key,
+    digest,
+    stable_token,
+)
+from repro.ltl.syntax import Formula
+
+from .requests import CheckRequest, ClassifyRequest, DecomposeRequest, Request
+
+
+def _is_rabin(subject) -> bool:
+    from repro.rabin.automaton import RabinTreeAutomaton
+
+    return isinstance(subject, RabinTreeAutomaton)
+
+
+def _lattice_context_key(cl1, cl2, subject) -> str:
+    """One canonical graph for (lattice, cl1, cl2, subject)."""
+    lattice = cl1.lattice
+    elements = lattice.elements
+    if subject not in lattice:
+        raise KeyError(f"{subject!r} not in lattice")
+    colors = {
+        x: (x == lattice.bottom, x == lattice.top, x == subject)
+        for x in elements
+    }
+    edges = [("<", lo, hi) for lo, hi in lattice.poset.hasse_edges()]
+    edges.extend(("c1", x, cl1(x)) for x in elements)
+    edges.extend(("c2", x, cl2(x)) for x in elements)
+    return "latctx:" + canonical_digraph_key(
+        elements, colors, edges, graph_attrs=("latctx", len(elements))
+    )
+
+
+def _subject_key(request: Request) -> str | None:
+    """The canonical key of the request's subject + context, or ``None``
+    when the request is uncacheable."""
+    subject = request.subject
+    if isinstance(subject, BuchiAutomaton):
+        return subject.canonical_key()
+    if isinstance(subject, Formula):
+        if request.alphabet is None:
+            # Let compute() raise the facade's helpful TypeError.
+            return None
+        alphabet_token = ",".join(
+            sorted(stable_token(a) for a in request.alphabet)
+        )
+        return subject.canonical_key() + "@" + digest(alphabet_token)
+    if _is_rabin(subject):
+        return subject.canonical_key()
+    if request.closure is not None:
+        cl1, cl2 = _closure_pair(request.closure)
+        return _lattice_context_key(cl1, cl2, subject)
+    return None
+
+
+def cache_key(request: Request) -> str | None:
+    """The full cache key: request kind + subject/context hash.
+
+    Requests carrying unhashable extras (Rabin sample trees, check
+    witnesses) are uncacheable — their answers depend on data we do not
+    canonicalize."""
+    if isinstance(request, ClassifyRequest) and request.samples:
+        return None
+    if isinstance(request, CheckRequest) and request.witness is not None:
+        return None
+    try:
+        subject_key = _subject_key(request)
+    except CanonicalizationError:
+        return None
+    if subject_key is None:
+        return None
+    return f"{request.kind}:{subject_key}"
+
+
+def compute(request: Request):
+    """Actually run the analysis a request names (no caching here)."""
+    subject = request.subject
+    if isinstance(request, DecomposeRequest):
+        return _facade_decompose(request)
+    if isinstance(request, ClassifyRequest):
+        if isinstance(subject, BuchiAutomaton):
+            return classify_automaton(subject)
+        if isinstance(subject, Formula):
+            if request.alphabet is None:
+                raise TypeError("ClassifyRequest(formula) needs alphabet=")
+            return classify_formula(subject, request.alphabet)
+        if _is_rabin(subject):
+            if not request.samples:
+                raise TypeError(
+                    "ClassifyRequest(rabin automaton) needs samples= — "
+                    "exact Rabin classification is not available"
+                )
+            return classify_rabin_on_samples(subject, request.samples)
+        if request.closure is None:
+            raise TypeError(
+                f"don't know how to classify {type(subject).__name__!r}: "
+                f"lattice elements need closure="
+            )
+        cl1, cl2 = _closure_pair(request.closure)
+        if cl1 is not cl2:
+            raise TypeError(
+                "ClassifyRequest takes a single closure; classification "
+                "has no two-closure variant"
+            )
+        return classify_element(cl1.lattice, cl1, subject)
+    if isinstance(request, CheckRequest):
+        decomposition = _facade_decompose(request)
+        if _is_rabin(subject):
+            return decomposition.verify(request.witness)
+        if request.witness is None:
+            return decomposition.verify()
+        return decomposition.verify(request.witness)
+    raise TypeError(f"unknown request type {type(request).__name__!r}")
+
+
+def _facade_decompose(request: Request):
+    kwargs = {}
+    if request.closure is not None:
+        kwargs["closure"] = request.closure
+    if request.alphabet is not None:
+        kwargs["alphabet"] = request.alphabet
+    return decompose(request.subject, **kwargs)

@@ -1,0 +1,308 @@
+"""The concurrent analysis server.
+
+:class:`AnalysisService` is the serving-shaped front of the whole
+reproduction: clients submit typed requests (:mod:`.requests`), a
+bounded admission gate keeps the in-flight set finite (full ⇒
+:class:`~repro.service.requests.ServiceOverloaded` at submit time,
+never a silent block), the shared :class:`~repro.rv.pool.WorkerPool`
+runs the analyses, and a canonical-key LRU (:mod:`.cache`) answers
+repeats — including repeats up to state renaming — without recomputing.
+
+Graceful degradation, in order of preference:
+
+* **overload** — the queue bound rejects new work at the door;
+* **timeout** — a per-request deadline bounds how long a caller waits:
+  expired-before-compute requests are never computed, and
+  :meth:`PendingReply.result` stops waiting at the deadline (the
+  computation itself is not preempted — Python threads can't be — so a
+  late result still lands in the cache for the next asker);
+* **uncacheable** — subjects the canonicalizer gives up on are computed
+  uncached rather than risking a collision.
+
+Instrumented throughout via :mod:`repro.obs`: request/outcome counters,
+cache hit/miss counters, an in-flight gauge, per-kind latency
+histograms, and ``service.enqueue → service.compute → service.reply``
+spans (explicit cross-thread parenting, as in the rv engine).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+
+from repro.rv.pool import WorkerPool
+
+from . import handlers
+from .cache import ResultCache
+from .requests import (
+    Request,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceResult,
+    ServiceTimeout,
+)
+
+#: Serving observability (naming per DESIGN.md: repro_<pkg>_<name>_<unit>).
+_REQUESTS = REGISTRY.counter(
+    "repro_service_requests_total",
+    "requests completed, by kind and outcome (ok/error/timeout)",
+    ("kind", "outcome"),
+)
+_REJECTED = REGISTRY.counter(
+    "repro_service_rejected_total",
+    "requests refused at admission, by kind and cause (overload/closed)",
+    ("kind", "cause"),
+)
+_CACHE_EVENTS = REGISTRY.counter(
+    "repro_service_cache_events_total",
+    "memo-LRU outcomes per computed request (hit/miss/uncacheable)",
+    ("kind", "event"),
+)
+_TIMEOUTS = REGISTRY.counter(
+    "repro_service_timeouts_total", "request deadlines seen expired", ("kind",)
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_service_queue_depth_count", "requests admitted but not yet finished"
+)
+_LATENCY = REGISTRY.histogram(
+    "repro_service_request_seconds",
+    "submit→compute-done wall time per request",
+    ("kind",),
+)
+
+
+class PendingReply:
+    """One submitted request's reply slot (a future with deadline
+    semantics and a ``service.reply`` span on retrieval)."""
+
+    __slots__ = ("request", "deadline", "_tracer", "_enqueue_span",
+                 "_compute_span", "_future")
+
+    def __init__(self, request: Request, deadline: float | None, tracer, enqueue_span):
+        self.request = request
+        self.deadline = deadline
+        self._tracer = tracer
+        self._enqueue_span = enqueue_span
+        self._compute_span = NULL_SPAN
+        self._future: Future | None = None
+
+    def done(self) -> bool:
+        return self._future is not None and self._future.done()
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        """Wait for the reply.
+
+        Waits at most ``timeout`` seconds and never past the request's
+        own deadline; raises :class:`ServiceTimeout` if neither yields a
+        reply in time.  Compute errors re-raise here unchanged."""
+        remaining = timeout
+        if self.deadline is not None:
+            until_deadline = self.deadline - time.perf_counter()
+            remaining = (
+                until_deadline
+                if remaining is None
+                else min(remaining, until_deadline)
+            )
+        if remaining is not None and remaining <= 0 and not self.done():
+            _TIMEOUTS.labels(kind=self.request.kind).add()
+            raise ServiceTimeout(
+                f"{self.request.kind} request deadline expired"
+            )
+        try:
+            result = self._future.result(remaining)
+        except _FutureTimeout:
+            _TIMEOUTS.labels(kind=self.request.kind).add()
+            raise ServiceTimeout(
+                f"no {self.request.kind} reply within "
+                f"{remaining:.3f}s"
+            ) from None
+        parent = (
+            self._compute_span
+            if self._compute_span.recording
+            else self._enqueue_span
+        )
+        if self._tracer.enabled and parent.recording:
+            with self._tracer.span(
+                "service.reply", parent=parent, kind=self.request.kind
+            ) as span:
+                span.set(cached=result.cached)
+        return result
+
+
+class AnalysisService:
+    """A shared, thread-safe analysis server (in-process).
+
+    Parameters
+    ----------
+    workers:
+        Pool size for request dispatch (``<= 1`` computes inline inside
+        :meth:`submit` — same results, no concurrency).
+    max_pending:
+        Admission bound on requests in flight; the ``max_pending+1``-th
+        concurrent submit raises :class:`ServiceOverloaded`.
+    cache:
+        The shared :class:`ResultCache` (own instance by default).
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; default off.
+    default_timeout:
+        Deadline in seconds applied to requests submitted without an
+        explicit ``timeout=``; ``None`` means wait forever.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        max_pending: int = 64,
+        cache: ResultCache | None = None,
+        tracer=None,
+        default_timeout: float | None = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.pool = WorkerPool(workers, thread_name_prefix="svc-worker")
+        self.max_pending = max_pending
+        self.cache = cache if cache is not None else ResultCache()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+
+    # -- the request path ---------------------------------------------------
+
+    def submit(self, request: Request, *, timeout: float | None = None) -> PendingReply:
+        """Admit one request, returning its :class:`PendingReply`.
+
+        Raises :class:`ServiceOverloaded` when ``max_pending`` requests
+        are already in flight and :class:`ServiceClosed` after
+        :meth:`shutdown` — both *before* any work is queued."""
+        if not isinstance(request, Request):
+            raise TypeError(
+                f"submit() takes a Request, not {type(request).__name__!r}"
+            )
+        with self._lock:
+            if self._closed:
+                _REJECTED.labels(kind=request.kind, cause="closed").add()
+                raise ServiceClosed("service is shut down")
+            if self._pending >= self.max_pending:
+                _REJECTED.labels(kind=request.kind, cause="overload").add()
+                raise ServiceOverloaded(
+                    f"{self._pending} requests already in flight "
+                    f"(max_pending={self.max_pending})"
+                )
+            self._pending += 1
+            depth = self._pending
+        _QUEUE_DEPTH.add(1)
+        submitted_at = time.perf_counter()
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = None if timeout is None else submitted_at + timeout
+        enqueue_span = NULL_SPAN
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "service.enqueue", kind=request.kind
+            ) as enqueue_span:
+                enqueue_span.set(pending=depth)
+        reply = PendingReply(request, deadline, self.tracer, enqueue_span)
+        reply._future = self.pool.submit(
+            self._process, request, deadline, submitted_at, reply
+        )
+        return reply
+
+    def request(self, request: Request, *, timeout: float | None = None) -> ServiceResult:
+        """Submit and wait: ``submit(...).result()`` in one call."""
+        return self.submit(request, timeout=timeout).result()
+
+    def _process(
+        self, request: Request, deadline: float | None,
+        submitted_at: float, reply: PendingReply,
+    ) -> ServiceResult:
+        kind = request.kind
+        span = NULL_SPAN
+        if self.tracer.enabled:
+            span = self.tracer.span(
+                "service.compute", parent=reply._enqueue_span, kind=kind
+            )
+        try:
+            with span:
+                reply._compute_span = span
+                if deadline is not None and time.perf_counter() >= deadline:
+                    # Shed expired work instead of computing a reply
+                    # nobody is waiting for.
+                    _TIMEOUTS.labels(kind=kind).add()
+                    _REQUESTS.labels(kind=kind, outcome="timeout").add()
+                    span.set(outcome="expired")
+                    raise ServiceTimeout(
+                        f"{kind} request deadline expired before compute"
+                    )
+                try:
+                    key = handlers.cache_key(request)
+                    value, hit = self.cache.get_or_compute(
+                        key, lambda: handlers.compute(request)
+                    )
+                except ServiceError:
+                    raise
+                except BaseException:
+                    _REQUESTS.labels(kind=kind, outcome="error").add()
+                    span.set(outcome="error")
+                    raise
+                event = "hit" if hit else ("miss" if key else "uncacheable")
+                _CACHE_EVENTS.labels(kind=kind, event=event).add()
+                elapsed = time.perf_counter() - submitted_at
+                _LATENCY.labels(kind=kind).record(elapsed)
+                _REQUESTS.labels(kind=kind, outcome="ok").add()
+                span.set(outcome="ok", cache=event)
+                return ServiceResult(
+                    request=request,
+                    value=value,
+                    cached=hit,
+                    key=key,
+                    elapsed_seconds=elapsed,
+                )
+        finally:
+            with self._lock:
+                self._pending -= 1
+            _QUEUE_DEPTH.sub(1)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet finished."""
+        with self._lock:
+            return self._pending
+
+    def snapshot(self) -> dict:
+        """A stats dashboard: cache counters + in-flight depth."""
+        info = self.cache.info()
+        return {
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "workers": self.pool.workers,
+            "cache_hits": info.hits,
+            "cache_misses": info.misses,
+            "cache_size": info.size,
+            "cache_maxsize": info.maxsize,
+            "cache_hit_ratio": info.hit_ratio,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Refuse new requests, then (by default) drain in-flight ones."""
+        with self._lock:
+            self._closed = True
+        self.pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

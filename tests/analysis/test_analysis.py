@@ -9,8 +9,7 @@ from repro.analysis import (
     classify_element,
     classify_formula,
     classify_rabin_on_samples,
-    decompose_automaton,
-    decompose_element,
+    decompose,
     enforcement_table,
     is_machine_closed_pair,
     q_table,
@@ -104,13 +103,13 @@ class TestDecomposeHelpers:
     def test_element_decomposition(self):
         lat = boolean_lattice(2)
         cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
-        d = decompose_element(lat, cl, frozenset())
-        assert d.verify(lat, cl, cl)
+        d = decompose(frozenset(), closure=cl)
+        assert d.verify()
 
     def test_automaton_decomposition(self):
         from repro.ltl import translate
 
-        d = decompose_automaton(translate(parse("a & F !a"), "ab"))
+        d = decompose(translate(parse("a & F !a"), "ab"))
         assert d.verify_parts()
 
 

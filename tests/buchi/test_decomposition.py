@@ -6,8 +6,8 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import decompose
 from repro.buchi import (
-    decompose,
     empty_automaton,
     is_liveness,
     is_safety,

@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.analysis import decompose
 from repro.buchi import (
     canonical_is_extremal,
     closure,
-    decompose,
     strongest_safety_violation,
     universal_automaton,
     weakest_liveness_violation,

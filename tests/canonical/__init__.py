@@ -1,0 +1,1 @@
+"""Tests for repro.canonical and the canonical_key() methods."""

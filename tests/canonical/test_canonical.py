@@ -1,0 +1,128 @@
+"""Tests for the canonicalization engine itself: renaming invariance,
+distinguishing power, determinism, and the budget escape hatch."""
+
+import random
+
+import pytest
+
+from repro.canonical import (
+    DEFAULT_BUDGET,
+    CanonicalizationError,
+    canonical_digraph_key,
+    digest,
+    stable_token,
+)
+
+
+def ring(n, color="q"):
+    """A directed n-cycle with uniform colors."""
+    nodes = list(range(n))
+    colors = {i: color for i in nodes}
+    edges = [("e", i, (i + 1) % n) for i in nodes]
+    return nodes, colors, edges
+
+
+def renamed(nodes, colors, edges, mapping):
+    return (
+        [mapping[n] for n in nodes],
+        {mapping[n]: c for n, c in colors.items()},
+        [(label, mapping[s], mapping[d]) for label, s, d in edges],
+    )
+
+
+class TestInvariance:
+    def test_key_invariant_under_renaming(self):
+        nodes = ["s0", "s1", "s2", "s3"]
+        colors = {"s0": "init", "s1": "mid", "s2": "mid", "s3": "acc"}
+        edges = [
+            ("a", "s0", "s1"), ("b", "s0", "s2"),
+            ("a", "s1", "s3"), ("b", "s2", "s3"), ("a", "s3", "s3"),
+        ]
+        base = canonical_digraph_key(nodes, colors, edges)
+        rng = random.Random(7)
+        for _ in range(20):
+            names = [f"t{i}" for i in range(len(nodes))]
+            rng.shuffle(names)
+            mapping = dict(zip(nodes, names))
+            rn, rc, re_ = renamed(nodes, colors, edges, mapping)
+            rng.shuffle(rn)
+            rng.shuffle(re_)
+            assert canonical_digraph_key(rn, rc, re_) == base
+
+    def test_symmetric_graph_terminates_and_is_invariant(self):
+        # a ring is vertex-transitive: WL alone can never split it, so
+        # this exercises the individualization recursion
+        nodes, colors, edges = ring(8)
+        base = canonical_digraph_key(nodes, colors, edges)
+        mapping = {i: (i * 3 + 5) % 8 for i in range(8)}
+        rn, rc, re_ = renamed(nodes, colors, edges, mapping)
+        assert canonical_digraph_key(rn, rc, re_) == base
+
+    def test_edge_order_irrelevant(self):
+        nodes, colors, edges = ring(5)
+        key = canonical_digraph_key(nodes, colors, edges)
+        assert canonical_digraph_key(nodes, colors, list(reversed(edges))) == key
+
+
+class TestDistinguishing:
+    def test_different_colors_differ(self):
+        nodes, colors, edges = ring(4)
+        other = dict(colors)
+        other[2] = "marked"
+        assert canonical_digraph_key(nodes, colors, edges) != \
+            canonical_digraph_key(nodes, other, edges)
+
+    def test_different_edge_labels_differ(self):
+        nodes, colors, edges = ring(4)
+        other = [("f", s, d) if s == 0 else (label, s, d)
+                 for label, s, d in edges]
+        assert canonical_digraph_key(nodes, colors, edges) != \
+            canonical_digraph_key(nodes, colors, other)
+
+    def test_different_topology_differs(self):
+        # 6-ring vs two 3-rings: same degree sequence, same colors
+        nodes, colors, edges = ring(6)
+        two_triangles = [
+            ("e", 0, 1), ("e", 1, 2), ("e", 2, 0),
+            ("e", 3, 4), ("e", 4, 5), ("e", 5, 3),
+        ]
+        assert canonical_digraph_key(nodes, colors, edges) != \
+            canonical_digraph_key(nodes, colors, two_triangles)
+
+    def test_graph_attrs_distinguish(self):
+        nodes, colors, edges = ring(3)
+        a = canonical_digraph_key(nodes, colors, edges, graph_attrs=("x",))
+        b = canonical_digraph_key(nodes, colors, edges, graph_attrs=("y",))
+        assert a != b
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        nodes, colors, edges = ring(24)
+        with pytest.raises(CanonicalizationError):
+            canonical_digraph_key(nodes, colors, edges, budget=4)
+
+    def test_default_budget_handles_moderate_symmetry(self):
+        nodes, colors, edges = ring(12)
+        assert canonical_digraph_key(nodes, colors, edges)
+        assert DEFAULT_BUDGET >= 12
+
+
+class TestTokens:
+    def test_stable_token_distinguishes_types(self):
+        # "1" the string, 1 the int, True the bool: all distinct tokens
+        tokens = {stable_token("1"), stable_token(1), stable_token(True)}
+        assert len(tokens) == 3
+
+    def test_stable_token_order_independent_for_frozensets(self):
+        assert stable_token(frozenset("abc")) == stable_token(frozenset("cba"))
+
+    def test_digest_is_stable_and_short(self):
+        assert digest("hello") == digest("hello")
+        assert len(digest("hello")) == 32
+        assert digest("hello") != digest("world")
+
+    def test_empty_graph(self):
+        key = canonical_digraph_key([], {}, [])
+        assert key == canonical_digraph_key([], {}, [])
+        assert key != canonical_digraph_key([0], {0: "q"}, [])

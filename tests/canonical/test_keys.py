@@ -1,0 +1,138 @@
+"""Tests for the four ``canonical_key()`` methods: invariance under
+renaming, and sensitivity to everything the analyses depend on."""
+
+import random
+
+from repro.buchi import BuchiAutomaton
+from repro.lattice import LatticeClosure, boolean_lattice
+from repro.ltl import parse
+from repro.rabin import RabinTreeAutomaton
+
+
+def buchi(name="B", accepting=("q1",)):
+    return BuchiAutomaton.build(
+        alphabet="ab",
+        states=["q0", "q1"],
+        initial="q0",
+        transitions={
+            ("q0", "a"): ["q1"], ("q1", "a"): ["q1"], ("q1", "b"): ["q0"],
+        },
+        accepting=accepting,
+        name=name,
+    )
+
+
+class TestBuchiKeys:
+    def test_invariant_under_renumbering(self):
+        m = buchi()
+        assert m.renumbered().canonical_key() == m.canonical_key()
+
+    def test_invariant_under_random_renaming(self):
+        rng = random.Random(3)
+        m = BuchiAutomaton.build(
+            alphabet="ab",
+            states=["s0", "s1", "s2", "s3"],
+            initial="s0",
+            transitions={
+                ("s0", "a"): ["s1", "s2"], ("s1", "b"): ["s3"],
+                ("s2", "b"): ["s3"], ("s3", "a"): ["s0"],
+            },
+            accepting=["s3"],
+        )
+        key = m.canonical_key()
+        for trial in range(5):
+            names = [f"r{trial}_{i}" for i in range(4)]
+            rng.shuffle(names)
+            ren = dict(zip(["s0", "s1", "s2", "s3"], names))
+            renamed = BuchiAutomaton.build(
+                alphabet="ab",
+                states=list(ren.values()),
+                initial=ren["s0"],
+                transitions={
+                    (ren["s0"], "a"): [ren["s1"], ren["s2"]],
+                    (ren["s1"], "b"): [ren["s3"]],
+                    (ren["s2"], "b"): [ren["s3"]],
+                    (ren["s3"], "a"): [ren["s0"]],
+                },
+                accepting=[ren["s3"]],
+            )
+            assert renamed.canonical_key() == key
+
+    def test_name_does_not_matter_but_structure_does(self):
+        assert buchi("X").canonical_key() == buchi("Y").canonical_key()
+        assert buchi(accepting=("q0",)).canonical_key() != buchi().canonical_key()
+
+    def test_alphabet_matters(self):
+        m = buchi()
+        wider = BuchiAutomaton.build(
+            alphabet="abc",
+            states=m.states,
+            initial=m.initial,
+            transitions={(q, a): list(m.successors(q, a)) for q, a in m.transitions},
+            accepting=m.accepting,
+        )
+        assert wider.canonical_key() != m.canonical_key()
+
+
+class TestFormulaKeys:
+    def test_structural_equality(self):
+        assert parse("G (a -> F b)").canonical_key() == \
+            parse("G(a -> F b)").canonical_key()
+
+    def test_distinct_formulas_differ(self):
+        assert parse("G a").canonical_key() != parse("F a").canonical_key()
+        assert parse("a U b").canonical_key() != parse("b U a").canonical_key()
+
+
+class TestLatticeKeys:
+    def test_invariant_under_relabel(self):
+        lat = boolean_lattice(3)
+        relabeled = lat.relabel(lambda x: tuple(sorted(x)))
+        assert relabeled.canonical_key() == lat.canonical_key()
+
+    def test_different_lattices_differ(self):
+        assert boolean_lattice(2).canonical_key() != \
+            boolean_lattice(3).canonical_key()
+
+
+class TestRabinKeys:
+    @staticmethod
+    def agfa(prefix=""):
+        p = prefix
+        return RabinTreeAutomaton.build(
+            alphabet="ab",
+            states=[p + "q0", p + "qa", p + "qb"],
+            initial=p + "q0",
+            transitions={
+                (p + "q0", "a"): [(p + "qa", p + "qa")],
+                (p + "q0", "b"): [(p + "qb", p + "qb")],
+                (p + "qa", "a"): [(p + "qa", p + "qa")],
+                (p + "qa", "b"): [(p + "qb", p + "qb")],
+                (p + "qb", "a"): [(p + "qa", p + "qa")],
+                (p + "qb", "b"): [(p + "qb", p + "qb")],
+            },
+            pairs=[(["qa" if not p else p + "qa"], [])],
+            branching=2,
+        )
+
+    def test_invariant_under_renaming(self):
+        assert self.agfa().canonical_key() == self.agfa("x_").canonical_key()
+
+    def test_pairs_matter(self):
+        base = self.agfa()
+        flipped = base.with_pairs(
+            [type(base.pairs[0])(green=frozenset({"qb"}), red=frozenset())]
+        )
+        assert flipped.canonical_key() != base.canonical_key()
+
+
+class TestCrossType:
+    def test_prefixes_keep_types_apart(self):
+        keys = [
+            buchi().canonical_key(),
+            parse("G a").canonical_key(),
+            boolean_lattice(2).canonical_key(),
+            TestRabinKeys.agfa().canonical_key(),
+        ]
+        prefixes = {k.split(":", 1)[0] for k in keys}
+        assert prefixes == {"buchi", "ltl", "lattice", "rabin"}

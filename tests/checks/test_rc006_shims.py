@@ -1,0 +1,164 @@
+"""RC006 deprecation hygiene: ``__all__`` must not re-export shims."""
+
+from repro.checks.rules_shims import DeprecatedShimExportRule
+
+from .conftest import rules_of
+
+SHIM_MODULE = '''
+import warnings
+
+
+def _decompose(x):
+    return x
+
+
+def decompose(x):
+    """Deprecated spelling."""
+    warnings.warn(
+        "decompose is deprecated", DeprecationWarning, stacklevel=2
+    )
+    return _decompose(x)
+
+
+def fresh(x):
+    return x
+'''
+
+
+def run_rc006(checker, *paths):
+    return checker.run(*paths, rules=[DeprecatedShimExportRule()])
+
+
+def test_local_shim_in_all_flagged(checker):
+    checker.write(
+        "src/repro/demo/mod.py", SHIM_MODULE + '\n__all__ = ["decompose"]\n'
+    )
+    report = run_rc006(checker)
+    assert rules_of(report) == ["RC006"]
+    assert "deprecated shim 'decompose'" in report.findings[0].message
+    assert "defined here" in report.findings[0].message
+
+
+def test_shim_kept_importable_but_unexported_passes(checker):
+    checker.write(
+        "src/repro/demo/mod.py", SHIM_MODULE + '\n__all__ = ["fresh"]\n'
+    )
+    assert run_rc006(checker).findings == []
+
+
+def test_reexport_through_package_init_flagged(checker):
+    checker.write("src/repro/demo/mod.py", SHIM_MODULE)
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .mod import decompose, fresh
+
+        __all__ = ["decompose", "fresh"]
+        """,
+    )
+    report = run_rc006(checker)
+    assert rules_of(report) == ["RC006"]
+    finding = report.findings[0]
+    assert finding.path.endswith("__init__.py")
+    assert "imported from repro.demo.mod" in finding.message
+
+
+def test_init_importing_without_exporting_passes(checker):
+    checker.write("src/repro/demo/mod.py", SHIM_MODULE)
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .mod import decompose, fresh  # noqa: F401 — shim importable
+
+        __all__ = ["fresh"]
+        """,
+    )
+    assert run_rc006(checker).findings == []
+
+
+def test_aliased_reexport_flagged(checker):
+    checker.write("src/repro/demo/mod.py", SHIM_MODULE)
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .mod import decompose as split
+
+        __all__ = ["split"]
+        """,
+    )
+    report = run_rc006(checker)
+    assert rules_of(report) == ["RC006"]
+    assert "'split'" in report.findings[0].message
+
+
+def test_category_keyword_detected(checker):
+    checker.write(
+        "src/repro/demo/mod.py",
+        """
+        import warnings
+
+
+        def old(x):
+            warnings.warn("old is deprecated", category=DeprecationWarning)
+            return x
+
+
+        __all__ = ["old"]
+        """,
+    )
+    assert rules_of(run_rc006(checker)) == ["RC006"]
+
+
+def test_other_warning_categories_pass(checker):
+    checker.write(
+        "src/repro/demo/mod.py",
+        """
+        import warnings
+
+
+        def noisy(x):
+            warnings.warn("heads up", RuntimeWarning)
+            return x
+
+
+        __all__ = ["noisy"]
+        """,
+    )
+    assert run_rc006(checker).findings == []
+
+
+def test_nested_function_warning_does_not_taint_parent(checker):
+    checker.write(
+        "src/repro/demo/mod.py",
+        """
+        import warnings
+
+
+        def outer(x):
+            def inner():
+                warnings.warn("inner", DeprecationWarning)
+            return x
+
+
+        __all__ = ["outer"]
+        """,
+    )
+    assert run_rc006(checker).findings == []
+
+
+def test_scoped_to_library_code(checker):
+    checker.write(
+        "tests/demo/helper.py", SHIM_MODULE + '\n__all__ = ["decompose"]\n'
+    )
+    assert run_rc006(checker).findings == []
+
+
+def test_library_tree_is_rc006_clean():
+    # the real repo keeps its shims importable-but-unexported
+    from pathlib import Path
+
+    from repro.checks import run_checks
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = run_checks([src], [DeprecatedShimExportRule()])
+    assert report.findings == []

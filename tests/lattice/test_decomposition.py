@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import decompose
 from repro.lattice import (
     DecompositionError,
     LatticeClosure,
@@ -20,8 +21,6 @@ from repro.lattice import (
     chain,
     check_strongest_safety,
     check_weakest_liveness,
-    decompose,
-    decompose_single,
     figure1,
     figure2,
     is_machine_closed,
@@ -72,8 +71,8 @@ class TestTheorem2:
             lat, [frozenset({0, 1}), frozenset({2})]
         )
         for a in lat.elements:
-            d = decompose_single(lat, cl, a)
-            assert d.verify(lat, cl, cl)
+            d = decompose(a, closure=cl)
+            assert d.verify()
             assert d.safety == cl(a)
 
     def test_works_on_modular_nondistributive(self):
@@ -81,29 +80,29 @@ class TestTheorem2:
         for lat in (m3(), subspace_lattice_gf2(2)):
             for cl in all_closures(lat):
                 for a in lat.elements:
-                    d = decompose_single(lat, cl, a)
-                    assert d.verify(lat, cl, cl)
+                    d = decompose(a, closure=cl)
+                    assert d.verify()
 
     def test_nonmodular_rejected(self):
         lat = n5()
         cl = LatticeClosure.identity(lat)
         with pytest.raises(DecompositionError, match="not modular"):
-            decompose_single(lat, cl, "a")
+            decompose("a", closure=cl)
 
     def test_uncomplemented_rejected(self):
         lat = chain(3)
         cl = LatticeClosure.identity(lat)
         with pytest.raises(DecompositionError, match="not complemented"):
-            decompose_single(lat, cl, 1)
+            decompose(1, closure=cl)
 
     def test_specific_complement_choice(self):
         lat = m3()
         cl = LatticeClosure.identity(lat)
         # cmp(s) = {b, z}: both choices must work and give different liveness
-        d_b = decompose_single(lat, cl, "s", complement="b")
-        d_z = decompose_single(lat, cl, "s", complement="z")
-        assert d_b.verify(lat, cl, cl)
-        assert d_z.verify(lat, cl, cl)
+        d_b = decompose("s", closure=cl, complement="b")
+        d_z = decompose("s", closure=cl, complement="z")
+        assert d_b.verify()
+        assert d_z.verify()
         assert d_b.complement_used == "b"
         assert d_z.complement_used == "z"
         # both joins collapse to the top of M3 — complements are not unique
@@ -114,7 +113,7 @@ class TestTheorem2:
         lat = boolean_lattice(2)
         cl = LatticeClosure.identity(lat)
         with pytest.raises(DecompositionError, match="not a complement"):
-            decompose_single(lat, cl, frozenset({0}), complement=frozenset({0}))
+            decompose(frozenset({0}), closure=cl, complement=frozenset({0}))
 
     @given(st.integers(0, 10_000))
     @settings(max_examples=25, deadline=None)
@@ -123,8 +122,8 @@ class TestTheorem2:
         lat = random_modular_complemented(rng, max_factors=2, max_diamond=4)
         cl = random_closure(rng, lat)
         for a in lat.elements:
-            d = decompose_single(lat, cl, a, check_hypotheses=False)
-            assert d.verify(lat, cl, cl)
+            d = decompose(a, closure=cl, check_hypotheses=False)
+            assert d.verify()
 
 
 class TestTheorem3:
@@ -136,15 +135,15 @@ class TestTheorem3:
         )
         assert cl2.dominates(cl1)
         for a in lat.elements:
-            d = decompose(lat, cl1, cl2, a)
-            assert d.verify(lat, cl1, cl2)
+            d = decompose(a, closure=(cl1, cl2))
+            assert d.verify()
 
     def test_incomparable_closures_rejected(self):
         lat = boolean_lattice(2)
         cl1 = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
         cl2 = LatticeClosure.from_closed_elements(lat, [frozenset({1})])
         with pytest.raises(DecompositionError, match="cl1 <= cl2"):
-            decompose(lat, cl1, cl2, frozenset())
+            decompose(frozenset(), closure=(cl1, cl2))
 
     @given(st.integers(0, 10_000))
     @settings(max_examples=25, deadline=None)
@@ -154,8 +153,8 @@ class TestTheorem3:
         cl1, cl2 = random_comparable_closure_pair(rng, lat)
         assert cl2.dominates(cl1)
         for a in lat.elements:
-            d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
-            assert d.verify(lat, cl1, cl2)
+            d = decompose(a, closure=(cl1, cl2), check_hypotheses=False)
+            assert d.verify()
 
 
 class TestLemma6Figure1:

@@ -10,13 +10,12 @@ to a machine proof by finite model checking as the statements allow.
 
 import pytest
 
+from repro.analysis import decompose
 from repro.lattice import (
     all_closures,
     boolean_lattice,
     chain,
     check_strongest_safety,
-    decompose,
-    decompose_single,
     diamond_mn,
     m3,
     no_decomposition_witness,
@@ -38,8 +37,8 @@ class TestExhaustiveTheorem2:
     def test_every_closure_every_element(self, name, lat):
         for cl in all_closures(lat):
             for a in lat.elements:
-                d = decompose_single(lat, cl, a, check_hypotheses=False)
-                assert d.verify(lat, cl, cl), (name, cl, a)
+                d = decompose(a, closure=cl, check_hypotheses=False)
+                assert d.verify(), (name, cl, a)
 
 
 @pytest.mark.parametrize("name,lat", SMALL_LATTICES[:3], ids=[n for n, _l in SMALL_LATTICES[:3]])
@@ -51,8 +50,8 @@ class TestExhaustiveTwoClosureTheorems:
                 if not cl2.dominates(cl1):
                     continue
                 for a in lat.elements:
-                    d = decompose(lat, cl1, cl2, a, check_hypotheses=False)
-                    assert d.verify(lat, cl1, cl2), (name, a)
+                    d = decompose(a, closure=(cl1, cl2), check_hypotheses=False)
+                    assert d.verify(), (name, a)
 
     def test_theorem5_on_all_comparable_pairs(self, name, lat):
         closures = all_closures(lat)
@@ -97,7 +96,7 @@ class TestSubspaceLatticeAllClosures:
         count = 0
         for cl in all_closures(lat):
             for a in lat.elements:
-                d = decompose_single(lat, cl, a, check_hypotheses=False)
-                assert d.verify(lat, cl, cl)
+                d = decompose(a, closure=cl, check_hypotheses=False)
+                assert d.verify()
                 count += 1
         assert count >= 5 * len(all_closures(lat)) - 1

@@ -3,12 +3,12 @@
 
 import pytest
 
+from repro.analysis import decompose
 from repro.buchi import are_equivalent, universal_automaton
 from repro.ltl import (
     PropertyClass,
     classify,
     classify_rem_examples,
-    decompose_formula,
     parse,
     rem_examples,
     translate,
@@ -86,19 +86,19 @@ class TestClassifier:
 class TestFormulaDecomposition:
     @pytest.mark.parametrize("text", ["a U b", "a & F !a", "GF a", "G a"])
     def test_decomposition_identity(self, text):
-        d = decompose_formula(parse(text), "ab")
+        d = decompose(parse(text), alphabet="ab")
         for w in all_lassos("ab", 2, 3):
             assert d.verify_on_word(w), (text, w)
 
     def test_decomposition_parts_typed(self):
-        d = decompose_formula(parse("a U b"), "ab")
+        d = decompose(parse("a U b"), alphabet="ab")
         assert d.verify_parts()
 
     def test_until_decomposition_matches_hand_computation(self):
         """Over Σ = {a, b, c}: lcl(a U b) = a W b (stay in a's until b, or
         a's forever); over Σ = {a, b} the closure degenerates to Σ^ω."""
-        d = decompose_formula(parse("a U b"), "abc")
+        d = decompose(parse("a U b"), alphabet="abc")
         weak = translate(parse("a W b"), "abc")
         assert are_equivalent(d.safety, weak)
-        d2 = decompose_formula(parse("a U b"), "ab")
+        d2 = decompose(parse("a U b"), alphabet="ab")
         assert are_equivalent(d2.safety, universal_automaton("ab"))

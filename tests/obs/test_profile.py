@@ -135,7 +135,7 @@ class TestInstrumentedPipelines:
             assert report[phase]["calls"] == phases_before.get(phase, 0) + 1
 
     def test_buchi_decompose_counts_up(self):
-        from repro.buchi.decomposition import _DECOMPOSITIONS, decompose
+        from repro.buchi.decomposition import _DECOMPOSITIONS, _decompose as decompose
         from repro.ltl import parse
         from repro.ltl.translate import translate
 

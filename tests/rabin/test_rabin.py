@@ -3,13 +3,13 @@ witnesses, closure and the Theorem 9 decomposition."""
 
 import pytest
 
+from repro.analysis import decompose
 from repro.rabin import (
     RabinError,
     RabinPair,
     RabinTreeAutomaton,
     TreeLanguage,
     accepts_tree,
-    decompose,
     emptiness_witness,
     is_closure_automaton,
     is_empty,

@@ -1,0 +1,88 @@
+"""Tests for the shared WorkerPool: inline fast path, lazy start,
+parallel dispatch, error propagation, reuse after shutdown."""
+
+import threading
+
+import pytest
+
+from repro.rv import WorkerPool
+
+
+class TestInlineMode:
+    def test_workers_zero_runs_inline(self):
+        pool = WorkerPool(0)
+        assert not pool.parallel
+        caller = threading.current_thread().name
+        ran_on = []
+        pool.map(lambda _: ran_on.append(threading.current_thread().name), [1, 2])
+        assert ran_on == [caller, caller]
+        assert not pool.started
+
+    def test_inline_submit_returns_resolved_future(self):
+        pool = WorkerPool(1)
+        future = pool.submit(lambda x: x * 2, 21)
+        assert future.done()
+        assert future.result() == 42
+
+    def test_inline_submit_captures_exception(self):
+        pool = WorkerPool(0)
+
+        def boom():
+            raise ValueError("boom")
+
+        future = pool.submit(boom)
+        assert future.done()
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+
+
+class TestParallelMode:
+    def test_map_preserves_input_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda x: x * x, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+
+    def test_single_item_stays_inline(self):
+        pool = WorkerPool(4)
+        pool.map(lambda x: x, [1])
+        assert not pool.started  # one item never starts the executor
+        pool.map(lambda x: x, [1, 2])
+        assert pool.started
+        pool.shutdown()
+
+    def test_map_reraises_worker_exception(self):
+        def maybe_boom(x):
+            if x == 3:
+                raise RuntimeError("worker boom")
+            return x
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="worker boom"):
+                pool.map(maybe_boom, [1, 2, 3, 4])
+
+    def test_submit_runs_on_pool_thread(self):
+        with WorkerPool(2, thread_name_prefix="pool-test") as pool:
+            name = pool.submit(lambda: threading.current_thread().name).result()
+            assert name.startswith("pool-test")
+
+
+class TestLifecycle:
+    def test_reusable_after_shutdown(self):
+        pool = WorkerPool(2)
+        assert pool.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        pool.shutdown()
+        assert not pool.started
+        assert pool.map(lambda x: x + 1, [4, 5, 6]) == [5, 6, 7]
+        pool.shutdown()
+
+    def test_repr_reflects_state(self):
+        pool = WorkerPool(2)
+        assert "idle" in repr(pool)
+        pool.map(lambda x: x, [1, 2])
+        assert "started" in repr(pool)
+        pool.shutdown()

@@ -1,0 +1,91 @@
+"""Tests for the service's memo LRU: hits, eviction, racing misses."""
+
+import threading
+
+import pytest
+
+from repro.service import ResultCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        value, hit = cache.get_or_compute("k", lambda: "v")
+        assert (value, hit) == ("v", False)
+        value, hit = cache.get_or_compute("k", lambda: "other")
+        assert (value, hit) == ("v", True)
+
+    def test_none_key_is_uncacheable(self):
+        cache = ResultCache()
+        calls = []
+        for _ in range(3):
+            value, hit = cache.get_or_compute(None, lambda: calls.append(1) or "v")
+            assert not hit
+        assert len(calls) == 3
+        assert len(cache) == 0
+
+    def test_info_counts(self):
+        cache = ResultCache(maxsize=8)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        info = cache.info()
+        assert (info.hits, info.misses, info.size) == (1, 2, 2)
+        assert info.hit_ratio == pytest.approx(1 / 3)
+
+    def test_put_and_contains(self):
+        cache = ResultCache()
+        cache.put("warm", "value")
+        assert "warm" in cache
+        value, hit = cache.get_or_compute("warm", lambda: "never")
+        assert (value, hit) == ("value", True)
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info().misses == 0
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # touch a: b is now oldest
+        cache.get_or_compute("c", lambda: 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = ResultCache(maxsize=4)
+        for i in range(20):
+            cache.get_or_compute(f"k{i}", lambda i=i: i)
+        assert len(cache) == 4
+
+
+class TestRacing:
+    def test_racing_misses_converge_on_one_value(self):
+        cache = ResultCache()
+        gate = threading.Barrier(4)
+        results = []
+
+        def compute():
+            return object()  # distinct per call: losers must adopt winner's
+
+        def racer():
+            gate.wait()
+            value, _hit = cache.get_or_compute("k", compute)
+            results.append(value)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert len({id(v) for v in results}) == 1

@@ -1,0 +1,249 @@
+"""Tests for AnalysisService: request routing, cache-by-isomorphism,
+admission control, deadlines, lifecycle, tracing — and the 8-client
+concurrency acceptance test (no lost or duplicated replies)."""
+
+import threading
+
+import pytest
+
+from repro.buchi import BuchiAutomaton
+from repro.lattice import LatticeClosure, boolean_lattice
+from repro.ltl import parse, translate
+from repro.obs import Tracer
+from repro.service import (
+    AnalysisService,
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    ResultCache,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+)
+
+ALPHABET = frozenset({"a", "b"})
+
+
+def automaton(text="a & F !a"):
+    return translate(parse(text), "ab")
+
+
+@pytest.fixture
+def service():
+    with AnalysisService(workers=2, max_pending=32) as svc:
+        yield svc
+
+
+class TestRouting:
+    def test_decompose_buchi(self, service):
+        result = service.request(DecomposeRequest(automaton()))
+        assert result.value.verify_exact()
+        assert not result.cached
+        assert result.key.startswith("decompose:buchi:")
+
+    def test_decompose_formula(self, service):
+        result = service.request(
+            DecomposeRequest(parse("a U b"), alphabet=ALPHABET)
+        )
+        assert result.value.verify_parts()
+
+    def test_decompose_lattice_element(self, service):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        result = service.request(
+            DecomposeRequest(frozenset({0}), closure=cl)
+        )
+        assert result.value.verify()
+        assert result.key.startswith("decompose:latctx:")
+
+    def test_classify_formula(self, service):
+        from repro.analysis import PropertyClass
+
+        result = service.request(
+            ClassifyRequest(parse("G a"), alphabet=ALPHABET)
+        )
+        assert result.value == PropertyClass.SAFETY
+
+    def test_check_request(self, service):
+        result = service.request(CheckRequest(automaton()))
+        assert result.value is True
+
+    def test_non_request_rejected(self, service):
+        with pytest.raises(TypeError, match="Request"):
+            service.submit("not a request")
+
+
+class TestCaching:
+    def test_repeat_hits(self, service):
+        first = service.request(DecomposeRequest(automaton()))
+        second = service.request(DecomposeRequest(automaton()))
+        assert not first.cached and second.cached
+        assert second.value is first.value
+
+    def test_isomorphic_subjects_share_a_cache_line(self, service):
+        m = automaton()
+        service.request(DecomposeRequest(m))
+        renamed = service.request(DecomposeRequest(m.renumbered()))
+        assert renamed.cached
+
+    def test_distinct_subjects_do_not_collide(self, service):
+        a = service.request(DecomposeRequest(automaton("G a")))
+        b = service.request(DecomposeRequest(automaton("F a")))
+        assert a.key != b.key
+        assert not b.cached
+
+    def test_kinds_do_not_share_lines(self, service):
+        service.request(DecomposeRequest(parse("G a"), alphabet=ALPHABET))
+        classified = service.request(
+            ClassifyRequest(parse("G a"), alphabet=ALPHABET)
+        )
+        assert not classified.cached
+
+    def test_witness_checks_are_uncacheable(self, service):
+        from repro.omega import LassoWord
+
+        request = CheckRequest(automaton(), witness=LassoWord("a", "b"))
+        first = service.request(request)
+        second = service.request(request)
+        assert first.key is None and second.key is None
+        assert not second.cached
+
+    def test_shared_cache_across_services(self):
+        cache = ResultCache()
+        with AnalysisService(workers=0, cache=cache) as one:
+            one.request(DecomposeRequest(automaton()))
+        with AnalysisService(workers=0, cache=cache) as two:
+            assert two.request(DecomposeRequest(automaton())).cached
+
+
+class TestDegradation:
+    def test_overload_rejects_at_submit(self, monkeypatch):
+        import repro.service.handlers as handlers_module
+
+        release = threading.Event()
+        real_compute = handlers_module.compute
+
+        def wedged(request):
+            release.wait(timeout=5)
+            return real_compute(request)
+
+        monkeypatch.setattr(handlers_module, "compute", wedged)
+        with AnalysisService(workers=2, max_pending=2) as svc:
+            for _ in range(2):  # fill the admission window
+                svc.submit(DecomposeRequest(automaton()))
+            with pytest.raises(ServiceOverloaded):
+                svc.submit(DecomposeRequest(automaton()))
+            release.set()
+
+    def test_expired_deadline_raises_timeout(self, service):
+        reply = service.submit(DecomposeRequest(automaton()), timeout=0.0)
+        with pytest.raises(ServiceTimeout):
+            reply.result()
+
+    def test_default_timeout_applies(self):
+        with AnalysisService(workers=0, default_timeout=0.0) as svc:
+            with pytest.raises(ServiceTimeout):
+                svc.request(DecomposeRequest(automaton()))
+
+    def test_closed_service_rejects(self):
+        svc = AnalysisService(workers=0)
+        svc.shutdown()
+        with pytest.raises(ServiceClosed):
+            svc.submit(DecomposeRequest(automaton()))
+
+    def test_compute_errors_reach_the_caller(self, service):
+        with pytest.raises(TypeError, match="alphabet"):
+            service.request(DecomposeRequest(parse("G a")))
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisService(max_pending=0)
+
+
+class TestConcurrency:
+    def test_eight_clients_no_lost_or_duplicated_replies(self):
+        """Acceptance: 8 concurrent client threads against one shared
+        service; every client gets exactly its own replies back."""
+        formulas = ["G a", "F b", "a U b", "GF a", "G (a -> X b)",
+                    "FG a", "a W b", "F (a & b)"]
+        per_client = 25
+        replies = {}
+        errors = []
+
+        with AnalysisService(workers=4, max_pending=512) as svc:
+            def client(index):
+                own = []
+                try:
+                    for step in range(per_client):
+                        text = formulas[(index + step) % len(formulas)]
+                        request = ClassifyRequest(
+                            parse(text), alphabet=ALPHABET
+                        )
+                        result = svc.request(request)
+                        assert result.request is request  # nobody else's reply
+                        own.append((text, result.value))
+                except BaseException as exc:  # noqa: BLE001 — collected
+                    errors.append((index, exc))
+                replies[index] = own
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert errors == []
+        assert len(replies) == 8
+        assert all(len(own) == per_client for own in replies.values())
+        # same formula ⇒ same verdict, across all clients
+        verdicts = {}
+        for own in replies.values():
+            for text, verdict in own:
+                assert verdicts.setdefault(text, verdict) == verdict
+
+    def test_concurrent_misses_on_one_key_compute_once_or_adopt(self):
+        svc = AnalysisService(workers=4, max_pending=64)
+        gate = threading.Barrier(4)
+        values = []
+
+        def client():
+            gate.wait()
+            values.append(svc.request(DecomposeRequest(automaton())).value)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        svc.shutdown()
+        assert len({id(v) for v in values}) == 1
+
+
+class TestObservability:
+    def test_snapshot_keys(self, service):
+        service.request(DecomposeRequest(automaton()))
+        snap = service.snapshot()
+        assert snap["pending"] == 0
+        assert snap["workers"] == 2
+        assert snap["cache_misses"] >= 1
+
+    def test_spans_enqueue_compute_reply(self):
+        tracer = Tracer()
+        with AnalysisService(workers=2, tracer=tracer) as svc:
+            svc.request(DecomposeRequest(automaton()))
+        spans = tracer.finished()
+        by_name = {s.name: s for s in spans}
+        assert {"service.enqueue", "service.compute", "service.reply"} <= set(
+            by_name
+        )
+        assert by_name["service.compute"].parent_id == \
+            by_name["service.enqueue"].span_id
+        assert by_name["service.reply"].parent_id == \
+            by_name["service.compute"].span_id
+
+    def test_pending_property_drains_to_zero(self, service):
+        for _ in range(4):
+            service.request(DecomposeRequest(automaton()))
+        assert service.pending == 0

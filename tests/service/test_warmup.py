@@ -1,0 +1,78 @@
+"""Tests for warm start: workload parsing, replay, error reporting."""
+
+import json
+
+import pytest
+
+from repro.ltl import parse
+from repro.service import (
+    AnalysisService,
+    DecomposeRequest,
+    WarmupError,
+    load_workload,
+    warm_start,
+)
+
+WORKLOAD = {
+    "version": 1,
+    "requests": [
+        {"kind": "decompose", "formula": "G a", "alphabet": ["a", "b"]},
+        {"kind": "classify", "formula": "F b", "alphabet": ["a", "b"]},
+        {"kind": "check", "formula": "a U b", "alphabet": ["a", "b"]},
+    ],
+}
+
+
+class TestLoadWorkload:
+    def test_from_dict(self):
+        requests = load_workload(WORKLOAD)
+        assert [r.kind for r in requests] == ["decompose", "classify", "check"]
+        assert requests[0].subject == parse("G a")
+        assert requests[0].alphabet == frozenset("ab")
+
+    def test_from_json_string(self):
+        assert len(load_workload(json.dumps(WORKLOAD))) == 3
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(WORKLOAD))
+        assert len(load_workload(path)) == 3
+
+    def test_unknown_kind_carries_index(self):
+        bad = {"requests": [{"kind": "frobnicate", "formula": "G a",
+                             "alphabet": ["a"]}]}
+        with pytest.raises(WarmupError, match=r"requests\[0\].*frobnicate"):
+            load_workload(bad)
+
+    def test_unparseable_formula_carries_index(self):
+        bad = {"requests": [
+            {"kind": "decompose", "formula": "G a", "alphabet": ["a", "b"]},
+            {"kind": "decompose", "formula": "((", "alphabet": ["a"]},
+        ]}
+        with pytest.raises(WarmupError, match=r"requests\[1\]"):
+            load_workload(bad)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(WarmupError, match="formula"):
+            load_workload({"requests": [{"kind": "decompose"}]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(WarmupError):
+            load_workload([1, 2, 3])
+
+
+class TestWarmStart:
+    def test_populates_the_cache(self):
+        with AnalysisService(workers=0) as svc:
+            count = warm_start(svc, WORKLOAD)
+            assert count == 3
+            warmed = svc.request(
+                DecomposeRequest(parse("G a"), alphabet=frozenset("ab"))
+            )
+            assert warmed.cached
+
+    def test_replays_through_the_normal_path(self):
+        with AnalysisService(workers=0) as svc:
+            warm_start(svc, WORKLOAD)
+            snap = svc.snapshot()
+            assert snap["cache_misses"] >= 3

@@ -3,7 +3,8 @@ tests, bounded fcl, and the sampled-lattice bridge to Section 3."""
 
 import pytest
 
-from repro.lattice import decompose, is_modular_complemented
+from repro.analysis import decompose
+from repro.lattice import is_modular_complemented
 from repro.omega import LassoWord
 from repro.trees import (
     FiniteTree,
@@ -130,11 +131,9 @@ class TestSampledClosureBridge:
 
     def test_theorem2_decomposition_applies(self):
         lattice, cl = closure_on_samples(self.UNIVERSE, depth_bound=2)
-        from repro.lattice import decompose_single
-
         for p in lattice.elements:
-            d = decompose_single(lattice, cl, p, check_hypotheses=False)
-            assert d.verify(lattice, cl, cl)
+            d = decompose(p, closure=cl, check_hypotheses=False)
+            assert d.verify()
 
     def test_ncl_variant_is_finer(self):
         """Adding non-total witnesses can only shrink the closure
@@ -148,13 +147,11 @@ class TestSampledClosureBridge:
 
     def test_theorem3_mixed_decomposition(self):
         """ES ∧ UL: cl1 = sampled ncl, cl2 = sampled fcl."""
-        from repro.lattice import decompose
-
         witness = PartialRegularPrefix.cut_except_branch(SPLIT, (0,), 1)
         lattice, fcl = closure_on_samples(self.UNIVERSE, depth_bound=2)
         _, ncl = closure_on_samples(
             self.UNIVERSE, depth_bound=2, partial_witnesses={2: [witness]}, name="ncl"
         )
         for p in lattice.elements:
-            d = decompose(lattice, ncl, fcl, p, check_hypotheses=False)
-            assert d.verify(lattice, ncl, fcl)
+            d = decompose(p, closure=(ncl, fcl), check_hypotheses=False)
+            assert d.verify()
