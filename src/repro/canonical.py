@@ -56,10 +56,18 @@ class CanonicalizationError(ValueError):
 
 
 def stable_token(value) -> str:
-    """A deterministic string for a hashable value, independent of hash
-    seeds and container ordering (frozensets are serialized sorted)."""
+    """A deterministic, *injective* string for a hashable value,
+    independent of hash seeds and container ordering (frozensets are
+    serialized sorted).
+
+    String and ``repr`` payloads are length-prefixed (netstring style),
+    so a payload containing separator characters cannot forge another
+    value's serialization — ``("a,s:b",)`` and ``("a", "b")`` get
+    distinct tokens.  These tokens feed node colors and edge labels in
+    :func:`canonical_digraph_key`; a collision there would merge two
+    non-isomorphic graphs onto one cache key."""
     if isinstance(value, str):
-        return "s:" + value
+        return f"s{len(value)}:{value}"
     if isinstance(value, bool):
         return "b:" + str(value)
     if isinstance(value, (int, float)):
@@ -70,7 +78,8 @@ def stable_token(value) -> str:
         return "t:(" + ",".join(stable_token(v) for v in value) + ")"
     if isinstance(value, (frozenset, set)):
         return "f:{" + ",".join(sorted(stable_token(v) for v in value)) + "}"
-    return "r:" + repr(value)
+    text = repr(value)
+    return f"r{len(text)}:{text}"
 
 
 def digest(text: str) -> str:

@@ -16,6 +16,10 @@ from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
 
+#: Distinguishes "no entry" from a legitimately-cached ``None`` value in
+#: the post-compute race re-check.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class ResultCacheInfo:
@@ -56,8 +60,8 @@ class ResultCache:
                 return self._entries[key], True
         value = compute()
         with self._lock:
-            existing = self._entries.get(key)
-            if existing is not None:
+            existing = self._entries.get(key, _MISSING)
+            if existing is not _MISSING:
                 # Raced with another miss on the same key: one compute
                 # wins, everyone returns its value.
                 self._entries.move_to_end(key)

@@ -13,10 +13,17 @@ Key-building rules (documented for users in DESIGN.md §8):
 * Formulas: the formula's structural ``canonical_key()`` plus the
   sorted alphabet (the same formula over different alphabets denotes
   different languages).
-* Lattice elements: one canonical graph covering the *whole context* —
-  Hasse diagram of the lattice, both closure tables as labeled edges
-  (``c1``/``c2``: x → cl(x)), and the subject element as a node color.
-  Renaming lattice elements consistently therefore hits the same line.
+* Lattice elements: a *concrete* (identity-preserving) hash of the
+  whole context — element tokens, Hasse diagram, both closure tables,
+  and the subject.  Deliberately NOT canonicalized up to renaming: the
+  answer is made of concrete elements of the caller's lattice, and in a
+  lattice with a nontrivial automorphism fixing bottom/top and
+  commuting with the closures (atom-swap on a Boolean algebra under a
+  symmetric closure, say), an invariant key would alias two distinct
+  subjects onto one line and hand one caller the other's elements.
+  Renaming-invariant keys are sound only when the answer is itself
+  invariant (languages, classifications) — element-valued answers need
+  concrete keys.
 * Anything the canonicalizer gives up on (budget exhaustion) — and any
   request carrying sample trees or witnesses — is *uncacheable*: the
   key is ``None`` and the service computes without memoizing.  A cache
@@ -33,12 +40,7 @@ from repro.analysis.classify import (
 )
 from repro.analysis.decompose import _closure_pair, decompose
 from repro.buchi.automaton import BuchiAutomaton
-from repro.canonical import (
-    CanonicalizationError,
-    canonical_digraph_key,
-    digest,
-    stable_token,
-)
+from repro.canonical import CanonicalizationError, digest, stable_token
 from repro.ltl.syntax import Formula
 
 from .requests import CheckRequest, ClassifyRequest, DecomposeRequest, Request
@@ -51,21 +53,28 @@ def _is_rabin(subject) -> bool:
 
 
 def _lattice_context_key(cl1, cl2, subject) -> str:
-    """One canonical graph for (lattice, cl1, cl2, subject)."""
+    """A concrete hash of (lattice, cl1, cl2, subject).
+
+    Identity-preserving on purpose: the decomposition's ``.element`` /
+    ``.safety`` / ``.liveness`` are elements *of this lattice*, so two
+    contexts may only share a cache line when they are equal on the
+    nose.  (A canonical-graph key would conflate subjects swapped by a
+    lattice automorphism that fixes bottom/top and commutes with the
+    closures, returning one subject's decomposition for the other.)"""
     lattice = cl1.lattice
-    elements = lattice.elements
     if subject not in lattice:
         raise KeyError(f"{subject!r} not in lattice")
-    colors = {
-        x: (x == lattice.bottom, x == lattice.top, x == subject)
-        for x in elements
-    }
-    edges = [("<", lo, hi) for lo, hi in lattice.poset.hasse_edges()]
-    edges.extend(("c1", x, cl1(x)) for x in elements)
-    edges.extend(("c2", x, cl2(x)) for x in elements)
-    return "latctx:" + canonical_digraph_key(
-        elements, colors, edges, graph_attrs=("latctx", len(elements))
+    elements = sorted(lattice.elements, key=stable_token)
+    context = (
+        tuple(stable_token(x) for x in elements),
+        tuple(sorted(
+            stable_token((lo, hi)) for lo, hi in lattice.poset.hasse_edges()
+        )),
+        tuple(stable_token((x, cl1(x))) for x in elements),
+        tuple(stable_token((x, cl2(x))) for x in elements),
+        stable_token(subject),
     )
+    return "latctx:" + digest(stable_token(context))
 
 
 def _subject_key(request: Request) -> str | None:

@@ -211,9 +211,23 @@ class AnalysisService:
             ) as enqueue_span:
                 enqueue_span.set(pending=depth)
         reply = PendingReply(request, deadline, self.tracer, enqueue_span)
-        reply._future = self.pool.submit(
-            self._process, request, deadline, submitted_at, reply
-        )
+        try:
+            reply._future = self.pool.submit(
+                self._process, request, deadline, submitted_at, reply
+            )
+        except BaseException as exc:
+            # submit() can race shutdown(): _closed is checked under the
+            # lock, but the executor may be shut down before this call
+            # lands.  Roll back admission so neither the pending count
+            # nor the depth gauge leaks, and surface the service's own
+            # closed error instead of a raw executor RuntimeError.
+            with self._lock:
+                self._pending -= 1
+            _QUEUE_DEPTH.sub(1)
+            _REJECTED.labels(kind=request.kind, cause="closed").add()
+            raise ServiceClosed(
+                "service shut down while the request was being admitted"
+            ) from exc
         return reply
 
     def request(self, request: Request, *, timeout: float | None = None) -> ServiceResult:

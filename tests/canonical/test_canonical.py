@@ -117,6 +117,25 @@ class TestTokens:
     def test_stable_token_order_independent_for_frozensets(self):
         assert stable_token(frozenset("abc")) == stable_token(frozenset("cba"))
 
+    def test_stable_token_escapes_separators(self):
+        # regression: unescaped payloads could forge other serializations
+        assert stable_token(("a,s:b",)) != stable_token(("a", "b"))
+        assert stable_token(("ab", "")) != stable_token(("a", "b"))
+        assert stable_token(frozenset({"a,s:b"})) != \
+            stable_token(frozenset({"a", "b"}))
+
+    def test_stable_token_strings_cannot_forge_tokens(self):
+        # a string whose content *is* another value's token stays distinct
+        assert stable_token("s1:x") != stable_token("x")
+        assert stable_token("n:1") != stable_token(1)
+
+    def test_adversarial_colors_do_not_collide_graphs(self):
+        # two non-isomorphic 1-node graphs whose colors collide under the
+        # old separator-blind serialization
+        a = canonical_digraph_key([0], {0: ("a,s:b",)}, [])
+        b = canonical_digraph_key([0], {0: ("a", "b")}, [])
+        assert a != b
+
     def test_digest_is_stable_and_short(self):
         assert digest("hello") == digest("hello")
         assert len(digest("hello")) == 32

@@ -51,6 +51,29 @@ class TestBasics:
         with pytest.raises(ValueError):
             ResultCache(maxsize=0)
 
+    def test_none_values_are_cached(self):
+        cache = ResultCache()
+        calls = []
+        value, hit = cache.get_or_compute("k", lambda: calls.append(1))
+        assert (value, hit) == (None, False)
+        value, hit = cache.get_or_compute("k", lambda: calls.append(1))
+        assert (value, hit) == (None, True)
+        assert calls == [1]
+
+    def test_racing_put_of_none_is_adopted(self):
+        # regression: the post-compute re-check must treat a stored None
+        # as present, not recount a miss and overwrite the winner
+        cache = ResultCache()
+
+        def compute():
+            cache.put("k", None)  # another thread wins mid-compute
+            return "loser"
+
+        value, hit = cache.get_or_compute("k", compute)
+        assert value is None and not hit
+        in_cache, _ = cache.get_or_compute("k", lambda: "never")
+        assert in_cache is None
+
 
 class TestEviction:
     def test_lru_evicts_oldest(self):

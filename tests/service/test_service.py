@@ -92,6 +92,28 @@ class TestCaching:
         assert a.key != b.key
         assert not b.cached
 
+    def test_lattice_repeats_still_hit(self, service):
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.from_closed_elements(lat, [frozenset({0})])
+        first = service.request(DecomposeRequest(frozenset({0}), closure=cl))
+        repeat = service.request(DecomposeRequest(frozenset({0}), closure=cl))
+        assert not first.cached and repeat.cached
+
+    def test_symmetric_lattice_subjects_do_not_alias(self, service):
+        """Regression: boolean_lattice(2) has an atom-swap automorphism,
+        and the identity closure commutes with it — the two atoms are
+        indistinguishable up to isomorphism but decompose to *different
+        concrete elements*, so they must not share a cache line."""
+        lat = boolean_lattice(2)
+        cl = LatticeClosure.identity(lat)
+        first = service.request(DecomposeRequest(frozenset({0}), closure=cl))
+        second = service.request(DecomposeRequest(frozenset({1}), closure=cl))
+        assert first.key != second.key
+        assert not second.cached
+        assert first.value.element == frozenset({0})
+        assert second.value.element == frozenset({1})
+        assert second.value.verify()
+
     def test_kinds_do_not_share_lines(self, service):
         service.request(DecomposeRequest(parse("G a"), alphabet=ALPHABET))
         classified = service.request(
@@ -150,6 +172,22 @@ class TestDegradation:
         svc.shutdown()
         with pytest.raises(ServiceClosed):
             svc.submit(DecomposeRequest(automaton()))
+
+    def test_submit_racing_pool_shutdown_maps_to_closed(self, monkeypatch):
+        """submit() passing the _closed check while the executor shuts
+        down must surface ServiceClosed and roll back admission — not
+        leak the pending count behind a raw RuntimeError."""
+        svc = AnalysisService(workers=2)
+
+        def racing_submit(*args, **kwargs):
+            raise RuntimeError("cannot schedule new futures after shutdown")
+
+        monkeypatch.setattr(svc.pool, "submit", racing_submit)
+        with pytest.raises(ServiceClosed):
+            svc.submit(DecomposeRequest(automaton()))
+        assert svc.pending == 0
+        monkeypatch.undo()
+        svc.shutdown()
 
     def test_compute_errors_reach_the_caller(self, service):
         with pytest.raises(TypeError, match="alphabet"):
