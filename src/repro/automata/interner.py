@@ -1,0 +1,80 @@
+"""The one state-renumbering codepath: hashable values ↔ dense ints.
+
+Every construction in the repo that numbers states — ``renumbered()``,
+the dense conversion, subset constructions, DFA minimization, the LAR
+game numbering — goes through this class, so "state ``i``" always means
+"the ``i``-th value interned", in first-appearance order.  The interner
+is deliberately tiny: a list and a dict, no deletion, no mutation of
+already-assigned indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class Interner:
+    """A bijection between hashable values and ``0..n-1``.
+
+    Indices are assigned in first-``intern`` order and never change;
+    iterating yields the values in index order.
+    """
+
+    __slots__ = ("_index", "_values")
+
+    def __init__(self, values: Iterable = ()):
+        self._index: dict = {}
+        self._values: list = []
+        for value in values:
+            self.intern(value)
+
+    @classmethod
+    def from_ordered(cls, values: Iterable) -> "Interner":
+        """Bulk constructor for values already distinct and in their
+        intended index order (the hot path for BFS renumbering — one
+        C-level dict build instead of per-value ``intern`` calls)."""
+        self = cls.__new__(cls)
+        self._values = list(values)
+        self._index = {v: i for i, v in enumerate(self._values)}
+        return self
+
+    def intern(self, value) -> int:
+        """The index of ``value``, assigning the next free one if new."""
+        index = self._index.get(value)
+        if index is None:
+            index = len(self._values)
+            self._index[value] = index
+            self._values.append(value)
+        return index
+
+    def index_of(self, value) -> int:
+        """The index of an already-interned value (``KeyError`` if new)."""
+        return self._index[value]
+
+    def get(self, value, default=None):
+        """The index of ``value``, or ``default`` when not interned."""
+        return self._index.get(value, default)
+
+    def value(self, index: int):
+        """The value interned at ``index``."""
+        return self._values[index]
+
+    def values(self) -> tuple:
+        """All interned values, in index order."""
+        return tuple(self._values)
+
+    def index_map(self) -> dict:
+        """A fresh ``{value: index}`` dict (mutation-safe copy)."""
+        return dict(self._index)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"Interner({len(self._values)} values)"

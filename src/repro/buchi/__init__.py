@@ -7,7 +7,7 @@ complement), the Alpern–Schneider closure operator, and the effective
 safety/liveness decomposition ``B = B_S ∩ B_L``.
 """
 
-from .automaton import AutomatonError, BuchiAutomaton
+from .automaton import AutomatonError, BuchiAutomaton, from_dense
 from .closure import (
     closure,
     is_closure_automaton,
@@ -66,6 +66,7 @@ from .simulation import direct_simulation, quotient_by_simulation
 __all__ = [
     "BuchiAutomaton",
     "AutomatonError",
+    "from_dense",
     "closure",
     "is_closure_automaton",
     "is_safety",

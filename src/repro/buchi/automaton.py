@@ -13,8 +13,16 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
 from dataclasses import dataclass, field
-from itertools import product
 
+from repro.automata.dense import DenseBuchi, DenseForm
+from repro.automata.interner import Interner
+from repro.automata.kernel import (
+    adjacency,
+    iter_bits,
+    post,
+    reachable_mask,
+    scc_masks,
+)
 from repro.omega.word import LassoWord, Symbol
 
 State = Hashable
@@ -109,61 +117,45 @@ class BuchiAutomaton:
 
     def reachable_states(self, start: State | None = None) -> frozenset:
         """States reachable from ``start`` (default: the initial state)."""
-        start = self.initial if start is None else start
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            q = frontier.pop()
-            for a in self.alphabet:
-                for r in self.successors(q, a):
-                    if r not in seen:
-                        seen.add(r)
-                        frontier.append(r)
-        return frozenset(seen)
+        form = self.to_dense()
+        if start is None:
+            return form.unintern_mask(form.reachable())
+        index = form.state_index.get(start)
+        if index is None:
+            # not a state: nothing to follow, mirroring the graph walk
+            return frozenset({start})
+        return form.unintern_mask(reachable_mask(form.core, 1 << index))
 
     def strongly_connected_components(self) -> list[frozenset]:
         """Tarjan's SCCs of the transition graph (symbols ignored)."""
-        adjacency: dict[State, set] = {q: set() for q in self.states}
-        for q, _a, r in self.edges():
-            adjacency[q].add(r)
-        return _tarjan(self.states, adjacency)
+        form = self.to_dense()
+        adj = adjacency(form.core)
+        return [form.unintern_mask(c) for c in scc_masks(adj)]
 
     # -- acceptance on lasso words ----------------------------------------------
 
     def accepts(self, word: LassoWord) -> bool:
         """Whether ``word = u · v^ω ∈ L(B)``.
 
-        Standard lasso membership: track (state, cycle-position) pairs;
-        the word is accepted iff from some pair reachable after reading
-        ``u`` there is a reachable cycle through an accepting state in the
-        (state × position) graph.
+        Subset-steps through ``u`` on the dense core, then intersects
+        with the cycle's winning-state mask — memoized per cycle on the
+        dense form, so checking many lassos sharing cycles against the
+        same automaton pays the cycle analysis once.
         """
         if not word.symbols() <= self.alphabet:
             raise AutomatonError(
                 f"word uses symbols outside the alphabet: "
                 f"{word.symbols() - self.alphabet!r}"
             )
-        u, v = word.prefix, word.cycle
-        # states reachable after the transient part
-        current = frozenset({self.initial})
-        for a in u:
-            current = self.post(current, a)
+        form = self.to_dense()
+        symbol = form.symbol_index
+        succ = form.core.succ
+        current = 1 << form.core.initial
+        for a in word.prefix:
+            current = post(succ[symbol[a]], current)
             if not current:
                 return False
-        # nodes of the cycle graph: (state, position in v)
-        nodes = set(product(self.states, range(len(v))))
-        adjacency: dict[tuple, set] = {n: set() for n in nodes}
-        for q, i in nodes:
-            for r in self.successors(q, v[i]):
-                adjacency[q, i].add((r, (i + 1) % len(v)))
-        start_nodes = {(q, 0) for q in current}
-        reachable = _graph_reachable(start_nodes, adjacency)
-        for component in _tarjan(reachable, adjacency):
-            if not any(q in self.accepting for q, _i in component):
-                continue
-            if _is_cyclic_component(component, adjacency):
-                return True
-        return False
+        return bool(current & form.cycle_win(tuple(symbol[a] for a in word.cycle)))
 
     def language(self):
         """``L(B)`` as a semantic :class:`~repro.omega.language.OmegaLanguage`."""
@@ -240,16 +232,20 @@ class BuchiAutomaton:
         memoization key in :mod:`repro.service` (DESIGN.md §8)."""
         from repro.canonical import canonical_digraph_key, stable_token
 
+        form = self.to_dense()
+        core = form.core
         colors = {
-            q: (q == self.initial, q in self.accepting) for q in self.states
+            q: (q == core.initial, bool((core.accepting >> q) & 1))
+            for q in range(core.n_states)
         }
         edges = [
-            (a, q, r)
-            for (q, a), targets in self.transitions.items()
-            for r in targets
+            (symbol, q, r)
+            for a, symbol in enumerate(form.symbols)
+            for q in range(core.n_states)
+            for r in iter_bits(core.succ[a][q])
         ]
         return "buchi:" + canonical_digraph_key(
-            self.states,
+            range(core.n_states),
             colors,
             edges,
             graph_attrs=(
@@ -258,31 +254,131 @@ class BuchiAutomaton:
             ),
         )
 
-    def renumbered(self, name: str | None = None) -> "BuchiAutomaton":
-        """An isomorphic copy with states ``0..n-1`` (BFS order from the
-        initial state, then the rest in repr order)."""
-        order: list[State] = [self.initial]
-        seen = {self.initial}
+    # -- the dense kernel bridge --------------------------------------------------
+
+    def _state_interner(self) -> Interner:
+        """The repo's one state-numbering order: BFS from the initial
+        state (symbols in repr order, successors in repr order), then
+        any unreachable states in repr order.  Shared by
+        :meth:`renumbered` and :meth:`to_dense`, so dense index ``i``
+        always names the same state ``renumbered()`` calls ``i``."""
+        # one repr-keyed sort of the state set, then integer ranks for
+        # every successor sort below (repr is recomputed per element by
+        # each sorted() call otherwise — the dominant cost at scale);
+        # materialized lazily: deterministic automata never need it
+        by_repr = None
+        rank = None
+        symbols = sorted(self.alphabet, key=repr)
+        transitions = self.transitions
+        initial = self.initial
+        seen = {initial}
+        add_seen = seen.add
+        order = [initial]
+        add = order.append
         i = 0
         while i < len(order):
             q = order[i]
             i += 1
-            for a in sorted(self.alphabet, key=repr):
-                for r in sorted(self.successors(q, a), key=repr):
+            for a in symbols:
+                targets = transitions.get((q, a))
+                if not targets:
+                    continue
+                if len(targets) == 1:
+                    (r,) = targets
                     if r not in seen:
-                        seen.add(r)
-                        order.append(r)
-        order.extend(sorted(self.states - seen, key=repr))
-        index = {q: k for k, q in enumerate(order)}
+                        add_seen(r)
+                        add(r)
+                    continue
+                if seen.issuperset(targets):
+                    continue
+                if len(targets) <= 8:
+                    # small tie-sets: sorting by repr directly costs a few
+                    # repr calls; the global rank table costs |Q| of them
+                    ordered = sorted(targets, key=repr)
+                elif rank is None:
+                    by_repr = sorted(self.states, key=repr)
+                    rank = {q: i for i, q in enumerate(by_repr)}.__getitem__
+                    ordered = sorted(targets, key=rank)
+                else:
+                    ordered = sorted(targets, key=rank)
+                for r in ordered:
+                    if r not in seen:
+                        add_seen(r)
+                        add(r)
+        if len(order) < len(self.states):
+            if by_repr is None:
+                by_repr = sorted(self.states, key=repr)
+            for q in by_repr:
+                if q not in seen:
+                    add(q)
+        return Interner.from_ordered(order)
+
+    def to_dense(self) -> DenseForm:
+        """The automaton's dense form (memoized on this instance).
+
+        States are numbered by :meth:`_state_interner` (the initial
+        state is 0), symbols by repr order.  The form is cached with
+        ``object.__setattr__`` — the dataclass is frozen, but ``eq`` and
+        ``hash`` read fields only, so the cache never affects identity;
+        a racing double-compute writes the same value twice, harmlessly.
+        """
+        form = getattr(self, "_dense_form", None)
+        if form is not None:
+            return form
+        interner = self._state_interner()
+        states = interner.values()
+        symbols = tuple(sorted(self.alphabet, key=repr))
+        symbol_index = {a: i for i, a in enumerate(symbols)}
+        n = len(states)
+        index = interner.index_map()
+        succ = [[0] * n for _ in symbols]
+        for (q, a), targets in self.transitions.items():
+            if not targets:
+                continue
+            mask = 0
+            for r in targets:
+                mask |= 1 << index[r]
+            succ[symbol_index[a]][index[q]] = mask
+        accepting = 0
+        for q in self.accepting:
+            accepting |= 1 << index[q]
+        core = DenseBuchi(
+            n_states=n,
+            n_symbols=len(symbols),
+            initial=0,
+            succ=tuple(tuple(row) for row in succ),
+            accepting=accepting,
+        )
+        form = DenseForm(core, states, symbols)
+        object.__setattr__(self, "_dense_form", form)
+        return form
+
+    def _seed_dense(self, form: DenseForm) -> None:
+        """Pre-populate the :meth:`to_dense` cache.
+
+        Constructor fast path: a caller that already holds the dense
+        core it built the automaton from can hand it over instead of
+        having ``to_dense`` re-derive it — but only when the form's
+        numbering is exactly the :meth:`_state_interner` order, so the
+        documented ``to_dense``/``renumbered`` correspondence still
+        holds for the seeded instance."""
+        object.__setattr__(self, "_dense_form", form)
+
+    def renumbered(self, name: str | None = None) -> "BuchiAutomaton":
+        """An isomorphic copy with states ``0..n-1`` (BFS order from the
+        initial state, then the rest in repr order)."""
+        interner = self._state_interner()
         return BuchiAutomaton(
             alphabet=self.alphabet,
-            states=frozenset(range(len(order))),
+            states=frozenset(range(len(interner))),
             initial=0,
             transitions={
-                (index[q], a): frozenset(index[r] for r in targets)
+                (interner.index_of(q), a): frozenset(
+                    interner.index_of(r) for r in targets
+                )
                 for (q, a), targets in self.transitions.items()
             },
-            accepting=frozenset(index[q] for q in self.accepting),
+            accepting=frozenset(interner.index_of(q) for q in self.accepting),
             name=self.name if name is None else name,
         )
 
@@ -293,7 +389,34 @@ class BuchiAutomaton:
         )
 
 
-# -- shared graph helpers -------------------------------------------------------
+def from_dense(form: DenseForm, name: str = "B") -> BuchiAutomaton:
+    """The automaton a dense form denotes, over int states ``0..n-1``.
+
+    Lossless up to one representational quirk: a dense core cannot tell
+    "no transition entry" from an explicit empty-target entry (both mean
+    ``δ(q, a) = ∅``), so explicit empty entries are not reproduced —
+    ``from_dense(B.to_dense())`` equals ``B.renumbered()`` for any
+    automaton without them.
+    """
+    core = form.core
+    transitions: dict = {}
+    for a, symbol in enumerate(form.symbols):
+        row = core.succ[a]
+        for q in range(core.n_states):
+            mask = row[q]
+            if mask:
+                transitions[q, symbol] = frozenset(iter_bits(mask))
+    return BuchiAutomaton(
+        alphabet=frozenset(form.symbols),
+        states=frozenset(range(core.n_states)),
+        initial=core.initial,
+        transitions=transitions,
+        accepting=frozenset(iter_bits(core.accepting)),
+        name=name,
+    )
+
+
+# -- shared graph helpers (hashable-graph callers: ctl, systems, generalized) ---
 
 
 def _graph_reachable(start: Iterable, adjacency: Mapping) -> set:

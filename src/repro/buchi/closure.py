@@ -8,15 +8,18 @@ language is the lcl of the language of B."*
 
 This module implements that operator, the exact semantic ``lcl``
 membership test it is validated against, and the derived safety/liveness
-tests on automata.
+tests on automata.  All of it runs on the dense kernel
+(:mod:`repro.automata`): intern once, compute reachable/live bitmasks,
+unintern the surviving states.
 """
 
 from __future__ import annotations
 
+from repro.automata.kernel import lcl_member
 from repro.omega.word import LassoWord
 
 from .automaton import BuchiAutomaton
-from .emptiness import empty_automaton, live_states
+from .emptiness import empty_automaton
 
 
 def closure(automaton: BuchiAutomaton) -> BuchiAutomaton:
@@ -27,21 +30,31 @@ def closure(automaton: BuchiAutomaton) -> BuchiAutomaton:
     means ``lcl`` happens to fix 0 here, though the lattice framework
     never requires it).
     """
-    keep = automaton.reachable_states() & live_states(automaton)
-    if automaton.initial not in keep:
+    form = automaton.to_dense()
+    keep = form.reachable() & form.live()
+    if not keep & (1 << form.core.initial):
         return empty_automaton(automaton.alphabet, name=f"cl({automaton.name})")
-    trimmed = automaton.restricted_to(keep)
-    return trimmed.with_accepting(trimmed.states)
+    states = form.unintern_mask(keep)
+    return BuchiAutomaton(
+        alphabet=automaton.alphabet,
+        states=states,
+        initial=automaton.initial,
+        transitions=form.restricted_transitions(keep),
+        accepting=states,
+        name=automaton.name,
+    )
 
 
 def is_closure_automaton(automaton: BuchiAutomaton) -> bool:
     """Structurally in the image of :func:`closure`: every state useful and
     accepting.  Such automata are called *safety automata* — Schneider's
     security automata are exactly these."""
+    form = automaton.to_dense()
+    full = form.core.full_mask()
     return (
-        automaton.accepting == automaton.states
-        and automaton.reachable_states() == automaton.states
-        and live_states(automaton) == automaton.states
+        form.core.accepting == full
+        and form.reachable() == full
+        and form.live() == full
     )
 
 
@@ -58,24 +71,15 @@ def semantic_lcl_member(automaton: BuchiAutomaton, word: LassoWord) -> bool:
     This is the ground truth that :func:`closure` is tested against
     (they must agree on every lasso).
     """
-    live = live_states(automaton)
-    current = frozenset({automaton.initial})
-    if not current & live:
+    form = automaton.to_dense()
+    symbol = form.symbol_index
+    try:
+        prefix = [symbol[a] for a in word.prefix]
+        cycle = [symbol[a] for a in word.cycle]
+    except KeyError:
+        # a symbol outside the alphabet kills every run at that prefix
         return False
-    for a in word.prefix:
-        current = automaton.post(current, a)
-        if not current & live:
-            return False
-    v = word.cycle
-    seen: set[tuple[int, frozenset]] = set()
-    position = 0
-    while (position, current) not in seen:
-        seen.add((position, current))
-        current = automaton.post(current, v[position])
-        position = (position + 1) % len(v)
-        if not current & live:
-            return False
-    return True
+    return lcl_member(form.core, form.live(), prefix, cycle)
 
 
 def is_safety(automaton: BuchiAutomaton) -> bool:

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from itertools import product
 
+from repro.automata.dense import DenseBuchi, DenseForm
+from repro.automata.kernel import iter_bits, subset_dfa
 from repro.obs.metrics import REGISTRY
 from repro.obs.profile import PhaseTimer
 
@@ -60,29 +62,64 @@ def complement_safety(automaton: BuchiAutomaton) -> BuchiAutomaton:
         )
     _CONSTRUCTIONS.labels(kind="subset").add()
     with _PHASES.phase("subset"):
-        dead = frozenset()
-        initial = frozenset({automaton.initial})
-        states: set[frozenset] = {initial, dead}
+        form = automaton.to_dense()
+        dfa = subset_dfa(form.core)
+        n = len(dfa.subsets)
+        # Renumber the DFA into the result automaton's own state-interner
+        # order (BFS, symbols in repr order, the one possibly-unreachable
+        # state — the dead sink — last), so the dense core assembled here
+        # can seed the result's to_dense cache without being re-derived.
+        order = [dfa.initial]
+        new_index = {dfa.initial: 0}
+        i = 0
+        while i < len(order):
+            for t in dfa.trans[order[i]]:
+                if t not in new_index:
+                    new_index[t] = len(order)
+                    order.append(t)
+            i += 1
+        if len(order) < n:
+            new_index[dfa.dead] = len(order)
+            order.append(dfa.dead)
+        names = form.states
+        masks = dfa.subsets
+        decoded = []
+        for s in order:
+            mask = masks[s]
+            members = []
+            while mask:
+                low = mask & -mask
+                members.append(names[low.bit_length() - 1])
+                mask ^= low
+            decoded.append(frozenset(members))
+        subset_states = tuple(decoded)
+        singletons = tuple(frozenset({q}) for q in subset_states)
+        symbols = form.symbols
         transitions: dict = {}
-        frontier = [initial]
-        while frontier:
-            subset = frontier.pop()
-            for a in automaton.alphabet:
-                target = automaton.post(subset, a)
-                transitions[subset, a] = frozenset({target})
-                if target not in states:
-                    states.add(target)
-                    frontier.append(target)
-        for a in automaton.alphabet:
-            transitions[dead, a] = frozenset({dead})
-        return BuchiAutomaton(
+        core_rows = [[0] * n for _ in symbols]
+        for i, s in enumerate(order):
+            source = subset_states[i]
+            for a, t in enumerate(dfa.trans[s]):
+                j = new_index[t]
+                transitions[source, symbols[a]] = singletons[j]
+                core_rows[a][i] = 1 << j
+        core = DenseBuchi(
+            n_states=n,
+            n_symbols=len(symbols),
+            initial=0,
+            succ=tuple(tuple(row) for row in core_rows),
+            accepting=1 << new_index[dfa.dead],
+        )
+        result = BuchiAutomaton(
             alphabet=automaton.alphabet,
-            states=frozenset(states),
-            initial=initial,
+            states=frozenset(subset_states),
+            initial=subset_states[0],
             transitions=transitions,
-            accepting=frozenset({dead}),
+            accepting=frozenset({frozenset()}),
             name=f"¬{automaton.name}",
         )
+        result._seed_dense(DenseForm(core, subset_states, symbols))
+        return result
 
 
 def complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
@@ -129,7 +166,19 @@ def complement(automaton: BuchiAutomaton) -> BuchiAutomaton:
     """General complementation, dispatching to the cheapest sound
     construction: safety → subset, deterministic → two-copy, otherwise
     rank-based (exponential — trim the input first and keep it small).
-    """
+
+    Memoized on the (immutable) instance: inclusion sweeps complement
+    the same automaton once per comparison otherwise, and the rank-based
+    fallback is far too expensive to rebuild."""
+    cached = getattr(automaton, "_complement_cache", None)
+    if cached is not None:
+        return cached
+    result = _complement_dispatch(automaton)
+    object.__setattr__(automaton, "_complement_cache", result)
+    return result
+
+
+def _complement_dispatch(automaton: BuchiAutomaton) -> BuchiAutomaton:
     from .emptiness import is_empty
     from .simulation import quotient_by_simulation
 
@@ -166,50 +215,76 @@ def complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
 
 
 def _complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    # The whole search runs on the dense core: a level ranking is a
+    # length-n tuple of ranks (-1 = not in support), an O-set is a
+    # bitmask.  Dense keys are decoded back to the hashable naming
+    # ((state, rank) pairs repr-sorted, frozenset O) only at the end.
     m = automaton
-    n = len(m.states)
-    max_rank = 2 * max(1, n - len(m.accepting))
+    form = m.to_dense()
+    core = form.core
+    n = core.n_states
+    acc = core.accepting
+    succ = core.succ
+    max_rank = 2 * max(1, n - acc.bit_count())
 
-    def rankings_within(bound: dict):
-        """All level rankings g with g(q) <= bound[q] (accepting states
-        even) — enumerated directly inside the bounds, which shrink as
-        ranks decrease along the run."""
-        support = sorted(bound, key=repr)
-        choices = []
-        for q in support:
-            top = bound[q]
-            if q in m.accepting:
-                choices.append([r for r in range(top + 1) if r % 2 == 0])
-            else:
-                choices.append(list(range(top + 1)))
-        for combo in product(*choices):
-            yield dict(zip(support, combo))
+    evens = [tuple(r for r in range(top + 1) if r % 2 == 0)
+             for top in range(max_rank + 1)]
+    alls = [tuple(range(top + 1)) for top in range(max_rank + 1)]
 
-    def successors_of(f: dict, owing: frozenset, a):
-        support = frozenset(f)
+    def successors_of(f: tuple, owing: int, a: int):
+        row = succ[a]
         # a successor ranking g must satisfy g(q') <= f(q) whenever
         # q' ∈ δ(q, a); runs with no successor simply die (harmless)
-        bound: dict = {}
-        for q in support:
-            for r in m.successors(q, a):
-                bound[r] = min(bound.get(r, max_rank), f[q])
-        for g_combo in rankings_within(bound):
+        bound = [-1] * n
+        for q in range(n):
+            fq = f[q]
+            if fq < 0:
+                continue
+            targets = row[q]
+            while targets:
+                low = targets & -targets
+                r = low.bit_length() - 1
+                targets ^= low
+                if bound[r] < 0 or fq < bound[r]:
+                    bound[r] = fq
+        support = [r for r in range(n) if bound[r] >= 0]
+        if not support:
+            # every run died: the empty ranking (with nothing owed) is
+            # its own accepting successor on all symbols
+            yield ((-1,) * n, 0)
+            return
+        choices = [
+            evens[bound[r]] if (acc >> r) & 1 else alls[bound[r]]
+            for r in support
+        ]
+        owing_targets = 0
+        if owing:
+            for q in iter_bits(owing):
+                owing_targets |= row[q]
+        for combo in product(*choices):
+            g = [-1] * n
+            for r, rank_r in zip(support, combo):
+                g[r] = rank_r
+            new_owing = 0
             if owing:
-                new_owing = frozenset(
-                    r
-                    for q in owing
-                    for r in m.successors(q, a)
-                    if g_combo[r] % 2 == 0
-                )
+                t = owing_targets
+                while t:
+                    low = t & -t
+                    if g[low.bit_length() - 1] % 2 == 0:
+                        new_owing |= low
+                    t ^= low
             else:
-                new_owing = frozenset(r for r in g_combo if g_combo[r] % 2 == 0)
-            yield (_freeze(g_combo), new_owing)
+                for r, rank_r in zip(support, combo):
+                    if rank_r % 2 == 0:
+                        new_owing |= 1 << r
+            yield (tuple(g), new_owing)
 
     # One maximal initial ranking suffices: ranks only decrease along a
     # run, so any accepting ranked run from a lower initial rank is also
     # one from the maximal rank.
-    top_rank = max_rank if m.initial not in m.accepting else max_rank - (max_rank % 2)
-    initial_states = [(_freeze({m.initial: top_rank}), frozenset())]
+    top_rank = max_rank if not (acc >> core.initial) & 1 else max_rank - (max_rank % 2)
+    f0 = [-1] * n
+    f0[core.initial] = top_rank
     # single fresh initial state simulating all initial rankings
     init = ("init",)
     states: set = {init}
@@ -221,40 +296,48 @@ def _complement_rank_based(automaton: BuchiAutomaton) -> BuchiAutomaton:
             states.add(s)
             frontier.append(s)
 
-    for a in m.alphabet:
-        targets = set()
-        for f0, o0 in initial_states:
-            for nxt in successors_of(dict(f0), o0, a):
-                targets.add(nxt)
-                add_state(nxt)
+    for a, symbol in enumerate(form.symbols):
+        targets = set(successors_of(tuple(f0), 0, a))
+        for nxt in targets:
+            add_state(nxt)
         if targets:
-            transitions[init, a] = frozenset(targets)
+            transitions[init, symbol] = frozenset(targets)
 
     while frontier:
         s = frontier.pop()
         f, owing = s
-        for a in m.alphabet:
-            targets = set()
-            for nxt in successors_of(dict(f), owing, a):
-                targets.add(nxt)
+        for a, symbol in enumerate(form.symbols):
+            targets = set(successors_of(f, owing, a))
             for nxt in targets:
                 add_state(nxt)
             if targets:
-                transitions[s, a] = frozenset(targets)
+                transitions[s, symbol] = frozenset(targets)
 
-    accepting = frozenset(
-        s for s in states if s != init and not s[1]
-    )
+    order = sorted(range(n), key=lambda i: repr(form.states[i]))
+    decoded: dict = {init: init}
+
+    def decode(s):
+        out = decoded.get(s)
+        if out is None:
+            g, owing = s
+            out = (
+                tuple((form.states[i], g[i]) for i in order if g[i] >= 0),
+                frozenset(form.states[r] for r in iter_bits(owing)),
+            )
+            decoded[s] = out
+        return out
+
     result = BuchiAutomaton(
         alphabet=m.alphabet,
-        states=frozenset(states),
+        states=frozenset(decode(s) for s in states),
         initial=init,
-        transitions=transitions,
-        accepting=accepting,
+        transitions={
+            (decode(s), a): frozenset(decode(t) for t in targets)
+            for (s, a), targets in transitions.items()
+        },
+        accepting=frozenset(
+            decode(s) for s in states if s != init and not s[1]
+        ),
         name=f"¬{automaton.name}",
     )
     return trim(result)
-
-
-def _freeze(ranking: dict) -> tuple:
-    return tuple(sorted(ranking.items(), key=lambda kv: repr(kv[0])))

@@ -10,6 +10,11 @@ exactly the proof term:
 * ``B_L = B ∪ ¬cl(B)``                    — the liveness part,
 
 with ``¬cl(B)`` computed by the cheap safety-automaton complement.
+
+All three phases run on the dense kernel (:mod:`repro.automata`)
+transitively: closure and complement intern the input once and share its
+cached reachable/live masks, and the union is assembled from the dense
+disjoint-sum core.
 """
 
 from __future__ import annotations
@@ -127,7 +132,7 @@ def _decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
         negated_closure = complement_safety(safety)
     with _PHASES.phase("union"):
         liveness = union(automaton, negated_closure)
-    liveness = BuchiAutomaton(
+    renamed_liveness = BuchiAutomaton(
         alphabet=liveness.alphabet,
         states=liveness.states,
         initial=liveness.initial,
@@ -135,7 +140,7 @@ def _decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
         accepting=liveness.accepting,
         name=f"{automaton.name}_L",
     )
-    safety = BuchiAutomaton(
+    renamed_safety = BuchiAutomaton(
         alphabet=safety.alphabet,
         states=safety.states,
         initial=safety.initial,
@@ -143,6 +148,12 @@ def _decompose(automaton: BuchiAutomaton) -> BuchiDecomposition:
         accepting=safety.accepting,
         name=f"{automaton.name}_S",
     )
+    # the renames are structurally identical (the dense form carries no
+    # name), so the phases' cached dense analyses stay valid — hand them
+    # over instead of letting accepts() re-derive them
+    renamed_liveness._seed_dense(liveness.to_dense())
+    renamed_safety._seed_dense(safety.to_dense())
+    liveness, safety = renamed_liveness, renamed_safety
     _DECOMPOSITIONS.add()
     return BuchiDecomposition(original=automaton, safety=safety, liveness=liveness)
 

@@ -1,17 +1,18 @@
 """Emptiness and witness extraction for Büchi automata.
 
 ``L(B) ≠ ∅`` iff some accepting state lies on a cycle reachable from the
-initial state — decided via SCC analysis.  Non-emptiness comes with a
-constructive witness: a :class:`~repro.omega.word.LassoWord` in the
-language, which is how every extensional claim in this reproduction is
-cross-checked against the semantic (lasso-membership) layer.
+initial state — decided via SCC analysis on the dense core
+(:mod:`repro.automata`).  Non-emptiness comes with a constructive
+witness: a :class:`~repro.omega.word.LassoWord` in the language, which
+is how every extensional claim in this reproduction is cross-checked
+against the semantic (lasso-membership) layer.
 """
 
 from __future__ import annotations
 
 from repro.omega.word import LassoWord
 
-from .automaton import BuchiAutomaton, State, _is_cyclic_component, _tarjan
+from .automaton import BuchiAutomaton, State
 
 
 def live_states(automaton: BuchiAutomaton) -> frozenset:
@@ -23,34 +24,14 @@ def live_states(automaton: BuchiAutomaton) -> frozenset:
     precisely, states whose language is empty; see §4.4's
     ``Q' = {q | L(B(q)) ≠ ∅}``).
     """
-    adjacency: dict[State, set] = {q: set() for q in automaton.states}
-    for q, _a, r in automaton.edges():
-        adjacency[q].add(r)
-    good_cores: set[State] = set()
-    for component in _tarjan(automaton.states, adjacency):
-        if component & automaton.accepting and _is_cyclic_component(
-            component, adjacency
-        ):
-            good_cores |= component
-    # backward reachability to the good cores
-    reverse: dict[State, set] = {q: set() for q in automaton.states}
-    for q, targets in adjacency.items():
-        for r in targets:
-            reverse[r].add(q)
-    result = set(good_cores)
-    frontier = list(good_cores)
-    while frontier:
-        q = frontier.pop()
-        for p in reverse[q]:
-            if p not in result:
-                result.add(p)
-                frontier.append(p)
-    return frozenset(result)
+    form = automaton.to_dense()
+    return form.unintern_mask(form.live())
 
 
 def is_empty(automaton: BuchiAutomaton) -> bool:
     """``L(B) = ∅``?"""
-    return automaton.initial not in live_states(automaton)
+    form = automaton.to_dense()
+    return not form.live() & (1 << form.core.initial)
 
 
 def find_accepted_word(automaton: BuchiAutomaton) -> LassoWord | None:
@@ -59,9 +40,10 @@ def find_accepted_word(automaton: BuchiAutomaton) -> LassoWord | None:
     The witness is built from a shortest symbol-labeled path to an
     accepting state on a reachable cycle, plus a shortest cycle back.
     """
-    reachable = automaton.reachable_states()
-    live = live_states(automaton)
-    candidates = reachable & live & automaton.accepting
+    form = automaton.to_dense()
+    candidates = form.unintern_mask(
+        form.reachable() & form.live() & form.core.accepting
+    )
     for target in sorted(candidates, key=repr):
         prefix = _shortest_word(automaton, automaton.initial, target, allow_empty=True)
         if prefix is None:
@@ -79,10 +61,19 @@ def trim(automaton: BuchiAutomaton) -> BuchiAutomaton:
     When the initial state itself is useless the result is a canonical
     one-state automaton for ``∅`` over the same alphabet.
     """
-    keep = automaton.reachable_states() & live_states(automaton)
-    if automaton.initial not in keep:
+    form = automaton.to_dense()
+    keep = form.reachable() & form.live()
+    if not keep & (1 << form.core.initial):
         return empty_automaton(automaton.alphabet, name=automaton.name)
-    return automaton.restricted_to(keep)
+    states = form.unintern_mask(keep)
+    return BuchiAutomaton(
+        alphabet=automaton.alphabet,
+        states=states,
+        initial=automaton.initial,
+        transitions=form.restricted_transitions(keep),
+        accepting=automaton.accepting & states,
+        name=automaton.name,
+    )
 
 
 def empty_automaton(alphabet, name: str = "∅") -> BuchiAutomaton:

@@ -12,9 +12,13 @@ with the exact inclusion engine.
 
 from __future__ import annotations
 
+from repro.omega.word import all_lassos
+
 from .automaton import BuchiAutomaton
 from .closure import closure, is_safety
-from .complement import complement_safety
+from .complement import complement, complement_safety
+from .decomposition import _decompose
+from .emptiness import find_accepted_word
 from .inclusion import inclusion_counterexample, is_subset
 from .operations import intersection, union
 
@@ -56,8 +60,6 @@ def weakest_liveness_violation(
     gap = inclusion_counterexample(recombined, automaton)
     if gap is not None:
         raise ValueError("candidate does not factor L(B) through cl(B)")
-    from repro.omega.word import all_lassos
-
     alphabet = sorted(automaton.alphabet, key=repr)
     for word in all_lassos(alphabet, 2, 2):
         if automaton.accepts(word) and not recombined.accepts(word):
@@ -65,9 +67,6 @@ def weakest_liveness_violation(
     # candidate ⊆ B ∪ ¬cl(B)  iff  candidate ∩ ¬B ∩ cl(B) = ∅ — this
     # arrangement complements only the (small) original automaton, never
     # the union
-    from .complement import complement
-    from .emptiness import find_accepted_word
-
     gap_automaton = intersection(
         intersection(candidate_second, complement(automaton)), safety
     )
@@ -81,8 +80,6 @@ def weakest_liveness_violation(
 def canonical_is_extremal(automaton: BuchiAutomaton) -> bool:
     """Self-check: the canonical decomposition's own parts satisfy both
     extremal bounds."""
-    from .decomposition import _decompose
-
     d = _decompose(automaton)
     if strongest_safety_violation(automaton, d.safety) is not None:
         return False

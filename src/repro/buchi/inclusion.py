@@ -19,14 +19,25 @@ from .simulation import quotient_by_simulation
 
 def _prepare(automaton: BuchiAutomaton) -> BuchiAutomaton:
     """Shrink before complementing: trim useless states, then quotient by
-    direct simulation (language-preserving)."""
-    return quotient_by_simulation(trim(automaton))
+    direct simulation (language-preserving).
+
+    Memoized on the (immutable) instance: inclusion sweeps repeatedly
+    test the same automaton against many others, and the shrink — like
+    the complement built from it — is a pure function of the input."""
+    cached = getattr(automaton, "_prepared_cache", None)
+    if cached is None:
+        cached = quotient_by_simulation(trim(automaton))
+        object.__setattr__(automaton, "_prepared_cache", cached)
+    return cached
 
 
 def inclusion_counterexample(
     a: BuchiAutomaton, b: BuchiAutomaton
 ) -> LassoWord | None:
     """A word in ``L(a) \\ L(b)``, or ``None`` when ``L(a) ⊆ L(b)``."""
+    if is_empty(a):
+        # dense emptiness is one SCC pass — skip the product entirely
+        return None
     small_a = _prepare(a)
     small_b = _prepare(b)
     gap = intersection(small_a, complement(small_b))

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.automata.interner import Interner
+
 from .safety import GoodPrefixDfa
 
 
@@ -38,71 +40,59 @@ class MinimalMonitorDfa:
 
 
 def minimize_good_prefix_dfa(dfa: GoodPrefixDfa) -> MinimalMonitorDfa:
-    """Partition-refinement minimization.
+    """Partition-refinement (Moore) minimization on an int-indexed table.
 
-    Initial partition: {dead} vs the rest (acceptance = "still good");
-    refine until transitions respect blocks.  Unreachable subsets are
-    dropped first.
+    Reachable subsets are interned to dense ints first; the initial
+    partition is {dead} vs the rest (acceptance = "still good"); each
+    round re-labels states by (block, successor-block signature) with
+    block ids assigned in state order, so the result — and its numbering,
+    initial block 0 first — is fully deterministic.
     """
-    # reachable states only
-    reachable = {dfa.initial}
-    frontier = [dfa.initial]
-    while frontier:
-        s = frontier.pop()
-        for a in dfa.alphabet:
-            t = dfa.transitions[s, a]
-            if t not in reachable:
-                reachable.add(t)
-                frontier.append(t)
-
-    dead_states = {s for s in reachable if not s}
-    good_states = reachable - dead_states
-    blocks = [b for b in (good_states, dead_states) if b]
-
     symbols = sorted(dfa.alphabet, key=repr)
-    changed = True
-    while changed:
-        changed = False
-        block_of = {}
-        for i, block in enumerate(blocks):
-            for s in block:
-                block_of[s] = i
-        new_blocks = []
-        for block in blocks:
-            buckets: dict = {}
-            for s in block:
-                signature = tuple(
-                    block_of[dfa.transitions[s, a]] for a in symbols
-                )
-                buckets.setdefault(signature, set()).add(s)
-            if len(buckets) > 1:
-                changed = True
-            new_blocks.extend(buckets.values())
-        blocks = new_blocks
+    ids = Interner()
+    ids.intern(dfa.initial)
+    trans: list = []
+    i = 0
+    while i < len(ids):
+        s = ids.value(i)
+        trans.append([ids.intern(dfa.transitions[s, a]) for a in symbols])
+        i += 1
+    subsets = ids.values()
+    n = len(subsets)
 
-    block_of = {}
-    for i, block in enumerate(blocks):
-        for s in block:
-            block_of[s] = i
-    # renumber with the initial block first for a canonical presentation
-    order = [block_of[dfa.initial]]
-    for i in range(len(blocks)):
-        if i not in order:
-            order.append(i)
-    renumber = {old: new for new, old in enumerate(order)}
+    block_of = [0 if subsets[s] else 1 for s in range(n)]
+    n_blocks = len(set(block_of))
+    while True:
+        remap: dict = {}
+        new = []
+        for s in range(n):
+            signature = (block_of[s], tuple(block_of[t] for t in trans[s]))
+            if signature not in remap:
+                remap[signature] = len(remap)
+            new.append(remap[signature])
+        block_of = new
+        if len(remap) == n_blocks:
+            break
+        n_blocks = len(remap)
 
+    # state 0 is dfa.initial and block ids are first-occurrence in state
+    # order, so the initial block is 0 already
+    representative: list = [-1] * n_blocks
+    for s in range(n - 1, -1, -1):
+        representative[block_of[s]] = s
     transitions = {}
-    for i, block in enumerate(blocks):
-        representative = next(iter(block))
-        for a in symbols:
-            target = block_of[dfa.transitions[representative, a]]
-            transitions[renumber[i], a] = renumber[target]
+    for b in range(n_blocks):
+        row = trans[representative[b]]
+        for a_i, a in enumerate(symbols):
+            transitions[b, a] = block_of[row[a_i]]
     dead = None
-    if dead_states:
-        dead = renumber[block_of[next(iter(dead_states))]]
+    for s in range(n):
+        if not subsets[s]:
+            dead = block_of[s]
+            break
     return MinimalMonitorDfa(
         alphabet=dfa.alphabet,
-        n_states=len(blocks),
+        n_states=n_blocks,
         initial=0,
         transitions=transitions,
         dead=dead,

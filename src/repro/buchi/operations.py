@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.automata.kernel import iter_bits, product_core
 from repro.omega.word import LassoWord, Symbol
 
 from .automaton import AutomatonError, BuchiAutomaton, State
@@ -27,36 +28,52 @@ def union(a: BuchiAutomaton, b: BuchiAutomaton, name: str | None = None) -> Buch
     """``L(a) ∪ L(b)`` — disjoint copies plus a fresh initial state whose
     transitions simulate both original initial states."""
     _check_alphabets(a, b)
-    states: set = {("∪", None)}
+    form_a, form_b = a.to_dense(), b.to_dense()
+    # Disjoint tagged copies of both inputs (transitions carried over
+    # verbatim, empty-target entries included), plus the fresh initial
+    # state simulating both original initial states.
+    names = (
+        [("∪", None)]
+        + [("l", q) for q in form_a.states]
+        + [("r", q) for q in form_b.states]
+    )
     transitions: dict = {}
-    accepting: set = set()
-
     for tag, m in (("l", a), ("r", b)):
-        for q in m.states:
-            states.add((tag, q))
         for (q, sym), targets in m.transitions.items():
             transitions[(tag, q), sym] = frozenset((tag, r) for r in targets)
-        accepting |= {(tag, q) for q in m.accepting}
-
-    initial = ("∪", None)
     for sym in a.alphabet:
-        both = frozenset(("l", r) for r in a.successors(a.initial, sym)) | frozenset(
-            ("r", r) for r in b.successors(b.initial, sym)
-        )
-        if both:
-            transitions[initial, sym] = both
+        merged = [
+            (tag, r)
+            for tag, m in (("l", a), ("r", b))
+            for r in m.transitions.get((m.initial, sym), ())
+        ]
+        if merged:
+            transitions[("∪", None), sym] = frozenset(merged)
     # The fresh initial state must be accepting iff either original initial
     # state could begin an accepting run that revisits it — but since the
     # fresh state has no incoming edges, its acceptance flag never affects
     # any infinite run; leave it non-accepting.
-    return BuchiAutomaton(
+    result = BuchiAutomaton(
         alphabet=a.alphabet,
-        states=frozenset(states),
-        initial=initial,
+        states=frozenset(names),
+        initial=("∪", None),
         transitions=transitions,
-        accepting=frozenset(accepting),
+        accepting=frozenset(
+            [("l", q) for q in a.accepting] + [("r", q) for q in b.accepting]
+        ),
         name=name or f"({a.name} ∪ {b.name})",
     )
+    # the union's blocks are successor-closed copies of the inputs, so
+    # lasso membership can reuse the inputs' memoized cycle analyses
+    form = result.to_dense()
+    parent_index = form.state_index
+    form.union_cycle_hint(
+        form_a,
+        form_b,
+        tuple(parent_index["l", s] for s in form_a.states),
+        tuple(parent_index["r", s] for s in form_b.states),
+    )
+    return result
 
 
 def intersection(
@@ -69,22 +86,26 @@ def intersection(
     ``b``) infinitely often.
     """
     _check_alphabets(a, b)
-    states = {
-        (p, q, phase) for p in a.states for q in b.states for phase in (0, 1)
-    }
+    form_a, form_b = a.to_dense(), b.to_dense()
+    core = product_core(form_a.core, form_b.core)
+    n_b = form_b.core.n_states
+    # Index layout of product_core: (p*n_b + q)*2 + phase.
+    names: list = [None] * core.n_states
+    for p, p_state in enumerate(form_a.states):
+        for q, q_state in enumerate(form_b.states):
+            base = (p * n_b + q) * 2
+            names[base] = (p_state, q_state, 0)
+            names[base + 1] = (p_state, q_state, 1)
+    states = frozenset(names)
     transitions: dict = {}
-    for p, q, phase in states:
-        for sym in a.alphabet:
-            targets = set()
-            for pn in a.successors(p, sym):
-                for qn in b.successors(q, sym):
-                    if phase == 0:
-                        next_phase = 1 if p in a.accepting else 0
-                    else:
-                        next_phase = 0 if q in b.accepting else 1
-                    targets.add((pn, qn, next_phase))
-            if targets:
-                transitions[(p, q, phase), sym] = frozenset(targets)
+    for a_i, sym in enumerate(form_a.symbols):
+        row = core.succ[a_i]
+        for pq in range(core.n_states):
+            mask = row[pq]
+            if mask:
+                transitions[names[pq], sym] = frozenset(
+                    names[r] for r in iter_bits(mask)
+                )
     # acceptance: phase 1 with b accepting — the 1 -> 0 flip, which happens
     # infinitely often exactly when both automata accept infinitely often
     accepting = frozenset((p, q, 1) for p in a.states for q in b.accepting)

@@ -1,4 +1,10 @@
-"""Seeded random Büchi automata for tests and benchmark sweeps."""
+"""Seeded random Büchi automata for tests and benchmark sweeps.
+
+Both generators take either a :class:`random.Random` instance or a plain
+``int`` seed, so benchmark sweeps and warm-start workloads can pin their
+inputs with one literal (``random_automaton(7, 12)``) and reproduce them
+anywhere.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +14,15 @@ from collections.abc import Iterable
 from .automaton import BuchiAutomaton
 
 
+def _as_rng(rng: _random.Random | int) -> _random.Random:
+    """Accept an explicit generator or an int seed (fresh generator)."""
+    if isinstance(rng, _random.Random):
+        return rng
+    return _random.Random(rng)
+
+
 def random_automaton(
-    rng: _random.Random,
+    rng: _random.Random | int,
     n_states: int,
     alphabet: Iterable = ("a", "b"),
     transition_density: float = 1.2,
@@ -18,26 +31,41 @@ def random_automaton(
 ) -> BuchiAutomaton:
     """A random NBA in the Tabakov–Vardi style: ``transition_density * n``
     transitions per symbol (rounded), each state accepting with
-    probability ``acceptance_density`` (at least one accepting state)."""
+    probability ``acceptance_density`` (at least one accepting state).
+
+    ``rng`` may be a ``random.Random`` or an int seed."""
     if n_states < 1:
         raise ValueError("need at least one state")
+    rng = _as_rng(rng)
     alphabet = tuple(alphabet)
-    states = list(range(n_states))
-    transitions: dict = {}
+    n = n_states
     per_symbol = max(1, round(transition_density * n_states))
+    # draw endpoints with rng.choice's own rejection-sampling loop,
+    # inlined: bit-identical to `rng.choice(range(n))` on the same seed
+    # (so seeded workloads are stable across versions) at a fraction of
+    # the per-draw overhead
+    getrandbits = rng.getrandbits
+    k = n.bit_length()
+    by_source: dict = {}
     for a in alphabet:
         chosen = set()
         for _ in range(per_symbol):
-            chosen.add((rng.choice(states), rng.choice(states)))
+            q = getrandbits(k)
+            while q >= n:
+                q = getrandbits(k)
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            chosen.add((q, r))
         for q, r in chosen:
-            key = (q, a)
-            transitions[key] = transitions.get(key, frozenset()) | {r}
-    accepting = {q for q in states if rng.random() < acceptance_density}
+            by_source.setdefault((q, a), set()).add(r)
+    transitions = {key: frozenset(targets) for key, targets in by_source.items()}
+    accepting = {q for q in range(n) if rng.random() < acceptance_density}
     if not accepting:
-        accepting = {rng.choice(states)}
+        accepting = {rng.choice(range(n))}
     return BuchiAutomaton(
         alphabet=frozenset(alphabet),
-        states=frozenset(states),
+        states=frozenset(range(n)),
         initial=0,
         transitions=transitions,
         accepting=frozenset(accepting),
@@ -45,10 +73,17 @@ def random_automaton(
     )
 
 
-def random_lasso(rng: _random.Random, alphabet: Iterable, max_prefix: int = 3, max_cycle: int = 4):
-    """A random lasso word over ``alphabet``."""
+def random_lasso(
+    rng: _random.Random | int,
+    alphabet: Iterable,
+    max_prefix: int = 3,
+    max_cycle: int = 4,
+):
+    """A random lasso word over ``alphabet``.  ``rng`` may be a
+    ``random.Random`` or an int seed."""
     from repro.omega.word import LassoWord
 
+    rng = _as_rng(rng)
     alphabet = tuple(alphabet)
     prefix = [rng.choice(alphabet) for _ in range(rng.randint(0, max_prefix))]
     cycle = [rng.choice(alphabet) for _ in range(rng.randint(1, max_cycle))]

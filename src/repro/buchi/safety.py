@@ -19,8 +19,9 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
+from repro.automata.kernel import subset_dfa
+
 from .automaton import BuchiAutomaton
-from .emptiness import live_states
 
 
 @dataclass(frozen=True)
@@ -49,26 +50,24 @@ class GoodPrefixDfa:
 
 
 def good_prefix_dfa(automaton: BuchiAutomaton) -> GoodPrefixDfa:
-    """The prefix DFA of ``lcl(L(B))`` — good prefixes of ``L(B)``."""
-    live = live_states(automaton)
-    initial = frozenset({automaton.initial}) & live
-    states = {initial, frozenset()}
+    """The prefix DFA of ``lcl(L(B))`` — good prefixes of ``L(B)``.
+
+    The subset construction runs on the dense core restricted to the
+    live states, then the subset bitmasks are uninterned back to
+    frozensets of the original states.
+    """
+    form = automaton.to_dense()
+    dfa = subset_dfa(form.core, restrict=form.live())
+    subset_states = tuple(form.unintern_mask(m) for m in dfa.subsets)
     transitions: dict = {}
-    frontier = [initial]
-    while frontier:
-        subset = frontier.pop()
-        for a in automaton.alphabet:
-            target = automaton.post(subset, a) & live
-            transitions[subset, a] = target
-            if target not in states:
-                states.add(target)
-                frontier.append(target)
-    for a in automaton.alphabet:
-        transitions[frozenset(), a] = frozenset()
+    for s, row in enumerate(dfa.trans):
+        source = subset_states[s]
+        for a, t in enumerate(row):
+            transitions[source, form.symbols[a]] = subset_states[t]
     return GoodPrefixDfa(
         alphabet=automaton.alphabet,
-        states=frozenset(states),
-        initial=initial,
+        states=frozenset(subset_states),
+        initial=subset_states[dfa.initial],
         transitions=transitions,
     )
 

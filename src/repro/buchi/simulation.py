@@ -9,38 +9,25 @@ the standard engineering move that keeps exact inclusion checks feasible.
 
 from __future__ import annotations
 
+from repro.automata.kernel import iter_bits, simulation_masks
+
 from .automaton import BuchiAutomaton, State
 
 
 def direct_simulation(automaton: BuchiAutomaton) -> set[tuple[State, State]]:
     """The largest direct-simulation relation, as a set of pairs
-    ``(p, q)`` meaning ``q`` simulates ``p``.  Greatest-fixpoint refinement.
+    ``(p, q)`` meaning ``q`` simulates ``p``.
+
+    Computed as a greatest fixpoint on bitmask rows (one mask of
+    simulators per state) — the relation is unique, so this agrees with
+    pairwise refinement.
     """
-    states = list(automaton.states)
-    relation = {
-        (p, q)
-        for p in states
-        for q in states
-        if (p not in automaton.accepting) or (q in automaton.accepting)
+    form = automaton.to_dense()
+    sim = simulation_masks(form.core)
+    states = form.states
+    return {
+        (states[p], states[q]) for p in range(len(states)) for q in iter_bits(sim[p])
     }
-    changed = True
-    while changed:
-        changed = False
-        for p, q in list(relation):
-            if _violates(automaton, p, q, relation):
-                relation.discard((p, q))
-                changed = True
-    return relation
-
-
-def _violates(automaton: BuchiAutomaton, p: State, q: State, relation) -> bool:
-    for a in automaton.alphabet:
-        for pn in automaton.successors(p, a):
-            if not any(
-                (pn, qn) in relation for qn in automaton.successors(q, a)
-            ):
-                return True
-    return False
 
 
 def quotient_by_simulation(automaton: BuchiAutomaton) -> BuchiAutomaton:

@@ -180,15 +180,23 @@ def canonical_digraph_key(
     with equal ``graph_attrs``; renaming the nodes never changes the key.
     """
     node_list = list(nodes)
-    index = {node: i for i, node in enumerate(node_list)}
     n = len(node_list)
+    # dense-core callers pass nodes 0..n-1 already; skip the index dict
+    # (the key is renaming-invariant either way)
+    if node_list == list(range(n)):
+        index = None
+    else:
+        index = {node: i for i, node in enumerate(node_list)}
     base_colors = [digest(stable_token(colors.get(node))) for node in node_list]
     out_edges: list[list[tuple[str, int]]] = [[] for _ in range(n)]
     in_edges: list[list[tuple[str, int]]] = [[] for _ in range(n)]
     edge_list: list[tuple[str, int, int]] = []
     for label, src, dst in edges:
         token = stable_token(label)
-        s, d = index[src], index[dst]
+        if index is None:
+            s, d = src, dst
+        else:
+            s, d = index[src], index[dst]
         edge_list.append((token, s, d))
         out_edges[s].append((token, d))
         in_edges[d].append((token, s))

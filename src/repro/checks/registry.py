@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from .rules_api import ApiSurfaceRule
 from .rules_imports import ImportHygieneRule
+from .rules_layering import KernelLayeringRule
 from .rules_locks import LockDisciplineRule
 from .rules_metrics import MetricNamingRule
 from .rules_shims import DeprecatedShimExportRule
@@ -30,6 +31,7 @@ RULE_CLASSES = (
     ApiSurfaceRule,
     MutableModuleStateRule,
     DeprecatedShimExportRule,
+    KernelLayeringRule,
 )
 
 

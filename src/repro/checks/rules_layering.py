@@ -1,0 +1,67 @@
+"""RC007 — the dense kernel stays behind its facades.
+
+:mod:`repro.automata` is the int-indexed, bitset-backed performance
+layer under the Büchi/Rabin hot paths (DESIGN.md §9).  Its cores carry
+no state identities, so leaking them across the codebase would smear
+intern/unintern conversions everywhere and tie callers to a
+representation the kernel is free to change.  The contract: outside
+``repro/automata`` itself, only the ``buchi`` and ``rabin`` packages —
+the facades that intern once, run the kernels, and unintern the
+results — may import ``repro.automata``.  Everyone else gets the same
+speed by calling the facades.
+
+Scoped to library code; tests may import the kernel directly (the
+kernel's own unit tests must).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+from .rules_imports import _resolve_relative
+
+#: Packages allowed to import the dense kernel: the kernel itself plus
+#: the two automaton facades it accelerates.
+ALLOWED_PACKAGES = frozenset({"automata", "buchi", "rabin"})
+
+
+class KernelLayeringRule(Rule):
+    rule_id = "RC007"
+    title = "repro.automata is imported only by its facades (buchi, rabin)"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        if module.package in ALLOWED_PACKAGES:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    findings.extend(
+                        self._check_target(module, alias.name, node.lineno)
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    target = _resolve_relative(module, node)
+                else:
+                    target = node.module
+                if target is not None:
+                    findings.extend(
+                        self._check_target(module, target, node.lineno)
+                    )
+        return findings
+
+    def _check_target(self, module: ModuleFile, target: str,
+                      line: int) -> list[Finding]:
+        parts = target.split(".")
+        if parts[:2] != ["repro", "automata"]:
+            return []
+        where = f"repro.{module.package}" if module.package else "repro"
+        return [self.finding(
+            module,
+            line,
+            f"{where} must not import the dense kernel repro.automata "
+            "(only the buchi/rabin facades may); use the public "
+            "facade functions instead",
+        )]

@@ -10,6 +10,10 @@ represented semantically as a :class:`~repro.rabin.language.TreeLanguage`
 (full Rabin complementation is non-elementary; see DESIGN.md —
 membership stays decidable for every regular tree, so the decomposition
 identity is machine-checked extensionally on tree samples).
+
+Every membership/emptiness query here runs through the game bridge,
+whose arenas are int-interned (:mod:`repro.rabin.games_bridge`), so the
+sampled verification loops inherit the dense LAR numbering.
 """
 
 from __future__ import annotations

@@ -8,6 +8,13 @@ the visited automaton states — becomes a Muller condition over
 *signature colors* (which pairs a state is green/red for), which the LAR
 construction turns into a parity game for Zielonka's solver.
 
+The arenas are built over int vertex and color ids (one
+:class:`~repro.automata.interner.Interner` each — the repo's single
+renumbering codepath), so the LAR records the construction permutes are
+tuples of small ints rather than nested frozensets; the winning family
+is evaluated on int color sets via a per-game memo and only decodes to
+the original signatures on a cache miss.
+
 For non-empty automata, :func:`emptiness_witness` extracts a regular
 tree in the language from player 0's positional strategy in the parity
 game — the classical "Rabin's basis theorem" effect.
@@ -15,6 +22,7 @@ game — the classical "Rabin's basis theorem" effect.
 
 from __future__ import annotations
 
+from repro.automata.interner import Interner
 from repro.games.lar import MullerGame, lar_parity_game, rabin_signature
 from repro.games.zielonka import solve
 from repro.trees.regular import RegularTree
@@ -40,6 +48,23 @@ def _winning_family(automaton: RabinTreeAutomaton):
     return accepts
 
 
+def _int_winning_family(automaton: RabinTreeAutomaton, colors: Interner):
+    """The winning family on interned color ids, memoized per game (the
+    LAR construction probes the same record prefixes many times)."""
+    base = _winning_family(automaton)
+    cache: dict = {}
+
+    def accepts(color_set: frozenset) -> bool:
+        verdict = cache.get(color_set)
+        if verdict is None:
+            verdict = cache[color_set] = base(
+                frozenset(colors.value(c) for c in color_set)
+            )
+        return verdict
+
+    return accepts
+
+
 def _signature(automaton: RabinTreeAutomaton, q) -> frozenset:
     return rabin_signature(q, [(p.green, p.red) for p in automaton.pairs])
 
@@ -51,71 +76,81 @@ def accepts_tree(automaton: RabinTreeAutomaton, tree: RegularTree) -> bool:
             f"tree branching {tree.branching} != automaton branching "
             f"{automaton.branching}"
         )
-    owner: dict = {_DEAD: 0}
-    color: dict = {_DEAD: "⊥"}
-    edges: dict = {_DEAD: [_DEAD]}
+    vertices = Interner()
+    colors = Interner()
+    dead = vertices.intern(_DEAD)
+    owner: dict = {dead: 0}
+    color: dict = {dead: colors.intern("⊥")}
+    edges: dict = {dead: [dead]}
     state_vertices = [
         (v, q) for v in tree.reachable_vertices() for q in automaton.states
     ]
     for v, q in state_vertices:
-        node = ("s", v, q)
+        node = vertices.intern(("s", v, q))
         owner[node] = 0
-        color[node] = _signature(automaton, q)
+        color[node] = colors.intern(_signature(automaton, q))
         label = tree.label_of_vertex(v)
         moves = automaton.moves(q, label) if label in automaton.alphabet else frozenset()
         if not moves:
-            edges[node] = [_DEAD]
+            edges[node] = [dead]
             continue
         targets = []
         for t in sorted(moves):
-            choice = ("c", v, q, t)
+            choice = vertices.intern(("c", v, q, t))
             owner[choice] = 1
             color[choice] = color[node]
             succ_vertices = tree.successors_of_vertex(v)
             edges[choice] = [
-                ("s", succ_vertices[i], t[i]) for i in range(automaton.branching)
+                vertices.intern(("s", succ_vertices[i], t[i]))
+                for i in range(automaton.branching)
             ]
             targets.append(choice)
         edges[node] = targets
-    game = MullerGame(owner, color, edges, _winning_family(automaton))
-    parity, start = lar_parity_game(game, ("s", tree.root, automaton.initial))
+    game = MullerGame(owner, color, edges, _int_winning_family(automaton, colors))
+    start = vertices.index_of(("s", tree.root, automaton.initial))
+    parity, start = lar_parity_game(game, start)
     return solve(parity).winning[start] == 0
 
 
 def _emptiness_game(automaton: RabinTreeAutomaton):
-    """The emptiness arena: player 0 also chooses the label."""
-    owner: dict = {_DEAD: 0}
-    color: dict = {_DEAD: "⊥"}
-    edges: dict = {_DEAD: [_DEAD]}
+    """The emptiness arena (player 0 also chooses the label), plus the
+    vertex interner mapping int ids back to the original payloads."""
+    vertices = Interner()
+    colors = Interner()
+    dead = vertices.intern(_DEAD)
+    owner: dict = {dead: 0}
+    color: dict = {dead: colors.intern("⊥")}
+    edges: dict = {dead: [dead]}
     for q in automaton.states:
-        node = ("s", q)
+        node = vertices.intern(("s", q))
         owner[node] = 0
-        color[node] = _signature(automaton, q)
+        color[node] = colors.intern(_signature(automaton, q))
         targets = []
         for a in sorted(automaton.alphabet, key=repr):
             for t in sorted(automaton.moves(q, a)):
-                choice = ("c", q, a, t)
+                choice = vertices.intern(("c", q, a, t))
                 owner[choice] = 1
                 color[choice] = color[node]
-                edges[choice] = [("s", s) for s in t]
+                edges[choice] = [vertices.intern(("s", s)) for s in t]
                 targets.append(choice)
-        edges[node] = targets if targets else [_DEAD]
-    return MullerGame(owner, color, edges, _winning_family(automaton))
+        edges[node] = targets if targets else [dead]
+    game = MullerGame(owner, color, edges, _int_winning_family(automaton, colors))
+    return game, vertices
 
 
 def is_empty(automaton: RabinTreeAutomaton) -> bool:
     """``L(B) = ∅``?"""
-    game = _emptiness_game(automaton)
-    parity, start = lar_parity_game(game, ("s", automaton.initial))
+    game, vertices = _emptiness_game(automaton)
+    parity, start = lar_parity_game(game, vertices.index_of(("s", automaton.initial)))
     return solve(parity).winning[start] != 0
 
 
 def nonempty_states(automaton: RabinTreeAutomaton) -> frozenset:
     """``{q | L(B(q)) ≠ ∅}`` — the state set the closure keeps (§4.4)."""
-    game = _emptiness_game(automaton)
+    game, vertices = _emptiness_game(automaton)
     result = set()
     for q in automaton.states:
-        parity, start = lar_parity_game(game, ("s", q))
+        parity, start = lar_parity_game(game, vertices.index_of(("s", q)))
         if solve(parity).winning[start] == 0:
             result.add(q)
     return frozenset(result)
@@ -129,8 +164,8 @@ def emptiness_witness(automaton: RabinTreeAutomaton) -> RegularTree | None:
     on the original one, and the reachable strategy subgraph *is* the
     witness tree's generating graph.
     """
-    game = _emptiness_game(automaton)
-    parity, start = lar_parity_game(game, ("s", automaton.initial))
+    game, vertices = _emptiness_game(automaton)
+    parity, start = lar_parity_game(game, vertices.index_of(("s", automaton.initial)))
     solution = solve(parity)
     if solution.winning[start] != 0:
         return None
@@ -148,7 +183,9 @@ def emptiness_witness(automaton: RabinTreeAutomaton) -> RegularTree | None:
             choice = next(
                 s for s in parity.successors(node) if solution.winning[s] == 0
             )
-        (_c, _q, a, t) = choice[0]  # choice vertex payload
+        # choice is an LAR vertex (muller_vertex_id, record, hit); decode
+        # the original ("c", q, a, t) payload through the interner
+        (_c, _q, a, t) = vertices.value(choice[0])
         labels[node] = a
         succ_nodes = []
         for direction_target in parity.successors(choice):

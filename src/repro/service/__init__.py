@@ -16,7 +16,8 @@ Layering (each layer only knows the one below):
   dispatch, deadlines, metrics and spans (:class:`AnalysisService`,
   :class:`PendingReply`);
 * :mod:`repro.service.warmup` — workload-file cache pre-population
-  (:func:`warm_start`).
+  (:func:`warm_start`) and seeded automaton workloads
+  (:func:`random_workload`).
 
 Quick start::
 
@@ -41,7 +42,7 @@ from .requests import (
     ServiceTimeout,
 )
 from .server import AnalysisService, PendingReply
-from .warmup import WarmupError, load_workload, warm_start
+from .warmup import WarmupError, load_workload, random_workload, warm_start
 
 __all__ = [
     "Request",
@@ -59,5 +60,6 @@ __all__ = [
     "PendingReply",
     "warm_start",
     "load_workload",
+    "random_workload",
     "WarmupError",
 ]

@@ -9,7 +9,11 @@ Key-building rules (documented for users in DESIGN.md §8):
 
 * Büchi / Rabin subjects: the automaton's ``canonical_key()`` — the
   alphabet, initial/accepting structure, and full transition relation
-  up to state renaming.
+  up to state renaming.  For Büchi subjects both the key and the
+  compute path run over one memoized dense core
+  (``BuchiAutomaton.to_dense()``): the canonical key hashes the dense
+  int graph, and the decomposition kernels reuse the same core plus its
+  cached reachable/live masks, so a cache miss never re-interns.
 * Formulas: the formula's structural ``canonical_key()`` plus the
   sorted alphabet (the same formula over different alphabets denotes
   different languages).

@@ -93,3 +93,29 @@ def warm_start(service, source) -> int:
     for request in requests:
         service.submit(request).result()
     return len(requests)
+
+
+def random_workload(
+    seed: int,
+    count: int = 8,
+    n_states: int = 5,
+    alphabet=("a", "b"),
+) -> list[Request]:
+    """A reproducible automaton workload: ``count`` decompose requests
+    over seeded random Büchi automata (:mod:`repro.buchi.random_automata`).
+
+    Automata have no portable text serialization, so they cannot live in
+    a JSON workload file; this builder fills that gap for benchmarks and
+    warm-start tests — the same ``seed`` yields byte-identical requests
+    on every run."""
+    import random
+
+    from repro.buchi.random_automata import random_automaton
+
+    rng = random.Random(seed)
+    return [
+        DecomposeRequest(
+            subject=random_automaton(rng, n_states, alphabet, name=f"W{i}")
+        )
+        for i in range(count)
+    ]

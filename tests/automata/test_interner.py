@@ -1,0 +1,59 @@
+"""The interner: a first-appearance-ordered bijection hashable↔int."""
+
+import pytest
+
+from repro.automata import Interner
+
+
+def test_intern_assigns_first_appearance_order():
+    interner = Interner()
+    assert interner.intern("b") == 0
+    assert interner.intern("a") == 1
+    assert interner.intern("b") == 0  # idempotent
+    assert interner.intern(("x", 2)) == 2
+    assert len(interner) == 3
+
+
+def test_values_and_inverse_round_trip():
+    interner = Interner()
+    values = [frozenset({1}), "q0", (0, 1), None]
+    indices = [interner.intern(v) for v in values]
+    assert indices == [0, 1, 2, 3]
+    assert interner.values() == tuple(values)
+    for v, i in zip(values, indices):
+        assert interner.value(i) == v
+        assert interner.index_of(v) == i
+    assert interner.index_map() == {v: i for i, v in enumerate(values)}
+
+
+def test_membership_and_iteration():
+    interner = Interner()
+    interner.intern("p")
+    interner.intern("q")
+    assert "p" in interner
+    assert "r" not in interner
+    assert list(interner) == ["p", "q"]
+
+
+def test_get_with_default():
+    interner = Interner()
+    interner.intern("p")
+    assert interner.get("p") == 0
+    assert interner.get("missing") is None
+    assert interner.get("missing", -1) == -1
+
+
+def test_unknown_lookups_raise():
+    interner = Interner()
+    interner.intern("p")
+    with pytest.raises(KeyError):
+        interner.index_of("missing")
+    with pytest.raises(IndexError):
+        interner.value(5)
+
+
+def test_distinct_but_equal_values_share_an_index():
+    interner = Interner()
+    i = interner.intern(frozenset({"a", "b"}))
+    j = interner.intern(frozenset({"b", "a"}))
+    assert i == j

@@ -1,0 +1,188 @@
+"""Unit tests for the bitset kernels over dense cores."""
+
+import random
+
+from repro.automata import (
+    DenseBuchi,
+    adjacency,
+    is_cyclic_scc,
+    iter_bits,
+    lasso_accepts,
+    lcl_member,
+    live_mask,
+    post,
+    product_core,
+    reachable_mask,
+    scc_masks,
+    simulation_masks,
+    subset_dfa,
+    union_core,
+)
+from repro.buchi import intersection, random_automaton, union
+from repro.omega.word import all_lassos
+
+
+def core_of(n, k, edges, initial=0, accepting=0) -> DenseBuchi:
+    """A core from ``(q, a, r)`` triples."""
+    succ = [[0] * n for _ in range(k)]
+    for q, a, r in edges:
+        succ[a][q] |= 1 << r
+    return DenseBuchi(
+        n_states=n,
+        n_symbols=k,
+        initial=initial,
+        succ=tuple(tuple(row) for row in succ),
+        accepting=accepting,
+    )
+
+
+def test_iter_bits_lowest_first():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+
+def test_post_unions_successor_rows():
+    row = (0b010, 0b100, 0b001)
+    assert post(row, 0b011) == 0b110
+    assert post(row, 0) == 0
+
+
+def test_reachable_mask():
+    # 0 -a-> 1 -a-> 2, state 3 unreachable
+    core = core_of(4, 1, [(0, 0, 1), (1, 0, 2), (3, 0, 0)])
+    assert reachable_mask(core) == 0b0111
+    assert reachable_mask(core, start=0b1000) == 0b1111
+
+
+def test_scc_masks_partition_and_cyclicity():
+    # cycle 0->1->2->0, plus 3 -> cycle (acyclic singleton)
+    core = core_of(4, 1, [(0, 0, 1), (1, 0, 2), (2, 0, 0), (3, 0, 0)])
+    adj = adjacency(core)
+    components = scc_masks(adj)
+    assert sorted(components) == [0b0111, 0b1000]
+    assert is_cyclic_scc(0b0111, adj)
+    assert not is_cyclic_scc(0b1000, adj)
+
+
+def test_self_loop_singleton_is_cyclic():
+    core = core_of(2, 1, [(0, 0, 0), (0, 0, 1)])
+    adj = adjacency(core)
+    assert is_cyclic_scc(0b01, adj)
+    assert not is_cyclic_scc(0b10, adj)
+
+
+def test_live_mask_backward_closure():
+    # 0 -> 1 -> 2(acc, self-loop); 3 dead-end accepting (not on a cycle)
+    core = core_of(
+        4, 1, [(0, 0, 1), (1, 0, 2), (2, 0, 2), (0, 0, 3)], accepting=0b1100
+    )
+    assert live_mask(core) == 0b0111
+
+
+def test_live_mask_empty_language():
+    core = core_of(2, 1, [(0, 0, 1)], accepting=0b10)  # no cycle at all
+    assert live_mask(core) == 0
+
+
+def test_subset_dfa_dead_state_always_present():
+    # total single-state loop: the empty subset is never reached naturally
+    core = core_of(1, 1, [(0, 0, 0)], accepting=0b1)
+    dfa = subset_dfa(core)
+    assert dfa.subsets[dfa.initial] == 0b1
+    assert dfa.subsets[dfa.dead] == 0
+    assert dfa.trans[dfa.dead] == (dfa.dead,)
+
+
+def test_subset_dfa_restrict_masks_every_step():
+    # 0 -a-> {1, 2}; restricting away 2 must drop it from every subset
+    core = core_of(3, 1, [(0, 0, 1), (0, 0, 2), (1, 0, 1)])
+    dfa = subset_dfa(core, restrict=0b011)
+    assert all(subset & 0b100 == 0 for subset in dfa.subsets)
+    assert dfa.run([0]) == dfa.trans[dfa.initial][0]
+    assert dfa.subsets[dfa.run([0])] == 0b010
+
+
+LASSOS = list(all_lassos("ab", 2, 2))
+
+
+def test_product_core_agrees_with_languages():
+    rng = random.Random(11)
+    for _ in range(5):
+        a = random_automaton(rng, 4)
+        b = random_automaton(rng, 3)
+        both = intersection(a, b)
+        for word in LASSOS:
+            assert both.accepts(word) == (a.accepts(word) and b.accepts(word))
+
+
+def test_union_core_agrees_with_languages():
+    rng = random.Random(12)
+    for _ in range(5):
+        a = random_automaton(rng, 4)
+        b = random_automaton(rng, 3)
+        either = union(a, b)
+        for word in LASSOS:
+            assert either.accepts(word) == (a.accepts(word) or b.accepts(word))
+
+
+def _pairwise_simulation(core: DenseBuchi) -> set:
+    """The textbook pairwise greatest-fixpoint refinement, as reference."""
+    n = core.n_states
+    acc = core.accepting
+    relation = {
+        (p, q)
+        for p in range(n)
+        for q in range(n)
+        if not (acc >> p) & 1 or (acc >> q) & 1
+    }
+    changed = True
+    while changed:
+        changed = False
+        for p, q in list(relation):
+            for a in range(core.n_symbols):
+                ok = all(
+                    any((pn, qn) in relation for qn in iter_bits(core.succ[a][q]))
+                    for pn in iter_bits(core.succ[a][p])
+                )
+                if not ok:
+                    relation.discard((p, q))
+                    changed = True
+                    break
+    return relation
+
+
+def test_simulation_masks_match_pairwise_refinement():
+    rng = random.Random(13)
+    for _ in range(10):
+        core = random_automaton(rng, 5).to_dense().core
+        sim = simulation_masks(core)
+        got = {
+            (p, q) for p in range(core.n_states) for q in iter_bits(sim[p])
+        }
+        assert got == _pairwise_simulation(core)
+
+
+def test_lasso_accepts_infinitely_many_a():
+    # accepts exactly the words visiting the accepting 'a' loop infinitely
+    # often: state 0 on 'a' stays in 0 (accepting), on 'b' goes to 1;
+    # state 1 returns to 0 on 'a', loops on 'b'
+    core = core_of(
+        2,
+        2,
+        [(0, 0, 0), (0, 1, 1), (1, 0, 0), (1, 1, 1)],
+        accepting=0b01,
+    )
+    assert lasso_accepts(core, [], [0])  # a^ω
+    assert lasso_accepts(core, [1], [0, 1])  # b (a b)^ω
+    assert not lasso_accepts(core, [0, 0], [1])  # a a b^ω
+    assert not lasso_accepts(core, [], [1])
+
+
+def test_lcl_member_is_prefix_extendability():
+    # language: a^ω only; its lcl contains every word all of whose
+    # prefixes extend to a^ω — i.e. a^ω itself, but no word with a 'b'
+    core = core_of(2, 2, [(0, 0, 0)], accepting=0b1)
+    live = live_mask(core)
+    assert lcl_member(core, live, [], [0])
+    assert not lcl_member(core, live, [0, 1], [0])
+    assert not lcl_member(core, live, [], [0, 1])

@@ -1,0 +1,111 @@
+"""RC007 kernel layering: only buchi/rabin may import repro.automata."""
+
+from repro.checks.rules_layering import KernelLayeringRule
+
+from .conftest import rules_of
+
+
+def run_rc007(checker, *paths):
+    return checker.run(*paths, rules=[KernelLayeringRule()])
+
+
+def test_outside_import_flagged(checker):
+    checker.write(
+        "src/repro/service/fast.py",
+        """
+        from repro.automata.kernel import reachable_mask
+
+        def probe(core):
+            return reachable_mask(core)
+        """,
+    )
+    report = run_rc007(checker)
+    assert rules_of(report) == ["RC007"]
+    assert "repro.service" in report.findings[0].message
+    assert "repro.automata" in report.findings[0].message
+
+
+def test_plain_import_spelling_flagged(checker):
+    checker.write(
+        "src/repro/ltl/dense_hack.py",
+        """
+        import repro.automata.dense as dense
+
+        def make(n):
+            return dense.DenseBuchi(n, 1, 0, ((0,) * n,), 0)
+        """,
+    )
+    report = run_rc007(checker)
+    assert rules_of(report) == ["RC007"]
+
+
+def test_facades_may_import_kernel(checker):
+    checker.write(
+        "src/repro/buchi/fastpath.py",
+        """
+        from repro.automata.kernel import live_mask
+
+        def live(core):
+            return live_mask(core)
+        """,
+    )
+    checker.write(
+        "src/repro/rabin/fastpath.py",
+        """
+        from repro.automata.interner import Interner
+
+        def fresh():
+            return Interner()
+        """,
+    )
+    assert run_rc007(checker).findings == []
+
+
+def test_kernel_package_imports_itself_freely(checker):
+    checker.write(
+        "src/repro/automata/extra.py",
+        """
+        from repro.automata.dense import DenseBuchi
+
+        def states(core: DenseBuchi) -> int:
+            return core.n_states
+        """,
+    )
+    assert run_rc007(checker).findings == []
+
+
+def test_relative_import_resolved_and_flagged(checker):
+    # a relative spelling of the same forbidden edge
+    checker.write("src/repro/automata/__init__.py", "")
+    checker.write(
+        "src/repro/service/__init__.py",
+        """
+        from ..automata import dense
+        """,
+    )
+    report = run_rc007(checker)
+    assert rules_of(report) == ["RC007"]
+
+
+def test_tests_are_exempt(checker):
+    checker.write(
+        "tests/automata/test_kernel.py",
+        """
+        from repro.automata.kernel import iter_bits
+
+        def test_iter_bits():
+            assert list(iter_bits(0b101)) == [0, 2]
+        """,
+    )
+    assert run_rc007(checker).findings == []
+
+
+def test_library_tree_is_rc007_clean():
+    # the real repo routes everything through the buchi/rabin facades
+    from pathlib import Path
+
+    from repro.checks import run_checks
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = run_checks([src], [KernelLayeringRule()])
+    assert report.findings == []
