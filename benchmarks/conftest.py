@@ -46,7 +46,7 @@ def pytest_sessionfinish(session, exitstatus):
         if bench.has_error:
             continue
         stats = bench.stats
-        by_area.setdefault(_area(bench.fullname), []).append({
+        record = {
             "fullname": bench.fullname,
             "name": bench.name,
             "group": bench.group,
@@ -59,7 +59,12 @@ def pytest_sessionfinish(session, exitstatus):
             "max_s": stats.max,
             "stddev_s": stats.stddev,
             "ops": stats.ops,
-        })
+        }
+        # benchmarks annotate non-timing observations (payload sizes,
+        # counts) via benchmark.extra_info; persist them alongside
+        if bench.extra_info:
+            record["extra_info"] = dict(bench.extra_info)
+        by_area.setdefault(_area(bench.fullname), []).append(record)
     root = Path(__file__).resolve().parent.parent
     for area, records in sorted(by_area.items()):
         dump_bench_json(root / f"BENCH_{area}.json", records, meta={"area": area})

@@ -1,0 +1,67 @@
+"""Certificate economics — what issuing and independently replaying a
+decomposition certificate costs (DESIGN.md §10).
+
+Two timings per domain: *issue* (serialize a finished decomposition,
+gather witnesses, seal the digest) and *verify* (the stdlib-only
+replay).  The certificate's JSON wire size — what a ``certify=True``
+cache line carries on top of the bare answer — rides along in
+``extra_info.payload_bytes``, so ``BENCH_certs.json`` records both the
+latency and the storage price of trust.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import decompose
+from repro.buchi.random_automata import random_automaton
+from repro.certs import certificate_for, verify_certificate
+from repro.lattice.random_lattices import (
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+
+from .conftest import emit
+
+
+def _buchi_decomposition():
+    automaton = random_automaton(random.Random(42), 6, name="bench")
+    return decompose(automaton)
+
+
+def _lattice_decomposition():
+    rng = random.Random(42)
+    lattice = random_modular_complemented(rng, max_factors=2, max_diamond=4)
+    cl1, cl2 = random_comparable_closure_pair(rng, lattice)
+    return decompose(rng.choice(lattice.elements), closure=(cl1, cl2))
+
+
+_SUBJECTS = {
+    "buchi": _buchi_decomposition,
+    "lattice": _lattice_decomposition,
+}
+
+
+@pytest.mark.parametrize("domain", sorted(_SUBJECTS))
+def test_issue_certificate(benchmark, domain):
+    decomposition = _SUBJECTS[domain]()
+    certificate = benchmark(certificate_for, decomposition)
+    payload_bytes = len(certificate.to_json().encode("utf-8"))
+    benchmark.extra_info["domain"] = domain
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    emit(
+        f"certs — issue ({domain})",
+        f"payload={payload_bytes} bytes  "
+        f"obligations={len(certificate.obligations)}",
+    )
+
+
+@pytest.mark.parametrize("domain", sorted(_SUBJECTS))
+def test_verify_certificate(benchmark, domain):
+    certificate = certificate_for(_SUBJECTS[domain]())
+    result = benchmark(verify_certificate, certificate)
+    assert result.ok, result.reason
+    benchmark.extra_info["domain"] = domain
+    benchmark.extra_info["payload_bytes"] = len(
+        certificate.to_json().encode("utf-8")
+    )

@@ -72,6 +72,28 @@ def test_warm_service(benchmark):
     assert info.hits > info.misses
 
 
+def test_certified_decompose_warm(benchmark):
+    """A ``certify=True`` decompose served warm, with the certificate
+    payload priced: ``extra_info.cert_payload_bytes`` records what the
+    ``decompose+cert:`` cache line carries beyond the bare answer."""
+    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    formula = parse("G (a -> X b)")
+    request = DecomposeRequest(formula, alphabet=ALPHABET, certify=True)
+    first = service.request(request)
+    certificate = first.value.certificate
+    assert certificate is not None
+
+    result = benchmark(service.request, request)
+    assert result.cached is True
+    payload_bytes = len(certificate.to_json().encode("utf-8"))
+    benchmark.extra_info["cert_payload_bytes"] = payload_bytes
+    emit(
+        "service — certified decompose (warm)",
+        f"key={first.key.split(':', 1)[0]}  "
+        f"certificate payload={payload_bytes} bytes",
+    )
+
+
 def test_warm_beats_cold():
     """One workload served cold, then the same shape of workload —
     all-new subject objects — served warm.  The measured multiple is the

@@ -21,7 +21,7 @@ deprecated shims forwarding here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 from repro.buchi.automaton import BuchiAutomaton
@@ -64,6 +64,10 @@ class BoundDecomposition:
     cl1: LatticeClosure
     cl2: LatticeClosure
     inner: LatticeDecomposition
+    #: Optional :class:`repro.certs.Certificate` attached by
+    #: ``decompose(..., certify=True)``; excluded from equality so
+    #: certified and plain results compare as the same answer.
+    certificate: object = field(default=None, compare=False, repr=False)
 
     @property
     def element(self):
@@ -119,7 +123,19 @@ def _reject_options(kind: str, closure, alphabet, options) -> None:
         )
 
 
-def decompose(obj, *, closure=None, alphabet=None, **options) -> Decomposition:
+def _certify(result, domain: str, subject: str):
+    """Attach a sealed :class:`repro.certs.Certificate` to a finished
+    decomposition (lazy import: :mod:`repro.certs.build` must not be a
+    hard dependency of the facade, and RC003 forbids the reverse edge)."""
+    from repro.certs import certificate_for
+
+    certificate = certificate_for(result, domain=domain, subject=subject)
+    return replace(result, certificate=certificate)
+
+
+def decompose(
+    obj, *, closure=None, alphabet=None, certify=False, **options
+) -> Decomposition:
     """Decompose ``obj`` into its safety and liveness parts.
 
     Dispatch:
@@ -139,10 +155,17 @@ def decompose(obj, *, closure=None, alphabet=None, **options) -> Decomposition:
     ``complement=`` and ``check_hypotheses=`` and returns a
     :class:`BoundDecomposition`; all routes return an object satisfying
     the :class:`Decomposition` protocol.
+
+    With ``certify=True`` the result additionally carries a sealed
+    :class:`repro.certs.Certificate` on its ``.certificate`` attribute —
+    a machine-checkable proof object that
+    :func:`repro.certs.verify_certificate` can replay independently of
+    the kernel that computed the answer (DESIGN.md §10).
     """
     if isinstance(obj, BuchiAutomaton):
         _reject_options("a Büchi automaton", closure, alphabet, options)
-        return _buchi_decompose(obj)
+        result = _buchi_decompose(obj)
+        return _certify(result, "buchi", obj.name) if certify else result
     if isinstance(obj, Formula):
         _reject_options("an LTL formula", closure, None, options)
         if alphabet is None:
@@ -150,14 +173,16 @@ def decompose(obj, *, closure=None, alphabet=None, **options) -> Decomposition:
                 "decompose(formula) needs alphabet=: LTL formulas only "
                 "denote a language over an explicit alphabet"
             )
-        return _decompose_formula(obj, alphabet)
+        result = _decompose_formula(obj, alphabet)
+        return _certify(result, "ltl", str(obj)) if certify else result
     from repro.rabin.automaton import RabinTreeAutomaton
 
     if isinstance(obj, RabinTreeAutomaton):
         _reject_options("a Rabin tree automaton", closure, alphabet, options)
         from repro.rabin.decomposition import _decompose as _rabin_decompose
 
-        return _rabin_decompose(obj)
+        result = _rabin_decompose(obj)
+        return _certify(result, "rabin", obj.name) if certify else result
     if closure is None:
         raise TypeError(
             f"don't know how to decompose {type(obj).__name__!r}: expected "
@@ -169,4 +194,5 @@ def decompose(obj, *, closure=None, alphabet=None, **options) -> Decomposition:
     cl1, cl2 = _closure_pair(closure)
     lattice = cl1.lattice
     inner = _lattice_decompose(lattice, cl1, cl2, obj, **options)
-    return BoundDecomposition(lattice=lattice, cl1=cl1, cl2=cl2, inner=inner)
+    result = BoundDecomposition(lattice=lattice, cl1=cl1, cl2=cl2, inner=inner)
+    return _certify(result, "lattice", "") if certify else result

@@ -20,7 +20,7 @@ disjoint-sum core.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.obs.metrics import REGISTRY
 from repro.obs.profile import PhaseTimer, timed
@@ -46,6 +46,10 @@ class BuchiDecomposition:
     original: BuchiAutomaton
     safety: BuchiAutomaton
     liveness: BuchiAutomaton
+    #: Optional :class:`repro.certs.Certificate` attached by
+    #: ``repro.analysis.decompose(..., certify=True)``; excluded from
+    #: equality so certified and plain results compare as the same answer.
+    certificate: object = field(default=None, compare=False, repr=False)
 
     def intersection_automaton(self) -> BuchiAutomaton:
         """``B_S ∩ B_L`` — provably language-equal to ``B``."""

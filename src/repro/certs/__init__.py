@@ -1,0 +1,82 @@
+"""Machine-checkable decomposition certificates (DESIGN.md §10).
+
+Every decomposition answer in this repo can be shipped with a
+*certificate*: a frozen, JSON-round-trippable proof object carrying the
+serialized answer, the witnesses the theorems call for, and a content
+digest.  An independent verifier replays every obligation with naive
+hashable-state semantics — it shares no code with the dense kernel that
+produced the answer (checks rule RC008 enforces the import boundary), so
+a kernel bug cannot certify itself.
+
+Three entry points:
+
+* :func:`certificate_for` — issue a sealed certificate for a finished
+  decomposition (imports the prover stack lazily; the verifier side of
+  the package stays importable without it);
+* :func:`verify_certificate` — replay all obligations, with obs
+  counters and a latency histogram around the untouched
+  :mod:`repro.certs.verify` core;
+* :func:`tla_skeleton` — export the TLA+ module skeleton
+  (``Safety == …``, ``Liveness == …``, theorem stubs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import REGISTRY
+
+from .model import (
+    CERT_VERSION,
+    Certificate,
+    CertificateError,
+    validate_certificate,
+)
+from .tla import tla_skeleton
+from .verify import VerificationResult, verify_json
+
+__all__ = [
+    "CERT_VERSION",
+    "Certificate",
+    "CertificateError",
+    "VerificationResult",
+    "certificate_for",
+    "tla_skeleton",
+    "validate_certificate",
+    "verify_certificate",
+    "verify_json",
+]
+
+#: Verification observability.  Issue-side metrics live in
+#: :mod:`repro.certs.build`; none of this touches :mod:`repro.certs.verify`,
+#: which stays stdlib-pure.
+_VERIFIED = REGISTRY.counter(
+    "repro_certs_verified_total",
+    "certificate verifications, by domain and outcome",
+    ("domain", "outcome"),
+)
+_VERIFY_SECONDS = REGISTRY.histogram(
+    "repro_certs_verify_seconds", "wall time to replay one certificate"
+)
+
+
+def certificate_for(decomposition, **options) -> Certificate:
+    """Issue a certificate for a decomposition — see
+    :func:`repro.certs.build.certificate_for` (imported lazily so the
+    verifier side never drags in the prover stack)."""
+    from .build import certificate_for as _build
+
+    return _build(decomposition, **options)
+
+
+def verify_certificate(certificate: Certificate) -> VerificationResult:
+    """Independently replay a certificate's obligations, with metrics."""
+    started = time.perf_counter()
+    from .verify import verify as _replay
+
+    result = _replay(certificate)
+    _VERIFY_SECONDS.record(time.perf_counter() - started)
+    _VERIFIED.labels(
+        domain=result.domain, outcome="accepted" if result.ok else "rejected"
+    ).add()
+    return result

@@ -1,0 +1,390 @@
+"""Certificate issuance — the *prover* side of :mod:`repro.certs`.
+
+Unlike :mod:`repro.certs.verify`, this module runs on the full repo
+stack (dense kernel, game bridge, lattice tables): it takes a finished
+decomposition, serializes the concrete answer into the frozen model
+vocabulary, gathers the structural and extensional witnesses each
+domain's obligations call for, and seals the result under a content
+digest.  Nothing issued here is trusted — the point of the subsystem is
+that :func:`repro.certs.verify_certificate` replays every obligation
+with independent naive semantics.
+
+Dispatch mirrors :func:`repro.analysis.decompose`'s return types, but by
+shape rather than import: lattice results arrive as the facade's
+``BoundDecomposition`` (``lattice``/``cl1``/``cl2``/``inner``
+attributes), which this module must not import — ``repro.analysis``
+imports *us* for ``certify=True``, and the checks layering (RC003)
+forbids the cycle.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.buchi.automaton import BuchiAutomaton
+from repro.buchi.decomposition import BuchiDecomposition
+from repro.buchi.emptiness import find_accepted_word
+from repro.canonical import stable_token
+from repro.obs.metrics import REGISTRY
+from repro.omega.word import LassoWord
+
+from .model import (
+    BUCHI_OBLIGATIONS,
+    LATTICE_OBLIGATIONS,
+    RABIN_OBLIGATIONS,
+    Certificate,
+    CertificateError,
+    LassoWitness,
+    RabinSample,
+    RunNode,
+    SerializedAutomaton,
+    SerializedBuchiPayload,
+    SerializedLatticePayload,
+    SerializedRabinAutomaton,
+    SerializedRabinPayload,
+    SerializedTree,
+)
+
+__all__ = ["certificate_for"]
+
+_ISSUED = REGISTRY.counter(
+    "repro_certs_issued_total", "certificates issued, by domain", ("domain",)
+)
+_ISSUE_SECONDS = REGISTRY.histogram(
+    "repro_certs_issue_seconds", "wall time to serialize and seal one certificate"
+)
+
+
+def certificate_for(decomposition, *, domain=None, subject="", samples=()):
+    """Issue a sealed :class:`~repro.certs.model.Certificate` for a
+    finished decomposition.
+
+    Parameters
+    ----------
+    decomposition:
+        A ``BuchiDecomposition``, a ``RabinDecomposition``, or the
+        analysis facade's ``BoundDecomposition`` (recognized by shape).
+    domain:
+        Optional override of the inferred domain tag — the LTL route
+        passes ``"ltl"`` for the Büchi decomposition of a formula's
+        automaton.
+    subject:
+        Display name recorded in the payload (shown by ``summary()``).
+    samples:
+        Rabin only: extra :class:`~repro.trees.regular.RegularTree`
+        samples to record membership claims for, on top of the
+        automatically gathered ones.
+    """
+    started = time.perf_counter()
+    if isinstance(decomposition, BuchiDecomposition):
+        domain = domain or "buchi"
+        if domain not in ("buchi", "ltl"):
+            raise CertificateError(f"bad domain {domain!r} for a Büchi subject")
+        payload = _buchi_payload(decomposition, subject)
+    elif _looks_like_bound_lattice(decomposition):
+        if domain not in (None, "lattice"):
+            raise CertificateError(f"bad domain {domain!r} for a lattice subject")
+        domain = "lattice"
+        payload = _lattice_payload(decomposition, subject)
+    elif _looks_like_rabin(decomposition):
+        if domain not in (None, "rabin"):
+            raise CertificateError(f"bad domain {domain!r} for a Rabin subject")
+        domain = "rabin"
+        payload = _rabin_payload(decomposition, subject, samples)
+    else:
+        raise CertificateError(
+            f"don't know how to certify {type(decomposition).__name__!r}"
+        )
+    certificate = Certificate.seal(domain, payload)
+    _ISSUED.labels(domain=domain).add()
+    _ISSUE_SECONDS.record(time.perf_counter() - started)
+    return certificate
+
+
+def _looks_like_bound_lattice(decomposition) -> bool:
+    return all(
+        hasattr(decomposition, attr) for attr in ("lattice", "cl1", "cl2", "inner")
+    )
+
+
+def _looks_like_rabin(decomposition) -> bool:
+    original = getattr(decomposition, "original", None)
+    return hasattr(original, "pairs") and hasattr(original, "branching")
+
+
+# -- Büchi / LTL ----------------------------------------------------------------
+
+
+def _buchi_payload(
+    decomposition: BuchiDecomposition, subject: str
+) -> SerializedBuchiPayload:
+    original = decomposition.original
+    safety = decomposition.safety
+    liveness = decomposition.liveness
+    symbols = tuple(sorted(original.alphabet, key=repr))
+    symbol_index = {a: i for i, a in enumerate(symbols)}
+    tokens = tuple(stable_token(a) for a in symbols)
+
+    serialized_original, original_index = _serialize_buchi(original, tokens, symbols)
+    serialized_safety, _ = _serialize_buchi(safety, tokens, symbols)
+    serialized_liveness, liveness_index = _serialize_buchi(liveness, tokens, symbols)
+
+    # the union construction tags the embedded copy of B with 'l' and the
+    # ¬cl(B) branch with 'r'; recover both blocks from those tags
+    left = {("l", q) for q in original.states}
+    fresh = liveness.initial
+    if not left <= liveness.states or fresh in left:
+        raise CertificateError(
+            "liveness automaton does not have the §2.4 union shape"
+        )
+    order = sorted(original.states, key=repr)
+    embedding = tuple(liveness_index[("l", q)] for q in order)
+    right_block = tuple(
+        sorted(
+            liveness_index[q]
+            for q in liveness.states
+            if q not in left and q != fresh
+        )
+    )
+    witnesses = _gather_witnesses(
+        original, safety, liveness, symbols, symbol_index
+    )
+    return SerializedBuchiPayload(
+        original=serialized_original,
+        safety=serialized_safety,
+        liveness=serialized_liveness,
+        embedding=embedding,
+        right_block=right_block,
+        witnesses=witnesses,
+        obligations=BUCHI_OBLIGATIONS,
+        subject=subject or original.name,
+    )
+
+
+def _serialize_buchi(
+    automaton: BuchiAutomaton, tokens: tuple, symbols: tuple
+) -> tuple:
+    order = sorted(automaton.states, key=repr)
+    index = {q: i for i, q in enumerate(order)}
+    rows = []
+    for (q, a), targets in automaton.transitions.items():
+        if not targets:
+            continue
+        rows.append(
+            (index[q], symbols.index(a), tuple(sorted(index[r] for r in targets)))
+        )
+    serialized = SerializedAutomaton(
+        n_states=len(order),
+        alphabet=tokens,
+        initial=index[automaton.initial],
+        transitions=tuple(sorted(rows)),
+        accepting=tuple(sorted(index[q] for q in automaton.accepting)),
+    )
+    return serialized, index
+
+
+def _gather_witnesses(original, safety, liveness, symbols, symbol_index) -> tuple:
+    candidates = [
+        find_accepted_word(original),
+        find_accepted_word(liveness),
+        LassoWord((), (symbols[0],)),
+    ]
+    witnesses = []
+    seen = set()
+    for word in candidates:
+        if word is None:
+            continue
+        prefix = tuple(symbol_index[a] for a in word.prefix)
+        cycle = tuple(symbol_index[a] for a in word.cycle)
+        if (prefix, cycle) in seen:
+            continue
+        seen.add((prefix, cycle))
+        witnesses.append(
+            LassoWitness(
+                prefix=prefix,
+                cycle=cycle,
+                in_original=original.accepts(word),
+                in_safety=safety.accepts(word),
+                in_liveness=liveness.accepts(word),
+            )
+        )
+    return tuple(witnesses)
+
+
+# -- lattice --------------------------------------------------------------------
+
+
+def _lattice_payload(decomposition, subject: str) -> SerializedLatticePayload:
+    lattice = decomposition.lattice
+    cl1 = decomposition.cl1
+    cl2 = decomposition.cl2
+    elements = lattice.elements
+    index = {x: i for i, x in enumerate(elements)}
+    n = len(elements)
+    meet = tuple(
+        tuple(index[lattice.meet(x, y)] for y in elements) for x in elements
+    )
+    join = tuple(
+        tuple(index[lattice.join(x, y)] for y in elements) for x in elements
+    )
+    a = index[decomposition.element]
+    b = index[decomposition.complement_used]
+    cl1_table = tuple(index[cl1(x)] for x in elements)
+    cl2_table = tuple(index[cl2(x)] for x in elements)
+    # the instance Theorem 3's proof leans on (x=a, y=b, z=cl1.a), plus
+    # the trivially-bounded one so the list never collapses to a point
+    instances = tuple(
+        dict.fromkeys([(a, b, cl1_table[a]), (index[lattice.bottom], b, index[lattice.top])])
+    )
+    return SerializedLatticePayload(
+        n=n,
+        meet=meet,
+        join=join,
+        bottom=index[lattice.bottom],
+        top=index[lattice.top],
+        cl1=cl1_table,
+        cl2=cl2_table,
+        element=a,
+        safety=index[decomposition.safety],
+        liveness=index[decomposition.liveness],
+        complement=b,
+        modularity_instances=instances,
+        obligations=LATTICE_OBLIGATIONS,
+        elements=tuple(stable_token(x) for x in elements),
+        subject=subject or f"{cl1.name}/{cl2.name} decomposition",
+    )
+
+
+# -- Rabin ----------------------------------------------------------------------
+
+
+def _rabin_payload(decomposition, subject: str, samples) -> SerializedRabinPayload:
+    from repro.rabin.games_bridge import (
+        accepts_tree,
+        emptiness_witness,
+        membership_run,
+    )
+    from repro.trees.regular import RegularTree
+
+    original = decomposition.original
+    safety = decomposition.safety
+    symbols = tuple(sorted(original.alphabet, key=repr))
+    tokens = tuple(stable_token(a) for a in symbols)
+    token_of = dict(zip(symbols, tokens))
+
+    serialized_original, original_index = _serialize_rabin(
+        original, tokens, symbols
+    )
+    serialized_safety, safety_index = _serialize_rabin(safety, tokens, symbols)
+    safety_order = sorted(safety.states, key=repr)
+    safety_map = tuple(original_index[q] for q in safety_order)
+
+    trees = list(samples)
+    trees.append(emptiness_witness(original))
+    trees.append(emptiness_witness(safety))
+    for a in symbols[:2]:
+        trees.append(RegularTree.constant(a, k=original.branching))
+
+    recorded = []
+    seen = set()
+    for tree in trees:
+        if tree is None:
+            continue
+        if not tree.symbols() <= set(symbols):
+            raise CertificateError(
+                "sample tree uses labels outside the automaton alphabet"
+            )
+        serialized_tree, vertex_index = _serialize_tree(tree, token_of)
+        key = (serialized_tree.labels, serialized_tree.successors,
+               serialized_tree.root)
+        if key in seen:
+            continue
+        seen.add(key)
+        in_original = accepts_tree(original, tree)
+        run = ()
+        if in_original:
+            raw = membership_run(original, tree)
+            if raw is None:
+                raise CertificateError(
+                    "membership and run extraction disagree on a sample"
+                )
+            run = tuple(
+                RunNode(
+                    vertex=vertex_index[v],
+                    state=original_index[q],
+                    children=children,
+                )
+                for v, q, children in raw
+            )
+        recorded.append(
+            RabinSample(
+                tree=serialized_tree,
+                in_original=in_original,
+                in_safety=accepts_tree(safety, tree),
+                run=run,
+            )
+        )
+    if not recorded:
+        raise CertificateError("no usable sample trees for the Rabin certificate")
+    return SerializedRabinPayload(
+        original=serialized_original,
+        safety=serialized_safety,
+        safety_map=safety_map,
+        samples=tuple(recorded),
+        obligations=RABIN_OBLIGATIONS,
+        subject=subject or original.name,
+    )
+
+
+def _serialize_rabin(automaton, tokens: tuple, symbols: tuple) -> tuple:
+    order = sorted(automaton.states, key=repr)
+    index = {q: i for i, q in enumerate(order)}
+    rows = []
+    for (q, a), moves in automaton.transitions.items():
+        if not moves:
+            continue
+        rows.append(
+            (
+                index[q],
+                symbols.index(a),
+                tuple(sorted(tuple(index[s] for s in move) for move in moves)),
+            )
+        )
+    serialized = SerializedRabinAutomaton(
+        n_states=len(order),
+        alphabet=tokens,
+        initial=index[automaton.initial],
+        branching=automaton.branching,
+        transitions=tuple(sorted(rows)),
+        pairs=tuple(
+            (
+                tuple(sorted(index[q] for q in pair.green)),
+                tuple(sorted(index[q] for q in pair.red)),
+            )
+            for pair in automaton.pairs
+        ),
+    )
+    return serialized, index
+
+
+def _serialize_tree(tree, token_of: dict) -> tuple:
+    order = [tree.root]
+    seen = {tree.root}
+    i = 0
+    while i < len(order):
+        v = order[i]
+        i += 1
+        for s in tree.successors_of_vertex(v):
+            if s not in seen:
+                seen.add(s)
+                order.append(s)
+    index = {v: i for i, v in enumerate(order)}
+    serialized = SerializedTree(
+        n_vertices=len(order),
+        labels=tuple(token_of[tree.label_of_vertex(v)] for v in order),
+        successors=tuple(
+            tuple(index[s] for s in tree.successors_of_vertex(v)) for v in order
+        ),
+        root=0,
+    )
+    return serialized, index

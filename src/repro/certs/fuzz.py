@@ -1,0 +1,296 @@
+"""Certificate corruption fuzzing: every mutation must be rejected.
+
+The harness issues genuine certificates across all four domains (using
+the per-package decomposition internals directly, so it stays off the
+analysis facade and out of the RC003 import cycle), then applies
+*guaranteed-invalidating* mutations to their wire form — digest
+bit-flips, domain swaps, dropped obligations, witness-bit flips,
+embedding corruption, lattice index shifts, dropped run witnesses —
+reseals the digest where the point is to stress the *replay* layer
+rather than the digest check, and asserts that
+:func:`repro.certs.verify.verify_json` rejects every single corruption.
+
+Runs standalone (CI pins the seed)::
+
+    PYTHONPATH=src python -m repro.certs.fuzz --seed 7 --rounds 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import random
+from types import MappingProxyType, SimpleNamespace
+
+from .model import payload_digest
+from .verify import verify_json
+
+__all__ = ["corruptions_for", "fuzz", "random_certificates"]
+
+
+# -- base certificates ----------------------------------------------------------
+
+
+def _buchi_certificate(rng: random.Random):
+    from repro.buchi.decomposition import _decompose
+    from repro.buchi.random_automata import random_automaton
+
+    from .build import certificate_for
+
+    automaton = random_automaton(rng, rng.randint(2, 5), name="fuzz")
+    return certificate_for(_decompose(automaton), subject="fuzz-buchi")
+
+
+def _ltl_certificate(rng: random.Random):
+    from repro.ltl.classify import _decompose_formula
+    from repro.ltl.parser import parse
+
+    from .build import certificate_for
+
+    formula = parse(rng.choice(["G a", "F b", "a U b", "G F a", "a & X b"]))
+    decomposition = _decompose_formula(formula, alphabet={"a", "b"})
+    return certificate_for(decomposition, domain="ltl", subject="fuzz-ltl")
+
+
+def _lattice_certificate(rng: random.Random):
+    from repro.lattice.decomposition import _decompose
+    from repro.lattice.random_lattices import (
+        random_comparable_closure_pair,
+        random_modular_complemented,
+    )
+
+    from .build import certificate_for
+
+    lattice = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+    cl1, cl2 = random_comparable_closure_pair(rng, lattice)
+    element = rng.choice(lattice.elements)
+    inner = _decompose(lattice, cl1, cl2, element)
+    bound = SimpleNamespace(
+        lattice=lattice,
+        cl1=cl1,
+        cl2=cl2,
+        inner=inner,
+        element=inner.element,
+        safety=inner.safety,
+        liveness=inner.liveness,
+        complement_used=inner.complement_used,
+    )
+    return certificate_for(bound, subject="fuzz-lattice")
+
+
+def _rabin_certificate(rng: random.Random):
+    from repro.rabin.automaton import RabinTreeAutomaton
+    from repro.rabin.decomposition import _decompose
+
+    from .build import certificate_for
+
+    n = rng.randint(1, 3)
+    states = list(range(n))
+    alphabet = ("a", "b")
+    transitions = {}
+    for q in states:
+        for a in alphabet:
+            moves = {
+                (rng.choice(states), rng.choice(states))
+                for _ in range(rng.randint(0, 2))
+            }
+            if moves:
+                transitions[q, a] = moves
+    pairs = [([q for q in states if rng.random() < 0.5] or [0], [])]
+    automaton = RabinTreeAutomaton.build(
+        alphabet, states, 0, transitions, pairs, branching=2, name="fuzz"
+    )
+    return certificate_for(_decompose(automaton), subject="fuzz-rabin")
+
+
+def random_certificates(rng: random.Random) -> list:
+    """One genuine certificate per domain, seeded by ``rng``."""
+    return [
+        _buchi_certificate(rng),
+        _ltl_certificate(rng),
+        _lattice_certificate(rng),
+        _rabin_certificate(rng),
+    ]
+
+
+# -- mutations ------------------------------------------------------------------
+#
+# Every mutator takes the certificate's dict form and returns a corrupted
+# copy.  Mutations marked reseal=True recompute the digest so the replay
+# layer (not the digest check) must do the rejecting; the others leave a
+# stale digest on purpose.
+
+
+def _reseal(data: dict) -> dict:
+    data["digest"] = payload_digest(data["version"], data["domain"], data["payload"])
+    return data
+
+
+def _mutate_digest(data, rng):
+    digest = data["digest"]
+    i = rng.randrange(len(digest))
+    flipped = "0" if digest[i] != "0" else "1"
+    data["digest"] = digest[:i] + flipped + digest[i + 1:]
+    return data
+
+
+def _mutate_domain(data, rng):
+    choices = [d for d in ("buchi", "ltl", "lattice", "rabin") if d != data["domain"]]
+    data["domain"] = rng.choice(choices)
+    return data
+
+
+def _mutate_version(data, rng):
+    data["version"] = data["version"] + 1
+    return _reseal(data)
+
+
+def _mutate_drop_obligation(data, rng):
+    obligations = data["payload"]["obligations"]
+    obligations.pop(rng.randrange(len(obligations)))
+    return _reseal(data)
+
+
+def _mutate_witness_bit(data, rng):
+    witnesses = data["payload"]["witnesses"]
+    witness = witnesses[rng.randrange(len(witnesses))]
+    bit = rng.choice(["in_original", "in_safety", "in_liveness"])
+    witness[bit] = not witness[bit]
+    return _reseal(data)
+
+
+def _mutate_embedding_acceptance(data, rng):
+    # break the acceptance-isomorphism onto the left block: toggle the
+    # liveness acceptance flag of one embedded state
+    payload = data["payload"]
+    image = payload["embedding"][rng.randrange(len(payload["embedding"]))]
+    accepting = payload["liveness"]["accepting"]
+    if image in accepting:
+        accepting.remove(image)
+    else:
+        accepting.append(image)
+        accepting.sort()
+    return _reseal(data)
+
+
+def _mutate_truncate_embedding(data, rng):
+    data["payload"]["embedding"].pop()
+    return _reseal(data)
+
+
+def _mutate_lattice_element(data, rng):
+    payload = data["payload"]
+    payload["element"] = (payload["element"] + 1) % payload["n"]
+    return _reseal(data)
+
+
+def _mutate_lattice_closure(data, rng):
+    # cl1 no longer fixes the safety conjunct: breaks idempotence or the
+    # conjuncts obligation, whichever the verifier reaches first
+    payload = data["payload"]
+    safety = payload["safety"]
+    payload["cl1"][safety] = (payload["cl1"][safety] + 1) % payload["n"]
+    return _reseal(data)
+
+
+def _mutate_rabin_safety_claim(data, rng):
+    samples = data["payload"]["samples"]
+    sample = samples[rng.randrange(len(samples))]
+    sample["in_safety"] = not sample["in_safety"]
+    return _reseal(data)
+
+
+def _mutate_rabin_run(data, rng):
+    # desynchronize claim and witness: drop the run of a positive sample,
+    # or orphan a negative one with a bogus claim
+    samples = data["payload"]["samples"]
+    positives = [s for s in samples if s["in_original"]]
+    if positives:
+        rng.choice(positives)["run"] = []
+    else:
+        samples[rng.randrange(len(samples))]["in_original"] = True
+    return _reseal(data)
+
+
+_GENERIC_MUTATIONS = (
+    ("digest-flip", _mutate_digest),
+    ("domain-swap", _mutate_domain),
+    ("version-bump", _mutate_version),
+    ("drop-obligation", _mutate_drop_obligation),
+)
+_BUCHI_MUTATIONS = (
+    ("witness-bit-flip", _mutate_witness_bit),
+    ("embedding-acceptance", _mutate_embedding_acceptance),
+    ("truncate-embedding", _mutate_truncate_embedding),
+)
+_DOMAIN_MUTATIONS = MappingProxyType({
+    "buchi": _BUCHI_MUTATIONS,
+    "ltl": _BUCHI_MUTATIONS,
+    "lattice": (
+        ("element-shift", _mutate_lattice_element),
+        ("closure-corruption", _mutate_lattice_closure),
+    ),
+    "rabin": (
+        ("safety-claim-flip", _mutate_rabin_safety_claim),
+        ("run-desync", _mutate_rabin_run),
+    ),
+})
+
+
+def corruptions_for(certificate) -> tuple:
+    """The ``(label, mutator)`` pairs applicable to one certificate."""
+    return _GENERIC_MUTATIONS + _DOMAIN_MUTATIONS[certificate.domain]
+
+
+def corrupt(certificate, label: str, mutator, rng: random.Random) -> str:
+    """One corrupted wire-form of ``certificate``."""
+    data = copy.deepcopy(certificate.to_dict())
+    return json.dumps(mutator(data, rng))
+
+
+# -- the harness ----------------------------------------------------------------
+
+
+def fuzz(seed: int = 7, rounds: int = 500) -> dict:
+    """Run ``rounds`` corruption rounds; every corruption must be
+    rejected.  Returns a stats dict; raises ``AssertionError`` if any
+    corrupted certificate verifies."""
+    rng = random.Random(seed)
+    certificates = random_certificates(rng)
+    for certificate in certificates:
+        result = verify_json(certificate.to_json())
+        assert result.ok, (
+            f"genuine {certificate.domain} certificate rejected: {result.reason}"
+        )
+    by_mutation: dict = {}
+    accepted = []
+    for round_no in range(rounds):
+        certificate = certificates[round_no % len(certificates)]
+        label, mutator = rng.choice(corruptions_for(certificate))
+        text = corrupt(certificate, label, mutator, rng)
+        result = verify_json(text)
+        by_mutation[label] = by_mutation.get(label, 0) + 1
+        if result.ok:
+            accepted.append((certificate.domain, label))
+    assert not accepted, f"verifier accepted corrupted certificates: {accepted}"
+    return {
+        "seed": seed,
+        "rounds": rounds,
+        "rejected": rounds,
+        "by_mutation": dict(sorted(by_mutation.items())),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=500)
+    args = parser.parse_args(argv)
+    stats = fuzz(seed=args.seed, rounds=args.rounds)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

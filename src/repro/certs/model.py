@@ -1,0 +1,869 @@
+"""Certificate models: frozen, JSON-round-trippable, and self-describing.
+
+A :class:`Certificate` is the portable proof object attached to a
+decomposition answer (DESIGN.md §10).  It contains everything an
+*independent* checker needs to replay the decomposition theorems on the
+concrete answer — serialized automata/lattices with small-int state
+ids, explicit witnesses, and the list of obligations the issuer claims
+to have discharged — plus a content digest so a corrupted payload is
+rejected before any replay starts.
+
+This module is deliberately **stdlib-only**: it is the single shared
+vocabulary between the prover side (:mod:`repro.certs.build`, which may
+use the whole repo including the dense kernel) and the verifier side
+(:mod:`repro.certs.verify`, which may import nothing but the stdlib and
+this module — enforced by checks rule RC008).  Keeping the model here
+free of ``repro`` imports is what makes that split possible.
+
+Serialization conventions:
+
+* states are ``0..n-1`` ints, one namespace per serialized automaton;
+* symbols are opaque string tokens; the three automata of a Büchi
+  certificate must carry *identical* alphabet tuples so that equal
+  indices mean equal symbols;
+* transitions are sorted triples ``(state, symbol, targets)`` with
+  empty target sets omitted;
+* the payload digest is SHA-256 over the canonical (sorted-keys,
+  compact) JSON of ``version : domain : payload``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+__all__ = [
+    "BUCHI_OBLIGATIONS",
+    "CERT_VERSION",
+    "Certificate",
+    "CertificateError",
+    "LATTICE_OBLIGATIONS",
+    "LassoWitness",
+    "RABIN_OBLIGATIONS",
+    "REQUIRED_OBLIGATIONS",
+    "RabinSample",
+    "RunNode",
+    "SerializedAutomaton",
+    "SerializedBuchiPayload",
+    "SerializedLatticePayload",
+    "SerializedRabinAutomaton",
+    "SerializedRabinPayload",
+    "SerializedTree",
+    "payload_digest",
+    "validate_certificate",
+]
+
+#: Format version; bump on incompatible payload changes.
+CERT_VERSION = 1
+
+#: Obligations an issuer must discharge, per domain.  The verifier
+#: rejects any certificate whose obligation list differs from this set —
+#: a *dropped* obligation is a corruption, not a shortcut.
+BUCHI_OBLIGATIONS = (
+    "closure-replay",      # L(B_S) = lcl(L(B)), replayed naively
+    "safety-inclusion",    # L(B) ⊆ L(B_S)
+    "union-structure",     # B_L = B ⊔ D with a fresh initial (embedding)
+    "disjointness",        # L(B_S) ∩ L(D) = ∅  (closes B = B_S ∩ B_L)
+    "density",             # lcl(L(B_L)) = Σ^ω
+    "witnesses",           # recorded lasso memberships agree
+)
+LATTICE_OBLIGATIONS = (
+    "lattice-laws",            # the tables form a bounded lattice
+    "closure-axioms",          # cl1, cl2 are lattice closures
+    "comparability",           # cl1 <= cl2 pointwise
+    "complement-witness",      # b ∈ cmp(cl2.a)
+    "conjuncts",               # s = cl1.a is cl1-safe, l = a ∨ b is cl2-live
+    "identity",                # s ∧ l = a
+    "modularity-instances",    # every recorded modular-law instance holds
+)
+RABIN_OBLIGATIONS = (
+    "closure-shape",       # safety is rfcl-shaped over the original
+    "safety-membership",   # per-sample safety claims replayed exactly
+    "membership-runs",     # run-graph witness per positive original claim
+    "sample-identity",     # in_original ⟹ in_safety on every sample
+)
+REQUIRED_OBLIGATIONS = MappingProxyType({
+    "buchi": BUCHI_OBLIGATIONS,
+    "ltl": BUCHI_OBLIGATIONS,
+    "lattice": LATTICE_OBLIGATIONS,
+    "rabin": RABIN_OBLIGATIONS,
+})
+
+
+class CertificateError(ValueError):
+    """Raised on malformed, unparsable, or internally inconsistent
+    certificate data."""
+
+
+# -- Büchi / LTL payloads -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SerializedAutomaton:
+    """A Büchi automaton over small-int states and indexed symbols."""
+
+    n_states: int
+    alphabet: tuple  # tuple[str, ...] — symbol tokens, index = symbol id
+    initial: int
+    transitions: tuple  # tuple[(state, symbol, tuple[target, ...]), ...]
+    accepting: tuple  # tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "n_states": self.n_states,
+            "alphabet": list(self.alphabet),
+            "initial": self.initial,
+            "transitions": [
+                [q, a, list(targets)] for q, a, targets in self.transitions
+            ],
+            "accepting": list(self.accepting),
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedAutomaton":
+        _require(isinstance(data, dict), "automaton payload must be an object")
+        return cls(
+            n_states=_int_field(data, "n_states"),
+            alphabet=tuple(_str_list(data, "alphabet")),
+            initial=_int_field(data, "initial"),
+            transitions=tuple(
+                (_as_int(row, 0), _as_int(row, 1), tuple(_int_items(row, 2)))
+                for row in _list_field(data, "transitions")
+            ),
+            accepting=tuple(_int_items(data, "accepting")),
+        )
+
+    def validate(self) -> None:
+        _require(self.n_states >= 1, "automaton needs at least one state")
+        _require(len(self.alphabet) >= 1, "automaton needs a symbol")
+        _require(
+            len(set(self.alphabet)) == len(self.alphabet),
+            "alphabet tokens must be distinct",
+        )
+        _require(0 <= self.initial < self.n_states, "initial state out of range")
+        for state in self.accepting:
+            _require(0 <= state < self.n_states, "accepting state out of range")
+        _require(
+            len(set(self.accepting)) == len(self.accepting),
+            "duplicate accepting state",
+        )
+        seen = set()
+        for q, a, targets in self.transitions:
+            _require(0 <= q < self.n_states, "transition source out of range")
+            _require(0 <= a < len(self.alphabet), "transition symbol out of range")
+            _require((q, a) not in seen, "duplicate transition row")
+            seen.add((q, a))
+            _require(len(targets) >= 1, "empty transition row must be omitted")
+            _require(
+                len(set(targets)) == len(targets), "duplicate transition target"
+            )
+            for target in targets:
+                _require(
+                    0 <= target < self.n_states, "transition target out of range"
+                )
+
+
+@dataclass(frozen=True)
+class LassoWitness:
+    """One lasso word ``prefix · cycle^ω`` (symbol indices) with its
+    recorded membership bits in the three automata."""
+
+    prefix: tuple  # tuple[int, ...]
+    cycle: tuple  # tuple[int, ...] — non-empty
+    in_original: bool
+    in_safety: bool
+    in_liveness: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "prefix": list(self.prefix),
+            "cycle": list(self.cycle),
+            "in_original": self.in_original,
+            "in_safety": self.in_safety,
+            "in_liveness": self.in_liveness,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "LassoWitness":
+        _require(isinstance(data, dict), "witness must be an object")
+        return cls(
+            prefix=tuple(_int_items(data, "prefix")),
+            cycle=tuple(_int_items(data, "cycle")),
+            in_original=_bool_field(data, "in_original"),
+            in_safety=_bool_field(data, "in_safety"),
+            in_liveness=_bool_field(data, "in_liveness"),
+        )
+
+    def validate(self, n_symbols: int) -> None:
+        _require(len(self.cycle) >= 1, "lasso cycle must be non-empty")
+        for symbol in self.prefix + self.cycle:
+            _require(0 <= symbol < n_symbols, "witness symbol out of range")
+
+
+@dataclass(frozen=True)
+class SerializedBuchiPayload:
+    """The Büchi/LTL certificate body: the three automata of §2.4 plus
+    the structural witnesses tying them together.
+
+    ``embedding[q]`` is the liveness-automaton state carrying the tagged
+    copy of original state ``q``; ``right_block`` lists the liveness
+    states forming the ``¬cl(B)`` branch of the union.  Together they
+    let the verifier reconstruct ``B_L = B ⊔ D`` without trusting the
+    builder's union code.
+    """
+
+    original: SerializedAutomaton
+    safety: SerializedAutomaton
+    liveness: SerializedAutomaton
+    embedding: tuple  # tuple[int, ...], length n_states(original)
+    right_block: tuple  # tuple[int, ...] — liveness-state ids
+    witnesses: tuple  # tuple[LassoWitness, ...]
+    obligations: tuple  # tuple[str, ...]
+    subject: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "original": self.original.to_dict(),
+            "safety": self.safety.to_dict(),
+            "liveness": self.liveness.to_dict(),
+            "embedding": list(self.embedding),
+            "right_block": list(self.right_block),
+            "witnesses": [w.to_dict() for w in self.witnesses],
+            "obligations": list(self.obligations),
+            "subject": self.subject,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedBuchiPayload":
+        _require(isinstance(data, dict), "buchi payload must be an object")
+        return cls(
+            original=SerializedAutomaton.from_dict(_dict_field(data, "original")),
+            safety=SerializedAutomaton.from_dict(_dict_field(data, "safety")),
+            liveness=SerializedAutomaton.from_dict(_dict_field(data, "liveness")),
+            embedding=tuple(_int_items(data, "embedding")),
+            right_block=tuple(_int_items(data, "right_block")),
+            witnesses=tuple(
+                LassoWitness.from_dict(w) for w in _list_field(data, "witnesses")
+            ),
+            obligations=tuple(_str_list(data, "obligations")),
+            subject=_str_field(data, "subject"),
+        )
+
+    def validate(self) -> None:
+        self.original.validate()
+        self.safety.validate()
+        self.liveness.validate()
+        _require(
+            self.original.alphabet == self.safety.alphabet == self.liveness.alphabet,
+            "the three automata must share one alphabet token tuple",
+        )
+        _require(
+            len(self.embedding) == self.original.n_states,
+            "embedding must map every original state",
+        )
+        for state in self.embedding:
+            _require(
+                0 <= state < self.liveness.n_states,
+                "embedding target out of range",
+            )
+        _require(
+            len(set(self.embedding)) == len(self.embedding),
+            "embedding must be injective",
+        )
+        _require(
+            len(set(self.right_block)) == len(self.right_block),
+            "duplicate right-block state",
+        )
+        for state in self.right_block:
+            _require(
+                0 <= state < self.liveness.n_states,
+                "right-block state out of range",
+            )
+        for witness in self.witnesses:
+            witness.validate(len(self.original.alphabet))
+
+
+# -- lattice payloads -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SerializedLatticePayload:
+    """The Theorem-2/3 witness chain over a fully tabulated lattice.
+
+    Elements are ``0..n-1``; ``meet``/``join`` are full ``n × n``
+    tables, ``cl1``/``cl2`` are value tables, and the four indices name
+    the decomposition ``element = safety ∧ liveness`` with
+    ``complement ∈ cmp(cl2.element)``.  ``modularity_instances`` are the
+    ``(x, y, z)`` triples (with ``x ≤ z``) whose modular-law instances
+    the proof of Theorem 3 uses; ``elements`` carries display tokens
+    only (the mathematics never reads them).
+    """
+
+    n: int
+    meet: tuple  # tuple[tuple[int, ...], ...], n rows of n
+    join: tuple
+    bottom: int
+    top: int
+    cl1: tuple  # tuple[int, ...], length n
+    cl2: tuple
+    element: int
+    safety: int
+    liveness: int
+    complement: int
+    modularity_instances: tuple  # tuple[(x, y, z), ...]
+    obligations: tuple
+    elements: tuple = ()  # tuple[str, ...] display names
+    subject: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "meet": [list(row) for row in self.meet],
+            "join": [list(row) for row in self.join],
+            "bottom": self.bottom,
+            "top": self.top,
+            "cl1": list(self.cl1),
+            "cl2": list(self.cl2),
+            "element": self.element,
+            "safety": self.safety,
+            "liveness": self.liveness,
+            "complement": self.complement,
+            "modularity_instances": [list(t) for t in self.modularity_instances],
+            "obligations": list(self.obligations),
+            "elements": list(self.elements),
+            "subject": self.subject,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedLatticePayload":
+        _require(isinstance(data, dict), "lattice payload must be an object")
+        return cls(
+            n=_int_field(data, "n"),
+            meet=tuple(
+                tuple(_int_items(data["meet"], i))
+                for i in range(len(_list_field(data, "meet")))
+            ),
+            join=tuple(
+                tuple(_int_items(data["join"], i))
+                for i in range(len(_list_field(data, "join")))
+            ),
+            bottom=_int_field(data, "bottom"),
+            top=_int_field(data, "top"),
+            cl1=tuple(_int_items(data, "cl1")),
+            cl2=tuple(_int_items(data, "cl2")),
+            element=_int_field(data, "element"),
+            safety=_int_field(data, "safety"),
+            liveness=_int_field(data, "liveness"),
+            complement=_int_field(data, "complement"),
+            modularity_instances=tuple(
+                (_as_int(row, 0), _as_int(row, 1), _as_int(row, 2))
+                for row in _list_field(data, "modularity_instances")
+            ),
+            obligations=tuple(_str_list(data, "obligations")),
+            elements=tuple(_str_list(data, "elements")),
+            subject=_str_field(data, "subject"),
+        )
+
+    def validate(self) -> None:
+        n = self.n
+        _require(n >= 1, "lattice must be non-empty")
+        for table in (self.meet, self.join):
+            _require(len(table) == n, "operation table must have n rows")
+            for row in table:
+                _require(len(row) == n, "operation table row must have n entries")
+                for value in row:
+                    _require(0 <= value < n, "operation table entry out of range")
+        for table in (self.cl1, self.cl2):
+            _require(len(table) == n, "closure table must have n entries")
+            for value in table:
+                _require(0 <= value < n, "closure table entry out of range")
+        for index in (self.bottom, self.top, self.element, self.safety,
+                      self.liveness, self.complement):
+            _require(0 <= index < n, "element index out of range")
+        for x, y, z in self.modularity_instances:
+            for index in (x, y, z):
+                _require(0 <= index < n, "modularity instance index out of range")
+        if self.elements:
+            _require(len(self.elements) == n, "element names must cover 0..n-1")
+
+
+# -- Rabin payloads -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SerializedRabinAutomaton:
+    """A Rabin tree automaton over small-int states.
+
+    ``transitions`` rows are ``(state, symbol, moves)`` where each move
+    is a branching-length tuple of successor states; ``pairs`` are
+    ``(green, red)`` index tuples.
+    """
+
+    n_states: int
+    alphabet: tuple
+    initial: int
+    branching: int
+    transitions: tuple  # tuple[(q, a, tuple[tuple[int, ...], ...]), ...]
+    pairs: tuple  # tuple[(tuple[int, ...], tuple[int, ...]), ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "n_states": self.n_states,
+            "alphabet": list(self.alphabet),
+            "initial": self.initial,
+            "branching": self.branching,
+            "transitions": [
+                [q, a, [list(move) for move in moves]]
+                for q, a, moves in self.transitions
+            ],
+            "pairs": [[list(green), list(red)] for green, red in self.pairs],
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedRabinAutomaton":
+        _require(isinstance(data, dict), "rabin automaton must be an object")
+        transitions = []
+        for row in _list_field(data, "transitions"):
+            _require(
+                isinstance(row, list) and len(row) == 3
+                and isinstance(row[2], list),
+                "bad transition row",
+            )
+            moves = tuple(tuple(_int_items(row[2], i)) for i in range(len(row[2])))
+            transitions.append((_as_int(row, 0), _as_int(row, 1), moves))
+        pairs = []
+        for row in _list_field(data, "pairs"):
+            _require(isinstance(row, list) and len(row) == 2, "bad pair row")
+            pairs.append((tuple(_int_items(row, 0)), tuple(_int_items(row, 1))))
+        return cls(
+            n_states=_int_field(data, "n_states"),
+            alphabet=tuple(_str_list(data, "alphabet")),
+            initial=_int_field(data, "initial"),
+            branching=_int_field(data, "branching"),
+            transitions=tuple(transitions),
+            pairs=tuple(pairs),
+        )
+
+    def validate(self) -> None:
+        _require(self.n_states >= 1, "rabin automaton needs a state")
+        _require(len(self.alphabet) >= 1, "rabin automaton needs a symbol")
+        _require(
+            len(set(self.alphabet)) == len(self.alphabet),
+            "alphabet tokens must be distinct",
+        )
+        _require(0 <= self.initial < self.n_states, "initial state out of range")
+        _require(self.branching >= 1, "branching must be >= 1")
+        seen = set()
+        for q, a, moves in self.transitions:
+            _require(0 <= q < self.n_states, "transition source out of range")
+            _require(0 <= a < len(self.alphabet), "transition symbol out of range")
+            _require((q, a) not in seen, "duplicate transition row")
+            seen.add((q, a))
+            _require(len(moves) >= 1, "empty move set must be omitted")
+            for move in moves:
+                _require(len(move) == self.branching, "move arity mismatch")
+                for target in move:
+                    _require(0 <= target < self.n_states, "move target out of range")
+        for green, red in self.pairs:
+            for state in green + red:
+                _require(0 <= state < self.n_states, "pair state out of range")
+
+
+@dataclass(frozen=True)
+class SerializedTree:
+    """A regular tree: per-vertex label tokens and successor tuples."""
+
+    n_vertices: int
+    labels: tuple  # tuple[str, ...]
+    successors: tuple  # tuple[tuple[int, ...], ...]
+    root: int
+
+    def to_dict(self) -> dict:
+        return {
+            "n_vertices": self.n_vertices,
+            "labels": list(self.labels),
+            "successors": [list(row) for row in self.successors],
+            "root": self.root,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedTree":
+        _require(isinstance(data, dict), "tree must be an object")
+        return cls(
+            n_vertices=_int_field(data, "n_vertices"),
+            labels=tuple(_str_list(data, "labels")),
+            successors=tuple(
+                tuple(_int_items(data["successors"], i))
+                for i in range(len(_list_field(data, "successors")))
+            ),
+            root=_int_field(data, "root"),
+        )
+
+    def validate(self, branching: int) -> None:
+        _require(self.n_vertices >= 1, "tree needs a vertex")
+        _require(len(self.labels) == self.n_vertices, "one label per vertex")
+        _require(len(self.successors) == self.n_vertices, "successors per vertex")
+        _require(0 <= self.root < self.n_vertices, "tree root out of range")
+        for row in self.successors:
+            _require(len(row) == branching, "tree successor arity mismatch")
+            for vertex in row:
+                _require(0 <= vertex < self.n_vertices, "tree successor out of range")
+
+
+@dataclass(frozen=True)
+class RunNode:
+    """One node of a regular run graph: which tree vertex it reads,
+    which automaton state it is in, and its child node ids (one per
+    tree direction)."""
+
+    vertex: int
+    state: int
+    children: tuple  # tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "vertex": self.vertex,
+            "state": self.state,
+            "children": list(self.children),
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "RunNode":
+        _require(isinstance(data, dict), "run node must be an object")
+        return cls(
+            vertex=_int_field(data, "vertex"),
+            state=_int_field(data, "state"),
+            children=tuple(_int_items(data, "children")),
+        )
+
+
+@dataclass(frozen=True)
+class RabinSample:
+    """One sample tree with its membership claims; a positive original
+    claim must come with a run-graph witness (node 0 is the root)."""
+
+    tree: SerializedTree
+    in_original: bool
+    in_safety: bool
+    run: tuple = ()  # tuple[RunNode, ...]; empty iff in_original is False
+
+    def to_dict(self) -> dict:
+        return {
+            "tree": self.tree.to_dict(),
+            "in_original": self.in_original,
+            "in_safety": self.in_safety,
+            "run": [node.to_dict() for node in self.run],
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "RabinSample":
+        _require(isinstance(data, dict), "sample must be an object")
+        return cls(
+            tree=SerializedTree.from_dict(_dict_field(data, "tree")),
+            in_original=_bool_field(data, "in_original"),
+            in_safety=_bool_field(data, "in_safety"),
+            run=tuple(RunNode.from_dict(n) for n in _list_field(data, "run")),
+        )
+
+
+@dataclass(frozen=True)
+class SerializedRabinPayload:
+    """The Theorem-9 certificate body.
+
+    ``safety_map[i]`` is the original-state index that safety state
+    ``i`` came from (``rfcl`` keeps a subset of the states).  Rabin
+    complementation is non-elementary, so the identity obligations are
+    *sample-extensional*: exact per-sample replays rather than a
+    language-level proof (DESIGN.md §10 spells out the difference).
+    """
+
+    original: SerializedRabinAutomaton
+    safety: SerializedRabinAutomaton
+    safety_map: tuple  # tuple[int, ...], length n_states(safety)
+    samples: tuple  # tuple[RabinSample, ...]
+    obligations: tuple
+    subject: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "original": self.original.to_dict(),
+            "safety": self.safety.to_dict(),
+            "safety_map": list(self.safety_map),
+            "samples": [s.to_dict() for s in self.samples],
+            "obligations": list(self.obligations),
+            "subject": self.subject,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "SerializedRabinPayload":
+        _require(isinstance(data, dict), "rabin payload must be an object")
+        return cls(
+            original=SerializedRabinAutomaton.from_dict(
+                _dict_field(data, "original")
+            ),
+            safety=SerializedRabinAutomaton.from_dict(_dict_field(data, "safety")),
+            safety_map=tuple(_int_items(data, "safety_map")),
+            samples=tuple(
+                RabinSample.from_dict(s) for s in _list_field(data, "samples")
+            ),
+            obligations=tuple(_str_list(data, "obligations")),
+            subject=_str_field(data, "subject"),
+        )
+
+    def validate(self) -> None:
+        self.original.validate()
+        self.safety.validate()
+        _require(
+            self.original.alphabet == self.safety.alphabet,
+            "original and safety automata must share one alphabet",
+        )
+        _require(
+            self.original.branching == self.safety.branching,
+            "original and safety automata must share one branching degree",
+        )
+        _require(
+            len(self.safety_map) == self.safety.n_states,
+            "safety_map must cover every safety state",
+        )
+        _require(
+            len(set(self.safety_map)) == len(self.safety_map),
+            "safety_map must be injective",
+        )
+        for state in self.safety_map:
+            _require(
+                0 <= state < self.original.n_states,
+                "safety_map target out of range",
+            )
+        _require(len(self.samples) >= 1, "at least one sample is required")
+        for sample in self.samples:
+            sample.tree.validate(self.original.branching)
+            _require(
+                set(sample.tree.labels) <= set(self.original.alphabet),
+                "sample tree label outside the alphabet",
+            )
+            for node in sample.run:
+                _require(
+                    0 <= node.vertex < sample.tree.n_vertices,
+                    "run node vertex out of range",
+                )
+                _require(
+                    0 <= node.state < self.original.n_states,
+                    "run node state out of range",
+                )
+                _require(
+                    len(node.children) == self.original.branching,
+                    "run node arity mismatch",
+                )
+                for child in node.children:
+                    _require(
+                        0 <= child < len(sample.run),
+                        "run node child out of range",
+                    )
+
+
+_PAYLOAD_TYPES = MappingProxyType({
+    "buchi": SerializedBuchiPayload,
+    "ltl": SerializedBuchiPayload,
+    "lattice": SerializedLatticePayload,
+    "rabin": SerializedRabinPayload,
+})
+
+
+# -- the envelope ----------------------------------------------------------------
+
+
+def payload_digest(version: int, domain: str, payload_dict: dict) -> str:
+    """SHA-256 over the canonical JSON of ``version : domain : payload``."""
+    canonical = json.dumps(
+        payload_dict, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    material = f"{version}:{domain}:{canonical}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The envelope: versioned, domain-tagged, digest-sealed payload."""
+
+    version: int
+    domain: str
+    payload: object
+    digest: str = field(default="", compare=False)
+
+    @classmethod
+    def seal(cls, domain: str, payload) -> "Certificate":
+        """Build an envelope with a freshly computed digest."""
+        return cls(
+            version=CERT_VERSION,
+            domain=domain,
+            payload=payload,
+            digest=payload_digest(CERT_VERSION, domain, payload.to_dict()),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "domain": self.domain,
+            "payload": self.payload.to_dict(),
+            "digest": self.digest,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            ensure_ascii=True,
+        )
+
+    @classmethod
+    def from_dict(cls, data) -> "Certificate":
+        _require(isinstance(data, dict), "certificate must be a JSON object")
+        version = _int_field(data, "version")
+        domain = _str_field(data, "domain")
+        payload_type = _PAYLOAD_TYPES.get(domain)
+        _require(payload_type is not None, f"unknown certificate domain {domain!r}")
+        payload = payload_type.from_dict(_dict_field(data, "payload"))
+        return cls(
+            version=version,
+            domain=domain,
+            payload=payload,
+            digest=_str_field(data, "digest"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Certificate":
+        try:
+            data = json.loads(text)
+        except (ValueError, TypeError) as exc:
+            raise CertificateError(f"unparsable certificate JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @property
+    def obligations(self) -> tuple:
+        return getattr(self.payload, "obligations", ())
+
+    def summary(self) -> str:
+        """A short human-readable description for logs and examples."""
+        subject = getattr(self.payload, "subject", "") or "<unnamed>"
+        lines = [
+            f"certificate v{self.version} [{self.domain}] for {subject}",
+            f"  digest      : {self.digest[:16]}…",
+            f"  obligations : {', '.join(self.obligations)}",
+        ]
+        witnesses = getattr(self.payload, "witnesses", None)
+        if witnesses is not None:
+            lines.append(f"  witnesses   : {len(witnesses)} lasso word(s)")
+        samples = getattr(self.payload, "samples", None)
+        if samples is not None:
+            lines.append(f"  samples     : {len(samples)} regular tree(s)")
+        instances = getattr(self.payload, "modularity_instances", None)
+        if instances is not None:
+            lines.append(f"  modularity  : {len(instances)} instance(s) replayed")
+        return "\n".join(lines)
+
+
+def validate_certificate(certificate: Certificate) -> None:
+    """Structural validation: versions, digest, index ranges, and the
+    exact obligation set.  Raises :class:`CertificateError`; semantic
+    replay lives in :mod:`repro.certs.verify`."""
+    _require(isinstance(certificate, Certificate), "not a Certificate")
+    _require(
+        certificate.version == CERT_VERSION,
+        f"unsupported certificate version {certificate.version!r}",
+    )
+    required = REQUIRED_OBLIGATIONS.get(certificate.domain)
+    _require(
+        required is not None,
+        f"unknown certificate domain {certificate.domain!r}",
+    )
+    expected_type = _PAYLOAD_TYPES[certificate.domain]
+    _require(
+        isinstance(certificate.payload, expected_type),
+        f"{certificate.domain} certificate carries a "
+        f"{type(certificate.payload).__name__} payload",
+    )
+    expected = payload_digest(
+        certificate.version, certificate.domain, certificate.payload.to_dict()
+    )
+    _require(certificate.digest == expected, "payload digest mismatch")
+    _require(
+        tuple(sorted(certificate.obligations)) == tuple(sorted(required)),
+        "obligation list does not match the required set "
+        f"for domain {certificate.domain!r}",
+    )
+    certificate.payload.validate()
+
+
+# -- strict field readers --------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CertificateError(message)
+
+
+def _int_field(data: dict, key: str) -> int:
+    value = data.get(key)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"field {key!r} must be an integer")
+    return value
+
+
+def _bool_field(data: dict, key: str) -> bool:
+    value = data.get(key)
+    _require(isinstance(value, bool), f"field {key!r} must be a boolean")
+    return value
+
+
+def _str_field(data: dict, key: str) -> str:
+    value = data.get(key)
+    _require(isinstance(value, str), f"field {key!r} must be a string")
+    return value
+
+
+def _dict_field(data: dict, key: str) -> dict:
+    value = data.get(key)
+    _require(isinstance(value, dict), f"field {key!r} must be an object")
+    return value
+
+
+def _list_field(data: dict, key: str) -> list:
+    value = data.get(key)
+    _require(isinstance(value, list), f"field {key!r} must be an array")
+    return value
+
+
+def _str_list(data: dict, key: str) -> list:
+    value = _list_field(data, key)
+    _require(
+        all(isinstance(item, str) for item in value),
+        f"field {key!r} must hold strings",
+    )
+    return value
+
+
+def _int_items(container, key) -> list:
+    if isinstance(container, dict):
+        value = container.get(key)
+    else:
+        _require(isinstance(container, list), "expected an array")
+        _require(
+            isinstance(key, int) and 0 <= key < len(container),
+            "missing array element",
+        )
+        value = container[key]
+    _require(isinstance(value, list), "expected an integer array")
+    _require(
+        all(isinstance(i, int) and not isinstance(i, bool) for i in value),
+        "expected integers",
+    )
+    return value
+
+
+def _as_int(row, index: int) -> int:
+    _require(isinstance(row, list) and len(row) > index, "truncated row")
+    value = row[index]
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             "expected an integer")
+    return value

@@ -1,0 +1,81 @@
+"""The independent certificate verifier.
+
+This package is the trusted base of :mod:`repro.certs`: it imports only
+the standard library and :mod:`repro.certs.model`, never the analysis
+layers whose results it checks (checks rule RC008 enforces exactly
+that).  :func:`verify` takes a :class:`~repro.certs.model.Certificate`,
+validates its structure and digest, then replays every obligation with
+the naive semantics in the sibling modules.
+
+Verification never raises on a bad certificate — it returns a
+:class:`VerificationResult` whose ``reason`` names the first obligation
+that failed to replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from ..model import (
+    REQUIRED_OBLIGATIONS,
+    Certificate,
+    CertificateError,
+    validate_certificate,
+)
+from .buchi import replay_buchi
+from .lattice import replay_lattice
+from .rabin import replay_rabin
+
+__all__ = ["VerificationResult", "verify", "verify_json"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one verification run."""
+
+    ok: bool
+    domain: str
+    checked: tuple  # obligation names that were replayed
+    reason: str = ""  # empty on success, first failure otherwise
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+_REPLAYERS = MappingProxyType({
+    "buchi": replay_buchi,
+    "ltl": replay_buchi,
+    "lattice": replay_lattice,
+    "rabin": replay_rabin,
+})
+
+
+def verify(certificate: Certificate) -> VerificationResult:
+    """Structurally validate, then replay every obligation."""
+    domain = getattr(certificate, "domain", "?")
+    try:
+        validate_certificate(certificate)
+    except CertificateError as error:
+        return VerificationResult(
+            ok=False, domain=str(domain), checked=(), reason=f"structure: {error}"
+        )
+    replay = _REPLAYERS[certificate.domain]
+    reason = replay(certificate.payload)
+    checked = REQUIRED_OBLIGATIONS[certificate.domain]
+    if reason is not None:
+        return VerificationResult(
+            ok=False, domain=certificate.domain, checked=checked, reason=reason
+        )
+    return VerificationResult(ok=True, domain=certificate.domain, checked=checked)
+
+
+def verify_json(text: str) -> VerificationResult:
+    """Verify a certificate given as its JSON wire form."""
+    try:
+        certificate = Certificate.from_json(text)
+    except CertificateError as error:
+        return VerificationResult(
+            ok=False, domain="?", checked=(), reason=f"structure: {error}"
+        )
+    return verify(certificate)

@@ -1,0 +1,161 @@
+"""Obligation replay for Büchi/LTL certificates.
+
+The certificate claims ``B = B_S ∩ B_L`` with ``B_S = lcl(B)`` and
+``B_L`` dense.  The replay never trusts the issuer's constructions:
+
+* ``closure-replay`` recomputes ``cl(B)`` naively and proves it
+  language-equal to the certificate's ``B_S`` (two safety inclusions
+  via subset-construction complements);
+* ``safety-inclusion`` proves ``L(B) ⊆ L(B_S)`` directly;
+* ``union-structure`` checks that ``B_L`` really is a disjoint union
+  ``B ⊔ D`` under a fresh initial state, using the certificate's
+  embedding as the isomorphism witness — this gives
+  ``L(B_L) = L(B) ∪ L(D)`` structurally;
+* ``disjointness`` proves ``L(B_S) ∩ L(D) = ∅``, which together with
+  the two inclusions closes the identity ``L(B) = L(B_S) ∩ L(B_L)``;
+* ``density`` recomputes ``cl(B_L)`` and proves its complement empty
+  (``lcl(L(B_L)) = Σ^ω``);
+* ``witnesses`` replays every recorded lasso membership bit in all
+  three automata.
+"""
+
+from __future__ import annotations
+
+from ..model import SerializedBuchiPayload
+from .common import (
+    Naut,
+    accepts_lasso,
+    from_serialized,
+    is_empty,
+    language_equal_safety,
+    naive_closure,
+    product,
+    subset_complement,
+    trim,
+)
+
+__all__ = ["replay_buchi"]
+
+
+def replay_buchi(payload: SerializedBuchiPayload) -> str | None:
+    """Replay every obligation; return ``None`` on success or a short
+    rejection reason naming the first obligation that failed."""
+    original = from_serialized(payload.original)
+    safety = from_serialized(payload.safety)
+    liveness = from_serialized(payload.liveness)
+
+    # closure-replay: L(B_S) = lcl(L(B)), both sides reduced to trimmed
+    # all-accepting form first (anything else is not a safety automaton).
+    closed = naive_closure(original)
+    trimmed_safety = trim(safety)
+    if trimmed_safety is not None and trimmed_safety.accepting != trimmed_safety.states:
+        return "closure-replay: safety part is not a safety automaton"
+    if not language_equal_safety(closed, trimmed_safety):
+        return "closure-replay: safety part differs from the recomputed closure"
+
+    # safety-inclusion: L(B) ⊆ L(B_S).
+    if not is_empty(original):
+        if trimmed_safety is None:
+            return "safety-inclusion: original non-empty but safety part empty"
+        if not is_empty(product(original, subset_complement(trimmed_safety))):
+            return "safety-inclusion: found a word of B outside B_S"
+
+    # union-structure: B_L = B ⊔ D under a fresh initial.
+    problem = _check_union_structure(payload, original, liveness)
+    if problem is not None:
+        return f"union-structure: {problem}"
+    complement_branch = _right_branch(payload, liveness)
+
+    # disjointness: L(B_S) ∩ L(D) = ∅.
+    if trimmed_safety is not None and not is_empty(complement_branch):
+        if not is_empty(product(trimmed_safety, complement_branch)):
+            return "disjointness: safety part meets the complement branch"
+
+    # density: lcl(L(B_L)) = Σ^ω.
+    closed_liveness = naive_closure(liveness)
+    if closed_liveness is None:
+        return "density: liveness part has empty language"
+    if not is_empty(subset_complement(closed_liveness)):
+        return "density: closure of the liveness part misses some word"
+
+    # witnesses: recorded membership bits replay exactly, and a
+    # non-empty original language must come with a member witness.
+    for witness in payload.witnesses:
+        bits = (
+            accepts_lasso(original, witness.prefix, witness.cycle),
+            accepts_lasso(safety, witness.prefix, witness.cycle),
+            accepts_lasso(liveness, witness.prefix, witness.cycle),
+        )
+        if bits != (witness.in_original, witness.in_safety, witness.in_liveness):
+            return "witnesses: recorded membership bits do not replay"
+        if witness.in_original != (witness.in_safety and witness.in_liveness):
+            return "witnesses: identity fails on a recorded lasso"
+    if not is_empty(original) and not any(
+        w.in_original for w in payload.witnesses
+    ):
+        return "witnesses: non-empty original language but no member witness"
+    return None
+
+
+def _check_union_structure(
+    payload: SerializedBuchiPayload, original: Naut, liveness: Naut
+) -> str | None:
+    """``B_L`` decomposes as embedded-``B`` ⊔ right block, glued under a
+    fresh initial state with no incoming edges."""
+    embedding = payload.embedding
+    left = frozenset(embedding)
+    right = frozenset(payload.right_block)
+    fresh = liveness.initial
+    if fresh in left or fresh in right:
+        return "fresh initial state must sit outside both blocks"
+    if left | right | {fresh} != liveness.states:
+        return "blocks plus the fresh initial must cover the liveness states"
+    for (state, symbol), targets in liveness.transitions.items():
+        if fresh in targets:
+            return "fresh initial state has an incoming edge"
+        if state in right and not targets <= right:
+            return "right block is not transition-closed"
+    # the embedding is a transition- and acceptance-isomorphism of B
+    # onto the left block
+    for q in original.states:
+        image = embedding[q]
+        if (image in liveness.accepting) != (q in original.accepting):
+            return "embedding does not preserve acceptance"
+        for symbol in range(original.n_symbols):
+            expected = frozenset(
+                embedding[target] for target in original.successors(q, symbol)
+            )
+            if liveness.successors(image, symbol) != expected:
+                return "embedding does not preserve transitions"
+    # the fresh initial simulates B's initial on the left block exactly
+    for symbol in range(original.n_symbols):
+        expected = frozenset(
+            embedding[target]
+            for target in original.successors(original.initial, symbol)
+        )
+        if liveness.successors(fresh, symbol) & left != expected:
+            return "fresh initial does not simulate the original initial"
+    return None
+
+
+def _right_branch(payload: SerializedBuchiPayload, liveness: Naut) -> Naut:
+    """``D``: the right block plus the fresh initial restricted to it —
+    by union-structure, ``L(B_L) = L(B) ∪ L(D)``."""
+    right = frozenset(payload.right_block)
+    fresh = liveness.initial
+    states = right | {fresh}
+    transitions = {}
+    for (state, symbol), targets in liveness.transitions.items():
+        if state in right:
+            transitions[state, symbol] = targets
+        elif state == fresh:
+            kept = targets & right
+            if kept:
+                transitions[state, symbol] = kept
+    return Naut(
+        n_symbols=liveness.n_symbols,
+        states=states,
+        initial=fresh,
+        transitions=transitions,
+        accepting=liveness.accepting & right,
+    )

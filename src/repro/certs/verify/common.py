@@ -1,0 +1,338 @@
+"""Naive automaton semantics for the certificate verifier.
+
+Everything here is deliberately re-implemented from scratch over plain
+hashable states — dict-of-frozenset transition maps, BFS reachability,
+an iterative Kosaraju SCC pass, subset-construction complementation of
+safety automata, a two-phase Büchi product, and lasso membership by
+cycle search.  None of it touches :mod:`repro.automata` (or any other
+``repro`` package): the point of the verifier is that a bug in the
+dense kernel cannot certify itself, so the replay layer must share no
+code with the layer being checked (checks rule RC008 enforces the
+import boundary).
+
+The algorithms favor obviousness over speed; certificates are small by
+construction and the verifier is the trusted base of the whole
+subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import SerializedAutomaton
+
+__all__ = [
+    "Naut",
+    "accepts_lasso",
+    "from_serialized",
+    "is_empty",
+    "language_equal_safety",
+    "live_states",
+    "naive_closure",
+    "product",
+    "reachable_states",
+    "strongly_connected_components",
+    "subset_complement",
+    "trim",
+]
+
+
+@dataclass(frozen=True)
+class Naut:
+    """A naive Büchi automaton: hashable states, indexed symbols."""
+
+    n_symbols: int
+    states: frozenset
+    initial: object
+    transitions: dict  # (state, symbol index) -> frozenset of states
+    accepting: frozenset
+
+    def successors(self, state, symbol: int) -> frozenset:
+        return self.transitions.get((state, symbol), frozenset())
+
+
+def from_serialized(automaton: SerializedAutomaton) -> Naut:
+    """The naive form of a serialized automaton (states = ints)."""
+    transitions = {
+        (q, a): frozenset(targets)
+        for q, a, targets in automaton.transitions
+    }
+    return Naut(
+        n_symbols=len(automaton.alphabet),
+        states=frozenset(range(automaton.n_states)),
+        initial=automaton.initial,
+        transitions=transitions,
+        accepting=frozenset(automaton.accepting),
+    )
+
+
+def reachable_states(naut: Naut) -> frozenset:
+    """BFS from the initial state over all symbols."""
+    seen = {naut.initial}
+    frontier = [naut.initial]
+    while frontier:
+        state = frontier.pop()
+        for symbol in range(naut.n_symbols):
+            for target in naut.successors(state, symbol):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+    return frozenset(seen)
+
+
+def strongly_connected_components(adjacency: dict) -> list:
+    """Kosaraju's algorithm, fully iterative; ``adjacency`` maps every
+    node to an iterable of successor nodes.  Returns a list of sets."""
+    order = []
+    visited = set()
+    for root in adjacency:
+        if root in visited:
+            continue
+        stack = [(root, iter(adjacency.get(root, ())))]
+        visited.add(root)
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for target in successors:
+                if target not in visited:
+                    visited.add(target)
+                    stack.append((target, iter(adjacency.get(target, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(node)
+    transpose: dict = {node: [] for node in adjacency}
+    for node, successors in adjacency.items():
+        for target in successors:
+            transpose.setdefault(target, []).append(node)
+    assigned = set()
+    components = []
+    for node in reversed(order):
+        if node in assigned:
+            continue
+        component = {node}
+        assigned.add(node)
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for target in transpose.get(current, ()):
+                if target not in assigned:
+                    assigned.add(target)
+                    component.add(target)
+                    frontier.append(target)
+        components.append(component)
+    return components
+
+
+def _adjacency(naut: Naut) -> dict:
+    adjacency: dict = {state: set() for state in naut.states}
+    for (state, _symbol), targets in naut.transitions.items():
+        adjacency[state].update(targets)
+    return adjacency
+
+
+def _cyclic_components(adjacency: dict) -> list:
+    """The nontrivial SCCs: size > 1, or a single node with a self-loop."""
+    return [
+        component
+        for component in strongly_connected_components(adjacency)
+        if len(component) > 1
+        or next(iter(component)) in adjacency.get(next(iter(component)), ())
+    ]
+
+
+def live_states(naut: Naut) -> frozenset:
+    """States that can reach an accepting state lying on a cycle — the
+    states with non-empty language."""
+    adjacency = _adjacency(naut)
+    anchors = set()
+    for component in _cyclic_components(adjacency):
+        anchors.update(component & naut.accepting)
+    # backward closure over the transpose graph
+    transpose: dict = {state: set() for state in naut.states}
+    for state, targets in adjacency.items():
+        for target in targets:
+            transpose[target].add(state)
+    live = set(anchors)
+    frontier = list(anchors)
+    while frontier:
+        state = frontier.pop()
+        for source in transpose[state]:
+            if source not in live:
+                live.add(source)
+                frontier.append(source)
+    return frozenset(live)
+
+
+def trim(naut: Naut):
+    """Restrict to reachable states with non-empty language, or ``None``
+    when the language is empty (the initial state is useless)."""
+    keep = reachable_states(naut) & live_states(naut)
+    if naut.initial not in keep:
+        return None
+    transitions = {}
+    for (state, symbol), targets in naut.transitions.items():
+        if state not in keep:
+            continue
+        kept = targets & keep
+        if kept:
+            transitions[state, symbol] = kept
+    return Naut(
+        n_symbols=naut.n_symbols,
+        states=frozenset(keep),
+        initial=naut.initial,
+        transitions=transitions,
+        accepting=naut.accepting & keep,
+    )
+
+
+def is_empty(naut) -> bool:
+    """``L = ∅``?  Accepts ``None`` (the canonical empty automaton)."""
+    if naut is None:
+        return True
+    return naut.initial not in live_states(naut)
+
+
+def naive_closure(naut: Naut):
+    """``cl(B)``: trim, then make every state accepting.  Returns
+    ``None`` for the empty language (``lcl.∅ = ∅`` here)."""
+    trimmed = trim(naut)
+    if trimmed is None:
+        return None
+    return Naut(
+        n_symbols=trimmed.n_symbols,
+        states=trimmed.states,
+        initial=trimmed.initial,
+        transitions=trimmed.transitions,
+        accepting=trimmed.states,
+    )
+
+
+def subset_complement(naut: Naut) -> Naut:
+    """Complement of a *safety* automaton (every state accepting) by
+    subset construction: the complement accepts exactly the words whose
+    subset run dies (reaches the empty set, an accepting sink)."""
+    if naut.accepting != naut.states:
+        raise ValueError("subset_complement needs an all-accepting automaton")
+    dead = frozenset()
+    initial = frozenset({naut.initial})
+    transitions: dict = {}
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        subset = frontier.pop()
+        for symbol in range(naut.n_symbols):
+            target = frozenset(
+                t for state in subset for t in naut.successors(state, symbol)
+            )
+            transitions[subset, symbol] = frozenset({target})
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    if dead not in seen:
+        seen.add(dead)
+        for symbol in range(naut.n_symbols):
+            transitions[dead, symbol] = frozenset({dead})
+    return Naut(
+        n_symbols=naut.n_symbols,
+        states=frozenset(seen),
+        initial=initial,
+        transitions=transitions,
+        accepting=frozenset({dead}),
+    )
+
+
+def product(left: Naut, right: Naut) -> Naut:
+    """``L(left) ∩ L(right)`` by the standard two-phase construction;
+    states are ``(p, q, phase)`` and acceptance marks the 1→0 flips."""
+    if left.n_symbols != right.n_symbols:
+        raise ValueError("product needs automata over one alphabet")
+
+    def next_phase(phase: int, p, q) -> int:
+        if phase == 0 and p in left.accepting:
+            return 1
+        if phase == 1 and q in right.accepting:
+            return 0
+        return phase
+
+    initial = (left.initial, right.initial, 0)
+    states = {initial}
+    transitions: dict = {}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        p, q, phase = state
+        for symbol in range(left.n_symbols):
+            targets = set()
+            for np in left.successors(p, symbol):
+                for nq in right.successors(q, symbol):
+                    targets.add((np, nq, next_phase(phase, p, q)))
+            if not targets:
+                continue
+            transitions[state, symbol] = frozenset(targets)
+            for target in targets:
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+    accepting = frozenset(
+        (p, q, phase) for (p, q, phase) in states
+        if phase == 1 and q in right.accepting
+    )
+    return Naut(
+        n_symbols=left.n_symbols,
+        states=frozenset(states),
+        initial=initial,
+        transitions=transitions,
+        accepting=accepting,
+    )
+
+
+def _included_in_safety(left, right) -> bool:
+    """``L(left) ⊆ L(right)`` where ``right`` is a trimmed all-accepting
+    safety automaton (or ``None`` for the empty language)."""
+    if is_empty(left):
+        return True
+    if right is None:
+        return False
+    return is_empty(product(left, subset_complement(right)))
+
+
+def language_equal_safety(left, right) -> bool:
+    """Language equality of two safety automata, each either a trimmed
+    all-accepting :class:`Naut` or ``None`` (the empty language)."""
+    if left is None or right is None:
+        return is_empty(left) == is_empty(right)
+    return _included_in_safety(left, right) and _included_in_safety(right, left)
+
+
+def accepts_lasso(naut: Naut, prefix, cycle) -> bool:
+    """Membership of ``prefix · cycle^ω`` (symbol-index sequences) by
+    explicit cycle search on the (position, state) spine graph."""
+    if not cycle:
+        raise ValueError("lasso cycle must be non-empty")
+    spine = tuple(prefix) + tuple(cycle)
+    loop_start = len(prefix)
+
+    def advance(position: int) -> int:
+        return position + 1 if position + 1 < len(spine) else loop_start
+
+    start = (0, naut.initial)
+    adjacency: dict = {}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node in adjacency:
+            continue
+        position, state = node
+        symbol = spine[position]
+        successors = [
+            (advance(position), target)
+            for target in naut.successors(state, symbol)
+        ]
+        adjacency[node] = successors
+        frontier.extend(successors)
+    for component in _cyclic_components(adjacency):
+        if any(state in naut.accepting for (_position, state) in component):
+            return True
+    return False

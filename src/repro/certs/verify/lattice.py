@@ -1,0 +1,100 @@
+"""Obligation replay for lattice certificates (Theorems 2/3).
+
+The payload tabulates the whole lattice, so the replay is pure finite
+mathematics on int tables: first prove the tables actually describe a
+bounded lattice and two lattice closures, then replay the witness chain
+of Theorem 3 — ``safety = cl1.a``, ``liveness = a ∨ b`` for a recorded
+``b ∈ cmp(cl2.a)``, the decomposition identity ``safety ∧ liveness =
+a``, and every modular-law instance the proof leans on.  Nothing from
+:mod:`repro.lattice` is imported; the certificate stands on its own.
+"""
+
+from __future__ import annotations
+
+from ..model import SerializedLatticePayload
+
+__all__ = ["replay_lattice"]
+
+
+def replay_lattice(payload: SerializedLatticePayload) -> str | None:
+    """Replay every obligation; return ``None`` on success or a short
+    rejection reason."""
+    n = payload.n
+    meet = payload.meet
+    join = payload.join
+
+    def leq(x: int, y: int) -> bool:
+        return meet[x][y] == x
+
+    # lattice-laws: idempotent, commutative, associative, absorbing,
+    # correctly bounded.
+    for x in range(n):
+        if meet[x][x] != x or join[x][x] != x:
+            return "lattice-laws: idempotence fails"
+        if meet[payload.bottom][x] != payload.bottom:
+            return "lattice-laws: bottom is not least"
+        if join[payload.top][x] != payload.top:
+            return "lattice-laws: top is not greatest"
+        for y in range(n):
+            if meet[x][y] != meet[y][x] or join[x][y] != join[y][x]:
+                return "lattice-laws: commutativity fails"
+            if meet[x][join[x][y]] != x or join[x][meet[x][y]] != x:
+                return "lattice-laws: absorption fails"
+            for z in range(n):
+                if meet[meet[x][y]][z] != meet[x][meet[y][z]]:
+                    return "lattice-laws: meet associativity fails"
+                if join[join[x][y]][z] != join[x][join[y][z]]:
+                    return "lattice-laws: join associativity fails"
+
+    # closure-axioms: both tables are extensive, idempotent, monotone.
+    for name, table in (("cl1", payload.cl1), ("cl2", payload.cl2)):
+        for x in range(n):
+            if not leq(x, table[x]):
+                return f"closure-axioms: {name} is not extensive"
+            if table[table[x]] != table[x]:
+                return f"closure-axioms: {name} is not idempotent"
+            for y in range(n):
+                if leq(x, y) and not leq(table[x], table[y]):
+                    return f"closure-axioms: {name} is not monotone"
+
+    # comparability: cl1 <= cl2 pointwise.
+    for x in range(n):
+        if not leq(payload.cl1[x], payload.cl2[x]):
+            return "comparability: cl1 exceeds cl2"
+
+    a = payload.element
+    safety = payload.safety
+    liveness = payload.liveness
+    b = payload.complement
+
+    # complement-witness: b ∈ cmp(cl2.a).
+    closed2 = payload.cl2[a]
+    if meet[closed2][b] != payload.bottom or join[closed2][b] != payload.top:
+        return "complement-witness: b is not a complement of cl2(a)"
+
+    # conjuncts: safety = cl1.a (hence cl1-safe) and liveness = a ∨ b
+    # with cl2(liveness) = top (cl2-live, Lemma 4's conclusion).
+    if safety != payload.cl1[a]:
+        return "conjuncts: safety part is not cl1(a)"
+    if payload.cl1[safety] != safety:
+        return "conjuncts: safety part is not cl1-closed"
+    if liveness != join[a][b]:
+        return "conjuncts: liveness part is not a ∨ b"
+    if payload.cl2[liveness] != payload.top:
+        return "conjuncts: liveness part is not cl2-live"
+
+    # identity: safety ∧ liveness = a.
+    if meet[safety][liveness] != a:
+        return "identity: safety ∧ liveness differs from the element"
+
+    # modularity-instances: each (x, y, z) has x ≤ z and satisfies the
+    # modular law, and the instance the Theorem-3 proof uses — x = a,
+    # y = b, z = cl1(a) — must be among them.
+    if (a, b, payload.cl1[a]) not in payload.modularity_instances:
+        return "modularity-instances: the Theorem-3 instance is missing"
+    for x, y, z in payload.modularity_instances:
+        if not leq(x, z):
+            return "modularity-instances: instance violates x ≤ z"
+        if join[x][meet[y][z]] != meet[join[x][y]][z]:
+            return "modularity-instances: modular law fails on an instance"
+    return None

@@ -1,0 +1,209 @@
+"""Obligation replay for Rabin tree-automaton certificates (Theorem 9).
+
+Rabin complementation is non-elementary, so — alone among the four
+domains — the identity obligations here are *sample-extensional*: the
+certificate carries concrete regular trees, and the verifier replays
+the membership claims exactly rather than proving a language-level
+identity (the honest scope is spelled out in DESIGN.md §10).  What *is*
+replayed exactly, with naive semantics:
+
+* ``closure-shape`` — the safety automaton is ``rfcl``-shaped over the
+  original: an injective state map, the initial preserved, transitions
+  exactly the original's restricted to the kept states, and a single
+  trivial acceptance pair ``(Q', ∅)``; or (empty-language case) a
+  verbatim copy of the original under the identity map;
+* ``safety-membership`` — for trivialized safety automata, membership
+  is a safety game (every infinite run accepts, only getting stuck
+  loses), decided exactly by a greatest fixpoint on tree-vertex ×
+  state pairs;
+* ``membership-runs`` — each positive original claim carries a finite
+  run graph, checked for consistency (root, labels, arities, chosen
+  moves) and for acceptance: no reachable cycle may violate every
+  Rabin pair (a Streett-style bad-cycle search over the run's SCCs);
+* ``sample-identity`` — ``in_original ⟹ in_safety`` on every sample,
+  which is exactly the decomposition identity restricted to samples
+  (``liveness = original ∪ ¬safety`` makes the rest tautological).
+"""
+
+from __future__ import annotations
+
+from ..model import RabinSample, SerializedRabinAutomaton, SerializedRabinPayload
+from .common import strongly_connected_components
+
+__all__ = ["replay_rabin"]
+
+
+def replay_rabin(payload: SerializedRabinPayload) -> str | None:
+    """Replay every obligation; return ``None`` on success or a short
+    rejection reason."""
+    trivialized = _is_trivialized(payload.safety)
+    problem = _check_closure_shape(payload, trivialized)
+    if problem is not None:
+        return f"closure-shape: {problem}"
+
+    for sample in payload.samples:
+        if trivialized:
+            member = _safety_member(payload.safety, sample)
+            if member != sample.in_safety:
+                return "safety-membership: safety claim does not replay"
+        elif sample.in_safety != sample.in_original:
+            # verbatim copy: identical automata must get identical claims
+            return "safety-membership: claims differ on identical automata"
+
+        if sample.in_original != bool(sample.run):
+            return "membership-runs: run witness present iff claim is positive"
+        if sample.run:
+            problem = _check_run(payload.original, sample)
+            if problem is not None:
+                return f"membership-runs: {problem}"
+
+        if sample.in_original and not sample.in_safety:
+            return "sample-identity: member of B outside its closure"
+    return None
+
+
+def _is_trivialized(safety: SerializedRabinAutomaton) -> bool:
+    """One pair ``(all states, ∅)`` — the non-empty ``rfcl`` image."""
+    if len(safety.pairs) != 1:
+        return False
+    green, red = safety.pairs[0]
+    return not red and frozenset(green) == frozenset(range(safety.n_states))
+
+
+def _moves_table(automaton: SerializedRabinAutomaton) -> dict:
+    return {(q, a): frozenset(moves) for q, a, moves in automaton.transitions}
+
+
+def _check_closure_shape(
+    payload: SerializedRabinPayload, trivialized: bool
+) -> str | None:
+    original = payload.original
+    safety = payload.safety
+    mapping = payload.safety_map
+    original_moves = _moves_table(original)
+    safety_moves = _moves_table(safety)
+    if not trivialized:
+        # empty-language case: rfcl(B) = B verbatim, identity map.
+        if mapping != tuple(range(original.n_states)):
+            return "copy mode requires the identity state map"
+        if (safety.n_states != original.n_states
+                or safety.initial != original.initial
+                or safety_moves != original_moves
+                or safety.pairs != original.pairs):
+            return "copy mode requires a verbatim copy of the original"
+        return None
+    if mapping[safety.initial] != original.initial:
+        return "safety initial does not map to the original initial"
+    kept = frozenset(mapping)
+    for q in range(safety.n_states):
+        origin = mapping[q]
+        for a in range(len(original.alphabet)):
+            expected = frozenset(
+                move for move in original_moves.get((origin, a), frozenset())
+                if all(target in kept for target in move)
+            )
+            mapped = frozenset(
+                tuple(mapping[target] for target in move)
+                for move in safety_moves.get((q, a), frozenset())
+            )
+            if mapped != expected:
+                return "safety transitions are not the restricted original's"
+    return None
+
+
+def _safety_member(safety: SerializedRabinAutomaton, sample: RabinSample) -> bool:
+    """Membership in a trivial-acceptance automaton: the greatest
+    fixpoint of "some move keeps every child alive" on (vertex, state)
+    pairs — a safety game, decided exactly."""
+    tree = sample.tree
+    moves = _moves_table(safety)
+    token_index = {token: i for i, token in enumerate(safety.alphabet)}
+    alive = {
+        (v, q) for v in range(tree.n_vertices) for q in range(safety.n_states)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for v, q in sorted(alive):
+            symbol = token_index.get(tree.labels[v])
+            options = moves.get((q, symbol), frozenset()) if symbol is not None else frozenset()
+            if not any(
+                all(
+                    (tree.successors[v][i], move[i]) in alive
+                    for i in range(len(move))
+                )
+                for move in options
+            ):
+                alive.discard((v, q))
+                changed = True
+    return (tree.root, safety.initial) in alive
+
+
+def _check_run(
+    original: SerializedRabinAutomaton, sample: RabinSample
+) -> str | None:
+    """Consistency plus acceptance of the run-graph witness."""
+    tree = sample.tree
+    run = sample.run
+    moves = _moves_table(original)
+    token_index = {token: i for i, token in enumerate(original.alphabet)}
+    root = run[0]
+    if root.vertex != tree.root or root.state != original.initial:
+        return "run root does not read the tree root in the initial state"
+    reachable = {0}
+    frontier = [0]
+    while frontier:
+        index = frontier.pop()
+        node = run[index]
+        symbol = token_index[tree.labels[node.vertex]]
+        move = tuple(run[child].state for child in node.children)
+        if move not in moves.get((node.state, symbol), frozenset()):
+            return "run node uses a move outside the transition relation"
+        for direction, child in enumerate(node.children):
+            if run[child].vertex != tree.successors[node.vertex][direction]:
+                return "run child reads the wrong tree vertex"
+            if child not in reachable:
+                reachable.add(child)
+                frontier.append(child)
+    if len(reachable) != len(run):
+        return "run graph contains unreachable nodes"
+    adjacency = {index: list(run[index].children) for index in reachable}
+    if _bad_cycle_exists(adjacency, run, original.pairs):
+        return "run graph contains a rejecting cycle"
+    return None
+
+
+def _bad_cycle_exists(adjacency: dict, run, pairs) -> bool:
+    """A cycle violating every Rabin pair — i.e. for all ``i``, it
+    either avoids ``green_i`` or touches ``red_i``.  Classic Streett-
+    emptiness recursion over SCCs: a pair satisfied at the whole-SCC
+    level might still fail on a sub-cycle avoiding its greens, so
+    remove those greens and recurse."""
+    green_sets = [frozenset(green) for green, _red in pairs]
+    red_sets = [frozenset(red) for _green, red in pairs]
+    pending = [adjacency]
+    while pending:
+        graph = pending.pop()
+        for component in strongly_connected_components(graph):
+            if len(component) == 1:
+                node = next(iter(component))
+                if node not in graph.get(node, ()):
+                    continue
+            states = {run[node].state for node in component}
+            satisfied = [
+                i for i in range(len(pairs))
+                if not states & red_sets[i] and states & green_sets[i]
+            ]
+            if not satisfied:
+                # every pair fails on the cycle through all of C
+                return True
+            removed = frozenset().union(*(green_sets[i] for i in satisfied))
+            survivors = {
+                node for node in component if run[node].state not in removed
+            }
+            if survivors:
+                pending.append({
+                    node: [t for t in graph[node] if t in survivors]
+                    for node in survivors
+                })
+    return False

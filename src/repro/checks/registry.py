@@ -17,6 +17,7 @@ Adding a rule (DESIGN.md, "Static checks", has the worked example):
 from __future__ import annotations
 
 from .rules_api import ApiSurfaceRule
+from .rules_certs import CertVerifierIndependenceRule
 from .rules_imports import ImportHygieneRule
 from .rules_layering import KernelLayeringRule
 from .rules_locks import LockDisciplineRule
@@ -32,6 +33,7 @@ RULE_CLASSES = (
     MutableModuleStateRule,
     DeprecatedShimExportRule,
     KernelLayeringRule,
+    CertVerifierIndependenceRule,
 )
 
 

@@ -1,0 +1,82 @@
+"""RC008 — the certificate verifier shares no code with the provers.
+
+The whole point of :mod:`repro.certs` (DESIGN.md §10) is that a
+certificate is replayed by an *independent* checker: if the verifier
+imported :mod:`repro.automata`, :mod:`repro.buchi`, or any other prover
+machinery, a kernel bug could certify its own wrong answer.  The trusted
+computing base is pinned here statically:
+
+* modules under ``repro/certs/verify/`` may import only the standard
+  library, :mod:`repro.certs.model` (the shared frozen vocabulary), and
+  sibling modules inside ``repro.certs.verify`` itself;
+* :mod:`repro.certs.model` may import only the standard library.
+
+Everything else in ``repro.certs`` (the builder, the fuzz harness, the
+package ``__init__``) runs on the full stack and is out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ModuleFile, Rule
+from .rules_imports import _module_dotted_path, _resolve_relative
+
+#: dotted-path prefixes the verifier side may import from ``repro``.
+_VERIFY_ALLOWED = (
+    ("repro", "certs", "model"),
+    ("repro", "certs", "verify"),
+)
+
+
+class CertVerifierIndependenceRule(Rule):
+    rule_id = "RC008"
+    title = "repro.certs.verify imports only the stdlib and repro.certs.model"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        dotted = tuple(_module_dotted_path(module))
+        if dotted[:3] == ("repro", "certs", "verify"):
+            allowed = _VERIFY_ALLOWED
+            where = "repro.certs.verify"
+        elif dotted[:3] == ("repro", "certs", "model"):
+            allowed = ()
+            where = "repro.certs.model"
+        else:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    findings.extend(self._check_target(
+                        module, where, allowed, alias.name, node.lineno
+                    ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    target = _resolve_relative(module, node)
+                else:
+                    target = node.module
+                if target is not None:
+                    findings.extend(self._check_target(
+                        module, where, allowed, target, node.lineno
+                    ))
+        return findings
+
+    def _check_target(self, module: ModuleFile, where: str, allowed,
+                      target: str, line: int) -> list[Finding]:
+        parts = tuple(target.split("."))
+        if parts[0] != "repro":
+            # RC003 polices stdlib-vs-third-party; this rule draws the
+            # repro-internal trust boundary.
+            return []
+        if any(parts[: len(prefix)] == prefix for prefix in allowed):
+            return []
+        return [self.finding(
+            module,
+            line,
+            f"{where} must stay independent of the prover stack: "
+            f"importing {target!r} would let the code under test "
+            "certify itself (allowed: stdlib"
+            + (" + repro.certs.model" if allowed else "")
+            + ")",
+        )]

@@ -29,8 +29,8 @@ from .core import Finding, ModuleFile, Rule
 #: Packages carrying the paper's mathematics: these must never depend on
 #: the streaming runtime (`repro.rv`).
 CORE_MATH_PACKAGES = frozenset({
-    "analysis", "automata", "buchi", "ctl", "games", "lattice", "ltl",
-    "omega", "rabin", "systems", "trees",
+    "analysis", "automata", "buchi", "certs", "ctl", "games", "lattice",
+    "ltl", "omega", "rabin", "systems", "trees",
 })
 
 #: The universal leaf package: imported by everything, imports nothing

@@ -26,9 +26,9 @@ import re
 from .core import Finding, ModuleFile, Rule
 
 KNOWN_PACKAGES = frozenset({
-    "analysis", "buchi", "canonical", "checks", "ctl", "enforcement", "games",
-    "lattice", "ltl", "obs", "omega", "rabin", "rv", "service", "systems",
-    "trees",
+    "analysis", "buchi", "canonical", "certs", "checks", "ctl", "enforcement",
+    "games", "lattice", "ltl", "obs", "omega", "rabin", "rv", "service",
+    "systems", "trees",
 })
 
 KNOWN_UNITS = frozenset({"total", "seconds", "bytes", "ratio", "count", "info"})

@@ -19,7 +19,7 @@ sampled verification loops inherit the dense LAR numbering.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.trees.regular import RegularTree
 
@@ -37,6 +37,10 @@ class RabinDecomposition:
     original: RabinTreeAutomaton
     safety: RabinTreeAutomaton
     liveness: TreeLanguage
+    #: Optional :class:`repro.certs.Certificate` attached by
+    #: ``repro.analysis.decompose(..., certify=True)``; excluded from
+    #: equality so certified and plain results compare as the same answer.
+    certificate: object = field(default=None, compare=False, repr=False)
 
     def verify(self, witness) -> bool:
         """The shared verifier spelling of the unified decomposition

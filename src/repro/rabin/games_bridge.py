@@ -112,6 +112,85 @@ def accepts_tree(automaton: RabinTreeAutomaton, tree: RegularTree) -> bool:
     return solve(parity).winning[start] == 0
 
 
+def membership_run(
+    automaton: RabinTreeAutomaton, tree: RegularTree
+) -> tuple | None:
+    """A finite run-graph witness for ``tree ∈ L(B)``, or ``None``.
+
+    Player 0's positional strategy in the membership parity game is
+    finite-memory on the (tree vertex × state) arena; its reachable
+    subgraph *is* a regular accepting run.  Returned as a tuple of
+    ``(tree_vertex, state, child_ids)`` triples — node 0 is the root,
+    ``child_ids[i]`` the run node reading direction ``i`` — the shape
+    :mod:`repro.certs` serializes as its ``membership-runs`` witness.
+    """
+    if tree.branching != automaton.branching:
+        raise ValueError(
+            f"tree branching {tree.branching} != automaton branching "
+            f"{automaton.branching}"
+        )
+    vertices = Interner()
+    colors = Interner()
+    dead = vertices.intern(_DEAD)
+    owner: dict = {dead: 0}
+    color: dict = {dead: colors.intern("⊥")}
+    edges: dict = {dead: [dead]}
+    for v in tree.reachable_vertices():
+        for q in automaton.states:
+            node = vertices.intern(("s", v, q))
+            owner[node] = 0
+            color[node] = colors.intern(_signature(automaton, q))
+            label = tree.label_of_vertex(v)
+            moves = (
+                automaton.moves(q, label)
+                if label in automaton.alphabet
+                else frozenset()
+            )
+            if not moves:
+                edges[node] = [dead]
+                continue
+            targets = []
+            for t in sorted(moves):
+                choice = vertices.intern(("c", v, q, t))
+                owner[choice] = 1
+                color[choice] = color[node]
+                succ_vertices = tree.successors_of_vertex(v)
+                edges[choice] = [
+                    vertices.intern(("s", succ_vertices[i], t[i]))
+                    for i in range(automaton.branching)
+                ]
+                targets.append(choice)
+            edges[node] = targets
+    game = MullerGame(owner, color, edges, _int_winning_family(automaton, colors))
+    start = vertices.index_of(("s", tree.root, automaton.initial))
+    parity, start = lar_parity_game(game, start)
+    solution = solve(parity)
+    if solution.winning[start] != 0:
+        return None
+    index = {start: 0}
+    nodes: list = [None]
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        (_s, v, q) = vertices.value(node[0])
+        choice = solution.strategy.get(node)
+        if choice is None:
+            choice = next(
+                s for s in parity.successors(node) if solution.winning[s] == 0
+            )
+        child_ids = []
+        # parity successors of the choice vertex are in tree-direction
+        # order because the underlying Muller edges were built that way
+        for child in parity.successors(choice):
+            if child not in index:
+                index[child] = len(nodes)
+                nodes.append(None)
+                frontier.append(child)
+            child_ids.append(index[child])
+        nodes[index[node]] = (v, q, tuple(child_ids))
+    return tuple(nodes)
+
+
 def _emptiness_game(automaton: RabinTreeAutomaton):
     """The emptiness arena (player 0 also chooses the label), plus the
     vertex interner mapping int ids back to the original payloads."""

@@ -81,6 +81,12 @@ class ResultCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
 
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (certificate replay failed on a hit, say);
+        returns whether anything was evicted."""
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -119,7 +119,12 @@ def cache_key(request: Request) -> str | None:
         return None
     if subject_key is None:
         return None
-    return f"{request.kind}:{subject_key}"
+    kind = request.kind
+    if getattr(request, "certify", False):
+        # Certified results carry a sealed proof payload the plain ones
+        # lack; give them their own cache line so the two never alias.
+        kind += "+cert"
+    return f"{kind}:{subject_key}"
 
 
 def compute(request: Request):
@@ -169,4 +174,6 @@ def _facade_decompose(request: Request):
         kwargs["closure"] = request.closure
     if request.alphabet is not None:
         kwargs["alphabet"] = request.alphabet
+    if getattr(request, "certify", False):
+        kwargs["certify"] = True
     return decompose(request.subject, **kwargs)

@@ -47,7 +47,16 @@ class Request:
 @dataclass(frozen=True)
 class DecomposeRequest(Request):
     """Decompose ``subject`` into safety ∧ liveness
-    (:func:`repro.analysis.decompose` dispatch rules)."""
+    (:func:`repro.analysis.decompose` dispatch rules).
+
+    ``certify=True`` asks for a machine-checkable
+    :class:`repro.certs.Certificate` on the result's ``.certificate``
+    attribute; certified and plain answers live on *separate* cache
+    lines (``decompose+cert:`` vs ``decompose:``), so a caller who paid
+    for a certificate never receives a bare cached answer, and vice
+    versa."""
+
+    certify: bool = False
 
 
 @dataclass(frozen=True)

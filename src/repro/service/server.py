@@ -61,7 +61,8 @@ _REJECTED = REGISTRY.counter(
 )
 _CACHE_EVENTS = REGISTRY.counter(
     "repro_service_cache_events_total",
-    "memo-LRU outcomes per computed request (hit/miss/uncacheable)",
+    "memo-LRU outcomes per computed request "
+    "(hit/miss/uncacheable/rejected)",
     ("kind", "event"),
 )
 _TIMEOUTS = REGISTRY.counter(
@@ -153,6 +154,13 @@ class AnalysisService:
     default_timeout:
         Deadline in seconds applied to requests submitted without an
         explicit ``timeout=``; ``None`` means wait forever.
+    verify_on_hit:
+        When true, a cache hit whose value carries a certificate
+        (``DecomposeRequest(certify=True)`` results) is *replayed*
+        through the independent :mod:`repro.certs` verifier before being
+        returned.  A rejected certificate evicts the poisoned line,
+        recomputes fresh, and records a ``rejected`` cache event —
+        "why trust a cached result?" answered with a proof, not a hash.
     """
 
     def __init__(
@@ -163,6 +171,7 @@ class AnalysisService:
         cache: ResultCache | None = None,
         tracer=None,
         default_timeout: float | None = None,
+        verify_on_hit: bool = False,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -171,6 +180,7 @@ class AnalysisService:
         self.cache = cache if cache is not None else ResultCache()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.default_timeout = default_timeout
+        self.verify_on_hit = verify_on_hit
         self._lock = threading.Lock()
         self._pending = 0
         self._closed = False
@@ -261,13 +271,15 @@ class AnalysisService:
                     value, hit = self.cache.get_or_compute(
                         key, lambda: handlers.compute(request)
                     )
+                    event = "hit" if hit else ("miss" if key else "uncacheable")
+                    if hit and self.verify_on_hit:
+                        value, hit, event = self._replay_hit(request, key, value)
                 except ServiceError:
                     raise
                 except BaseException:
                     _REQUESTS.labels(kind=kind, outcome="error").add()
                     span.set(outcome="error")
                     raise
-                event = "hit" if hit else ("miss" if key else "uncacheable")
                 _CACHE_EVENTS.labels(kind=kind, event=event).add()
                 elapsed = time.perf_counter() - submitted_at
                 _LATENCY.labels(kind=kind).record(elapsed)
@@ -284,6 +296,26 @@ class AnalysisService:
             with self._lock:
                 self._pending -= 1
             _QUEUE_DEPTH.sub(1)
+
+    def _replay_hit(self, request: Request, key: str | None, value):
+        """Re-verify a certificate-bearing cache hit before serving it.
+
+        Values without a certificate pass through untouched (there is
+        nothing to replay).  A certificate the independent verifier
+        rejects means the cache line cannot be trusted — evict it,
+        recompute fresh, and re-insert the new value."""
+        certificate = getattr(value, "certificate", None)
+        if certificate is None:
+            return value, True, "hit"
+        from repro.certs import verify_certificate
+
+        if verify_certificate(certificate).ok:
+            return value, True, "hit"
+        self.cache.invalidate(key)
+        value = handlers.compute(request)
+        if key is not None:
+            self.cache.put(key, value)
+        return value, False, "rejected"
 
     # -- queries ------------------------------------------------------------
 

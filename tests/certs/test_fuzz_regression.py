@@ -1,0 +1,35 @@
+"""The fuzz harness as a regression test: with the CI's pinned seed,
+all 500 corruptions must be rejected — the same invocation the workflow
+runs standalone (``python -m repro.certs.fuzz --seed 7 --rounds 500``)."""
+
+from repro.certs.fuzz import corruptions_for, fuzz, random_certificates
+
+
+def test_fuzz_500_rounds_all_rejected():
+    stats = fuzz(seed=7, rounds=500)
+    assert stats["rounds"] == 500
+    assert stats["rejected"] == 500
+    # every mutation family fired at least once over 500 rounds
+    assert set(stats["by_mutation"]) >= {
+        "digest-flip",
+        "domain-swap",
+        "version-bump",
+        "drop-obligation",
+        "witness-bit-flip",
+        "element-shift",
+        "safety-claim-flip",
+    }
+    assert sum(stats["by_mutation"].values()) == 500
+
+
+def test_every_domain_has_domain_specific_mutations():
+    import random
+
+    certificates = random_certificates(random.Random(7))
+    assert sorted(c.domain for c in certificates) == [
+        "buchi", "lattice", "ltl", "rabin",
+    ]
+    for certificate in certificates:
+        labels = [label for label, _ in corruptions_for(certificate)]
+        # the four generic mutations plus at least one domain-specific
+        assert len(labels) > 4

@@ -1,0 +1,92 @@
+"""The certificate model: sealing, digests, JSON round-trips, and the
+structural validation layer."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import decompose
+from repro.buchi.automaton import BuchiAutomaton
+from repro.certs import (
+    CERT_VERSION,
+    Certificate,
+    CertificateError,
+    validate_certificate,
+)
+from repro.certs.model import REQUIRED_OBLIGATIONS, payload_digest
+
+
+def _certified():
+    automaton = BuchiAutomaton(
+        alphabet=frozenset({"a", "b"}),
+        states=frozenset({0, 1}),
+        initial=0,
+        transitions={(0, "a"): frozenset({1}), (1, "b"): frozenset({0}),
+                     (1, "a"): frozenset({1})},
+        accepting=frozenset({1}),
+        name="model_fixture",
+    )
+    return decompose(automaton, certify=True).certificate
+
+
+def test_sealed_certificate_validates():
+    certificate = _certified()
+    assert certificate.version == CERT_VERSION
+    assert certificate.domain == "buchi"
+    validate_certificate(certificate)
+
+
+def test_json_round_trip_preserves_everything():
+    certificate = _certified()
+    back = Certificate.from_json(certificate.to_json())
+    assert back == certificate
+    assert back.digest == certificate.digest
+    assert back.obligations == REQUIRED_OBLIGATIONS["buchi"]
+    validate_certificate(back)
+
+
+def test_digest_covers_the_payload():
+    certificate = _certified()
+    data = certificate.to_dict()
+    assert data["digest"] == payload_digest(
+        data["version"], data["domain"], data["payload"]
+    )
+    # any payload edit invalidates the seal
+    data["payload"]["embedding"] = list(data["payload"]["embedding"])[:-1]
+    tampered = Certificate.from_json(json.dumps(data))
+    with pytest.raises(CertificateError, match="digest"):
+        validate_certificate(tampered)
+
+
+def test_stale_digest_rejected():
+    certificate = _certified()
+    tampered = dataclasses.replace(certificate, digest="0" * 64)
+    with pytest.raises(CertificateError, match="digest"):
+        validate_certificate(tampered)
+
+
+def test_missing_obligation_rejected():
+    certificate = _certified()
+    data = certificate.to_dict()
+    data["payload"]["obligations"].pop()
+    data["digest"] = payload_digest(
+        data["version"], data["domain"], data["payload"]
+    )
+    reloaded = Certificate.from_json(json.dumps(data))
+    with pytest.raises(CertificateError, match="obligation"):
+        validate_certificate(reloaded)
+
+
+def test_malformed_json_is_a_certificate_error():
+    with pytest.raises(CertificateError):
+        Certificate.from_json("{not json")
+    with pytest.raises(CertificateError):
+        Certificate.from_json(json.dumps({"version": 1}))
+
+
+def test_summary_names_domain_and_subject():
+    certificate = _certified()
+    text = certificate.summary()
+    assert "buchi" in text
+    assert "model_fixture" in text

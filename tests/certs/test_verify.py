@@ -1,0 +1,151 @@
+"""The independent verifier: accepts genuine certificates in every
+domain, rejects hand-built corruptions with a named reason."""
+
+import json
+import random
+
+from repro.analysis import decompose
+from repro.buchi.random_automata import random_automaton
+from repro.certs import verify_certificate, verify_json
+from repro.certs.model import payload_digest
+from repro.lattice.random_lattices import (
+    random_comparable_closure_pair,
+    random_modular_complemented,
+)
+from repro.ltl import parse
+from repro.rabin.automaton import RabinTreeAutomaton
+
+
+def _buchi_cert(seed=11):
+    rng = random.Random(seed)
+    automaton = random_automaton(rng, 4, name="verify_buchi")
+    return decompose(automaton, certify=True).certificate
+
+
+def _lattice_cert(seed=11):
+    rng = random.Random(seed)
+    lattice = random_modular_complemented(rng, max_factors=2, max_diamond=3)
+    cl1, cl2 = random_comparable_closure_pair(rng, lattice)
+    element = rng.choice(lattice.elements)
+    return decompose(element, closure=(cl1, cl2), certify=True).certificate
+
+
+def _rabin_cert():
+    automaton = RabinTreeAutomaton.build(
+        ("a", "b"),
+        [0, 1],
+        0,
+        {(0, "a"): {(1, 1)}, (1, "a"): {(1, 1)}, (1, "b"): {(1, 1)}},
+        [([1], [])],
+        branching=2,
+        name="verify_rabin",
+    )
+    return decompose(automaton, certify=True).certificate
+
+
+def test_genuine_certificates_verify_in_every_domain():
+    for certificate in (
+        _buchi_cert(),
+        decompose(parse("G a"), alphabet={"a", "b"}, certify=True).certificate,
+        _lattice_cert(),
+        _rabin_cert(),
+    ):
+        result = verify_certificate(certificate)
+        assert result.ok, f"{certificate.domain}: {result.reason}"
+        assert result.checked == certificate.obligations
+        assert bool(result) is True
+
+
+def _tampered(certificate, mutate):
+    """Apply ``mutate`` to the wire dict, re-seal, return the JSON."""
+    data = json.loads(certificate.to_json())
+    mutate(data["payload"])
+    data["digest"] = payload_digest(data["version"], data["domain"], data["payload"])
+    return json.dumps(data)
+
+
+def test_buchi_wrong_witness_claim_rejected():
+    certificate = _buchi_cert()
+
+    def flip(payload):
+        payload["witnesses"][0]["in_original"] = (
+            not payload["witnesses"][0]["in_original"]
+        )
+
+    result = verify_json(_tampered(certificate, flip))
+    assert not result.ok
+    assert "witness" in result.reason
+
+
+def test_buchi_broken_union_shape_rejected():
+    certificate = _buchi_cert()
+
+    def detach(payload):
+        # point one embedded image somewhere else: the left block no
+        # longer replays as an exact copy of the original
+        payload["embedding"][0] = payload["liveness"]["initial"]
+
+    result = verify_json(_tampered(certificate, detach))
+    assert not result.ok
+
+
+def test_lattice_non_closure_rejected():
+    certificate = _lattice_cert()
+
+    def corrupt(payload):
+        safety = payload["safety"]
+        payload["cl1"][safety] = (payload["cl1"][safety] + 1) % payload["n"]
+
+    result = verify_json(_tampered(certificate, corrupt))
+    assert not result.ok
+
+
+def test_lattice_wrong_identity_rejected():
+    certificate = _lattice_cert()
+
+    def shift(payload):
+        payload["element"] = (payload["element"] + 1) % payload["n"]
+
+    result = verify_json(_tampered(certificate, shift))
+    assert not result.ok
+
+
+def test_rabin_flipped_safety_claim_rejected():
+    certificate = _rabin_cert()
+
+    def flip(payload):
+        payload["samples"][0]["in_safety"] = not payload["samples"][0]["in_safety"]
+
+    result = verify_json(_tampered(certificate, flip))
+    assert not result.ok
+
+
+def test_rabin_dropped_run_witness_rejected():
+    certificate = _rabin_cert()
+    positive = any(
+        sample.in_original for sample in certificate.payload.samples
+    )
+    assert positive, "fixture automaton accepts at least one sample tree"
+
+    def drop(payload):
+        for sample in payload["samples"]:
+            if sample["in_original"]:
+                sample["run"] = []
+
+    result = verify_json(_tampered(certificate, drop))
+    assert not result.ok
+
+
+def test_digest_flip_rejected_without_replay():
+    certificate = _buchi_cert()
+    data = json.loads(certificate.to_json())
+    data["digest"] = "f" * len(data["digest"])
+    result = verify_json(json.dumps(data))
+    assert not result.ok
+    assert result.reason.startswith("structure:")
+
+
+def test_garbage_json_rejected_not_raised():
+    result = verify_json("][ not json")
+    assert not result.ok
+    assert result.reason.startswith("structure:")

@@ -1,0 +1,130 @@
+"""RC008 verifier independence: repro.certs.verify imports only the
+stdlib and repro.certs.model."""
+
+from repro.checks.rules_certs import CertVerifierIndependenceRule
+
+from .conftest import rules_of
+
+
+def run_rc008(checker, *paths):
+    return checker.run(*paths, rules=[CertVerifierIndependenceRule()])
+
+
+def test_verifier_importing_prover_package_flagged(checker):
+    checker.write(
+        "src/repro/certs/verify/cheat.py",
+        """
+        from repro.buchi.automaton import BuchiAutomaton
+
+        def shortcut(payload):
+            return BuchiAutomaton
+        """,
+    )
+    report = run_rc008(checker)
+    assert rules_of(report) == ["RC008"]
+    assert "repro.certs.verify" in report.findings[0].message
+    assert "repro.buchi.automaton" in report.findings[0].message
+
+
+def test_verifier_importing_kernel_flagged(checker):
+    checker.write(
+        "src/repro/certs/verify/fast.py",
+        """
+        import repro.automata.dense as dense
+
+        def core(payload):
+            return dense
+        """,
+    )
+    report = run_rc008(checker)
+    assert rules_of(report) == ["RC008"]
+
+
+def test_relative_escape_resolved_and_flagged(checker):
+    # ``from ..build import ...`` resolves to repro.certs.build — the
+    # prover side, off limits for the verifier
+    checker.write(
+        "src/repro/certs/verify/escape.py",
+        """
+        from ..build import certificate_for
+        """,
+    )
+    report = run_rc008(checker)
+    assert rules_of(report) == ["RC008"]
+    assert "repro.certs.build" in report.findings[0].message
+
+
+def test_model_and_siblings_are_allowed(checker):
+    checker.write(
+        "src/repro/certs/verify/ok.py",
+        """
+        import json
+
+        from ..model import Certificate
+        from .common import reachable
+
+        def roundtrip(certificate: Certificate):
+            return json.loads(certificate.to_json()), reachable
+        """,
+    )
+    checker.write(
+        "src/repro/certs/verify/common.py",
+        """
+        def reachable(naut):
+            return frozenset()
+        """,
+    )
+    assert run_rc008(checker).findings == []
+
+
+def test_model_must_stay_stdlib_pure(checker):
+    checker.write(
+        "src/repro/certs/model.py",
+        """
+        from repro.canonical import stable_token
+
+        def token(x):
+            return stable_token(x)
+        """,
+    )
+    report = run_rc008(checker)
+    assert rules_of(report) == ["RC008"]
+    assert "repro.certs.model" in report.findings[0].message
+
+
+def test_prover_side_is_out_of_scope(checker):
+    # build/fuzz/__init__ run on the full stack by design
+    checker.write(
+        "src/repro/certs/build.py",
+        """
+        from repro.buchi.automaton import BuchiAutomaton
+
+        def serialize(automaton: BuchiAutomaton):
+            return automaton.name
+        """,
+    )
+    assert run_rc008(checker).findings == []
+
+
+def test_tests_are_exempt(checker):
+    checker.write(
+        "tests/certs/test_verify.py",
+        """
+        from repro.buchi.random_automata import random_automaton
+
+        def test_something():
+            assert random_automaton is not None
+        """,
+    )
+    assert run_rc008(checker).findings == []
+
+
+def test_library_tree_is_rc008_clean():
+    # the real verifier honors its own trust boundary
+    from pathlib import Path
+
+    from repro.checks import run_checks
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = run_checks([src], [CertVerifierIndependenceRule()])
+    assert report.findings == []

@@ -1,0 +1,86 @@
+"""Certified decompositions through the service: separate cache lines,
+and verify-on-hit replay with eviction of poisoned entries."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.buchi.random_automata import random_automaton
+from repro.certs import verify_certificate
+from repro.service import AnalysisService, DecomposeRequest
+
+
+@pytest.fixture
+def automaton():
+    return random_automaton(random.Random(21), 4, name="certsvc")
+
+
+def test_certified_request_carries_a_verifiable_certificate(automaton):
+    with AnalysisService(workers=1) as service:
+        result = service.request(DecomposeRequest(automaton, certify=True))
+        certificate = result.value.certificate
+        assert certificate is not None
+        assert verify_certificate(certificate).ok
+        assert result.key.startswith("decompose+cert:")
+
+
+def test_plain_and_certified_requests_use_separate_cache_lines(automaton):
+    with AnalysisService(workers=1) as service:
+        certified = service.request(DecomposeRequest(automaton, certify=True))
+        plain = service.request(DecomposeRequest(automaton))
+        # same subject hash, different kind prefix — no aliasing
+        assert certified.key != plain.key
+        assert plain.key.startswith("decompose:")
+        assert plain.cached is False
+        assert plain.value.certificate is None
+        # repeats hit their own lines
+        assert service.request(
+            DecomposeRequest(automaton, certify=True)
+        ).cached is True
+        assert service.request(DecomposeRequest(automaton)).cached is True
+
+
+def test_verify_on_hit_accepts_genuine_cached_certificates(automaton):
+    with AnalysisService(workers=1, verify_on_hit=True) as service:
+        first = service.request(DecomposeRequest(automaton, certify=True))
+        assert first.cached is False
+        second = service.request(DecomposeRequest(automaton, certify=True))
+        assert second.cached is True
+        assert verify_certificate(second.value.certificate).ok
+
+
+def test_verify_on_hit_evicts_and_recomputes_poisoned_entries(automaton):
+    with AnalysisService(workers=1, verify_on_hit=True) as service:
+        first = service.request(DecomposeRequest(automaton, certify=True))
+        good = first.value
+        bad_certificate = dataclasses.replace(
+            good.certificate, digest="0" * len(good.certificate.digest)
+        )
+        service.cache.put(
+            first.key, dataclasses.replace(good, certificate=bad_certificate)
+        )
+        replayed = service.request(DecomposeRequest(automaton, certify=True))
+        # served fresh, not from the poisoned line
+        assert replayed.cached is False
+        assert verify_certificate(replayed.value.certificate).ok
+        # the recomputed value healed the cache line
+        healed = service.request(DecomposeRequest(automaton, certify=True))
+        assert healed.cached is True
+
+
+def test_verify_on_hit_passes_plain_values_through(automaton):
+    with AnalysisService(workers=1, verify_on_hit=True) as service:
+        service.request(DecomposeRequest(automaton))
+        result = service.request(DecomposeRequest(automaton))
+        assert result.cached is True
+        assert result.value.certificate is None
+
+
+def test_cache_invalidate_drops_one_line(automaton):
+    with AnalysisService(workers=1) as service:
+        result = service.request(DecomposeRequest(automaton, certify=True))
+        assert result.key in service.cache
+        assert service.cache.invalidate(result.key) is True
+        assert result.key not in service.cache
+        assert service.cache.invalidate(result.key) is False
