@@ -109,3 +109,38 @@ with AnalysisService(workers=2, verify_on_hit=True) as service:
     tla_path.write_text(tla_skeleton(certificate))
     print(f"\nTLA+ skeleton written to {tla_path}:")
     print("\n".join(tla_skeleton(certificate).splitlines()[:6]))
+
+# ── 6. The ops plane: watch the service from the outside ───────────────
+# An OpsServer mounts beside the service (ephemeral port, daemon
+# thread): /metrics for scrapers, /healthz + /readyz for routers,
+# /debug/* for humans.  The journal at "debug" level records the full
+# correlated per-request stream; the default "info" posture journals
+# only lifecycle edges and anomalies (DESIGN.md §11).
+from urllib.request import urlopen
+
+from repro.ops import EventJournal, start_ops_server
+
+journal = EventJournal(min_level="debug")
+with AnalysisService(workers=2, journal=journal, slow_threshold=5.0) as service:
+    with start_ops_server(service, journal=journal) as ops:
+        print(f"\nops endpoint live at {ops.url}")
+        for spec in ("G a", "F b", "a U b", "G a"):
+            service.request(DecomposeRequest(parse(spec), alphabet=ALPHABET))
+
+        health = json.load(urlopen(ops.url + "/healthz"))
+        ready = json.load(urlopen(ops.url + "/readyz"))
+        print(f"  /healthz: {health['status']}   /readyz: ready={ready['ready']} "
+              f"pending={ready['pending']}")
+
+        cache_view = json.load(urlopen(ops.url + "/debug/cache"))
+        stats = cache_view["stats"]
+        print(f"  /debug/cache: {stats['entries']} entries, "
+              f"{stats['hits']} hits / {stats['misses']} misses")
+
+        profile = urlopen(ops.url + "/debug/profile?seconds=1&hz=50")
+        lines = profile.read().decode("utf-8").splitlines()
+        print(f"  /debug/profile (1s @ 50Hz): {lines[0].lstrip('# ')}")
+
+        done = journal.events(name="service.request_done")
+        print(f"  journal: {len(done)} requests completed, "
+              f"last request_id {done[-1].request_id}")

@@ -39,6 +39,7 @@ ROOT = Path(__file__).resolve().parent.parent
 GUARDED = (
     ("BENCH_buchi_closure.json", "benchmarks/test_bench_buchi_closure.py"),
     ("BENCH_buchi_decomposition.json", "benchmarks/test_bench_buchi_decomposition.py"),
+    ("BENCH_obs_overhead.json", "benchmarks/test_bench_obs_overhead.py"),
 )
 
 #: Absolute slack added to every threshold: sub-50ms benchmarks on a

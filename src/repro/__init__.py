@@ -40,7 +40,12 @@ rv
 obs
     Observability: the shared metric registry (counters, gauges,
     log-bucketed histograms), span tracing with Chrome trace export,
-    phase profiling, and Prometheus/JSON exposition.
+    phase profiling, request contexts, and Prometheus/JSON exposition.
+ops
+    The live operations plane: request-scoped tracing with phase
+    attribution, a structured event journal, a sampling profiler with
+    collapsed-stack output, and the HTTP introspection endpoint
+    (``/metrics``, ``/healthz``, ``/readyz``, ``/debug/*``).
 analysis
     One classification/decomposition API across all frameworks
     (``repro.analysis.decompose`` is the single decomposition entry
@@ -69,6 +74,7 @@ __all__ = [
     "ltl",
     "obs",
     "omega",
+    "ops",
     "rabin",
     "rv",
     "service",

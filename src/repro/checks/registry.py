@@ -22,6 +22,7 @@ from .rules_imports import ImportHygieneRule
 from .rules_layering import KernelLayeringRule
 from .rules_locks import LockDisciplineRule
 from .rules_metrics import MetricNamingRule
+from .rules_ops import OpsDisciplineRule
 from .rules_shims import DeprecatedShimExportRule
 from .rules_state import MutableModuleStateRule
 
@@ -34,6 +35,7 @@ RULE_CLASSES = (
     DeprecatedShimExportRule,
     KernelLayeringRule,
     CertVerifierIndependenceRule,
+    OpsDisciplineRule,
 )
 
 

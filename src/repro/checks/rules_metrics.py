@@ -27,7 +27,7 @@ from .core import Finding, ModuleFile, Rule
 
 KNOWN_PACKAGES = frozenset({
     "analysis", "buchi", "canonical", "certs", "checks", "ctl", "enforcement",
-    "games", "lattice", "ltl", "obs", "omega", "rabin", "rv", "service",
+    "games", "lattice", "ltl", "obs", "omega", "ops", "rabin", "rv", "service",
     "systems", "trees",
 })
 

@@ -1,0 +1,223 @@
+"""RC009 — ops-plane discipline: responsive endpoints, catalogued events.
+
+Two invariants from DESIGN.md §11 ("Operations plane"):
+
+1. **No locks across response writes.**  An introspection endpoint
+   exists to debug a live service; if its handler writes the HTTP
+   response while holding a shared lock (the metrics registry's, the
+   cache's, the journal's...), a stalled scraper back-pressures the
+   serving path it is supposed to observe.  Handlers must snapshot
+   state first, drop the lock, then write.  Statically: no call to a
+   response-writing method (``send_response`` / ``send_header`` /
+   ``end_headers`` / ``_respond`` / ``wfile.write``) may appear inside
+   a ``with <...lock...>:`` block (the RC001 notion of lock-like).
+
+2. **Journal event names are well-formed and registered.**  Every
+   string literal passed to an ``emit``/``_emit`` call or listed in an
+   ``EVENT_CATALOG`` tuple must match
+   :data:`repro.ops.journal.EVENT_NAME_RE` (``^[a-z][a-z0-9_.]*$``),
+   and every *emitted* literal must be registered — present in an
+   ``EVENT_CATALOG`` seen during the run or passed to a
+   ``register("...")`` call somewhere.  A typo'd event name would
+   otherwise emit fine and silently match no query ever; the journal
+   enforces this at runtime, this rule enforces it before the code
+   runs.  (Cross-file: emit sites are collected per file, resolved in
+   :meth:`finalize` once the catalog has been seen.  Dynamic,
+   non-literal names are out of scope — the runtime check owns those.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .core import Finding, ModuleFile, Rule
+
+#: Mirrors repro.ops.journal.EVENT_NAME_RE (restated here because
+#: repro.checks is a dependency leaf and must not import repro.ops).
+EVENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+
+#: Methods that put bytes on the HTTP response (stdlib handler surface
+#: plus this repo's ``_respond`` helper).
+_RESPONSE_WRITERS = frozenset({
+    "send_response", "send_header", "end_headers", "_respond",
+})
+
+def _is_journal_emit(func: ast.expr) -> bool:
+    """Journal emission sites: ``<something journal-ish>.emit(...)``
+    (``journal.emit``, ``JOURNAL.emit``, ``self._journal.emit``) or a
+    ``_emit`` call/method (the service's forwarding wrapper idiom).
+    Plain ``emit(...)`` functions (e.g. the benchmark reporter) are
+    unrelated APIs and not matched."""
+    if isinstance(func, ast.Name):
+        return func.id == "_emit"
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr == "_emit":
+        return True
+    if func.attr != "emit":
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return "journal" in receiver.id.lower()
+    if isinstance(receiver, ast.Attribute):
+        return "journal" in receiver.attr.lower()
+    return False
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """The RC001 notion of lock-like: an attribute or name containing
+    ``lock`` (``self._lock``, ``registry._lock``, ``share_lock(...)``
+    results bound to names)."""
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    return False
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_wfile_write(func: ast.expr) -> bool:
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "write"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "wfile"
+    )
+
+
+class _OpsScanner(ast.NodeVisitor):
+    """One file's pass: lock-held response writes + event-name sites."""
+
+    def __init__(self):
+        self.lock_depth = 0
+        #: (line, method-name) of response writes under a lock
+        self.locked_writes: list[tuple[int, str]] = []
+        #: (line, name) of every literal event name passed to emit/_emit
+        self.emits: list[tuple[int, str]] = []
+        #: literal names registered via register("...") calls
+        self.registered: set[str] = set()
+        #: (line, name) literals in EVENT_CATALOG tuples
+        self.catalog: list[tuple[int, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        locks = False
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            locks = locks or _is_lock_expr(item.context_expr)
+        self.lock_depth += 1 if locks else 0
+        for stmt in node.body:
+            self.visit(stmt)
+        self.lock_depth -= 1 if locks else 0
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _called_name(node.func)
+        if self.lock_depth > 0 and (
+            name in _RESPONSE_WRITERS or _is_wfile_write(node.func)
+        ):
+            self.locked_writes.append(
+                (node.lineno, "wfile.write" if _is_wfile_write(node.func) else name)
+            )
+        if _is_journal_emit(node.func) and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self.emits.append((first.lineno, first.value))
+        if name == "register" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                self.registered.add(first.value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "EVENT_CATALOG":
+                value = node.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            self.catalog.append((element.lineno, element.value))
+        self.generic_visit(node)
+
+
+class OpsDisciplineRule(Rule):
+    rule_id = "RC009"
+    title = "ops discipline: lock-free response writes, catalogued event names"
+    scope = "all"
+
+    def reset(self) -> None:
+        self._known: set[str] = set()
+        self._pending_emits: list[tuple[str, int, str]] = []
+        self._saw_catalog = False
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        scanner = _OpsScanner()
+        scanner.visit(module.tree)
+        findings = [
+            self.finding(
+                module,
+                line,
+                f"response write ({method}) while holding a lock: snapshot "
+                "state first, release the lock, then write — a stalled "
+                "client must not back-pressure the serving path",
+            )
+            for line, method in scanner.locked_writes
+        ]
+        for line, name in scanner.catalog:
+            self._saw_catalog = True
+            self._known.add(name)
+            if not EVENT_NAME_RE.match(name):
+                findings.append(self.finding(
+                    module,
+                    line,
+                    f"EVENT_CATALOG name {name!r} does not match "
+                    f"{EVENT_NAME_RE.pattern}",
+                ))
+        for name in scanner.registered:
+            self._known.add(name)
+        for line, name in scanner.emits:
+            if not EVENT_NAME_RE.match(name):
+                findings.append(self.finding(
+                    module,
+                    line,
+                    f"journal event name {name!r} does not match "
+                    f"{EVENT_NAME_RE.pattern}",
+                ))
+            else:
+                self._pending_emits.append((module.rel, line, name))
+        return findings
+
+    def finalize(self) -> list[Finding]:
+        if not self._saw_catalog:
+            # No EVENT_CATALOG in the scanned tree (e.g. a partial run
+            # over a single non-ops file): registration can't be judged.
+            return []
+        return [
+            Finding(
+                path=rel,
+                line=line,
+                rule=self.rule_id,
+                message=(
+                    f"journal event {name!r} is not in EVENT_CATALOG and "
+                    "never register()-ed: a typo'd name matches no query"
+                ),
+            )
+            for rel, line, name in self._pending_emits
+            if name not in self._known
+        ]

@@ -1,6 +1,12 @@
 """repro.obs — unified observability: metrics, spans, phase profiling.
 
-Dependency-free and shared by every package in the repo.  Four modules:
+Dependency-free and shared by every package in the repo.  Five modules:
+
+* :mod:`repro.obs.context` — request-scoped attribution
+  (:class:`RequestContext`, :func:`current_context`,
+  :func:`use_context`): the contextvar-propagated identity the ops
+  plane (:mod:`repro.ops`) hangs slow-logs, journal events and
+  per-request phase breakdowns on;
 
 * :mod:`repro.obs.metrics` — the labeled-metric registry (monotonic
   counters, gauges, log-bucketed histograms with p50/p95/p99), all
@@ -20,6 +26,7 @@ Conventions (DESIGN.md, "Observability"): metric names follow
 per-event paths (the engine's tracer defaults to :data:`NULL_TRACER`).
 """
 
+from .context import RequestContext, current_context, use_context
 from .export import (
     dump_bench_json,
     parse_prometheus_text,
@@ -58,6 +65,9 @@ __all__ = [
     "PhaseTimer",
     "timed",
     "metric_name",
+    "RequestContext",
+    "current_context",
+    "use_context",
     "to_prometheus",
     "parse_prometheus_text",
     "registry_to_dict",

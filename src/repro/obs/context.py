@@ -1,0 +1,176 @@
+"""Request-scoped attribution: the context every span, phase sample and
+journal event can hang off.
+
+A :class:`RequestContext` names one unit of served work — trace id,
+kind, origin, optional deadline — and accumulates *where its wall time
+went*: top-level **phases** (``queue`` → ``compute`` → ``verify``,
+recorded by the service) and fine-grained **subphases** (kernel
+:class:`~repro.obs.profile.PhaseTimer` samples taken while the context
+was active).  The phases partition the request's lifetime, so a slow-log
+entry's phase sum reconstructs its wall time; the subphases attribute
+that time to named algorithm internals.
+
+Propagation is a :mod:`contextvars` variable: :func:`use_context` makes
+a context current for a ``with`` block, :func:`current_context` reads it
+back anywhere downstream — including inside
+:class:`~repro.obs.profile.PhaseTimer`, which is how a
+``repro.buchi.decomposition`` phase sample becomes attributable to the
+request that triggered it.  Contextvars do **not** cross thread
+boundaries by themselves; :class:`repro.rv.pool.WorkerPool` captures the
+submitter's context and re-activates it on the pool thread, and the
+analysis service activates each request's context explicitly in its
+worker (``_process``).
+
+Everything here is stdlib-only and intra-package, keeping
+:mod:`repro.obs` the dependency leaf (RC003).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import time
+
+_CURRENT: contextvars.ContextVar["RequestContext | None"] = contextvars.ContextVar(
+    "repro_request_context", default=None
+)
+
+#: Monotonic per-process id source; the pid prefix keeps ids unique
+#: across the future sharded (multi-process) tier.
+_IDS = itertools.count(1)
+_ID_PREFIX = f"r{os.getpid():x}"
+
+
+class _CtxPhase:
+    """The context manager one ``ctx.phase(...)`` call returns."""
+
+    __slots__ = ("_ctx", "_name", "_started")
+
+    def __init__(self, ctx: "RequestContext", name: str):
+        self._ctx = ctx
+        self._name = name
+
+    def __enter__(self) -> "_CtxPhase":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._ctx.note_phase(self._name, time.perf_counter() - self._started)
+        return False
+
+
+class RequestContext:
+    """One request's identity plus its wall-time attribution ledger.
+
+    ``request_id`` is process-unique (pid-prefixed counter) unless the
+    caller supplies one; ``deadline`` is a ``perf_counter`` instant (the
+    same clock the service uses) or ``None``; ``origin`` names where the
+    request came from (``"local"``, a peer shard, an HTTP client, ...).
+    """
+
+    __slots__ = ("request_id", "kind", "origin", "deadline", "created_at",
+                 "_phases", "_subphases")
+
+    def __init__(self, *, kind: str = "", origin: str = "local",
+                 deadline: float | None = None, request_id: str | None = None):
+        if request_id is None:
+            request_id = _ID_PREFIX + "-%06x" % next(_IDS)
+        self.request_id = request_id
+        self.kind = kind
+        self.origin = origin
+        self.deadline = deadline
+        self.created_at = time.perf_counter()
+        # Single-writer by construction: phases and subphases are only
+        # recorded by the thread currently *serving* this request (the
+        # context travels with the work, never shared between writers).
+        # Readers (/debug/inflight, the slow-log) take GIL-atomic dict
+        # copies, so no lock is needed — this is a per-request hot path,
+        # and the dicts themselves are allocated on first use.
+        self._phases: dict[str, float] | None = None
+        self._subphases: dict[str, float] | None = None
+
+    # -- attribution --------------------------------------------------------
+
+    def phase(self, name: str) -> _CtxPhase:
+        """Time a top-level phase: ``with ctx.phase("compute"): ...``.
+
+        Top-level phases are meant to *partition* the request's
+        lifetime (queue/compute/verify in the service), so their sum
+        reconstructs its wall time."""
+        return _CtxPhase(self, name)
+
+    def note_phase(self, name: str, seconds: float) -> None:
+        phases = self._phases
+        if phases is None:
+            phases = self._phases = {}
+        phases[name] = phases.get(name, 0.0) + seconds
+
+    def note_subphase(self, name: str, seconds: float) -> None:
+        """Record a nested sample (kernel phase timers report here);
+        subphases overlap the top-level phases and each other freely."""
+        subphases = self._subphases
+        if subphases is None:
+            subphases = self._subphases = {}
+        subphases[name] = subphases.get(name, 0.0) + seconds
+
+    def phases(self) -> dict[str, float]:
+        return dict(self._phases) if self._phases else {}
+
+    def subphases(self) -> dict[str, float]:
+        return dict(self._subphases) if self._subphases else {}
+
+    # -- clocks -------------------------------------------------------------
+
+    def age(self) -> float:
+        """Seconds since the context was created."""
+        return time.perf_counter() - self.created_at
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (negative = expired), or ``None``."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly snapshot (the ``/debug/inflight`` row)."""
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "origin": self.origin,
+            "age_seconds": self.age(),
+            "deadline_remaining": self.remaining(),
+            "phases": self.phases(),
+            "subphases": self.subphases(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"RequestContext({self.request_id}, kind={self.kind!r}, "
+                f"age={self.age() * 1e3:.1f}ms)")
+
+
+def current_context() -> RequestContext | None:
+    """The active request context of this thread of execution, if any."""
+    return _CURRENT.get()
+
+
+class use_context:
+    """Make ``ctx`` the current context for the ``with`` block (restores
+    the previous one on exit; ``None`` deactivates).
+
+    A hand-rolled context manager rather than ``@contextmanager``: this
+    wraps every served request, and the generator protocol costs about
+    a microsecond more per entry/exit pair than plain slots."""
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: RequestContext | None):
+        self._ctx = ctx
+
+    def __enter__(self) -> RequestContext | None:
+        self._token = _CURRENT.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc) -> bool:
+        _CURRENT.reset(self._token)
+        return False

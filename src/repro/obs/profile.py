@@ -35,6 +35,7 @@ import functools
 import threading
 import time
 
+from .context import current_context
 from .metrics import REGISTRY, MetricRegistry
 from .trace import NULL_TRACER
 
@@ -115,6 +116,11 @@ class PhaseTimer:
         if child is None:
             child = self._children[phase_name] = self._family.labels(phase=phase_name)
         child.record(elapsed)
+        ctx = current_context()
+        if ctx is not None:
+            # attribute the sample to the request being served, so a
+            # slow-log entry can say *which* kernel phases ate the time
+            ctx.note_subphase(f"{self.name}.{phase_name}", elapsed)
         with self._lock:
             entry = self._totals.get(phase_name)
             if entry is None:

@@ -106,6 +106,9 @@ class NullTracer:
     def finished(self) -> list:
         return []
 
+    def open_spans(self) -> list:
+        return []
+
     def clear(self) -> None:
         pass
 
@@ -145,6 +148,8 @@ class Span:
             self.parent_id = stack[-1].span_id
         stack.append(self)
         self.thread_id = threading.get_ident()
+        with self.tracer._open_lock:
+            self.tracer._open[self.span_id] = self
         self.start = time.perf_counter()
         return self
 
@@ -153,6 +158,8 @@ class Span:
         stack = self.tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        with self.tracer._open_lock:
+            self.tracer._open.pop(self.span_id, None)
         self.tracer._finished.append(self)
         return False
 
@@ -176,6 +183,8 @@ class Tracer:
         self.max_spans = max_spans
         self.sample_every = sample_every
         self._finished: "deque[Span]" = deque(maxlen=max_spans)
+        self._open: dict[int, Span] = {}
+        self._open_lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
         self._roots = itertools.count()
@@ -215,14 +224,32 @@ class Tracer:
         """Finished spans, oldest first (bounded by ``max_spans``)."""
         return list(self._finished)
 
+    def open_spans(self) -> list[Span]:
+        """Spans entered but not yet exited, oldest first.
+
+        A trace dump taken *mid-request* (the ops ``/debug/profile``
+        path, a slow-log snapshot) would silently lose exactly the spans
+        one is looking for — the still-running ones — if export read
+        only ``finished()``; exporters emit these as incomplete."""
+        with self._open_lock:
+            spans = list(self._open.values())
+        return sorted(spans, key=lambda span: span.start)
+
     def clear(self) -> None:
         self._finished.clear()
+        # forget still-open spans too: their late __exit__ pops a key
+        # that is simply no longer there
+        with self._open_lock:
+            self._open.clear()
 
     # -- export -------------------------------------------------------------
 
     def chrome_events(self) -> list[dict]:
-        """Chrome trace-event "complete" (``ph: X``) events, one per span;
-        timestamps are µs since this tracer's epoch."""
+        """Chrome trace-event records, one per span; timestamps are µs
+        since this tracer's epoch.  Finished spans are "complete"
+        (``ph: X``) events; spans still open at dump time are emitted as
+        "begin" (``ph: B``) events rather than dropped, so a trace taken
+        mid-request shows the request being served."""
         pid = os.getpid()
         epoch = self._epoch
         events = []
@@ -241,6 +268,21 @@ class Tracer:
                     **span.attrs,
                 },
             })
+        for span in self.open_spans():
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "B",
+                "ts": (span.start - epoch) * 1e6,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "open": True,
+                    **span.attrs,
+                },
+            })
         return events
 
     def chrome_trace(self) -> dict:
@@ -253,7 +295,10 @@ class Tracer:
             json.dump(self.chrome_trace(), handle)
 
     def export_jsonl(self, path) -> None:
-        """One JSON span record per line (greppable, streamable)."""
+        """One JSON span record per line (greppable, streamable).
+        Still-open spans are written too, marked ``"open": true`` with a
+        synthetic duration up to the dump instant."""
+        now = time.perf_counter()
         with open(path, "w") as handle:
             for span in self.finished():
                 handle.write(json.dumps({
@@ -262,6 +307,17 @@ class Tracer:
                     "parent_id": span.parent_id,
                     "start": span.start - self._epoch,
                     "duration": span.duration(),
+                    "thread_id": span.thread_id,
+                    "attrs": span.attrs,
+                }, sort_keys=True) + "\n")
+            for span in self.open_spans():
+                handle.write(json.dumps({
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "start": span.start - self._epoch,
+                    "duration": now - span.start,
+                    "open": True,
                     "thread_id": span.thread_id,
                     "attrs": span.attrs,
                 }, sort_keys=True) + "\n")

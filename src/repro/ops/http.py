@@ -1,0 +1,297 @@
+"""The ops HTTP endpoint: introspection for a live analysis service.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` mounted *beside* an
+:class:`~repro.service.server.AnalysisService` (the service is passed
+in, duck-typed — this module imports no serving code, per RC003-style
+layering).  Endpoints:
+
+==========================  ============================================
+``/metrics``                Prometheus text exposition of the shared
+                            registry (round-trips through
+                            :func:`repro.obs.export.parse_prometheus_text`).
+``/healthz``                Liveness: 200 while the process serves, 503
+                            once the service is shut down.
+``/readyz``                 Readiness: 200 only while the service is
+                            accepting work — 503 on shutdown *and* while
+                            the admission gate is saturated.  This is the
+                            routing contract the sharded tier keys on.
+``/debug/inflight``         The live request table: id, kind, origin,
+                            age, deadline remaining, phase breakdown so
+                            far.
+``/debug/cache``            :meth:`ResultCache.stats` plus per-line
+                            age/hits/size detail.
+``/debug/slowlog``          The service's retained slow-request entries.
+``/debug/events``           The event journal as JSONL
+                            (``?level=&request_id=&name=&limit=``).
+``/debug/profile``          Run the sampling profiler for
+                            ``?seconds=N`` (``&hz=H``) and return
+                            collapsed stacks (flamegraph.pl/speedscope).
+==========================  ============================================
+
+Handlers snapshot all shared state into the response body *before*
+writing a single byte — no metrics-registry or cache lock is ever held
+across a socket write (checks rule RC009 enforces this statically), so
+a slow or stalled scraper cannot back-pressure the serving path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from types import MappingProxyType
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import REGISTRY, MetricRegistry
+
+from .journal import DEBUG, JOURNAL, EventJournal, to_jsonl
+from .sampler import profile_for
+
+#: ``/debug/profile`` window clamp: an ops endpoint must not be usable
+#: to park handler threads for minutes.
+MAX_PROFILE_SECONDS = 30.0
+MAX_PROFILE_HZ = 200.0
+
+
+def _json_body(payload) -> bytes:
+    return (json.dumps(payload, sort_keys=True, default=str) + "\n").encode("utf-8")
+
+
+class _OpsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: set by :class:`OpsServer` right after construction
+    ops: "OpsServer | None" = None
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-ops/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def ops(self) -> "OpsServer":
+        return self.server.ops
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
+        journal = self.ops.journal
+        if journal is not None:
+            journal.emit(
+                "ops.http_request", DEBUG,
+                path=self.path, message=format % args,
+            )
+
+    def _respond(self, status: int, body: bytes,
+                 content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _query(self) -> dict:
+        return parse_qs(urlparse(self.path).query)
+
+    def _param(self, query: dict, name: str, default=None):
+        values = query.get(name)
+        return values[-1] if values else default
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib dispatch name
+        route = urlparse(self.path).path.rstrip("/") or "/"
+        handler = _ROUTES.get(route)
+        if handler is None:
+            self._respond(404, _json_body({
+                "error": f"no such endpoint {route!r}",
+                "endpoints": sorted(_ROUTES),
+            }))
+            return
+        try:
+            handler(self)
+        except ValueError as exc:
+            self._respond(400, _json_body({"error": str(exc)}))
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _get_index(self) -> None:
+        self._respond(200, _json_body({
+            "service": self.ops.service is not None,
+            "endpoints": sorted(route for route in _ROUTES if route != "/"),
+        }))
+
+    def _get_metrics(self) -> None:
+        text = to_prometheus(self.ops.registry)
+        self._respond(200, text.encode("utf-8"),
+                      content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    def _get_healthz(self) -> None:
+        service = self.ops.service
+        if service is not None and service.closed:
+            self._respond(503, _json_body({"status": "shutdown"}))
+        else:
+            self._respond(200, _json_body({"status": "ok"}))
+
+    def _get_readyz(self) -> None:
+        service = self.ops.service
+        if service is None:
+            self._respond(200, _json_body({"ready": True, "service": False}))
+            return
+        state = service.readiness()
+        self._respond(200 if state["ready"] else 503, _json_body(state))
+
+    def _get_inflight(self) -> None:
+        service = self.ops.service
+        rows = service.inflight() if service is not None else []
+        self._respond(200, _json_body({"count": len(rows), "inflight": rows}))
+
+    def _get_cache(self) -> None:
+        service = self.ops.service
+        if service is None:
+            self._respond(200, _json_body({"cache": None}))
+            return
+        cache = service.cache
+        self._respond(200, _json_body({
+            "stats": cache.stats().to_dict(),
+            "lines": cache.lines(),
+        }))
+
+    def _get_slowlog(self) -> None:
+        service = self.ops.service
+        rows = service.slow_log() if service is not None else []
+        self._respond(200, _json_body({"count": len(rows), "slow": rows}))
+
+    def _get_events(self) -> None:
+        journal = self.ops.journal
+        if journal is None:
+            self._respond(200, b"", content_type="application/x-ndjson")
+            return
+        query = self._query()
+        limit_raw = self._param(query, "limit", "256")
+        try:
+            limit = int(limit_raw)
+        except ValueError:
+            raise ValueError(f"limit must be an integer, got {limit_raw!r}") from None
+        events = journal.events(
+            level=self._param(query, "level"),
+            request_id=self._param(query, "request_id"),
+            name=self._param(query, "name"),
+            limit=max(0, limit),
+        )
+        self._respond(200, to_jsonl(events).encode("utf-8"),
+                      content_type="application/x-ndjson")
+
+    def _get_profile(self) -> None:
+        query = self._query()
+        try:
+            seconds = float(self._param(query, "seconds", "1"))
+            hz = float(self._param(query, "hz", "50"))
+        except ValueError:
+            raise ValueError("seconds and hz must be numbers") from None
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            raise ValueError(
+                f"seconds must be in (0, {MAX_PROFILE_SECONDS:g}], got {seconds:g}"
+            )
+        if not 0 < hz <= MAX_PROFILE_HZ:
+            raise ValueError(f"hz must be in (0, {MAX_PROFILE_HZ:g}], got {hz:g}")
+        profiler = profile_for(seconds, hz=hz, journal=self.ops.journal)
+        header = (
+            f"# repro.ops profile: {seconds:g}s at {hz:g} Hz, "
+            f"{profiler.samples} samples, "
+            f"self-overhead {profiler.overhead_ratio():.4%}\n"
+        )
+        self._respond(200, (header + profiler.collapsed()).encode("utf-8"),
+                      content_type="text/plain; charset=utf-8")
+
+
+_ROUTES = MappingProxyType({
+    "/": _OpsHandler._get_index,
+    "/metrics": _OpsHandler._get_metrics,
+    "/healthz": _OpsHandler._get_healthz,
+    "/readyz": _OpsHandler._get_readyz,
+    "/debug/inflight": _OpsHandler._get_inflight,
+    "/debug/cache": _OpsHandler._get_cache,
+    "/debug/slowlog": _OpsHandler._get_slowlog,
+    "/debug/events": _OpsHandler._get_events,
+    "/debug/profile": _OpsHandler._get_profile,
+})
+
+
+class OpsServer:
+    """The ops endpoint's lifecycle: bind, serve on a daemon thread, close.
+
+    ``service`` is any object with the :class:`AnalysisService`
+    introspection surface (``closed``, ``readiness()``, ``inflight()``,
+    ``slow_log()``, ``cache``) — or ``None`` for a metrics/journal-only
+    endpoint.  ``port=0`` (default) binds an ephemeral port; read
+    ``server.url`` after :meth:`start`.
+    """
+
+    def __init__(self, service=None, *,
+                 registry: MetricRegistry | None = None,
+                 journal: EventJournal | None = JOURNAL,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.registry = registry if registry is not None else REGISTRY
+        self.journal = journal
+        self.host = host
+        self._requested_port = port
+        self._httpd: _OpsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "OpsServer":
+        if self._httpd is not None:
+            raise RuntimeError("ops server already started")
+        self._httpd = _OpsHTTPServer((self.host, self._requested_port), _OpsHandler)
+        self._httpd.ops = self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-ops-http", daemon=True
+        )
+        self._thread.start()
+        if self.journal is not None:
+            self.journal.emit("ops.server_start", host=self.host, port=self.port)
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("ops server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._httpd is None:
+            return
+        port = self.port
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join()
+        self._httpd = None
+        self._thread = None
+        if self.journal is not None:
+            self.journal.emit("ops.server_stop", host=self.host, port=port)
+
+    def __enter__(self) -> "OpsServer":
+        # idempotent so `with start_ops_server(...) as ops:` works
+        return self if self.started else self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = self.url if self.started else "unstarted"
+        return f"OpsServer({where}, service={self.service is not None})"
+
+
+def start_ops_server(service=None, **kwargs) -> OpsServer:
+    """Construct and start an :class:`OpsServer` in one call."""
+    return OpsServer(service, **kwargs).start()

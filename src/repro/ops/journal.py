@@ -1,0 +1,289 @@
+"""The structured event journal: a lock-cheap bounded ring of typed
+operational events.
+
+Metrics (:mod:`repro.obs.metrics`) answer *how much*; the journal
+answers *what happened, in what order, to which request*.  Every event
+is a registered, named record — request admitted/shed/timed-out, cache
+hit/miss/rejected/evicted, certificate verify pass/fail, pool worker
+start/death — with a level, a wall-clock timestamp, an optional
+``request_id`` correlation key, and free-form fields.  Events land in a
+``deque(maxlen=...)`` ring, so a long-running service keeps the recent
+past and never grows without bound.
+
+Levels follow the access-log convention: high-frequency per-request
+chatter (admitted, cache hit/miss, successful completion, HTTP
+requests) is ``debug``; rare lifecycle transitions (worker start/death,
+server start/stop, shutdown, certificate pass) are ``info``; anomalies
+(shed, timeout, slow request, rejected certificate, failed requests,
+worker task errors) are ``warn``.  The default ``min_level`` is
+``info`` — the production posture — so healthy steady-state traffic
+journals *nothing per request* (metrics and the slow-log carry the
+steady state) and the ring retains what an operator actually reads:
+lifecycle edges and anomalies.  One
+:meth:`EventJournal.set_min_level(\"debug\") <EventJournal.set_min_level>`
+turns the fully-correlated per-request stream on live.
+
+Discipline, machine-enforced by checks rule RC009:
+
+* event names match ``^[a-z][a-z0-9_.]*$`` and must be *registered*
+  (:meth:`EventJournal.register` or the :data:`EVENT_CATALOG` baked in
+  below) — a typo'd name raises at emit time instead of producing an
+  event nobody's query will ever match.
+
+The emit hot path is deliberately tiny — level compare, frozenset
+membership, one timestamp, one locked append of a plain tuple (the
+:class:`Event` record is materialized lazily at *read* time), one
+pre-resolved counter bump — because the analysis service emits per
+request, and the committed overhead budget
+(``BENCH_obs_overhead.json``) holds journal + request context to ≤ 5%
+of warm-path service throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from repro.obs.metrics import REGISTRY
+
+EVENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+
+#: Symbolic levels (numeric so filtering is one compare).
+LEVELS = MappingProxyType({"debug": 10, "info": 20, "warn": 30, "error": 40})
+_LEVEL_NAMES = MappingProxyType({v: k for k, v in LEVELS.items()})
+
+DEBUG, INFO, WARN, ERROR = 10, 20, 30, 40
+
+#: Every event type the repo emits, registered up front so RC009 (and
+#: emit-time validation) can hold names to the catalog.  Third parties
+#: extend via :meth:`EventJournal.register`.
+EVENT_CATALOG = (
+    # service request lifecycle
+    "service.request_admitted",
+    "service.request_done",
+    "service.request_shed",
+    "service.request_timeout",
+    "service.slow_request",
+    "service.shutdown",
+    # result-cache outcomes
+    "cache.hit",
+    "cache.miss",
+    "cache.uncacheable",
+    "cache.rejected",
+    "cache.evicted",
+    # certificate replay on cache hits
+    "cert.verify_pass",
+    "cert.verify_fail",
+    # worker-pool lifecycle
+    "pool.worker_start",
+    "pool.worker_death",
+    "pool.task_error",
+    # the ops plane itself
+    "ops.http_request",
+    "ops.server_start",
+    "ops.server_stop",
+    "ops.profile_start",
+    "ops.profile_done",
+)
+
+_EVENTS_TOTAL = REGISTRY.counter(
+    "repro_ops_journal_events_total",
+    "journal events recorded, by level",
+    ("level",),
+)
+
+#: Per-level counter children resolved once: the hot path must not pay
+#: the labels() lookup per event.
+_LEVEL_COUNTS = MappingProxyType({
+    value: _EVENTS_TOTAL.labels(level=name) for name, value in LEVELS.items()
+})
+
+
+class JournalError(ValueError):
+    """Bad event name, unknown level, or unregistered event type."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal record (immutable; materialized at read time)."""
+
+    seq: int
+    ts: float
+    name: str
+    level: int
+    request_id: str | None
+    fields: tuple
+
+    @property
+    def level_name(self) -> str:
+        return _LEVEL_NAMES.get(self.level, str(self.level))
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "name": self.name,
+            "level": self.level_name,
+            "request_id": self.request_id,
+            **dict(self.fields),
+        }
+
+
+def _coerce_level(level: int | str) -> int:
+    if isinstance(level, str):
+        try:
+            return LEVELS[level]
+        except KeyError:
+            raise JournalError(
+                f"unknown level {level!r} (known: {', '.join(LEVELS)})"
+            ) from None
+    return int(level)
+
+
+class EventJournal:
+    """A bounded, thread-safe ring of typed events.
+
+    ``maxlen`` bounds retention; ``min_level`` filters at record time
+    (suppressed events cost one compare; default ``info``).  Event names
+    must be registered — the constructor seeds :data:`EVENT_CATALOG`;
+    call :meth:`register` for additional types before first emit.
+    """
+
+    def __init__(self, maxlen: int = 4096, *,
+                 min_level: int | str = INFO,
+                 events: tuple = EVENT_CATALOG):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._min_level = _coerce_level(min_level)
+        # copy-on-write: emit() membership-tests this lock-free, so
+        # register() swaps in a whole new frozenset instead of mutating
+        self._registered: frozenset[str] = frozenset()
+        self._ring: deque[tuple] = deque(maxlen=maxlen)
+        self._seq = 0
+        self._dropped = 0
+        self._lock = threading.Lock()
+        for name in events:
+            self.register(name)
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str) -> str:
+        """Register an event type; names are validated once, here."""
+        if not EVENT_NAME_RE.match(name):
+            raise JournalError(
+                f"invalid event name {name!r}: must match "
+                f"{EVENT_NAME_RE.pattern}"
+            )
+        self._registered = self._registered | {name}
+        return name
+
+    def registered(self) -> frozenset:
+        return self._registered
+
+    @property
+    def min_level(self) -> int:
+        return self._min_level
+
+    def set_min_level(self, level: int | str) -> None:
+        # A bare attribute swap: the threshold is a filter knob, not
+        # shared state needing the ring's lock — emit() reads it
+        # lock-free so a suppressed debug event costs one compare.
+        self._min_level = _coerce_level(level)
+
+    # -- the hot path -------------------------------------------------------
+
+    def emit(self, name: str, /, level: int = INFO,
+             request_id: str | None = None, **fields) -> None:
+        """Record one event (or return in one compare when filtered)."""
+        if level < self._min_level:
+            return
+        if name not in self._registered:
+            raise JournalError(
+                f"unregistered event {name!r}: add it to EVENT_CATALOG "
+                "or call journal.register() first"
+            )
+        ts = time.time()
+        with self._lock:
+            self._seq += 1
+            if len(self._ring) == self.maxlen:
+                self._dropped += 1
+            # raw tuple on the hot path; Event dataclasses are built
+            # lazily in events()/drain() (reads are rare, emits are not)
+            self._ring.append((self._seq, ts, name, level, request_id, fields))
+        _LEVEL_COUNTS.get(level, _LEVEL_COUNTS[INFO]).add()
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def _materialize(record: tuple) -> Event:
+        seq, ts, name, level, request_id, fields = record
+        return Event(seq, ts, name, level, request_id, tuple(fields.items()))
+
+    def events(self, *, level: int | str | None = None,
+               request_id: str | None = None,
+               name: str | None = None,
+               limit: int | None = None) -> list[Event]:
+        """The retained events, oldest first, optionally filtered by
+        minimum ``level``, exact ``request_id`` or exact ``name``;
+        ``limit`` keeps the *newest* N matches."""
+        floor = _coerce_level(level) if level is not None else None
+        with self._lock:
+            snapshot = list(self._ring)
+        out = [
+            self._materialize(record) for record in snapshot
+            if (floor is None or record[3] >= floor)
+            and (request_id is None or record[4] == request_id)
+            and (name is None or record[2] == name)
+        ]
+        if limit is not None and len(out) > limit:
+            out = out[-limit:]
+        return out
+
+    def drain(self) -> list[Event]:
+        """Remove and return everything retained (oldest first)."""
+        with self._lock:
+            snapshot = list(self._ring)
+            self._ring.clear()
+        return [self._materialize(record) for record in snapshot]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "retained": len(self._ring),
+                "maxlen": self.maxlen,
+                "emitted": self._seq,
+                "dropped": self._dropped,
+                "min_level": _LEVEL_NAMES.get(self._min_level, str(self._min_level)),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (f"EventJournal(retained={stats['retained']}/{self.maxlen}, "
+                f"emitted={stats['emitted']})")
+
+
+def to_jsonl(events) -> str:
+    """Events as JSONL text (the ``/debug/events`` wire format)."""
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
+
+
+#: The process-wide default journal every instrumented module reports to
+#: (mirrors :data:`repro.obs.metrics.REGISTRY`).
+JOURNAL = EventJournal()

@@ -1,0 +1,207 @@
+"""A sampling wall-clock profiler over ``sys._current_frames()``.
+
+Answers "where is the service spending its time *right now*?" without
+instrumenting anything: a background thread wakes ``hz`` times a second,
+snapshots every thread's current Python frame stack, and counts
+identical collapsed stacks.  Output is the classic *collapsed-stack*
+format — ``frame;frame;...;leaf count`` per line — consumed directly by
+``flamegraph.pl`` and https://speedscope.app (import as
+"Brendan Gregg collapsed").
+
+Honesty about cost is part of the contract: the sampler measures its own
+duty cycle (time spent inside the sampling pass over the window walked)
+and publishes it as ``repro_ops_sampler_overhead_ratio``, so "what does
+50 Hz cost?" is a gauge, not a guess — and the committed
+``BENCH_obs_overhead.json`` prices the same question against service
+throughput.
+
+Wall-clock, not CPU: a thread blocked on a lock or a queue *is* sampled
+where it blocks.  That is the point — the service's worker threads
+waiting on admission or cache locks show up as exactly that.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.obs.metrics import REGISTRY
+
+from .journal import JOURNAL, EventJournal
+
+_SAMPLES = REGISTRY.counter(
+    "repro_ops_sampler_samples_total", "stack samples taken by the ops profiler"
+)
+_OVERHEAD = REGISTRY.gauge(
+    "repro_ops_sampler_overhead_ratio",
+    "fraction of wall time the ops profiler spent sampling (self-measured)",
+)
+
+#: Frames deeper than this are truncated (defensive: recursive kernels).
+MAX_DEPTH = 128
+
+
+def _render_stack(frame) -> str:
+    """One thread's stack as ``root;...;leaf`` (module.function frames)."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_DEPTH:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}.{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Samples all threads' stacks at ``hz`` until stopped.
+
+    Use as a context manager for a fixed window::
+
+        with SamplingProfiler(hz=50) as profiler:
+            serve_traffic()
+        print(profiler.collapsed())
+
+    or start/stop explicitly for an open-ended window.  One profiler may
+    be started at most once; make a fresh one per window (they are
+    cheap, and immutability-after-stop keeps reports reproducible).
+    """
+
+    def __init__(self, hz: float = 50, *, journal: EventJournal | None = JOURNAL):
+        if not 0 < hz <= 1000:
+            raise ValueError("hz must be in (0, 1000]")
+        self.hz = hz
+        self.interval = 1.0 / hz
+        self._journal = journal
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._sampling_seconds = 0.0
+        self._started_at = 0.0
+        self._stopped_at = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started; make a fresh one")
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-ops-sampler", daemon=True
+        )
+        self._thread.start()
+        if self._journal is not None:
+            self._journal.emit("ops.profile_start", hz=self.hz)
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._stopped_at = time.perf_counter()
+        if self._journal is not None:
+            self._journal.emit(
+                "ops.profile_done",
+                hz=self.hz,
+                samples=self.samples,
+                overhead_ratio=round(self.overhead_ratio(), 6),
+            )
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the sampling loop --------------------------------------------------
+
+    def _loop(self) -> None:
+        own_ident = threading.get_ident()
+        next_tick = time.perf_counter()
+        while not self._stop.is_set():
+            pass_started = time.perf_counter()
+            frames = sys._current_frames()
+            rendered = [
+                _render_stack(frame)
+                for ident, frame in frames.items()
+                if ident != own_ident
+            ]
+            del frames  # drop frame references promptly
+            spent = time.perf_counter() - pass_started
+            with self._lock:
+                for stack in rendered:
+                    self._counts[stack] = self._counts.get(stack, 0) + 1
+                self._samples += len(rendered)
+                self._sampling_seconds += spent
+            _SAMPLES.add(len(rendered))
+            wall = time.perf_counter() - self._started_at
+            if wall > 0:
+                _OVERHEAD.set(self.sampling_seconds / wall)
+            next_tick += self.interval
+            delay = next_tick - time.perf_counter()
+            if delay <= 0:
+                # fell behind (a sampling pass overran the interval):
+                # resynchronize instead of bursting to catch up
+                next_tick = time.perf_counter()
+            elif self._stop.wait(delay):
+                break
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    @property
+    def sampling_seconds(self) -> float:
+        with self._lock:
+            return self._sampling_seconds
+
+    def overhead_ratio(self) -> float:
+        """Self-measured duty cycle: sampling time / profiled wall time."""
+        end = self._stopped_at if self._stopped_at else time.perf_counter()
+        wall = end - self._started_at
+        return self.sampling_seconds / wall if wall > 0 else 0.0
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``frame;frame;...;leaf count`` lines,
+        heaviest stacks first (flamegraph.pl / speedscope compatible)."""
+        counts = self.counts()
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profile_for(seconds: float, *, hz: float = 50,
+                journal: EventJournal | None = JOURNAL) -> SamplingProfiler:
+    """Sample every thread for a fixed window and return the (stopped)
+    profiler — ``profile_for(1.0).collapsed()`` is the one-liner the
+    ``/debug/profile`` endpoint serves."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    profiler = SamplingProfiler(hz=hz, journal=journal)
+    with profiler:
+        # the sampler thread does the work; this thread just keeps the
+        # window open (Event.wait, not sleep, so tests can be precise)
+        threading.Event().wait(seconds)
+    return profiler

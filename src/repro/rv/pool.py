@@ -9,6 +9,18 @@ overhead and ``workers=0`` degrades to a plain loop.  The service
 (:mod:`repro.service`) reuses the same pool for request dispatch via
 :meth:`submit`.
 
+Two ops-plane duties ride on the pool:
+
+* **Context propagation** — ``contextvars`` don't cross threads on
+  their own, so :meth:`submit` and :meth:`map` capture the submitting
+  thread's context (including the active
+  :class:`~repro.obs.context.RequestContext`) and reactivate it on the
+  worker.  A kernel phase timer firing three threads deep still
+  attributes to the request that caused it.
+* **Lifecycle events** — worker starts, worker deaths (at shutdown) and
+  escaped task exceptions are journaled, so "did the pool lose a
+  thread?" is a query, not a guess.
+
 Python threads don't parallelize pure-Python inner loops (the GIL), but
 the pool keeps both callers' shapes honest — grouping, isolation and
 determinism are exactly what a process pool or a C kernel would need.
@@ -16,8 +28,12 @@ determinism are exactly what a process pool or a C kernel would need.
 
 from __future__ import annotations
 
+import contextvars
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.ops.journal import JOURNAL, WARN, EventJournal
 
 __all__ = ["WorkerPool"]
 
@@ -31,12 +47,17 @@ class WorkerPool:
     only created on first parallel use, so constructing a pool is free.
     """
 
-    def __init__(self, workers: int = 0, *, thread_name_prefix: str = "worker"):
+    def __init__(self, workers: int = 0, *,
+                 thread_name_prefix: str = "worker",
+                 journal: EventJournal | None = JOURNAL):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
         self.thread_name_prefix = thread_name_prefix
+        self._journal = journal
         self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._started_workers: list[str] = []
 
     @property
     def parallel(self) -> bool:
@@ -48,27 +69,63 @@ class WorkerPool:
         """Whether the underlying executor has been created."""
         return self._executor is not None
 
+    def _worker_started(self) -> None:
+        """Executor initializer: runs once on each new worker thread."""
+        name = threading.current_thread().name
+        with self._lock:
+            self._started_workers.append(name)
+        if self._journal is not None:
+            self._journal.emit("pool.worker_start", worker=name)
+
     def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix=self.thread_name_prefix,
+                initializer=self._worker_started,
             )
         return self._executor
 
     # -- dispatch -----------------------------------------------------------
 
+    def _carrying(self, fn: Callable, *args, **kwargs) -> Callable:
+        """Bind ``fn(*args, **kwargs)`` to the *submitting* thread's
+        ``contextvars`` snapshot, journaling exceptions that escape on
+        the worker (they still re-raise through the future)."""
+        captured = contextvars.copy_context()
+
+        def run():
+            try:
+                return captured.run(fn, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if self._journal is not None:
+                    self._journal.emit(
+                        "pool.task_error", WARN,
+                        task=getattr(fn, "__qualname__", repr(fn)),
+                        error=type(exc).__name__,
+                    )
+                raise
+
+        return run
+
     def map(self, fn: Callable, items: Sequence) -> list:
         """Apply ``fn`` to every item, in parallel when it pays off.
 
         Single-item sequences and ``workers <= 1`` run inline; otherwise
-        the items are fanned out to the executor and the results are
-        collected in input order (exceptions re-raise here, as with a
-        plain loop)."""
+        the items are fanned out to the executor — each on a copy of the
+        caller's context — and the results are collected in input order
+        (exceptions re-raise here, as with a plain loop)."""
         if not self.parallel or len(items) <= 1:
             return [fn(item) for item in items]
         executor = self._ensure_executor()
-        return list(executor.map(fn, items))
+        # One context copy per item: a contextvars.Context cannot be
+        # entered concurrently, and items may run on distinct threads.
+        contexts = [contextvars.copy_context() for _ in items]
+        futures = [
+            executor.submit(context.run, fn, item)
+            for context, item in zip(contexts, items)
+        ]
+        return [future.result() for future in futures]
 
     def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)``, returning its future.
@@ -83,16 +140,25 @@ class WorkerPool:
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 future.set_exception(exc)
             return future
-        return self._ensure_executor().submit(fn, *args, **kwargs)
+        return self._ensure_executor().submit(self._carrying(fn, *args, **kwargs))
 
     # -- lifecycle ----------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the executor (if started); the pool may be reused after —
-        the next parallel call starts a fresh executor."""
+        the next parallel call starts a fresh executor.  Worker threads
+        genuinely exit here, so each started worker's death is journaled
+        (with ``wait=False`` the events note the shutdown was unwaited)."""
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
             self._executor = None
+            with self._lock:
+                names = list(self._started_workers)
+                self._started_workers.clear()
+            if self._journal is not None:
+                for name in names:
+                    self._journal.emit("pool.worker_death",
+                                       worker=name, waited=wait)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -7,23 +7,54 @@ turn the cache into a throttle) and re-check before inserting, so a
 losing racer adopts the winner's value instead of double-inserting.
 Keys are the canonical structural hashes of :mod:`repro.canonical` —
 renaming-invariant, so isomorphic subjects share one cache line.
+
+Introspection is first-class (the ops plane's ``/debug/cache`` feeds on
+it): every line records its insertion time and hit count,
+:meth:`ResultCache.stats` returns the typed full breakdown — hits,
+misses, certificate-rejected evictions, LRU evictions, entry count and
+a (shallow) bytes estimate — and :meth:`ResultCache.lines` lists the
+per-line ages.  Evictions are reported to the event journal *after* the
+lock is released, never from inside it.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
+
+from repro.ops.journal import INFO, JOURNAL, EventJournal
 
 #: Distinguishes "no entry" from a legitimately-cached ``None`` value in
 #: the post-compute race re-check.
 _MISSING = object()
 
 
+class _Line:
+    """One cache entry plus its introspection record."""
+
+    __slots__ = ("value", "created_at", "hits", "size")
+
+    def __init__(self, value: object):
+        self.value = value
+        self.created_at = time.perf_counter()
+        self.hits = 0
+        # Shallow estimate (container/object header only, plus the key's
+        # share added by the caller): an honest lower bound that costs
+        # O(1), not a deep traversal of automata on the serving path.
+        try:
+            self.size = sys.getsizeof(value)
+        except TypeError:
+            self.size = 0
+
+
 @dataclass(frozen=True)
 class ResultCacheInfo:
-    """A point-in-time snapshot of the cache counters."""
+    """A point-in-time snapshot of the hit/miss counters (the original
+    PR-4 surface; :meth:`ResultCache.stats` is the full breakdown)."""
 
     hits: int
     misses: int
@@ -36,17 +67,61 @@ class ResultCacheInfo:
         return self.hits / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class ResultCacheStats:
+    """The typed per-cache breakdown served by ``/debug/cache``.
+
+    ``rejected`` counts certificate-replay evictions
+    (``verify_on_hit``); ``evictions`` counts LRU capacity evictions;
+    ``bytes_estimate`` is a *shallow* sum (keys + top-level values) —
+    a floor, not a census."""
+
+    hits: int
+    misses: int
+    rejected: int
+    evictions: int
+    entries: int
+    maxsize: int
+    bytes_estimate: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejected": self.rejected,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "maxsize": self.maxsize,
+            "bytes_estimate": self.bytes_estimate,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
 class ResultCache:
     """A bounded LRU mapping canonical keys to analysis results."""
 
-    def __init__(self, maxsize: int = 512):
+    def __init__(self, maxsize: int = 512, *,
+                 journal: EventJournal | None = JOURNAL):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self._journal = journal
         self._lock = threading.Lock()
-        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._entries: OrderedDict[str, _Line] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._rejected = 0
+        self._evictions = 0
+
+    def _note_evicted(self, keys: list[str]) -> None:
+        if self._journal is not None:
+            for key in keys:
+                self._journal.emit("cache.evicted", INFO, key=key)
 
     def get_or_compute(self, key: str | None, compute: Callable[[], object]) -> tuple[object, bool]:
         """Return ``(value, was_hit)``; uncacheable keys (``None``)
@@ -54,38 +129,52 @@ class ResultCache:
         if key is None:
             return compute(), False
         with self._lock:
-            if key in self._entries:
+            line = self._entries.get(key)
+            if line is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return self._entries[key], True
+                line.hits += 1
+                return line.value, True
         value = compute()
+        evicted: list[str] = []
         with self._lock:
-            existing = self._entries.get(key, _MISSING)
-            if existing is not _MISSING:
+            existing = self._entries.get(key)
+            if existing is not None:
                 # Raced with another miss on the same key: one compute
                 # wins, everyone returns its value.
                 self._entries.move_to_end(key)
                 self._misses += 1
-                return existing, False
-            self._entries[key] = value
+                return existing.value, False
+            self._entries[key] = _Line(value)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                dropped, _ = self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted.append(dropped)
             self._misses += 1
+        self._note_evicted(evicted)
         return value, False
 
     def put(self, key: str, value: object) -> None:
         """Insert eagerly (warm start)."""
+        evicted: list[str] = []
         with self._lock:
-            self._entries[key] = value
+            self._entries[key] = _Line(value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                dropped, _ = self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted.append(dropped)
+        self._note_evicted(evicted)
 
-    def invalidate(self, key: str) -> bool:
-        """Drop one entry (certificate replay failed on a hit, say);
-        returns whether anything was evicted."""
+    def invalidate(self, key: str, *, rejected: bool = False) -> bool:
+        """Drop one entry; returns whether anything was evicted.
+        ``rejected=True`` marks a certificate-replay failure (the
+        ``verify_on_hit`` path), counted separately in :meth:`stats`."""
         with self._lock:
-            return self._entries.pop(key, _MISSING) is not _MISSING
+            dropped = self._entries.pop(key, _MISSING) is not _MISSING
+            if dropped and rejected:
+                self._rejected += 1
+        return dropped
 
     def __len__(self) -> int:
         with self._lock:
@@ -100,6 +189,8 @@ class ResultCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._rejected = 0
+            self._evictions = 0
 
     def info(self) -> ResultCacheInfo:
         with self._lock:
@@ -110,9 +201,44 @@ class ResultCache:
                 maxsize=self.maxsize,
             )
 
+    def stats(self) -> ResultCacheStats:
+        """The full typed breakdown (no metrics scraping required)."""
+        with self._lock:
+            bytes_estimate = sum(
+                len(key) + line.size for key, line in self._entries.items()
+            )
+            return ResultCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                rejected=self._rejected,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                maxsize=self.maxsize,
+                bytes_estimate=bytes_estimate,
+            )
+
+    def lines(self) -> list[dict]:
+        """Per-line introspection rows (LRU order, coldest first)."""
+        now = time.perf_counter()
+        with self._lock:
+            snapshot = [
+                (key, line.created_at, line.hits, line.size)
+                for key, line in self._entries.items()
+            ]
+        return [
+            {
+                "key": key,
+                "age_seconds": now - created_at,
+                "hits": hits,
+                "bytes_estimate": len(key) + size,
+            }
+            for key, created_at, hits, size in snapshot
+        ]
+
     def __repr__(self) -> str:
-        info = self.info()
+        stats = self.stats()
         return (
-            f"ResultCache(size={info.size}/{info.maxsize}, "
-            f"hits={info.hits}, misses={info.misses})"
+            f"ResultCache(size={stats.entries}/{stats.maxsize}, "
+            f"hits={stats.hits}, misses={stats.misses}, "
+            f"rejected={stats.rejected}, evictions={stats.evictions})"
         )

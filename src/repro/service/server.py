@@ -19,22 +19,35 @@ Graceful degradation, in order of preference:
 * **uncacheable** — subjects the canonicalizer gives up on are computed
   uncached rather than risking a collision.
 
-Instrumented throughout via :mod:`repro.obs`: request/outcome counters,
-cache hit/miss counters, an in-flight gauge, per-kind latency
-histograms, and ``service.enqueue → service.compute → service.reply``
-spans (explicit cross-thread parenting, as in the rv engine).
+Observability is two-plane.  Metrics and spans (:mod:`repro.obs`) as
+before: request/outcome counters, cache hit/miss counters, an in-flight
+gauge, per-kind latency histograms, ``service.enqueue →
+service.compute → service.reply`` spans.  New in the ops plane
+(:mod:`repro.ops`): every admitted request gets a
+:class:`~repro.obs.context.RequestContext` — a trace id, deadline and
+origin carried through the worker pool into handler compute, so kernel
+:class:`~repro.obs.profile.PhaseTimer` samples attribute to *this
+request* — the live in-flight table (:meth:`AnalysisService.inflight`)
+shows each request's phase breakdown mid-flight, requests slower than
+``slow_threshold`` land in a retained slow-log with their full phase
+accounting, and every lifecycle edge (admitted / shed / timed out /
+done, cache outcome, certificate verdict) is journaled with the
+request id as correlation key.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as _FutureTimeout
 
+from repro.obs.context import RequestContext, use_context
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
 
+from repro.ops.journal import DEBUG, INFO, JOURNAL, WARN, EventJournal
 from repro.rv.pool import WorkerPool
 
 from . import handlers
@@ -76,25 +89,51 @@ _LATENCY = REGISTRY.histogram(
     "submit→compute-done wall time per request",
     ("kind",),
 )
+_SLOW = REGISTRY.counter(
+    "repro_service_slow_requests_total",
+    "requests that exceeded the slow-log threshold",
+    ("kind",),
+)
+
+#: Retained slow-log entries (oldest evicted first).
+SLOW_LOG_SIZE = 128
 
 
 class PendingReply:
     """One submitted request's reply slot (a future with deadline
-    semantics and a ``service.reply`` span on retrieval)."""
+    semantics and a ``service.reply`` span on retrieval).
 
-    __slots__ = ("request", "deadline", "_tracer", "_enqueue_span",
-                 "_compute_span", "_future")
+    ``context`` is the request's :class:`RequestContext` (``None`` when
+    the service runs with ``track_inflight=False``) — poll
+    ``reply.context.phases()`` mid-flight for the same breakdown
+    ``/debug/inflight`` serves."""
 
-    def __init__(self, request: Request, deadline: float | None, tracer, enqueue_span):
+    __slots__ = ("request", "deadline", "context", "_tracer",
+                 "_enqueue_span", "_compute_span", "_future", "_journal")
+
+    def __init__(self, request: Request, deadline: float | None, tracer,
+                 enqueue_span, context: RequestContext | None = None,
+                 journal: EventJournal | None = None):
         self.request = request
         self.deadline = deadline
+        self.context = context
         self._tracer = tracer
         self._enqueue_span = enqueue_span
         self._compute_span = NULL_SPAN
         self._future: Future | None = None
+        self._journal = journal
 
     def done(self) -> bool:
         return self._future is not None and self._future.done()
+
+    def _note_timeout(self, detail: str) -> None:
+        _TIMEOUTS.labels(kind=self.request.kind).add()
+        if self._journal is not None:
+            self._journal.emit(
+                "service.request_timeout", WARN,
+                request_id=self.context.request_id if self.context else None,
+                kind=self.request.kind, where="result", detail=detail,
+            )
 
     def result(self, timeout: float | None = None) -> ServiceResult:
         """Wait for the reply.
@@ -111,14 +150,14 @@ class PendingReply:
                 else min(remaining, until_deadline)
             )
         if remaining is not None and remaining <= 0 and not self.done():
-            _TIMEOUTS.labels(kind=self.request.kind).add()
+            self._note_timeout("deadline expired before wait")
             raise ServiceTimeout(
                 f"{self.request.kind} request deadline expired"
             )
         try:
             result = self._future.result(remaining)
         except _FutureTimeout:
-            _TIMEOUTS.labels(kind=self.request.kind).add()
+            self._note_timeout("no reply within wait budget")
             raise ServiceTimeout(
                 f"no {self.request.kind} reply within "
                 f"{remaining:.3f}s"
@@ -161,6 +200,21 @@ class AnalysisService:
         returned.  A rejected certificate evicts the poisoned line,
         recomputes fresh, and records a ``rejected`` cache event —
         "why trust a cached result?" answered with a proof, not a hash.
+    journal:
+        The :class:`~repro.ops.journal.EventJournal` lifecycle events go
+        to (the process-wide :data:`~repro.ops.journal.JOURNAL` by
+        default; ``None`` disables journaling entirely).
+    slow_threshold:
+        Requests whose submit→done wall time meets or exceeds this many
+        seconds are recorded in :meth:`slow_log` with their phase
+        breakdown and journaled at ``warn``.  ``None`` (default)
+        disables the slow-log.
+    track_inflight:
+        When true (default), every admitted request carries a
+        :class:`RequestContext` — the id/deadline/phase record behind
+        :meth:`inflight`, the slow-log and kernel-phase attribution.
+        ``False`` turns the whole context plane off (the
+        ``BENCH_obs_overhead.json`` baseline configuration).
     """
 
     def __init__(
@@ -172,55 +226,106 @@ class AnalysisService:
         tracer=None,
         default_timeout: float | None = None,
         verify_on_hit: bool = False,
+        journal: EventJournal | None = JOURNAL,
+        slow_threshold: float | None = None,
+        track_inflight: bool = True,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
-        self.pool = WorkerPool(workers, thread_name_prefix="svc-worker")
+        if slow_threshold is not None and slow_threshold < 0:
+            raise ValueError("slow_threshold must be >= 0")
+        self.pool = WorkerPool(
+            workers, thread_name_prefix="svc-worker", journal=journal
+        )
         self.max_pending = max_pending
-        self.cache = cache if cache is not None else ResultCache()
+        self.cache = cache if cache is not None else ResultCache(journal=journal)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.default_timeout = default_timeout
         self.verify_on_hit = verify_on_hit
+        self.journal = journal
+        self.slow_threshold = slow_threshold
+        self.track_inflight = track_inflight
         self._lock = threading.Lock()
         self._pending = 0
         self._closed = False
+        self._inflight: dict[str, RequestContext] = {}
+        self._slow: deque[dict] = deque(maxlen=SLOW_LOG_SIZE)
+
+    # -- journal plumbing ----------------------------------------------------
+
+    def _emit(self, name: str, level: int = INFO,
+              request_id: str | None = None, **fields) -> None:
+        if self.journal is not None:
+            self.journal.emit(name, level, request_id=request_id, **fields)
 
     # -- the request path ---------------------------------------------------
 
-    def submit(self, request: Request, *, timeout: float | None = None) -> PendingReply:
+    def submit(self, request: Request, *, timeout: float | None = None,
+               origin: str = "local") -> PendingReply:
         """Admit one request, returning its :class:`PendingReply`.
 
         Raises :class:`ServiceOverloaded` when ``max_pending`` requests
         are already in flight and :class:`ServiceClosed` after
-        :meth:`shutdown` — both *before* any work is queued."""
+        :meth:`shutdown` — both *before* any work is queued.  ``origin``
+        tags the request's context (e.g. ``"http"`` for a fronting
+        gateway) for the in-flight table and slow-log."""
         if not isinstance(request, Request):
             raise TypeError(
                 f"submit() takes a Request, not {type(request).__name__!r}"
             )
-        with self._lock:
-            if self._closed:
-                _REJECTED.labels(kind=request.kind, cause="closed").add()
-                raise ServiceClosed("service is shut down")
-            if self._pending >= self.max_pending:
-                _REJECTED.labels(kind=request.kind, cause="overload").add()
-                raise ServiceOverloaded(
-                    f"{self._pending} requests already in flight "
-                    f"(max_pending={self.max_pending})"
-                )
-            self._pending += 1
-            depth = self._pending
-        _QUEUE_DEPTH.add(1)
         submitted_at = time.perf_counter()
         if timeout is None:
             timeout = self.default_timeout
         deadline = None if timeout is None else submitted_at + timeout
+        context = None
+        journal = self.journal
+        if self.track_inflight:
+            # created before the admission lock (wasted work only on the
+            # rare reject) so registration shares the lock acquisition
+            context = RequestContext(
+                kind=request.kind, origin=origin, deadline=deadline
+            )
+        rejected_cause = None
+        with self._lock:
+            if self._closed:
+                rejected_cause = "closed"
+            elif self._pending >= self.max_pending:
+                rejected_cause = "overload"
+                depth = self._pending
+            else:
+                self._pending += 1
+                depth = self._pending
+                if context is not None:
+                    self._inflight[context.request_id] = context
+        if rejected_cause == "closed":
+            _REJECTED.labels(kind=request.kind, cause="closed").add()
+            self._emit("service.request_shed", WARN,
+                       kind=request.kind, cause="closed")
+            raise ServiceClosed("service is shut down")
+        if rejected_cause == "overload":
+            _REJECTED.labels(kind=request.kind, cause="overload").add()
+            self._emit("service.request_shed", WARN,
+                       kind=request.kind, cause="overload", pending=depth)
+            raise ServiceOverloaded(
+                f"{depth} requests already in flight "
+                f"(max_pending={self.max_pending})"
+            )
+        _QUEUE_DEPTH.add(1)
+        # admission is per-request chatter → debug; the level check
+        # here keeps the production posture to one compare
+        if (context is not None and journal is not None
+                and journal.min_level <= DEBUG):
+            journal.emit("service.request_admitted", DEBUG,
+                         request_id=context.request_id,
+                         kind=request.kind, origin=origin, pending=depth)
         enqueue_span = NULL_SPAN
         if self.tracer.enabled:
             with self.tracer.span(
                 "service.enqueue", kind=request.kind
             ) as enqueue_span:
                 enqueue_span.set(pending=depth)
-        reply = PendingReply(request, deadline, self.tracer, enqueue_span)
+        reply = PendingReply(request, deadline, self.tracer, enqueue_span,
+                             context, self.journal)
         try:
             reply._future = self.pool.submit(
                 self._process, request, deadline, submitted_at, reply
@@ -233,58 +338,116 @@ class AnalysisService:
             # closed error instead of a raw executor RuntimeError.
             with self._lock:
                 self._pending -= 1
+                if context is not None:
+                    self._inflight.pop(context.request_id, None)
             _QUEUE_DEPTH.sub(1)
             _REJECTED.labels(kind=request.kind, cause="closed").add()
+            self._emit("service.request_shed", WARN,
+                       request_id=context.request_id if context else None,
+                       kind=request.kind, cause="closed")
             raise ServiceClosed(
                 "service shut down while the request was being admitted"
             ) from exc
         return reply
 
-    def request(self, request: Request, *, timeout: float | None = None) -> ServiceResult:
+    def request(self, request: Request, *, timeout: float | None = None,
+                origin: str = "local") -> ServiceResult:
         """Submit and wait: ``submit(...).result()`` in one call."""
-        return self.submit(request, timeout=timeout).result()
+        return self.submit(request, timeout=timeout, origin=origin).result()
 
     def _process(
         self, request: Request, deadline: float | None,
         submitted_at: float, reply: PendingReply,
     ) -> ServiceResult:
         kind = request.kind
+        context = reply.context
+        request_id = context.request_id if context is not None else None
         span = NULL_SPAN
         if self.tracer.enabled:
             span = self.tracer.span(
                 "service.compute", parent=reply._enqueue_span, kind=kind
             )
+        picked_up = time.perf_counter()
+        if context is not None:
+            # Phase 1 of the wall-time partition: submit → worker pickup.
+            context.note_phase("queue", picked_up - submitted_at)
         try:
-            with span:
+            with span, use_context(context):
                 reply._compute_span = span
-                if deadline is not None and time.perf_counter() >= deadline:
+                if deadline is not None and picked_up >= deadline:
                     # Shed expired work instead of computing a reply
                     # nobody is waiting for.
                     _TIMEOUTS.labels(kind=kind).add()
                     _REQUESTS.labels(kind=kind, outcome="timeout").add()
                     span.set(outcome="expired")
+                    self._emit("service.request_timeout", WARN,
+                               request_id=request_id, kind=kind,
+                               where="worker",
+                               detail="deadline expired before compute")
                     raise ServiceTimeout(
                         f"{kind} request deadline expired before compute"
                     )
                 try:
                     key = handlers.cache_key(request)
-                    value, hit = self.cache.get_or_compute(
-                        key, lambda: handlers.compute(request)
-                    )
+                    compute_started = time.perf_counter()
+                    try:
+                        value, hit = self.cache.get_or_compute(
+                            key, lambda: handlers.compute(request)
+                        )
+                    finally:
+                        if context is not None:
+                            # Phase 2: cache lookup + (on miss) handler
+                            # compute.
+                            context.note_phase(
+                                "compute",
+                                time.perf_counter() - compute_started,
+                            )
                     event = "hit" if hit else ("miss" if key else "uncacheable")
                     if hit and self.verify_on_hit:
-                        value, hit, event = self._replay_hit(request, key, value)
+                        verify_started = time.perf_counter()
+                        try:
+                            value, hit, event = self._replay_hit(
+                                request, key, value, request_id
+                            )
+                        finally:
+                            if context is not None:
+                                # Phase 3: certificate replay on hits.
+                                context.note_phase(
+                                    "verify",
+                                    time.perf_counter() - verify_started,
+                                )
                 except ServiceError:
                     raise
-                except BaseException:
+                except BaseException as exc:
                     _REQUESTS.labels(kind=kind, outcome="error").add()
                     span.set(outcome="error")
+                    self._emit("service.request_done", WARN,
+                               request_id=request_id, kind=kind,
+                               outcome="error", error=type(exc).__name__)
                     raise
                 _CACHE_EVENTS.labels(kind=kind, event=event).add()
+                journal = self.journal
+                if journal is not None:
+                    # routine cache outcomes are chatter (debug); a
+                    # rejected certificate is an anomaly (warn)
+                    if event == "rejected":
+                        journal.emit("cache.rejected", WARN,
+                                     request_id=request_id, kind=kind, key=key)
+                    elif journal.min_level <= DEBUG:
+                        journal.emit("cache." + event, DEBUG,
+                                     request_id=request_id, kind=kind, key=key)
                 elapsed = time.perf_counter() - submitted_at
                 _LATENCY.labels(kind=kind).record(elapsed)
                 _REQUESTS.labels(kind=kind, outcome="ok").add()
                 span.set(outcome="ok", cache=event)
+                # a healthy completion is chatter too (errors above are
+                # warn) — the production posture journals anomalies only
+                if journal is not None and journal.min_level <= DEBUG:
+                    journal.emit("service.request_done", DEBUG,
+                                 request_id=request_id, kind=kind,
+                                 outcome="ok", cache=event, elapsed=elapsed)
+                if self.slow_threshold is not None:
+                    self._note_if_slow(context, kind, elapsed)
                 return ServiceResult(
                     request=request,
                     value=value,
@@ -295,9 +458,37 @@ class AnalysisService:
         finally:
             with self._lock:
                 self._pending -= 1
+                if context is not None:
+                    self._inflight.pop(context.request_id, None)
             _QUEUE_DEPTH.sub(1)
 
-    def _replay_hit(self, request: Request, key: str | None, value):
+    def _note_if_slow(self, context: RequestContext | None, kind: str,
+                      elapsed: float) -> None:
+        """Retain + journal a slow request with its phase evidence."""
+        if self.slow_threshold is None or elapsed < self.slow_threshold:
+            return
+        _SLOW.labels(kind=kind).add()
+        entry = {
+            "kind": kind,
+            "elapsed_seconds": elapsed,
+            "threshold_seconds": self.slow_threshold,
+        }
+        if context is not None:
+            entry.update(context.to_dict())
+            entry["elapsed_seconds"] = elapsed
+        with self._lock:
+            self._slow.append(entry)
+        self._emit(
+            "service.slow_request", WARN,
+            request_id=context.request_id if context else None,
+            kind=kind, elapsed=round(elapsed, 6),
+            threshold=self.slow_threshold,
+            phases={k: round(v, 6)
+                    for k, v in (context.phases() if context else {}).items()},
+        )
+
+    def _replay_hit(self, request: Request, key: str | None, value,
+                    request_id: str | None = None):
         """Re-verify a certificate-bearing cache hit before serving it.
 
         Values without a certificate pass through untouched (there is
@@ -310,8 +501,11 @@ class AnalysisService:
         from repro.certs import verify_certificate
 
         if verify_certificate(certificate).ok:
+            self._emit("cert.verify_pass", request_id=request_id, key=key)
             return value, True, "hit"
-        self.cache.invalidate(key)
+        self._emit("cert.verify_fail", WARN, request_id=request_id, key=key)
+        self.cache.invalidate(key, rejected=True)
+        # _process journals the summary "cache.rejected" outcome event
         value = handlers.compute(request)
         if key is not None:
             self.cache.put(key, value)
@@ -324,6 +518,49 @@ class AnalysisService:
         """Requests admitted but not yet finished."""
         with self._lock:
             return self._pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has been called (liveness probe)."""
+        with self._lock:
+            return self._closed
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` contract: is this instance routable?
+
+        ``ready`` is true iff the service is open *and* the admission
+        gate has headroom — a saturated instance reports unready so a
+        fronting balancer (or the future sharded tier) steers new work
+        elsewhere instead of queuing into guaranteed
+        :class:`ServiceOverloaded` rejections."""
+        with self._lock:
+            pending, closed = self._pending, self._closed
+        saturation = pending / self.max_pending
+        return {
+            "ready": not closed and pending < self.max_pending,
+            "closed": closed,
+            "pending": pending,
+            "max_pending": self.max_pending,
+            "saturation": saturation,
+            "workers": self.pool.workers,
+        }
+
+    def inflight(self) -> list[dict]:
+        """The live request table (``/debug/inflight``): one row per
+        admitted-but-unfinished request — id, kind, origin, age,
+        deadline remaining, and the phase breakdown recorded so far —
+        oldest first."""
+        with self._lock:
+            contexts = list(self._inflight.values())
+        rows = [context.to_dict() for context in contexts]
+        rows.sort(key=lambda row: row["age_seconds"], reverse=True)
+        return rows
+
+    def slow_log(self) -> list[dict]:
+        """Retained slow-request entries, oldest first (bounded at
+        :data:`SLOW_LOG_SIZE`)."""
+        with self._lock:
+            return list(self._slow)
 
     def snapshot(self) -> dict:
         """A stats dashboard: cache counters + in-flight depth."""
@@ -344,7 +581,10 @@ class AnalysisService:
     def shutdown(self, wait: bool = True) -> None:
         """Refuse new requests, then (by default) drain in-flight ones."""
         with self._lock:
+            already = self._closed
             self._closed = True
+        if not already:
+            self._emit("service.shutdown", wait=wait)
         self.pool.shutdown(wait=wait)
 
     def __enter__(self) -> "AnalysisService":

@@ -1,0 +1,226 @@
+"""RC009 ops discipline: lock-free response writes and catalogued
+journal event names — good and bad snippets."""
+
+from .conftest import rules_of
+
+GOOD_SNAPSHOT_THEN_WRITE = """
+    import json
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rows = []
+
+        def _respond(self, status, body):
+            pass
+
+        def get_debug(self):
+            with self._lock:
+                snapshot = list(self._rows)
+            body = json.dumps(snapshot).encode()
+            self._respond(200, body)
+"""
+
+BAD_RESPOND_UNDER_LOCK = """
+    import json
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rows = []
+
+        def _respond(self, status, body):
+            pass
+
+        def get_debug(self):
+            with self._lock:
+                self._respond(200, json.dumps(self._rows).encode())
+"""
+
+BAD_WFILE_WRITE_UNDER_LOCK = """
+    import threading
+
+    class Handler:
+        def get_metrics(self, registry):
+            with registry.export_lock:
+                self.wfile.write(b"repro_demo_total 1")
+"""
+
+BAD_SEND_HEADERS_UNDER_LOCK = """
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._depth = 0
+
+        def get_depth(self):
+            with self._lock:
+                self.send_response(200)
+                self.end_headers()
+                self._depth += 1
+"""
+
+GOOD_CATALOGUED_EMITS = """
+    EVENT_CATALOG = (
+        "demo.request_start",
+        "demo.request_done",
+    )
+
+    def serve(journal):
+        journal.emit("demo.request_start")
+        journal.emit("demo.request_done", outcome="ok")
+"""
+
+GOOD_REGISTERED_EMIT = """
+    EVENT_CATALOG = ("demo.request_start",)
+
+    def serve(journal):
+        journal.register("demo.custom_event")
+        journal.emit("demo.custom_event")
+"""
+
+BAD_MALFORMED_NAME = """
+    EVENT_CATALOG = ("demo.request_start",)
+
+    def serve(journal):
+        journal.emit("Demo Request Start!")
+"""
+
+BAD_UNREGISTERED_EMIT = """
+    EVENT_CATALOG = ("demo.request_start",)
+
+    def serve(journal):
+        journal.emit("demo.request_strat")
+"""
+
+BAD_MALFORMED_CATALOG_ENTRY = """
+    EVENT_CATALOG = ("demo.request_start", "Demo.BAD")
+"""
+
+GOOD_UNRELATED_EMIT_API = """
+    EVENT_CATALOG = ("demo.request_start",)
+
+    def emit(title, body=""):
+        print(title, body)
+
+    def report():
+        emit("TAB1 — some benchmark table", "| a | b |")
+"""
+
+GOOD_WRAPPER_EMIT = """
+    EVENT_CATALOG = ("demo.request_done",)
+
+    class Service:
+        def __init__(self, journal):
+            self.journal = journal
+
+        def _emit(self, name, **fields):
+            self.journal.emit(name, **fields)
+
+        def finish(self):
+            self._emit("demo.request_done")
+"""
+
+BAD_WRAPPER_EMIT_TYPO = """
+    EVENT_CATALOG = ("demo.request_done",)
+
+    class Service:
+        def _emit(self, name, **fields):
+            pass
+
+        def finish(self):
+            self._emit("demo.request_doen")
+"""
+
+GOOD_NO_CATALOG_IN_RUN = """
+    def serve(journal):
+        journal.emit("demo.whatever")
+"""
+
+
+def test_snapshot_then_write_is_clean(checker):
+    assert rules_of(checker.check(GOOD_SNAPSHOT_THEN_WRITE)) == []
+
+
+def test_respond_under_lock_is_flagged(checker):
+    report = checker.check(BAD_RESPOND_UNDER_LOCK)
+    assert rules_of(report) == ["RC009"]
+    assert "holding a lock" in report.findings[0].message
+
+
+def test_wfile_write_under_lock_is_flagged(checker):
+    report = checker.check(BAD_WFILE_WRITE_UNDER_LOCK)
+    assert "RC009" in rules_of(report)
+    assert any("wfile.write" in f.message for f in report.findings)
+
+
+def test_send_headers_under_lock_flag_each_write(checker):
+    report = checker.check(BAD_SEND_HEADERS_UNDER_LOCK)
+    assert rules_of(report).count("RC009") == 2  # send_response + end_headers
+
+
+def test_catalogued_emits_are_clean(checker):
+    assert rules_of(checker.check(GOOD_CATALOGUED_EMITS)) == []
+
+
+def test_register_call_counts_as_registration(checker):
+    assert rules_of(checker.check(GOOD_REGISTERED_EMIT)) == []
+
+
+def test_malformed_event_name_is_flagged(checker):
+    report = checker.check(BAD_MALFORMED_NAME)
+    assert rules_of(report) == ["RC009"]
+    assert "does not match" in report.findings[0].message
+
+
+def test_unregistered_emit_is_flagged_cross_file(checker):
+    checker.write("src/repro/demo/catalog.py", BAD_UNREGISTERED_EMIT)
+    report = checker.run()
+    assert rules_of(report) == ["RC009"]
+    assert "not in EVENT_CATALOG" in report.findings[0].message
+
+
+def test_catalog_in_one_file_registers_for_another(checker):
+    checker.write(
+        "src/repro/demo/catalog.py", 'EVENT_CATALOG = ("demo.request_start",)\n'
+    )
+    checker.write(
+        "src/repro/demo/emitter.py",
+        'def serve(journal):\n    journal.emit("demo.request_start")\n',
+    )
+    assert rules_of(checker.run()) == []
+
+
+def test_malformed_catalog_entry_is_flagged(checker):
+    report = checker.check(BAD_MALFORMED_CATALOG_ENTRY)
+    assert rules_of(report) == ["RC009"]
+
+
+def test_unrelated_emit_function_is_not_matched(checker):
+    assert rules_of(checker.check(GOOD_UNRELATED_EMIT_API)) == []
+
+
+def test_service_emit_wrapper_is_matched(checker):
+    assert rules_of(checker.check(GOOD_WRAPPER_EMIT)) == []
+    report = checker.check(BAD_WRAPPER_EMIT_TYPO, rel="src/repro/demo/bad.py")
+    assert "RC009" in rules_of(report)
+
+
+def test_without_a_catalog_registration_is_not_judged(checker):
+    # a partial run (single file, no EVENT_CATALOG anywhere) cannot know
+    # the catalog; only the name-shape check applies
+    assert rules_of(checker.check(GOOD_NO_CATALOG_IN_RUN)) == []
+
+
+def test_library_tree_is_rc009_clean():
+    from pathlib import Path
+
+    from repro.checks import run_checks
+    from repro.checks.rules_ops import OpsDisciplineRule
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = run_checks([src], [OpsDisciplineRule()])
+    assert report.findings == []

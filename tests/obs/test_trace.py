@@ -164,6 +164,77 @@ class TestExport:
         assert [s.name for s in tree[roots[0].span_id]] == ["child"]
 
 
+class TestOpenSpanExport:
+    """Regression: a trace dumped *mid-request* must show the spans that
+    are still running, not silently drop them."""
+
+    def test_open_spans_are_listed_while_active(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert [s.name for s in tracer.open_spans()] == [
+                    "outer", "inner"
+                ]
+            assert [s.name for s in tracer.open_spans()] == ["outer"]
+        assert tracer.open_spans() == []
+
+    def test_chrome_export_emits_open_spans_as_begin_events(self):
+        tracer = Tracer()
+        with tracer.span("serving", kind="decompose"):
+            events = tracer.chrome_events()
+            assert len(events) == 1
+            begin = events[0]
+            assert begin["ph"] == "B"
+            assert begin["name"] == "serving"
+            assert begin["args"]["open"] is True
+            assert "dur" not in begin
+        # once exited it exports as a normal complete event
+        done = tracer.chrome_events()
+        assert len(done) == 1
+        assert done[0]["ph"] == "X"
+
+    def test_jsonl_export_marks_open_spans(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "mid.jsonl"
+        with tracer.span("finished"):
+            pass
+        with tracer.span("running"):
+            tracer.export_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert "running" in by_name, "open span was dropped from the export"
+        assert by_name["running"]["open"] is True
+        assert by_name["running"]["duration"] >= 0
+        assert "open" not in by_name["finished"]
+
+    def test_mixed_export_keeps_finished_complete(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        with tracer.span("live"):
+            events = tracer.chrome_events()
+        phases = {e["name"]: e["ph"] for e in events}
+        assert phases == {"done": "X", "live": "B"}
+
+    def test_clear_forgets_open_spans(self):
+        tracer = Tracer()
+        with tracer.span("will_be_cleared"):
+            tracer.clear()
+            assert tracer.open_spans() == []
+        # the late __exit__ after clear() must not resurrect or crash
+        assert tracer.open_spans() == []
+
+    def test_sampled_out_spans_never_appear_open(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped"):
+            assert [s.name for s in tracer.open_spans()] == []
+
+    def test_null_tracer_has_no_open_spans(self):
+        assert NULL_TRACER.open_spans() == []
+
+
 class TestEngineIntegration:
     """The ISSUE's acceptance test: ingest→drain nesting survives the
     worker pool."""

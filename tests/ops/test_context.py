@@ -1,0 +1,114 @@
+"""RequestContext: identity, phase accounting, contextvar propagation —
+including across the worker pool and into kernel phase timers."""
+
+import threading
+
+from repro.obs.context import RequestContext, current_context, use_context
+from repro.obs.profile import PhaseTimer
+from repro.rv.pool import WorkerPool
+
+
+class TestIdentity:
+    def test_ids_are_process_unique(self):
+        seen = {RequestContext().request_id for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_explicit_id_wins(self):
+        assert RequestContext(request_id="r-42").request_id == "r-42"
+
+    def test_to_dict_is_the_inflight_row(self):
+        ctx = RequestContext(kind="decompose", origin="http")
+        row = ctx.to_dict()
+        assert row["kind"] == "decompose"
+        assert row["origin"] == "http"
+        assert row["age_seconds"] >= 0
+        assert row["deadline_remaining"] is None
+        assert row["phases"] == {}
+        assert row["subphases"] == {}
+
+    def test_deadline_remaining_counts_down(self):
+        import time
+
+        ctx = RequestContext(deadline=time.perf_counter() + 10.0)
+        remaining = ctx.remaining()
+        assert 0 < remaining <= 10.0
+
+
+class TestPhases:
+    def test_note_phase_accumulates(self):
+        ctx = RequestContext()
+        ctx.note_phase("compute", 0.25)
+        ctx.note_phase("compute", 0.25)
+        ctx.note_phase("queue", 0.1)
+        assert ctx.phases() == {"compute": 0.5, "queue": 0.1}
+
+    def test_phase_context_manager_times(self):
+        ctx = RequestContext()
+        with ctx.phase("compute"):
+            pass
+        assert 0 <= ctx.phases()["compute"] < 1.0
+
+    def test_subphases_are_separate(self):
+        ctx = RequestContext()
+        ctx.note_phase("compute", 1.0)
+        ctx.note_subphase("kernel.closure", 0.4)
+        assert "kernel.closure" not in ctx.phases()
+        assert ctx.subphases() == {"kernel.closure": 0.4}
+
+
+class TestPropagation:
+    def test_use_context_nests_and_restores(self):
+        assert current_context() is None
+        outer, inner = RequestContext(), RequestContext()
+        with use_context(outer):
+            assert current_context() is outer
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_plain_threads_do_not_inherit(self):
+        seen = []
+        with use_context(RequestContext()):
+            thread = threading.Thread(target=lambda: seen.append(current_context()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_pool_submit_carries_the_context(self):
+        with WorkerPool(2, journal=None) as pool:
+            ctx = RequestContext(kind="carried")
+            with use_context(ctx):
+                future = pool.submit(current_context)
+            assert future.result() is ctx
+
+    def test_pool_map_carries_the_context_per_item(self):
+        with WorkerPool(4, journal=None) as pool:
+            ctx = RequestContext(kind="mapped")
+            with use_context(ctx):
+                results = pool.map(lambda _: current_context(), range(8))
+            assert all(result is ctx for result in results)
+
+    def test_inline_pool_still_sees_the_context(self):
+        pool = WorkerPool(0, journal=None)
+        ctx = RequestContext()
+        with use_context(ctx):
+            assert pool.submit(current_context).result() is ctx
+
+
+class TestKernelAttribution:
+    def test_phase_timer_reports_into_the_active_context(self):
+        timer = PhaseTimer("repro.obs.ctxdemo")
+        ctx = RequestContext()
+        with use_context(ctx):
+            with timer.phase("closure"):
+                pass
+        subphases = ctx.subphases()
+        assert "repro.obs.ctxdemo.closure" in subphases
+        assert subphases["repro.obs.ctxdemo.closure"] >= 0
+
+    def test_phase_timer_without_context_is_silent(self):
+        timer = PhaseTimer("repro.obs.ctxdemo")
+        with timer.phase("closure"):
+            pass
+        assert current_context() is None

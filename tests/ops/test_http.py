@@ -1,0 +1,247 @@
+"""The ops HTTP endpoint: every route, the strict /metrics round-trip,
+the /healthz–/readyz contract, and input validation."""
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.buchi.random_automata import random_automaton
+from repro.obs.export import parse_prometheus_text
+from repro.ops.http import OpsServer, start_ops_server
+from repro.ops.journal import EventJournal
+from repro.service import AnalysisService, DecomposeRequest
+
+
+def get(url: str):
+    """(status, body-text, headers) — without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read().decode(), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(), dict(err.headers)
+
+
+@pytest.fixture
+def journal():
+    # debug level: several tests assert on per-request chatter
+    # (request_admitted, ops.http_request) filtered by the default posture
+    return EventJournal(min_level="debug")
+
+
+@pytest.fixture
+def service(journal):
+    with AnalysisService(workers=2, journal=journal,
+                         slow_threshold=0.0, verify_on_hit=True) as svc:
+        yield svc
+
+
+@pytest.fixture
+def ops(service, journal):
+    with OpsServer(service, journal=journal) as server:
+        yield server
+
+
+@pytest.fixture
+def automaton():
+    return random_automaton(random.Random(5), 4, name="http")
+
+
+class TestRouting:
+    def test_index_lists_endpoints(self, ops):
+        status, body, _ = get(ops.url + "/")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["service"] is True
+        assert "/metrics" in payload["endpoints"]
+
+    def test_unknown_route_is_404_with_directory(self, ops):
+        status, body, _ = get(ops.url + "/debug/nope")
+        assert status == 404
+        assert "/debug/events" in json.loads(body)["endpoints"]
+
+    def test_trailing_slashes_are_tolerated(self, ops):
+        assert get(ops.url + "/healthz/")[0] == 200
+
+
+class TestMetrics:
+    def test_metrics_round_trip_through_the_strict_parser(self, ops, service, automaton):
+        service.request(DecomposeRequest(automaton))
+        status, body, headers = get(ops.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        samples = parse_prometheus_text(body)
+        names = {name for name, _labels in samples}
+        assert "repro_service_requests_total" in names
+        assert "repro_ops_journal_events_total" in names
+
+
+class TestHealth:
+    def test_healthz_flips_503_on_shutdown(self, ops, service):
+        assert get(ops.url + "/healthz")[0] == 200
+        service.shutdown()
+        status, body, _ = get(ops.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "shutdown"
+
+    def test_readyz_contract(self, ops, service):
+        status, body, _ = get(ops.url + "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+        service.shutdown()
+        status, body, _ = get(ops.url + "/readyz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["ready"] is False
+        assert payload["closed"] is True
+
+    def test_readyz_reflects_admission_saturation(self, journal, automaton):
+        entered, gate = threading.Event(), threading.Event()
+        with AnalysisService(workers=2, max_pending=2, journal=journal) as svc:
+            with OpsServer(svc, journal=journal) as ops:
+                import repro.service.handlers as handlers
+                original = handlers.compute
+                def blocking(request):
+                    entered.set()
+                    gate.wait(5)
+                    return original(request)
+                handlers.compute = blocking
+                try:
+                    replies = [svc.submit(DecomposeRequest(automaton))
+                               for _ in range(2)]
+                    assert entered.wait(5)
+                    status, body, _ = get(ops.url + "/readyz")
+                    assert status == 503
+                    assert json.loads(body)["saturation"] == 1.0
+                    gate.set()
+                    for reply in replies:
+                        reply.result()
+                    assert get(ops.url + "/readyz")[0] == 200
+                finally:
+                    handlers.compute = original
+
+    def test_serviceless_endpoint_is_trivially_ready(self, journal):
+        with OpsServer(journal=journal) as ops:
+            status, body, _ = get(ops.url + "/readyz")
+            assert status == 200
+            assert json.loads(body) == {"ready": True, "service": False}
+            assert get(ops.url + "/healthz")[0] == 200
+
+
+class TestDebugEndpoints:
+    def test_inflight_shows_a_live_request(self, ops, service, automaton):
+        entered, gate = threading.Event(), threading.Event()
+        import repro.service.handlers as handlers
+        original = handlers.compute
+        def blocking(request):
+            entered.set()
+            gate.wait(5)
+            return original(request)
+        handlers.compute = blocking
+        try:
+            reply = service.submit(DecomposeRequest(automaton), origin="pytest")
+            assert entered.wait(5)
+            status, body, _ = get(ops.url + "/debug/inflight")
+            payload = json.loads(body)
+            assert status == 200 and payload["count"] == 1
+            row = payload["inflight"][0]
+            assert row["request_id"] == reply.context.request_id
+            assert row["origin"] == "pytest"
+            gate.set()
+            reply.result()
+        finally:
+            handlers.compute = original
+
+    def test_cache_endpoint_serves_stats_and_lines(self, ops, service, automaton):
+        service.request(DecomposeRequest(automaton))
+        service.request(DecomposeRequest(automaton))
+        status, body, _ = get(ops.url + "/debug/cache")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["stats"]["hits"] == 1
+        assert payload["stats"]["misses"] == 1
+        assert payload["stats"]["entries"] == 1
+        line = payload["lines"][0]
+        assert line["hits"] == 1
+        assert line["bytes_estimate"] > 0
+
+    def test_slowlog_endpoint(self, ops, service, automaton):
+        service.request(DecomposeRequest(automaton))  # slow_threshold=0.0
+        status, body, _ = get(ops.url + "/debug/slowlog")
+        payload = json.loads(body)
+        assert status == 200 and payload["count"] == 1
+        assert "phases" in payload["slow"][0]
+
+    def test_events_endpoint_serves_filtered_jsonl(self, ops, service, automaton):
+        reply = service.submit(DecomposeRequest(automaton))
+        reply.result()
+        request_id = reply.context.request_id
+        status, body, headers = get(
+            ops.url + f"/debug/events?request_id={request_id}"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        events = [json.loads(line) for line in body.splitlines()]
+        assert events
+        assert all(event["request_id"] == request_id for event in events)
+        assert events[0]["name"] == "service.request_admitted"
+
+    def test_events_limit_and_name_filters(self, ops, service, automaton):
+        for _ in range(3):
+            service.request(DecomposeRequest(automaton))
+        status, body, _ = get(
+            ops.url + "/debug/events?name=service.request_done&limit=2"
+        )
+        events = [json.loads(line) for line in body.splitlines()]
+        assert status == 200 and len(events) == 2
+        assert all(e["name"] == "service.request_done" for e in events)
+
+    def test_profile_endpoint_returns_collapsed_stacks(self, ops):
+        status, body, headers = get(ops.url + "/debug/profile?seconds=0.2&hz=100")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        header = body.splitlines()[0]
+        assert header.startswith("# repro.ops profile:")
+        assert "self-overhead" in header
+
+    @pytest.mark.parametrize("query", [
+        "seconds=0", "seconds=31", "seconds=abc", "hz=0", "hz=999",
+        "seconds=1&hz=-2",
+    ])
+    def test_profile_input_validation(self, ops, query):
+        status, body, _ = get(ops.url + f"/debug/profile?{query}")
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_events_limit_validation(self, ops):
+        assert get(ops.url + "/debug/events?limit=xyz")[0] == 400
+
+
+class TestLifecycle:
+    def test_start_twice_raises(self, journal):
+        server = OpsServer(journal=journal)
+        with server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+    def test_close_is_idempotent(self, journal):
+        server = start_ops_server(journal=journal)
+        server.close()
+        server.close()
+        assert not server.started
+
+    def test_server_lifecycle_is_journaled(self, journal):
+        with OpsServer(journal=journal):
+            pass
+        names = [e.name for e in journal.events()]
+        assert "ops.server_start" in names
+        assert "ops.server_stop" in names
+
+    def test_http_requests_are_journaled_at_debug(self, ops, journal):
+        get(ops.url + "/healthz")
+        hits = journal.events(name="ops.http_request")
+        assert hits and hits[-1].level_name == "debug"
+        assert dict(hits[-1].fields)["path"] == "/healthz"

@@ -1,0 +1,159 @@
+"""EventJournal: registration, level filtering, the bounded ring,
+filtered reads, and the JSONL wire format."""
+
+import json
+import threading
+
+import pytest
+
+from repro.ops.journal import (
+    DEBUG,
+    ERROR,
+    EVENT_CATALOG,
+    EVENT_NAME_RE,
+    INFO,
+    WARN,
+    EventJournal,
+    JournalError,
+    to_jsonl,
+)
+
+
+def journal(**kwargs) -> EventJournal:
+    return EventJournal(**kwargs)
+
+
+class TestRegistration:
+    def test_catalog_is_preregistered(self):
+        assert journal().registered() == frozenset(EVENT_CATALOG)
+
+    def test_catalog_names_are_well_formed(self):
+        assert all(EVENT_NAME_RE.match(name) for name in EVENT_CATALOG)
+
+    def test_emitting_unregistered_raises(self):
+        with pytest.raises(JournalError, match="unregistered"):
+            journal().emit("demo.not_a_thing")
+
+    def test_register_then_emit(self):
+        j = journal()
+        j.register("demo.custom")
+        j.emit("demo.custom", answer=42)
+        assert j.events(name="demo.custom")[0].to_dict()["answer"] == 42
+
+    @pytest.mark.parametrize("bad", ["", "Upper.case", "9starts.with.digit",
+                                     "has space", "trailing-dash-"])
+    def test_malformed_names_are_rejected(self, bad):
+        with pytest.raises(JournalError, match="invalid event name"):
+            journal().register(bad)
+
+
+class TestLevels:
+    def test_default_posture_is_info(self):
+        """The production default: debug chatter is suppressed at the
+        source (one compare, nothing retained, nothing counted)."""
+        j = journal()
+        assert j.min_level == INFO
+        j.emit("cache.hit", DEBUG)
+        assert j.events() == []
+        assert j.stats()["emitted"] == 0
+
+    def test_min_level_filters_at_the_source(self):
+        j = journal(min_level=INFO)
+        j.emit("cache.hit", DEBUG)
+        j.emit("cache.miss", INFO)
+        assert [e.name for e in j.events()] == ["cache.miss"]
+
+    def test_min_level_accepts_names(self):
+        j = journal(min_level="warn")
+        assert j.min_level == WARN
+        j.set_min_level("error")
+        assert j.min_level == ERROR
+        with pytest.raises(JournalError, match="unknown level"):
+            j.set_min_level("loud")
+
+    def test_level_names_round_trip(self):
+        j = journal()
+        j.emit("cache.hit", WARN)
+        assert j.events()[0].level_name == "warn"
+
+
+class TestRing:
+    def test_ring_is_bounded_and_counts_drops(self):
+        j = journal(maxlen=4)
+        for _ in range(10):
+            j.emit("cache.hit")
+        assert len(j) == 4
+        stats = j.stats()
+        assert stats["emitted"] == 10
+        assert stats["dropped"] == 6
+        # seq keeps counting across drops
+        assert [e.seq for e in j.events()] == [7, 8, 9, 10]
+
+    def test_drain_empties(self):
+        j = journal()
+        j.emit("cache.hit")
+        j.emit("cache.miss")
+        drained = j.drain()
+        assert [e.name for e in drained] == ["cache.hit", "cache.miss"]
+        assert len(j) == 0
+
+    def test_concurrent_emits_lose_nothing(self):
+        j = journal(maxlen=10_000)
+
+        def hammer():
+            for _ in range(500):
+                j.emit("cache.hit")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert j.stats()["emitted"] == 2000
+        assert len({e.seq for e in j.events()}) == 2000
+
+
+class TestReads:
+    def test_filters_compose(self):
+        j = journal()
+        j.emit("cache.hit", INFO, request_id="r-1")
+        j.emit("cache.miss", INFO, request_id="r-2")
+        j.emit("cert.verify_fail", WARN, request_id="r-1")
+        assert [e.name for e in j.events(request_id="r-1")] == [
+            "cache.hit", "cert.verify_fail"
+        ]
+        assert [e.name for e in j.events(level=WARN)] == ["cert.verify_fail"]
+        assert [e.name for e in j.events(name="cache.miss")] == ["cache.miss"]
+
+    def test_limit_keeps_the_newest(self):
+        j = journal()
+        for _ in range(5):
+            j.emit("cache.hit")
+        kept = j.events(limit=2)
+        assert [e.seq for e in kept] == [4, 5]
+
+    def test_events_are_immutable_records(self):
+        j = journal()
+        j.emit("cache.hit", key="k")
+        event = j.events()[0]
+        with pytest.raises(AttributeError):
+            event.name = "other"
+
+
+class TestJsonl:
+    def test_to_jsonl_round_trips(self):
+        j = journal()
+        j.emit("cache.hit", INFO, request_id="r-9", key="abc")
+        j.emit("service.request_done", WARN, outcome="error")
+        lines = to_jsonl(j.events()).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "cache.hit"
+        assert first["request_id"] == "r-9"
+        assert first["key"] == "abc"
+        assert first["level"] == "info"
+        second = json.loads(lines[1])
+        assert second["outcome"] == "error"
+
+    def test_empty_journal_serializes_empty(self):
+        assert to_jsonl([]) == ""

@@ -1,0 +1,104 @@
+"""The sampling profiler: collapsed-stack output, self-overhead honesty,
+and lifecycle discipline."""
+
+import re
+import threading
+
+import pytest
+
+from repro.ops.journal import EventJournal
+from repro.ops.sampler import SamplingProfiler, profile_for
+
+#: ``frame;frame;...;leaf count`` — what flamegraph.pl consumes.
+COLLAPSED_LINE = re.compile(r"^\S+(;\S+)* \d+$")
+
+
+def _spin_a_recognizable_thread(stop: threading.Event) -> threading.Thread:
+    def recognizable_busy_loop():
+        while not stop.is_set():
+            sum(range(200))
+
+    thread = threading.Thread(target=recognizable_busy_loop, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestSampling:
+    def test_profile_for_catches_a_busy_thread(self):
+        stop = threading.Event()
+        _spin_a_recognizable_thread(stop)
+        try:
+            profiler = profile_for(0.4, hz=100, journal=None)
+        finally:
+            stop.set()
+        assert profiler.samples > 0
+        collapsed = profiler.collapsed()
+        assert "recognizable_busy_loop" in collapsed
+
+    def test_collapsed_format_is_flamegraph_compatible(self):
+        stop = threading.Event()
+        _spin_a_recognizable_thread(stop)
+        try:
+            profiler = profile_for(0.3, hz=100, journal=None)
+        finally:
+            stop.set()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        assert all(COLLAPSED_LINE.match(line) for line in lines)
+        # heaviest-first ordering
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_overhead_is_measured_and_small(self):
+        profiler = profile_for(0.3, hz=50, journal=None)
+        ratio = profiler.overhead_ratio()
+        assert 0 <= ratio < 0.5  # a 50 Hz sampler must not eat half the CPU
+        assert profiler.sampling_seconds >= 0
+
+    def test_counts_accumulate_identical_stacks(self):
+        stop = threading.Event()
+        _spin_a_recognizable_thread(stop)
+        try:
+            profiler = profile_for(0.4, hz=100, journal=None)
+        finally:
+            stop.set()
+        busy = [count for stack, count in profiler.counts().items()
+                if "recognizable_busy_loop" in stack]
+        assert busy and max(busy) > 1
+
+
+class TestLifecycle:
+    def test_one_shot_start(self):
+        profiler = SamplingProfiler(journal=None)
+        profiler.start()
+        profiler.stop()
+        with pytest.raises(RuntimeError, match="already started"):
+            profiler.start()
+
+    def test_stop_is_idempotent_before_start(self):
+        SamplingProfiler(journal=None).stop()  # no thread: a no-op
+
+    def test_running_flag(self):
+        profiler = SamplingProfiler(journal=None)
+        assert not profiler.running
+        with profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_profile_lifecycle_is_journaled(self):
+        j = EventJournal()
+        profile_for(0.05, hz=20, journal=j)
+        names = [e.name for e in j.events()]
+        assert names == ["ops.profile_start", "ops.profile_done"]
+        done = j.events(name="ops.profile_done")[0].to_dict()
+        assert done["overhead_ratio"] >= 0
+        assert done["samples"] >= 0
+
+    @pytest.mark.parametrize("hz", [0, -5, 1001])
+    def test_hz_validation(self, hz):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=hz)
+
+    def test_seconds_validation(self):
+        with pytest.raises(ValueError):
+            profile_for(0, journal=None)

@@ -112,3 +112,112 @@ class TestRacing:
             t.join()
         assert len(results) == 4
         assert len({id(v) for v in results}) == 1
+
+
+class TestStats:
+    """The typed introspection surface behind /debug/cache."""
+
+    def test_stats_full_breakdown(self):
+        cache = ResultCache(maxsize=2, journal=None)
+        cache.get_or_compute("a", lambda: "x")
+        cache.get_or_compute("a", lambda: "x")
+        cache.get_or_compute("b", lambda: "y")
+        cache.get_or_compute("c", lambda: "z")  # evicts a
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 3
+        assert stats.evictions == 1
+        assert stats.rejected == 0
+        assert stats.entries == 2
+        assert stats.maxsize == 2
+        assert stats.bytes_estimate > 0
+        assert stats.hit_ratio == pytest.approx(1 / 4)
+
+    def test_rejected_invalidation_is_counted_separately(self):
+        cache = ResultCache(journal=None)
+        cache.put("poisoned", "value")
+        cache.put("stale", "value")
+        assert cache.invalidate("poisoned", rejected=True)
+        assert cache.invalidate("stale")
+        assert not cache.invalidate("absent", rejected=True)
+        stats = cache.stats()
+        assert stats.rejected == 1
+        assert stats.evictions == 0
+
+    def test_to_dict_is_json_shaped(self):
+        cache = ResultCache(journal=None)
+        cache.get_or_compute("a", lambda: 1)
+        payload = cache.stats().to_dict()
+        assert payload["misses"] == 1
+        assert set(payload) == {
+            "hits", "misses", "rejected", "evictions", "entries",
+            "maxsize", "bytes_estimate", "hit_ratio",
+        }
+
+    def test_lines_report_age_hits_and_size(self):
+        cache = ResultCache(journal=None)
+        cache.get_or_compute("hot", lambda: "v")
+        cache.get_or_compute("hot", lambda: "v")
+        cache.get_or_compute("cold", lambda: "w")
+        lines = {line["key"]: line for line in cache.lines()}
+        assert lines["hot"]["hits"] == 1
+        assert lines["cold"]["hits"] == 0
+        assert all(line["age_seconds"] >= 0 for line in lines.values())
+        assert all(line["bytes_estimate"] > len(key)
+                   for key, line in lines.items())
+
+    def test_lines_are_lru_ordered_coldest_first(self):
+        cache = ResultCache(journal=None)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # touch: a is now hottest
+        assert [line["key"] for line in cache.lines()] == ["b", "a"]
+
+    def test_clear_resets_all_counters(self):
+        cache = ResultCache(maxsize=1, journal=None)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.invalidate("b", rejected=True)
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.rejected,
+                stats.evictions, stats.entries) == (0, 0, 0, 0, 0)
+
+    def test_evictions_are_journaled_outside_the_lock(self):
+        from repro.ops.journal import EventJournal
+
+        journal = EventJournal()
+        cache = ResultCache(maxsize=1, journal=journal)
+        cache.get_or_compute("a", lambda: 1)
+        cache.put("b", 2)
+        events = journal.events(name="cache.evicted")
+        assert len(events) == 1
+        assert dict(events[0].fields)["key"] == "a"
+
+    def test_verify_on_hit_rejection_updates_stats(self):
+        """End-to-end: a poisoned certificate on a cache hit bumps
+        ``stats().rejected`` via the service's replay path."""
+        import dataclasses
+        import random
+
+        from repro.buchi.random_automata import random_automaton
+        from repro.service import AnalysisService, DecomposeRequest
+
+        automaton = random_automaton(random.Random(3), 4, name="stats")
+        with AnalysisService(workers=1, verify_on_hit=True,
+                             journal=None) as service:
+            good = service.request(DecomposeRequest(automaton, certify=True))
+            bad_cert = dataclasses.replace(
+                good.value.certificate,
+                digest="0" * len(good.value.certificate.digest),
+            )
+            service.cache.put(
+                good.key, dataclasses.replace(good.value, certificate=bad_cert)
+            )
+            assert service.request(
+                DecomposeRequest(automaton, certify=True)
+            ).cached is False
+            stats = service.cache.stats()
+            assert stats.rejected == 1
+            # the fresh recompute was re-inserted
+            assert stats.entries == 1
