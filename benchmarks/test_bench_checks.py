@@ -1,0 +1,136 @@
+"""Checker economics — what the flow-sensitive analysis pass costs and
+what the incremental cache buys back (DESIGN.md §12).
+
+Three timings over one deterministic synthetic project (lock-heavy
+modules chained by imports, so the CFG, lock-set fixpoint, and call
+graph all do real work):
+
+* *cold* — a full ``run_checks`` with every rule and no cache;
+* *warm* — the same run replayed entirely from the incremental cache
+  (only the merge + finalize phases execute).  The measured speedup is
+  asserted ≥ 3× and recorded in ``extra_info.speedup_vs_cold``;
+* *parallel* — the cold run fanned out over worker processes
+  (``--jobs``), recording what the process-pool overhead costs at this
+  project size.
+"""
+
+import time
+
+import pytest
+
+from repro.checks import IncrementalCache, all_rules, run_checks
+
+from .conftest import emit
+
+MODULE_COUNT = 36
+
+_TEMPLATE = '''\
+"""Generated benchmark module {i}."""
+
+import threading
+{import_line}
+
+class Helper{i}:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items)
+
+    def risky_update(self, item):
+        self._lock.acquire()
+        try:
+            self._items.append(item)
+        finally:
+            self._lock.release()
+
+
+def process_{i}(helper: Helper{i}, items):
+    total = 0
+    for item in items:
+        if item:
+            helper.add(item)
+        else:
+            helper.risky_update(item)
+        total += 1
+    return helper.snapshot(), total
+'''
+
+
+@pytest.fixture(scope="module")
+def project(tmp_path_factory):
+    """A deterministic synthetic src tree; sanity-checked clean once."""
+    root = tmp_path_factory.mktemp("checks-bench")
+    package = root / "src" / "repro" / "gen"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text(
+        '"""Generated package."""\n\n__all__ = []\n'
+    )
+    for i in range(MODULE_COUNT):
+        import_line = (
+            f"\nfrom repro.gen.mod{i - 1} import Helper{i - 1}\n" if i else ""
+        )
+        (package / f"mod{i}.py").write_text(
+            _TEMPLATE.format(i=i, import_line=import_line)
+        )
+    paths = [root / "src"]
+    report = run_checks(paths, all_rules())
+    assert report.findings == [], [f.render() for f in report.findings]
+    return paths
+
+
+def test_cold_full_analysis(benchmark, project):
+    report = benchmark.pedantic(
+        lambda: run_checks(project, all_rules()), rounds=3, iterations=1
+    )
+    assert report.files_scanned == MODULE_COUNT + 1
+    benchmark.extra_info["files"] = report.files_scanned
+    emit(
+        "checks — cold full analysis",
+        f"files={report.files_scanned} findings={len(report.findings)}",
+    )
+
+
+def test_warm_incremental_analysis(benchmark, project, tmp_path):
+    cache_path = tmp_path / "checks-cache"
+    t0 = time.perf_counter()
+    run_checks(project, all_rules(), cache=IncrementalCache(cache_path))
+    cold_s = time.perf_counter() - t0
+
+    def warm():
+        return run_checks(
+            project, all_rules(), cache=IncrementalCache(cache_path)
+        )
+
+    t0 = time.perf_counter()
+    report = warm()
+    warm_s = time.perf_counter() - t0
+    assert report.files_cached == report.files_scanned
+    speedup = cold_s / warm_s
+    # the acceptance bar: replaying unchanged files must be ≥ 3× faster
+    # than re-analyzing them (in practice it is ~10×; 3 leaves headroom
+    # for noisy shared runners)
+    assert speedup >= 3.0, f"warm run only {speedup:.1f}x faster than cold"
+    benchmark.pedantic(warm, rounds=3, iterations=1)
+    benchmark.extra_info["files"] = report.files_scanned
+    benchmark.extra_info["speedup_vs_cold"] = round(speedup, 2)
+    emit(
+        "checks — warm incremental analysis",
+        f"cold={cold_s * 1e3:.1f}ms warm={warm_s * 1e3:.1f}ms "
+        f"speedup={speedup:.1f}x",
+    )
+
+
+def test_parallel_jobs_analysis(benchmark, project):
+    report = benchmark.pedantic(
+        lambda: run_checks(project, all_rules(), jobs=2), rounds=3, iterations=1
+    )
+    assert report.files_scanned == MODULE_COUNT + 1
+    benchmark.extra_info["jobs"] = 2
+    emit("checks — parallel (--jobs 2)", f"files={report.files_scanned}")

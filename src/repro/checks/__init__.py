@@ -1,10 +1,14 @@
 """repro.checks — the repo's self-hosted static analysis pass.
 
-A stdlib-only, AST-based rule engine that machine-checks the
-implementation invariants the paper's lemmas cannot: lock discipline
-(RC001), metric naming (RC002), import hygiene and layering (RC003),
-curated ``__all__`` surfaces (RC004), and frozen module-level tables
-(RC005).  Run it with::
+A stdlib-only rule engine that machine-checks the implementation
+invariants the paper's lemmas cannot: lock discipline (RC001), metric
+naming (RC002), import hygiene and layering (RC003), curated
+``__all__`` surfaces (RC004), frozen module-level tables (RC005) — and,
+flow-sensitively, lock-order deadlocks (RC010), blocking calls under a
+lock (RC011), and exception-unsafe lock releases (RC012), built on a
+per-function CFG (:mod:`repro.checks.cfg`), a lattice fixpoint engine
+(:mod:`repro.checks.dataflow`), and a project call graph
+(:mod:`repro.checks.callgraph`).  Run it with::
 
     python -m repro.checks src tests benchmarks examples
 
@@ -18,20 +22,37 @@ nothing from the rest of ``repro`` (RC003 enforces that about itself).
 """
 
 from .baseline import load_baseline, write_baseline
-from .core import Finding, ModuleFile, Report, Rule, Suppressions, run_checks
+from .cache import IncrementalCache
+from .callgraph import CallGraph, index_module
+from .cfg import CFG, build_cfg, iter_functions
+from .core import (
+    FileResult,
+    Finding,
+    ModuleFile,
+    Report,
+    Rule,
+    Suppressions,
+    analyze_file,
+    run_checks,
+)
+from .dataflow import ForwardAnalysis, LockSetAnalysis, is_fixpoint, solve_forward
 from .registry import RULE_CLASSES, all_rules
 from .rules_api import ApiSurfaceRule
+from .rules_flow import BlockingUnderLockRule, ExceptionUnsafeLockRule, LockOrderRule
 from .rules_imports import ImportHygieneRule
 from .rules_locks import LockDisciplineRule
 from .rules_metrics import MetricNamingRule
 from .rules_state import MutableModuleStateRule
+from .sarif import to_sarif, write_sarif
 
 __all__ = [
     "Finding",
+    "FileResult",
     "ModuleFile",
     "Report",
     "Rule",
     "Suppressions",
+    "analyze_file",
     "run_checks",
     "all_rules",
     "RULE_CLASSES",
@@ -40,6 +61,21 @@ __all__ = [
     "ImportHygieneRule",
     "ApiSurfaceRule",
     "MutableModuleStateRule",
+    "LockOrderRule",
+    "BlockingUnderLockRule",
+    "ExceptionUnsafeLockRule",
+    "CFG",
+    "build_cfg",
+    "iter_functions",
+    "ForwardAnalysis",
+    "LockSetAnalysis",
+    "solve_forward",
+    "is_fixpoint",
+    "CallGraph",
+    "index_module",
+    "IncrementalCache",
+    "to_sarif",
+    "write_sarif",
     "load_baseline",
     "write_baseline",
 ]

@@ -1,0 +1,136 @@
+"""The incremental analysis cache: replay unchanged files' results.
+
+The map step of the runner (:func:`repro.checks.core.analyze_file`) is
+a pure function of one file's bytes and the checker's own source — so
+its :class:`~repro.checks.core.FileResult` can be stored and replayed.
+The cache is a single pickle file holding one entry per analyzed path:
+
+``rel → ((mtime_ns, size, sha256), FileResult)``
+
+Lookup is two-tier:
+
+* **fast path** — if the file's ``mtime_ns`` *and* ``size`` match the
+  stored signature, the entry is reused without reading the file;
+* **content path** — otherwise the file is hashed; an unchanged sha256
+  (e.g. after ``git checkout`` touched the mtime) still hits, and the
+  stored stat signature is refreshed so the next run takes the fast
+  path again.
+
+The whole cache is invalidated wholesale when the *checker itself*
+changes: the pickle carries a token hashing every ``repro/checks/*.py``
+source, so editing a rule can never replay stale findings.  Corrupt or
+version-skewed cache files are treated as empty, never as errors — the
+cache is an accelerator, not a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+CACHE_VERSION = 1
+
+#: Default cache location when ``--cache`` is given without a path.
+DEFAULT_CACHE_PATH = ".checks-cache"
+
+_package_token: str | None = None
+
+
+def package_token() -> str:
+    """A hash of the checks package's own sources — the wholesale
+    invalidation key (computed once per process)."""
+    global _package_token
+    if _package_token is None:
+        digest = hashlib.sha256()
+        package_dir = Path(__file__).parent
+        for source in sorted(package_dir.glob("*.py")):
+            digest.update(source.name.encode())
+            digest.update(source.read_bytes())
+        _package_token = digest.hexdigest()
+    return _package_token
+
+
+def _content_hash(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class IncrementalCache:
+    """mtime/content-hash keyed store of :class:`FileResult` pickles."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = pickle.loads(self.path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("token") != package_token()
+        ):
+            return
+        self._entries = payload.get("entries", {})
+
+    def _signature(self, path: Path):
+        stat = path.stat()
+        return stat.st_mtime_ns, stat.st_size
+
+    def get(self, path: Path, rel: str):
+        """The cached :class:`FileResult` for ``path``, or ``None``."""
+        entry = self._entries.get(rel)
+        if entry is None:
+            self.misses += 1
+            return None
+        (mtime_ns, size, digest), result = entry
+        try:
+            cur_mtime, cur_size = self._signature(path)
+        except OSError:
+            self.misses += 1
+            return None
+        if (cur_mtime, cur_size) == (mtime_ns, size):
+            self.hits += 1
+            return result
+        if cur_size == size and _content_hash(path) == digest:
+            # content unchanged, stat churned (checkout/copy): refresh
+            # the stat signature so the next run takes the fast path
+            self._entries[rel] = ((cur_mtime, cur_size, digest), result)
+            self._dirty = True
+            self.hits += 1
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, path: Path, rel: str, result) -> None:
+        try:
+            mtime_ns, size = self._signature(path)
+        except OSError:
+            return
+        self._entries[rel] = ((mtime_ns, size, _content_hash(path)), result)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist (write-then-rename); no-op when clean."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "token": package_token(),
+            "entries": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

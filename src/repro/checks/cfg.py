@@ -1,0 +1,473 @@
+"""Control-flow graphs for the flow-sensitive rules (RC010–RC012).
+
+:func:`build_cfg` turns one function or method body into a
+statement-level control-flow graph: every executable statement of the
+function is attributed to **exactly one** node (compound statements —
+``if``/``while``/``for``/``with``/``match`` — own the node holding
+their header; their nested statements get nodes of their own), and the
+edges spell out what the syntax leaves implicit:
+
+* branch/loop structure, including ``else`` clauses, ``break``,
+  ``continue`` and early ``return``;
+* ``with`` blocks: a synthetic *with-exit* node (carrying the original
+  ``ast.With``) sits on **every** path out of the body — normal
+  fall-through, early jumps, and the exception path — because that is
+  where a context manager's ``__exit__`` (read: a lock release) runs;
+* ``try``/``except``/``finally``: exceptions route to the handler
+  dispatch of the innermost enclosing ``try``, then onward through any
+  ``finally`` (built once and shared — paths merge there, a deliberate
+  over-approximation) before leaving the function;
+* exception edges: every statement that can plausibly raise gets an
+  ``"exception"`` edge to wherever its exception would land, ending at
+  the function's dedicated exceptional exit.  Dataflow facts travel
+  these edges *as they were on entry to the statement* — the exception
+  may fire before the statement's effect.
+
+The graph is deliberately conservative (extra paths, never missing
+ones): the rules built on it are *may*-analyses, so a spurious path can
+at worst cost a suppression comment, while a missing path would hide a
+deadlock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Edge kinds.  ``"normal"`` edges carry a statement's post-fact,
+#: ``"exception"`` edges carry its pre-fact (the exception may occur
+#: before the statement's effect lands).
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+#: Node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise-exit"
+STMT = "stmt"
+WITH_EXIT = "with-exit"
+DISPATCH = "dispatch"
+FINALLY = "finally"
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+_TryTypes = (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+_ScopeDef = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+#: Expression node types whose evaluation can plausibly raise.  Plain
+#: names and constants cannot (so ``return self`` adds no exception
+#: edge — important for ``__enter__``-style methods that intentionally
+#: hold a lock past the function boundary).
+_RAISING_EXPRS = (
+    ast.Call, ast.Attribute, ast.Subscript, ast.BinOp, ast.UnaryOp,
+    ast.Compare, ast.Await, ast.Yield, ast.YieldFrom, ast.Starred,
+)
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement (or synthetic control point) plus its
+    out-edges as ``(successor id, edge kind)`` pairs."""
+
+    id: int
+    kind: str
+    stmts: list = field(default_factory=list)
+    #: on WITH_EXIT nodes: the ``ast.With``/``ast.AsyncWith`` whose
+    #: context managers exit here
+    with_node: ast.With | ast.AsyncWith | None = None
+    succs: list = field(default_factory=list)
+
+    @property
+    def stmt(self):
+        return self.stmts[0] if self.stmts else None
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function/method."""
+
+    name: str
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def successors(self, node_id: int):
+        return self.nodes[node_id].succs
+
+    def statement_nodes(self):
+        """``(node, stmt)`` for every statement attributed to a node."""
+        for node in self.nodes:
+            for stmt in node.stmts:
+                yield node, stmt
+
+    def render(self) -> str:
+        """A human-readable dump (debugging aid for rule authors)."""
+        lines = [f"cfg {self.name}:"]
+        for node in self.nodes:
+            what = node.kind
+            if node.stmts:
+                what += f" {type(node.stmt).__name__}@{node.stmt.lineno}"
+            edges = ", ".join(
+                f"{'!' if kind == EXCEPTION else ''}{succ}"
+                for succ, kind in node.succs
+            )
+            lines.append(f"  [{node.id}] {what} -> {edges or '-'}")
+        return "\n".join(lines)
+
+
+def executable_statements(func) -> list:
+    """Every statement of ``func`` that the CFG must cover — the bodies
+    of compound statements at any depth, but **not** the interiors of
+    nested function/class definitions (those are separate CFGs; the
+    ``def``/``class`` statement itself is covered)."""
+    out = []
+    stack = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        out.append(stmt)
+        if isinstance(stmt, _ScopeDef):
+            continue
+        for name in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, name, ()))
+        for handler in getattr(stmt, "handlers", ()):
+            stack.extend(handler.body)
+        for case in getattr(stmt, "cases", ()):
+            stack.extend(case.body)
+    return out
+
+
+def _exprs_can_raise(*exprs) -> bool:
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in ast.walk(expr):
+            if isinstance(node, _RAISING_EXPRS):
+                return True
+    return False
+
+
+def _stmt_can_raise(stmt) -> bool:
+    """Whether a *simple* statement can plausibly raise."""
+    if isinstance(stmt, (ast.Pass, ast.Break, ast.Continue,
+                         ast.Global, ast.Nonlocal)):
+        return False
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete,
+                         ast.Import, ast.ImportFrom)):
+        return True
+    if isinstance(stmt, _ScopeDef):
+        # evaluating decorators/defaults can raise
+        return _exprs_can_raise(*getattr(stmt, "decorator_list", ()))
+    return any(
+        isinstance(node, _RAISING_EXPRS)
+        for child in ast.iter_child_nodes(stmt)
+        for node in ast.walk(child)
+    )
+
+
+# -- builder frames ----------------------------------------------------------
+
+class _WithFrame:
+    __slots__ = ("with_node", "exc_cleanup")
+
+    def __init__(self, with_node):
+        self.with_node = with_node
+        self.exc_cleanup = None  # lazily created with-exit node id
+
+
+class _LoopFrame:
+    __slots__ = ("head", "breaks")
+
+    def __init__(self, head: int):
+        self.head = head
+        self.breaks = []  # dangling (node, kind) frontier entries
+
+
+class _ExceptFrame:
+    __slots__ = ("dispatch",)
+
+    def __init__(self, dispatch: int):
+        self.dispatch = dispatch
+
+
+class _FinallyFrame:
+    __slots__ = ("entry", "requests")
+
+    def __init__(self, entry: int):
+        self.entry = entry
+        #: continuations to resume after the (shared) finally body:
+        #: ("return",) / ("exception",) / ("break"|"continue", frame)
+        self.requests = []
+
+
+_RETURN = ("return",)
+_EXCEPTION = ("exception",)
+
+
+class _Builder:
+    def __init__(self, func, name: str):
+        self.func = func
+        self.name = name
+        self.nodes: list[Node] = []
+        self.frames: list = []
+        self.entry = self._new(ENTRY).id
+        self.exit = self._new(EXIT).id
+        self.raise_exit = self._new(RAISE_EXIT).id
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _new(self, kind: str, stmt=None, with_node=None) -> Node:
+        node = Node(id=len(self.nodes), kind=kind, with_node=with_node)
+        if stmt is not None:
+            node.stmts.append(stmt)
+        self.nodes.append(node)
+        return node
+
+    def _connect(self, frontier, target: int) -> None:
+        for node_id, kind in frontier:
+            self.nodes[node_id].succs.append((target, kind))
+
+    def _exc_target(self) -> int:
+        """Where an exception raised *here* lands first."""
+        for i in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[i]
+            if isinstance(frame, _WithFrame):
+                if frame.exc_cleanup is None:
+                    node = self._new(WITH_EXIT, with_node=frame.with_node)
+                    frame.exc_cleanup = node.id
+                    # the cleanup releases, then the exception continues
+                    # outward through the frames *below* this one
+                    saved = self.frames
+                    self.frames = saved[:i]
+                    try:
+                        self._unwind([(node.id, NORMAL)], _EXCEPTION)
+                    finally:
+                        self.frames = saved
+                return frame.exc_cleanup
+            if isinstance(frame, _ExceptFrame):
+                return frame.dispatch
+            if isinstance(frame, _FinallyFrame):
+                if _EXCEPTION not in frame.requests:
+                    frame.requests.append(_EXCEPTION)
+                return frame.entry
+        return self.raise_exit
+
+    def _unwind(self, frontier, goal) -> None:
+        """Route an early exit (return / exception re-raise / break /
+        continue) outward: releasing ``with`` frames, detouring through
+        ``finally`` frames, stopping at the goal's target."""
+        while self.frames:
+            frame = self.frames[-1]
+            if isinstance(frame, _WithFrame):
+                node = self._new(WITH_EXIT, with_node=frame.with_node)
+                self._connect(frontier, node.id)
+                frontier = [(node.id, NORMAL)]
+                self.frames = self.frames[:-1]
+                continue
+            if isinstance(frame, _FinallyFrame):
+                self._connect(frontier, frame.entry)
+                if goal not in frame.requests:
+                    frame.requests.append(goal)
+                return
+            if isinstance(frame, _ExceptFrame) and goal == _EXCEPTION:
+                self._connect(frontier, frame.dispatch)
+                return
+            if isinstance(frame, _LoopFrame) and goal[0] in ("break", "continue"):
+                if frame is goal[1]:
+                    if goal[0] == "break":
+                        frame.breaks.extend(frontier)
+                    else:
+                        self._connect(frontier, frame.head)
+                    return
+            self.frames = self.frames[:-1]
+        if goal == _RETURN:
+            self._connect(frontier, self.exit)
+        else:
+            self._connect(frontier, self.raise_exit)
+
+    def _unwind_preserving(self, frontier, goal) -> None:
+        """_unwind pops frames as it walks; callers mid-build need the
+        stack back afterwards."""
+        saved = self.frames
+        self.frames = list(saved)
+        try:
+            self._unwind(frontier, goal)
+        finally:
+            self.frames = saved
+
+    # -- statements ----------------------------------------------------------
+
+    def build(self) -> CFG:
+        frontier = self._stmts(self.func.body, [(self.entry, NORMAL)])
+        self._connect(frontier, self.exit)
+        return CFG(
+            name=self.name,
+            func=self.func,
+            nodes=self.nodes,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+        )
+
+    def _stmts(self, body, frontier):
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt, frontier):
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._loop(stmt, frontier, test_exprs=(stmt.test,))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, test_exprs=(stmt.iter,))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, _TryTypes):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self._new(STMT, stmt)
+            self._connect(frontier, node.id)
+            if _exprs_can_raise(stmt.value):
+                node.succs.append((self._exc_target(), EXCEPTION))
+            self._unwind_preserving([(node.id, NORMAL)], _RETURN)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new(STMT, stmt)
+            self._connect(frontier, node.id)
+            node.succs.append((self._exc_target(), EXCEPTION))
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._new(STMT, stmt)
+            self._connect(frontier, node.id)
+            loop = next(
+                (f for f in reversed(self.frames) if isinstance(f, _LoopFrame)),
+                None,
+            )
+            if loop is not None:  # malformed code outside a loop: dead-end
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                self._unwind_preserving([(node.id, NORMAL)], (kind, loop))
+            return []
+        # simple statement
+        node = self._new(STMT, stmt)
+        self._connect(frontier, node.id)
+        if _stmt_can_raise(stmt):
+            node.succs.append((self._exc_target(), EXCEPTION))
+        return [(node.id, NORMAL)]
+
+    def _if(self, stmt, frontier):
+        node = self._new(STMT, stmt)
+        self._connect(frontier, node.id)
+        if _exprs_can_raise(stmt.test):
+            node.succs.append((self._exc_target(), EXCEPTION))
+        body = self._stmts(stmt.body, [(node.id, NORMAL)])
+        if stmt.orelse:
+            orelse = self._stmts(stmt.orelse, [(node.id, NORMAL)])
+            return body + orelse
+        return body + [(node.id, NORMAL)]
+
+    def _loop(self, stmt, frontier, *, test_exprs):
+        head = self._new(STMT, stmt)
+        self._connect(frontier, head.id)
+        if _exprs_can_raise(*test_exprs):
+            head.succs.append((self._exc_target(), EXCEPTION))
+        frame = _LoopFrame(head.id)
+        self.frames.append(frame)
+        body = self._stmts(stmt.body, [(head.id, NORMAL)])
+        self.frames.pop()
+        self._connect(body, head.id)  # back edge
+        exits = [(head.id, NORMAL)]
+        if stmt.orelse:
+            exits = self._stmts(stmt.orelse, [(head.id, NORMAL)])
+        return exits + frame.breaks
+
+    def _with(self, stmt, frontier):
+        node = self._new(STMT, stmt)
+        self._connect(frontier, node.id)
+        # entering a context manager evaluates expressions and calls
+        # __enter__ — both can raise, *before* the managers are active
+        node.succs.append((self._exc_target(), EXCEPTION))
+        self.frames.append(_WithFrame(stmt))
+        body = self._stmts(stmt.body, [(node.id, NORMAL)])
+        self.frames.pop()
+        if not body:
+            return []  # body never falls through; jumps made their own exits
+        exit_node = self._new(WITH_EXIT, with_node=stmt)
+        self._connect(body, exit_node.id)
+        return [(exit_node.id, NORMAL)]
+
+    def _try(self, stmt, frontier):
+        # the ``try`` header itself: a no-op control point, but it keeps
+        # the one-statement-one-node coverage invariant uniform
+        head = self._new(STMT, stmt)
+        self._connect(frontier, head.id)
+        frontier = [(head.id, NORMAL)]
+        fin_frame = None
+        if stmt.finalbody:
+            fin_frame = _FinallyFrame(self._new(FINALLY).id)
+            self.frames.append(fin_frame)
+        dispatch = None
+        if stmt.handlers:
+            dispatch = self._new(DISPATCH)
+            self.frames.append(_ExceptFrame(dispatch.id))
+        body = self._stmts(stmt.body, frontier)
+        if stmt.handlers:
+            self.frames.pop()  # handlers/orelse raise outward, not here
+        if stmt.orelse:
+            body = self._stmts(stmt.orelse, body)
+        normal = list(body)
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                normal += self._stmts(handler.body, [(dispatch.id, NORMAL)])
+            # no handler matched: the exception keeps going
+            dispatch.succs.append((self._exc_target(), EXCEPTION))
+        if fin_frame is None:
+            return normal
+        self.frames.pop()  # the finally body itself runs outside the frame
+        saw_normal_entry = bool(normal)
+        self._connect(normal, fin_frame.entry)
+        fin_exit = self._stmts(stmt.finalbody, [(fin_frame.entry, NORMAL)])
+        for goal in fin_frame.requests:
+            self._unwind_preserving(fin_exit, goal)
+        return fin_exit if saw_normal_entry else []
+
+    def _match(self, stmt, frontier):
+        node = self._new(STMT, stmt)
+        self._connect(frontier, node.id)
+        if _exprs_can_raise(stmt.subject):
+            node.succs.append((self._exc_target(), EXCEPTION))
+        exits = [(node.id, NORMAL)]  # no case matched
+        for case in stmt.cases:
+            exits += self._stmts(case.body, [(node.id, NORMAL)])
+        return exits
+
+
+def build_cfg(func, name: str | None = None) -> CFG:
+    """The CFG of one ``ast.FunctionDef``/``ast.AsyncFunctionDef``."""
+    if not isinstance(func, _FuncDef):
+        raise TypeError(f"build_cfg takes a function def, not {type(func).__name__}")
+    return _Builder(func, name or func.name).build()
+
+
+def iter_functions(tree):
+    """``(qualname, class_stack, func)`` for every function/method in a
+    module, including nested ones.  ``class_stack`` is the chain of
+    enclosing ``ast.ClassDef`` nodes (innermost last)."""
+    out = []
+
+    def walk(node, prefix, classes):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FuncDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                out.append((qual, tuple(classes), child))
+                walk(child, qual, classes)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                walk(child, qual, classes + [child])
+            elif not isinstance(child, ast.Lambda):
+                walk(child, prefix, classes)
+
+    walk(tree, "", [])
+    return out

@@ -4,23 +4,30 @@ Usage::
 
     python -m repro.checks src tests benchmarks examples
     python -m repro.checks src --json > report.json
+    python -m repro.checks src --sarif checks.sarif
+    python -m repro.checks src --jobs 4 --cache
     python -m repro.checks src --write-baseline checks-baseline.json
     python -m repro.checks src --baseline checks-baseline.json
 
 Exit code is the number of unsuppressed, non-baselined findings
 (saturated at 255), so CI can gate on plain process failure and scripts
-can read severity off ``$?``.
+can read severity off ``$?``.  ``--jobs N`` fans the per-file map step
+out over N worker processes; ``--cache [FILE]`` replays unchanged
+files' results from an on-disk pickle (see :mod:`repro.checks.cache`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from .baseline import load_baseline, write_baseline
+from .cache import DEFAULT_CACHE_PATH, IncrementalCache
 from .core import run_checks
 from .registry import all_rules
+from .sarif import write_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="also write the report as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze files in N worker processes (0 = cpu count; default 1)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_PATH, default=None,
+        metavar="FILE",
+        help="reuse results for unchanged files via an on-disk cache "
+        f"(default location: {DEFAULT_CACHE_PATH})",
+    )
     return parser
 
 
@@ -65,7 +86,11 @@ def main(argv=None) -> int:
             print(f"{rule.rule_id}  {rule.title}  [{scope}]")
         return 0
     baseline = load_baseline(args.baseline) if args.baseline else None
-    report = run_checks(args.paths, rules, baseline=baseline)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache = IncrementalCache(args.cache) if args.cache else None
+    report = run_checks(args.paths, rules, baseline=baseline, jobs=jobs, cache=cache)
+    if args.sarif:
+        write_sarif(args.sarif, report, rules)
     if args.write_baseline:
         write_baseline(args.write_baseline, report.findings)
         print(
@@ -89,6 +114,8 @@ def main(argv=None) -> int:
         f"{len(report.baselined)} baselined) "
         f"across {report.files_scanned} file(s)"
     )
+    if report.files_cached:
+        summary += f", {report.files_cached} from cache"
     print(summary, file=sys.stderr)
     return report.exit_code
 

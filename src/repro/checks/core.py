@@ -3,13 +3,19 @@
 Everything here is deliberately boring infrastructure so the rules stay
 small: a rule is a class with an id, a scope, and a ``check`` method
 that maps one parsed module to findings (plus an optional ``finalize``
-for whole-run analyses such as import-cycle detection).  The runner
+for whole-run analyses such as import-cycle detection).  The runner is
+a **map/merge** pipeline:
 
-1. loads every ``*.py`` under the given paths into :class:`ModuleFile`
-   records (path classification + AST + source lines, parsed once),
-2. feeds each module to every rule whose scope matches,
-3. calls each rule's ``finalize`` once all files are seen,
-4. splits the findings into suppressed and unsuppressed using the
+1. *map* — :func:`analyze_file` turns one ``*.py`` file into a
+   picklable :class:`FileResult`: its per-file findings, its
+   suppression table, and the per-file state of every *cross-file*
+   rule (fresh rule instances per file, so the map step has no shared
+   state and can run under ``--jobs N`` workers or be replayed from
+   the incremental cache);
+2. *merge* — the parent folds each ``FileResult`` into the master rule
+   instances via :meth:`Rule.merge`, then calls each rule's
+   ``finalize`` once for the whole-run findings;
+3. the findings are split into suppressed and unsuppressed using the
    ``# checks: ignore[RC###]`` comments collected per file.
 
 Suppression syntax (see DESIGN.md, "Static checks"):
@@ -18,6 +24,11 @@ Suppression syntax (see DESIGN.md, "Static checks"):
   RC001 on that line;
 * a comment-only suppression line suppresses the *next* line too, for
   statements that do not fit a trailing comment;
+* on a *decorated* definition, a suppression anywhere in the header —
+  any decorator line, the ``def``/``class`` line, or a continuation
+  line of the signature — also covers findings attributed to the
+  ``def`` line (rules attribute definition-level findings there, which
+  a decorator would otherwise push out of comment reach);
 * ``# checks: ignore-file[RC003]`` anywhere in the file suppresses the
   rule for the whole file;
 * several ids may be given: ``ignore[RC001,RC005]``.
@@ -91,10 +102,12 @@ class Suppressions:
 
     Comments are found by tokenizing, not by regexing lines, so
     suppression syntax *inside a string literal* (e.g. in this package's
-    own test fixtures) is not a suppression.
+    own test fixtures) is not a suppression.  When the parsed ``tree``
+    is given, suppressions on any header line of a decorated definition
+    are additionally mapped onto the ``def``/``class`` line itself.
     """
 
-    def __init__(self, lines: tuple[str, ...]):
+    def __init__(self, lines: tuple[str, ...], tree: ast.Module | None = None):
         self.file_ids: set[str] = set()
         self.line_ids: dict[int, set[str]] = {}
         self.all_ids: set[str] = set()
@@ -111,6 +124,29 @@ class Suppressions:
             if lines[lineno - 1][:column].strip() == "":
                 # comment-only line: the suppression covers the next line
                 self.line_ids.setdefault(lineno + 1, set()).update(ids)
+        if tree is not None:
+            self._map_decorated_headers(tree)
+
+    def _map_decorated_headers(self, tree: ast.Module) -> None:
+        """A suppression on a decorator (or signature-continuation)
+        line also covers the ``def`` line the finding is attributed
+        to."""
+        if not self.line_ids:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if not node.decorator_list:
+                continue
+            start = min(dec.lineno for dec in node.decorator_list)
+            stop = node.body[0].lineno if node.body else node.lineno + 1
+            header_ids: set[str] = set()
+            for line in range(start, stop):
+                header_ids |= self.line_ids.get(line, set())
+            if header_ids:
+                self.line_ids.setdefault(node.lineno, set()).update(header_ids)
 
     def matches(self, finding: Finding) -> bool:
         if finding.rule in self.file_ids:
@@ -140,6 +176,11 @@ class Rule:
     #: ``"all"`` — every scanned file; ``"src"`` — only files under a
     #: ``src/repro`` tree (library code; tests/benchmarks are exempt).
     scope: str = "all"
+    #: True when :meth:`check` accumulates state that :meth:`finalize`
+    #: reads across files.  Such rules must implement :meth:`merge`,
+    #: and their per-file instances ride along in :class:`FileResult`
+    #: (so the map step stays parallel- and cache-safe).
+    cross_file: bool = False
 
     def applies_to(self, module: ModuleFile) -> bool:
         return module.is_src if self.scope == "src" else True
@@ -154,6 +195,10 @@ class Rule:
     def reset(self) -> None:
         """Drop any cross-file state (runner calls this before a run)."""
 
+    def merge(self, other: "Rule") -> None:
+        """Fold another instance's per-file state into this one (the
+        merge half of map/merge; ``other`` analyzed one file)."""
+
     def finding(self, module_or_path, line: int, message: str) -> Finding:
         rel = (
             module_or_path.rel
@@ -164,6 +209,20 @@ class Rule:
 
 
 @dataclass
+class FileResult:
+    """The picklable outcome of analyzing one file — everything the
+    merge step needs, nothing tied to the worker process."""
+
+    rel: str
+    ok: bool
+    findings: list = field(default_factory=list)
+    suppressions: Suppressions | None = None
+    #: per-file instances of the ``cross_file`` rules, carrying the
+    #: state their ``check`` accumulated on this one file
+    rules: list = field(default_factory=list)
+
+
+@dataclass
 class Report:
     """The outcome of one run: split findings plus scan bookkeeping."""
 
@@ -171,6 +230,7 @@ class Report:
     suppressed: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    files_cached: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -182,6 +242,7 @@ class Report:
         return {
             "version": 1,
             "files_scanned": self.files_scanned,
+            "files_cached": self.files_cached,
             "unsuppressed": [f.to_dict() for f in self.findings],
             "suppressed": [f.to_dict() for f in self.suppressed],
             "baselined": [f.to_dict() for f in self.baselined],
@@ -249,44 +310,116 @@ def _relative(path: Path) -> str:
         return path.as_posix()
 
 
-def run_checks(paths, rules, *, baseline: set[str] | None = None) -> Report:
+def analyze_file(path_str: str, rel: str, rule_classes) -> FileResult:
+    """The map step: one file through fresh instances of every rule.
+
+    Module-level (and all-arguments-picklable) so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker can run it;
+    the returned :class:`FileResult` is also what the incremental cache
+    stores.
+    """
+    loaded = load_module(Path(path_str), rel)
+    if isinstance(loaded, Finding):
+        return FileResult(
+            rel=rel, ok=False, findings=[loaded], suppressions=Suppressions(())
+        )
+    suppressions = Suppressions(loaded.lines, tree=loaded.tree)
+    findings: list[Finding] = []
+    keep: list[Rule] = []
+    for cls in rule_classes:
+        rule = cls()
+        rule.reset()
+        if rule.applies_to(loaded):
+            findings.extend(rule.check(loaded))
+        if rule.cross_file:
+            keep.append(rule)
+    return FileResult(
+        rel=rel, ok=True, findings=findings, suppressions=suppressions, rules=keep
+    )
+
+
+def _map_files(files, rule_classes, *, jobs: int, cache):
+    """Run :func:`analyze_file` over ``files`` (cache-aware, optionally
+    in parallel), preserving file order.  Yields ``(result, from_cache)``."""
+    pending: list[tuple[int, Path, str]] = []
+    slots: list = [None] * len(files)
+    cached_flags = [False] * len(files)
+    for i, path in enumerate(files):
+        rel = _relative(path)
+        hit = cache.get(path, rel) if cache is not None else None
+        if hit is not None:
+            slots[i] = hit
+            cached_flags[i] = True
+        else:
+            pending.append((i, path, rel))
+    if pending:
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = pool.map(
+                    analyze_file,
+                    [str(p) for _, p, _ in pending],
+                    [rel for _, _, rel in pending],
+                    [rule_classes] * len(pending),
+                )
+                for (i, path, rel), result in zip(pending, results):
+                    slots[i] = result
+        else:
+            for i, path, rel in pending:
+                slots[i] = analyze_file(str(path), rel, rule_classes)
+        if cache is not None:
+            for i, path, rel in pending:
+                cache.put(path, rel, slots[i])
+    return list(zip(slots, cached_flags))
+
+
+def run_checks(paths, rules, *, baseline: set[str] | None = None,
+               jobs: int = 1, cache=None) -> Report:
     """Run ``rules`` over every python file under ``paths``.
 
     ``baseline`` is a set of finding fingerprints to grandfather: matches
     land in ``report.baselined`` instead of ``report.findings``.
+    ``jobs`` > 1 analyzes files in that many worker processes; ``cache``
+    is an optional :class:`repro.checks.cache.IncrementalCache` that
+    replays unchanged files' results instead of re-analyzing them.
     """
     report = Report()
     raw: list[tuple[Finding, Suppressions]] = []
     known_ids = {rule.rule_id for rule in rules} | {META_RULE_ID}
     suppressions_by_path: dict[str, Suppressions] = {}
+    by_id = {rule.rule_id: rule for rule in rules}
+    rule_classes = tuple(type(rule) for rule in rules)
     for rule in rules:
         rule.reset()
-    for path in iter_python_files(paths):
-        rel = _relative(path)
-        loaded = load_module(path, rel)
-        if isinstance(loaded, Finding):
-            raw.append((loaded, Suppressions(())))
-            continue
-        report.files_scanned += 1
-        suppressions = Suppressions(loaded.lines)
+    files = iter_python_files(paths)
+    for result, from_cache in _map_files(files, rule_classes, jobs=jobs, cache=cache):
+        suppressions = result.suppressions
+        if result.ok:
+            report.files_scanned += 1
+            if from_cache:
+                report.files_cached += 1
         for unknown in sorted(suppressions.all_ids - known_ids):
             raw.append((
                 Finding(
-                    path=rel,
+                    path=result.rel,
                     line=1,
                     rule=META_RULE_ID,
                     message=f"suppression names unknown rule {unknown}",
                 ),
                 suppressions,
             ))
-        for rule in rules:
-            if not rule.applies_to(loaded):
-                continue
-            for finding in rule.check(loaded):
-                raw.append((finding, suppressions))
+        for finding in result.findings:
+            raw.append((finding, suppressions))
+        for file_rule in result.rules:
+            master = by_id.get(file_rule.rule_id)
+            if master is not None:
+                master.merge(file_rule)
         # finalize findings (cross-file) are attributed to their own
         # file's suppressions, captured here by path
-        suppressions_by_path[rel] = suppressions
+        suppressions_by_path[result.rel] = suppressions
+    if cache is not None:
+        cache.save()
     empty = Suppressions(())
     for rule in rules:
         for finding in rule.finalize():

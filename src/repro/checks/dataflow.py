@@ -1,0 +1,278 @@
+"""A forward fixpoint engine over finite lattices, plus the lock-set
+analysis the concurrency rules (RC010–RC012) are built on.
+
+The solver is the paper's machine run in miniature.  The paper
+characterizes safety properties as the closed elements of a closure
+operator on a lattice of properties; a forward dataflow analysis is the
+same construction one level down: the facts form a finite join
+semilattice, each CFG edge induces a monotone transfer, and the
+analysis result is the **least fixpoint** of the combined operator —
+computed, as Knaster–Tarski licenses, by iterating from ⊥ until
+nothing changes.  :func:`solve_forward` is that iteration as a worklist
+loop; :func:`is_fixpoint` re-applies the operator once and checks it is
+the identity on the result, which is exactly the closure test ``x =
+ρ(x)`` the paper uses to recognize safety.
+
+Facts travel edges by kind (:data:`~repro.checks.cfg.NORMAL` edges
+carry a node's *out*-fact, :data:`~repro.checks.cfg.EXCEPTION` edges
+its *in*-fact — an exception may fire before the statement's effect),
+so a single analysis definition stays honest about exceptional control
+flow without special-casing it in every transfer function.
+
+:class:`LockSetAnalysis` instantiates the engine on the powerset
+lattice of lock tokens (a *may*-analysis: union join, so a lock is "in
+the set" if **some** path holds it).  ``with lock:`` acquires at the
+header node and releases at the matching synthetic with-exit node;
+bare ``lock.acquire()`` / ``lock.release()`` calls gen/kill directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+from .cfg import CFG, EXCEPTION, WITH_EXIT
+
+
+class ForwardAnalysis:
+    """One forward dataflow problem: a bottom element, a join, and a
+    per-node transfer function.  Subclasses define the lattice; the
+    solver owns the iteration."""
+
+    def initial(self):
+        """The fact entering the CFG's entry node (⊥ for a least
+        fixpoint from nothing-is-known)."""
+        raise NotImplementedError
+
+    def join(self, left, right):
+        """The lattice join (least upper bound) of two facts."""
+        raise NotImplementedError
+
+    def transfer(self, node, fact):
+        """The out-fact of ``node`` given its in-fact.  Must be
+        monotone in ``fact`` for the fixpoint to be least."""
+        raise NotImplementedError
+
+    def exception_fact(self, node, fact):
+        """The fact an *exception* edge out of ``node`` carries, given
+        the node's in-fact.  Default: the in-fact unchanged (the raise
+        may pre-empt the statement's entire effect).  Override when
+        part of the effect is known to land even on the exceptional
+        path."""
+        return fact
+
+
+@dataclass
+class Solution:
+    """The least fixpoint: per-node in/out facts (``None`` marks nodes
+    the iteration never reached, i.e. statically dead code)."""
+
+    cfg: CFG
+    inputs: list
+    outputs: list
+
+    def input_at(self, node_id: int):
+        return self.inputs[node_id]
+
+    def output_at(self, node_id: int):
+        return self.outputs[node_id]
+
+
+def _edge_fact(analysis, node, inputs, outputs, kind):
+    # exception edges carry (by default) the pre-fact: the raise may
+    # pre-empt the statement's effect (e.g. an acquire that itself
+    # raised); normal edges carry the post-fact
+    if kind == EXCEPTION:
+        return analysis.exception_fact(node, inputs[node.id])
+    return outputs[node.id]
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis) -> Solution:
+    """Iterate the induced operator from ⊥ to its least fixpoint.
+
+    Classic worklist form of the Knaster–Tarski iteration: start every
+    node at "unreached", seed the entry with
+    :meth:`~ForwardAnalysis.initial`, and re-run transfers until the
+    facts stop growing.  Termination is the finite-lattice/monotone
+    argument: each node's fact only ever moves up a finite chain.
+    """
+    n = len(cfg.nodes)
+    inputs: list = [None] * n
+    outputs: list = [None] * n
+    inputs[cfg.entry] = analysis.initial()
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+    while worklist:
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        node = cfg.nodes[node_id]
+        out = analysis.transfer(node, inputs[node_id])
+        outputs[node_id] = out
+        for succ, kind in node.succs:
+            fact = _edge_fact(analysis, node, inputs, outputs, kind)
+            merged = fact if inputs[succ] is None else analysis.join(inputs[succ], fact)
+            if merged != inputs[succ]:
+                inputs[succ] = merged
+                if succ not in queued:
+                    queued.add(succ)
+                    worklist.append(succ)
+    return Solution(cfg=cfg, inputs=inputs, outputs=outputs)
+
+
+def is_fixpoint(solution: Solution, analysis: ForwardAnalysis) -> bool:
+    """Apply the operator once more to ``solution`` and check nothing
+    moves — the paper's closure test ``x = ρ(x)``, specialized to the
+    solver's result.  :func:`solve_forward` always returns a fixpoint;
+    this exists so tests can *prove* it instead of trusting it."""
+    cfg = solution.cfg
+    for node in cfg.nodes:
+        fact = solution.inputs[node.id]
+        out = None if fact is None else analysis.transfer(node, fact)
+        if out != solution.outputs[node.id]:
+            return False
+    for node in cfg.nodes:
+        for succ, kind in node.succs:
+            if solution.inputs[node.id] is None:
+                continue
+            fact = _edge_fact(analysis, node, solution.inputs, solution.outputs, kind)
+            if fact is None:
+                continue
+            current = solution.inputs[succ]
+            merged = fact if current is None else analysis.join(current, fact)
+            if merged != current:
+                return False
+    return True
+
+
+# -- the lock-set instance ----------------------------------------------------
+
+def _call_parts(call: ast.Call):
+    """``(receiver expr, method name)`` for an ``x.m(...)`` call, else
+    ``(None, None)``."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.value, call.func.attr
+    return None, None
+
+
+def iter_calls(stmt):
+    """Calls a statement evaluates *itself*: its directly-held
+    expressions, minus anything behind a scope boundary (a
+    ``lock.acquire()`` inside a nested ``def`` or ``lambda`` runs when
+    the inner function does, not here).  Compound statements contribute
+    only their headers — their bodies have CFG nodes of their own."""
+    from .cfg import _ScopeDef  # shared scope-boundary definition
+
+    if isinstance(stmt, _ScopeDef):
+        return
+    stack = [
+        child for _, child in ast.iter_fields(stmt)
+        if isinstance(child, ast.expr)
+    ]
+    for _, child in ast.iter_fields(stmt):
+        if isinstance(child, list):
+            stack.extend(c for c in child if isinstance(c, ast.expr))
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        stack = [item.context_expr for item in stmt.items]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(
+            c for c in ast.iter_child_nodes(node) if isinstance(c, ast.expr)
+        )
+
+
+class LockSetAnalysis(ForwardAnalysis):
+    """Which lock tokens may be held at each program point.
+
+    ``resolver`` maps a lock-like expression (a ``with`` item's context
+    expression, or the receiver of ``.acquire()``/``.release()``) to a
+    hashable token, or ``None`` for "not a lock" — the rules supply a
+    resolver that canonicalizes ``self._lock`` to a class-qualified
+    name.  Facts are ``frozenset`` of tokens; join is union (*may*
+    analysis — a deadlock needs only one path that holds the lock).
+    """
+
+    def __init__(self, resolver):
+        self.resolver = resolver
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    # -- events ---------------------------------------------------------------
+
+    def acquired_by(self, stmt) -> list:
+        """Tokens a statement acquires: ``with``-item context managers
+        plus bare ``.acquire()`` receivers."""
+        tokens = []
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                token = self.resolver(item.context_expr)
+                if token is not None:
+                    tokens.append(token)
+            return tokens
+        for call in iter_calls(stmt):
+            receiver, method = _call_parts(call)
+            if method == "acquire" and receiver is not None:
+                token = self.resolver(receiver)
+                if token is not None:
+                    tokens.append(token)
+        return tokens
+
+    def released_by(self, stmt) -> list:
+        """Tokens a statement releases via bare ``.release()``."""
+        tokens = []
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return tokens
+        for call in iter_calls(stmt):
+            receiver, method = _call_parts(call)
+            if method == "release" and receiver is not None:
+                token = self.resolver(receiver)
+                if token is not None:
+                    tokens.append(token)
+        return tokens
+
+    def with_tokens(self, with_stmt) -> list:
+        """Tokens managed by a ``with`` statement (released at its
+        with-exit nodes)."""
+        tokens = []
+        for item in with_stmt.items:
+            token = self.resolver(item.context_expr)
+            if token is not None:
+                tokens.append(token)
+        return tokens
+
+    # -- transfer -------------------------------------------------------------
+
+    def transfer(self, node, fact):
+        if node.kind == WITH_EXIT:
+            return fact - frozenset(self.with_tokens(node.with_node))
+        stmt = node.stmt
+        if stmt is None:
+            return fact
+        out = set(fact)
+        for token in self.released_by(stmt):
+            out.discard(token)
+        for token in self.acquired_by(stmt):
+            out.add(token)
+        return frozenset(out)
+
+    def exception_fact(self, node, fact):
+        """Releases land even on the exceptional path — a
+        ``lock.release()`` only raises when the lock is *not* held, so
+        carrying "still held" across its exception edge would flag the
+        canonical ``acquire(); try: ... finally: release()`` pattern.
+        Acquires do **not** land (the raise may pre-empt them)."""
+        stmt = node.stmt
+        if stmt is None:
+            return fact
+        released = self.released_by(stmt)
+        if not released:
+            return fact
+        return fact - frozenset(released)

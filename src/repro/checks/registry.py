@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from .rules_api import ApiSurfaceRule
 from .rules_certs import CertVerifierIndependenceRule
+from .rules_flow import BlockingUnderLockRule, ExceptionUnsafeLockRule, LockOrderRule
 from .rules_imports import ImportHygieneRule
 from .rules_layering import KernelLayeringRule
 from .rules_locks import LockDisciplineRule
@@ -36,6 +37,9 @@ RULE_CLASSES = (
     KernelLayeringRule,
     CertVerifierIndependenceRule,
     OpsDisciplineRule,
+    LockOrderRule,
+    BlockingUnderLockRule,
+    ExceptionUnsafeLockRule,
 )
 
 

@@ -1,0 +1,566 @@
+"""RC010–RC012 — the flow-sensitive concurrency rules.
+
+All three are clients of the same machinery: per function, build the
+CFG (:mod:`repro.checks.cfg`), run the lock-set fixpoint
+(:mod:`repro.checks.dataflow`), and read findings off the solution;
+across functions, resolve call sites through the project call graph
+(:mod:`repro.checks.callgraph`).
+
+**RC010 — lock-order deadlock.**  Every acquisition site contributes
+edges *held-lock → acquired-lock* to a global lock-order graph
+(directly from the lock-set at the site, and interprocedurally when a
+call made under a lock reaches a function that acquires another one).
+A cycle in that graph is two code paths that take the same locks in
+opposite orders — the classic ABBA deadlock — and the finding names a
+witness site for **every** edge of the cycle.
+
+**RC011 — blocking call under a lock.**  A call that can block for an
+unbounded time (socket/HTTP writes, ``sleep``, pool submission, queue
+and future waits, ``serve_forever``) must not run while a lock is
+held: whoever else wants that lock now waits on the slow peer too.
+Beyond the syntactic matchers, the call graph closes the loop: calling
+any function that *transitively* acquires a different lock is also
+blocking (it may wait for that lock's holder).  This supersedes
+RC009's purely syntactic response-write check with a path-sensitive
+one — the lock-set knows whether a lock is actually held at the call,
+not just whether the call sits lexically inside a ``with``.
+
+**RC012 — exception-unsafe lock release.**  A lock token still in the
+lock-set on the function's *exceptional* exit is a lock that leaks
+when an exception escapes: some path acquires it with a bare
+``.acquire()`` that no ``with``/``try-finally`` covers.  (``with``
+acquisitions cannot leak — the CFG places a release node on the
+exception path — and a ``.release()``'s own exception edge drops the
+token, so the canonical ``acquire(); try: ... finally: release()``
+pattern verifies clean.)
+
+Lock tokens are canonicalized so sites in different functions agree:
+``self._lock`` inside ``CompileCache`` (module ``repro.rv.compile``)
+becomes ``repro.rv.compile.CompileCache._lock``; a receiver with a
+one-hop-known class is qualified by that class; bare names fall back
+to module qualification.  Lock-*likeness* is RC001's notion — the
+final attribute or name contains ``lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from types import MappingProxyType
+
+from .callgraph import (
+    CallGraph,
+    ModuleIndex,
+    SELF_NAMES,
+    describe_call,
+    index_module,
+    local_types,
+    module_name,
+)
+from .cfg import build_cfg, iter_functions
+from .core import Finding, ModuleFile, Rule
+from .dataflow import LockSetAnalysis, iter_calls, solve_forward
+from .rules_imports import _find_cycles
+
+#: Methods that put bytes on an HTTP response (stdlib handler surface
+#: plus this repo's ``_respond`` helper) — blocking on a slow client.
+_RESPONSE_WRITERS = frozenset({
+    "send_response", "send_header", "end_headers", "_respond",
+})
+
+#: Method/function names that block regardless of receiver.
+_ALWAYS_BLOCKING = frozenset({
+    "sleep", "serve_forever", "urlopen", "sendall", "recv", "accept",
+    "connect", "select", "wait",
+})
+
+#: ``receiver-substring → method names`` that block on that kind of
+#: receiver (``pool.submit`` blocks on a full queue; ``thread.join``
+#: and ``future.result`` wait for someone else's progress).
+_RECEIVER_BLOCKING = MappingProxyType({
+    "pool": frozenset({"submit", "join", "map"}),
+    "executor": frozenset({"submit", "map", "shutdown"}),
+    "thread": frozenset({"join"}),
+    "proc": frozenset({"join"}),
+    "worker": frozenset({"join"}),
+    "queue": frozenset({"get", "put", "join"}),
+    "future": frozenset({"result", "exception"}),
+    "sock": frozenset({"send", "sendto", "makefile"}),
+})
+
+#: Lock-protocol methods: RC010/RC012 territory, never "blocking calls"
+#: (every ``with lock:`` would otherwise flag itself).
+_LOCK_PROTOCOL = frozenset({"acquire", "release", "locked", "__enter__", "__exit__"})
+
+
+def _lockish(name: str) -> bool:
+    return "lock" in name.lower()
+
+
+def _receiver_text(expr) -> str:
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover — unparse is total on ast exprs
+        return "<expr>"
+
+
+def _blocking_label(call: ast.Call):
+    """``"time.sleep"``-style label when the call matches a blocking
+    pattern, else ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in _ALWAYS_BLOCKING and name != "wait":
+            return name
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    if method in _LOCK_PROTOCOL:
+        return None
+    receiver = _receiver_text(func.value)
+    label = f"{receiver}.{method}"
+    if method in _RESPONSE_WRITERS:
+        return label
+    if method == "write" and receiver.endswith("wfile"):
+        return label
+    if method in _ALWAYS_BLOCKING:
+        # `.wait()` on a lock-like receiver is a Condition wait —
+        # blocking, but waiting *on this lock's condition* is the
+        # point; the caller knowingly parks. Everything else flags.
+        if method == "wait" and _lockish(receiver):
+            return None
+        return label
+    lowered = receiver.lower()
+    for substring, methods in _RECEIVER_BLOCKING.items():
+        if substring in lowered and method in methods:
+            return label
+    return None
+
+
+# -- lock token canonicalization ---------------------------------------------
+
+def _make_resolver(index: ModuleIndex, class_qual, func_qual: str,
+                   types: dict, params: frozenset):
+    """A :class:`LockSetAnalysis` resolver closed over one function's
+    naming context."""
+    mod = index.module
+
+    def resolve_local_type(type_str: str) -> str:
+        head = type_str.split(".")[0]
+        if type_str in index.class_methods:
+            return f"{mod}.{type_str}"
+        target = index.imports.get(head)
+        if target is not None:
+            rest = type_str[len(head):]
+            return f"{target}{rest}"
+        return type_str
+
+    def owner_of_self() -> str:
+        if class_qual is not None:
+            return f"{mod}.{class_qual}"
+        return f"{mod}.{func_qual}"
+
+    def resolve(expr):
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if not _lockish(name):
+                return None
+            if name in types or name in params:
+                return f"{mod}.{func_qual}.{name}"
+            imported = index.imports.get(name)
+            if imported is not None:
+                # an imported lock keeps its defining module's token, so
+                # sites on both sides of the import agree
+                return imported
+            return f"{mod}.{name}"
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if not _lockish(attr):
+                return None
+            receiver = expr.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in SELF_NAMES:
+                    return f"{owner_of_self()}.{attr}"
+                type_str = types.get(receiver.id)
+                if type_str is not None:
+                    return f"{resolve_local_type(type_str)}.{attr}"
+                if receiver.id in index.var_types:
+                    return (
+                        f"{resolve_local_type(index.var_types[receiver.id])}.{attr}"
+                    )
+                return f"{mod}.{receiver.id}.{attr}"
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id in SELF_NAMES
+            ):
+                attrs = index.class_attrs.get(class_qual or "", {})
+                type_str = attrs.get(receiver.attr)
+                if type_str is not None:
+                    return f"{resolve_local_type(type_str)}.{attr}"
+                return f"{owner_of_self()}.{receiver.attr}.{attr}"
+            return f"{mod}.{_receiver_text(expr)}"
+        return None
+
+    return resolve
+
+
+# -- the shared per-file pass -------------------------------------------------
+
+class FunctionFlow:
+    """One function's flow facts, as the rules consume them."""
+
+    __slots__ = (
+        "qual", "global_qual", "class_qual", "rel", "line",
+        "direct_acquires", "acquire_sites", "locked_calls",
+        "blocking", "raise_leaks",
+    )
+
+    def __init__(self, qual, global_qual, class_qual, rel, line):
+        self.qual = qual
+        self.global_qual = global_qual
+        self.class_qual = class_qual
+        self.rel = rel
+        self.line = line
+        #: every token this function may acquire directly
+        self.direct_acquires: frozenset = frozenset()
+        #: ``(line, token, held-before frozenset, bare)`` per acquisition
+        self.acquire_sites: list = []
+        #: ``(line, held frozenset, descriptor)`` per call made under a lock
+        self.locked_calls: list = []
+        #: ``(line, held frozenset, label)`` syntactic blocking hits
+        self.blocking: list = []
+        #: ``(token, acquire line)`` still held on the exceptional exit
+        self.raise_leaks: list = []
+
+
+class FileFlow:
+    """The whole-file condensate: one :class:`ModuleIndex` plus one
+    :class:`FunctionFlow` per function.  Computed once per file and
+    cached on the :class:`ModuleFile` so RC010/RC011/RC012 share it."""
+
+    __slots__ = ("module", "rel", "index", "functions")
+
+    def __init__(self, module: str, rel: str, index: ModuleIndex, functions: list):
+        self.module = module
+        self.rel = rel
+        self.index = index
+        self.functions = functions
+
+
+def flow_of(module: ModuleFile) -> FileFlow:
+    cached = getattr(module, "_flow_cache", None)
+    if cached is not None:
+        return cached
+    flow = _compute_flow(module)
+    module._flow_cache = flow
+    return flow
+
+
+def _compute_flow(module: ModuleFile) -> FileFlow:
+    index = index_module(module)
+    mod = index.module
+    functions: list[FunctionFlow] = []
+    for qual, class_stack, func in iter_functions(module.tree):
+        class_qual = None
+        if class_stack:
+            # the innermost enclosing class is the longest qual prefix
+            # that names a class (handles functions nested in methods)
+            parts = qual.split(".")
+            for i in range(len(parts) - 1, 0, -1):
+                candidate = ".".join(parts[:i])
+                if candidate in index.class_methods:
+                    class_qual = candidate
+                    break
+        params = frozenset(
+            arg.arg
+            for arg in (
+                *func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs
+            )
+        )
+        types = local_types(func)
+        resolver = _make_resolver(index, class_qual, qual, types, params)
+        analysis = LockSetAnalysis(resolver)
+        cfg = build_cfg(func, qual)
+        solution = solve_forward(cfg, analysis)
+        info = FunctionFlow(
+            qual=qual,
+            global_qual=f"{mod}.{qual}",
+            class_qual=class_qual,
+            rel=module.rel,
+            line=func.lineno,
+        )
+        acquired_all: set = set()
+        bare_acquire_lines: dict = {}
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            fact = solution.input_at(node.id)
+            if fact is None:
+                continue  # statically dead
+            acquired = analysis.acquired_by(stmt)
+            bare = not isinstance(stmt, (ast.With, ast.AsyncWith))
+            running = set(fact)
+            for token in acquired:
+                acquired_all.add(token)
+                if bare:
+                    bare_acquire_lines.setdefault(token, stmt.lineno)
+                if token not in running:
+                    info.acquire_sites.append(
+                        (stmt.lineno, token, frozenset(running), bare)
+                    )
+                    running.add(token)
+            if not fact:
+                continue
+            for call in iter_calls(stmt):
+                label = _blocking_label(call)
+                if label is not None:
+                    info.blocking.append((call.lineno, fact, label))
+                if isinstance(call.func, ast.Attribute) and (
+                    call.func.attr in _LOCK_PROTOCOL
+                ):
+                    continue
+                desc = describe_call(call, types=types)
+                if desc is not None:
+                    info.locked_calls.append((call.lineno, fact, desc))
+        info.direct_acquires = frozenset(acquired_all)
+        leaked = solution.input_at(cfg.raise_exit)
+        if leaked:
+            for token in sorted(leaked):
+                info.raise_leaks.append(
+                    (token, bare_acquire_lines.get(token, func.lineno))
+                )
+        functions.append(info)
+    return FileFlow(module=mod, rel=module.rel, index=index, functions=functions)
+
+
+def _short(token: str) -> str:
+    """``repro.rv.compile.CompileCache._lock`` → ``CompileCache._lock``
+    (findings stay readable; the full token is unambiguous but long)."""
+    parts = token.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else token
+
+
+# -- RC010 --------------------------------------------------------------------
+
+class LockOrderRule(Rule):
+    rule_id = "RC010"
+    title = "lock-order deadlock: two paths acquire the same locks in opposite order"
+    scope = "src"
+    cross_file = True
+
+    def reset(self) -> None:
+        #: ``(held, acquired) → (rel, line, qual, how)`` first witness
+        self._edges: dict = {}
+        self._indexes: list = []
+        self._flows: list = []
+
+    def merge(self, other: "LockOrderRule") -> None:
+        for edge, where in other._edges.items():
+            self._edges.setdefault(edge, where)
+        self._indexes.extend(other._indexes)
+        self._flows.extend(other._flows)
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        flow = flow_of(module)
+        self._indexes.append(flow.index)
+        self._flows.append(flow)
+        for info in flow.functions:
+            for line, token, held, _bare in info.acquire_sites:
+                for prior in held:
+                    if prior != token:
+                        self._edges.setdefault(
+                            (prior, token),
+                            (info.rel, line, info.global_qual, "acquires"),
+                        )
+        return []
+
+    def finalize(self) -> list[Finding]:
+        graph = CallGraph.build(self._indexes)
+        transitive = _transitive_acquires(graph, self._flows)
+        for flow in self._flows:
+            for info in flow.functions:
+                for line, held, desc in info.locked_calls:
+                    callee = graph.resolve(flow.module, info.class_qual, desc)
+                    if callee is None:
+                        continue
+                    for token in transitive.get(callee, ()):
+                        for prior in held:
+                            if prior != token:
+                                self._edges.setdefault(
+                                    (prior, token),
+                                    (
+                                        info.rel, line, info.global_qual,
+                                        f"calls {callee} which acquires",
+                                    ),
+                                )
+        order: dict[str, set] = {}
+        for held, acquired in self._edges:
+            order.setdefault(held, set()).add(acquired)
+            order.setdefault(acquired, set())
+        findings = []
+        for scc in _find_cycles(order):
+            cycle = _witness_cycle(scc, order)
+            if cycle is None:
+                continue
+            legs = []
+            for i, token in enumerate(cycle):
+                succ = cycle[(i + 1) % len(cycle)]
+                rel, line, qual, how = self._edges[(token, succ)]
+                legs.append(
+                    f"{_short(token)} -> {_short(succ)} "
+                    f"({qual} {how} {_short(succ)} at {rel}:{line})"
+                )
+            rel, line, _, _ = self._edges[(cycle[0], cycle[1 % len(cycle)])]
+            findings.append(Finding(
+                path=rel,
+                line=line,
+                rule=self.rule_id,
+                message=(
+                    "lock-order cycle (potential deadlock): "
+                    + "; ".join(legs)
+                ),
+            ))
+        return findings
+
+
+def _witness_cycle(scc, graph):
+    """An actual directed cycle inside one SCC, as an ordered token
+    list (shortest through the first node, BFS)."""
+    scc_set = set(scc)
+    start = scc[0]
+    if len(scc) == 1:
+        return [start] if start in graph.get(start, ()) else None
+    prev: dict = {}
+    frontier = [
+        succ for succ in sorted(graph.get(start, ())) if succ in scc_set
+    ]
+    for succ in frontier:
+        prev.setdefault(succ, start)
+    while frontier:
+        next_frontier = []
+        for current in frontier:
+            if current == start:
+                continue
+            for succ in sorted(graph.get(current, ())):
+                if succ == start:
+                    # close the cycle: walk prev back to start
+                    path = [current]
+                    while path[-1] != start:
+                        path.append(prev[path[-1]])
+                    path.reverse()
+                    return path
+                if succ in scc_set and succ not in prev:
+                    prev[succ] = current
+                    next_frontier.append(succ)
+        frontier = next_frontier
+    return None
+
+
+def _transitive_acquires(graph: CallGraph, flows) -> dict:
+    """``global qual → frozenset of tokens`` the function may acquire
+    itself or through any callee (call-graph closure over the per-
+    function direct sets)."""
+    direct: dict[str, frozenset] = {}
+    for flow in flows:
+        for info in flow.functions:
+            if info.direct_acquires:
+                direct[info.global_qual] = info.direct_acquires
+    out: dict[str, frozenset] = {}
+    for qual in graph.functions:
+        tokens = set(direct.get(qual, ()))
+        for callee in graph.reachable(qual):
+            tokens |= direct.get(callee, frozenset())
+        if tokens:
+            out[qual] = frozenset(tokens)
+    return out
+
+
+# -- RC011 --------------------------------------------------------------------
+
+class BlockingUnderLockRule(Rule):
+    rule_id = "RC011"
+    title = "blocking call while holding a lock"
+    scope = "src"
+    cross_file = True
+
+    def reset(self) -> None:
+        self._indexes: list = []
+        self._flows: list = []
+
+    def merge(self, other: "BlockingUnderLockRule") -> None:
+        self._indexes.extend(other._indexes)
+        self._flows.extend(other._flows)
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        flow = flow_of(module)
+        self._indexes.append(flow.index)
+        self._flows.append(flow)
+        findings = []
+        for info in flow.functions:
+            for line, held, label in info.blocking:
+                locks = ", ".join(sorted(_short(t) for t in held))
+                findings.append(self.finding(
+                    module,
+                    line,
+                    f"blocking call {label}() while holding {locks}: "
+                    "a slow peer would stall every thread waiting on the "
+                    "lock — move the call outside the locked region",
+                ))
+        return findings
+
+    def finalize(self) -> list[Finding]:
+        graph = CallGraph.build(self._indexes)
+        transitive = _transitive_acquires(graph, self._flows)
+        findings = []
+        seen = set()
+        for flow in self._flows:
+            for info in flow.functions:
+                for line, held, desc in info.locked_calls:
+                    callee = graph.resolve(flow.module, info.class_qual, desc)
+                    if callee is None:
+                        continue
+                    foreign = transitive.get(callee, frozenset()) - held
+                    if not foreign:
+                        continue
+                    key = (info.rel, line, callee)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    locks = ", ".join(sorted(_short(t) for t in held))
+                    others = ", ".join(sorted(_short(t) for t in foreign))
+                    findings.append(Finding(
+                        path=info.rel,
+                        line=line,
+                        rule=self.rule_id,
+                        message=(
+                            f"call into {callee} while holding {locks}: the "
+                            f"callee may acquire {others} and block on its "
+                            "holder — restructure so the outer lock is "
+                            "released first"
+                        ),
+                    ))
+        return findings
+
+
+# -- RC012 --------------------------------------------------------------------
+
+class ExceptionUnsafeLockRule(Rule):
+    rule_id = "RC012"
+    title = "lock may leak on an exception path (bare acquire without with/finally)"
+    scope = "src"
+
+    def check(self, module: ModuleFile) -> list[Finding]:
+        flow = flow_of(module)
+        findings = []
+        for info in flow.functions:
+            for token, line in info.raise_leaks:
+                findings.append(self.finding(
+                    module,
+                    line,
+                    f"{_short(token)} may still be held when an exception "
+                    f"escapes {info.qual}: acquire it with `with` or pair "
+                    "the acquire with a try/finally release",
+                ))
+        return findings

@@ -77,12 +77,17 @@ class ImportHygieneRule(Rule):
     rule_id = "RC003"
     title = "import hygiene: stdlib-only, obs is a leaf, no rv edges from core, acyclic"
     scope = "src"
+    cross_file = True
 
     def __init__(self):
         self._edges: dict[tuple[str, str], tuple[str, int]] = {}
 
     def reset(self) -> None:
         self._edges = {}
+
+    def merge(self, other: "ImportHygieneRule") -> None:
+        for edge, where in other._edges.items():
+            self._edges.setdefault(edge, where)
 
     def check(self, module: ModuleFile) -> list[Finding]:
         findings: list[Finding] = []

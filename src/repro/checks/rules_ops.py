@@ -1,29 +1,22 @@
-"""RC009 — ops-plane discipline: responsive endpoints, catalogued events.
+"""RC009 — ops-plane discipline: journal event names are catalogued.
 
-Two invariants from DESIGN.md §11 ("Operations plane"):
+One invariant from DESIGN.md §11 ("Operations plane"): every string
+literal passed to an ``emit``/``_emit`` call or listed in an
+``EVENT_CATALOG`` tuple must match
+:data:`repro.ops.journal.EVENT_NAME_RE` (``^[a-z][a-z0-9_.]*$``), and
+every *emitted* literal must be registered — present in an
+``EVENT_CATALOG`` seen during the run or passed to a
+``register("...")`` call somewhere.  A typo'd event name would
+otherwise emit fine and silently match no query ever; the journal
+enforces this at runtime, this rule enforces it before the code runs.
+(Cross-file: emit sites are collected per file, resolved in
+:meth:`finalize` once the catalog has been seen.  Dynamic, non-literal
+names are out of scope — the runtime check owns those.)
 
-1. **No locks across response writes.**  An introspection endpoint
-   exists to debug a live service; if its handler writes the HTTP
-   response while holding a shared lock (the metrics registry's, the
-   cache's, the journal's...), a stalled scraper back-pressures the
-   serving path it is supposed to observe.  Handlers must snapshot
-   state first, drop the lock, then write.  Statically: no call to a
-   response-writing method (``send_response`` / ``send_header`` /
-   ``end_headers`` / ``_respond`` / ``wfile.write``) may appear inside
-   a ``with <...lock...>:`` block (the RC001 notion of lock-like).
-
-2. **Journal event names are well-formed and registered.**  Every
-   string literal passed to an ``emit``/``_emit`` call or listed in an
-   ``EVENT_CATALOG`` tuple must match
-   :data:`repro.ops.journal.EVENT_NAME_RE` (``^[a-z][a-z0-9_.]*$``),
-   and every *emitted* literal must be registered — present in an
-   ``EVENT_CATALOG`` seen during the run or passed to a
-   ``register("...")`` call somewhere.  A typo'd event name would
-   otherwise emit fine and silently match no query ever; the journal
-   enforces this at runtime, this rule enforces it before the code
-   runs.  (Cross-file: emit sites are collected per file, resolved in
-   :meth:`finalize` once the catalog has been seen.  Dynamic,
-   non-literal names are out of scope — the runtime check owns those.)
+This rule's original second half — no response writes under a lock —
+grew into the flow-sensitive RC011 (:mod:`repro.checks.rules_flow`),
+which tracks the *actual* lock-set along every path instead of lexical
+``with`` nesting.
 """
 
 from __future__ import annotations
@@ -37,11 +30,6 @@ from .core import Finding, ModuleFile, Rule
 #: repro.checks is a dependency leaf and must not import repro.ops).
 EVENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
 
-#: Methods that put bytes on the HTTP response (stdlib handler surface
-#: plus this repo's ``_respond`` helper).
-_RESPONSE_WRITERS = frozenset({
-    "send_response", "send_header", "end_headers", "_respond",
-})
 
 def _is_journal_emit(func: ast.expr) -> bool:
     """Journal emission sites: ``<something journal-ish>.emit(...)``
@@ -65,17 +53,6 @@ def _is_journal_emit(func: ast.expr) -> bool:
     return False
 
 
-def _is_lock_expr(node: ast.expr) -> bool:
-    """The RC001 notion of lock-like: an attribute or name containing
-    ``lock`` (``self._lock``, ``registry._lock``, ``share_lock(...)``
-    results bound to names)."""
-    if isinstance(node, ast.Attribute):
-        return "lock" in node.attr.lower()
-    if isinstance(node, ast.Name):
-        return "lock" in node.id.lower()
-    return False
-
-
 def _called_name(func: ast.expr) -> str | None:
     if isinstance(func, ast.Attribute):
         return func.attr
@@ -84,22 +61,10 @@ def _called_name(func: ast.expr) -> str | None:
     return None
 
 
-def _is_wfile_write(func: ast.expr) -> bool:
-    return (
-        isinstance(func, ast.Attribute)
-        and func.attr == "write"
-        and isinstance(func.value, ast.Attribute)
-        and func.value.attr == "wfile"
-    )
-
-
 class _OpsScanner(ast.NodeVisitor):
-    """One file's pass: lock-held response writes + event-name sites."""
+    """One file's pass: event-name emission/registration sites."""
 
     def __init__(self):
-        self.lock_depth = 0
-        #: (line, method-name) of response writes under a lock
-        self.locked_writes: list[tuple[int, str]] = []
         #: (line, name) of every literal event name passed to emit/_emit
         self.emits: list[tuple[int, str]] = []
         #: literal names registered via register("...") calls
@@ -107,32 +72,8 @@ class _OpsScanner(ast.NodeVisitor):
         #: (line, name) literals in EVENT_CATALOG tuples
         self.catalog: list[tuple[int, str]] = []
 
-    def visit_With(self, node: ast.With) -> None:
-        self._visit_with(node)
-
-    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
-        self._visit_with(node)
-
-    def _visit_with(self, node) -> None:
-        locks = False
-        for item in node.items:
-            self.visit(item.context_expr)
-            if item.optional_vars is not None:
-                self.visit(item.optional_vars)
-            locks = locks or _is_lock_expr(item.context_expr)
-        self.lock_depth += 1 if locks else 0
-        for stmt in node.body:
-            self.visit(stmt)
-        self.lock_depth -= 1 if locks else 0
-
     def visit_Call(self, node: ast.Call) -> None:
         name = _called_name(node.func)
-        if self.lock_depth > 0 and (
-            name in _RESPONSE_WRITERS or _is_wfile_write(node.func)
-        ):
-            self.locked_writes.append(
-                (node.lineno, "wfile.write" if _is_wfile_write(node.func) else name)
-            )
         if _is_journal_emit(node.func) and node.args:
             first = node.args[0]
             if isinstance(first, ast.Constant) and isinstance(first.value, str):
@@ -158,27 +99,24 @@ class _OpsScanner(ast.NodeVisitor):
 
 class OpsDisciplineRule(Rule):
     rule_id = "RC009"
-    title = "ops discipline: lock-free response writes, catalogued event names"
+    title = "ops discipline: catalogued, well-formed journal event names"
     scope = "all"
+    cross_file = True
 
     def reset(self) -> None:
         self._known: set[str] = set()
         self._pending_emits: list[tuple[str, int, str]] = []
         self._saw_catalog = False
 
+    def merge(self, other: "OpsDisciplineRule") -> None:
+        self._known |= other._known
+        self._pending_emits.extend(other._pending_emits)
+        self._saw_catalog = self._saw_catalog or other._saw_catalog
+
     def check(self, module: ModuleFile) -> list[Finding]:
         scanner = _OpsScanner()
         scanner.visit(module.tree)
-        findings = [
-            self.finding(
-                module,
-                line,
-                f"response write ({method}) while holding a lock: snapshot "
-                "state first, release the lock, then write — a stalled "
-                "client must not back-pressure the serving path",
-            )
-            for line, method in scanner.locked_writes
-        ]
+        findings: list[Finding] = []
         for line, name in scanner.catalog:
             self._saw_catalog = True
             self._known.add(name)

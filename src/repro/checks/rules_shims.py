@@ -94,6 +94,7 @@ class DeprecatedShimExportRule(Rule):
     rule_id = "RC006"
     title = "deprecation hygiene: __all__ must not re-export deprecated shims"
     scope = "src"
+    cross_file = True
 
     def __init__(self):
         self._shims: dict[str, set[str]] = {}
@@ -103,6 +104,10 @@ class DeprecatedShimExportRule(Rule):
     def reset(self) -> None:
         self._shims = {}
         self._exports = []
+
+    def merge(self, other: "DeprecatedShimExportRule") -> None:
+        self._shims.update(other._shims)
+        self._exports.extend(other._exports)
 
     def check(self, module: ModuleFile) -> list[Finding]:
         dotted = ".".join(_module_dotted_path(module))

@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 export of a checker :class:`~repro.checks.core.Report`.
+
+One static-analysis run, one ``runs[0]`` entry: the rule catalog goes
+into the tool driver, every finding becomes a ``result`` with a
+physical location.  Suppressed findings are *included* with a SARIF
+``suppressions`` marker (``inSource`` for ``# checks: ignore[...]``
+comments, ``external`` for baseline-grandfathered ones) so SARIF
+viewers show the complete picture while CI gates only on the
+unsuppressed set — the same split :meth:`Report.exit_code` encodes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(finding, *, suppression_kind: str | None = None) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+        "fingerprints": {"repro/v1": finding.fingerprint()},
+    }
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def to_sarif(report, rules) -> dict:
+    """The SARIF log dict for one run of ``rules`` producing ``report``."""
+    catalog = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title or rule.rule_id},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(rules, key=lambda r: r.rule_id)
+    ]
+    results = (
+        [_result(f) for f in report.findings]
+        + [_result(f, suppression_kind="inSource") for f in report.suppressed]
+        + [_result(f, suppression_kind="external") for f in report.baselined]
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.checks",
+                        "informationUri": "https://example.invalid/repro/checks",
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str | Path, report, rules) -> None:
+    """Serialize :func:`to_sarif` to ``path`` (pretty, trailing newline)."""
+    Path(path).write_text(
+        json.dumps(to_sarif(report, rules), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

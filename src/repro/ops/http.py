@@ -30,8 +30,9 @@ layering).  Endpoints:
 
 Handlers snapshot all shared state into the response body *before*
 writing a single byte — no metrics-registry or cache lock is ever held
-across a socket write (checks rule RC009 enforces this statically), so
-a slow or stalled scraper cannot back-pressure the serving path.
+across a socket write (checks rule RC011 enforces this statically with
+a lock-set dataflow over every handler's CFG), so a slow or stalled
+scraper cannot back-pressure the serving path.
 """
 
 from __future__ import annotations

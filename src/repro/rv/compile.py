@@ -263,9 +263,14 @@ class CompileCache:
             if table is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
-                _CACHE_HITS.add()
-                return table
-            self._misses += 1
+            else:
+                self._misses += 1
+        if table is not None:
+            # the counter takes its own lock; update it after releasing
+            # ours so the two never nest (the RC011 discipline — this
+            # mirrors the miss path below)
+            _CACHE_HITS.add()
+            return table
         _CACHE_MISSES.add()
         # compile outside the lock: a slow formula must not serialize the
         # whole fleet.  A racing duplicate compile is harmless (same table

@@ -1,0 +1,142 @@
+"""The project call graph: indexing, name resolution, and reachability."""
+
+import textwrap
+
+from repro.checks.callgraph import CallGraph, index_module, module_name
+from repro.checks.core import Finding, load_module
+
+
+def make_module(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    module = load_module(path, rel)
+    assert not isinstance(module, Finding), module
+    return module
+
+
+def build(tmp_path, files):
+    indexes = [
+        index_module(make_module(tmp_path, rel, source))
+        for rel, source in files.items()
+    ]
+    return CallGraph.build(indexes)
+
+
+SERVICE = """
+    from repro.demo.journal import Journal
+    from repro.demo import journal as journal_mod
+
+    class Service:
+        def __init__(self, journal: Journal):
+            self._journal = journal
+
+        def helper(self):
+            pass
+
+        def run(self):
+            self.helper()
+            self._journal.emit("demo.start")
+            local = Journal()
+            local.flush()
+            journal_mod.top_level()
+"""
+
+JOURNAL = """
+    class Journal:
+        def emit(self, name):
+            self.flush()
+
+        def flush(self):
+            pass
+
+    def top_level():
+        pass
+"""
+
+
+def test_module_name_from_src_layout(tmp_path):
+    module = make_module(tmp_path, "src/repro/demo/service.py", SERVICE)
+    assert module_name(module) == "repro.demo.service"
+
+
+def test_self_call_resolves_to_own_method(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/service.py": SERVICE,
+        "src/repro/demo/journal.py": JOURNAL,
+    })
+    callees = graph.callees("repro.demo.service.Service.run")
+    assert "repro.demo.service.Service.helper" in callees
+
+
+def test_annotated_attribute_resolves_across_modules(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/service.py": SERVICE,
+        "src/repro/demo/journal.py": JOURNAL,
+    })
+    callees = graph.callees("repro.demo.service.Service.run")
+    assert "repro.demo.journal.Journal.emit" in callees
+
+
+def test_constructed_local_and_module_alias_resolve(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/service.py": SERVICE,
+        "src/repro/demo/journal.py": JOURNAL,
+    })
+    callees = graph.callees("repro.demo.service.Service.run")
+    assert "repro.demo.journal.Journal.flush" in callees
+    assert "repro.demo.journal.top_level" in callees
+
+
+def test_reachability_is_transitive(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/service.py": SERVICE,
+        "src/repro/demo/journal.py": JOURNAL,
+    })
+    reachable = graph.reachable("repro.demo.service.Service.run")
+    # run -> Journal.emit -> Journal.flush
+    assert "repro.demo.journal.Journal.flush" in reachable
+
+
+def test_optional_annotation_picks_the_non_none_side(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/service.py": """
+            from repro.demo.journal import Journal
+
+            class Service:
+                def __init__(self, journal: Journal | None):
+                    self._journal = journal
+
+                def run(self):
+                    self._journal.emit("demo.start")
+        """,
+        "src/repro/demo/journal.py": JOURNAL,
+    })
+    callees = graph.callees("repro.demo.service.Service.run")
+    assert "repro.demo.journal.Journal.emit" in callees
+
+
+def test_unknown_receiver_resolves_to_nothing(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/loose.py": """
+            def run(mystery):
+                mystery.emit("demo.start")
+        """,
+    })
+    assert graph.callees("repro.demo.loose.run") == frozenset()
+
+
+def test_inherited_method_resolves_one_hop(tmp_path):
+    graph = build(tmp_path, {
+        "src/repro/demo/hier.py": """
+            class Base:
+                def ping(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.ping()
+        """,
+    })
+    callees = graph.callees("repro.demo.hier.Child.run")
+    assert "repro.demo.hier.Base.ping" in callees

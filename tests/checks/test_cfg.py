@@ -1,0 +1,314 @@
+"""The CFG builder: structural shapes, edge kinds, and the hypothesis
+coverage invariant (every executable statement lands in exactly one node).
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checks.cfg import (
+    DISPATCH,
+    ENTRY,
+    EXCEPTION,
+    EXIT,
+    NORMAL,
+    RAISE_EXIT,
+    WITH_EXIT,
+    build_cfg,
+    executable_statements,
+    iter_functions,
+)
+
+
+def first_function(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    return next(func for _, _, func in iter_functions(tree))
+
+
+def cfg_of(source: str):
+    return build_cfg(first_function(source))
+
+
+def statement_nodes(cfg):
+    return [node for node, _ in cfg.statement_nodes()]
+
+
+def node_for(cfg, needle: str):
+    """The unique statement node whose source contains ``needle``."""
+    hits = [
+        node for node, stmt in cfg.statement_nodes()
+        # match the statement's own header line, not its nested body
+        if needle in ast.unparse(stmt).splitlines()[0]
+    ]
+    assert len(hits) == 1, f"{needle!r} matched {len(hits)} nodes"
+    return hits[0]
+
+
+def reachable_kinds(cfg, start, kind_filter=None):
+    seen, frontier = {start}, [start]
+    while frontier:
+        node_id = frontier.pop()
+        for succ, kind in cfg.nodes[node_id].succs:
+            if kind_filter is not None and kind != kind_filter:
+                continue
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+# -- structural shapes --------------------------------------------------------
+
+
+def test_straight_line_chain():
+    cfg = cfg_of("""
+        def f():
+            a = 1
+            b = a
+            return b
+    """)
+    assert len(statement_nodes(cfg)) == 3
+    node = node_for(cfg, "a = 1")
+    (succ, kind), = node.succs
+    assert kind == NORMAL
+    assert cfg.nodes[succ].stmt is not None
+
+
+def test_if_branches_rejoin():
+    cfg = cfg_of("""
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+    """)
+    branch = node_for(cfg, "if x")
+    targets = {succ for succ, kind in branch.succs if kind == NORMAL}
+    assert len(targets) == 2
+    ret = node_for(cfg, "return y")
+    # both branch arms flow into the return
+    for needle in ("y = 1", "y = 2"):
+        arm = node_for(cfg, needle)
+        assert any(succ == ret.id for succ, _ in arm.succs)
+
+
+def test_while_loop_back_edge_and_break():
+    cfg = cfg_of("""
+        def f(x):
+            while x:
+                if x > 1:
+                    break
+                x -= 1
+            return x
+    """)
+    head = node_for(cfg, "while x")
+    body = node_for(cfg, "x -= 1")
+    assert any(succ == head.id for succ, _ in body.succs), "no back edge"
+    ret = node_for(cfg, "return x")
+    brk = node_for(cfg, "break")
+    assert any(succ == ret.id for succ, _ in brk.succs), "break skips the loop"
+
+
+def test_early_return_goes_straight_to_exit():
+    cfg = cfg_of("""
+        def f(x):
+            if x:
+                return 1
+            return 2
+    """)
+    early = node_for(cfg, "return 1")
+    assert [succ for succ, _ in early.succs] == [cfg.exit]
+
+
+def test_with_gets_synthetic_exit_on_every_path():
+    cfg = cfg_of("""
+        def f(lock):
+            with lock:
+                work()
+            return 1
+    """)
+    work = node_for(cfg, "work()")
+    # the normal path and the exception path both release through a
+    # synthetic with-exit node (one per exit path)
+    for wanted in (NORMAL, EXCEPTION):
+        (succ,) = [s for s, kind in work.succs if kind == wanted]
+        assert cfg.nodes[succ].kind == WITH_EXIT
+
+
+def test_exception_inside_with_releases_before_raise_exit():
+    cfg = cfg_of("""
+        def f(lock):
+            with lock:
+                risky()
+    """)
+    risky = node_for(cfg, "risky()")
+    (exc_succ,) = [succ for succ, kind in risky.succs if kind == EXCEPTION]
+    assert cfg.nodes[exc_succ].kind == WITH_EXIT
+    assert any(succ == cfg.raise_exit for succ, _ in cfg.nodes[exc_succ].succs)
+
+
+def test_try_except_routes_exception_through_dispatch():
+    cfg = cfg_of("""
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            return 1
+    """)
+    risky = node_for(cfg, "risky()")
+    (exc_succ,) = [succ for succ, kind in risky.succs if kind == EXCEPTION]
+    assert cfg.nodes[exc_succ].kind == DISPATCH
+    handler = node_for(cfg, "handle()")
+    assert handler.id in reachable_kinds(cfg, exc_succ)
+
+
+def test_finally_runs_on_normal_and_exceptional_paths():
+    cfg = cfg_of("""
+        def f():
+            try:
+                risky()
+            finally:
+                cleanup()
+            return 1
+    """)
+    cleanup = node_for(cfg, "cleanup()")
+    risky = node_for(cfg, "risky()")
+    assert cleanup.id in reachable_kinds(cfg, risky.id)
+    # the finally continues both to the return and to the raise-exit
+    following = reachable_kinds(cfg, cleanup.id)
+    assert node_for(cfg, "return 1").id in following
+    assert cfg.raise_exit in following
+
+
+def test_nested_with_unwinds_inner_then_outer_on_exception():
+    cfg = cfg_of("""
+        def f(a, b):
+            with a:
+                with b:
+                    risky()
+    """)
+    risky = node_for(cfg, "risky()")
+    (first,) = [succ for succ, kind in risky.succs if kind == EXCEPTION]
+    assert cfg.nodes[first].kind == WITH_EXIT
+    (second,) = [succ for succ, _ in cfg.nodes[first].succs]
+    assert cfg.nodes[second].kind == WITH_EXIT
+    assert any(succ == cfg.raise_exit for succ, _ in cfg.nodes[second].succs)
+
+
+def test_render_is_stable_text():
+    cfg = cfg_of("""
+        def f():
+            return 1
+    """)
+    text = cfg.render()
+    assert "entry" in text and "exit" in text
+
+
+# -- the coverage invariant, property-based ----------------------------------
+#
+# A recursive statement-soup generator: enough shapes (branches, loops,
+# with, try/except/finally, break/continue/return/raise) to stress every
+# builder path, constrained to stay valid Python.
+
+
+def _indent(lines, by="    "):
+    return [by + line for line in lines]
+
+
+@st.composite
+def _body(draw, depth, in_loop):
+    count = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    for _ in range(count):
+        choices = ["assign", "call", "pass", "aug"]
+        if depth > 0:
+            choices += ["if", "while", "for", "with", "try", "tryfin"]
+        if in_loop:
+            choices += ["break", "continue"]
+        choices += ["return", "raise"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "assign":
+            lines.append("x = f()")
+        elif kind == "aug":
+            lines.append("x += 1")
+        elif kind == "call":
+            lines.append("g(x)")
+        elif kind == "pass":
+            lines.append("pass")
+        elif kind == "break":
+            lines.append("break")
+        elif kind == "continue":
+            lines.append("continue")
+        elif kind == "return":
+            lines.append(draw(st.sampled_from(["return", "return x"])))
+        elif kind == "raise":
+            lines.append("raise ValueError(x)")
+        elif kind == "if":
+            lines.append("if x:")
+            lines += _indent(draw(_body(depth - 1, in_loop)))
+            if draw(st.booleans()):
+                lines.append("else:")
+                lines += _indent(draw(_body(depth - 1, in_loop)))
+        elif kind == "while":
+            lines.append("while x:")
+            lines += _indent(draw(_body(depth - 1, True)))
+        elif kind == "for":
+            lines.append("for i in x:")
+            lines += _indent(draw(_body(depth - 1, True)))
+        elif kind == "with":
+            lines.append(draw(st.sampled_from(["with lock:", "with lock_a, lock_b:"])))
+            lines += _indent(draw(_body(depth - 1, in_loop)))
+        elif kind == "try":
+            lines.append("try:")
+            lines += _indent(draw(_body(depth - 1, in_loop)))
+            lines.append("except ValueError:")
+            lines += _indent(draw(_body(depth - 1, in_loop)))
+            if draw(st.booleans()):
+                lines.append("except Exception:")
+                lines += _indent(draw(_body(depth - 1, in_loop)))
+        elif kind == "tryfin":
+            lines.append("try:")
+            lines += _indent(draw(_body(depth - 1, in_loop)))
+            lines.append("finally:")
+            lines += _indent(draw(_body(depth - 1, False)))
+    return lines
+
+
+@st.composite
+def function_sources(draw):
+    """Source text of one syntactically valid function full of control flow."""
+    lines = ["def f(x, lock, lock_a, lock_b):"]
+    lines += _indent(draw(_body(draw(st.integers(1, 3)), False)))
+    return "\n".join(lines) + "\n"
+
+
+@given(function_sources())
+@settings(max_examples=150, deadline=None)
+def test_every_executable_statement_in_exactly_one_node(source):
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    placed: dict[int, int] = {}
+    for node in cfg.nodes:
+        for stmt in node.stmts:
+            placed[id(stmt)] = placed.get(id(stmt), 0) + 1
+    expected = executable_statements(func)
+    assert placed == {id(stmt): 1 for stmt in expected}
+
+
+@given(function_sources())
+@settings(max_examples=100, deadline=None)
+def test_all_edges_target_real_nodes_and_exits_are_sinks(source):
+    cfg = build_cfg(ast.parse(source).body[0])
+    ids = {node.id for node in cfg.nodes}
+    for node in cfg.nodes:
+        for succ, kind in node.succs:
+            assert succ in ids
+            assert kind in (NORMAL, EXCEPTION)
+    assert cfg.nodes[cfg.exit].succs == []
+    assert cfg.nodes[cfg.raise_exit].succs == []
+    assert cfg.nodes[cfg.entry].kind == ENTRY
+    assert cfg.nodes[cfg.exit].kind == EXIT
+    assert cfg.nodes[cfg.raise_exit].kind == RAISE_EXIT

@@ -69,3 +69,81 @@ def test_syntax_error_becomes_rc000(tmp_path, capsys):
     src = write(tmp_path, "def broken(:\n")
     assert main([str(src)]) == 1
     assert "RC000" in capsys.readouterr().out
+
+
+def test_sarif_output_is_valid_and_complete(tmp_path, capsys):
+    src = write(
+        tmp_path, BAD + 'OTHER = {"b": 2}  # checks: ignore[RC005] justified\n'
+    )
+    sarif_path = tmp_path / "report.sarif"
+    assert main([str(src), "--sarif", str(sarif_path)]) == 1
+    capsys.readouterr()
+    log = json.loads(sarif_path.read_text())
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.checks"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RC001", "RC005", "RC010", "RC011", "RC012"} <= rule_ids
+    flagged = [r for r in run["results"] if "suppressions" not in r]
+    muted = [r for r in run["results"] if "suppressions" in r]
+    assert len(flagged) == 1 and len(muted) == 1
+    location = flagged[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("mod.py")
+    assert location["region"]["startLine"] == 1
+    assert muted[0]["suppressions"] == [{"kind": "inSource"}]
+
+
+def test_jobs_parallel_run_matches_sequential(tmp_path, capsys):
+    for i in range(4):
+        target = tmp_path / "src" / "repro" / "demo" / f"mod{i}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(BAD if i % 2 else GOOD)
+    src = tmp_path / "src"
+    assert main([str(src), "--json"]) == 2
+    sequential = json.loads(capsys.readouterr().out)
+    assert main([str(src), "--json", "--jobs", "2"]) == 2
+    parallel = json.loads(capsys.readouterr().out)
+    assert parallel["unsuppressed"] == sequential["unsuppressed"]
+    assert parallel["files_scanned"] == sequential["files_scanned"]
+
+
+def test_cache_replays_unchanged_files(tmp_path, capsys):
+    src = write(tmp_path, BAD)
+    cache = tmp_path / "checks-cache"
+    assert main([str(src), "--cache", str(cache)]) == 1
+    first = capsys.readouterr()
+    assert "from cache" not in first.err
+    assert cache.exists()
+    assert main([str(src), "--cache", str(cache)]) == 1
+    second = capsys.readouterr()
+    assert "1 from cache" in second.err
+    assert "RC005" in second.out  # cached findings still reported
+
+
+def test_cache_invalidates_on_content_change(tmp_path, capsys):
+    src = write(tmp_path, BAD)
+    cache = tmp_path / "checks-cache"
+    assert main([str(src), "--cache", str(cache)]) == 1
+    capsys.readouterr()
+    write(tmp_path, GOOD)
+    assert main([str(src), "--cache", str(cache)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().err
+
+
+def test_cross_file_rules_survive_the_cache(tmp_path, capsys):
+    # RC009's catalog lives in one file, the emitter in another; a fully
+    # cache-warm run must still merge both files' state before finalize
+    catalog = tmp_path / "src" / "repro" / "demo" / "catalog.py"
+    catalog.parent.mkdir(parents=True, exist_ok=True)
+    catalog.write_text('EVENT_CATALOG = ("demo.request_start",)\n')
+    emitter = catalog.parent / "emitter.py"
+    emitter.write_text('def serve(journal):\n    journal.emit("demo.typo_event")\n')
+    src = tmp_path / "src"
+    cache = tmp_path / "checks-cache"
+    assert main([str(src), "--cache", str(cache)]) == 1
+    first = capsys.readouterr()
+    assert "RC009" in first.out
+    assert main([str(src), "--cache", str(cache)]) == 1
+    second = capsys.readouterr()
+    assert "RC009" in second.out
+    assert "2 from cache" in second.err

@@ -1,0 +1,182 @@
+"""The forward fixpoint engine and the lock-set instantiation.
+
+The solver computes the least fixpoint of the per-node transfer
+operator (Knaster–Tarski over the finite powerset lattice of lock
+tokens); ``is_fixpoint`` replays the operator once and is the
+machine-checked version of the paper's closure test ``x = ρ(x)``.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+
+from repro.checks.cfg import build_cfg
+from repro.checks.dataflow import (
+    ForwardAnalysis,
+    LockSetAnalysis,
+    is_fixpoint,
+    iter_calls,
+    solve_forward,
+)
+
+from .test_cfg import function_sources
+
+
+def _resolver(expr):
+    try:
+        text = ast.unparse(expr)
+    except Exception:
+        return None
+    return text if "lock" in text else None
+
+
+def solved(source: str):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    cfg = build_cfg(func)
+    analysis = LockSetAnalysis(_resolver)
+    return cfg, analysis, solve_forward(cfg, analysis)
+
+
+def test_with_block_holds_and_releases():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            before = 1
+            with lock:
+                inside = 2
+            after = 3
+    """)
+    facts = {
+        ast.unparse(stmt): solution.input_at(node.id)
+        for node, stmt in cfg.statement_nodes()
+    }
+    assert facts["before = 1"] == frozenset()
+    assert facts["inside = 2"] == frozenset({"lock"})
+    assert facts["after = 3"] == frozenset()
+    assert solution.input_at(cfg.exit) == frozenset()
+
+
+def test_bare_acquire_leaks_to_both_exits():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            lock.acquire()
+            risky()
+    """)
+    assert solution.input_at(cfg.exit) == frozenset({"lock"})
+    assert solution.input_at(cfg.raise_exit) == frozenset({"lock"})
+
+
+def test_canonical_acquire_try_finally_is_exception_clean():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            lock.acquire()
+            try:
+                risky()
+            finally:
+                lock.release()
+    """)
+    assert solution.input_at(cfg.exit) == frozenset()
+    # the release's own exception edge must not re-leak the token:
+    # Lock.release() only raises when the lock is NOT held
+    assert solution.input_at(cfg.raise_exit) in (None, frozenset())
+
+
+def test_branch_join_is_union():
+    cfg, analysis, solution = solved("""
+        def f(x, lock):
+            if x:
+                lock.acquire()
+            merge = 1
+    """)
+    merge = next(
+        node for node, stmt in cfg.statement_nodes()
+        if ast.unparse(stmt) == "merge = 1"
+    )
+    # may-analysis: held on one branch → held at the merge
+    assert solution.input_at(merge.id) == frozenset({"lock"})
+
+
+def test_exception_raised_inside_with_drops_the_token():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            with lock:
+                risky()
+    """)
+    assert solution.input_at(cfg.raise_exit) == frozenset()
+
+
+def test_unreachable_code_has_no_fact():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            return 1
+            dead = 2
+    """)
+    dead = next(
+        node for node, stmt in cfg.statement_nodes()
+        if ast.unparse(stmt) == "dead = 2"
+    )
+    assert solution.input_at(dead.id) is None
+
+
+def test_iter_calls_finds_calls_but_skips_lambda_bodies():
+    stmt = ast.parse("x = f(g(), key=lambda v: h(v))").body[0]
+    names = sorted(
+        ast.unparse(call.func) for call in iter_calls(stmt)
+    )
+    assert names == ["f", "g"]
+
+
+def test_is_fixpoint_rejects_a_perturbed_solution():
+    cfg, analysis, solution = solved("""
+        def f(lock):
+            with lock:
+                inside = 1
+    """)
+    assert is_fixpoint(solution, analysis)
+    inside = next(
+        node for node, stmt in cfg.statement_nodes()
+        if ast.unparse(stmt) == "inside = 1"
+    )
+    solution.inputs[inside.id] = frozenset()  # claim the lock is not held
+    assert not is_fixpoint(solution, analysis)
+
+
+# -- the paper's closure test, property-based --------------------------------
+
+
+@given(function_sources())
+@settings(max_examples=120, deadline=None)
+def test_solver_result_is_a_fixpoint(source):
+    """Re-applying the transfer operator to the solved facts changes
+    nothing: the solution satisfies ``x = ρ(x)``, so re-running the
+    worklist from it is a no-op."""
+    cfg, analysis, solution = solved(source)
+    assert is_fixpoint(solution, analysis)
+
+
+class _ReachingLines(ForwardAnalysis):
+    """A second lattice (reached statement lines) to check the engine
+    is generic, not lock-set-shaped."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, node, fact):
+        return fact | {stmt.lineno for stmt in node.stmts}
+
+
+@given(function_sources())
+@settings(max_examples=60, deadline=None)
+def test_generic_engine_fixpoint_with_a_different_lattice(source):
+    cfg = build_cfg(ast.parse(source).body[0])
+    analysis = _ReachingLines()
+    solution = solve_forward(cfg, analysis)
+    assert is_fixpoint(solution, analysis)
+    exit_fact = solution.input_at(cfg.exit)
+    raise_fact = solution.input_at(cfg.raise_exit)
+    seen = (exit_fact or frozenset()) | (raise_fact or frozenset())
+    lines = {stmt.lineno for node, stmt in cfg.statement_nodes()}
+    assert seen <= lines

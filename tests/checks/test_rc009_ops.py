@@ -1,67 +1,9 @@
-"""RC009 ops discipline: lock-free response writes and catalogued
-journal event names — good and bad snippets."""
+"""RC009 ops discipline: catalogued, well-formed journal event names —
+good and bad snippets.  (The response-write-under-lock half of the old
+RC009 grew into the flow-sensitive RC011; those fixtures live in
+``test_rc011_blocking.py`` now.)"""
 
 from .conftest import rules_of
-
-GOOD_SNAPSHOT_THEN_WRITE = """
-    import json
-    import threading
-
-    class Handler:
-        def __init__(self):
-            self._lock = threading.Lock()
-            self._rows = []
-
-        def _respond(self, status, body):
-            pass
-
-        def get_debug(self):
-            with self._lock:
-                snapshot = list(self._rows)
-            body = json.dumps(snapshot).encode()
-            self._respond(200, body)
-"""
-
-BAD_RESPOND_UNDER_LOCK = """
-    import json
-    import threading
-
-    class Handler:
-        def __init__(self):
-            self._lock = threading.Lock()
-            self._rows = []
-
-        def _respond(self, status, body):
-            pass
-
-        def get_debug(self):
-            with self._lock:
-                self._respond(200, json.dumps(self._rows).encode())
-"""
-
-BAD_WFILE_WRITE_UNDER_LOCK = """
-    import threading
-
-    class Handler:
-        def get_metrics(self, registry):
-            with registry.export_lock:
-                self.wfile.write(b"repro_demo_total 1")
-"""
-
-BAD_SEND_HEADERS_UNDER_LOCK = """
-    import threading
-
-    class Handler:
-        def __init__(self):
-            self._lock = threading.Lock()
-            self._depth = 0
-
-        def get_depth(self):
-            with self._lock:
-                self.send_response(200)
-                self.end_headers()
-                self._depth += 1
-"""
 
 GOOD_CATALOGUED_EMITS = """
     EVENT_CATALOG = (
@@ -139,27 +81,6 @@ GOOD_NO_CATALOG_IN_RUN = """
     def serve(journal):
         journal.emit("demo.whatever")
 """
-
-
-def test_snapshot_then_write_is_clean(checker):
-    assert rules_of(checker.check(GOOD_SNAPSHOT_THEN_WRITE)) == []
-
-
-def test_respond_under_lock_is_flagged(checker):
-    report = checker.check(BAD_RESPOND_UNDER_LOCK)
-    assert rules_of(report) == ["RC009"]
-    assert "holding a lock" in report.findings[0].message
-
-
-def test_wfile_write_under_lock_is_flagged(checker):
-    report = checker.check(BAD_WFILE_WRITE_UNDER_LOCK)
-    assert "RC009" in rules_of(report)
-    assert any("wfile.write" in f.message for f in report.findings)
-
-
-def test_send_headers_under_lock_flag_each_write(checker):
-    report = checker.check(BAD_SEND_HEADERS_UNDER_LOCK)
-    assert rules_of(report).count("RC009") == 2  # send_response + end_headers
 
 
 def test_catalogued_emits_are_clean(checker):

@@ -1,0 +1,137 @@
+"""RC010 lock-order deadlock: ABBA cycles, direct and through calls."""
+
+from repro.checks.rules_flow import LockOrderRule
+
+from .conftest import rules_of
+
+ABBA = """
+    import threading
+
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+
+    def forward():
+        with lock_a:
+            with lock_b:
+                pass
+
+    def backward():
+        with lock_b:
+            with lock_a:
+                pass
+"""
+
+CONSISTENT_ORDER = """
+    import threading
+
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+
+    def one():
+        with lock_a:
+            with lock_b:
+                pass
+
+    def two():
+        with lock_a:
+            with lock_b:
+                pass
+"""
+
+INTERPROCEDURAL_ABBA_CALLER = """
+    import threading
+    from repro.demo.other import take_b_then_a
+
+    lock_a = threading.Lock()
+
+    def outer():
+        with lock_a:
+            take_b_then_a()
+"""
+
+INTERPROCEDURAL_ABBA_CALLEE = """
+    import threading
+    from repro.demo.caller import lock_a
+
+    lock_b = threading.Lock()
+
+    def take_b_then_a():
+        with lock_b:
+            with lock_a:
+                pass
+"""
+
+
+def run_rc010(checker):
+    return checker.run(rules=[LockOrderRule()])
+
+
+def test_abba_cycle_is_reported_with_both_witnesses(checker):
+    checker.write("src/repro/demo/abba.py", ABBA)
+    report = run_rc010(checker)
+    assert rules_of(report) == ["RC010"]
+    message = report.findings[0].message
+    assert "lock-order cycle" in message
+    # every leg of the cycle names its witness site
+    assert "forward" in message and "backward" in message
+    assert message.count("src/repro/demo/abba.py:") == 2
+    assert "abba.lock_a -> abba.lock_b" in message
+    assert "abba.lock_b -> abba.lock_a" in message
+
+
+def test_consistent_order_is_clean(checker):
+    checker.write("src/repro/demo/consistent.py", CONSISTENT_ORDER)
+    assert rules_of(run_rc010(checker)) == []
+
+
+def test_single_lock_reentrancy_is_not_a_cycle(checker):
+    checker.write("src/repro/demo/reentrant.py", """
+        import threading
+
+        lock_a = threading.Lock()
+
+        def f():
+            with lock_a:
+                with lock_a:
+                    pass
+    """)
+    assert rules_of(run_rc010(checker)) == []
+
+
+def test_interprocedural_cycle_through_the_call_graph(checker):
+    checker.write("src/repro/demo/caller.py", INTERPROCEDURAL_ABBA_CALLER)
+    checker.write("src/repro/demo/other.py", INTERPROCEDURAL_ABBA_CALLEE)
+    report = run_rc010(checker)
+    assert rules_of(report) == ["RC010"]
+    message = report.findings[0].message
+    assert "calls repro.demo.other.take_b_then_a which acquires" in message
+
+
+def test_three_lock_rotation_is_one_cycle(checker):
+    checker.write("src/repro/demo/rotation.py", """
+        import threading
+
+        lock_a = threading.Lock()
+        lock_b = threading.Lock()
+        lock_c = threading.Lock()
+
+        def ab():
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def bc():
+            with lock_b:
+                with lock_c:
+                    pass
+
+        def ca():
+            with lock_c:
+                with lock_a:
+                    pass
+    """)
+    report = run_rc010(checker)
+    assert rules_of(report) == ["RC010"]
+    message = report.findings[0].message
+    for fn in ("ab", "bc", "ca"):
+        assert f".{fn} acquires" in message

@@ -1,0 +1,235 @@
+"""RC011 blocking call under a lock: syntactic matchers, the response-
+write fixtures inherited from the old RC009 check, and the
+interprocedural (call-graph) half."""
+
+from repro.checks.rules_flow import BlockingUnderLockRule
+
+from .conftest import rules_of
+
+
+def run_rc011(checker):
+    return checker.run(rules=[BlockingUnderLockRule()])
+
+
+def check_rc011(checker, source, rel="src/repro/demo/mod.py"):
+    checker.write(rel, source)
+    return run_rc011(checker)
+
+
+# -- the fixtures that used to drive RC009's response-write check -------------
+
+GOOD_SNAPSHOT_THEN_WRITE = """
+    import json
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rows = []
+
+        def _respond(self, status, body):
+            pass
+
+        def get_debug(self):
+            with self._lock:
+                snapshot = list(self._rows)
+            body = json.dumps(snapshot).encode()
+            self._respond(200, body)
+"""
+
+BAD_RESPOND_UNDER_LOCK = """
+    import json
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._rows = []
+
+        def _respond(self, status, body):
+            pass
+
+        def get_debug(self):
+            with self._lock:
+                self._respond(200, json.dumps(self._rows).encode())
+"""
+
+BAD_WFILE_WRITE_UNDER_LOCK = """
+    import threading
+
+    class Handler:
+        def get_metrics(self, registry):
+            with registry.export_lock:
+                self.wfile.write(b"repro_demo_total 1")
+"""
+
+BAD_SEND_HEADERS_UNDER_LOCK = """
+    import threading
+
+    class Handler:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._depth = 0
+
+        def get_depth(self):
+            with self._lock:
+                self.send_response(200)
+                self.end_headers()
+                self._depth += 1
+"""
+
+
+def test_snapshot_then_write_is_clean(checker):
+    assert rules_of(check_rc011(checker, GOOD_SNAPSHOT_THEN_WRITE)) == []
+
+
+def test_respond_under_lock_is_flagged(checker):
+    report = check_rc011(checker, BAD_RESPOND_UNDER_LOCK)
+    assert rules_of(report) == ["RC011"]
+    message = report.findings[0].message
+    assert "self._respond" in message
+    assert "Handler._lock" in message
+
+
+def test_wfile_write_under_lock_is_flagged(checker):
+    report = check_rc011(checker, BAD_WFILE_WRITE_UNDER_LOCK)
+    assert rules_of(report) == ["RC011"]
+    assert "wfile.write" in report.findings[0].message
+
+
+def test_send_headers_under_lock_flag_each_write(checker):
+    report = check_rc011(checker, BAD_SEND_HEADERS_UNDER_LOCK)
+    assert rules_of(report) == ["RC011", "RC011"]  # send_response + end_headers
+
+
+# -- flow sensitivity: it is the lock-set that decides, not nesting ----------
+
+
+def test_release_before_blocking_call_is_clean(checker):
+    report = check_rc011(checker, """
+        import threading
+        import time
+
+        lock = threading.Lock()
+
+        def f():
+            lock.acquire()
+            lock.release()
+            time.sleep(1)
+    """)
+    assert rules_of(report) == []
+
+
+def test_bare_acquire_then_sleep_is_flagged(checker):
+    report = check_rc011(checker, """
+        import threading
+        import time
+
+        lock = threading.Lock()
+
+        def f():
+            lock.acquire()
+            time.sleep(1)
+            lock.release()
+    """)
+    assert rules_of(report) == ["RC011"]
+    assert "time.sleep" in report.findings[0].message
+
+
+def test_queue_and_future_waits_under_lock_are_flagged(checker):
+    report = check_rc011(checker, """
+        import threading
+
+        class Worker:
+            def __init__(self, queue, future):
+                self._lock = threading.Lock()
+                self.queue = queue
+                self.future = future
+
+            def drain(self):
+                with self._lock:
+                    item = self.queue.get()
+                    value = self.future.result()
+    """)
+    assert rules_of(report) == ["RC011", "RC011"]
+
+
+def test_condition_wait_on_the_lock_itself_is_exempt(checker):
+    report = check_rc011(checker, """
+        import threading
+
+        class Gate:
+            def __init__(self):
+                self._lock = threading.Condition()
+
+            def block_until_open(self):
+                with self._lock:
+                    self._lock.wait()
+    """)
+    assert rules_of(report) == []
+
+
+def test_blocking_call_without_a_lock_is_clean(checker):
+    report = check_rc011(checker, """
+        import time
+
+        def nap():
+            time.sleep(1)
+    """)
+    assert rules_of(report) == []
+
+
+# -- the interprocedural half -------------------------------------------------
+
+
+def test_call_into_function_acquiring_another_lock_is_flagged(checker):
+    checker.write("src/repro/demo/emitter.py", """
+        import threading
+
+        class Journal:
+            def __init__(self):
+                self._journal_lock = threading.Lock()
+
+            def emit(self, name):
+                with self._journal_lock:
+                    pass
+    """)
+    checker.write("src/repro/demo/holder.py", """
+        import threading
+        from repro.demo.emitter import Journal
+
+        class Widget:
+            def __init__(self, journal: Journal):
+                self._lock = threading.Lock()
+                self._journal = journal
+
+            def poke(self):
+                with self._lock:
+                    self._journal.emit("demo.poke")
+    """)
+    report = run_rc011(checker)
+    assert rules_of(report) == ["RC011"]
+    message = report.findings[0].message
+    assert "call into repro.demo.emitter.Journal.emit" in message
+    assert "Widget._lock" in message
+    assert "Journal._journal_lock" in message
+    assert report.findings[0].path.endswith("holder.py")
+
+
+def test_callee_reacquiring_the_same_lock_is_not_foreign(checker):
+    checker.write("src/repro/demo/same.py", """
+        import threading
+
+        lock_a = threading.Lock()
+
+        def inner():
+            with lock_a:
+                pass
+
+        def outer():
+            with lock_a:
+                inner()
+    """)
+    # inner() acquires only the lock outer already holds — reentrancy is
+    # RC001/RC010 territory, not a *foreign*-lock blocking hazard
+    assert rules_of(run_rc011(checker)) == []

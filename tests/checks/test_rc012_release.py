@@ -1,0 +1,104 @@
+"""RC012 exception-unsafe lock release: bare acquires that leak when an
+exception escapes, and the patterns that must stay clean."""
+
+from repro.checks.rules_flow import ExceptionUnsafeLockRule
+
+from .conftest import rules_of
+
+
+def check_rc012(checker, source):
+    checker.write("src/repro/demo/mod.py", source)
+    return checker.run(rules=[ExceptionUnsafeLockRule()])
+
+
+def test_bare_acquire_without_finally_is_flagged(checker):
+    report = check_rc012(checker, """
+        import threading
+
+        lock = threading.Lock()
+
+        def f():
+            lock.acquire()
+            risky()
+            lock.release()
+    """)
+    assert rules_of(report) == ["RC012"]
+    finding = report.findings[0]
+    assert "mod.lock" in finding.message
+    assert "with" in finding.message
+    assert finding.line == 7  # attributed to the acquire site
+
+
+def test_acquire_try_finally_release_is_clean(checker):
+    """The leak-through-``finally`` false-positive guard: the canonical
+    pattern's only exceptional exits run *after* the release."""
+    report = check_rc012(checker, """
+        import threading
+
+        lock = threading.Lock()
+
+        def f():
+            lock.acquire()
+            try:
+                risky()
+            finally:
+                lock.release()
+    """)
+    assert rules_of(report) == []
+
+
+def test_with_statement_is_clean(checker):
+    report = check_rc012(checker, """
+        import threading
+
+        lock = threading.Lock()
+
+        def f():
+            with lock:
+                risky()
+    """)
+    assert rules_of(report) == []
+
+
+def test_release_only_on_the_happy_path_is_flagged(checker):
+    report = check_rc012(checker, """
+        import threading
+
+        lock = threading.Lock()
+
+        def f(x):
+            lock.acquire()
+            if x:
+                lock.release()
+                return
+            risky()
+            lock.release()
+    """)
+    assert rules_of(report) == ["RC012"]
+
+
+def test_method_lock_is_reported_with_class_qualified_token(checker):
+    report = check_rc012(checker, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def get(self, key):
+                self._lock.acquire()
+                value = compute(key)
+                self._lock.release()
+                return value
+    """)
+    assert rules_of(report) == ["RC012"]
+    assert "Cache._lock" in report.findings[0].message
+
+
+def test_non_lock_attributes_are_ignored(checker):
+    report = check_rc012(checker, """
+        def f(session):
+            session.acquire()
+            risky()
+    """)
+    assert rules_of(report) == []

@@ -68,3 +68,79 @@ def test_suppressed_findings_do_not_count_toward_exit_code(checker):
         'KINDS = {"a": 1}  # checks: ignore[RC005] justified\n'
     )
     assert report.exit_code == 0
+
+
+# -- decorated-definition headers ---------------------------------------------
+#
+# Rules attribute definition-level findings to the `def` line; with a
+# decorator on top, a trailing comment can only sit on a *header* line.
+# Any header line (decorator, def, signature continuation) must cover
+# findings attributed to the def line.
+
+import ast
+
+from repro.checks.core import Rule
+
+
+class _DefLineRule(Rule):
+    rule_id = "RC998"
+    title = "test rule: one finding per function definition line"
+
+    def check(self, module):
+        return [
+            self.finding(module, node.lineno, "definition finding")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.FunctionDef)
+        ]
+
+
+def test_suppression_on_decorator_line_covers_the_def(checker):
+    checker.write("src/repro/demo/mod.py", """
+        @staticmethod  # checks: ignore[RC998] justified at the decorator
+        def decorated():
+            return 1
+    """)
+    report = checker.run(rules=[_DefLineRule()])
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC998"]
+
+
+def test_suppression_on_signature_continuation_line_covers_the_def(checker):
+    checker.write("src/repro/demo/mod.py", """
+        @staticmethod
+        def decorated(
+            a,  # checks: ignore[RC998] justified mid-signature
+            b,
+        ):
+            return a + b
+    """)
+    report = checker.run(rules=[_DefLineRule()])
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == ["RC998"]
+
+
+def test_header_suppression_does_not_leak_to_sibling_defs(checker):
+    checker.write("src/repro/demo/mod.py", """
+        @staticmethod  # checks: ignore[RC998] only this one
+        def covered():
+            return 1
+
+        def uncovered():
+            return 2
+    """)
+    report = checker.run(rules=[_DefLineRule()])
+    assert [f.rule for f in report.findings] == ["RC998"]
+    assert [f.rule for f in report.suppressed] == ["RC998"]
+
+
+def test_undecorated_def_does_not_inherit_preceding_lines(checker):
+    # without a decorator the existing rules apply unchanged: only a
+    # trailing or immediately-preceding comment-only line suppresses
+    checker.write("src/repro/demo/mod.py", """
+        x = 1  # checks: ignore[RC998] not a header line
+
+        def plain():
+            return 1
+    """)
+    report = checker.run(rules=[_DefLineRule()])
+    assert [f.rule for f in report.findings] == ["RC998"]
