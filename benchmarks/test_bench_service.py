@@ -1,5 +1,5 @@
 """Analysis-service throughput — the cold vs warm payoff of canonical
-cache keys (DESIGN.md §8).
+cache keys (DESIGN.md §8), driven through the :class:`Client` facade.
 
 A repeated 100-request workload (decompose/classify/check over a small
 formula family, *with every subject freshly re-parsed and automata
@@ -15,9 +15,9 @@ import pytest
 
 from repro.ltl import parse, translate
 from repro.service import (
-    AnalysisService,
     CheckRequest,
     ClassifyRequest,
+    Client,
     DecomposeRequest,
     ResultCache,
 )
@@ -51,24 +51,25 @@ def _workload():
     return requests[:100]
 
 
-def _serve(service, requests):
+def _serve(client, requests):
     for request in requests:
-        service.request(request)
+        client.submit(request).result()
 
 
 def test_cold_service(benchmark):
     def setup():
-        return (AnalysisService(workers=0, cache=ResultCache()), _workload()), {}
+        return (Client.in_process(workers=0, cache=ResultCache()),
+                _workload()), {}
 
     benchmark.pedantic(_serve, setup=setup, rounds=5, iterations=1)
 
 
 def test_warm_service(benchmark):
-    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    client = Client.in_process(workers=0, cache=ResultCache(maxsize=1024))
     requests = _workload()
-    _serve(service, requests)  # populate
-    benchmark(_serve, service, _workload())  # fresh objects, warm cache
-    info = service.cache.info()
+    _serve(client, requests)  # populate
+    benchmark(_serve, client, _workload())  # fresh objects, warm cache
+    info = client.transport.service.cache.info()
     assert info.hits > info.misses
 
 
@@ -76,15 +77,15 @@ def test_certified_decompose_warm(benchmark):
     """A ``certify=True`` decompose served warm, with the certificate
     payload priced: ``extra_info.cert_payload_bytes`` records what the
     ``decompose+cert:`` cache line carries beyond the bare answer."""
-    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    client = Client.in_process(workers=0, cache=ResultCache(maxsize=1024))
     formula = parse("G (a -> X b)")
-    request = DecomposeRequest(formula, alphabet=ALPHABET, certify=True)
-    first = service.request(request)
-    certificate = first.value.certificate
+    first = client.decompose(formula, alphabet=ALPHABET, certify=True)
+    certificate = first.certificate
     assert certificate is not None
 
-    result = benchmark(service.request, request)
-    assert result.cached is True
+    reply = benchmark(client.decompose, formula, alphabet=ALPHABET,
+                      certify=True)
+    assert reply.cached is True
     payload_bytes = len(certificate.to_json().encode("utf-8"))
     benchmark.extra_info["cert_payload_bytes"] = payload_bytes
     emit(
@@ -102,19 +103,20 @@ def test_warm_beats_cold():
     from cache, plus a conservative 3× wall-clock floor."""
     import time
 
-    service = AnalysisService(workers=0, cache=ResultCache(maxsize=1024))
+    client = Client.in_process(workers=0, cache=ResultCache(maxsize=1024))
+    cache = client.transport.service.cache
     cold_requests = _workload()
     t0 = time.perf_counter()
-    _serve(service, cold_requests)
+    _serve(client, cold_requests)
     cold = time.perf_counter() - t0
 
-    before = service.cache.info()
+    before = cache.info()
     warm_requests = _workload()
     t0 = time.perf_counter()
-    _serve(service, warm_requests)
+    _serve(client, warm_requests)
     warm = time.perf_counter() - t0
 
-    info = service.cache.info()
+    info = cache.info()
     speedup = cold / warm if warm > 0 else float("inf")
     emit(
         "service — cold vs warm (100-request workload)",

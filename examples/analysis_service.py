@@ -1,5 +1,5 @@
-"""The analysis service: one unified decompose() API, served concurrent
-and cache-backed (DESIGN.md §8).
+"""The analysis service behind the one client API: typed verbs, served
+concurrent and cache-backed, in-process or sharded (DESIGN.md §8, §13).
 
 Run:  python examples/analysis_service.py
 """
@@ -8,45 +8,40 @@ import json
 import tempfile
 
 from repro.ltl import parse, translate
-from repro.service import (
-    AnalysisService,
-    ClassifyRequest,
-    DecomposeRequest,
-    ServiceTimeout,
-    warm_start,
-)
+from repro.service import Client, DecomposeRequest, ServiceTimeout
 
 ALPHABET = frozenset({"a", "b"})
 
-# ── 1. One API, typed requests ─────────────────────────────────────────
-with AnalysisService(workers=4) as service:
-    result = service.request(DecomposeRequest(parse("a U b"), alphabet=ALPHABET))
-    d = result.value
+# ── 1. One API, typed verbs and typed replies ──────────────────────────
+# Client.in_process() embeds an AnalysisService; every verb returns a
+# typed reply (DecomposeReply / ClassifyReply / CheckReply) instead of a
+# bare result envelope.
+with Client.in_process(workers=4) as client:
+    reply = client.decompose(parse("a U b"), alphabet=ALPHABET)
     print("decompose(a U b):")
-    print(f"  safety   : {d.safety}")
-    print(f"  liveness : {d.liveness}")
-    print(f"  verified : {d.verify()}")
-    print(f"  cached   : {result.cached}   key: {result.key[:40]}…")
+    print(f"  safety   : {reply.safety}")
+    print(f"  liveness : {reply.liveness}")
+    print(f"  verified : {reply.value.verify()}")
+    print(f"  cached   : {reply.cached}   key: {reply.key[:40]}…")
 
     # ── 2. The cache answers repeats — up to state renaming ────────────
     automaton = translate(parse("G (a -> X b)"), "ab")
-    service.request(DecomposeRequest(automaton))
-    renamed = service.request(DecomposeRequest(automaton.renumbered("copy")))
+    client.decompose(automaton)
+    renamed = client.decompose(automaton.renumbered("copy"))
     print("\nisomorphic resubmission (all states renamed):")
     print(f"  cached: {renamed.cached}  — canonical keys see through names")
 
-    verdict = service.request(ClassifyRequest(parse("G a"), alphabet=ALPHABET))
-    print(f"\nclassify(G a) = {verdict.value.value}")
+    verdict = client.classify(parse("G a"), alphabet=ALPHABET)
+    print(f"\nclassify(G a) = {verdict.property_class.value}"
+          f"   is_safety={verdict.is_safety}")
 
     # ── 3. Deadlines degrade gracefully ────────────────────────────────
     try:
-        service.request(
-            DecomposeRequest(parse("GF a"), alphabet=ALPHABET), timeout=0.0
-        )
+        client.decompose(parse("GF a"), alphabet=ALPHABET, timeout=0.0)
     except ServiceTimeout as exc:
         print(f"\nzero deadline: ServiceTimeout — {exc}")
 
-    print(f"\nsnapshot: {service.snapshot()}")
+    print(f"\nsnapshot: {client.snapshot()}")
 
 # ── 4. Warm start from a recorded workload ─────────────────────────────
 workload = {
@@ -60,9 +55,9 @@ with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as handle:
     json.dump(workload, handle)
     path = handle.name
 
-with AnalysisService(workers=2) as service:
-    count = warm_start(service, path)
-    reply = service.request(DecomposeRequest(parse("G a"), alphabet=ALPHABET))
+with Client.in_process(workers=2) as client:
+    count = client.warm_start(path)
+    reply = client.decompose(parse("G a"), alphabet=ALPHABET)
     print(f"\nwarm start replayed {count} requests; first live request "
           f"cached: {reply.cached}")
 
@@ -79,11 +74,10 @@ from repro.lattice.random_lattices import (
     random_modular_complemented,
 )
 
-with AnalysisService(workers=2, verify_on_hit=True) as service:
-    certified = service.request(
-        DecomposeRequest(parse("G (a -> X b)"), alphabet=ALPHABET, certify=True)
-    )
-    certificate = certified.value.certificate
+with Client.in_process(workers=2, verify_on_hit=True) as client:
+    certified = client.decompose(parse("G (a -> X b)"), alphabet=ALPHABET,
+                                 certify=True)
+    certificate = certified.certificate
     print("\ncertified decompose(G (a -> X b)):")
     print(certificate.summary())
     print(f"  replayed  : {verify_certificate(certificate).ok} "
@@ -92,16 +86,14 @@ with AnalysisService(workers=2, verify_on_hit=True) as service:
     rng = random.Random(0)
     lattice = random_modular_complemented(rng, max_factors=2, max_diamond=3)
     cl1, cl2 = random_comparable_closure_pair(rng, lattice)
-    bound = service.request(
-        DecomposeRequest(lattice.elements[1], closure=(cl1, cl2), certify=True)
-    )
+    bound = client.decompose(lattice.elements[1], closure=(cl1, cl2),
+                             certify=True)
     print("\ncertified lattice decomposition (Theorem 3):")
-    print(bound.value.certificate.summary())
+    print(bound.certificate.summary())
 
     # the hit path replays the certificate before serving it
-    again = service.request(
-        DecomposeRequest(parse("G (a -> X b)"), alphabet=ALPHABET, certify=True)
-    )
+    again = client.decompose(parse("G (a -> X b)"), alphabet=ALPHABET,
+                             certify=True)
     print(f"\nresubmission: cached={again.cached} — the hit was re-verified "
           "before being served")
 
@@ -115,17 +107,20 @@ with AnalysisService(workers=2, verify_on_hit=True) as service:
 # thread): /metrics for scrapers, /healthz + /readyz for routers,
 # /debug/* for humans.  The journal at "debug" level records the full
 # correlated per-request stream; the default "info" posture journals
-# only lifecycle edges and anomalies (DESIGN.md §11).
+# only lifecycle edges and anomalies (DESIGN.md §11).  The client wraps
+# a *borrowed* service here — the embedding keeps ownership.
 from urllib.request import urlopen
 
 from repro.ops import EventJournal, start_ops_server
+from repro.service import AnalysisService, InProcessTransport
 
 journal = EventJournal(min_level="debug")
 with AnalysisService(workers=2, journal=journal, slow_threshold=5.0) as service:
+    client = Client(InProcessTransport(service))
     with start_ops_server(service, journal=journal) as ops:
         print(f"\nops endpoint live at {ops.url}")
         for spec in ("G a", "F b", "a U b", "G a"):
-            service.request(DecomposeRequest(parse(spec), alphabet=ALPHABET))
+            client.decompose(parse(spec), alphabet=ALPHABET)
 
         health = json.load(urlopen(ops.url + "/healthz"))
         ready = json.load(urlopen(ops.url + "/readyz"))
@@ -144,3 +139,22 @@ with AnalysisService(workers=2, journal=journal, slow_threshold=5.0) as service:
         done = journal.events(name="service.request_done")
         print(f"  journal: {len(done)} requests completed, "
               f"last request_id {done[-1].request_id}")
+
+# ── 7. Scale out: the same verbs over worker shards ────────────────────
+# Client.sharded() spawns N worker processes behind a consistent-hash
+# router: every isomorphism class routes to the same shard, so each
+# shard's cache stays hot, and a dead shard is respawned (warm-started)
+# with idempotent in-flight work redelivered (DESIGN.md §13).
+with Client.sharded(shards=2, workers_per_shard=2) as client:
+    first = client.decompose(parse("G (a -> F b)"), alphabet=ALPHABET,
+                             timeout=60)
+    again = client.decompose(parse("G (a -> F b)"), alphabet=ALPHABET,
+                             timeout=60)
+    state = client.readiness()
+    print(f"\nsharded tier: {state['n_shards']} shards, "
+          f"ready={state['ready']}")
+    print(f"  same request twice: cached={first.cached} then {again.cached} "
+          "(shard-affine cache)")
+    per_shard = client.transport.service.cache.stats_by_shard()
+    split = {shard: stats.entries for shard, stats in per_shard.items()}
+    print(f"  cache entries by shard: {split}")

@@ -41,6 +41,7 @@ GUARDED = (
     ("BENCH_buchi_decomposition.json", "benchmarks/test_bench_buchi_decomposition.py"),
     ("BENCH_obs_overhead.json", "benchmarks/test_bench_obs_overhead.py"),
     ("BENCH_checks.json", "benchmarks/test_bench_checks.py"),
+    ("BENCH_service_sharded.json", "benchmarks/test_bench_service_sharded.py"),
 )
 
 #: Absolute slack added to every threshold: sub-50ms benchmarks on a

@@ -9,11 +9,13 @@ advertising a deprecated spelling recruits new callers to it.
 
 A function counts as a shim when its own body (nested defs excluded)
 contains a literal ``warnings.warn``/``warn`` call whose category is
-``DeprecationWarning``.  The rule is cross-file: package ``__init__``
-modules re-export via ``from .module import name``, so each module's
-``__all__`` entries are resolved against both locally defined shims and
-shims imported from sibling ``repro`` modules (one hop — the repo's
-inits import straight from the defining module).
+``DeprecationWarning``.  The rule is cross-file and follows re-export
+*chains*: ``from .warmup import warm_start`` in a package init, then
+``from .service import warm_start`` in a parent init, still bottoms out
+at the shim — every ``__all__`` entry is resolved through the recorded
+``from repro... import name`` edges (with a cycle guard) until it
+reaches a definition, so a shim cannot reappear in any ``__all__`` by
+routing through an intermediate module.
 """
 
 from __future__ import annotations
@@ -98,15 +100,20 @@ class DeprecatedShimExportRule(Rule):
 
     def __init__(self):
         self._shims: dict[str, set[str]] = {}
-        self._exports: list[tuple[str, str, dict[str, tuple[str, str]],
-                                  list[tuple[str, int]]]] = []
+        # every module's ``from repro... import`` edges — recorded even
+        # for modules without ``__all__``, because a re-export *chain*
+        # can pass through them on the way to a shim
+        self._imports: dict[str, dict[str, tuple[str, str]]] = {}
+        self._exports: list[tuple[str, str, list[tuple[str, int]]]] = []
 
     def reset(self) -> None:
         self._shims = {}
+        self._imports = {}
         self._exports = []
 
     def merge(self, other: "DeprecatedShimExportRule") -> None:
         self._shims.update(other._shims)
+        self._imports.update(other._imports)
         self._exports.extend(other._exports)
 
     def check(self, module: ModuleFile) -> list[Finding]:
@@ -121,9 +128,6 @@ class DeprecatedShimExportRule(Rule):
         }
         if shims:
             self._shims[dotted] = shims
-        exported = _literal_all(module.tree)
-        if exported is None:
-            return []
         imports: dict[str, tuple[str, str]] = {}
         for node in module.tree.body:
             if not isinstance(node, ast.ImportFrom):
@@ -136,27 +140,43 @@ class DeprecatedShimExportRule(Rule):
             for alias in node.names:
                 if alias.name != "*":
                     imports[alias.asname or alias.name] = (target, alias.name)
+        if imports:
+            self._imports[dotted] = imports
+        exported = _literal_all(module.tree)
+        if exported is None:
+            return []
         self._exports.append((
             module.rel,
             dotted,
-            imports,
             [(el.value, el.lineno) for el in exported],
         ))
         return []
 
+    def _shim_origin(self, dotted: str, name: str) -> str | None:
+        """The module where ``dotted``'s binding of ``name`` bottoms out
+        as a shim, following re-export edges; None when it never does."""
+        seen: set[tuple[str, str]] = set()
+        while (dotted, name) not in seen:
+            seen.add((dotted, name))
+            if name in self._shims.get(dotted, set()):
+                return dotted
+            edge = self._imports.get(dotted, {}).get(name)
+            if edge is None:
+                return None
+            dotted, name = edge
+        return None  # import cycle; nothing resolved to a shim
+
     def finalize(self) -> list[Finding]:
         findings: list[Finding] = []
-        for rel, dotted, imports, exported in self._exports:
-            local = self._shims.get(dotted, set())
+        for rel, dotted, exported in self._exports:
             for name, line in exported:
-                if name in local:
-                    origin = "defined here"
-                elif name in imports and imports[name][1] in self._shims.get(
-                    imports[name][0], set()
-                ):
-                    origin = f"imported from {imports[name][0]}"
-                else:
+                origin_module = self._shim_origin(dotted, name)
+                if origin_module is None:
                     continue
+                origin = (
+                    "defined here" if origin_module == dotted
+                    else f"resolved to {origin_module}"
+                )
                 findings.append(Finding(
                     path=rel,
                     line=line,

@@ -154,10 +154,20 @@ class _OpsHandler(BaseHTTPRequestHandler):
             self._respond(200, _json_body({"cache": None}))
             return
         cache = service.cache
-        self._respond(200, _json_body({
+        body = {
             "stats": cache.stats().to_dict(),
             "lines": cache.lines(),
-        }))
+        }
+        # A sharded tier's cache view aggregates per-process caches; the
+        # summed stats alone would hide a cold shard, so surface the
+        # per-shard breakdown whenever the view offers one.
+        stats_by_shard = getattr(cache, "stats_by_shard", None)
+        if stats_by_shard is not None:
+            body["shards"] = {
+                str(index): stats.to_dict()
+                for index, stats in stats_by_shard().items()
+            }
+        self._respond(200, _json_body(body))
 
     def _get_slowlog(self) -> None:
         service = self.ops.service

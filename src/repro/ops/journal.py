@@ -83,6 +83,14 @@ EVENT_CATALOG = (
     "pool.worker_start",
     "pool.worker_death",
     "pool.task_error",
+    # the sharded tier: router + worker lifecycle
+    "shard.spawn",
+    "shard.exit",
+    "shard.redeliver",
+    "shard.warm_start",
+    "shard.unresponsive",
+    "shard.respawn_failed",
+    "router.shutdown",
     # the ops plane itself
     "ops.http_request",
     "ops.server_start",

@@ -4,9 +4,10 @@ Layering (each layer only knows the one below):
 
 * :mod:`repro.service.requests` — the typed request/reply vocabulary
   (:class:`DecomposeRequest`, :class:`ClassifyRequest`,
-  :class:`CheckRequest`, :class:`ServiceResult`) and the failure modes
+  :class:`CheckRequest`, :class:`ServiceResult`), the failure modes
   (:class:`ServiceOverloaded`, :class:`ServiceTimeout`,
-  :class:`ServiceClosed`);
+  :class:`ServiceClosed`), and the versioned wire form
+  (``Request.to_wire()`` / ``Request.from_wire()``);
 * :mod:`repro.service.handlers` — requests → canonical cache keys
   (via the ``canonical_key()`` methods and :mod:`repro.canonical`) and
   compute closures over :func:`repro.analysis.decompose`;
@@ -15,21 +16,43 @@ Layering (each layer only knows the one below):
 * :mod:`repro.service.server` — admission control, worker-pool
   dispatch, deadlines, metrics and spans (:class:`AnalysisService`,
   :class:`PendingReply`);
+* :mod:`repro.service.wire` — the length-prefixed JSON frame protocol
+  the sharded tier speaks;
+* :mod:`repro.service.sharded` — N worker processes behind a
+  consistent-hash router (:class:`ShardedService`);
+* :mod:`repro.service.client` — the transport-agnostic facade most
+  callers should use (:class:`Client` over :class:`InProcessTransport`
+  or :class:`ShardedTransport`);
 * :mod:`repro.service.warmup` — workload-file cache pre-population
-  (:func:`warm_start`) and seeded automaton workloads
-  (:func:`random_workload`).
+  (:func:`load_workload` / :func:`replay_workload`) and seeded
+  automaton workloads (:func:`random_workload`).
 
 Quick start::
 
-    from repro.service import AnalysisService, DecomposeRequest
+    from repro.service import Client
 
-    with AnalysisService(workers=4) as service:
-        reply = service.submit(DecomposeRequest(automaton))
-        result = reply.result(timeout=1.0)
-        result.value.safety, result.value.liveness, result.cached
+    with Client.in_process(workers=4) as client:
+        reply = client.decompose(automaton)
+        reply.safety, reply.liveness, reply.cached
+
+    with Client.sharded(shards=4) as client:   # same verbs, scaled out
+        reply = client.decompose(automaton)
+
+Embedding :class:`AnalysisService` directly remains supported — the
+client facade is a veneer, not a wall.
 """
 
-from .cache import ResultCache, ResultCacheInfo
+from .cache import ResultCache, ResultCacheInfo, ResultCacheStats
+from .client import (
+    CheckReply,
+    ClassifyReply,
+    Client,
+    DecomposeReply,
+    InProcessTransport,
+    Reply,
+    ShardedTransport,
+    Transport,
+)
 from .requests import (
     CheckRequest,
     ClassifyRequest,
@@ -42,7 +65,16 @@ from .requests import (
     ServiceTimeout,
 )
 from .server import AnalysisService, PendingReply
-from .warmup import WarmupError, load_workload, random_workload, warm_start
+from .sharded import ShardedService
+from .warmup import (
+    WarmupError,
+    load_workload,
+    load_workload_data,
+    parse_workload,
+    random_workload,
+    replay_workload,
+)
+from .wire import WIRE_VERSION, WireError
 
 __all__ = [
     "Request",
@@ -56,10 +88,24 @@ __all__ = [
     "ServiceClosed",
     "ResultCache",
     "ResultCacheInfo",
+    "ResultCacheStats",
     "AnalysisService",
     "PendingReply",
-    "warm_start",
+    "Client",
+    "Reply",
+    "DecomposeReply",
+    "ClassifyReply",
+    "CheckReply",
+    "Transport",
+    "InProcessTransport",
+    "ShardedTransport",
+    "ShardedService",
+    "WireError",
+    "WIRE_VERSION",
     "load_workload",
+    "load_workload_data",
+    "parse_workload",
+    "replay_workload",
     "random_workload",
     "WarmupError",
 ]

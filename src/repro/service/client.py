@@ -1,0 +1,397 @@
+"""The one client API for the analysis service, transport-agnostic.
+
+The service grew two deployment shapes — a single in-process
+:class:`~repro.service.server.AnalysisService` and the sharded tier of
+:mod:`repro.service.sharded` — and callers should not care which one
+answers.  :class:`Client` is that indifference made concrete::
+
+    from repro.service.client import Client
+
+    with Client.in_process(workers=4) as client:        # embedded
+        reply = client.decompose(automaton)
+        reply.safety, reply.liveness, reply.cached
+
+    with Client.sharded(shards=4) as client:            # scaled out
+        reply = client.decompose(automaton)             # same code
+
+Three layers:
+
+* :class:`Client` — the verbs.  :meth:`~Client.decompose`,
+  :meth:`~Client.classify` and :meth:`~Client.check` take a subject plus
+  the same keyword context as :func:`repro.analysis.decompose` and
+  return **typed replies** (:class:`DecomposeReply`,
+  :class:`ClassifyReply`, :class:`CheckReply`) instead of a bare
+  ``ServiceResult`` — the answer's shape is in the type, not in
+  ``result.value`` duck-typing.
+* :class:`Transport` — the seam.  A transport turns a
+  :class:`~repro.service.requests.Request` into a pending reply handle;
+  everything else (warm start, readiness, shutdown) rides the same
+  interface.
+* The two implementations: :class:`InProcessTransport` hands request
+  objects straight to an ``AnalysisService`` (zero-copy — subjects are
+  never serialized), :class:`ShardedTransport` routes them through a
+  :class:`~repro.service.sharded.ShardedService` over the versioned wire
+  schema of :mod:`repro.service.wire`.
+
+Both transports speak identical semantics: same request vocabulary,
+same failure types (:class:`~repro.service.requests.ServiceOverloaded` /
+``ServiceTimeout`` / ``ServiceClosed``), same reply fields.  The test
+suite runs the PR-4 cache-soundness regressions against both to keep
+that true.
+
+``AnalysisService`` itself stays public — embedding it directly remains
+supported — but new code should construct a ``Client`` and let the
+deployment shape be a constructor argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from .requests import (
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    Request,
+    ServiceResult,
+)
+
+__all__ = [
+    "CheckReply",
+    "ClassifyReply",
+    "Client",
+    "DecomposeReply",
+    "InProcessTransport",
+    "Reply",
+    "ShardedTransport",
+    "Transport",
+]
+
+
+# -- typed replies -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reply:
+    """A completed analysis, typed by verb (see subclasses).
+
+    ``cached`` tells whether a result cache answered; ``key`` is the
+    canonical cache key (``None`` for uncacheable subjects);
+    ``elapsed_seconds`` is the service-side wall time;
+    ``request_id`` is the trace id the request carried through the
+    service (and, for the sharded transport, across the wire — the same
+    id appears in shard-side in-flight tables and journals)."""
+
+    request: Request
+    value: object
+    cached: bool
+    key: str | None
+    elapsed_seconds: float
+    request_id: str | None
+
+
+@dataclass(frozen=True)
+class DecomposeReply(Reply):
+    """The safety/liveness decomposition of the subject."""
+
+    @property
+    def safety(self):
+        """The safety part (closure, safety automaton, or formula)."""
+        return self.value.safety
+
+    @property
+    def liveness(self):
+        """The liveness part of the decomposition."""
+        return self.value.liveness
+
+    @property
+    def certificate(self):
+        """The machine-checkable certificate, when ``certify=True`` was
+        requested (``None`` otherwise)."""
+        return getattr(self.value, "certificate", None)
+
+
+@dataclass(frozen=True)
+class ClassifyReply(Reply):
+    """The subject's property class (safety / liveness / both / neither)."""
+
+    @property
+    def property_class(self):
+        """The :class:`~repro.ltl.classify.PropertyClass` verdict —
+        handlers return either the enum itself or a richer object
+        carrying it as ``.kind``."""
+        return getattr(self.value, "kind", self.value)
+
+    @property
+    def is_safety(self) -> bool:
+        return getattr(self.property_class, "name", None) in ("SAFETY", "BOTH")
+
+    @property
+    def is_liveness(self) -> bool:
+        return getattr(self.property_class, "name", None) in ("LIVENESS", "BOTH")
+
+
+@dataclass(frozen=True)
+class CheckReply(Reply):
+    """The boolean verdict of re-verifying the decomposition identity."""
+
+    @property
+    def holds(self) -> bool:
+        return bool(self.value)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+_REPLY_OF = MappingProxyType({
+    "decompose": DecomposeReply,
+    "classify": ClassifyReply,
+    "check": CheckReply,
+})
+
+
+def _typed_reply(result: ServiceResult, request_id: str | None) -> Reply:
+    reply_type = _REPLY_OF.get(result.request.kind, Reply)
+    return reply_type(
+        request=result.request,
+        value=result.value,
+        cached=result.cached,
+        key=result.key,
+        elapsed_seconds=result.elapsed_seconds,
+        request_id=request_id,
+    )
+
+
+# -- the transport seam ------------------------------------------------------
+
+
+class Transport:
+    """What a :class:`Client` needs from a deployment shape.
+
+    A transport owns its service's lifecycle iff it constructed it
+    (``owns_service``): a client over a borrowed service will not shut
+    it down on :meth:`Client.close`."""
+
+    owns_service = True
+
+    def submit(self, request: Request, *, timeout: float | None = None):
+        """Dispatch; returns a pending handle with ``result(timeout)``
+        and a ``request_id`` attribute."""
+        raise NotImplementedError
+
+    def warm_start(self, source) -> int:
+        """Replay a recorded workload into the deployment's cache(s);
+        returns the number of workload requests replayed."""
+        raise NotImplementedError
+
+    def readiness(self) -> dict:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """Zero-copy dispatch to an :class:`AnalysisService` in this
+    process: request and reply objects cross no serialization boundary.
+
+    Pass an existing service to wrap it (borrowed — the transport will
+    not shut it down), or constructor keywords to own a fresh one."""
+
+    def __init__(self, service=None, **service_kwargs):
+        from .server import AnalysisService
+
+        if service is not None and service_kwargs:
+            raise TypeError(
+                "pass either an existing service or constructor "
+                "keywords, not both"
+            )
+        self.owns_service = service is None
+        self.service = (
+            service if service is not None
+            else AnalysisService(**service_kwargs)
+        )
+
+    def submit(self, request: Request, *, timeout: float | None = None):
+        return self.service.submit(request, timeout=timeout, origin="client")
+
+    def warm_start(self, source) -> int:
+        from .warmup import load_workload, replay_workload
+
+        return replay_workload(self.service, load_workload(source))
+
+    def readiness(self) -> dict:
+        return self.service.readiness()
+
+    def snapshot(self) -> dict:
+        return self.service.snapshot()
+
+    def close(self) -> None:
+        if self.owns_service:
+            self.service.shutdown(wait=True)
+
+
+class ShardedTransport(Transport):
+    """Dispatch through a :class:`~repro.service.sharded.ShardedService`
+    router: requests travel the versioned wire schema to shard-affine
+    worker processes.
+
+    Pass an existing router to wrap it (borrowed), or constructor
+    keywords (``shards=``, ``workers_per_shard=``, ``warm_source=``, …)
+    to own a fresh one."""
+
+    def __init__(self, service=None, **service_kwargs):
+        from .sharded import ShardedService
+
+        if service is not None and service_kwargs:
+            raise TypeError(
+                "pass either an existing sharded service or constructor "
+                "keywords, not both"
+            )
+        self.owns_service = service is None
+        self.service = (
+            service if service is not None
+            else ShardedService(**service_kwargs)
+        )
+
+    def submit(self, request: Request, *, timeout: float | None = None):
+        return self.service.submit(request, timeout=timeout, origin="client")
+
+    def warm_start(self, source) -> int:
+        return self.service.warm_start(source)
+
+    def readiness(self) -> dict:
+        return self.service.readiness()
+
+    def snapshot(self) -> dict:
+        return self.service.snapshot()
+
+    def close(self) -> None:
+        if self.owns_service:
+            self.service.shutdown(wait=True)
+
+
+# -- the client --------------------------------------------------------------
+
+
+class Client:
+    """The transport-agnostic analysis client.
+
+    Construct over any :class:`Transport`, or use the conveniences:
+    :meth:`in_process` and :meth:`sharded`.  ``default_timeout`` applies
+    to every verb call that does not pass its own ``timeout=``.
+    """
+
+    def __init__(self, transport: Transport, *,
+                 default_timeout: float | None = None):
+        self.transport = transport
+        self.default_timeout = default_timeout
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def in_process(cls, *, default_timeout: float | None = None,
+                   **service_kwargs) -> "Client":
+        """A client over a fresh embedded :class:`AnalysisService`
+        (``workers=``, ``max_pending=``, ``cache=``, ``verify_on_hit=``
+        pass through)."""
+        return cls(InProcessTransport(**service_kwargs),
+                   default_timeout=default_timeout)
+
+    @classmethod
+    def sharded(cls, *, default_timeout: float | None = None,
+                **service_kwargs) -> "Client":
+        """A client over a fresh sharded tier (``shards=``,
+        ``workers_per_shard=``, ``warm_source=``, … pass through to
+        :class:`~repro.service.sharded.ShardedService`)."""
+        return cls(ShardedTransport(**service_kwargs),
+                   default_timeout=default_timeout)
+
+    # -- the verbs -----------------------------------------------------------
+
+    def _run(self, request: Request, timeout: float | None) -> Reply:
+        if timeout is None:
+            timeout = self.default_timeout
+        pending = self.transport.submit(request, timeout=timeout)
+        result = pending.result()
+        request_id = getattr(pending, "request_id", None)
+        if request_id is None:
+            # in-process replies carry the id on their RequestContext
+            request_id = getattr(
+                getattr(pending, "context", None), "request_id", None
+            )
+        return _typed_reply(result, request_id)
+
+    def decompose(self, subject, *, closure=None, alphabet=None,
+                  certify: bool = False,
+                  timeout: float | None = None) -> DecomposeReply:
+        """Decompose ``subject`` into safety ∧ liveness; with
+        ``certify=True`` the reply carries a machine-checkable
+        certificate (and is **not idempotent** for redelivery purposes
+        on the sharded transport — see :mod:`repro.service.sharded`)."""
+        return self._run(
+            DecomposeRequest(subject=subject, closure=closure,
+                             alphabet=alphabet, certify=certify),
+            timeout,
+        )
+
+    def classify(self, subject, *, closure=None, alphabet=None,
+                 samples: tuple = (),
+                 timeout: float | None = None) -> ClassifyReply:
+        """Classify ``subject`` as safety / liveness / both / neither."""
+        return self._run(
+            ClassifyRequest(subject=subject, closure=closure,
+                            alphabet=alphabet, samples=tuple(samples)),
+            timeout,
+        )
+
+    def check(self, subject, *, closure=None, alphabet=None, witness=None,
+              timeout: float | None = None) -> CheckReply:
+        """Verify the decomposition identity for ``subject``."""
+        return self._run(
+            CheckRequest(subject=subject, closure=closure,
+                         alphabet=alphabet, witness=witness),
+            timeout,
+        )
+
+    def submit(self, request: Request, *, timeout: float | None = None):
+        """Escape hatch: dispatch a pre-built request, returning the
+        transport's pending handle (for callers that overlap waits)."""
+        if timeout is None:
+            timeout = self.default_timeout
+        return self.transport.submit(request, timeout=timeout)
+
+    # -- operations ----------------------------------------------------------
+
+    def warm_start(self, source) -> int:
+        """Replay a recorded JSON workload (path, JSON string, or dict)
+        into the deployment's cache — every shard's, on the sharded
+        transport.  Returns the number of workload requests."""
+        return self.transport.warm_start(source)
+
+    def readiness(self) -> dict:
+        """The deployment's ``/readyz`` state."""
+        return self.transport.readiness()
+
+    def snapshot(self) -> dict:
+        """The deployment's metrics snapshot (shard-aggregated when
+        sharded)."""
+        return self.transport.snapshot()
+
+    def close(self) -> None:
+        """Shut down the underlying service iff this client's transport
+        owns it (borrowed services are left running)."""
+        self.transport.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Client({type(self.transport).__name__})"

@@ -126,6 +126,15 @@ class PendingReply:
     def done(self) -> bool:
         return self._future is not None and self._future.done()
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the reply resolves — from whichever
+        thread finished the computation, or immediately when it already
+        has.  This is the push-style completion hook the sharded tier's
+        worker dispatcher uses to stream reply frames without parking a
+        thread per request; exceptions from ``fn`` are swallowed by the
+        underlying future protocol, so callbacks must not raise."""
+        self._future.add_done_callback(lambda _future: fn(self))
+
     def _note_timeout(self, detail: str) -> None:
         _TIMEOUTS.labels(kind=self.request.kind).add()
         if self._journal is not None:
@@ -261,14 +270,20 @@ class AnalysisService:
     # -- the request path ---------------------------------------------------
 
     def submit(self, request: Request, *, timeout: float | None = None,
-               origin: str = "local") -> PendingReply:
+               origin: str = "local",
+               request_id: str | None = None) -> PendingReply:
         """Admit one request, returning its :class:`PendingReply`.
 
         Raises :class:`ServiceOverloaded` when ``max_pending`` requests
         are already in flight and :class:`ServiceClosed` after
         :meth:`shutdown` — both *before* any work is queued.  ``origin``
         tags the request's context (e.g. ``"http"`` for a fronting
-        gateway) for the in-flight table and slow-log."""
+        gateway) for the in-flight table and slow-log.  ``request_id``
+        adopts a caller-minted trace id instead of minting a fresh one —
+        the sharded router passes its client-side id here, so a request
+        is traceable shard-side under the same id it carries in the
+        router (ignored when ``track_inflight=False``: there is no
+        context to carry it)."""
         if not isinstance(request, Request):
             raise TypeError(
                 f"submit() takes a Request, not {type(request).__name__!r}"
@@ -283,7 +298,8 @@ class AnalysisService:
             # created before the admission lock (wasted work only on the
             # rare reject) so registration shares the lock acquisition
             context = RequestContext(
-                kind=request.kind, origin=origin, deadline=deadline
+                kind=request.kind, origin=origin, deadline=deadline,
+                request_id=request_id,
             )
         rejected_cause = None
         with self._lock:

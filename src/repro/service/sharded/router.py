@@ -1,0 +1,823 @@
+"""The asyncio front-end: consistent-hash routing over worker shards.
+
+:class:`ShardedService` spawns ``shards`` worker processes (each one
+:mod:`repro.service.sharded.worker` — today's ``AnalysisService`` behind
+the wire protocol) and routes every request by its canonical cache key
+over a :class:`~repro.service.sharded.ring.HashRing`.  The design is
+shared-nothing: no shard ever talks to another, each owns its slice of
+the keyspace, and the router owns *only* routing, health and
+aggregation.
+
+Delivery semantics, stated precisely (DESIGN.md §13):
+
+* **Idempotent requests** (everything except ``certify=True``
+  decomposes) are delivered *at-least-once*: when a shard dies
+  mid-request the router respawns it (warm-started from the recorded
+  workload, if one was given) and redelivers the lost in-flight
+  requests, at most ``max_deliveries`` times each.  Analyses are pure
+  functions of their subject, so a duplicated compute is wasted work,
+  never a wrong answer — and each caller still receives exactly one
+  reply, because replies are matched by id to one future.
+* **Certify requests** are *at-most-once*: certificate issuance is
+  priced work a caller may bill or log externally, so a certify request
+  caught in a shard death is failed with
+  :class:`~repro.service.requests.ServiceClosed` rather than silently
+  re-run; the caller decides whether to retry.
+
+Threading model: all shard state (process handles, in-flight tables,
+readiness) is touched only on the router's event-loop thread; callers
+interact through thread-safe futures.  The one cross-thread flag,
+``closed``, has its own lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from pathlib import Path
+
+from repro.obs.context import RequestContext
+from repro.obs.metrics import REGISTRY
+from repro.ops.journal import INFO, JOURNAL, WARN, EventJournal
+
+from repro.service.cache import ResultCacheStats
+from repro.service.handlers import cache_key
+from repro.service.requests import (
+    Request,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceResult,
+    ServiceTimeout,
+)
+from repro.service.warmup import load_workload_data, parse_workload
+from repro.service.wire import (
+    decode_error,
+    decode_result,
+    encode_request,
+    pack_frame,
+)
+
+from .ring import HashRing
+
+__all__ = ["ShardReply", "ShardedService"]
+
+_REQUESTS = REGISTRY.counter(
+    "repro_service_sharded_requests_total",
+    "requests routed through the sharded tier, by shard and outcome",
+    ("shard", "outcome"),
+)
+_DEATHS = REGISTRY.counter(
+    "repro_service_sharded_deaths_total",
+    "worker processes that exited while routable, by shard",
+    ("shard",),
+)
+_REDELIVERED = REGISTRY.counter(
+    "repro_service_sharded_redelivered_total",
+    "idempotent in-flight requests redelivered after a shard death",
+)
+
+#: How long a dispatch waits for *any* shard to become routable before
+#: giving up with ServiceOverloaded (covers the respawn window).
+DISPATCH_GRACE_SECONDS = 5.0
+
+#: Respawn attempts per shard death before its in-flight work is failed.
+MAX_RESPAWNS = 3
+
+
+class _Flight:
+    """One routed request: its wire frame plus the caller's future."""
+
+    __slots__ = ("request_id", "request", "wire", "future", "deadline",
+                 "origin", "routing_key", "idempotent", "deliveries",
+                 "shard")
+
+    def __init__(self, request_id, request, wire, deadline, origin,
+                 routing_key, idempotent):
+        self.request_id = request_id
+        self.request = request
+        self.wire = wire
+        self.future: Future = Future()
+        self.deadline = deadline
+        self.origin = origin
+        self.routing_key = routing_key
+        self.idempotent = idempotent
+        self.deliveries = 0
+        self.shard = None
+
+    def frame(self) -> dict:
+        payload = {
+            "id": self.request_id,
+            "op": "request",
+            "request": self.wire,
+            "origin": self.origin,
+            "trace_id": self.request_id,
+        }
+        if self.deadline is not None:
+            payload["timeout"] = max(0.0, self.deadline - time.perf_counter())
+        return payload
+
+
+class _Shard:
+    """One worker process as the router sees it (loop-thread only)."""
+
+    __slots__ = ("index", "generation", "proc", "reader", "inflight",
+                 "control", "ready", "remote", "misses", "write_gate")
+
+    def __init__(self, index: int, generation: int, proc):
+        self.index = index
+        self.generation = generation
+        self.proc = proc
+        self.reader = None
+        self.inflight: dict[str, _Flight] = {}
+        self.control: dict[str, asyncio.Future] = {}
+        self.ready = False
+        self.remote: dict = {}
+        self.misses = 0
+        self.write_gate = asyncio.Lock()
+
+
+class ShardReply:
+    """A routed request's reply slot (deadline semantics match
+    :class:`~repro.service.server.PendingReply`); ``request_id`` is the
+    trace id the request carries shard-side."""
+
+    __slots__ = ("request", "request_id", "deadline", "_future")
+
+    def __init__(self, request: Request, request_id: str,
+                 deadline: float | None, future: Future):
+        self.request = request
+        self.request_id = request_id
+        self.deadline = deadline
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        """Wait for the reply — at most ``timeout`` seconds and never
+        past the request's own deadline."""
+        remaining = timeout
+        if self.deadline is not None:
+            until_deadline = self.deadline - time.perf_counter()
+            remaining = (
+                until_deadline if remaining is None
+                else min(remaining, until_deadline)
+            )
+        if remaining is not None and remaining <= 0 and not self.done():
+            raise ServiceTimeout(
+                f"{self.request.kind} request deadline expired"
+            )
+        try:
+            return self._future.result(remaining)
+        except _FutureTimeout:
+            raise ServiceTimeout(
+                f"no {self.request.kind} reply within {remaining:.3f}s"
+            ) from None
+
+
+class _AggregateCacheView:
+    """The router's ``/debug/cache`` surface: per-shard stats summed.
+
+    Duck-compatible with :class:`~repro.service.cache.ResultCache` where
+    the ops plane needs it (``stats()``/``lines()``), plus
+    :meth:`stats_by_shard` so the endpoint can show the breakdown —
+    without it, per-process counters silently under-report the tier's
+    real hit rate."""
+
+    __slots__ = ("_router",)
+
+    def __init__(self, router: "ShardedService"):
+        self._router = router
+
+    def _fetch(self) -> dict[int, dict]:
+        return self._router._broadcast("cache_stats")
+
+    def stats_by_shard(self) -> dict[int, ResultCacheStats]:
+        return {
+            index: ResultCacheStats(**{
+                key: value
+                for key, value in payload["stats"].items()
+                if key != "hit_ratio"
+            })
+            for index, payload in sorted(self._fetch().items())
+        }
+
+    def stats(self) -> ResultCacheStats:
+        totals = dict.fromkeys(
+            ("hits", "misses", "rejected", "evictions", "entries",
+             "maxsize", "bytes_estimate"), 0,
+        )
+        for stats in self.stats_by_shard().values():
+            for field in totals:
+                totals[field] += getattr(stats, field)
+        return ResultCacheStats(**totals)
+
+    def lines(self) -> list[dict]:
+        merged = []
+        for index, payload in sorted(self._fetch().items()):
+            for line in payload["lines"]:
+                line["shard"] = index
+                merged.append(line)
+        return merged
+
+
+class ShardedService:
+    """N analysis shards behind one consistent-hash router.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (the ring size; fixed for the service's
+        lifetime).
+    workers_per_shard / max_pending_per_shard / cache_size /
+    verify_on_hit:
+        Forwarded to each shard's :class:`AnalysisService`.
+    default_timeout:
+        Deadline applied to requests submitted without ``timeout=``.
+    warm_source:
+        A recorded JSON workload (path, JSON string, or dict) replayed
+        into *every* shard at spawn — including respawns after a shard
+        death, so a replacement worker starts with a warm cache.
+    max_deliveries:
+        Delivery bound per idempotent request (first attempt included).
+    health_interval:
+        Seconds between ``readyz`` probes per shard; a shard that misses
+        three consecutive probes is killed and respawned.
+    journal:
+        Lifecycle events (spawn/death/redelivery) go here.
+    worker_args:
+        Extra argv appended to each worker command (failure-injection
+        hooks for the chaos tests).
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        workers_per_shard: int = 2,
+        max_pending_per_shard: int = 64,
+        cache_size: int = 512,
+        verify_on_hit: bool = False,
+        default_timeout: float | None = None,
+        warm_source=None,
+        max_deliveries: int = 2,
+        health_interval: float = 0.5,
+        vnodes: int = 64,
+        journal: EventJournal | None = JOURNAL,
+        worker_args: tuple = (),
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if max_deliveries < 1:
+            raise ValueError("max_deliveries must be >= 1")
+        self.n_shards = shards
+        self.workers_per_shard = workers_per_shard
+        self.max_pending_per_shard = max_pending_per_shard
+        self.cache_size = cache_size
+        self.verify_on_hit = verify_on_hit
+        self.default_timeout = default_timeout
+        self.max_deliveries = max_deliveries
+        self.health_interval = health_interval
+        self.journal = journal
+        self.worker_args = tuple(worker_args)
+        self.ring = HashRing(shards, vnodes=vnodes)
+        self._warm_data = (
+            None if warm_source is None else load_workload_data(warm_source)
+        )
+        self._ids = itertools.count(1)
+        self._rr = itertools.count()
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._closing = False
+        self._shards: list[_Shard | None] = [None] * shards
+        self._ready_event: asyncio.Event | None = None
+        self._health_task: asyncio.Task | None = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-shard-router", daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._call(self._start_all(), timeout=120.0)
+        except BaseException:
+            self.shutdown(wait=False)
+            raise
+
+    # -- journal plumbing ----------------------------------------------------
+
+    def _emit(self, name: str, level: int = INFO, **fields) -> None:
+        if self.journal is not None:
+            self.journal.emit(name, level, **fields)
+
+    # -- sync/async bridge ---------------------------------------------------
+
+    def _call(self, coro, timeout: float):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # -- spawning ------------------------------------------------------------
+
+    def _worker_command(self, index: int) -> list[str]:
+        command = [
+            sys.executable, "-m", "repro.service.sharded.worker",
+            "--shard", str(index),
+            "--workers", str(self.workers_per_shard),
+            "--max-pending", str(self.max_pending_per_shard),
+            "--cache-size", str(self.cache_size),
+        ]
+        if self.verify_on_hit:
+            command.append("--verify-on-hit")
+        command.extend(self.worker_args)
+        return command
+
+    def _worker_env(self) -> dict:
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        return env
+
+    async def _start_all(self) -> None:
+        self._ready_event = asyncio.Event()
+        await asyncio.gather(
+            *(self._spawn(index) for index in range(self.n_shards))
+        )
+        self._health_task = asyncio.get_running_loop().create_task(
+            self._health()
+        )
+
+    async def _spawn(self, index: int) -> None:
+        previous = self._shards[index]
+        generation = previous.generation + 1 if previous is not None else 1
+        proc = await asyncio.create_subprocess_exec(
+            *self._worker_command(index),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=self._worker_env(),
+        )
+        shard = _Shard(index, generation, proc)
+        self._shards[index] = shard
+        shard.reader = asyncio.get_running_loop().create_task(
+            self._serve_shard(shard)
+        )
+        if self._warm_data is not None:
+            count = await self._control(
+                shard, "warm_start", {"workload": self._warm_data},
+                timeout=120.0,
+            )
+            self._emit("shard.warm_start", shard=index, replayed=count)
+        shard.ready = True
+        self._ready_event.set()
+        self._emit("shard.spawn", shard=index, pid=proc.pid,
+                   generation=generation)
+
+    # -- the wire ------------------------------------------------------------
+
+    async def _write(self, shard: _Shard, payload: dict) -> None:
+        frame = pack_frame(payload)
+        async with shard.write_gate:
+            shard.proc.stdin.write(frame)
+            await shard.proc.stdin.drain()
+
+    async def _control(self, shard: _Shard, op: str, extra: dict | None = None,
+                       timeout: float = 5.0):
+        frame_id = f"c-{next(self._ids)}"
+        future = asyncio.get_running_loop().create_future()
+        shard.control[frame_id] = future
+        payload = {"id": frame_id, "op": op}
+        if extra:
+            payload.update(extra)
+        try:
+            await self._write(shard, payload)
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            shard.control.pop(frame_id, None)
+
+    async def _serve_shard(self, shard: _Shard) -> None:
+        stdout = shard.proc.stdout
+        try:
+            while True:
+                header = await stdout.readexactly(4)
+                length = int.from_bytes(header, "big")
+                body = await stdout.readexactly(length)
+                self._on_frame(shard, json.loads(body.decode("utf-8")))
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        await shard.proc.wait()
+        await self._on_shard_exit(shard)
+
+    def _on_frame(self, shard: _Shard, payload: dict) -> None:
+        frame_id = payload.get("id")
+        control = shard.control.get(frame_id)
+        if control is not None:
+            if not control.done():
+                if payload.get("ok"):
+                    control.set_result(payload.get("value"))
+                else:
+                    control.set_exception(decode_error(payload.get("error", {})))
+            return
+        flight = shard.inflight.pop(frame_id, None)
+        if flight is None or flight.future.done():
+            return
+        if payload.get("ok"):
+            try:
+                result = decode_result(payload["result"], flight.request)
+            except BaseException as exc:  # noqa: BLE001 — surfaced on the caller's future
+                _REQUESTS.labels(shard=str(shard.index), outcome="error").add()
+                flight.future.set_exception(exc)
+                return
+            _REQUESTS.labels(shard=str(shard.index), outcome="ok").add()
+            flight.future.set_result(result)
+        else:
+            _REQUESTS.labels(shard=str(shard.index), outcome="error").add()
+            flight.future.set_exception(decode_error(payload.get("error", {})))
+
+    # -- death, respawn, redelivery -----------------------------------------
+
+    async def _on_shard_exit(self, shard: _Shard) -> None:
+        if self._shards[shard.index] is not shard:
+            return  # a newer generation already took over
+        shard.ready = False
+        for future in list(shard.control.values()):
+            if not future.done():
+                future.set_exception(
+                    ServiceClosed(f"shard {shard.index} exited")
+                )
+        shard.control.clear()
+        orphans = list(shard.inflight.values())
+        shard.inflight.clear()
+        if self._closing:
+            self._fail_flights(orphans, ServiceClosed(
+                "sharded service is shutting down"
+            ))
+            return
+        _DEATHS.labels(shard=str(shard.index)).add()
+        self._emit("shard.exit", WARN, shard=shard.index, pid=shard.proc.pid,
+                   returncode=shard.proc.returncode, orphaned=len(orphans))
+        redeliverable, dropped = [], []
+        for flight in orphans:
+            if flight.idempotent and flight.deliveries < self.max_deliveries:
+                redeliverable.append(flight)
+            else:
+                dropped.append(flight)
+        self._fail_flights(dropped, ServiceClosed(
+            f"shard {shard.index} died mid-request; not redelivering "
+            "(at-most-once for certify requests, delivery bound otherwise)"
+        ))
+        for attempt in range(MAX_RESPAWNS):
+            try:
+                await self._spawn(shard.index)
+                break
+            except Exception:
+                await asyncio.sleep(0.2 * (attempt + 1))
+        else:
+            self._emit("shard.respawn_failed", WARN, shard=shard.index)
+            self._fail_flights(redeliverable, ServiceClosed(
+                f"shard {shard.index} died and could not be respawned"
+            ))
+            return
+        replacement = self._shards[shard.index]
+        for flight in redeliverable:
+            if flight.deadline is not None and (
+                flight.deadline <= time.perf_counter()
+            ):
+                if not flight.future.done():
+                    flight.future.set_exception(ServiceTimeout(
+                        f"{flight.request.kind} request deadline expired "
+                        "during shard respawn"
+                    ))
+                continue
+            _REDELIVERED.add()
+            self._emit("shard.redeliver", WARN, shard=shard.index,
+                       request_id=flight.request_id,
+                       delivery=flight.deliveries + 1)
+            flight.deliveries += 1
+            replacement.inflight[flight.request_id] = flight
+            try:
+                await self._write(replacement, flight.frame())
+            except Exception as exc:
+                replacement.inflight.pop(flight.request_id, None)
+                if not flight.future.done():
+                    flight.future.set_exception(ServiceClosed(
+                        f"redelivery to respawned shard failed: {exc}"
+                    ))
+
+    def _fail_flights(self, flights, error: BaseException) -> None:
+        for flight in flights:
+            if not flight.future.done():
+                _REQUESTS.labels(
+                    shard=str(flight.shard if flight.shard is not None else -1),
+                    outcome="error",
+                ).add()
+                flight.future.set_exception(error)
+
+    async def _health(self) -> None:
+        while not self._closing:
+            await asyncio.sleep(self.health_interval)
+            for shard in list(self._shards):
+                if shard is None or not shard.ready:
+                    continue
+                try:
+                    state = await self._control(
+                        shard, "readyz",
+                        timeout=self.health_interval * 2 + 0.5,
+                    )
+                except Exception:
+                    shard.misses += 1
+                    if shard.misses >= 3 and shard.proc.returncode is None:
+                        self._emit("shard.unresponsive", WARN, shard=shard.index,
+                                   pid=shard.proc.pid, misses=shard.misses)
+                        shard.proc.kill()
+                else:
+                    shard.remote = state
+                    shard.misses = 0
+
+    # -- routing -------------------------------------------------------------
+
+    async def _pick(self, flight: _Flight) -> _Shard | None:
+        grace_end = time.perf_counter() + DISPATCH_GRACE_SECONDS
+        if flight.deadline is not None:
+            grace_end = min(grace_end, flight.deadline)
+        preference = (
+            None if flight.routing_key is None
+            else self.ring.preference(flight.routing_key)
+        )
+        while True:
+            if self._closing:
+                raise ServiceClosed("sharded service is shut down")
+            if preference is None:
+                ready = [s for s in self._shards if s is not None and s.ready]
+                if ready:
+                    return ready[next(self._rr) % len(ready)]
+            else:
+                for index in preference:
+                    shard = self._shards[index]
+                    if shard is not None and shard.ready:
+                        return shard
+            remaining = grace_end - time.perf_counter()
+            if remaining <= 0:
+                return None
+            self._ready_event.clear()
+            try:
+                await asyncio.wait_for(self._ready_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return None
+
+    async def _dispatch(self, flight: _Flight) -> None:
+        try:
+            shard = await self._pick(flight)
+            if shard is None:
+                raise ServiceOverloaded(
+                    "no shard became routable within the dispatch grace "
+                    f"window ({DISPATCH_GRACE_SECONDS:g}s)"
+                )
+            flight.shard = shard.index
+            flight.deliveries += 1
+            shard.inflight[flight.request_id] = flight
+            await self._write(shard, flight.frame())
+        except BaseException as exc:  # noqa: BLE001 — surfaced on the caller's future
+            if flight.shard is not None:
+                shard = self._shards[flight.shard]
+                if shard is not None:
+                    shard.inflight.pop(flight.request_id, None)
+            if not flight.future.done():
+                flight.future.set_exception(exc)
+
+    # -- the client-facing request path --------------------------------------
+
+    def submit(self, request: Request, *, timeout: float | None = None,
+               origin: str = "client") -> ShardReply:
+        """Route one request; returns its :class:`ShardReply`.
+
+        Serialization happens here, client-side — a subject the wire
+        cannot carry raises :class:`~repro.service.wire.WireError` at
+        submit time, before anything is queued."""
+        if not isinstance(request, Request):
+            raise TypeError(
+                f"submit() takes a Request, not {type(request).__name__!r}"
+            )
+        if self.closed:
+            raise ServiceClosed("sharded service is shut down")
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        wire_request = encode_request(request)
+        try:
+            routing_key = cache_key(request)
+        except Exception:
+            # Key construction can reject a malformed request (e.g. a
+            # subject outside its lattice); route it anyway and let the
+            # shard raise the real, helpful error on compute.
+            routing_key = None
+        context = RequestContext(
+            kind=request.kind, origin=origin, deadline=deadline
+        )
+        flight = _Flight(
+            request_id=context.request_id,
+            request=request,
+            wire=wire_request,
+            deadline=deadline,
+            origin=origin,
+            routing_key=routing_key,
+            idempotent=not getattr(request, "certify", False),
+        )
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._dispatch(flight), self._loop
+            )
+        except RuntimeError as exc:
+            raise ServiceClosed(
+                "sharded service shut down while the request was being "
+                "admitted"
+            ) from exc
+        return ShardReply(request, flight.request_id, deadline, flight.future)
+
+    def request(self, request: Request, *, timeout: float | None = None,
+                origin: str = "client") -> ServiceResult:
+        """Submit and wait: ``submit(...).result()`` in one call."""
+        return self.submit(request, timeout=timeout, origin=origin).result()
+
+    def warm_start(self, source) -> int:
+        """Fan-out replication: replay a recorded workload into *every*
+        shard (shared-nothing caches warm independently), and remember
+        it so respawned shards warm-start too.  Returns the number of
+        workload requests (each shard replayed all of them)."""
+        data = load_workload_data(source)
+        requests = parse_workload(data)  # validate before shipping
+        self._warm_data = data
+        self._broadcast("warm_start", {"workload": data},
+                        timeout=120.0, strict=True)
+        return len(requests)
+
+    # -- aggregation (the ops surface) ---------------------------------------
+
+    def _broadcast(self, op: str, extra: dict | None = None,
+                   timeout: float = 5.0, strict: bool = False) -> dict[int, object]:
+        """One control op to every routable shard → ``{index: value}``.
+        Unreachable shards are skipped unless ``strict``."""
+        async def run():
+            shards = [s for s in self._shards if s is not None and s.ready]
+            values = await asyncio.gather(
+                *(self._control(shard, op, extra, timeout) for shard in shards),
+                return_exceptions=True,
+            )
+            results: dict[int, object] = {}
+            for shard, value in zip(shards, values):
+                if isinstance(value, BaseException):
+                    if strict:
+                        raise value
+                    continue
+                results[shard.index] = value
+            return results
+
+        return self._call(run(), timeout=timeout * max(1, self.n_shards) + 5.0)
+
+    @property
+    def closed(self) -> bool:
+        with self._state_lock:
+            return self._closed
+
+    @property
+    def cache(self) -> _AggregateCacheView:
+        """The tier-wide cache view (``/debug/cache`` aggregates shards
+        here instead of under-reporting one process's counters)."""
+        return _AggregateCacheView(self)
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` routing contract, tier-wide: routable iff the
+        service is open and *every* shard is up (a request may hash to
+        any of them)."""
+        rows = []
+        for shard in list(self._shards):
+            if shard is None:
+                continue
+            row = {"shard": shard.index, "ready": shard.ready,
+                   "pid": shard.proc.pid, "generation": shard.generation,
+                   "pending": len(shard.inflight)}
+            for key in ("pending", "max_pending", "saturation", "workers"):
+                if key in shard.remote:
+                    row[key] = shard.remote[key]
+            rows.append(row)
+        ready_shards = sum(1 for row in rows if row["ready"])
+        closed = self.closed
+        return {
+            "ready": not closed and ready_shards == self.n_shards,
+            "closed": closed,
+            "n_shards": self.n_shards,
+            "ready_shards": ready_shards,
+            "pending": sum(
+                len(shard.inflight)
+                for shard in self._shards if shard is not None
+            ),
+            "max_pending": self.max_pending_per_shard * self.n_shards,
+            "shards": rows,
+        }
+
+    def inflight(self) -> list[dict]:
+        """The tier-wide live request table, each row tagged with its
+        shard, oldest first."""
+        rows = []
+        for index, shard_rows in sorted(self._broadcast("inflight").items()):
+            for row in shard_rows:
+                row["shard"] = index
+                rows.append(row)
+        rows.sort(key=lambda row: row.get("age_seconds", 0.0), reverse=True)
+        return rows
+
+    def slow_log(self) -> list[dict]:
+        """Every shard's retained slow-request entries, shard-tagged."""
+        rows = []
+        for index, shard_rows in sorted(self._broadcast("slowlog").items()):
+            for row in shard_rows:
+                row["shard"] = index
+                rows.append(row)
+        return rows
+
+    def snapshot(self) -> dict:
+        """The tier dashboard: per-shard snapshots plus summed totals."""
+        per_shard = {
+            index: value
+            for index, value in sorted(self._broadcast("snapshot").items())
+        }
+        totals: dict[str, float] = {}
+        for snap in per_shard.values():
+            for key, value in snap.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        totals["n_shards"] = self.n_shards
+        totals["shards"] = per_shard
+        return totals
+
+    def shard_pids(self) -> list[int]:
+        """Current worker pids by shard index (chaos-test surface)."""
+        return [
+            shard.proc.pid for shard in self._shards if shard is not None
+        ]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def _shutdown_async(self, wait: bool) -> None:
+        self._closing = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+        shards = [s for s in self._shards if s is not None]
+        for shard in shards:
+            shard.ready = False
+            try:
+                await self._control(shard, "shutdown", timeout=0.5)
+            except Exception:
+                pass
+        for shard in shards:
+            try:
+                await asyncio.wait_for(
+                    shard.proc.wait(), 5.0 if wait else 0.5
+                )
+            except asyncio.TimeoutError:
+                shard.proc.kill()
+                await shard.proc.wait()
+            leftovers = list(shard.inflight.values())
+            shard.inflight.clear()
+            self._fail_flights(leftovers, ServiceClosed(
+                "sharded service is shut down"
+            ))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Refuse new requests, stop every shard, then stop the loop."""
+        with self._state_lock:
+            already = self._closed
+            self._closed = True
+        if already:
+            return
+        self._emit("router.shutdown", wait=wait)
+        try:
+            self._call(self._shutdown_async(wait), timeout=60.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"ShardedService(shards={self.n_shards}, {state})"

@@ -24,6 +24,7 @@ silently warming a partial cache.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from types import MappingProxyType
 
@@ -42,11 +43,13 @@ class WarmupError(ValueError):
     """A workload file entry could not be replayed."""
 
 
-def load_workload(source) -> list[Request]:
-    """Parse a workload into request objects.
+def load_workload_data(source) -> dict:
+    """Coerce ``source`` — a path to a JSON file, a JSON string, or an
+    already-decoded dict — into the raw workload dict.
 
-    ``source`` may be a path to a JSON file, a JSON string, or an
-    already-decoded dict of the documented shape."""
+    This is the form the sharded router replicates to its workers: raw
+    JSON-shaped data travels over the wire, and each shard parses it
+    locally with :func:`parse_workload`."""
     if isinstance(source, (str, Path)) and not str(source).lstrip().startswith("{"):
         with open(source, encoding="utf-8") as handle:
             data = json.load(handle)
@@ -54,6 +57,13 @@ def load_workload(source) -> list[Request]:
         data = json.loads(source)
     else:
         data = source
+    if not isinstance(data, dict) or "requests" not in data:
+        raise WarmupError("workload must be a dict with a 'requests' list")
+    return data
+
+
+def parse_workload(data: dict) -> list[Request]:
+    """Decode a raw workload dict into request objects."""
     if not isinstance(data, dict) or "requests" not in data:
         raise WarmupError("workload must be a dict with a 'requests' list")
     requests = []
@@ -85,14 +95,42 @@ def load_workload(source) -> list[Request]:
     return requests
 
 
-def warm_start(service, source) -> int:
-    """Replay a workload through ``service`` synchronously, populating
-    its cache; returns the number of requests replayed.  Deadlines are
-    deliberately not applied — a warm start wants every answer."""
-    requests = load_workload(source)
+def load_workload(source) -> list[Request]:
+    """Parse a workload into request objects.
+
+    ``source`` may be a path to a JSON file, a JSON string, or an
+    already-decoded dict of the documented shape."""
+    return parse_workload(load_workload_data(source))
+
+
+def replay_workload(service, requests) -> int:
+    """Replay parsed requests through ``service`` synchronously,
+    populating its cache; returns the number of requests replayed.
+    Deadlines are deliberately not applied — a warm start wants every
+    answer."""
+    count = 0
     for request in requests:
         service.submit(request).result()
-    return len(requests)
+        count += 1
+    return count
+
+
+def warm_start(service, source) -> int:
+    """Deprecated spelling of the warm start.
+
+    .. deprecated:: PR 9
+        Use :meth:`repro.service.client.Client.warm_start` — the one
+        warm-start entry point that works for both in-process and
+        sharded deployments (the sharded transport fan-out-replicates
+        the workload to every shard; this function can only reach one
+        in-process service)."""
+    warnings.warn(
+        "warm_start(service, source) is deprecated; use "
+        "Client.warm_start(source) on a repro.service.client.Client",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return replay_workload(service, load_workload(source))
 
 
 def random_workload(

@@ -60,7 +60,7 @@ def test_reexport_through_package_init_flagged(checker):
     assert rules_of(report) == ["RC006"]
     finding = report.findings[0]
     assert finding.path.endswith("__init__.py")
-    assert "imported from repro.demo.mod" in finding.message
+    assert "resolved to repro.demo.mod" in finding.message
 
 
 def test_init_importing_without_exporting_passes(checker):
@@ -89,6 +89,77 @@ def test_aliased_reexport_flagged(checker):
     report = run_rc006(checker)
     assert rules_of(report) == ["RC006"]
     assert "'split'" in report.findings[0].message
+
+
+def test_multihop_reexport_flagged(checker):
+    # The chain passes through a module with no __all__ of its own —
+    # the rule must record re-export edges for *every* module, not just
+    # the ones it audits, or the chain breaks at the middle hop.
+    checker.write("src/repro/demo/inner.py", SHIM_MODULE)
+    checker.write(
+        "src/repro/demo/mid.py",
+        """
+        from .inner import decompose, fresh  # noqa: F401
+        """,
+    )
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .mid import decompose, fresh
+
+        __all__ = ["decompose", "fresh"]
+        """,
+    )
+    report = run_rc006(checker)
+    assert rules_of(report) == ["RC006"]
+    finding = report.findings[0]
+    assert finding.path.endswith("__init__.py")
+    assert "resolved to repro.demo.inner" in finding.message
+
+
+def test_multihop_aliased_each_hop_flagged(checker):
+    checker.write("src/repro/demo/inner.py", SHIM_MODULE)
+    checker.write(
+        "src/repro/demo/mid.py",
+        """
+        from .inner import decompose as split  # noqa: F401
+        """,
+    )
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .mid import split as carve
+
+        __all__ = ["carve"]
+        """,
+    )
+    report = run_rc006(checker)
+    assert rules_of(report) == ["RC006"]
+    assert "'carve'" in report.findings[0].message
+
+
+def test_import_cycle_terminates_without_finding(checker):
+    checker.write(
+        "src/repro/demo/a.py",
+        """
+        from .b import thing  # noqa: F401
+        """,
+    )
+    checker.write(
+        "src/repro/demo/b.py",
+        """
+        from .a import thing  # noqa: F401
+        """,
+    )
+    checker.write(
+        "src/repro/demo/__init__.py",
+        """
+        from .a import thing
+
+        __all__ = ["thing"]
+        """,
+    )
+    assert run_rc006(checker).findings == []
 
 
 def test_category_keyword_detected(checker):

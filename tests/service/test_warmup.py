@@ -7,10 +7,14 @@ import pytest
 from repro.ltl import parse
 from repro.service import (
     AnalysisService,
+    Client,
     DecomposeRequest,
+    InProcessTransport,
     WarmupError,
     load_workload,
-    warm_start,
+    load_workload_data,
+    parse_workload,
+    replay_workload,
 )
 
 WORKLOAD = {
@@ -61,18 +65,54 @@ class TestLoadWorkload:
             load_workload([1, 2, 3])
 
 
+class TestLoadWorkloadData:
+    def test_splits_loading_from_parsing(self):
+        data = load_workload_data(json.dumps(WORKLOAD))
+        assert data == WORKLOAD  # raw dict: the form routers replicate
+        assert len(parse_workload(data)) == 3
+
+    def test_rejects_shapeless_data(self):
+        with pytest.raises(WarmupError, match="requests"):
+            load_workload_data('{"version": 1}')
+
+
 class TestWarmStart:
-    def test_populates_the_cache(self):
+    def test_client_warm_start_populates_the_cache(self):
+        with Client.in_process(workers=0) as client:
+            assert client.warm_start(WORKLOAD) == 3
+            warmed = client.decompose(parse("G a"),
+                                      alphabet=frozenset("ab"))
+            assert warmed.cached
+
+    def test_replays_through_the_normal_path(self):
+        with Client.in_process(workers=0) as client:
+            client.warm_start(WORKLOAD)
+            snap = client.snapshot()
+            assert snap["cache_misses"] >= 3
+
+    def test_replay_workload_on_an_embedded_service(self):
         with AnalysisService(workers=0) as svc:
-            count = warm_start(svc, WORKLOAD)
+            count = replay_workload(svc, load_workload(WORKLOAD))
             assert count == 3
             warmed = svc.request(
                 DecomposeRequest(parse("G a"), alphabet=frozenset("ab"))
             )
             assert warmed.cached
 
-    def test_replays_through_the_normal_path(self):
+    def test_old_spelling_is_a_deprecated_shim(self):
+        from repro.service.warmup import warm_start
+
         with AnalysisService(workers=0) as svc:
-            warm_start(svc, WORKLOAD)
-            snap = svc.snapshot()
-            assert snap["cache_misses"] >= 3
+            with pytest.warns(DeprecationWarning, match="Client.warm_start"):
+                count = warm_start(svc, WORKLOAD)
+        assert count == 3
+
+    def test_borrowed_service_shares_the_warm_cache(self):
+        with AnalysisService(workers=0) as svc:
+            client = Client(InProcessTransport(svc))
+            client.warm_start(WORKLOAD)
+            client.close()  # borrowed: svc stays up
+            warmed = svc.request(
+                DecomposeRequest(parse("G a"), alphabet=frozenset("ab"))
+            )
+            assert warmed.cached
