@@ -42,6 +42,7 @@ GUARDED = (
     ("BENCH_obs_overhead.json", "benchmarks/test_bench_obs_overhead.py"),
     ("BENCH_checks.json", "benchmarks/test_bench_checks.py"),
     ("BENCH_service_sharded.json", "benchmarks/test_bench_service_sharded.py"),
+    ("BENCH_rv_throughput.json", "benchmarks/test_bench_rv_throughput.py"),
 )
 
 #: Absolute slack added to every threshold: sub-50ms benchmarks on a

@@ -51,8 +51,9 @@ from .operations import (
     suffix_language_automaton,
     union,
 )
-from .random_automata import random_automaton, random_lasso
+from .random_automata import random_automaton, random_dense_automaton, random_lasso
 from .minimize import MinimalMonitorDfa, minimize_good_prefix_dfa
+from .subset import SubsetTable
 from .safety import (
     GoodPrefixDfa,
     good_prefix_dfa,
@@ -95,7 +96,9 @@ __all__ = [
     "suffix_language_automaton",
     "finite_prefix_automaton",
     "random_automaton",
+    "random_dense_automaton",
     "random_lasso",
+    "SubsetTable",
     "direct_simulation",
     "quotient_by_simulation",
     "canonical_is_extremal",

@@ -4,6 +4,20 @@ Both generators take either a :class:`random.Random` instance or a plain
 ``int`` seed, so benchmark sweeps and warm-start workloads can pin their
 inputs with one literal (``random_automaton(7, 12)``) and reproduce them
 anywhere.
+
+Generation is *dense-first* (PR 10): :func:`random_dense_automaton`
+draws straight into bitmask rows — no per-transition frozensets, no
+hashable-state dict — and :func:`random_automaton` uninterns that core
+only to honor its public hashable-state return type.  Benchmarks that
+feed kernels directly should take the dense form and skip the unintern
+entirely; that is the path that stops generation overhead from masking
+kernel wins (ROADMAP open item 1).
+
+Seeded workloads are stable across versions: the RNG draw sequence of
+:func:`random_dense_automaton` is bit-identical to the original
+hashable-state generator (the same inlined ``rng.choice(range(n))``
+rejection sampling, in the same order), so ``random_automaton(seed, n)``
+returns exactly the automaton it always has.
 """
 
 from __future__ import annotations
@@ -11,7 +25,9 @@ from __future__ import annotations
 import random as _random
 from collections.abc import Iterable
 
-from .automaton import BuchiAutomaton
+from repro.automata.dense import DenseBuchi, DenseForm
+
+from .automaton import BuchiAutomaton, from_dense
 
 
 def _as_rng(rng: _random.Random | int) -> _random.Random:
@@ -19,6 +35,65 @@ def _as_rng(rng: _random.Random | int) -> _random.Random:
     if isinstance(rng, _random.Random):
         return rng
     return _random.Random(rng)
+
+
+def random_dense_automaton(
+    rng: _random.Random | int,
+    n_states: int,
+    alphabet: Iterable = ("a", "b"),
+    transition_density: float = 1.2,
+    acceptance_density: float = 0.3,
+) -> DenseForm:
+    """A random NBA in the Tabakov–Vardi style, drawn directly into a
+    dense core: ``transition_density * n`` transitions per symbol
+    (rounded), each state accepting with probability
+    ``acceptance_density`` (at least one accepting state).
+
+    States are their own identities (``0..n-1``) and symbols keep the
+    caller's order, so the returned :class:`DenseForm` is ready for the
+    kernels with no interner pass.  The form is *not* attached to any
+    hashable automaton — ``BuchiAutomaton.to_dense()`` numbers states in
+    interner BFS order, which this identity numbering need not match.
+    """
+    if n_states < 1:
+        raise ValueError("need at least one state")
+    rng = _as_rng(rng)
+    symbols = tuple(alphabet)
+    n = n_states
+    per_symbol = max(1, round(transition_density * n_states))
+    # draw endpoints with rng.choice's own rejection-sampling loop,
+    # inlined: bit-identical to `rng.choice(range(n))` on the same seed
+    # (so seeded workloads are stable across versions) at a fraction of
+    # the per-draw overhead.  Duplicate (q, r) draws collapse in the
+    # bitmask OR exactly as they did in the old per-symbol set.
+    getrandbits = rng.getrandbits
+    k = n.bit_length()
+    succ = []
+    for _ in symbols:
+        row = [0] * n
+        for _ in range(per_symbol):
+            q = getrandbits(k)
+            while q >= n:
+                q = getrandbits(k)
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            row[q] |= 1 << r
+        succ.append(tuple(row))
+    accepting = 0
+    for q in range(n):
+        if rng.random() < acceptance_density:
+            accepting |= 1 << q
+    if not accepting:
+        accepting = 1 << rng.choice(range(n))
+    core = DenseBuchi(
+        n_states=n,
+        n_symbols=len(symbols),
+        initial=0,
+        succ=tuple(succ),
+        accepting=accepting,
+    )
+    return DenseForm(core, tuple(range(n)), symbols)
 
 
 def random_automaton(
@@ -29,48 +104,15 @@ def random_automaton(
     acceptance_density: float = 0.3,
     name: str = "R",
 ) -> BuchiAutomaton:
-    """A random NBA in the Tabakov–Vardi style: ``transition_density * n``
-    transitions per symbol (rounded), each state accepting with
-    probability ``acceptance_density`` (at least one accepting state).
+    """A random NBA in the Tabakov–Vardi style, as a hashable-state
+    :class:`BuchiAutomaton` (the dense draw of
+    :func:`random_dense_automaton`, uninterned).
 
     ``rng`` may be a ``random.Random`` or an int seed."""
-    if n_states < 1:
-        raise ValueError("need at least one state")
-    rng = _as_rng(rng)
-    alphabet = tuple(alphabet)
-    n = n_states
-    per_symbol = max(1, round(transition_density * n_states))
-    # draw endpoints with rng.choice's own rejection-sampling loop,
-    # inlined: bit-identical to `rng.choice(range(n))` on the same seed
-    # (so seeded workloads are stable across versions) at a fraction of
-    # the per-draw overhead
-    getrandbits = rng.getrandbits
-    k = n.bit_length()
-    by_source: dict = {}
-    for a in alphabet:
-        chosen = set()
-        for _ in range(per_symbol):
-            q = getrandbits(k)
-            while q >= n:
-                q = getrandbits(k)
-            r = getrandbits(k)
-            while r >= n:
-                r = getrandbits(k)
-            chosen.add((q, r))
-        for q, r in chosen:
-            by_source.setdefault((q, a), set()).add(r)
-    transitions = {key: frozenset(targets) for key, targets in by_source.items()}
-    accepting = {q for q in range(n) if rng.random() < acceptance_density}
-    if not accepting:
-        accepting = {rng.choice(range(n))}
-    return BuchiAutomaton(
-        alphabet=frozenset(alphabet),
-        states=frozenset(range(n)),
-        initial=0,
-        transitions=transitions,
-        accepting=frozenset(accepting),
-        name=name,
+    form = random_dense_automaton(
+        rng, n_states, alphabet, transition_density, acceptance_density
     )
+    return from_dense(form, name=name)
 
 
 def random_lasso(

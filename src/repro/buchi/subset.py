@@ -1,0 +1,92 @@
+"""The live-restricted subset construction, lowered to dense tables.
+
+:class:`SubsetTable` determinizes ``post(S, a) ∩ live`` once so that a
+single event step is two list indexings.  It is the shared prefix
+machine of the monitoring stack: :mod:`repro.rv.compile` builds its
+product falsifier and bound tracker from it, and
+:mod:`repro.enforcement.monitor` runs Schneider-style truncation
+monitors on it directly.  It lives here — not in :mod:`repro.rv` —
+because it depends only on :class:`~repro.buchi.automaton.BuchiAutomaton`
+and :func:`~repro.buchi.emptiness.live_states`; enforcement can import
+it without pulling in the full decompose-driven compile pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from contextlib import nullcontext
+
+from .automaton import BuchiAutomaton
+from .emptiness import live_states
+
+
+class SubsetTable:
+    """The determinized, live-restricted subset automaton as dense tables.
+
+    States are small integers; ``next_state[q][i]`` is the successor of
+    state ``q`` on the ``i``-th symbol (``symbol_index`` maps symbols to
+    ``i``).  State ``q`` with ``alive[q]`` false is the unique dead state
+    (the empty subset) and loops to itself — the table is complete.
+    """
+
+    __slots__ = ("symbols", "symbol_index", "initial", "next_state", "alive", "subsets")
+
+    def __init__(self, symbols, symbol_index, initial, next_state, alive, subsets):
+        self.symbols = symbols
+        self.symbol_index = symbol_index
+        self.initial = initial
+        self.next_state = next_state
+        self.alive = alive
+        self.subsets = subsets
+
+    @classmethod
+    def from_automaton(cls, automaton: BuchiAutomaton, *, phases=None) -> "SubsetTable":
+        """Determinize ``post(S, a) ∩ live`` once, for O(1) event steps.
+
+        ``phases`` is an optional :class:`repro.obs.profile.PhaseTimer`
+        (duck-typed — anything with ``.phase(name)`` context managers);
+        callers with a compile pipeline pass theirs to attribute the
+        ``live_states`` / ``determinize`` time.
+        """
+        phase = phases.phase if phases is not None else (lambda _name: nullcontext())
+        with phase("live_states"):
+            live = live_states(automaton)
+        with phase("determinize"):
+            return cls._determinize(automaton, live)
+
+    @classmethod
+    def _determinize(cls, automaton: BuchiAutomaton, live: frozenset) -> "SubsetTable":
+        symbols = tuple(sorted(automaton.alphabet, key=repr))
+        symbol_index = {a: i for i, a in enumerate(symbols)}
+        start = frozenset({automaton.initial}) & live
+        index: dict[frozenset, int] = {start: 0}
+        subsets: list[frozenset] = [start]
+        next_state: list[list[int]] = []
+        i = 0
+        while i < len(subsets):
+            subset = subsets[i]
+            row = []
+            for a in symbols:
+                nxt = automaton.post(subset, a) & live if subset else subset
+                if nxt not in index:
+                    index[nxt] = len(subsets)
+                    subsets.append(nxt)
+                row.append(index[nxt])
+            next_state.append(row)
+            i += 1
+        alive = [bool(s) for s in subsets]
+        return cls(symbols, symbol_index, 0, next_state, alive, tuple(subsets))
+
+    def __len__(self) -> int:
+        return len(self.next_state)
+
+    def step(self, state: int, symbol) -> int:
+        """One event step (raises ``KeyError`` on foreign symbols)."""
+        return self.next_state[state][self.symbol_index[symbol]]
+
+    def run(self, events: Iterable) -> int:
+        state = self.initial
+        table, index = self.next_state, self.symbol_index
+        for e in events:
+            state = table[state][index[e]]
+        return state

@@ -25,7 +25,7 @@ from repro.buchi.automaton import BuchiAutomaton
 from repro.buchi.closure import closure, is_safety
 from repro.buchi.inclusion import equivalence_counterexample
 from repro.omega.word import LassoWord
-from repro.rv.compile import SubsetTable
+from repro.buchi.subset import SubsetTable
 
 
 class MonitorError(ValueError):
@@ -44,7 +44,7 @@ class SecurityMonitor:
     """A truncation monitor for a safety property.
 
     Runs the subset construction of a safety automaton, pre-determinized
-    into a :class:`~repro.rv.compile.SubsetTable` (the code path shared
+    into a :class:`~repro.buchi.subset.SubsetTable` (the code path shared
     with the streaming engine in :mod:`repro.rv`): the monitor admits an
     event iff some run of the automaton survives it; once no run
     survives, the prefix is *bad* and the execution is truncated (every

@@ -79,6 +79,8 @@ EVENT_CATALOG = (
     # certificate replay on cache hits
     "cert.verify_pass",
     "cert.verify_fail",
+    # rv engine: four-valued verdict transitions (PR 10)
+    "rv.verdict_transition",
     # worker-pool lifecycle
     "pool.worker_start",
     "pool.worker_death",

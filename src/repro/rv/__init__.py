@@ -4,34 +4,44 @@ The one-shot monitors in :mod:`repro.ltl.monitoring` and
 :mod:`repro.enforcement.monitor` carry the theory; this package carries
 the traffic.  Layering (each layer only knows the one below):
 
-* :mod:`repro.rv.compile` — formulas → dense transition tables
-  (:class:`MonitorTable`, :class:`SubsetTable`), memoized in an LRU
+* :mod:`repro.rv.verdicts` — the four-valued verdict lattice
+  (:class:`Verdict4`, :class:`MonitorOutcome`) that decomposition-driven
+  monitoring produces;
+* :mod:`repro.rv.compile` — formulas → :func:`repro.analysis.decompose`
+  → dense transition tables (:class:`DecomposedMonitor` =
+  :class:`MonitorTable` product of the safety closures +
+  :class:`BoundTracker` for the liveness conjunct), memoized in an LRU
   :class:`CompileCache`;
 * :mod:`repro.rv.session` — per-trace cursors over shared tables, with
-  bounded-queue backpressure (:class:`TraceSession`,
-  :class:`SessionManager`);
+  bounded-queue backpressure and per-session finitary horizons
+  (:class:`TraceSession`, :class:`SessionManager`);
 * :mod:`repro.rv.pool` — the shared inline-or-parallel
   :class:`WorkerPool` (also dispatches :mod:`repro.service` requests);
 * :mod:`repro.rv.engine` — batched ingest, monitor-grouped dispatch
-  over the pool (:class:`RvEngine`);
+  over the pool, verdict-transition recording (:class:`RvEngine`);
 * :mod:`repro.rv.stats` — the engine's measurements
-  (:class:`EngineStats`), now a facade over the shared
-  :mod:`repro.obs` metric registry (``repro_rv_*`` families with an
-  ``engine`` label); pass ``RvEngine(tracer=...)`` for ingest/drain
-  spans.
+  (:class:`EngineStats`), a facade over the shared :mod:`repro.obs`
+  metric registry (``repro_rv_*`` families with an ``engine`` label,
+  including the PR-10 ``repro_rv_verdict_transitions_total`` and
+  ``repro_rv_verdict_latency_seconds``); pass ``RvEngine(tracer=...)``
+  for ingest/drain spans.
 
-Verdicts are the :class:`~repro.ltl.monitoring.Verdict3` of the
-reference monitor, and the engine is bit-identical to feeding each
-session's events to an :class:`~repro.ltl.monitoring.RvMonitor` one at
-a time — the test suite enforces this equivalence property.
+The three-valued :class:`~repro.ltl.monitoring.Verdict3` surface is
+unchanged and the engine stays bit-identical to feeding each session's
+events to an :class:`~repro.ltl.monitoring.RvMonitor` one at a time —
+the test suite enforces this equivalence property.  The four-valued
+:class:`Verdict4` surface (``verdict4``, ``outcome()``, horizons) rides
+alongside it.
 """
 
 from repro.ltl.monitoring import Verdict3
 
 from .compile import (
+    BoundTracker,
     CacheInfo,
     CompileCache,
     DEFAULT_CACHE,
+    DecomposedMonitor,
     MonitorTable,
     SubsetTable,
     canonical_key,
@@ -41,11 +51,17 @@ from .engine import RvEngine
 from .pool import WorkerPool
 from .session import BackpressureError, SessionError, SessionManager, TraceSession
 from .stats import Counter, EngineStats, Gauge, Histogram
+from .verdicts import MonitorOutcome, Verdict4, most_severe
 
 __all__ = [
     "Verdict3",
+    "Verdict4",
+    "MonitorOutcome",
+    "most_severe",
     "SubsetTable",
+    "BoundTracker",
     "MonitorTable",
+    "DecomposedMonitor",
     "CompileCache",
     "CacheInfo",
     "DEFAULT_CACHE",

@@ -1,36 +1,59 @@
-"""Monitor compilation: formulas → dense transition tables, memoized.
+"""Monitor compilation: ``decompose()`` output → dense tables, memoized.
 
-The one-shot monitors (:class:`repro.ltl.monitoring.RvMonitor`,
-:class:`repro.enforcement.monitor.SecurityMonitor`) pay for the theory on
-every event: a frozenset union per automaton step, and the whole
-translate → closure → live-states pipeline per construction.  This
-module front-loads all of that:
+Since PR 10 the compilation source of truth is the paper's own split:
+:func:`repro.analysis.decompose` factors the policy into its safety
+closure and dense (live) part, and each conjunct is lowered onto the
+machinery that can actually decide it on a finite prefix:
+
+* the **safety conjunct** ``cl(A_φ)`` feeds the existing
+  :class:`SubsetTable` falsifier — bad prefixes of ``cl(L)`` and of
+  ``L`` coincide (a prefix is extendable into ``cl(L)`` iff it is a
+  prefix of some word of ``L``), so the product of the ``φ``-side and
+  ``¬φ``-side subset tables issues verdicts bit-identical to the PR-1
+  direct construction;
+* the **liveness conjunct** ``A_φ ∪ ¬cl(A_φ)`` feeds a new
+  :class:`BoundTracker` — its determinized live-restricted subset run
+  with a *good* flag per edge (taking the edge validates an accepting
+  visit).  Sessions count events since the last good edge; under a
+  finitary horizon (Chatterjee–Fijalkow) an exceeded wait falsifies the
+  bounded-liveness obligation, which is what turns "inconclusive
+  forever" into the four-valued :class:`~repro.rv.verdicts.Verdict4`.
+
+The classes:
 
 * :class:`SubsetTable` — the *live-restricted subset automaton* of a
   Büchi automaton, determinized once into dense integer tables.  One
   event step is two list indexings.  The empty subset is materialized as
-  an absorbing dead state, so stepping never branches.
-* :class:`MonitorTable` — the product of the subset tables of ``A_φ``
-  and ``A_¬φ`` with a three-valued verdict attached to every state.
-  Definite verdicts are absorbing (verdicts are final), which makes the
-  table bit-compatible with :class:`~repro.ltl.monitoring.RvMonitor`
-  while skipping all per-event set algebra.
+  an absorbing dead state, so stepping never branches.  It lives in
+  :mod:`repro.buchi.subset` (re-exported here) so that enforcement's
+  truncation monitors can share it without importing this pipeline.
+* :class:`MonitorTable` — the product of two subset tables with a
+  three-valued verdict attached to every state; definite verdicts are
+  absorbing.  The direct (decomposition-bypassing) constructor survives
+  only as the deprecated :meth:`MonitorTable.compile_direct` shim.
+* :class:`DecomposedMonitor` — a :class:`MonitorTable` plus the
+  :class:`BoundTracker` of the liveness conjunct; what
+  :meth:`MonitorTable.compile` and the :class:`CompileCache` now emit.
 * :class:`CompileCache` — an LRU keyed by the *canonical* formula
   (simplified, negation normal form) and alphabet, with hit/miss
   counters, so a fleet of sessions over the same policy compiles it
-  exactly once.
+  exactly once.  Horizons are runtime parameters of sessions, never
+  baked into tables, so one cache line serves every horizon.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from types import MappingProxyType
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.analysis.decompose import decompose
 from repro.buchi.automaton import BuchiAutomaton
 from repro.buchi.emptiness import live_states
+from repro.buchi.subset import SubsetTable
 from repro.ltl.monitoring import Verdict3
 from repro.ltl.simplify import simplify
 from repro.ltl.syntax import Formula, Not, nnf_over_alphabet
@@ -38,8 +61,11 @@ from repro.ltl.translate import translate
 from repro.obs.metrics import REGISTRY
 from repro.obs.profile import PhaseTimer
 
-#: Per-phase wall time of the compile pipeline (``live_states`` /
-#: ``determinize`` inside the subset construction, ``product`` on top).
+from .verdicts import MonitorOutcome, Verdict4
+
+#: Per-phase wall time of the compile pipeline (``decompose`` for the
+#: two conjunct factorizations, ``live_states`` / ``determinize`` inside
+#: the subset constructions, ``product`` and ``bound_tracker`` on top).
 _PHASES = PhaseTimer("repro.rv.compile")
 #: Global (cross-cache) hit/miss tallies; per-cache counts stay on the
 #: :class:`CompileCache` instance for :meth:`CompileCache.info`.
@@ -57,69 +83,69 @@ _TABLE_STATES = REGISTRY.histogram(
 )
 
 
-class SubsetTable:
-    """The determinized, live-restricted subset automaton as dense tables.
+class BoundTracker:
+    """The liveness conjunct as a deterministic *good-event* tracker.
 
-    States are small integers; ``next_state[q][i]`` is the successor of
-    state ``q`` on the ``i``-th symbol (``symbol_index`` maps symbols to
-    ``i``).  State ``q`` with ``alive[q]`` false is the unique dead state
-    (the empty subset) and loops to itself — the table is complete.
+    The determinized live-restricted subset automaton of
+    ``B_L = A_φ ∪ ¬cl(A_φ)``, with a boolean per *edge*:
+    ``good[q][i]`` is true when taking symbol ``i`` out of subset-state
+    ``q`` **validates** an accepting visit — some still-viable run of
+    the liveness conjunct sits on an accepting state at ``q`` and
+    survives reading the symbol.  The edge (not state) formulation
+    matters because LTL translations are guess-style: an accepting
+    *promise* state ("the good event happens next") is enterable on
+    almost every prefix, so subset ∩ accepting is nearly always
+    non-empty; a promise only becomes progress one step later, when a
+    run through it survives.  For ``GF a`` the good edges are exactly
+    the ``a``-edges; for ``F b`` the first good edge is the ``b`` that
+    discharges the eventuality (and every edge after it).
+
+    A session's *wait* is the number of events since it last took a
+    good edge; finitary liveness in the Chatterjee–Fijalkow sense is
+    "every wait ≤ horizon", and because that bound is a safety property
+    of the prefix, one exceeded wait falsifies it forever (the
+    ``LIVENESS_BOUND_EXCEEDED`` latch).
+
+    ``B_L`` is dense (every prefix is extendable into it), so the
+    tracker has no reachable dead state — it never falsifies anything
+    itself; falsification is the safety conjunct's job.
     """
 
-    __slots__ = ("symbols", "symbol_index", "initial", "next_state", "alive", "subsets")
+    __slots__ = ("symbols", "symbol_index", "initial", "next_state", "good")
 
-    def __init__(self, symbols, symbol_index, initial, next_state, alive, subsets):
+    def __init__(self, symbols, symbol_index, initial, next_state, good):
         self.symbols = symbols
         self.symbol_index = symbol_index
         self.initial = initial
         self.next_state = next_state
-        self.alive = alive
-        self.subsets = subsets
+        self.good = good
 
     @classmethod
-    def from_automaton(cls, automaton: BuchiAutomaton) -> "SubsetTable":
-        """Determinize ``post(S, a) ∩ live`` once, for O(1) event steps."""
+    def from_automaton(cls, liveness: BuchiAutomaton) -> "BoundTracker":
+        """Lower the liveness conjunct onto dense tables + edge flags."""
         with _PHASES.phase("live_states"):
-            live = live_states(automaton)
+            live = live_states(liveness)
         with _PHASES.phase("determinize"):
-            return cls._determinize(automaton, live)
-
-    @classmethod
-    def _determinize(cls, automaton: BuchiAutomaton, live: frozenset) -> "SubsetTable":
-        symbols = tuple(sorted(automaton.alphabet, key=repr))
-        symbol_index = {a: i for i, a in enumerate(symbols)}
-        start = frozenset({automaton.initial}) & live
-        index: dict[frozenset, int] = {start: 0}
-        subsets: list[frozenset] = [start]
-        next_state: list[list[int]] = []
-        i = 0
-        while i < len(subsets):
-            subset = subsets[i]
-            row = []
-            for a in symbols:
-                nxt = automaton.post(subset, a) & live if subset else subset
-                if nxt not in index:
-                    index[nxt] = len(subsets)
-                    subsets.append(nxt)
-                row.append(index[nxt])
-            next_state.append(row)
-            i += 1
-        alive = [bool(s) for s in subsets]
-        return cls(symbols, symbol_index, 0, next_state, alive, tuple(subsets))
+            table = SubsetTable._determinize(liveness, live)
+        accepting = liveness.accepting
+        good = tuple(
+            tuple(
+                bool(liveness.post(subset & accepting, a) & live)
+                for a in table.symbols
+            )
+            for subset in table.subsets
+        )
+        return cls(table.symbols, table.symbol_index, table.initial,
+                   table.next_state, good)
 
     def __len__(self) -> int:
         return len(self.next_state)
 
     def step(self, state: int, symbol) -> int:
-        """One event step (raises ``KeyError`` on foreign symbols)."""
         return self.next_state[state][self.symbol_index[symbol]]
 
-    def run(self, events: Iterable) -> int:
-        state = self.initial
-        table, index = self.next_state, self.symbol_index
-        for e in events:
-            state = table[state][index[e]]
-        return state
+    def good_edge(self, state: int, symbol) -> bool:
+        return self.good[state][self.symbol_index[symbol]]
 
 
 _VERDICT_OF = MappingProxyType({
@@ -131,12 +157,21 @@ _VERDICT_OF = MappingProxyType({
 
 
 class MonitorTable:
-    """A compiled three-valued monitor: the product of the subset tables
-    of ``A_φ`` and ``A_¬φ`` with a verdict per state.
+    """A compiled three-valued monitor: the product of two subset tables
+    with a verdict per state.
 
     ``verdicts[q]`` is the :class:`Verdict3` after reading any prefix
     that reaches ``q``; states with a definite verdict are absorbing.
     Stepping is two list indexings — no sets, no allocation.
+
+    Since PR 10 the subset tables are built from the *safety closures*
+    ``cl(A_φ)`` / ``cl(A_¬φ)`` that :func:`repro.analysis.decompose`
+    returns, not from ``A_φ`` / ``A_¬φ`` directly.  The verdicts are
+    provably unchanged: a prefix has an extension in ``cl(L)`` iff it
+    has one in ``L`` (closure adds exactly the limits of extendable
+    prefixes), so the alive-flags — and hence every verdict — coincide
+    with the PR-1 construction, which survives only as the deprecated
+    :meth:`compile_direct` shim.
     """
 
     __slots__ = ("formula", "alphabet", "symbols", "symbol_index", "initial",
@@ -154,12 +189,32 @@ class MonitorTable:
         self.states = states
 
     @classmethod
-    def compile(cls, formula: Formula, alphabet: Iterable) -> "MonitorTable":
-        """The full pipeline: translate φ and ¬φ, close under liveness,
-        determinize both subset runs, and product them."""
+    def compile(cls, formula: Formula, alphabet: Iterable) -> "DecomposedMonitor":
+        """Compile through the decomposition facade (the one supported
+        path): factor ``φ`` and ``¬φ`` with
+        :func:`repro.analysis.decompose`, lower the safety conjuncts
+        onto subset tables, product them, and lower ``φ``'s liveness
+        conjunct onto a :class:`BoundTracker`."""
+        return DecomposedMonitor.compile(formula, alphabet)
+
+    @classmethod
+    def compile_direct(cls, formula: Formula, alphabet: Iterable) -> "MonitorTable":
+        """**Deprecated** — the PR-1 direct ``translate() → table`` path,
+        bypassing :func:`repro.analysis.decompose`.  Kept only so the
+        equivalence property (decomposed ≡ direct on every prefix) stays
+        executable; it emits no :class:`BoundTracker`, so sessions over
+        its tables can never say anything about liveness."""
+        warnings.warn(
+            "MonitorTable.compile_direct() is deprecated: compile through "
+            "MonitorTable.compile(), which factors the policy via "
+            "repro.analysis.decompose() and adds the liveness bound tracker",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         alphabet = frozenset(alphabet)
-        pos = SubsetTable.from_automaton(translate(formula, alphabet))
-        neg = SubsetTable.from_automaton(translate(Not(formula), alphabet))
+        pos = SubsetTable.from_automaton(translate(formula, alphabet), phases=_PHASES)
+        neg = SubsetTable.from_automaton(translate(Not(formula), alphabet),
+                                        phases=_PHASES)
         with _PHASES.phase("product"):
             table = cls._product(formula, alphabet, pos, neg)
         _TABLES_COMPILED.add()
@@ -219,6 +274,95 @@ class MonitorTable:
         return self.verdicts[state]
 
 
+class DecomposedMonitor(MonitorTable):
+    """What compilation emits since PR 10: the safety-conjunct product
+    table plus the liveness conjunct's :class:`BoundTracker`.
+
+    The table half is a :class:`MonitorTable` in every observable way
+    (sessions, the enforcement monitor, and the PR-1 tests step it
+    identically); ``tracker`` is the finitary-liveness add-on that
+    sessions step in lock-step to maintain their wait counters.  The
+    horizon is deliberately *not* part of the monitor: it is a runtime
+    parameter of sessions and requests, so one cached monitor serves
+    every horizon.
+    """
+
+    __slots__ = ("tracker",)
+
+    def __init__(self, *args, tracker: BoundTracker | None = None):
+        super().__init__(*args)
+        self.tracker = tracker
+
+    @classmethod
+    def compile(cls, formula: Formula, alphabet: Iterable) -> "DecomposedMonitor":
+        """The decomposition-driven pipeline (see the class docstring)."""
+        alphabet = frozenset(alphabet)
+        with _PHASES.phase("decompose"):
+            positive = decompose(formula, alphabet=alphabet)
+            negative = decompose(Not(formula), alphabet=alphabet)
+        pos = SubsetTable.from_automaton(positive.safety, phases=_PHASES)
+        neg = SubsetTable.from_automaton(negative.safety, phases=_PHASES)
+        with _PHASES.phase("product"):
+            monitor = cls._product(formula, alphabet, pos, neg)
+        with _PHASES.phase("bound_tracker"):
+            monitor.tracker = BoundTracker.from_automaton(positive.liveness)
+        _TABLES_COMPILED.add()
+        _TABLE_STATES.record(len(monitor))
+        return monitor
+
+    def run_finitary(self, events: Iterable,
+                     horizon: int | None = None) -> MonitorOutcome:
+        """One-shot four-valued trace evaluation under a horizon.
+
+        The streaming twin lives in :class:`~repro.rv.session
+        .TraceSession`; this is the request/reply form the service's
+        ``Monitor`` verb computes.  ``max_wait`` caps at ``horizon + 1``
+        once the bound is exceeded (the wait stops being informative
+        after the latch).
+        """
+        table, symbol_index = self.next_state, self.symbol_index
+        verdicts = self.verdicts
+        tracker = self.tracker
+        ttable, tgood = tracker.next_state, tracker.good
+        state, tstate = self.initial, tracker.initial
+        verdict = verdicts[state]
+        # wait = events since the session last took a good edge
+        # (w(ε) = 0; reset to 0 on a good edge, else w + 1).
+        wait = max_wait = 0
+        latched = False
+        count = 0
+        for e in events:
+            count += 1
+            if verdict is not Verdict3.UNKNOWN:
+                continue
+            i = symbol_index[e]
+            state = table[state][i]
+            verdict = verdicts[state]
+            if not latched:
+                good = tgood[tstate][i]
+                tstate = ttable[tstate][i]
+                if good:
+                    wait = 0
+                else:
+                    wait += 1
+                    if wait > max_wait:
+                        max_wait = wait
+                    if horizon is not None and wait > horizon:
+                        latched = True
+        if verdict is Verdict3.FALSE:
+            verdict4 = Verdict4.FALSIFIED_SAFETY
+        elif latched:
+            verdict4 = Verdict4.LIVENESS_BOUND_EXCEEDED
+        elif verdict is Verdict3.TRUE or wait == 0:
+            verdict4 = Verdict4.SATISFIED_SO_FAR
+        else:
+            verdict4 = Verdict4.INCONCLUSIVE
+        return MonitorOutcome(
+            verdict=verdict4, verdict3=verdict, events=count,
+            max_wait=max_wait, horizon=horizon,
+        )
+
+
 def canonical_key(formula: Formula, alphabet: Iterable):
     """The cache key: simplified negation-normal form over the alphabet.
 
@@ -245,6 +389,8 @@ class CompileCache:
     ``get`` compiles at most once per distinct (canonical formula,
     alphabet) pair while it stays resident; the counters let callers
     *prove* reuse (the acceptance test and stats layer read them).
+    Entries are :class:`DecomposedMonitor` instances; horizons are
+    session-side, so every horizon shares one entry.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -256,7 +402,7 @@ class CompileCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, formula: Formula, alphabet: Iterable) -> MonitorTable:
+    def get(self, formula: Formula, alphabet: Iterable) -> DecomposedMonitor:
         key = canonical_key(formula, alphabet)
         with self._lock:
             table = self._entries.get(key)
@@ -275,7 +421,7 @@ class CompileCache:
         # compile outside the lock: a slow formula must not serialize the
         # whole fleet.  A racing duplicate compile is harmless (same table
         # semantics) and the counters still record one miss per caller.
-        table = MonitorTable.compile(key[0], key[1])
+        table = DecomposedMonitor.compile(key[0], key[1])
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -302,6 +448,6 @@ DEFAULT_CACHE = CompileCache()
 
 def compile_formula(
     formula: Formula, alphabet: Iterable, cache: CompileCache | None = None
-) -> MonitorTable:
+) -> DecomposedMonitor:
     """Compile through a cache (the module default when none is given)."""
     return (cache or DEFAULT_CACHE).get(formula, alphabet)

@@ -33,6 +33,7 @@ from functools import partial
 from repro.ltl.monitoring import Verdict3
 from repro.ltl.syntax import Formula
 from repro.obs.trace import NULL_SPAN, NULL_TRACER
+from repro.ops.journal import DEBUG, JOURNAL, WARN, EventJournal
 
 from .compile import CompileCache, MonitorTable
 from .pool import WorkerPool
@@ -42,6 +43,15 @@ from .stats import EngineStats
 
 class RvEngine:
     """A multi-session, multi-policy runtime-verification engine.
+
+    ``horizon`` is the engine-wide default finitary-liveness bound
+    (overridable per session in :meth:`open_session`); ``None`` keeps
+    waits unbounded.  Four-valued verdict transitions crossing a drain
+    are recorded in the stats plane (``repro_rv_verdict_*`` families)
+    and journaled as ``rv.verdict_transition`` events — severe
+    destinations (safety falsified, liveness bound exceeded) at WARN,
+    the chatty satisfied/inconclusive flips at DEBUG, matching the
+    journal's access-log level convention.
 
     Tracing is opt-in: pass an :class:`~repro.obs.trace.Tracer` to get
     an ``rv.ingest`` span per batch with ``rv.drain_group`` children —
@@ -56,15 +66,20 @@ class RvEngine:
         *,
         workers: int = 0,
         max_pending: int = 1024,
+        horizon: int | None = None,
         cache: CompileCache | None = None,
         stats: EngineStats | None = None,
         tracer=None,
+        journal: EventJournal | None = JOURNAL,
     ):
         self.cache = cache if cache is not None else CompileCache()
         self.sessions = SessionManager(max_pending=max_pending)
+        self.horizon = horizon
         self.stats = stats if stats is not None else EngineStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.pool = WorkerPool(workers, thread_name_prefix="rv-worker")
+        self.journal = journal
+        self.pool = WorkerPool(workers, thread_name_prefix="rv-worker",
+                               journal=journal)
 
     @property
     def workers(self) -> int:
@@ -77,10 +92,16 @@ class RvEngine:
         return self.cache.get(formula, alphabet)
 
     def open_session(self, session_id, formula: Formula, alphabet: Iterable,
-                     max_pending: int | None = None) -> TraceSession:
-        """Open a trace session against the (cached) compiled policy."""
+                     max_pending: int | None = None,
+                     horizon: int | None = None) -> TraceSession:
+        """Open a trace session against the (cached) compiled policy.
+
+        ``horizon=None`` inherits the engine default; sessions needing a
+        different bound pass their own (the monitor is shared either
+        way — horizons never reach the compile cache)."""
         session = self.sessions.open(
-            session_id, self.compile(formula, alphabet), max_pending
+            session_id, self.compile(formula, alphabet), max_pending,
+            self.horizon if horizon is None else horizon,
         )
         self.stats.sessions_opened.add()
         return session
@@ -152,12 +173,15 @@ class RvEngine:
 
     def _drain_group(self, group: list[TraceSession]) -> tuple[int, int]:
         stats = self.stats
+        journal = self.journal
         record_drain = stats.record_drain
         perf_counter = time.perf_counter
+        monotonic = time.monotonic
         drained = stepped = 0
         for session in group:
             pending = session.pending
             was_final = session.finalized
+            before = session.verdict4
             start = perf_counter()
             steps = session.drain()
             record_drain(pending, steps, perf_counter() - start)
@@ -165,13 +189,33 @@ class RvEngine:
             stepped += steps
             if session.finalized and not was_final:
                 stats.record_verdict(session.verdict)
+            after = session.verdict4
+            if after is not before:
+                # verdict transitions are per drain, not per event: the
+                # worker loop stays table-only and the ops plane still
+                # sees every state the *caller* could have observed.
+                stats.record_transition(
+                    before, after, monotonic() - session.opened_at
+                )
+                if journal is not None:
+                    journal.emit(
+                        "rv.verdict_transition",
+                        WARN if after.is_final else DEBUG,
+                        session=repr(session.session_id),
+                        **{"from": before.value, "to": after.value,
+                           "events": session.position, "wait": session.wait},
+                    )
         return drained, stepped
 
     # -- queries ------------------------------------------------------------
 
     def verdicts(self) -> dict:
-        """Current verdicts of all open sessions."""
+        """Current three-valued verdicts of all open sessions."""
         return self.sessions.verdicts()
+
+    def verdicts4(self) -> dict:
+        """Current four-valued verdicts of all open sessions."""
+        return self.sessions.verdicts4()
 
     def snapshot(self) -> dict:
         """Stats dashboard including compile-cache counters."""

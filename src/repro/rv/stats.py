@@ -37,6 +37,8 @@ from repro.obs.metrics import (
     share_lock,
 )
 
+from .verdicts import Verdict4
+
 __all__ = ["Counter", "Gauge", "Histogram", "EngineStats"]
 
 #: Distinguishes each engine's label set in the shared registry.
@@ -112,6 +114,22 @@ class EngineStats:
             "per-event drain latency (drain wall-time / events drained)",
             ("engine",),
         ).labels(**label)
+        # Four-valued verdict plane (PR 10): transitions are counted per
+        # (from, to) edge and latency is session-open → transition, per
+        # destination verdict.  Children are resolved lazily because most
+        # engines only ever see a few of the 12 possible edges.
+        self._transition_family = registry.counter(
+            "repro_rv_verdict_transitions_total",
+            "four-valued verdict transitions across sessions (from → to)",
+            ("engine", "from", "to"),
+        )
+        self._verdict_latency_family = registry.histogram(
+            "repro_rv_verdict_latency_seconds",
+            "session-open → verdict-transition latency, per new verdict",
+            ("engine", "verdict"),
+        )
+        self._transition_counters: dict = {}
+        self._verdict_latencies: dict = {}
         # The drain loop updates these three together on every drain;
         # fuse them under one lock so the hot path pays one acquire.
         self._drain_lock = share_lock(self.events, self.steps, self.drains)
@@ -131,9 +149,45 @@ class EngineStats:
     def record_verdict(self, verdict: Verdict3) -> None:
         self.verdicts[verdict].add()
 
+    def record_transition(self, old: Verdict4, new: Verdict4,
+                          latency: float) -> None:
+        """One session's four-valued verdict changed from ``old`` to
+        ``new``, ``latency`` seconds after the session opened.  Child
+        resolution races are benign: ``labels()`` is get-or-create, so a
+        duplicate lookup returns the same child."""
+        counter = self._transition_counters.get((old, new))
+        if counter is None:
+            counter = self._transition_counters.setdefault(
+                (old, new),
+                self._transition_family.labels(
+                    **{"engine": self.engine, "from": old.value, "to": new.value}
+                ),
+            )
+        counter.add()
+        histogram = self._verdict_latencies.get(new)
+        if histogram is None:
+            histogram = self._verdict_latencies.setdefault(
+                new,
+                self._verdict_latency_family.labels(
+                    engine=self.engine, verdict=new.value
+                ),
+            )
+        histogram.record(latency)
+
+    def _verdicts4(self) -> dict:
+        """Transitions *into* each four-valued verdict, summed over the
+        originating verdicts (the dashboard-friendly aggregation; the
+        per-edge counts stay in the registry exposition)."""
+        out = {kind.value: 0 for kind in Verdict4}
+        for (_, new), counter in list(self._transition_counters.items()):
+            out[new.value] += counter.value
+        return out
+
     def snapshot(self, cache=None) -> dict:
         """A plain-dict dashboard (stable keys; used by the example and
-        the benchmark report — byte-for-byte the PR 1 key set)."""
+        the benchmark report — the PR 1 keys unchanged, with the
+        four-valued ``verdicts4`` / ``verdict_latency_us`` beside them
+        since PR 10)."""
         out = {
             "events": self.events.value,
             "steps": self.steps.value,
@@ -144,6 +198,18 @@ class EngineStats:
             "verdicts": {k.value: c.value for k, c in self.verdicts.items()},
             "step_latency_p50_us": self.step_latency.p50() * 1e6,
             "step_latency_p99_us": self.step_latency.p99() * 1e6,
+            "verdicts4": self._verdicts4(),
+            # session-open → transition latency, per destination verdict
+            # (only verdicts actually reached appear)
+            "verdict_latency_us": {
+                verdict.value: {
+                    "p50": histogram.p50() * 1e6,
+                    "p99": histogram.p99() * 1e6,
+                }
+                for verdict, histogram in sorted(
+                    self._verdict_latencies.items(), key=lambda kv: kv[0].value
+                )
+            },
         }
         if cache is not None:
             info = cache.info()

@@ -49,6 +49,7 @@ from .client import (
     Client,
     DecomposeReply,
     InProcessTransport,
+    MonitorReply,
     Reply,
     ShardedTransport,
     Transport,
@@ -57,6 +58,7 @@ from .requests import (
     CheckRequest,
     ClassifyRequest,
     DecomposeRequest,
+    MonitorRequest,
     Request,
     ServiceClosed,
     ServiceError,
@@ -81,6 +83,7 @@ __all__ = [
     "DecomposeRequest",
     "ClassifyRequest",
     "CheckRequest",
+    "MonitorRequest",
     "ServiceResult",
     "ServiceError",
     "ServiceOverloaded",
@@ -96,6 +99,7 @@ __all__ = [
     "DecomposeReply",
     "ClassifyReply",
     "CheckReply",
+    "MonitorReply",
     "Transport",
     "InProcessTransport",
     "ShardedTransport",

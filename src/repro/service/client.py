@@ -53,6 +53,7 @@ from .requests import (
     CheckRequest,
     ClassifyRequest,
     DecomposeRequest,
+    MonitorRequest,
     Request,
     ServiceResult,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "Client",
     "DecomposeReply",
     "InProcessTransport",
+    "MonitorReply",
     "Reply",
     "ShardedTransport",
     "Transport",
@@ -144,10 +146,45 @@ class CheckReply(Reply):
         return self.holds
 
 
+@dataclass(frozen=True)
+class MonitorReply(Reply):
+    """The four-valued verdict of monitoring a finite trace against a
+    policy (``value`` is a :class:`~repro.rv.verdicts.MonitorOutcome`)."""
+
+    @property
+    def verdict(self):
+        """The :class:`~repro.rv.verdicts.Verdict4` after the trace."""
+        return self.value.verdict
+
+    @property
+    def verdict3(self):
+        """The reference three-valued projection."""
+        return self.value.verdict3
+
+    @property
+    def max_wait(self) -> int:
+        """Longest wait for the liveness conjunct's good event."""
+        return self.value.max_wait
+
+    @property
+    def horizon(self):
+        """The finitary bound the request ran under (``None`` = unbounded)."""
+        return self.value.horizon
+
+    @property
+    def falsified(self) -> bool:
+        return self.value.falsified
+
+    @property
+    def bound_exceeded(self) -> bool:
+        return self.value.bound_exceeded
+
+
 _REPLY_OF = MappingProxyType({
     "decompose": DecomposeReply,
     "classify": ClassifyReply,
     "check": CheckReply,
+    "monitor": MonitorReply,
 })
 
 
@@ -355,6 +392,21 @@ class Client:
         return self._run(
             CheckRequest(subject=subject, closure=closure,
                          alphabet=alphabet, witness=witness),
+            timeout,
+        )
+
+    def monitor(self, subject, *, alphabet=None, events=(),
+                horizon: int | None = None,
+                timeout: float | None = None) -> MonitorReply:
+        """Monitor a finite trace of ``events`` against the LTL policy
+        ``subject`` over ``alphabet``, under a finitary liveness
+        ``horizon`` (``None`` = unbounded waits).  On the sharded
+        transport all traces of one policy route to one shard (by the
+        policy's canonical key), so its compiled monitor is built once
+        fleet-wide."""
+        return self._run(
+            MonitorRequest(subject=subject, alphabet=alphabet,
+                           events=tuple(events), horizon=horizon),
             timeout,
         )
 

@@ -47,7 +47,13 @@ from repro.buchi.automaton import BuchiAutomaton
 from repro.canonical import CanonicalizationError, digest, stable_token
 from repro.ltl.syntax import Formula
 
-from .requests import CheckRequest, ClassifyRequest, DecomposeRequest, Request
+from .requests import (
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    MonitorRequest,
+    Request,
+)
 
 
 def _is_rabin(subject) -> bool:
@@ -120,6 +126,16 @@ def cache_key(request: Request) -> str | None:
     if subject_key is None:
         return None
     kind = request.kind
+    if isinstance(request, MonitorRequest):
+        # The answer depends on the trace and the horizon too; the
+        # compiled monitor itself is shared across both (the rv compile
+        # cache keys on formula + alphabet only).
+        try:
+            trace_token = stable_token(tuple(request.events))
+        except CanonicalizationError:
+            return None
+        horizon = "none" if request.horizon is None else str(request.horizon)
+        return f"{kind}:{subject_key}@h={horizon}@{digest(trace_token)}"
     if getattr(request, "certify", False):
         # Certified results carry a sealed proof payload the plain ones
         # lack; give them their own cache line so the two never alias.
@@ -127,11 +143,51 @@ def cache_key(request: Request) -> str | None:
     return f"{kind}:{subject_key}"
 
 
+def routing_key(request: Request) -> str | None:
+    """The sharded tier's *placement* key — what consistent hashing
+    spreads across shards.
+
+    For most requests this is just :func:`cache_key` (answers live on
+    the shard that caches them).  Monitor requests route by *policy* —
+    the formula + alphabet, ignoring trace and horizon — so every trace
+    monitored against one policy lands on the shard whose compile cache
+    already holds its tables, instead of scattering one policy's
+    monitor across the fleet."""
+    if isinstance(request, MonitorRequest):
+        try:
+            subject_key = _subject_key(request)
+        except CanonicalizationError:
+            return None
+        if subject_key is None:
+            return None
+        return f"monitor:{subject_key}"
+    return cache_key(request)
+
+
 def compute(request: Request):
     """Actually run the analysis a request names (no caching here)."""
     subject = request.subject
     if isinstance(request, DecomposeRequest):
         return _facade_decompose(request)
+    if isinstance(request, MonitorRequest):
+        # Imported here, not at module top: repro.rv sits *above* the
+        # analysis facade this module otherwise serves, and only the
+        # monitor verb needs it.
+        from repro.rv.compile import compile_formula
+
+        if not isinstance(subject, Formula):
+            raise TypeError(
+                "MonitorRequest needs an LTL formula subject (monitors "
+                f"compile from formulas, not {type(subject).__name__!r})"
+            )
+        if request.alphabet is None:
+            raise TypeError("MonitorRequest(formula) needs alphabet=")
+        alphabet = frozenset(request.alphabet)
+        for event in request.events:
+            if event not in alphabet:
+                raise ValueError(f"event {event!r} outside the alphabet")
+        monitor = compile_formula(subject, alphabet)
+        return monitor.run_finitary(request.events, horizon=request.horizon)
     if isinstance(request, ClassifyRequest):
         if isinstance(subject, BuchiAutomaton):
             return classify_automaton(subject)

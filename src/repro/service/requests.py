@@ -95,10 +95,29 @@ class CheckRequest(Request):
     witness: object = None
 
 
+@dataclass(frozen=True)
+class MonitorRequest(Request):
+    """Run the decomposition-driven monitor of ``subject`` (an LTL
+    formula over ``alphabet``) over a finite trace of ``events``,
+    returning a :class:`~repro.rv.verdicts.MonitorOutcome` — the
+    four-valued verdict plus wait statistics.
+
+    ``horizon`` is the finitary-liveness bound (Chatterjee–Fijalkow):
+    a wait for the liveness conjunct's good event exceeding it yields
+    ``LIVENESS_BOUND_EXCEEDED``; ``None`` leaves waits unbounded.  The
+    compiled monitor is cached policy-side (one table per canonical
+    formula + alphabet, every horizon shares it); the *answer* cache
+    line additionally keys on the trace and horizon."""
+
+    events: tuple = field(default=())
+    horizon: int | None = None
+
+
 KIND_OF = MappingProxyType({
     DecomposeRequest: "decompose",
     ClassifyRequest: "classify",
     CheckRequest: "check",
+    MonitorRequest: "monitor",
 })
 
 

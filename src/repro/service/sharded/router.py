@@ -48,7 +48,7 @@ from repro.obs.metrics import REGISTRY
 from repro.ops.journal import INFO, JOURNAL, WARN, EventJournal
 
 from repro.service.cache import ResultCacheStats
-from repro.service.handlers import cache_key
+from repro.service.handlers import routing_key as _routing_key_of
 from repro.service.requests import (
     Request,
     ServiceClosed,
@@ -618,7 +618,7 @@ class ShardedService:
         )
         wire_request = encode_request(request)
         try:
-            routing_key = cache_key(request)
+            routing_key = _routing_key_of(request)
         except Exception:
             # Key construction can reject a malformed request (e.g. a
             # subject outside its lattice); route it anyway and let the

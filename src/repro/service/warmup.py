@@ -30,12 +30,19 @@ from types import MappingProxyType
 
 from repro.ltl.parser import parse
 
-from .requests import CheckRequest, ClassifyRequest, DecomposeRequest, Request
+from .requests import (
+    CheckRequest,
+    ClassifyRequest,
+    DecomposeRequest,
+    MonitorRequest,
+    Request,
+)
 
 _REQUEST_OF = MappingProxyType({
     "decompose": DecomposeRequest,
     "classify": ClassifyRequest,
     "check": CheckRequest,
+    "monitor": MonitorRequest,
 })
 
 
@@ -87,9 +94,18 @@ def parse_workload(data: dict) -> list[Request]:
                 f"requests[{index}]: cannot parse formula "
                 f"{entry['formula']!r}: {exc}"
             ) from exc
+        kwargs: dict = {}
+        if request_type is MonitorRequest:
+            # Monitor entries may carry a trace and a horizon; a bare
+            # entry (no events) still warms the shard's compiled-monitor
+            # cache for the policy, which is the expensive part.
+            kwargs["events"] = tuple(entry.get("events", ()))
+            if entry.get("horizon") is not None:
+                kwargs["horizon"] = int(entry["horizon"])
         requests.append(
             request_type(
-                subject=formula, alphabet=frozenset(entry["alphabet"])
+                subject=formula, alphabet=frozenset(entry["alphabet"]),
+                **kwargs,
             )
         )
     return requests

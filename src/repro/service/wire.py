@@ -50,6 +50,7 @@ from .requests import (
     CheckRequest,
     ClassifyRequest,
     DecomposeRequest,
+    MonitorRequest,
     Request,
     ServiceClosed,
     ServiceError,
@@ -213,10 +214,15 @@ def _decode_subject(payload: dict):
 
 # -- requests ----------------------------------------------------------------
 
+#: Adding a union arm (the ``monitor`` kind, PR 10) is *not* a version
+#: bump: old peers reject unknown kinds with :class:`WireError` either
+#: way, and every previously-valid payload decodes unchanged
+#: (DESIGN.md §13's additive-evolution rule).
 _REQUEST_OF = MappingProxyType({
     "decompose": DecomposeRequest,
     "classify": ClassifyRequest,
     "check": CheckRequest,
+    "monitor": MonitorRequest,
 })
 
 
@@ -264,6 +270,11 @@ def encode_request(request: Request) -> dict:
         payload["samples"] = _pickled(tuple(request.samples))
     if isinstance(request, CheckRequest) and request.witness is not None:
         payload["witness"] = _pickled(request.witness)
+    if isinstance(request, MonitorRequest):
+        if request.events:
+            payload["events"] = _encode_trace(tuple(request.events))
+        if request.horizon is not None:
+            payload["horizon"] = int(request.horizon)
     return payload
 
 
@@ -273,6 +284,24 @@ def _decode_alphabet(payload: dict):
     if payload.get("t") == "pickle":
         return _unpickled(payload)
     raise WireError(f"unknown alphabet tag {payload.get('t')!r}")
+
+
+def _encode_trace(events: tuple) -> dict:
+    """An *ordered* event sequence (unlike alphabets, traces must not be
+    sorted or deduplicated): tagged atoms when every event is one, else
+    the pickle fallback."""
+    atoms = [_encode_atom(e) for e in events]
+    if all(encoded is not None for encoded in atoms):
+        return {"t": "trace", "events": atoms}
+    return _pickled(events)
+
+
+def _decode_trace(payload: dict) -> tuple:
+    if payload.get("t") == "trace":
+        return tuple(_decode_atom(e) for e in payload["events"])
+    if payload.get("t") == "pickle":
+        return tuple(_unpickled(payload))
+    raise WireError(f"unknown trace tag {payload.get('t')!r}")
 
 
 def decode_request(payload: dict) -> Request:
@@ -295,6 +324,11 @@ def decode_request(payload: dict) -> Request:
         kwargs["samples"] = tuple(_unpickled(payload["samples"]))
     if request_type is CheckRequest and "witness" in payload:
         kwargs["witness"] = _unpickled(payload["witness"])
+    if request_type is MonitorRequest:
+        if "events" in payload:
+            kwargs["events"] = _decode_trace(payload["events"])
+        if "horizon" in payload:
+            kwargs["horizon"] = int(payload["horizon"])
     return request_type(**kwargs)
 
 

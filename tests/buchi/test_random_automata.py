@@ -1,0 +1,120 @@
+"""Seeded random-automata generators: bit-stability goldens and the
+dense-first contract (PR 10).
+
+The goldens pin the exact RNG draw sequence: if a refactor of
+:func:`random_dense_automaton` changes any draw (order, sampling
+method, rejection loop), these fail — which is the point, because
+benchmark sweeps and warm-start workloads identify their inputs by
+``(seed, n)`` alone and must reproduce byte-identical automata across
+versions.
+"""
+
+import random
+
+from repro.automata.dense import DenseForm
+from repro.buchi.automaton import BuchiAutomaton, from_dense
+from repro.buchi.random_automata import (
+    random_automaton,
+    random_dense_automaton,
+    random_lasso,
+)
+
+
+def _edges(form: DenseForm):
+    """(state, symbol, sorted successors) triples of a dense form,
+    skipping states with no outgoing edge on a symbol."""
+    out = []
+    for q in range(form.core.n_states):
+        for i, a in enumerate(form.symbols):
+            mask = form.core.succ[i][q]
+            if mask:
+                succ = tuple(r for r in range(form.core.n_states)
+                             if mask >> r & 1)
+                out.append((q, a, succ))
+    return out
+
+
+def _accepting(form: DenseForm):
+    return [q for q in range(form.core.n_states)
+            if form.core.accepting >> q & 1]
+
+
+GOLDEN_SEED7_N5 = [
+    (0, "a", (2, 4)), (0, "b", (0, 1, 4)),
+    (2, "a", (1,)),
+    (3, "a", (0,)), (3, "b", (0, 3)),
+    (4, "a", (0, 1)), (4, "b", (0,)),
+]
+
+GOLDEN_SEED42_N9 = [
+    (0, "a", (0, 8)), (0, "b", (2,)),
+    (1, "a", (0, 3, 6, 8)), (1, "b", (1, 6)),
+    (3, "a", (2, 8)), (3, "b", (5,)),
+    (4, "a", (3,)), (4, "b", (0, 2)),
+    (5, "b", (5,)),
+    (6, "a", (3,)), (6, "b", (1, 5)),
+    (7, "b", (4, 8)),
+]
+
+GOLDEN_SEED3_XYZ = [
+    (0, "x", (0,)), (0, "y", (1, 2)), (0, "z", (1,)),
+    (1, "x", (1,)),
+    (2, "x", (3,)), (2, "y", (0,)), (2, "z", (0, 1, 3)),
+    (3, "x", (1, 2, 3)), (3, "y", (0, 1, 3)), (3, "z", (1, 2)),
+]
+
+
+class TestGoldenBitStability:
+    def test_seed7_n5(self):
+        form = random_dense_automaton(7, 5)
+        assert _edges(form) == GOLDEN_SEED7_N5
+        assert _accepting(form) == [3]
+
+    def test_seed42_n9(self):
+        form = random_dense_automaton(42, 9)
+        assert _edges(form) == GOLDEN_SEED42_N9
+        assert _accepting(form) == [0, 1, 5, 6]
+
+    def test_seed3_wide_alphabet_forced_accepting(self):
+        # acceptance_density 0.0 exercises the at-least-one fallback draw
+        form = random_dense_automaton(
+            3, 4, ("x", "y", "z"),
+            transition_density=2.0, acceptance_density=0.0,
+        )
+        assert _edges(form) == GOLDEN_SEED3_XYZ
+        assert _accepting(form) == [0]
+
+
+class TestDenseFirstContract:
+    def test_identity_numbering_and_symbol_order(self):
+        form = random_dense_automaton(11, 6, ("b", "a"))
+        assert form.states == tuple(range(6))
+        assert form.symbols == ("b", "a")  # caller order, never sorted
+        assert form.core.initial == 0
+        assert form.core.accepting != 0
+
+    def test_int_seed_matches_fresh_rng(self):
+        by_seed = random_dense_automaton(19, 7)
+        by_rng = random_dense_automaton(random.Random(19), 7)
+        assert by_seed.core == by_rng.core
+
+    def test_hashable_generator_is_the_dense_draw_uninterned(self):
+        auto = random_automaton(7, 5, name="G")
+        reference = from_dense(random_dense_automaton(7, 5), name="G")
+        assert isinstance(auto, BuchiAutomaton)
+        assert auto.states == reference.states
+        assert auto.accepting == reference.accepting
+        assert auto.transitions == reference.transitions
+
+    def test_duplicate_draws_collapse(self):
+        # overdrawn density cannot exceed n*n distinct edges per symbol
+        form = random_dense_automaton(5, 3, transition_density=50.0)
+        for row in form.core.succ:
+            assert all(mask < (1 << 3) for mask in row)
+
+
+def test_random_lasso_shape():
+    word = random_lasso(5, ("a", "b"), max_prefix=3, max_cycle=4)
+    assert len(word.prefix) <= 3
+    assert 1 <= len(word.cycle) <= 4
+    assert set(word.prefix) | set(word.cycle) <= {"a", "b"}

@@ -11,8 +11,31 @@ GOOD = """
 """
 
 
+GOOD_VERDICT_FAMILIES = """
+    from repro.obs.metrics import REGISTRY
+
+    TRANSITIONS = REGISTRY.counter(
+        "repro_rv_verdict_transitions_total",
+        "verdict transitions (from -> to)",
+        ("engine", "from", "to"),
+    )
+    LATENCY = REGISTRY.histogram(
+        "repro_rv_verdict_latency_seconds",
+        "session-open -> verdict latency",
+        ("engine", "verdict"),
+    )
+"""
+
+
 def test_convention_names_pass(checker):
     assert rules_of(checker.check(GOOD)) == []
+
+
+def test_verdict_family_names_pass(checker):
+    # the PR-10 four-valued verdict families: "from"/"to" are legitimate
+    # label names (label keys are data, not identifiers — the registry
+    # call sites pass them via ``labels(**{...})``)
+    assert rules_of(checker.check(GOOD_VERDICT_FAMILIES)) == []
 
 
 def test_missing_unit_suffix(checker):

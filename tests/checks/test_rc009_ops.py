@@ -82,6 +82,18 @@ GOOD_NO_CATALOG_IN_RUN = """
         journal.emit("demo.whatever")
 """
 
+GOOD_VERDICT_TRANSITION = """
+    EVENT_CATALOG = ("rv.verdict_transition",)
+
+    def drain(journal, before, after, session_id, position, wait):
+        journal.emit(
+            "rv.verdict_transition",
+            session=repr(session_id),
+            **{"from": before.value, "to": after.value,
+               "events": position, "wait": wait},
+        )
+"""
+
 
 def test_catalogued_emits_are_clean(checker):
     assert rules_of(checker.check(GOOD_CATALOGUED_EMITS)) == []
@@ -128,6 +140,18 @@ def test_service_emit_wrapper_is_matched(checker):
     assert rules_of(checker.check(GOOD_WRAPPER_EMIT)) == []
     report = checker.check(BAD_WRAPPER_EMIT_TYPO, rel="src/repro/demo/bad.py")
     assert "RC009" in rules_of(report)
+
+
+def test_verdict_transition_emit_is_clean(checker):
+    # the PR-10 engine emit shape: keyword-only fields, reserved words
+    # ("from") passed through a ** mapping
+    assert rules_of(checker.check(GOOD_VERDICT_TRANSITION)) == []
+
+
+def test_verdict_transition_is_in_the_real_catalog():
+    from repro.ops.journal import EVENT_CATALOG
+
+    assert "rv.verdict_transition" in EVENT_CATALOG
 
 
 def test_without_a_catalog_registration_is_not_judged(checker):

@@ -1,7 +1,7 @@
-"""Tests pinning the rv.stats facade contract: PR 1 snapshot keys are
-byte-for-byte stable, per-engine counts stay independent under the
-shared registry, and the fused drain recorder is equivalent to the
-individual metric calls."""
+"""Tests pinning the rv.stats facade contract: the PR 1 snapshot keys
+are byte-for-byte stable (with the PR 10 four-valued keys appended),
+per-engine counts stay independent under the shared registry, and the
+fused drain recorder is equivalent to the individual metric calls."""
 
 from repro.ltl import Verdict3, parse
 from repro.obs import metrics as obs_metrics
@@ -18,6 +18,10 @@ SNAPSHOT_KEYS = [
     "verdicts",
     "step_latency_p50_us",
     "step_latency_p99_us",
+    # PR 10: transitions into each four-valued verdict, and
+    # session-open → transition latency percentiles per verdict reached
+    "verdicts4",
+    "verdict_latency_us",
 ]
 
 

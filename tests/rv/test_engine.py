@@ -174,3 +174,36 @@ class TestAcceptanceWorkload:
             expected = reference_verdict(SPECS[i % len(SPECS)], traces[i])
             assert engine.sessions.get(i).verdict is expected
         engine.shutdown()
+
+    def test_acceptance_workload_exhibits_all_four_verdicts(self):
+        """The PR-10 acceptance bar on top: under a finitary horizon the
+        same style of workload must exhibit every verdict of the
+        four-valued lattice, and the engine's batched verdicts must
+        match the one-shot ``run_finitary`` reference per session."""
+        from repro.rv.compile import compile_formula
+        from repro.rv.verdicts import Verdict4
+
+        n_sessions, trace_len, horizon = 120, 840, 6
+        rng = random.Random(2003)
+        cache = CompileCache()
+        engine = RvEngine(cache=cache, workers=4, horizon=horizon)
+        traces = {}
+        for i in range(n_sessions):
+            engine.open_session(i, parse(SPECS[i % len(SPECS)]), "ab")
+            traces[i] = [rng.choice("ab") for _ in range(trace_len)]
+        stream = [
+            (i, traces[i][j]) for j in range(trace_len) for i in range(n_sessions)
+        ]
+        for k in range(0, len(stream), 4096):
+            engine.ingest(stream[k : k + 4096])
+
+        final = engine.verdicts4()
+        assert set(final.values()) == set(Verdict4)
+        monitors = {s: compile_formula(parse(s), "ab") for s in SPECS}
+        for i in range(n_sessions):
+            oneshot = monitors[SPECS[i % len(SPECS)]].run_finitary(
+                traces[i], horizon=horizon
+            )
+            assert final[i] is oneshot.verdict
+            assert engine.sessions.get(i).max_wait == oneshot.max_wait
+        engine.shutdown()
